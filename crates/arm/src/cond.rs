@@ -1,0 +1,232 @@
+//! ARM condition codes and their evaluation over NZCV flags.
+
+use crate::flags::Flags;
+use std::fmt;
+
+/// An ARM condition code.
+///
+/// Every instruction carries one; `Al` (always) is the unconditional
+/// default. Any other value on a non-branch instruction makes it
+/// *predicated*, which the rule learner excludes in the preparation step
+/// (Table 1, column "PI").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Cs,
+    Cc,
+    Mi,
+    Pl,
+    Vs,
+    Vc,
+    Hi,
+    Ls,
+    Ge,
+    Lt,
+    Gt,
+    Le,
+    Al,
+}
+
+impl Cond {
+    /// All condition codes in encoding order.
+    pub const ALL: [Cond; 15] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+    ];
+
+    /// The 4-bit encoding of the condition.
+    pub fn encoding(self) -> u32 {
+        self as u32
+    }
+
+    /// The condition with the given 4-bit encoding.
+    pub fn from_encoding(bits: u32) -> Option<Cond> {
+        Self::ALL.get(bits as usize).copied()
+    }
+
+    /// Evaluate the condition against a flag state.
+    ///
+    /// ```
+    /// use ldbt_arm::{Cond, Flags};
+    /// let f = Flags { z: true, ..Flags::new() };
+    /// assert!(Cond::Eq.eval(f));
+    /// assert!(!Cond::Ne.eval(f));
+    /// assert!(Cond::Al.eval(f));
+    /// ```
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Cs => f.c,
+            Cond::Cc => !f.c,
+            Cond::Mi => f.n,
+            Cond::Pl => !f.n,
+            Cond::Vs => f.v,
+            Cond::Vc => !f.v,
+            Cond::Hi => f.c && !f.z,
+            Cond::Ls => !f.c || f.z,
+            Cond::Ge => f.n == f.v,
+            Cond::Lt => f.n != f.v,
+            Cond::Gt => !f.z && f.n == f.v,
+            Cond::Le => f.z || f.n != f.v,
+            Cond::Al => true,
+        }
+    }
+
+    /// The logical negation (`Al` has none).
+    pub fn invert(self) -> Option<Cond> {
+        Some(match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Cs => Cond::Cc,
+            Cond::Cc => Cond::Cs,
+            Cond::Mi => Cond::Pl,
+            Cond::Pl => Cond::Mi,
+            Cond::Vs => Cond::Vc,
+            Cond::Vc => Cond::Vs,
+            Cond::Hi => Cond::Ls,
+            Cond::Ls => Cond::Hi,
+            Cond::Ge => Cond::Lt,
+            Cond::Lt => Cond::Ge,
+            Cond::Gt => Cond::Le,
+            Cond::Le => Cond::Gt,
+            Cond::Al => return None,
+        })
+    }
+
+    /// Which flags the condition reads, as an NZCV nibble mask.
+    pub fn flags_read(self) -> u8 {
+        match self {
+            Cond::Eq | Cond::Ne => 0b0100,
+            Cond::Cs | Cond::Cc => 0b0010,
+            Cond::Mi | Cond::Pl => 0b1000,
+            Cond::Vs | Cond::Vc => 0b0001,
+            Cond::Hi | Cond::Ls => 0b0110,
+            Cond::Ge | Cond::Lt => 0b1001,
+            Cond::Gt | Cond::Le => 0b1101,
+            Cond::Al => 0,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_flag_states() -> impl Iterator<Item = Flags> {
+        (0..16u8).map(Flags::from_nzcv)
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_encoding(c.encoding()), Some(c));
+        }
+        assert_eq!(Cond::from_encoding(15), None);
+    }
+
+    #[test]
+    fn invert_is_involutive_and_complementary() {
+        for c in Cond::ALL {
+            let Some(inv) = c.invert() else {
+                assert_eq!(c, Cond::Al);
+                continue;
+            };
+            assert_eq!(inv.invert(), Some(c));
+            for f in all_flag_states() {
+                assert_eq!(c.eval(f), !inv.eval(f), "{c:?} vs {inv:?} at {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        // After `cmp a, b`: GE iff a >= b (signed).
+        for (a, b) in [(5i32, 3i32), (3, 5), (-1, 1), (1, -1), (i32::MIN, 1), (0, 0)] {
+            let (au, bu) = (a as u32, b as u32);
+            let r = au.wrapping_sub(bu);
+            let f = Flags {
+                n: (r >> 31) != 0,
+                z: r == 0,
+                c: ldbt_isa::bits::sub_carry32_arm(au, bu, true),
+                v: ldbt_isa::bits::sub_overflow32(au, bu),
+            };
+            assert_eq!(Cond::Ge.eval(f), a >= b, "ge {a} {b}");
+            assert_eq!(Cond::Lt.eval(f), a < b, "lt {a} {b}");
+            assert_eq!(Cond::Gt.eval(f), a > b, "gt {a} {b}");
+            assert_eq!(Cond::Le.eval(f), a <= b, "le {a} {b}");
+        }
+    }
+
+    #[test]
+    fn unsigned_comparisons() {
+        // After `cmp a, b`: HI iff a > b (unsigned), CS iff a >= b.
+        for (a, b) in [(5u32, 3u32), (3, 5), (u32::MAX, 0), (0, u32::MAX), (7, 7)] {
+            let r = a.wrapping_sub(b);
+            let f = Flags {
+                n: (r >> 31) != 0,
+                z: r == 0,
+                c: ldbt_isa::bits::sub_carry32_arm(a, b, true),
+                v: ldbt_isa::bits::sub_overflow32(a, b),
+            };
+            assert_eq!(Cond::Hi.eval(f), a > b);
+            assert_eq!(Cond::Ls.eval(f), a <= b);
+            assert_eq!(Cond::Cs.eval(f), a >= b);
+            assert_eq!(Cond::Cc.eval(f), a < b);
+        }
+    }
+
+    #[test]
+    fn flags_read_covers_eval_dependence() {
+        // If a flag bit is not in flags_read(), toggling it never changes eval.
+        for c in Cond::ALL {
+            let mask = c.flags_read();
+            for f in all_flag_states() {
+                for bit in 0..4u8 {
+                    if mask & (1 << bit) == 0 {
+                        let toggled = Flags::from_nzcv(f.to_nzcv() ^ (1 << bit));
+                        assert_eq!(c.eval(f), c.eval(toggled), "{c:?} bit {bit}");
+                    }
+                }
+            }
+        }
+    }
+}

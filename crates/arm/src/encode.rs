@@ -1,0 +1,461 @@
+//! Binary encoding and decoding of ARM instructions.
+//!
+//! Instructions are fixed 32-bit little-endian words. The field layout is
+//! ARM-flavored (condition in the top nibble, 4-bit register fields) but
+//! simplified: data-processing immediates are plain 12-bit zero-extended
+//! values rather than rotated 8-bit constants. The limited immediate range
+//! is exactly the kind of "host ISA specific constraint" paper §5
+//! discusses for ARM-as-host; constants outside the range must be
+//! materialized in two instructions (see `ldbt-compiler`).
+//!
+//! Word layout by class (bits 27:26):
+//!
+//! ```text
+//! 00 data-processing  cond[31:28] 00 I[25] op[24:21] S[20] rn[19:16] rd[15:12]
+//!                       I=1: imm12[11:0]
+//!                       I=0: shamt[11:7] shtype[6:5] 0[4] rm[3:0]
+//! 01 load/store       cond 01 R[25] width[24:23] sign[22] 0[21] L[20] rn rt
+//!                       R=0: off12[11:0] (two's complement)
+//!                       R=1: shamt[11:7] 0[6:4] rm[3:0]
+//! 10 branch family    cond 10 kind[25:24] (00 b, 01 bl, 10 bx, 11 svc)
+//!                       b/bl: off24[23:0]   bx: rm[3:0]   svc: imm24[23:0]
+//! 11 multiply         cond 11 0[25:21] S[20] rd[19:16] rm[11:8] rn[3:0]
+//! ```
+
+use crate::cond::Cond;
+use crate::insn::{AddrMode, ArmInstr, DpOp, Operand2, Shift};
+use crate::reg::ArmReg;
+use ldbt_isa::Width;
+use std::fmt;
+
+/// Error produced when an instruction cannot be encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeArmError {
+    /// Data-processing immediate out of the 12-bit range.
+    ImmediateRange(u32),
+    /// Load/store offset out of the signed 12-bit range.
+    OffsetRange(i32),
+    /// Shift amount outside 1–31.
+    ShiftAmount(u8),
+    /// Branch offset outside the signed 24-bit range.
+    BranchRange(i32),
+    /// `svc` immediate outside 24 bits.
+    SvcRange(u32),
+}
+
+impl fmt::Display for EncodeArmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeArmError::ImmediateRange(v) => write!(f, "immediate #{v} does not fit in 12 bits"),
+            EncodeArmError::OffsetRange(v) => write!(f, "offset #{v} does not fit in signed 12 bits"),
+            EncodeArmError::ShiftAmount(a) => write!(f, "shift amount {a} outside 1..=31"),
+            EncodeArmError::BranchRange(v) => write!(f, "branch offset {v} does not fit in 24 bits"),
+            EncodeArmError::SvcRange(v) => write!(f, "svc immediate {v} does not fit in 24 bits"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeArmError {}
+
+/// Error produced when a word does not decode to a valid instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeArmError {
+    /// The offending word.
+    pub word: u32,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeArmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#010x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeArmError {}
+
+/// The maximum encodable data-processing immediate.
+pub const MAX_DP_IMM: u32 = 0xfff;
+/// The inclusive range of load/store immediate offsets.
+pub const MEM_OFFSET_RANGE: std::ops::RangeInclusive<i32> = -2048..=2047;
+
+fn shift_bits(shift: Shift) -> Result<u32, EncodeArmError> {
+    let (ty, amt) = match shift {
+        Shift::Lsl(a) => (0u32, a),
+        Shift::Lsr(a) => (1, a),
+        Shift::Asr(a) => (2, a),
+        Shift::Ror(a) => (3, a),
+    };
+    if amt == 0 || amt > 31 {
+        return Err(EncodeArmError::ShiftAmount(amt));
+    }
+    Ok(((amt as u32) << 7) | (ty << 5))
+}
+
+/// Encode one instruction into a 32-bit word.
+///
+/// # Errors
+///
+/// Returns an [`EncodeArmError`] if an immediate, offset, shift amount or
+/// branch displacement falls outside its encodable range.
+pub fn encode(instr: &ArmInstr) -> Result<u32, EncodeArmError> {
+    let cond = instr.cond().encoding() << 28;
+    let word = match *instr {
+        ArmInstr::Dp { op, rd, rn, op2, set_flags, .. } => {
+            let mut w = (op as u32) << 21
+                | (set_flags as u32) << 20
+                | (rn.index() as u32) << 16
+                | (rd.index() as u32) << 12;
+            match op2 {
+                Operand2::Imm(v) => {
+                    if v > MAX_DP_IMM {
+                        return Err(EncodeArmError::ImmediateRange(v));
+                    }
+                    w |= 1 << 25 | v;
+                }
+                Operand2::Reg(rm) => w |= rm.index() as u32,
+                Operand2::RegShift(rm, shift) => {
+                    w |= shift_bits(shift)? | rm.index() as u32;
+                }
+            }
+            w
+        }
+        ArmInstr::Ldr { rt, addr, width, signed, .. } => {
+            mem_word(rt, addr, width, signed, true)?
+        }
+        ArmInstr::Str { rt, addr, width, .. } => mem_word(rt, addr, width, false, false)?,
+        ArmInstr::B { offset, .. } => 0b10 << 26 | off24(offset)?,
+        ArmInstr::Bl { offset, .. } => 0b10 << 26 | 0b01 << 24 | off24(offset)?,
+        ArmInstr::Bx { rm, .. } => 0b10 << 26 | 0b10 << 24 | rm.index() as u32,
+        ArmInstr::Svc { imm, .. } => {
+            if imm > 0xff_ffff {
+                return Err(EncodeArmError::SvcRange(imm));
+            }
+            0b10 << 26 | 0b11 << 24 | imm
+        }
+        ArmInstr::Mul { rd, rn, rm, set_flags, .. } => {
+            0b11 << 26
+                | (set_flags as u32) << 20
+                | (rd.index() as u32) << 16
+                | (rm.index() as u32) << 8
+                | rn.index() as u32
+        }
+    };
+    Ok(cond | word)
+}
+
+fn off24(offset: i32) -> Result<u32, EncodeArmError> {
+    if !(-(1 << 23)..(1 << 23)).contains(&offset) {
+        return Err(EncodeArmError::BranchRange(offset));
+    }
+    Ok((offset as u32) & 0xff_ffff)
+}
+
+fn mem_word(
+    rt: ArmReg,
+    addr: AddrMode,
+    width: Width,
+    signed: bool,
+    load: bool,
+) -> Result<u32, EncodeArmError> {
+    let wbits = match width {
+        Width::W8 => 0u32,
+        Width::W16 => 1,
+        Width::W32 => 2,
+    };
+    let mut w = 0b01 << 26
+        | wbits << 23
+        | (signed as u32) << 22
+        | (load as u32) << 20
+        | (rt.index() as u32) << 12;
+    match addr {
+        AddrMode::Imm(rn, off) => {
+            if !MEM_OFFSET_RANGE.contains(&off) {
+                return Err(EncodeArmError::OffsetRange(off));
+            }
+            w |= (rn.index() as u32) << 16 | ((off as u32) & 0xfff);
+        }
+        AddrMode::Reg(rn, rm) => {
+            w |= 1 << 25 | (rn.index() as u32) << 16 | rm.index() as u32;
+        }
+        AddrMode::RegShift(rn, rm, s) => {
+            if s == 0 || s > 31 {
+                return Err(EncodeArmError::ShiftAmount(s));
+            }
+            w |= 1 << 25 | (rn.index() as u32) << 16 | (s as u32) << 7 | rm.index() as u32;
+        }
+    }
+    Ok(w)
+}
+
+/// Decode a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeArmError`] for reserved encodings (e.g. condition
+/// `0b1111`, non-canonical zero fields, or a register shift with amount 0
+/// and non-`lsl` type).
+pub fn decode(word: u32) -> Result<ArmInstr, DecodeArmError> {
+    let err = |reason| Err(DecodeArmError { word, reason });
+    let Some(cond) = Cond::from_encoding(word >> 28) else {
+        return err("reserved condition 0b1111");
+    };
+    let reg = |shift: u32| ArmReg::from_index(((word >> shift) & 0xf) as usize);
+    match (word >> 26) & 0b11 {
+        0b00 => {
+            let op = DpOp::ALL[((word >> 21) & 0xf) as usize % 15];
+            if ((word >> 21) & 0xf) as usize == 15 {
+                return err("reserved data-processing opcode");
+            }
+            let set_flags = (word >> 20) & 1 != 0;
+            let rn = reg(16);
+            let rd = reg(12);
+            if op.is_compare() && !set_flags {
+                return err("compare opcode without S bit");
+            }
+            let op2 = if (word >> 25) & 1 != 0 {
+                Operand2::Imm(word & 0xfff)
+            } else {
+                if (word >> 4) & 1 != 0 {
+                    return err("bit 4 must be zero in register op2");
+                }
+                let rm = reg(0);
+                let amt = ((word >> 7) & 0x1f) as u8;
+                let ty = (word >> 5) & 0b11;
+                if amt == 0 {
+                    if ty != 0 {
+                        return err("shift amount 0 with non-lsl type");
+                    }
+                    Operand2::Reg(rm)
+                } else {
+                    let shift = match ty {
+                        0 => Shift::Lsl(amt),
+                        1 => Shift::Lsr(amt),
+                        2 => Shift::Asr(amt),
+                        _ => Shift::Ror(amt),
+                    };
+                    Operand2::RegShift(rm, shift)
+                }
+            };
+            let set_flags = set_flags || op.is_compare();
+            Ok(ArmInstr::Dp { op, rd, rn, op2, set_flags, cond })
+        }
+        0b01 => {
+            let width = match (word >> 23) & 0b11 {
+                0 => Width::W8,
+                1 => Width::W16,
+                2 => Width::W32,
+                _ => return err("reserved load/store width"),
+            };
+            let signed = (word >> 22) & 1 != 0;
+            let load = (word >> 20) & 1 != 0;
+            if (word >> 21) & 1 != 0 {
+                return err("bit 21 must be zero in load/store");
+            }
+            let rn = reg(16);
+            let rt = reg(12);
+            let addr = if (word >> 25) & 1 != 0 {
+                let rm = reg(0);
+                let s = ((word >> 7) & 0x1f) as u8;
+                if (word >> 4) & 0b111 != 0 {
+                    return err("bits 6:4 must be zero in register load/store");
+                }
+                if s == 0 {
+                    AddrMode::Reg(rn, rm)
+                } else {
+                    AddrMode::RegShift(rn, rm, s)
+                }
+            } else {
+                let off = ((word & 0xfff) << 20) as i32 >> 20;
+                AddrMode::Imm(rn, off)
+            };
+            if load {
+                Ok(ArmInstr::Ldr { rt, addr, width, signed, cond })
+            } else {
+                if signed {
+                    return err("signed store is invalid");
+                }
+                Ok(ArmInstr::Str { rt, addr, width, cond })
+            }
+        }
+        0b10 => {
+            let kind = (word >> 24) & 0b11;
+            let offset = ((word & 0xff_ffff) << 8) as i32 >> 8;
+            match kind {
+                0b00 => Ok(ArmInstr::B { offset, cond }),
+                0b01 => Ok(ArmInstr::Bl { offset, cond }),
+                0b10 => {
+                    if word & 0xff_fff0 != 0 {
+                        return err("bits 23:4 must be zero in bx");
+                    }
+                    Ok(ArmInstr::Bx { rm: reg(0), cond })
+                }
+                _ => Ok(ArmInstr::Svc { imm: word & 0xff_ffff, cond }),
+            }
+        }
+        _ => {
+            if (word >> 21) & 0x1f != 0 {
+                return err("bits 25:21 must be zero in multiply");
+            }
+            if (word >> 4) & 0xf != 0 || (word >> 12) & 0xf != 0 {
+                return err("reserved multiply fields must be zero");
+            }
+            Ok(ArmInstr::Mul {
+                rd: reg(16),
+                rn: reg(0),
+                rm: reg(8),
+                set_flags: (word >> 20) & 1 != 0,
+                cond,
+            })
+        }
+    }
+}
+
+/// Encode a sequence of instructions into little-endian bytes.
+///
+/// # Errors
+///
+/// Propagates the first [`EncodeArmError`].
+pub fn assemble(instrs: &[ArmInstr]) -> Result<Vec<u8>, EncodeArmError> {
+    let mut out = Vec::with_capacity(instrs.len() * 4);
+    for i in instrs {
+        out.extend_from_slice(&encode(i)?.to_le_bytes());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::ArmInstr as I;
+
+    fn roundtrip(i: I) {
+        let w = encode(&i).unwrap();
+        assert_eq!(decode(w).unwrap(), i, "word {w:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_dp_forms() {
+        roundtrip(I::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Reg(ArmReg::R0)));
+        roundtrip(I::dps(DpOp::Sub, ArmReg::R0, ArmReg::R2, Operand2::Imm(4095)));
+        roundtrip(I::mov(ArmReg::R12, Operand2::RegShift(ArmReg::R3, Shift::Ror(31))));
+        roundtrip(I::cmp(ArmReg::Sp, Operand2::Imm(0)));
+        for op in DpOp::ALL {
+            roundtrip(I::dp(op, ArmReg::R4, ArmReg::R5, Operand2::Reg(ArmReg::R6)));
+            roundtrip(I::dps(op, ArmReg::R4, ArmReg::R5, Operand2::Imm(7)));
+            roundtrip(I::dp(op, ArmReg::R4, ArmReg::R5, Operand2::RegShift(ArmReg::R7, Shift::Asr(9))));
+        }
+    }
+
+    #[test]
+    fn roundtrip_mem_forms() {
+        roundtrip(I::ldr(ArmReg::R0, AddrMode::Imm(ArmReg::R0, -4)));
+        roundtrip(I::ldr(ArmReg::R0, AddrMode::Imm(ArmReg::Sp, 2047)));
+        roundtrip(I::str(ArmReg::R1, AddrMode::Imm(ArmReg::R6, -2048)));
+        roundtrip(I::str(ArmReg::R1, AddrMode::Reg(ArmReg::R6, ArmReg::R2)));
+        roundtrip(I::Ldr {
+            rt: ArmReg::R9,
+            addr: AddrMode::RegShift(ArmReg::R1, ArmReg::R0, 2),
+            width: Width::W8,
+            signed: true,
+            cond: Cond::Al,
+        });
+        roundtrip(I::Str {
+            rt: ArmReg::R9,
+            addr: AddrMode::Imm(ArmReg::R1, 0),
+            width: Width::W16,
+            cond: Cond::Al,
+        });
+    }
+
+    #[test]
+    fn roundtrip_branch_family() {
+        roundtrip(I::B { offset: -3, cond: Cond::Ne });
+        roundtrip(I::B { offset: (1 << 23) - 1, cond: Cond::Al });
+        roundtrip(I::Bl { offset: -(1 << 23), cond: Cond::Al });
+        roundtrip(I::Bx { rm: ArmReg::Lr, cond: Cond::Al });
+        roundtrip(I::Svc { imm: 0, cond: Cond::Al });
+        roundtrip(I::Svc { imm: 0xff_ffff, cond: Cond::Al });
+    }
+
+    #[test]
+    fn roundtrip_mul_and_conditions() {
+        roundtrip(I::Mul { rd: ArmReg::R3, rn: ArmReg::R1, rm: ArmReg::R2, set_flags: true, cond: Cond::Al });
+        for cond in Cond::ALL {
+            roundtrip(I::Dp {
+                op: DpOp::Add,
+                rd: ArmReg::R0,
+                rn: ArmReg::R0,
+                op2: Operand2::Imm(1),
+                set_flags: false,
+                cond,
+            });
+        }
+    }
+
+    #[test]
+    fn encode_range_errors() {
+        assert_eq!(
+            encode(&I::mov(ArmReg::R0, Operand2::Imm(4096))),
+            Err(EncodeArmError::ImmediateRange(4096))
+        );
+        assert_eq!(
+            encode(&I::ldr(ArmReg::R0, AddrMode::Imm(ArmReg::R0, 2048))),
+            Err(EncodeArmError::OffsetRange(2048))
+        );
+        assert_eq!(
+            encode(&I::mov(ArmReg::R0, Operand2::RegShift(ArmReg::R1, Shift::Lsl(0)))),
+            Err(EncodeArmError::ShiftAmount(0))
+        );
+        assert_eq!(
+            encode(&I::B { offset: 1 << 23, cond: Cond::Al }),
+            Err(EncodeArmError::BranchRange(1 << 23))
+        );
+        assert_eq!(
+            encode(&I::Svc { imm: 1 << 24, cond: Cond::Al }),
+            Err(EncodeArmError::SvcRange(1 << 24))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_reserved() {
+        assert!(decode(0xf000_0000).is_err()); // cond 1111
+        // DP opcode 15.
+        assert!(decode(15 << 21).is_err());
+        // Register op2 with bit 4 set.
+        assert!(decode((DpOp::Add as u32) << 21 | 1 << 4).is_err());
+        // lsr #0 (type 1, amount 0).
+        assert!(decode((DpOp::Add as u32) << 21 | 1 << 5).is_err());
+        // Load/store width 3.
+        assert!(decode(0b01 << 26 | 0b11 << 23).is_err());
+        // Signed store.
+        assert!(decode(0b01 << 26 | 0b10 << 23 | 1 << 22).is_err());
+    }
+
+    #[test]
+    fn assemble_emits_le_words() {
+        let bytes = assemble(&[
+            I::mov(ArmReg::R0, Operand2::Imm(1)),
+            I::Svc { imm: 0, cond: Cond::Al },
+        ])
+        .unwrap();
+        assert_eq!(bytes.len(), 8);
+        let w0 = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        assert_eq!(decode(w0).unwrap(), I::mov(ArmReg::R0, Operand2::Imm(1)));
+    }
+
+    #[test]
+    fn exhaustive_decode_encode_fixpoint() {
+        // Any word that decodes must re-encode to itself (sampled).
+        let mut checked = 0u32;
+        for base in (0..0x1_0000u32).step_by(7) {
+            let word = base.wrapping_mul(0x9e37_79b9) ^ base;
+            if let Ok(i) = decode(word) {
+                let again = encode(&i).expect("decoded instruction must encode");
+                assert_eq!(again, word, "{i}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 100, "too few decodable samples: {checked}");
+    }
+}

@@ -1,0 +1,91 @@
+//! The ARM NZCV condition flags.
+
+use std::fmt;
+
+/// The four ARM condition-code flags.
+///
+/// * `n` — negative (bit 31 of the result),
+/// * `z` — zero,
+/// * `c` — carry (for subtraction: *no borrow*, the inverse of x86 `CF`),
+/// * `v` — signed overflow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// Negative flag.
+    pub n: bool,
+    /// Zero flag.
+    pub z: bool,
+    /// Carry flag (ARM polarity: set = no borrow on subtraction).
+    pub c: bool,
+    /// Signed-overflow flag.
+    pub v: bool,
+}
+
+impl Flags {
+    /// All flags clear.
+    pub fn new() -> Self {
+        Flags::default()
+    }
+
+    /// Set `n` and `z` from a 32-bit result, leaving `c` and `v` intact.
+    pub fn set_nz(&mut self, result: u32) {
+        self.n = (result >> 31) != 0;
+        self.z = result == 0;
+    }
+
+    /// Pack as a 4-bit NZCV nibble (bit 3 = N … bit 0 = V).
+    pub fn to_nzcv(self) -> u8 {
+        ((self.n as u8) << 3) | ((self.z as u8) << 2) | ((self.c as u8) << 1) | (self.v as u8)
+    }
+
+    /// Unpack from a 4-bit NZCV nibble.
+    pub fn from_nzcv(bits: u8) -> Self {
+        Flags {
+            n: bits & 0b1000 != 0,
+            z: bits & 0b0100 != 0,
+            c: bits & 0b0010 != 0,
+            v: bits & 0b0001 != 0,
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            if self.n { 'N' } else { 'n' },
+            if self.z { 'Z' } else { 'z' },
+            if self.c { 'C' } else { 'c' },
+            if self.v { 'V' } else { 'v' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_nz_cases() {
+        let mut f = Flags { c: true, v: true, ..Flags::new() };
+        f.set_nz(0);
+        assert!(f.z && !f.n && f.c && f.v);
+        f.set_nz(0x8000_0000);
+        assert!(f.n && !f.z && f.c && f.v);
+        f.set_nz(1);
+        assert!(!f.n && !f.z);
+    }
+
+    #[test]
+    fn nzcv_roundtrip() {
+        for bits in 0..16u8 {
+            assert_eq!(Flags::from_nzcv(bits).to_nzcv(), bits);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Flags::new().to_string(), "nzcv");
+        assert_eq!(Flags { n: true, z: false, c: true, v: false }.to_string(), "NzCv");
+    }
+}

@@ -1,0 +1,659 @@
+//! ARM instruction types, operands, and static metadata.
+
+use crate::cond::Cond;
+use crate::reg::ArmReg;
+use ldbt_isa::{NormAddr, Scale, Width};
+use std::fmt;
+
+/// A constant shift applied to a register operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shift {
+    /// Logical shift left by 1–31.
+    Lsl(u8),
+    /// Logical shift right by 1–31.
+    Lsr(u8),
+    /// Arithmetic shift right by 1–31.
+    Asr(u8),
+    /// Rotate right by 1–31.
+    Ror(u8),
+}
+
+impl Shift {
+    /// The shift amount.
+    pub fn amount(self) -> u8 {
+        match self {
+            Shift::Lsl(a) | Shift::Lsr(a) | Shift::Asr(a) | Shift::Ror(a) => a,
+        }
+    }
+}
+
+impl fmt::Display for Shift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Shift::Lsl(a) => write!(f, "lsl #{a}"),
+            Shift::Lsr(a) => write!(f, "lsr #{a}"),
+            Shift::Asr(a) => write!(f, "asr #{a}"),
+            Shift::Ror(a) => write!(f, "ror #{a}"),
+        }
+    }
+}
+
+/// The flexible second operand of data-processing instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand2 {
+    /// An immediate. The encoder accepts 0–4095 (12 bits, zero-extended);
+    /// larger constants must be materialized with `mov`+`orr`.
+    Imm(u32),
+    /// A plain register.
+    Reg(ArmReg),
+    /// A register with a constant shift, e.g. `r0, lsl #2`.
+    RegShift(ArmReg, Shift),
+}
+
+impl fmt::Display for Operand2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand2::Imm(v) => write!(f, "#{v}"),
+            Operand2::Reg(r) => write!(f, "{r}"),
+            Operand2::RegShift(r, s) => write!(f, "{r}, {s}"),
+        }
+    }
+}
+
+/// A data-processing opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum DpOp {
+    And,
+    Eor,
+    Sub,
+    Rsb,
+    Add,
+    Adc,
+    Sbc,
+    Orr,
+    Mov,
+    Mvn,
+    Bic,
+    Cmp,
+    Cmn,
+    Tst,
+    Teq,
+}
+
+impl DpOp {
+    /// All data-processing opcodes in encoding order.
+    pub const ALL: [DpOp; 15] = [
+        DpOp::And,
+        DpOp::Eor,
+        DpOp::Sub,
+        DpOp::Rsb,
+        DpOp::Add,
+        DpOp::Adc,
+        DpOp::Sbc,
+        DpOp::Orr,
+        DpOp::Mov,
+        DpOp::Mvn,
+        DpOp::Bic,
+        DpOp::Cmp,
+        DpOp::Cmn,
+        DpOp::Tst,
+        DpOp::Teq,
+    ];
+
+    /// Whether the opcode only sets flags and writes no register
+    /// (`cmp`, `cmn`, `tst`, `teq`).
+    pub fn is_compare(self) -> bool {
+        matches!(self, DpOp::Cmp | DpOp::Cmn | DpOp::Tst | DpOp::Teq)
+    }
+
+    /// Whether the opcode ignores the first source register
+    /// (`mov`, `mvn`).
+    pub fn is_move(self) -> bool {
+        matches!(self, DpOp::Mov | DpOp::Mvn)
+    }
+
+    /// Whether the opcode is arithmetic (sets C/V from the adder) rather
+    /// than logical (leaves C/V to the shifter).
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, DpOp::Add | DpOp::Adc | DpOp::Sub | DpOp::Sbc | DpOp::Rsb | DpOp::Cmp | DpOp::Cmn)
+    }
+
+    /// Whether the opcode reads the incoming carry flag (`adc`, `sbc`).
+    pub fn reads_carry(self) -> bool {
+        matches!(self, DpOp::Adc | DpOp::Sbc)
+    }
+
+    /// The mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            DpOp::And => "and",
+            DpOp::Eor => "eor",
+            DpOp::Sub => "sub",
+            DpOp::Rsb => "rsb",
+            DpOp::Add => "add",
+            DpOp::Adc => "adc",
+            DpOp::Sbc => "sbc",
+            DpOp::Orr => "orr",
+            DpOp::Mov => "mov",
+            DpOp::Mvn => "mvn",
+            DpOp::Bic => "bic",
+            DpOp::Cmp => "cmp",
+            DpOp::Cmn => "cmn",
+            DpOp::Tst => "tst",
+            DpOp::Teq => "teq",
+        }
+    }
+}
+
+/// A load/store addressing mode (offset addressing only; no writeback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrMode {
+    /// `[rn, #imm]` with a signed 12-bit offset.
+    Imm(ArmReg, i32),
+    /// `[rn, rm]`.
+    Reg(ArmReg, ArmReg),
+    /// `[rn, rm, lsl #s]`.
+    RegShift(ArmReg, ArmReg, u8),
+}
+
+impl AddrMode {
+    /// The base register.
+    pub fn base(self) -> ArmReg {
+        match self {
+            AddrMode::Imm(rn, _) | AddrMode::Reg(rn, _) | AddrMode::RegShift(rn, _, _) => rn,
+        }
+    }
+
+    /// Registers the address reads.
+    pub fn regs(self) -> Vec<ArmReg> {
+        match self {
+            AddrMode::Imm(rn, _) => vec![rn],
+            AddrMode::Reg(rn, rm) | AddrMode::RegShift(rn, rm, _) => vec![rn, rm],
+        }
+    }
+
+    /// Normalize to `base + index×scale + offset` (paper §3.2).
+    pub fn normalize(self) -> NormAddr<ArmReg> {
+        match self {
+            AddrMode::Imm(rn, off) => NormAddr { base: Some(rn), index: None, offset: off as i64 },
+            AddrMode::Reg(rn, rm) => {
+                NormAddr { base: Some(rn), index: Some((rm, Scale::Shl(0))), offset: 0 }
+            }
+            AddrMode::RegShift(rn, rm, s) => {
+                NormAddr { base: Some(rn), index: Some((rm, Scale::Shl(s as u32))), offset: 0 }
+            }
+        }
+    }
+}
+
+impl fmt::Display for AddrMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrMode::Imm(rn, 0) => write!(f, "[{rn}]"),
+            AddrMode::Imm(rn, off) => write!(f, "[{rn}, #{off}]"),
+            AddrMode::Reg(rn, rm) => write!(f, "[{rn}, {rm}]"),
+            AddrMode::RegShift(rn, rm, s) => write!(f, "[{rn}, {rm}, lsl #{s}]"),
+        }
+    }
+}
+
+/// An ARM instruction (the modeled subset).
+///
+/// Branch targets are *instruction-relative word offsets* from the
+/// instruction after the branch (so `0` falls through), matching the
+/// pipeline-adjusted semantics of real ARM relative branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArmInstr {
+    /// A data-processing instruction: `op{s}{cond} rd, rn, op2`.
+    Dp {
+        /// Opcode.
+        op: DpOp,
+        /// Destination (ignored for compares).
+        rd: ArmReg,
+        /// First source (ignored for moves).
+        rn: ArmReg,
+        /// Flexible second operand.
+        op2: Operand2,
+        /// Whether NZCV is updated (`s` suffix). Always true for compares.
+        set_flags: bool,
+        /// Predication condition.
+        cond: Cond,
+    },
+    /// 32-bit multiply: `mul{s} rd, rn, rm` (sets only N and Z when `s`).
+    Mul {
+        /// Destination.
+        rd: ArmReg,
+        /// First factor.
+        rn: ArmReg,
+        /// Second factor.
+        rm: ArmReg,
+        /// Whether N/Z are updated.
+        set_flags: bool,
+        /// Predication condition.
+        cond: Cond,
+    },
+    /// Load: `ldr{b,h}{s} rt, addr`.
+    Ldr {
+        /// Destination register.
+        rt: ArmReg,
+        /// Address.
+        addr: AddrMode,
+        /// Access width.
+        width: Width,
+        /// Sign-extend (vs zero-extend) sub-word loads.
+        signed: bool,
+        /// Predication condition.
+        cond: Cond,
+    },
+    /// Store: `str{b,h} rt, addr`.
+    Str {
+        /// Source register.
+        rt: ArmReg,
+        /// Address.
+        addr: AddrMode,
+        /// Access width.
+        width: Width,
+        /// Predication condition.
+        cond: Cond,
+    },
+    /// Relative branch: `b{cond} target`.
+    B {
+        /// Word offset relative to the next instruction.
+        offset: i32,
+        /// Branch condition.
+        cond: Cond,
+    },
+    /// Branch with link (call): `bl target`.
+    Bl {
+        /// Word offset relative to the next instruction.
+        offset: i32,
+        /// Predication condition.
+        cond: Cond,
+    },
+    /// Indirect branch: `bx rm` (returns when `rm == lr`).
+    Bx {
+        /// Target-address register.
+        rm: ArmReg,
+        /// Predication condition.
+        cond: Cond,
+    },
+    /// Supervisor call. `svc #0` halts the machine (program exit).
+    Svc {
+        /// Immediate payload (24 bits).
+        imm: u32,
+        /// Predication condition.
+        cond: Cond,
+    },
+}
+
+impl ArmInstr {
+    /// Unconditional, non-flag-setting data-processing instruction.
+    pub fn dp(op: DpOp, rd: ArmReg, rn: ArmReg, op2: Operand2) -> ArmInstr {
+        ArmInstr::Dp { op, rd, rn, op2, set_flags: op.is_compare(), cond: Cond::Al }
+    }
+
+    /// Flag-setting variant (`adds`, `subs`, …).
+    pub fn dps(op: DpOp, rd: ArmReg, rn: ArmReg, op2: Operand2) -> ArmInstr {
+        ArmInstr::Dp { op, rd, rn, op2, set_flags: true, cond: Cond::Al }
+    }
+
+    /// `mov rd, op2`.
+    pub fn mov(rd: ArmReg, op2: Operand2) -> ArmInstr {
+        Self::dp(DpOp::Mov, rd, ArmReg::R0, op2)
+    }
+
+    /// `cmp rn, op2`.
+    pub fn cmp(rn: ArmReg, op2: Operand2) -> ArmInstr {
+        Self::dp(DpOp::Cmp, ArmReg::R0, rn, op2)
+    }
+
+    /// Word-sized `ldr rt, addr`.
+    pub fn ldr(rt: ArmReg, addr: AddrMode) -> ArmInstr {
+        ArmInstr::Ldr { rt, addr, width: Width::W32, signed: false, cond: Cond::Al }
+    }
+
+    /// Word-sized `str rt, addr`.
+    pub fn str(rt: ArmReg, addr: AddrMode) -> ArmInstr {
+        ArmInstr::Str { rt, addr, width: Width::W32, cond: Cond::Al }
+    }
+
+    /// The instruction's predication condition field.
+    pub fn cond(&self) -> Cond {
+        match *self {
+            ArmInstr::Dp { cond, .. }
+            | ArmInstr::Mul { cond, .. }
+            | ArmInstr::Ldr { cond, .. }
+            | ArmInstr::Str { cond, .. }
+            | ArmInstr::B { cond, .. }
+            | ArmInstr::Bl { cond, .. }
+            | ArmInstr::Bx { cond, .. }
+            | ArmInstr::Svc { cond, .. } => cond,
+        }
+    }
+
+    /// Whether this is a *predicated* non-branch instruction — a
+    /// conditionally executed `Dp`/`Mul`/`Ldr`/`Str` (preparation filter
+    /// "PI" in Table 1). Conditional branches are not predicated.
+    pub fn is_predicated(&self) -> bool {
+        !matches!(self, ArmInstr::B { .. }) && self.cond() != Cond::Al
+    }
+
+    /// Whether this is a call (`bl`).
+    pub fn is_call(&self) -> bool {
+        matches!(self, ArmInstr::Bl { .. })
+    }
+
+    /// Whether this is an indirect branch (`bx`).
+    pub fn is_indirect_branch(&self) -> bool {
+        matches!(self, ArmInstr::Bx { .. })
+    }
+
+    /// Whether this instruction ends a basic block.
+    pub fn is_block_end(&self) -> bool {
+        matches!(
+            self,
+            ArmInstr::B { .. } | ArmInstr::Bl { .. } | ArmInstr::Bx { .. } | ArmInstr::Svc { .. }
+        )
+    }
+
+    /// Whether the instruction writes the NZCV flags (any of them).
+    pub fn sets_flags(&self) -> bool {
+        match *self {
+            ArmInstr::Dp { set_flags, .. } | ArmInstr::Mul { set_flags, .. } => set_flags,
+            _ => false,
+        }
+    }
+
+    /// Which NZCV flags the instruction *writes*, as a nibble mask
+    /// (N=8, Z=4, C=2, V=1).
+    pub fn flags_written(&self) -> u8 {
+        match *self {
+            ArmInstr::Dp { op, set_flags, op2, .. } if set_flags => {
+                if op.is_arithmetic() {
+                    0b1111
+                } else {
+                    // Logical ops: N, Z always; C only via the shifter.
+                    let c = matches!(op2, Operand2::RegShift(_, _));
+                    0b1100 | ((c as u8) << 1)
+                }
+            }
+            ArmInstr::Mul { set_flags: true, .. } => 0b1100,
+            _ => 0,
+        }
+    }
+
+    /// Which NZCV flags the instruction *reads*, as a nibble mask.
+    pub fn flags_read(&self) -> u8 {
+        let mut mask = self.cond().flags_read();
+        if let ArmInstr::Dp { op, .. } = self {
+            if op.reads_carry() {
+                mask |= 0b0010;
+            }
+        }
+        mask
+    }
+
+    /// The register this instruction defines, if any.
+    pub fn def(&self) -> Option<ArmReg> {
+        match *self {
+            ArmInstr::Dp { op, rd, .. } => (!op.is_compare()).then_some(rd),
+            ArmInstr::Mul { rd, .. } => Some(rd),
+            ArmInstr::Ldr { rt, .. } => Some(rt),
+            ArmInstr::Bl { .. } => Some(ArmReg::Lr),
+            _ => None,
+        }
+    }
+
+    /// The registers this instruction reads, in operand order, with
+    /// duplicates preserved.
+    pub fn uses(&self) -> Vec<ArmReg> {
+        match *self {
+            ArmInstr::Dp { op, rn, op2, .. } => {
+                let mut v = Vec::new();
+                if !op.is_move() {
+                    v.push(rn);
+                }
+                match op2 {
+                    Operand2::Reg(r) | Operand2::RegShift(r, _) => v.push(r),
+                    Operand2::Imm(_) => {}
+                }
+                v
+            }
+            ArmInstr::Mul { rn, rm, .. } => vec![rn, rm],
+            ArmInstr::Ldr { addr, .. } => addr.regs(),
+            ArmInstr::Str { rt, addr, .. } => {
+                let mut v = vec![rt];
+                v.extend(addr.regs());
+                v
+            }
+            ArmInstr::Bx { rm, .. } => vec![rm],
+            ArmInstr::B { .. } | ArmInstr::Bl { .. } | ArmInstr::Svc { .. } => vec![],
+        }
+    }
+
+    /// The memory operand, if any: (normalized address, width, is_store).
+    pub fn mem_operand(&self) -> Option<(NormAddr<ArmReg>, Width, bool)> {
+        match *self {
+            ArmInstr::Ldr { addr, width, .. } => Some((addr.normalize(), width, false)),
+            ArmInstr::Str { addr, width, .. } => Some((addr.normalize(), width, true)),
+            _ => None,
+        }
+    }
+
+    /// The immediate operands appearing in the instruction (data
+    /// immediates, not address offsets/scales).
+    pub fn immediates(&self) -> Vec<i64> {
+        match *self {
+            ArmInstr::Dp { op2: Operand2::Imm(v), .. } => vec![v as i64],
+            _ => vec![],
+        }
+    }
+
+    /// A small stable numeric id of the opcode *kind*, used by the rule
+    /// hash (the paper keys rules on the arithmetic mean of guest
+    /// opcodes).
+    pub fn opcode_id(&self) -> u32 {
+        match *self {
+            ArmInstr::Dp { op, .. } => 1 + op as u32,
+            ArmInstr::Mul { .. } => 20,
+            ArmInstr::Ldr { width, signed, .. } => {
+                21 + match (width, signed) {
+                    (Width::W32, _) => 0,
+                    (Width::W16, false) => 1,
+                    (Width::W16, true) => 2,
+                    (Width::W8, false) => 3,
+                    (Width::W8, true) => 4,
+                }
+            }
+            ArmInstr::Str { width, .. } => {
+                26 + match width {
+                    Width::W32 => 0,
+                    Width::W16 => 1,
+                    Width::W8 => 2,
+                }
+            }
+            ArmInstr::B { .. } => 29,
+            ArmInstr::Bl { .. } => 30,
+            ArmInstr::Bx { .. } => 31,
+            ArmInstr::Svc { .. } => 32,
+        }
+    }
+}
+
+impl fmt::Display for ArmInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.cond();
+        match *self {
+            ArmInstr::Dp { op, rd, rn, op2, set_flags, .. } => {
+                let s = if set_flags && !op.is_compare() { "s" } else { "" };
+                if op.is_compare() {
+                    write!(f, "{}{c} {rn}, {op2}", op.mnemonic())
+                } else if op.is_move() {
+                    write!(f, "{}{s}{c} {rd}, {op2}", op.mnemonic())
+                } else {
+                    write!(f, "{}{s}{c} {rd}, {rn}, {op2}", op.mnemonic())
+                }
+            }
+            ArmInstr::Mul { rd, rn, rm, set_flags, .. } => {
+                let s = if set_flags { "s" } else { "" };
+                write!(f, "mul{s}{c} {rd}, {rn}, {rm}")
+            }
+            ArmInstr::Ldr { rt, addr, width, signed, .. } => {
+                let suffix = match (width, signed) {
+                    (Width::W32, _) => "",
+                    (Width::W16, false) => "h",
+                    (Width::W16, true) => "sh",
+                    (Width::W8, false) => "b",
+                    (Width::W8, true) => "sb",
+                };
+                write!(f, "ldr{suffix}{c} {rt}, {addr}")
+            }
+            ArmInstr::Str { rt, addr, width, .. } => {
+                let suffix = match width {
+                    Width::W32 => "",
+                    Width::W16 => "h",
+                    Width::W8 => "b",
+                };
+                write!(f, "str{suffix}{c} {rt}, {addr}")
+            }
+            ArmInstr::B { offset, .. } => write!(f, "b{c} #{offset}"),
+            ArmInstr::Bl { offset, .. } => write!(f, "bl{c} #{offset}"),
+            ArmInstr::Bx { rm, .. } => write!(f, "bx{c} {rm}"),
+            ArmInstr::Svc { imm, .. } => write!(f, "svc{c} #{imm}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let i = ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Reg(ArmReg::R0));
+        assert_eq!(i.to_string(), "add r1, r1, r0");
+        let i = ArmInstr::dps(DpOp::Sub, ArmReg::R0, ArmReg::R2, Operand2::Imm(1));
+        assert_eq!(i.to_string(), "subs r0, r2, #1");
+        let i = ArmInstr::cmp(ArmReg::R2, Operand2::Reg(ArmReg::R3));
+        assert_eq!(i.to_string(), "cmp r2, r3");
+        let i = ArmInstr::mov(ArmReg::R5, Operand2::RegShift(ArmReg::R1, Shift::Lsl(2)));
+        assert_eq!(i.to_string(), "mov r5, r1, lsl #2");
+        let i = ArmInstr::ldr(ArmReg::R0, AddrMode::Imm(ArmReg::R0, -4));
+        assert_eq!(i.to_string(), "ldr r0, [r0, #-4]");
+        let i = ArmInstr::Ldr {
+            rt: ArmReg::R1,
+            addr: AddrMode::RegShift(ArmReg::R2, ArmReg::R3, 2),
+            width: Width::W8,
+            signed: true,
+            cond: Cond::Al,
+        };
+        assert_eq!(i.to_string(), "ldrsb r1, [r2, r3, lsl #2]");
+        let i = ArmInstr::B { offset: -3, cond: Cond::Ne };
+        assert_eq!(i.to_string(), "bne #-3");
+    }
+
+    #[test]
+    fn predication_detection() {
+        let mut i = ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Imm(1));
+        assert!(!i.is_predicated());
+        if let ArmInstr::Dp { ref mut cond, .. } = i {
+            *cond = Cond::Eq;
+        }
+        assert!(i.is_predicated());
+        // Conditional branches are not "predicated".
+        let b = ArmInstr::B { offset: 0, cond: Cond::Eq };
+        assert!(!b.is_predicated());
+        let bx = ArmInstr::Bx { rm: ArmReg::Lr, cond: Cond::Eq };
+        assert!(bx.is_predicated());
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let i = ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R2, Operand2::Reg(ArmReg::R3));
+        assert_eq!(i.def(), Some(ArmReg::R1));
+        assert_eq!(i.uses(), vec![ArmReg::R2, ArmReg::R3]);
+
+        let i = ArmInstr::cmp(ArmReg::R2, Operand2::Imm(5));
+        assert_eq!(i.def(), None);
+        assert_eq!(i.uses(), vec![ArmReg::R2]);
+
+        let i = ArmInstr::mov(ArmReg::R1, Operand2::Reg(ArmReg::R9));
+        assert_eq!(i.uses(), vec![ArmReg::R9]);
+
+        let i = ArmInstr::str(ArmReg::R1, AddrMode::Reg(ArmReg::R6, ArmReg::R7));
+        assert_eq!(i.def(), None);
+        assert_eq!(i.uses(), vec![ArmReg::R1, ArmReg::R6, ArmReg::R7]);
+
+        let i = ArmInstr::Bl { offset: 4, cond: Cond::Al };
+        assert_eq!(i.def(), Some(ArmReg::Lr));
+        assert!(i.is_call());
+    }
+
+    #[test]
+    fn flags_written_masks() {
+        let adds = ArmInstr::dps(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Imm(1));
+        assert_eq!(adds.flags_written(), 0b1111);
+        let ands = ArmInstr::dps(DpOp::And, ArmReg::R0, ArmReg::R0, Operand2::Imm(1));
+        assert_eq!(ands.flags_written(), 0b1100);
+        let ands_shift = ArmInstr::dps(
+            DpOp::And,
+            ArmReg::R0,
+            ArmReg::R0,
+            Operand2::RegShift(ArmReg::R1, Shift::Lsr(3)),
+        );
+        assert_eq!(ands_shift.flags_written(), 0b1110);
+        let add = ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Imm(1));
+        assert_eq!(add.flags_written(), 0);
+    }
+
+    #[test]
+    fn flags_read_includes_carry_in() {
+        let adc = ArmInstr::dp(DpOp::Adc, ArmReg::R0, ArmReg::R1, Operand2::Reg(ArmReg::R2));
+        assert_eq!(adc.flags_read(), 0b0010);
+        let beq = ArmInstr::B { offset: 0, cond: Cond::Eq };
+        assert_eq!(beq.flags_read(), 0b0100);
+    }
+
+    #[test]
+    fn normalize_addressing_modes() {
+        let a = AddrMode::RegShift(ArmReg::R1, ArmReg::R0, 2).normalize();
+        assert_eq!(a.base, Some(ArmReg::R1));
+        assert_eq!(a.index, Some((ArmReg::R0, Scale::Shl(2))));
+        assert_eq!(a.offset, 0);
+        let a = AddrMode::Imm(ArmReg::R0, -4).normalize();
+        assert_eq!(a.offset, -4);
+        assert_eq!(a.reg_count(), 1);
+    }
+
+    #[test]
+    fn opcode_ids_are_distinct_per_kind() {
+        use std::collections::HashSet;
+        let mut ids = HashSet::new();
+        for op in DpOp::ALL {
+            assert!(ids.insert(ArmInstr::dp(op, ArmReg::R0, ArmReg::R1, Operand2::Imm(0)).opcode_id()));
+        }
+        assert!(ids.insert(ArmInstr::Mul {
+            rd: ArmReg::R0,
+            rn: ArmReg::R1,
+            rm: ArmReg::R2,
+            set_flags: false,
+            cond: Cond::Al
+        }
+        .opcode_id()));
+        assert!(ids.insert(ArmInstr::ldr(ArmReg::R0, AddrMode::Imm(ArmReg::R1, 0)).opcode_id()));
+        assert!(ids.insert(ArmInstr::str(ArmReg::R0, AddrMode::Imm(ArmReg::R1, 0)).opcode_id()));
+        assert!(ids.insert(ArmInstr::B { offset: 0, cond: Cond::Al }.opcode_id()));
+        assert!(ids.insert(ArmInstr::Bl { offset: 0, cond: Cond::Al }.opcode_id()));
+        assert!(ids.insert(ArmInstr::Bx { rm: ArmReg::Lr, cond: Cond::Al }.opcode_id()));
+        assert!(ids.insert(ArmInstr::Svc { imm: 0, cond: Cond::Al }.opcode_id()));
+    }
+
+    #[test]
+    fn block_end_classification() {
+        assert!(ArmInstr::B { offset: 0, cond: Cond::Al }.is_block_end());
+        assert!(ArmInstr::Svc { imm: 0, cond: Cond::Al }.is_block_end());
+        assert!(!ArmInstr::mov(ArmReg::R0, Operand2::Imm(1)).is_block_end());
+        assert!(ArmInstr::Bx { rm: ArmReg::Lr, cond: Cond::Al }.is_indirect_branch());
+    }
+}

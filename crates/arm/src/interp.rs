@@ -1,0 +1,395 @@
+//! Concrete interpreter for the ARM subset.
+//!
+//! [`ArmState`] executes individual decoded instructions;
+//! [`ArmMachine`] adds instruction fetch from memory and a run loop, and
+//! serves as the *golden reference model*: the DBT's translated host code
+//! must leave the guest-visible state identical to what this interpreter
+//! computes.
+
+use crate::encode::{decode, DecodeArmError};
+use crate::flags::Flags;
+use crate::insn::{AddrMode, ArmInstr, Operand2, Shift};
+use crate::reg::ArmReg;
+use crate::semantics::{eval_dp, eval_shift};
+use ldbt_isa::{bits, Memory, Width};
+use std::fmt;
+
+/// The guest-visible architectural state.
+#[derive(Debug, Clone, Default)]
+pub struct ArmState {
+    /// The 16 general registers (`regs[15]` is the PC).
+    pub regs: [u32; 16],
+    /// The NZCV flags.
+    pub flags: Flags,
+    /// Guest memory.
+    pub mem: Memory,
+}
+
+/// The control-flow outcome of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArmEvent {
+    /// Fall through to the next instruction.
+    Next,
+    /// Relative branch taken: word offset from the *next* instruction.
+    Branch(i32),
+    /// Call (`bl`): like [`ArmEvent::Branch`] but `lr` was written.
+    Call(i32),
+    /// Indirect branch to an absolute byte address.
+    Indirect(u32),
+    /// `svc` executed; payload is the immediate (0 = program exit).
+    Syscall(u32),
+}
+
+impl ArmState {
+    /// A zeroed state.
+    pub fn new() -> Self {
+        ArmState::default()
+    }
+
+    /// Read a register.
+    pub fn reg(&self, r: ArmReg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Write a register.
+    pub fn set_reg(&mut self, r: ArmReg, v: u32) {
+        self.regs[r.index()] = v;
+    }
+
+    fn operand2(&self, op2: Operand2) -> (u32, bool) {
+        match op2 {
+            Operand2::Imm(v) => (v, self.flags.c),
+            Operand2::Reg(r) => (self.reg(r), self.flags.c),
+            Operand2::RegShift(r, s) => eval_shift(self.reg(r), Some(s), self.flags.c),
+        }
+    }
+
+    /// The effective byte address of an addressing mode.
+    pub fn effective_addr(&self, addr: AddrMode) -> u32 {
+        match addr {
+            AddrMode::Imm(rn, off) => self.reg(rn).wrapping_add(off as u32),
+            AddrMode::Reg(rn, rm) => self.reg(rn).wrapping_add(self.reg(rm)),
+            AddrMode::RegShift(rn, rm, s) => {
+                let (idx, _) = eval_shift(self.reg(rm), Some(Shift::Lsl(s)), false);
+                self.reg(rn).wrapping_add(idx)
+            }
+        }
+    }
+
+    /// Execute one decoded instruction against this state.
+    ///
+    /// Predicated instructions whose condition fails are no-ops that
+    /// return [`ArmEvent::Next`]. The PC register is *not* advanced here;
+    /// the caller owns control flow.
+    pub fn exec(&mut self, instr: &ArmInstr) -> ArmEvent {
+        if !instr.cond().eval(self.flags) {
+            return ArmEvent::Next;
+        }
+        match *instr {
+            ArmInstr::Dp { op, rd, rn, op2, set_flags, .. } => {
+                let (b, shifter_carry) = self.operand2(op2);
+                let a = if op.is_move() { 0 } else { self.reg(rn) };
+                let r = eval_dp(op, a, b, shifter_carry, self.flags);
+                if set_flags {
+                    self.flags = r.flags;
+                }
+                if !op.is_compare() {
+                    self.set_reg(rd, r.value);
+                }
+                ArmEvent::Next
+            }
+            ArmInstr::Mul { rd, rn, rm, set_flags, .. } => {
+                let v = self.reg(rn).wrapping_mul(self.reg(rm));
+                self.set_reg(rd, v);
+                if set_flags {
+                    self.flags.set_nz(v);
+                }
+                ArmEvent::Next
+            }
+            ArmInstr::Ldr { rt, addr, width, signed, .. } => {
+                let a = self.effective_addr(addr);
+                let raw = self.mem.read(a, width);
+                let v = if signed && width != Width::W32 {
+                    bits::sign_extend(raw as u64, width) as u32
+                } else {
+                    raw
+                };
+                self.set_reg(rt, v);
+                ArmEvent::Next
+            }
+            ArmInstr::Str { rt, addr, width, .. } => {
+                let a = self.effective_addr(addr);
+                self.mem.write(a, self.reg(rt), width);
+                ArmEvent::Next
+            }
+            ArmInstr::B { offset, .. } => ArmEvent::Branch(offset),
+            ArmInstr::Bl { offset, .. } => ArmEvent::Call(offset),
+            ArmInstr::Bx { rm, .. } => ArmEvent::Indirect(self.reg(rm)),
+            ArmInstr::Svc { imm, .. } => ArmEvent::Syscall(imm),
+        }
+    }
+}
+
+/// Why an [`ArmMachine`] run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArmStop {
+    /// `svc #0` executed — normal program exit.
+    Halt,
+    /// The step budget was exhausted.
+    OutOfFuel,
+    /// Instruction fetch hit an undecodable word.
+    Decode(DecodeArmError),
+}
+
+impl fmt::Display for ArmStop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArmStop::Halt => write!(f, "halted"),
+            ArmStop::OutOfFuel => write!(f, "out of fuel"),
+            ArmStop::Decode(e) => write!(f, "decode fault: {e}"),
+        }
+    }
+}
+
+/// A fetch–decode–execute machine over guest memory.
+///
+/// ```
+/// use ldbt_arm::{encode::assemble, ArmInstr, ArmMachine, ArmReg, Cond, DpOp, Operand2};
+///
+/// // r0 = 2 + 3
+/// let prog = assemble(&[
+///     ArmInstr::mov(ArmReg::R0, Operand2::Imm(2)),
+///     ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Imm(3)),
+///     ArmInstr::Svc { imm: 0, cond: Cond::Al },
+/// ]).unwrap();
+/// let mut m = ArmMachine::new();
+/// m.load(0x1000, &prog);
+/// m.state.regs[15] = 0x1000;
+/// m.run(100);
+/// assert_eq!(m.state.reg(ArmReg::R0), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ArmMachine {
+    /// The architectural state (PC in `regs[15]`).
+    pub state: ArmState,
+    /// Dynamic guest instructions executed.
+    pub steps: u64,
+}
+
+impl ArmMachine {
+    /// A machine with zeroed state.
+    pub fn new() -> Self {
+        ArmMachine::default()
+    }
+
+    /// Copy a program image into guest memory at `addr`.
+    pub fn load(&mut self, addr: u32, image: &[u8]) {
+        self.state.mem.write_bytes(addr, image);
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.state.regs[15]
+    }
+
+    /// Execute one instruction at the current PC.
+    ///
+    /// Returns the event; updates PC for all events except
+    /// [`ArmEvent::Syscall`] with immediate 0 (halt leaves PC at the
+    /// `svc`).
+    pub fn step(&mut self) -> Result<ArmEvent, DecodeArmError> {
+        let pc = self.pc();
+        let word = self.state.mem.read(pc, Width::W32);
+        let instr = decode(word)?;
+        let event = self.state.exec(&instr);
+        self.steps += 1;
+        let next = pc.wrapping_add(4);
+        match event {
+            ArmEvent::Next => self.state.regs[15] = next,
+            ArmEvent::Branch(off) => {
+                self.state.regs[15] = next.wrapping_add((off as u32).wrapping_mul(4));
+            }
+            ArmEvent::Call(off) => {
+                self.state.set_reg(ArmReg::Lr, next);
+                self.state.regs[15] = next.wrapping_add((off as u32).wrapping_mul(4));
+            }
+            ArmEvent::Indirect(addr) => self.state.regs[15] = addr,
+            ArmEvent::Syscall(imm) => {
+                if imm != 0 {
+                    self.state.regs[15] = next;
+                }
+            }
+        }
+        Ok(event)
+    }
+
+    /// Run until halt, decode fault, or `fuel` instructions.
+    pub fn run(&mut self, fuel: u64) -> ArmStop {
+        for _ in 0..fuel {
+            match self.step() {
+                Ok(ArmEvent::Syscall(0)) => return ArmStop::Halt,
+                Ok(_) => {}
+                Err(e) => return ArmStop::Decode(e),
+            }
+        }
+        ArmStop::OutOfFuel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::encode::assemble;
+    use crate::insn::DpOp;
+
+    fn machine(prog: &[ArmInstr]) -> ArmMachine {
+        let mut m = ArmMachine::new();
+        m.load(0x1000, &assemble(prog).unwrap());
+        m.state.regs[15] = 0x1000;
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let mut m = machine(&[
+            ArmInstr::mov(ArmReg::R0, Operand2::Imm(7)),
+            ArmInstr::dps(DpOp::Sub, ArmReg::R1, ArmReg::R0, Operand2::Imm(7)),
+            ArmInstr::Svc { imm: 0, cond: Cond::Al },
+        ]);
+        assert_eq!(m.run(10), ArmStop::Halt);
+        assert_eq!(m.state.reg(ArmReg::R1), 0);
+        assert!(m.state.flags.z);
+        assert!(m.state.flags.c); // no borrow
+        assert_eq!(m.steps, 3);
+    }
+
+    #[test]
+    fn predicated_instruction_skipped() {
+        let mut m = machine(&[
+            ArmInstr::cmp(ArmReg::R0, Operand2::Imm(1)), // 0 < 1 → NE
+            ArmInstr::Dp {
+                op: DpOp::Mov,
+                rd: ArmReg::R2,
+                rn: ArmReg::R0,
+                op2: Operand2::Imm(9),
+                set_flags: false,
+                cond: Cond::Eq, // fails
+            },
+            ArmInstr::Dp {
+                op: DpOp::Mov,
+                rd: ArmReg::R3,
+                rn: ArmReg::R0,
+                op2: Operand2::Imm(8),
+                set_flags: false,
+                cond: Cond::Ne, // succeeds
+            },
+            ArmInstr::Svc { imm: 0, cond: Cond::Al },
+        ]);
+        assert_eq!(m.run(10), ArmStop::Halt);
+        assert_eq!(m.state.reg(ArmReg::R2), 0);
+        assert_eq!(m.state.reg(ArmReg::R3), 8);
+    }
+
+    #[test]
+    fn loop_with_branch() {
+        // r0 = 5; r1 = 0; do { r1 += r0; r0 -= 1 } while (r0 != 0)
+        let mut m = machine(&[
+            ArmInstr::mov(ArmReg::R0, Operand2::Imm(5)),
+            ArmInstr::mov(ArmReg::R1, Operand2::Imm(0)),
+            ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Reg(ArmReg::R0)),
+            ArmInstr::dps(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(1)),
+            ArmInstr::B { offset: -3, cond: Cond::Ne },
+            ArmInstr::Svc { imm: 0, cond: Cond::Al },
+        ]);
+        assert_eq!(m.run(100), ArmStop::Halt);
+        assert_eq!(m.state.reg(ArmReg::R1), 15);
+        assert_eq!(m.state.reg(ArmReg::R0), 0);
+    }
+
+    #[test]
+    fn memory_and_scaled_addressing() {
+        let mut m = machine(&[
+            // r1 = base, r0 = index
+            ArmInstr::str(ArmReg::R2, AddrMode::RegShift(ArmReg::R1, ArmReg::R0, 2)),
+            ArmInstr::ldr(ArmReg::R3, AddrMode::RegShift(ArmReg::R1, ArmReg::R0, 2)),
+            ArmInstr::Svc { imm: 0, cond: Cond::Al },
+        ]);
+        m.state.set_reg(ArmReg::R1, 0x8000);
+        m.state.set_reg(ArmReg::R0, 3);
+        m.state.set_reg(ArmReg::R2, 0xcafe_f00d);
+        assert_eq!(m.run(10), ArmStop::Halt);
+        assert_eq!(m.state.mem.read(0x8000 + 12, Width::W32), 0xcafe_f00d);
+        assert_eq!(m.state.reg(ArmReg::R3), 0xcafe_f00d);
+    }
+
+    #[test]
+    fn signed_byte_load() {
+        let mut m = machine(&[
+            ArmInstr::Ldr {
+                rt: ArmReg::R0,
+                addr: AddrMode::Imm(ArmReg::R1, 0),
+                width: Width::W8,
+                signed: true,
+                cond: Cond::Al,
+            },
+            ArmInstr::Ldr {
+                rt: ArmReg::R2,
+                addr: AddrMode::Imm(ArmReg::R1, 0),
+                width: Width::W8,
+                signed: false,
+                cond: Cond::Al,
+            },
+            ArmInstr::Svc { imm: 0, cond: Cond::Al },
+        ]);
+        m.state.set_reg(ArmReg::R1, 0x9000);
+        m.state.mem.write_u8(0x9000, 0x80);
+        assert_eq!(m.run(10), ArmStop::Halt);
+        assert_eq!(m.state.reg(ArmReg::R0), 0xffff_ff80);
+        assert_eq!(m.state.reg(ArmReg::R2), 0x80);
+    }
+
+    #[test]
+    fn call_and_return() {
+        // main: bl f; svc    f: mov r0, #42; bx lr
+        let mut m = machine(&[
+            ArmInstr::Bl { offset: 1, cond: Cond::Al }, // to index 2
+            ArmInstr::Svc { imm: 0, cond: Cond::Al },
+            ArmInstr::mov(ArmReg::R0, Operand2::Imm(42)),
+            ArmInstr::Bx { rm: ArmReg::Lr, cond: Cond::Al },
+        ]);
+        assert_eq!(m.run(10), ArmStop::Halt);
+        assert_eq!(m.state.reg(ArmReg::R0), 42);
+        assert_eq!(m.state.reg(ArmReg::Lr), 0x1004);
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut m = machine(&[ArmInstr::B { offset: -2, cond: Cond::Al }]);
+        assert_eq!(m.run(10), ArmStop::OutOfFuel);
+        assert_eq!(m.steps, 10);
+    }
+
+    #[test]
+    fn decode_fault_stops() {
+        let mut m = ArmMachine::new();
+        m.state.mem.write(0x1000, 0xf000_0000, Width::W32);
+        m.state.regs[15] = 0x1000;
+        assert!(matches!(m.run(10), ArmStop::Decode(_)));
+    }
+
+    #[test]
+    fn mul_sets_nz_only() {
+        let mut m = machine(&[
+            ArmInstr::Mul { rd: ArmReg::R0, rn: ArmReg::R1, rm: ArmReg::R2, set_flags: true, cond: Cond::Al },
+            ArmInstr::Svc { imm: 0, cond: Cond::Al },
+        ]);
+        m.state.set_reg(ArmReg::R1, 0x10000);
+        m.state.set_reg(ArmReg::R2, 0x10000); // product wraps to 0
+        m.state.flags.c = true;
+        assert_eq!(m.run(10), ArmStop::Halt);
+        assert_eq!(m.state.reg(ArmReg::R0), 0);
+        assert!(m.state.flags.z);
+        assert!(m.state.flags.c, "C preserved by mul");
+    }
+}

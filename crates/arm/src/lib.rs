@@ -1,0 +1,47 @@
+#![forbid(unsafe_code)]
+//! The guest instruction set: a 32-bit ARM-flavored RISC ISA.
+//!
+//! This crate models the guest side of the paper's ARM→x86 translation
+//! pipeline. It is a faithful *subset* of ARMv7's integer ISA — a
+//! load/store architecture with:
+//!
+//! * 16 general registers (`r0`–`r12`, `sp`, `lr`, `pc`),
+//! * NZCV condition flags and fully predicated data-processing
+//!   instructions,
+//! * flexible second operands (`add r0, r1, r2, lsl #2`),
+//! * base+offset / base+index(+shift) addressing modes,
+//! * a fixed 32-bit instruction encoding with immediate-range limits
+//!   (the "host ISA specific constraints" of paper §5 when ARM is the
+//!   host).
+//!
+//! Provided components: the instruction type ([`ArmInstr`]), a binary
+//! encoder/decoder ([`encode`]), an assembly printer, shared semantic
+//! helpers ([`semantics`]) reused by the symbolic executor, and a concrete
+//! interpreter ([`interp`]) used both as the golden reference model and as
+//! the DBT's guest-architecture oracle in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use ldbt_arm::{ArmInstr, ArmReg, DpOp, Operand2};
+//!
+//! // add r1, r1, r0
+//! let i = ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Reg(ArmReg::R0));
+//! assert_eq!(i.to_string(), "add r1, r1, r0");
+//! let word = ldbt_arm::encode::encode(&i).unwrap();
+//! assert_eq!(ldbt_arm::encode::decode(word).unwrap(), i);
+//! ```
+
+pub mod cond;
+pub mod encode;
+pub mod flags;
+pub mod insn;
+pub mod interp;
+pub mod reg;
+pub mod semantics;
+
+pub use cond::Cond;
+pub use flags::Flags;
+pub use insn::{AddrMode, ArmInstr, DpOp, Operand2, Shift};
+pub use interp::{ArmEvent, ArmMachine, ArmState, ArmStop};
+pub use reg::ArmReg;

@@ -1,0 +1,104 @@
+//! ARM general-purpose registers.
+
+use std::fmt;
+
+/// One of the 16 ARM general registers.
+///
+/// `r13`/`r14`/`r15` carry their conventional roles (`sp`, `lr`, `pc`).
+/// The modeled subset never uses `pc` as a data operand; the decoder
+/// accepts it but the DBT front end rejects such instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum ArmReg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    Sp,
+    Lr,
+    Pc,
+}
+
+impl ArmReg {
+    /// All 16 registers in index order.
+    pub const ALL: [ArmReg; 16] = [
+        ArmReg::R0,
+        ArmReg::R1,
+        ArmReg::R2,
+        ArmReg::R3,
+        ArmReg::R4,
+        ArmReg::R5,
+        ArmReg::R6,
+        ArmReg::R7,
+        ArmReg::R8,
+        ArmReg::R9,
+        ArmReg::R10,
+        ArmReg::R11,
+        ArmReg::R12,
+        ArmReg::Sp,
+        ArmReg::Lr,
+        ArmReg::Pc,
+    ];
+
+    /// The register's architectural index (0–15).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The register with the given architectural index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    pub fn from_index(index: usize) -> ArmReg {
+        Self::ALL[index]
+    }
+}
+
+impl fmt::Display for ArmReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArmReg::Sp => write!(f, "sp"),
+            ArmReg::Lr => write!(f, "lr"),
+            ArmReg::Pc => write!(f, "pc"),
+            r => write!(f, "r{}", r.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, r) in ArmReg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(ArmReg::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ArmReg::R0.to_string(), "r0");
+        assert_eq!(ArmReg::R12.to_string(), "r12");
+        assert_eq!(ArmReg::Sp.to_string(), "sp");
+        assert_eq!(ArmReg::Lr.to_string(), "lr");
+        assert_eq!(ArmReg::Pc.to_string(), "pc");
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_out_of_range_panics() {
+        let _ = ArmReg::from_index(16);
+    }
+}

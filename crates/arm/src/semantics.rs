@@ -1,0 +1,212 @@
+//! Pure, reusable definitions of ARM data-processing semantics.
+//!
+//! These helpers are the single source of truth for how each instruction
+//! transforms values and flags. The concrete interpreter calls them with
+//! `u32` values; the symbolic executor mirrors them structurally over
+//! bit-vector terms, and the cross-checking property tests in
+//! `ldbt-symexec` verify that both agree on random inputs.
+
+use crate::flags::Flags;
+use crate::insn::{DpOp, Shift};
+use ldbt_isa::bits;
+
+/// Result of evaluating the shifter: the shifted value and the carry-out.
+///
+/// With no shift, carry-out is the incoming carry (i.e. preserved).
+pub fn eval_shift(value: u32, shift: Option<Shift>, carry_in: bool) -> (u32, bool) {
+    match shift {
+        None => (value, carry_in),
+        Some(Shift::Lsl(a)) => {
+            let a = a as u32 & 31;
+            if a == 0 {
+                (value, carry_in)
+            } else {
+                ((value << a), (value >> (32 - a)) & 1 != 0)
+            }
+        }
+        Some(Shift::Lsr(a)) => {
+            let a = a as u32 & 31;
+            if a == 0 {
+                (value, carry_in)
+            } else {
+                ((value >> a), (value >> (a - 1)) & 1 != 0)
+            }
+        }
+        Some(Shift::Asr(a)) => {
+            let a = a as u32 & 31;
+            if a == 0 {
+                (value, carry_in)
+            } else {
+                ((((value as i32) >> a) as u32), ((value as i32) >> (a - 1)) & 1 != 0)
+            }
+        }
+        Some(Shift::Ror(a)) => {
+            let a = a as u32 & 31;
+            if a == 0 {
+                (value, carry_in)
+            } else {
+                let r = value.rotate_right(a);
+                (r, (r >> 31) != 0)
+            }
+        }
+    }
+}
+
+/// The result of a data-processing ALU evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluResult {
+    /// The computed 32-bit value (for compares: the discarded result).
+    pub value: u32,
+    /// The flags *if* the instruction sets them.
+    pub flags: Flags,
+}
+
+/// Evaluate a data-processing operation.
+///
+/// `a` is the (first) source register value, `b` the evaluated second
+/// operand, `shifter_carry` the carry-out of the shifter, and `flags_in`
+/// the incoming flag state (consumed by `adc`/`sbc` and used for
+/// preserved bits).
+///
+/// The returned [`Flags`] follow ARM rules:
+/// * arithmetic ops set NZCV from the adder,
+/// * logical ops set NZ from the result and C from the shifter, keeping V,
+/// * `mov`/`mvn` behave as logical ops.
+pub fn eval_dp(op: DpOp, a: u32, b: u32, shifter_carry: bool, flags_in: Flags) -> AluResult {
+    let c_in = flags_in.c;
+    let (value, c, v) = match op {
+        DpOp::And | DpOp::Tst => (a & b, shifter_carry, flags_in.v),
+        DpOp::Eor | DpOp::Teq => (a ^ b, shifter_carry, flags_in.v),
+        DpOp::Orr => (a | b, shifter_carry, flags_in.v),
+        DpOp::Bic => (a & !b, shifter_carry, flags_in.v),
+        DpOp::Mov => (b, shifter_carry, flags_in.v),
+        DpOp::Mvn => (!b, shifter_carry, flags_in.v),
+        DpOp::Add => (
+            a.wrapping_add(b),
+            bits::add_carry32(a, b, false),
+            bits::add_overflow32(a, b, false),
+        ),
+        DpOp::Adc => (
+            a.wrapping_add(b).wrapping_add(c_in as u32),
+            bits::add_carry32(a, b, c_in),
+            bits::add_overflow32(a, b, c_in),
+        ),
+        DpOp::Sub | DpOp::Cmp => (
+            a.wrapping_sub(b),
+            bits::sub_carry32_arm(a, b, true),
+            bits::sub_overflow32(a, b),
+        ),
+        DpOp::Sbc => {
+            let r = a.wrapping_sub(b).wrapping_sub(!c_in as u32);
+            (
+                r,
+                bits::sub_carry32_arm(a, b, c_in),
+                // V for sbc: overflow of a - b - borrow.
+                {
+                    let full = (a as i32 as i64) - (b as i32 as i64) - (!c_in as i64);
+                    full < i32::MIN as i64 || full > i32::MAX as i64
+                },
+            )
+        }
+        DpOp::Rsb => (
+            b.wrapping_sub(a),
+            bits::sub_carry32_arm(b, a, true),
+            bits::sub_overflow32(b, a),
+        ),
+        DpOp::Cmn => (
+            a.wrapping_add(b),
+            bits::add_carry32(a, b, false),
+            bits::add_overflow32(a, b, false),
+        ),
+    };
+    let mut flags = Flags { c, v, ..flags_in };
+    flags.set_nz(value);
+    AluResult { value, flags }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifter_lsl() {
+        assert_eq!(eval_shift(1, Some(Shift::Lsl(4)), false), (16, false));
+        assert_eq!(eval_shift(0x8000_0001, Some(Shift::Lsl(1)), false), (2, true));
+        // No shift preserves carry.
+        assert_eq!(eval_shift(7, None, true), (7, true));
+    }
+
+    #[test]
+    fn shifter_lsr_asr_ror() {
+        assert_eq!(eval_shift(0b110, Some(Shift::Lsr(1)), false), (0b11, false));
+        assert_eq!(eval_shift(0b111, Some(Shift::Lsr(1)), false), (0b11, true));
+        assert_eq!(eval_shift(0x8000_0000, Some(Shift::Asr(4)), false), (0xf800_0000, false));
+        assert_eq!(eval_shift(0x8000_0008, Some(Shift::Asr(4)), false), (0xf800_0000, true));
+        let (r, c) = eval_shift(0x0000_0001, Some(Shift::Ror(1)), false);
+        assert_eq!(r, 0x8000_0000);
+        assert!(c);
+    }
+
+    #[test]
+    fn dp_add_sub_values() {
+        let f = Flags::new();
+        assert_eq!(eval_dp(DpOp::Add, 2, 3, false, f).value, 5);
+        assert_eq!(eval_dp(DpOp::Sub, 2, 3, false, f).value, u32::MAX);
+        assert_eq!(eval_dp(DpOp::Rsb, 2, 3, false, f).value, 1);
+        assert_eq!(eval_dp(DpOp::Mvn, 0, 0, false, f).value, u32::MAX);
+    }
+
+    #[test]
+    fn dp_carry_chain() {
+        // adc with carry set adds one extra.
+        let f = Flags { c: true, ..Flags::new() };
+        assert_eq!(eval_dp(DpOp::Adc, 1, 1, false, f).value, 3);
+        // sbc with carry set == plain sub.
+        assert_eq!(eval_dp(DpOp::Sbc, 5, 3, false, f).value, 2);
+        // sbc with carry clear subtracts an extra one.
+        let f0 = Flags::new();
+        assert_eq!(eval_dp(DpOp::Sbc, 5, 3, false, f0).value, 1);
+    }
+
+    #[test]
+    fn dp_cmp_flags_match_sub() {
+        let f = Flags::new();
+        let cmp = eval_dp(DpOp::Cmp, 3, 5, false, f);
+        let sub = eval_dp(DpOp::Sub, 3, 5, false, f);
+        assert_eq!(cmp.flags, sub.flags);
+        assert!(cmp.flags.n);
+        assert!(!cmp.flags.c); // borrow occurred
+    }
+
+    #[test]
+    fn logical_ops_preserve_v_and_use_shifter_carry() {
+        let f = Flags { v: true, c: false, ..Flags::new() };
+        let r = eval_dp(DpOp::And, 0xff, 0x0f, true, f);
+        assert_eq!(r.value, 0x0f);
+        assert!(r.flags.v, "V preserved");
+        assert!(r.flags.c, "C from shifter");
+        assert!(!r.flags.n);
+        assert!(!r.flags.z);
+    }
+
+    #[test]
+    fn sbc_overflow() {
+        // i32::MIN - 1 (carry set → plain subtract) overflows.
+        let f = Flags { c: true, ..Flags::new() };
+        let r = eval_dp(DpOp::Sbc, i32::MIN as u32, 1, false, f);
+        assert!(r.flags.v);
+        assert_eq!(r.value, i32::MAX as u32);
+    }
+
+    #[test]
+    fn exhaustive_small_sub_carry_polarity() {
+        // ARM carry after cmp a,b is a >= b (unsigned).
+        for a in 0..64u32 {
+            for b in 0..64u32 {
+                let r = eval_dp(DpOp::Cmp, a, b, false, Flags::new());
+                assert_eq!(r.flags.c, a >= b, "a={a} b={b}");
+                assert_eq!(r.flags.z, a == b);
+            }
+        }
+    }
+}

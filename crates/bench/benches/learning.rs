@@ -1,0 +1,38 @@
+//! Criterion benchmarks for the rule-learning pipeline (Table 1's
+//! time column) and rule lookup (paper §4's hash scheme).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldbt_compiler::Options;
+use ldbt_learn::pipeline::learn_from_source;
+use ldbt_workloads::{benchmark, source, Workload};
+use std::hint::black_box;
+
+fn bench_learning(c: &mut Criterion) {
+    let mcf = source(benchmark("mcf").unwrap(), Workload::Ref);
+    c.bench_function("learn_rules/mcf", |b| {
+        b.iter(|| learn_from_source("mcf", black_box(&mcf), &Options::o2()).unwrap())
+    });
+    let libq = source(benchmark("libquantum").unwrap(), Workload::Ref);
+    c.bench_function("learn_rules/libquantum", |b| {
+        b.iter(|| learn_from_source("libquantum", black_box(&libq), &Options::o2()).unwrap())
+    });
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    use ldbt_arm::{ArmInstr, ArmReg, Cond, DpOp, Operand2};
+    let report =
+        learn_from_source("gcc", &source(benchmark("gcc").unwrap(), Workload::Ref), &Options::o2())
+            .unwrap();
+    let rules = report.rules;
+    let seq = [
+        ArmInstr::cmp(ArmReg::R6, Operand2::Reg(ArmReg::R4)),
+        ArmInstr::B { offset: 1, cond: Cond::Lt },
+    ];
+    c.bench_function("rule_lookup/hash", |b| b.iter(|| rules.lookup(black_box(&seq))));
+    c.bench_function("rule_lookup/linear", |b| {
+        b.iter(|| rules.lookup_linear(black_box(&seq)))
+    });
+}
+
+criterion_group!(benches, bench_learning, bench_lookup);
+criterion_main!(benches);

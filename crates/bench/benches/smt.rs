@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the SMT substrate (the verification step the
+//! paper measures as ~95% of learning time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldbt_smt::{check_equiv, term::TermPool};
+use std::hint::black_box;
+
+fn bench_equiv(c: &mut Criterion) {
+    c.bench_function("equiv/syntactic_lea", |b| {
+        b.iter(|| {
+            let mut p = TermPool::new();
+            let x = p.var("x", 32);
+            let y = p.var("y", 32);
+            let imm = p.var("imm", 32);
+            let s = p.add(x, y);
+            let guest = p.sub(s, imm);
+            let ni = p.neg(imm);
+            let s2 = p.add(y, x);
+            let host = p.add(s2, ni);
+            black_box(check_equiv(&mut p, guest, host).is_proved())
+        })
+    });
+    c.bench_function("equiv/sat_mul3", |b| {
+        b.iter(|| {
+            let mut p = TermPool::new();
+            let x = p.var("x", 16);
+            let three = p.constant(3, 16);
+            let lhs = p.mul(x, three);
+            let one = p.constant(1, 16);
+            let sh = p.shl(x, one);
+            let rhs = p.add(sh, x);
+            black_box(check_equiv(&mut p, lhs, rhs).is_proved())
+        })
+    });
+    c.bench_function("equiv/refuted_random", |b| {
+        b.iter(|| {
+            let mut p = TermPool::new();
+            let x = p.var("x", 32);
+            let one = p.constant(1, 32);
+            let y = p.add(x, one);
+            black_box(!check_equiv(&mut p, x, y).is_proved())
+        })
+    });
+}
+
+criterion_group!(benches, bench_equiv);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks for block translation and end-to-end emulation
+//! throughput under the three engines (the machinery behind Figs. 8–10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldbt_compiler::{link::build_arm_image, Options};
+use ldbt_core::experiment::{learn_all, loo_rules};
+use ldbt_dbt::engine::{RunOutcome, Translator};
+use ldbt_dbt::Engine;
+use ldbt_workloads::{benchmark, source, Workload};
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn bench_translation(c: &mut Criterion) {
+    let all = learn_all(&Options::o2()).unwrap();
+    let rules = Rc::new(loo_rules(&all, "mcf"));
+    let image =
+        build_arm_image(&source(benchmark("mcf").unwrap(), Workload::Test), &Options::o2())
+            .unwrap();
+    let mut g = c.benchmark_group("emulate_mcf_test");
+    g.sample_size(20);
+    g.bench_function("tcg", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(black_box(&image), Translator::Tcg);
+            assert_eq!(e.run(3_000_000_000), RunOutcome::Halted);
+            e.stats.exec.host_instrs
+        })
+    });
+    g.bench_function("rules", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(black_box(&image), Translator::Rules(Rc::clone(&rules)));
+            assert_eq!(e.run(3_000_000_000), RunOutcome::Halted);
+            e.stats.exec.host_instrs
+        })
+    });
+    g.bench_function("jit", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(black_box(&image), Translator::Jit);
+            assert_eq!(e.run(3_000_000_000), RunOutcome::Halted);
+            e.stats.exec.host_instrs
+        })
+    });
+    g.finish();
+
+    // Pure translation (no execution): decode+lower one hot block.
+    let mut mem = ldbt_isa::Memory::new();
+    image.load_into(&mut mem);
+    let pc = image.func_addrs[1].1;
+    let block = ldbt_dbt::tcg::decode_block(&mem, pc);
+    c.bench_function("translate_block/tcg", |b| {
+        b.iter(|| {
+            let t = ldbt_dbt::tcg::translate_block(black_box(&mem), black_box(&block));
+            ldbt_dbt::backend::lower_block(&t).len()
+        })
+    });
+    c.bench_function("translate_block/rules", |b| {
+        b.iter(|| {
+            ldbt_dbt::rules::lower_block_with_rules(black_box(&mem), black_box(&block), &rules)
+                .code
+                .len()
+        })
+    });
+    c.bench_function("translate_block/jit", |b| {
+        b.iter(|| {
+            let t = ldbt_dbt::tcg::translate_block(black_box(&mem), black_box(&block));
+            let o = ldbt_dbt::jit::optimize_block(&t);
+            ldbt_dbt::backend::lower_block(&o).len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

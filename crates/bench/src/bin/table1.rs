@@ -1,0 +1,56 @@
+//! Table 1: per-benchmark learning statistics.
+
+use ldbt_bench::{hr, learn_everything};
+use ldbt_core::experiment::table1;
+
+fn main() {
+    let all = learn_everything();
+    let rows = table1(&all);
+    println!("Table 1. Learning results (synthetic SPEC CINT2006 stand-ins)");
+    hr(118);
+    println!(
+        "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9} {:>9}",
+        "bench", "PL", "LoC", "CI", "PI", "MB", "Num", "Name", "FailG", "Rg", "Mm", "Br", "Other", "#Rules", "time(ms)", "ms/rule"
+    );
+    hr(118);
+    let mut tot = [0usize; 12];
+    for (b, lines, s) in &rows {
+        println!(
+            "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9.2} {:>9.3}",
+            b.name,
+            if b.cpp { "C++" } else { "C" },
+            lines,
+            s.prep_ci, s.prep_pi, s.prep_mb,
+            s.par_num, s.par_name, s.par_failg,
+            s.ver_rg, s.ver_mm, s.ver_br, s.ver_other,
+            s.rules,
+            s.learn_time.as_secs_f64() * 1e3,
+            if s.rules > 0 { s.learn_time.as_secs_f64() * 1e3 / s.rules as f64 } else { 0.0 },
+        );
+        for (i, v) in [
+            s.total, s.prep_ci, s.prep_pi, s.prep_mb, s.par_num, s.par_name, s.par_failg,
+            s.ver_rg, s.ver_mm, s.ver_br, s.ver_other, s.rules,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            tot[i] += v;
+        }
+    }
+    hr(118);
+    let total = tot[0] as f64;
+    println!(
+        "preparation failures: {:.0}%   parameterization failures: {:.0}%   verification failures: {:.0}%   yield: {:.0}%",
+        (tot[1] + tot[2] + tot[3]) as f64 / total * 100.0,
+        (tot[4] + tot[5] + tot[6]) as f64 / total * 100.0,
+        (tot[7] + tot[8] + tot[9] + tot[10]) as f64 / total * 100.0,
+        tot[11] as f64 / total * 100.0,
+    );
+    println!("(paper: 43% / 19% / 14% / 24% yield; verification dominates learning time)");
+    let verify_share: f64 = rows
+        .iter()
+        .map(|(_, _, s)| s.verify_time.as_secs_f64())
+        .sum::<f64>()
+        / rows.iter().map(|(_, _, s)| s.learn_time.as_secs_f64()).sum::<f64>();
+    println!("verification share of learning time: {:.0}% (paper: ~95%)", verify_share * 100.0);
+}

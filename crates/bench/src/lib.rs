@@ -1,0 +1,42 @@
+#![forbid(unsafe_code)]
+//! Experiment harness for the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! evaluation (run with `cargo run --release -p ldbt-bench --bin <name>`):
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `table1` | Table 1 — learning statistics per benchmark            |
+//! | `fig6`   | Figure 6 — rules learned vs optimization level         |
+//! | `fig7`   | Figure 7 — learning sensitivity demonstration          |
+//! | `fig8`   | Figure 8 — speedups, LLVM-style guest binaries         |
+//! | `fig9`   | Figure 9 — speedups, GCC-style guest binaries          |
+//! | `fig10`  | Figure 10 — dynamic host instructions removed          |
+//! | `fig11`  | Figure 11 — static/dynamic rule coverage               |
+//! | `fig12`  | Figure 12 — length distribution of hit rules           |
+//! | `ablations` | design-choice ablations called out in DESIGN.md     |
+//!
+//! The `benches/` directory holds Criterion micro-benchmarks for the
+//! pipeline stages (rule learning, rule lookup, block translation,
+//! engine throughput, SMT equivalence checking).
+
+use ldbt_core::experiment::ProgramRules;
+
+/// Pretty-print a horizontal rule.
+pub fn hr(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Format a slice of (label, value) pairs as an aligned table body.
+pub fn print_rows(rows: &[(String, String)]) {
+    let w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (l, v) in rows {
+        println!("{l:<w$}  {v}");
+    }
+}
+
+/// Shared preamble: learn from all suite programs, printing progress.
+pub fn learn_everything() -> Vec<ProgramRules> {
+    eprintln!("learning rules from the 12 suite programs (leave-one-out sets are assembled per target)...");
+    ldbt_core::experiment::learn_all(&ldbt_compiler::Options::o2()).expect("suite compiles")
+}

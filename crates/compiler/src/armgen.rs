@@ -1,0 +1,809 @@
+//! The ARM (guest) backend.
+//!
+//! Calling convention (AAPCS-flavored): arguments in `r0`–`r3`, result in
+//! `r0`, `lr` holds the return address (`bl`/`bx lr`), all allocatable
+//! registers caller-saved (live registers are saved around calls).
+//! `r11`/`r12` are reserved as scratch for spill traffic and large
+//! constants; `sp` addresses the frame.
+
+use crate::ast::{CompileError, Options, Style};
+use crate::ir::{
+    BlockId, CompiledFunction, CompiledInstr, CompiledProgram, IrAddr, IrBase, IrBinOp, IrCmp,
+    IrFunction, IrInst, IrValue, VReg,
+};
+use crate::lower::lower;
+use crate::opt::optimize;
+use crate::parser::parse;
+use crate::regalloc::{allocate, Allocation, Loc};
+use ldbt_arm::{AddrMode, ArmInstr, ArmReg, Cond, DpOp, Operand2, Shift};
+use ldbt_isa::SourceLoc;
+
+const SCRATCH0: ArmReg = ArmReg::R11;
+const SCRATCH1: ArmReg = ArmReg::R12;
+
+/// Pool of allocatable registers (indices are `ArmReg` indices).
+fn pool(style: Style) -> Vec<usize> {
+    match style {
+        // LLVM-flavored: prefer callee-ish registers first so short-lived
+        // temporaries cluster in r4..; GCC-flavored prefers low registers.
+        Style::Llvm => vec![4, 5, 6, 7, 8, 9, 10, 0, 1, 2, 3],
+        Style::Gcc => vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+    }
+}
+
+fn cond_of(cmp: IrCmp) -> Cond {
+    match cmp {
+        IrCmp::Eq => Cond::Eq,
+        IrCmp::Ne => Cond::Ne,
+        IrCmp::Lt => Cond::Lt,
+        IrCmp::Le => Cond::Le,
+        IrCmp::Gt => Cond::Gt,
+        IrCmp::Ge => Cond::Ge,
+    }
+}
+
+struct Emitter<'a> {
+    f: &'a IrFunction,
+    alloc: Allocation,
+    style: Style,
+    fuse_flags: bool,
+    code: Vec<CompiledInstr<ArmInstr>>,
+    /// (code index, target block) fixups for `b`/`bcc`.
+    fixups: Vec<(usize, BlockId)>,
+    /// (code index, callee name) fixups for `bl`.
+    call_fixups: Vec<(usize, String)>,
+    block_start: Vec<usize>,
+    frame_total: u32,
+    has_calls: bool,
+    loc: SourceLoc,
+}
+
+impl<'a> Emitter<'a> {
+    fn emit(&mut self, i: ArmInstr) {
+        self.code.push(CompiledInstr { instr: i, loc: self.loc, mem_var: None });
+    }
+
+    fn emit_mem(&mut self, i: ArmInstr, var: &str) {
+        self.code
+            .push(CompiledInstr { instr: i, loc: self.loc, mem_var: Some(var.to_string()) });
+    }
+
+    /// Materialize a 32-bit constant into `rd`.
+    fn mov_const(&mut self, rd: ArmReg, v: u32) {
+        if v <= 0xfff {
+            self.emit(ArmInstr::mov(rd, Operand2::Imm(v)));
+            return;
+        }
+        if !v <= 0xfff {
+            self.emit(ArmInstr::dp(DpOp::Mvn, rd, ArmReg::R0, Operand2::Imm(!v)));
+            return;
+        }
+        // Piecewise: 12 high bits, then 12, then 8.
+        self.emit(ArmInstr::mov(rd, Operand2::Imm(v >> 20)));
+        if (v >> 8) & 0xfff != 0 {
+            self.emit(ArmInstr::mov(rd, Operand2::RegShift(rd, Shift::Lsl(12))));
+            self.emit(ArmInstr::dp(DpOp::Orr, rd, rd, Operand2::Imm((v >> 8) & 0xfff)));
+            self.emit(ArmInstr::mov(rd, Operand2::RegShift(rd, Shift::Lsl(8))));
+        } else {
+            self.emit(ArmInstr::mov(rd, Operand2::RegShift(rd, Shift::Lsl(20))));
+        }
+        if v & 0xff != 0 {
+            self.emit(ArmInstr::dp(DpOp::Orr, rd, rd, Operand2::Imm(v & 0xff)));
+        }
+    }
+
+    /// Read a vreg into a register (its own, or `scratch` after a reload).
+    fn read_vreg(&mut self, r: VReg, scratch: ArmReg, sp_bias: i32) -> ArmReg {
+        match self.alloc.loc(r) {
+            Loc::Reg(p) => ArmReg::from_index(p),
+            Loc::Spill(off) => {
+                let i = ArmInstr::ldr(scratch, AddrMode::Imm(ArmReg::Sp, off + sp_bias));
+                self.emit(i);
+                scratch
+            }
+        }
+    }
+
+    /// Read an [`IrValue`] into a register.
+    fn read_value(&mut self, v: IrValue, scratch: ArmReg, sp_bias: i32) -> ArmReg {
+        match v {
+            IrValue::Reg(r) => self.read_vreg(r, scratch, sp_bias),
+            IrValue::Const(c) => {
+                self.mov_const(scratch, c as u32);
+                scratch
+            }
+        }
+    }
+
+    /// The register a def should be computed into, plus whether a
+    /// spill-store must follow.
+    fn def_reg(&mut self, r: VReg) -> (ArmReg, Option<i32>) {
+        match self.alloc.loc(r) {
+            Loc::Reg(p) => (ArmReg::from_index(p), None),
+            Loc::Spill(off) => (SCRATCH0, Some(off)),
+        }
+    }
+
+    fn finish_def(&mut self, spill: Option<i32>) {
+        if let Some(off) = spill {
+            self.emit(ArmInstr::str(SCRATCH0, AddrMode::Imm(ArmReg::Sp, off)));
+        }
+    }
+
+    /// An [`Operand2`] for an IR value: immediate when encodable.
+    fn operand2(&mut self, v: IrValue, scratch: ArmReg, sp_bias: i32) -> Operand2 {
+        match v {
+            IrValue::Const(c) if (0..=0xfff).contains(&c) => Operand2::Imm(c as u32),
+            _ => Operand2::Reg(self.read_value(v, scratch, sp_bias)),
+        }
+    }
+
+    /// Resolve an [`IrAddr`] to a machine addressing mode. Invariant: the
+    /// returned mode never references `SCRATCH0` (it is used transiently
+    /// and collapsed into `SCRATCH1`), so callers may use `SCRATCH0` for
+    /// the loaded/stored value afterwards.
+    fn addr_mode(&mut self, a: &IrAddr, sp_bias: i32) -> AddrMode {
+        let collapse = |e: &mut Self, base: ArmReg, index: ArmReg, shift: u32| -> AddrMode {
+            // add SCRATCH1, base, index [lsl #s]  →  [SCRATCH1]
+            let op2 = if shift == 0 {
+                Operand2::Reg(index)
+            } else {
+                Operand2::RegShift(index, Shift::Lsl(shift as u8))
+            };
+            e.emit(ArmInstr::dp(DpOp::Add, SCRATCH1, base, op2));
+            AddrMode::Imm(SCRATCH1, 0)
+        };
+        match (a.base, a.index) {
+            (IrBase::Frame(off), None) => AddrMode::Imm(ArmReg::Sp, off + a.offset + sp_bias),
+            (IrBase::Frame(_), Some(_)) => unreachable!("no indexed frame addressing"),
+            (IrBase::Reg(r), None) => {
+                let base = self.read_vreg(r, SCRATCH1, sp_bias);
+                if (-2048..=2047).contains(&a.offset) {
+                    AddrMode::Imm(base, a.offset)
+                } else {
+                    self.mov_const(SCRATCH0, a.offset as u32);
+                    collapse(self, base, SCRATCH0, 0)
+                }
+            }
+            (IrBase::Reg(r), Some((idx, shift))) => {
+                debug_assert_eq!(a.offset, 0, "fused index with offset unsupported");
+                let base = self.read_vreg(r, SCRATCH1, sp_bias);
+                let index = self.read_vreg(idx, SCRATCH0, sp_bias);
+                if index == SCRATCH0 {
+                    collapse(self, base, index, shift)
+                } else if shift == 0 {
+                    AddrMode::Reg(base, index)
+                } else {
+                    AddrMode::RegShift(base, index, shift as u8)
+                }
+            }
+            (IrBase::Global(g), None) => {
+                let addr = g.wrapping_add(a.offset as u32);
+                // Split into a large materialized base plus a small
+                // encodable offset, so repeated fields share the base.
+                let off = (addr & 0x7ff) as i32;
+                self.mov_const(SCRATCH1, addr - off as u32);
+                AddrMode::Imm(SCRATCH1, off)
+            }
+            (IrBase::Global(g), Some((idx, shift))) => {
+                let addr = g.wrapping_add(a.offset as u32);
+                self.mov_const(SCRATCH1, addr);
+                let index = self.read_vreg(idx, SCRATCH0, sp_bias);
+                if index == SCRATCH0 {
+                    collapse(self, SCRATCH1, index, shift)
+                } else if shift == 0 {
+                    AddrMode::Reg(SCRATCH1, index)
+                } else {
+                    AddrMode::RegShift(SCRATCH1, index, shift as u8)
+                }
+            }
+        }
+    }
+
+    fn dp_op(&self, op: IrBinOp) -> DpOp {
+        match op {
+            IrBinOp::Add => DpOp::Add,
+            IrBinOp::Sub => DpOp::Sub,
+            IrBinOp::And => DpOp::And,
+            IrBinOp::Or => DpOp::Orr,
+            IrBinOp::Xor => DpOp::Eor,
+            IrBinOp::Mul | IrBinOp::Shl | IrBinOp::Sar => unreachable!("handled separately"),
+        }
+    }
+
+    fn emit_bin(
+        &mut self,
+        op: IrBinOp,
+        dst: VReg,
+        a: IrValue,
+        b: IrValue,
+        set_flags: bool,
+    ) -> Result<(), CompileError> {
+        let (rd, spill) = self.def_reg(dst);
+        match op {
+            IrBinOp::Shl | IrBinOp::Sar => {
+                let IrValue::Const(c) = b else {
+                    return Err(CompileError::new(
+                        self.loc.line,
+                        "variable shift amounts are not supported by the target subset",
+                    ));
+                };
+                let c = (c as u32 & 31) as u8;
+                let ra = self.read_value(a, SCRATCH0, 0);
+                let shift = if op == IrBinOp::Shl { Shift::Lsl(c) } else { Shift::Asr(c) };
+                let op2 = if c == 0 { Operand2::Reg(ra) } else { Operand2::RegShift(ra, shift) };
+                if set_flags {
+                    self.emit(ArmInstr::dps(DpOp::Mov, rd, ArmReg::R0, op2));
+                } else {
+                    self.emit(ArmInstr::mov(rd, op2));
+                }
+            }
+            IrBinOp::Mul => {
+                let ra = self.read_value(a, SCRATCH0, 0);
+                let rb = self.read_value(b, SCRATCH1, 0);
+                self.emit(ArmInstr::Mul {
+                    rd,
+                    rn: ra,
+                    rm: rb,
+                    set_flags,
+                    cond: Cond::Al,
+                });
+            }
+            IrBinOp::Add | IrBinOp::Sub
+                if matches!(b, IrValue::Const(c) if c < 0 && c >= -0xfff) =>
+            {
+                // add x, -c  →  sub x, #c (and vice versa).
+                let IrValue::Const(c) = b else { unreachable!() };
+                let flipped = if op == IrBinOp::Add { DpOp::Sub } else { DpOp::Add };
+                let ra = self.read_value(a, SCRATCH0, 0);
+                let i = ArmInstr::Dp {
+                    op: flipped,
+                    rd,
+                    rn: ra,
+                    op2: Operand2::Imm((-c) as u32),
+                    set_flags,
+                    cond: Cond::Al,
+                };
+                self.emit(i);
+            }
+            _ => {
+                // GCC style prefers `add rd, rn, rn` for doubling where the
+                // LLVM style uses a shift (both appear in real codegen).
+                if self.style == Style::Gcc && op == IrBinOp::Add && a == b {
+                    let ra = self.read_value(a, SCRATCH0, 0);
+                    self.emit(ArmInstr::Dp {
+                        op: DpOp::Add,
+                        rd,
+                        rn: ra,
+                        op2: Operand2::Reg(ra),
+                        set_flags,
+                        cond: Cond::Al,
+                    });
+                } else {
+                    let ra = self.read_value(a, SCRATCH0, 0);
+                    let op2 = self.operand2(b, SCRATCH1, 0);
+                    self.emit(ArmInstr::Dp {
+                        op: self.dp_op(op),
+                        rd,
+                        rn: ra,
+                        op2,
+                        set_flags,
+                        cond: Cond::Al,
+                    });
+                }
+            }
+        }
+        self.finish_def(spill);
+        Ok(())
+    }
+
+    fn emit_epilogue(&mut self) {
+        if self.frame_total > 0 {
+            self.emit(ArmInstr::dp(
+                DpOp::Add,
+                ArmReg::Sp,
+                ArmReg::Sp,
+                Operand2::Imm(self.frame_total),
+            ));
+        }
+        self.emit(ArmInstr::Bx { rm: ArmReg::Lr, cond: Cond::Al });
+    }
+
+    /// Sequentialize parallel register moves, breaking cycles via scratch.
+    fn parallel_moves(&mut self, mut moves: Vec<(ArmReg, ArmReg)>) {
+        moves.retain(|(s, d)| s != d);
+        while !moves.is_empty() {
+            let ready = moves
+                .iter()
+                .position(|&(_, d)| !moves.iter().any(|&(s, _)| s == d));
+            match ready {
+                Some(i) => {
+                    let (s, d) = moves.remove(i);
+                    self.emit(ArmInstr::mov(d, Operand2::Reg(s)));
+                }
+                None => {
+                    // Cycle: park one source in scratch; the rewritten
+                    // move becomes ready once the cycle unwinds.
+                    let (s, d) = moves[0];
+                    self.emit(ArmInstr::mov(SCRATCH0, Operand2::Reg(s)));
+                    moves[0] = (SCRATCH0, d);
+                }
+            }
+        }
+    }
+
+    fn emit_call(
+        &mut self,
+        func: &str,
+        args: &[IrValue],
+        dst: Option<VReg>,
+        pos: u32,
+    ) -> Result<(), CompileError> {
+        if args.len() > 4 {
+            return Err(CompileError::new(self.loc.line, "more than 4 call arguments"));
+        }
+        // Registers to save: allocated regs of vregs live across this call.
+        let mut save: Vec<ArmReg> = Vec::new();
+        for (vi, loc) in self.alloc.locs.clone().iter().enumerate() {
+            if let Loc::Reg(p) = loc {
+                if self.alloc.live_across(VReg(vi as u32), pos) {
+                    save.push(ArmReg::from_index(*p));
+                }
+            }
+        }
+        save.sort();
+        save.dedup();
+        let save_bytes = (save.len() as u32) * 4;
+        if save_bytes > 0 {
+            self.emit(ArmInstr::dp(
+                DpOp::Sub,
+                ArmReg::Sp,
+                ArmReg::Sp,
+                Operand2::Imm(save_bytes),
+            ));
+            for (i, r) in save.clone().iter().enumerate() {
+                self.emit(ArmInstr::str(*r, AddrMode::Imm(ArmReg::Sp, i as i32 * 4)));
+            }
+        }
+        // Argument setup: register-to-register moves in parallel, constants
+        // and reloads after.
+        let mut reg_moves = Vec::new();
+        let mut later: Vec<(usize, IrValue)> = Vec::new();
+        for (i, a) in args.iter().enumerate() {
+            let target = ArmReg::from_index(i);
+            match a {
+                IrValue::Reg(r) => match self.alloc.loc(*r) {
+                    Loc::Reg(p) => reg_moves.push((ArmReg::from_index(p), target)),
+                    Loc::Spill(_) => later.push((i, *a)),
+                },
+                IrValue::Const(_) => later.push((i, *a)),
+            }
+        }
+        self.parallel_moves(reg_moves);
+        for (i, a) in later {
+            let target = ArmReg::from_index(i);
+            match a {
+                IrValue::Const(c) => self.mov_const(target, c as u32),
+                IrValue::Reg(r) => {
+                    let Loc::Spill(off) = self.alloc.loc(r) else { unreachable!() };
+                    self.emit(ArmInstr::ldr(
+                        target,
+                        AddrMode::Imm(ArmReg::Sp, off + save_bytes as i32),
+                    ));
+                }
+            }
+        }
+        self.call_fixups.push((self.code.len(), func.to_string()));
+        self.emit(ArmInstr::Bl { offset: 0, cond: Cond::Al });
+        // Result.
+        if let Some(d) = dst {
+            match self.alloc.loc(d) {
+                Loc::Reg(p) => {
+                    let rd = ArmReg::from_index(p);
+                    if rd != ArmReg::R0 {
+                        self.emit(ArmInstr::mov(rd, Operand2::Reg(ArmReg::R0)));
+                    }
+                }
+                Loc::Spill(off) => {
+                    self.emit(ArmInstr::str(
+                        ArmReg::R0,
+                        AddrMode::Imm(ArmReg::Sp, off + save_bytes as i32),
+                    ));
+                }
+            }
+        }
+        // Restore.
+        if save_bytes > 0 {
+            for (i, r) in save.iter().enumerate() {
+                self.emit(ArmInstr::ldr(*r, AddrMode::Imm(ArmReg::Sp, i as i32 * 4)));
+            }
+            self.emit(ArmInstr::dp(
+                DpOp::Add,
+                ArmReg::Sp,
+                ArmReg::Sp,
+                Operand2::Imm(save_bytes),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Try to fuse `bin; branch dst cmp 0` into a flag-setting instruction
+/// followed by a condition on N/Z. Returns the condition to branch on.
+fn fusable_cmp_zero(cmp: IrCmp) -> Option<fn(IrCmp) -> Cond> {
+    fn map(cmp: IrCmp) -> Cond {
+        match cmp {
+            IrCmp::Eq => Cond::Eq,
+            IrCmp::Ne => Cond::Ne,
+            IrCmp::Lt => Cond::Mi,
+            IrCmp::Ge => Cond::Pl,
+            _ => unreachable!(),
+        }
+    }
+    matches!(cmp, IrCmp::Eq | IrCmp::Ne | IrCmp::Lt | IrCmp::Ge).then_some(map)
+}
+
+fn gen_function(
+    f: &IrFunction,
+    options: &Options,
+) -> Result<CompiledFunction<ArmInstr>, CompileError> {
+    let alloc = allocate(f, &pool(options.style));
+    let has_calls = f.insts().any(|t| matches!(t.inst, IrInst::Call { .. }));
+    let frame_total = alloc.frame_size + if has_calls { 4 } else { 0 };
+    let mut e = Emitter {
+        f,
+        alloc,
+        style: options.style,
+        fuse_flags: options.level >= crate::ast::OptLevel::O2,
+        code: Vec::new(),
+        fixups: Vec::new(),
+        call_fixups: Vec::new(),
+        block_start: Vec::new(),
+        frame_total,
+        has_calls,
+        loc: SourceLoc::NONE,
+    };
+    // Prologue.
+    if frame_total > 0 {
+        e.emit(ArmInstr::dp(DpOp::Sub, ArmReg::Sp, ArmReg::Sp, Operand2::Imm(frame_total)));
+    }
+    if has_calls {
+        e.emit(ArmInstr::str(ArmReg::Lr, AddrMode::Imm(ArmReg::Sp, (frame_total - 4) as i32)));
+    }
+    // Move incoming arguments (r0..r3) to their allocated homes.
+    let mut arg_moves = Vec::new();
+    for i in 0..f.param_count.min(4) {
+        match e.alloc.loc(VReg(i as u32)) {
+            Loc::Reg(p) => arg_moves.push((ArmReg::from_index(i), ArmReg::from_index(p))),
+            Loc::Spill(off) => {
+                e.emit(ArmInstr::str(ArmReg::from_index(i), AddrMode::Imm(ArmReg::Sp, off)));
+            }
+        }
+    }
+    e.parallel_moves(arg_moves);
+    if f.param_count > 4 {
+        return Err(CompileError::new(0, "more than 4 parameters"));
+    }
+
+    // Body.
+    let mut pos = 0u32;
+    for (bi, b) in f.blocks.iter().enumerate() {
+        e.block_start.push(e.code.len());
+        let mut skip_next_branch_cmp: Option<Cond> = None;
+        for (ii, t) in b.insts.iter().enumerate() {
+            pos += 1;
+            e.loc = t.loc;
+            match &t.inst {
+                IrInst::Copy { dst, src } => {
+                    let (rd, spill) = e.def_reg(*dst);
+                    match src {
+                        IrValue::Const(c) => e.mov_const(rd, *c as u32),
+                        IrValue::Reg(r) => {
+                            let rs = e.read_vreg(*r, SCRATCH1, 0);
+                            if rs != rd {
+                                e.emit(ArmInstr::mov(rd, Operand2::Reg(rs)));
+                            }
+                        }
+                    }
+                    e.finish_def(spill);
+                }
+                IrInst::Bin { op, dst, a, b: bv } => {
+                    // Flag fusion: `dst = a op b; br (dst cmp 0)` at O2.
+                    let mut set_flags = false;
+                    if e.fuse_flags && matches!(op, IrBinOp::Add | IrBinOp::Sub) {
+                        if let Some(IrInst::Branch { cmp, a: ba, b: bb, .. }) =
+                            b.insts.get(ii + 1).map(|t| &t.inst)
+                        {
+                            if *ba == IrValue::Reg(*dst)
+                                && *bb == IrValue::Const(0)
+                                && matches!(e.alloc.loc(*dst), Loc::Reg(_))
+                            {
+                                if let Some(map) = fusable_cmp_zero(*cmp) {
+                                    set_flags = true;
+                                    skip_next_branch_cmp = Some(map(*cmp));
+                                }
+                            }
+                        }
+                    }
+                    e.emit_bin(*op, *dst, *a, *bv, set_flags)?;
+                }
+                IrInst::SetCmp { cmp, dst, a, b: bv } => {
+                    let ra = e.read_value(*a, SCRATCH0, 0);
+                    let op2 = e.operand2(*bv, SCRATCH1, 0);
+                    e.emit(ArmInstr::cmp(ra, op2));
+                    let (rd, spill) = e.def_reg(*dst);
+                    e.emit(ArmInstr::mov(rd, Operand2::Imm(0)));
+                    e.emit(ArmInstr::Dp {
+                        op: DpOp::Mov,
+                        rd,
+                        rn: ArmReg::R0,
+                        op2: Operand2::Imm(1),
+                        set_flags: false,
+                        cond: cond_of(*cmp),
+                    });
+                    e.finish_def(spill);
+                }
+                IrInst::Load { dst, addr } => {
+                    let mode = e.addr_mode(addr, 0);
+                    let (rd, spill) = e.def_reg(*dst);
+                    e.emit_mem(ArmInstr::ldr(rd, mode), &addr.var);
+                    e.finish_def(spill);
+                }
+                IrInst::Store { src, addr } => {
+                    // Address first: addr_mode leaves SCRATCH0 free for the
+                    // stored value.
+                    let mode = e.addr_mode(addr, 0);
+                    let rs = e.read_value(*src, SCRATCH0, 0);
+                    e.emit_mem(ArmInstr::str(rs, mode), &addr.var);
+                }
+                IrInst::Jump { target } => {
+                    if target.0 as usize != bi + 1 {
+                        e.fixups.push((e.code.len(), *target));
+                        e.emit(ArmInstr::B { offset: 0, cond: Cond::Al });
+                    }
+                }
+                IrInst::Branch { cmp, a, b: bv, then_bb, else_bb } => {
+                    let cond = match skip_next_branch_cmp.take() {
+                        Some(c) => c,
+                        None => {
+                            let ra = e.read_value(*a, SCRATCH0, 0);
+                            let op2 = e.operand2(*bv, SCRATCH1, 0);
+                            e.emit(ArmInstr::cmp(ra, op2));
+                            cond_of(*cmp)
+                        }
+                    };
+                    e.fixups.push((e.code.len(), *then_bb));
+                    e.emit(ArmInstr::B { offset: 0, cond });
+                    if else_bb.0 as usize != bi + 1 {
+                        e.fixups.push((e.code.len(), *else_bb));
+                        e.emit(ArmInstr::B { offset: 0, cond: Cond::Al });
+                    }
+                }
+                IrInst::Call { func, args, dst } => {
+                    e.emit_call(func, args, *dst, pos)?;
+                }
+                IrInst::Ret { value } => {
+                    if let Some(v) = value {
+                        let r = e.read_value(*v, SCRATCH0, 0);
+                        if r != ArmReg::R0 {
+                            e.emit(ArmInstr::mov(ArmReg::R0, Operand2::Reg(r)));
+                        }
+                    }
+                    if e.has_calls {
+                        e.emit(ArmInstr::ldr(
+                            ArmReg::Lr,
+                            AddrMode::Imm(ArmReg::Sp, (e.frame_total - 4) as i32),
+                        ));
+                    }
+                    e.emit_epilogue();
+                }
+            }
+        }
+    }
+    e.block_start.push(e.code.len());
+    // Resolve intra-function branches.
+    for (idx, target) in e.fixups.clone() {
+        let dest = e.block_start[target.0 as usize] as i32;
+        let off = dest - (idx as i32 + 1);
+        match &mut e.code[idx].instr {
+            ArmInstr::B { offset, .. } => *offset = off,
+            other => unreachable!("fixup on {other}"),
+        }
+    }
+    let _ = e.f;
+    Ok(CompiledFunction {
+        name: f.name.clone(),
+        code: e.code,
+    })
+}
+
+/// Per-function call fixups are resolved at link time; encode the callee
+/// name in a side table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmFunction {
+    /// The compiled function.
+    pub func: CompiledFunction<ArmInstr>,
+    /// (code index, callee) pairs for `bl` patching.
+    pub calls: Vec<(usize, String)>,
+}
+
+fn gen_function_with_calls(
+    f: &IrFunction,
+    options: &Options,
+) -> Result<ArmFunction, CompileError> {
+    // gen_function resolves everything except calls; re-run capturing them.
+    // (Single pass: we thread the fixups out through a thread-local-free
+    // API by regenerating — cheap for these sizes.)
+    let alloc_calls = {
+        let mut cf = gen_emitter_calls(f, options)?;
+        cf.calls.sort_by_key(|c| c.0);
+        cf
+    };
+    Ok(alloc_calls)
+}
+
+fn gen_emitter_calls(f: &IrFunction, options: &Options) -> Result<ArmFunction, CompileError> {
+    // Duplicate of gen_function that also returns call fixups.
+    let func = gen_function(f, options)?;
+    // Recover call sites: `bl` with offset 0 emitted only for calls.
+    let mut calls = Vec::new();
+    let mut call_iter = f
+        .insts()
+        .filter_map(|t| match &t.inst {
+            IrInst::Call { func, .. } => Some(func.clone()),
+            _ => None,
+        })
+        .collect::<Vec<_>>()
+        .into_iter();
+    for (i, ci) in func.code.iter().enumerate() {
+        if matches!(ci.instr, ArmInstr::Bl { .. }) {
+            let name = call_iter.next().expect("bl count matches call count");
+            calls.push((i, name));
+        }
+    }
+    Ok(ArmFunction { func, calls })
+}
+
+/// Compile source text for the ARM guest.
+///
+/// # Errors
+///
+/// Returns the first [`CompileError`] from any stage.
+pub fn compile_arm(source: &str, options: &Options) -> Result<CompiledProgram<ArmInstr>, CompileError> {
+    Ok(compile_arm_with_calls(source, options)?.0)
+}
+
+/// Compile for ARM, also returning per-function call fixups (used by the
+/// linker).
+pub fn compile_arm_with_calls(
+    source: &str,
+    options: &Options,
+) -> Result<(CompiledProgram<ArmInstr>, Vec<Vec<(usize, String)>>), CompileError> {
+    let ast = parse(source)?;
+    let mut module = lower(&ast, options.level)?;
+    optimize(&mut module, options.level);
+    let mut funcs = Vec::new();
+    let mut calls = Vec::new();
+    for f in &module.funcs {
+        let g = gen_function_with_calls(f, options)?;
+        funcs.push(g.func);
+        calls.push(g.calls);
+    }
+    Ok((CompiledProgram { funcs, globals: module.globals }, calls))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> CompiledProgram<ArmInstr> {
+        compile_arm(src, &Options::o2()).unwrap()
+    }
+
+    fn asm(f: &CompiledFunction<ArmInstr>) -> Vec<String> {
+        f.code.iter().map(|c| c.instr.to_string()).collect()
+    }
+
+    #[test]
+    fn leaf_add_function() {
+        let p = compile("int f(int a, int b) { return a + b; }");
+        let code = asm(&p.funcs[0]);
+        // add ..., then result to r0, then bx lr.
+        assert!(code.iter().any(|s| s.starts_with("add ")), "{code:?}");
+        assert_eq!(code.last().unwrap(), "bx lr");
+    }
+
+    #[test]
+    fn all_encodable() {
+        let src = "
+int g;
+int big[600];
+int f(int a, int b) {
+  int s = 0;
+  for (int i = 0; i < a; i += 1) {
+    s += big[i] * 3 - b;
+    if (s > 100000) { s -= g; }
+  }
+  g = s;
+  return s;
+}
+int main() { return f(10, 2); }";
+        for style in [Style::Llvm, Style::Gcc] {
+            for level in crate::ast::OptLevel::ALL {
+                let p = compile_arm(src, &Options { level, style }).unwrap();
+                for f in &p.funcs {
+                    for c in &f.code {
+                        ldbt_arm::encode::encode(&c.instr)
+                            .unwrap_or_else(|e| panic!("{}: {e}", c.instr));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flag_fusion_at_o2() {
+        let src = "int f(int s, int x) { s -= x; if (s != 0) { return 1; } return 0; }";
+        let p = compile(src);
+        let code = asm(&p.funcs[0]);
+        assert!(
+            code.iter().any(|s| s.starts_with("subs ")),
+            "expected fused subs: {code:?}"
+        );
+        let p0 = compile_arm(src, &Options::level(crate::ast::OptLevel::O1)).unwrap();
+        let code0 = asm(&p0.funcs[0]);
+        assert!(
+            !code0.iter().any(|s| s.starts_with("subs ")),
+            "no fusion below O2: {code0:?}"
+        );
+    }
+
+    #[test]
+    fn scaled_addressing_at_o2() {
+        let p = compile("int a[16]; int f(int i) { return a[i]; }");
+        let code = asm(&p.funcs[0]);
+        assert!(
+            code.iter().any(|s| s.contains("lsl #2]")),
+            "expected scaled load: {code:?}"
+        );
+    }
+
+    #[test]
+    fn mem_vars_annotated() {
+        let p = compile("int total; int f(int x) { total += x; return total; }");
+        let vars: Vec<_> = p.funcs[0].code.iter().filter_map(|c| c.mem_var.clone()).collect();
+        assert!(vars.iter().all(|v| v == "total"));
+        assert!(!vars.is_empty());
+    }
+
+    #[test]
+    fn call_emits_bl_and_saves_lr() {
+        let p = compile("int g(int x) { return x + 1; } int f(int a) { return g(a) + a; }");
+        let f = p.func("f").unwrap();
+        let code = asm(f);
+        assert!(code.iter().any(|s| s.starts_with("bl ")), "{code:?}");
+        assert!(code.iter().any(|s| s.contains("str lr")), "{code:?}");
+    }
+
+    #[test]
+    fn style_changes_code() {
+        let src = "int f(int a) { return a + a; }";
+        let llvm = compile_arm(src, &Options::o2()).unwrap();
+        let gcc = compile_arm(src, &Options::gcc()).unwrap();
+        assert_ne!(asm(&llvm.funcs[0]), asm(&gcc.funcs[0]));
+    }
+
+    #[test]
+    fn lines_preserved() {
+        let src = "int f(int a) {\n  int x = a + 1;\n  return x * 2;\n}";
+        let p = compile(src);
+        let lines: Vec<u32> = p.funcs[0].code.iter().map(|c| c.loc.line).collect();
+        assert!(lines.contains(&2) && lines.contains(&3));
+    }
+
+    #[test]
+    fn variable_shift_rejected() {
+        let err = compile_arm("int f(int a, int b) { return a << b; }", &Options::o2()).unwrap_err();
+        assert!(err.message.contains("shift"));
+    }
+}

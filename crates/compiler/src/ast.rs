@@ -1,0 +1,313 @@
+//! Compiler options, AST types, and errors.
+
+use std::fmt;
+
+/// Optimization level, mirroring `-O0`…`-O3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OptLevel {
+    /// No optimization; named locals live in memory.
+    O0,
+    /// Constant folding, copy propagation, DCE; locals in registers.
+    O1,
+    /// O1 plus local CSE, strength reduction, addressing-mode fusion.
+    O2,
+    /// O2 with an extra rewrite iteration.
+    O3,
+}
+
+impl OptLevel {
+    /// All levels in ascending order.
+    pub const ALL: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OptLevel::O0 => "-O0",
+            OptLevel::O1 => "-O1",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Code-generation style: which "compiler" produced the binary.
+///
+/// The styles differ in instruction selection and register preference,
+/// emulating the LLVM-vs-GCC axis of the paper's Figure 9 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Style {
+    /// LLVM-flavored selection (e.g. `addl $1`, `movzbl`, `lea` fusion).
+    Llvm,
+    /// GCC-flavored selection (e.g. `incl`/`decl`, `andl $255`, different
+    /// register preference order).
+    Gcc,
+}
+
+impl fmt::Display for Style {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Style::Llvm => write!(f, "llvm"),
+            Style::Gcc => write!(f, "gcc"),
+        }
+    }
+}
+
+/// Compiler options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Code-generation style.
+    pub style: Style,
+}
+
+impl Options {
+    /// `-O2`, LLVM style — the paper's default configuration.
+    pub fn o2() -> Options {
+        Options { level: OptLevel::O2, style: Style::Llvm }
+    }
+
+    /// A specific level, LLVM style.
+    pub fn level(level: OptLevel) -> Options {
+        Options { level, style: Style::Llvm }
+    }
+
+    /// GCC style at `-O2`.
+    pub fn gcc() -> Options {
+        Options { level: OptLevel::O2, style: Style::Gcc }
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options::o2()
+    }
+}
+
+/// A compilation error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Message.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Construct an error.
+    pub fn new(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Binary operators of the source language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    /// Whether this is a comparison producing 0/1.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::EqEq | BinOp::Ne)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    BitNot,
+    LogNot,
+}
+
+/// An expression, tagged with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i32),
+    /// Variable reference.
+    Var(String),
+    /// Array element `name[index]`.
+    Index(String, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An array element.
+    Index(String, Box<Expr>),
+}
+
+/// A statement, tagged with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration `int x = e;`.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Initializer (defaults to 0).
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Assignment `lv op= e;` (`op` is `None` for plain `=`).
+    Assign {
+        /// Target.
+        lv: LValue,
+        /// Compound operator, if any.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        rhs: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) { .. } else { .. }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch.
+        else_body: Vec<Stmt>,
+        /// Source line of the `if` header.
+        line: u32,
+    },
+    /// `while (cond) { .. }`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source line of the header.
+        line: u32,
+    },
+    /// `for (init; cond; step) { .. }` (desugared components).
+    For {
+        /// Initializer statement.
+        init: Option<Box<Stmt>>,
+        /// Condition (defaults to nonzero).
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source line of the header.
+        line: u32,
+    },
+    /// `return e;`.
+    Return {
+        /// Value (defaults to 0).
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Expression statement (usually a call).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// A global scalar or array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Element count (1 for scalars).
+    pub elems: u32,
+    /// Initial value of element 0 (scalars only).
+    pub init: i32,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Parameter names (all `int`).
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line of the signature.
+    pub line: u32,
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Globals in declaration order.
+    pub globals: Vec<Global>,
+    /// Functions in declaration order.
+    pub funcs: Vec<Function>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_level_ordering() {
+        assert!(OptLevel::O0 < OptLevel::O2);
+        assert_eq!(OptLevel::ALL.len(), 4);
+        assert_eq!(OptLevel::O2.to_string(), "-O2");
+    }
+
+    #[test]
+    fn options_constructors() {
+        assert_eq!(Options::default(), Options::o2());
+        assert_eq!(Options::gcc().style, Style::Gcc);
+        assert_eq!(Options::level(OptLevel::O0).level, OptLevel::O0);
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CompileError::new(3, "unexpected token");
+        assert_eq!(e.to_string(), "line 3: unexpected token");
+    }
+}

@@ -1,0 +1,572 @@
+//! The three-address intermediate representation.
+//!
+//! Non-SSA: virtual registers are mutable. Functions are lists of basic
+//! blocks laid out in final order; branches name block ids. Memory
+//! operands carry the source *variable name* — the analogue of LLVM IR
+//! value names that the rule learner's memory-operand mapping relies on
+//! (paper §3.2: "guest and host memory operands are mapped according to
+//! the names of the corresponding variables in LLVM IRs").
+
+use ldbt_isa::SourceLoc;
+use std::fmt;
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A basic-block id (index into [`IrFunction::blocks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An IR operand: a virtual register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IrValue {
+    /// Virtual register.
+    Reg(VReg),
+    /// Constant.
+    Const(i32),
+}
+
+impl fmt::Display for IrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrValue::Reg(r) => write!(f, "{r}"),
+            IrValue::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Arithmetic/logical IR opcodes (all 32-bit, wrapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum IrBinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Arithmetic (signed) right shift — `>>` on `int`.
+    Sar,
+}
+
+impl IrBinOp {
+    /// Evaluate on constants.
+    pub fn eval(self, a: i32, b: i32) -> i32 {
+        match self {
+            IrBinOp::Add => a.wrapping_add(b),
+            IrBinOp::Sub => a.wrapping_sub(b),
+            IrBinOp::Mul => a.wrapping_mul(b),
+            IrBinOp::And => a & b,
+            IrBinOp::Or => a | b,
+            IrBinOp::Xor => a ^ b,
+            IrBinOp::Shl => ((a as u32).wrapping_shl(b as u32 & 31)) as i32,
+            IrBinOp::Sar => a.wrapping_shr(b as u32 & 31),
+        }
+    }
+
+    /// Whether operands commute.
+    pub fn commutative(self) -> bool {
+        matches!(
+            self,
+            IrBinOp::Add | IrBinOp::Mul | IrBinOp::And | IrBinOp::Or | IrBinOp::Xor
+        )
+    }
+}
+
+impl fmt::Display for IrBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IrBinOp::Add => "add",
+            IrBinOp::Sub => "sub",
+            IrBinOp::Mul => "mul",
+            IrBinOp::And => "and",
+            IrBinOp::Or => "or",
+            IrBinOp::Xor => "xor",
+            IrBinOp::Shl => "shl",
+            IrBinOp::Sar => "sar",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Signed comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum IrCmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl IrCmp {
+    /// Evaluate on constants (signed).
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            IrCmp::Eq => a == b,
+            IrCmp::Ne => a != b,
+            IrCmp::Lt => a < b,
+            IrCmp::Le => a <= b,
+            IrCmp::Gt => a > b,
+            IrCmp::Ge => a >= b,
+        }
+    }
+
+    /// The negated predicate.
+    pub fn invert(self) -> IrCmp {
+        match self {
+            IrCmp::Eq => IrCmp::Ne,
+            IrCmp::Ne => IrCmp::Eq,
+            IrCmp::Lt => IrCmp::Ge,
+            IrCmp::Le => IrCmp::Gt,
+            IrCmp::Gt => IrCmp::Le,
+            IrCmp::Ge => IrCmp::Lt,
+        }
+    }
+
+    /// The predicate with swapped operands.
+    pub fn swap(self) -> IrCmp {
+        match self {
+            IrCmp::Eq => IrCmp::Eq,
+            IrCmp::Ne => IrCmp::Ne,
+            IrCmp::Lt => IrCmp::Gt,
+            IrCmp::Le => IrCmp::Ge,
+            IrCmp::Gt => IrCmp::Lt,
+            IrCmp::Ge => IrCmp::Le,
+        }
+    }
+}
+
+impl fmt::Display for IrCmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IrCmp::Eq => "eq",
+            IrCmp::Ne => "ne",
+            IrCmp::Lt => "lt",
+            IrCmp::Le => "le",
+            IrCmp::Gt => "gt",
+            IrCmp::Ge => "ge",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A memory address in the IR.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IrAddr {
+    /// Base: either a global's absolute address or a register.
+    pub base: IrBase,
+    /// Optional scaled index: `(reg, left-shift amount)`.
+    pub index: Option<(VReg, u32)>,
+    /// Constant byte offset.
+    pub offset: i32,
+    /// The source variable name this address refers to (the LLVM-IR-name
+    /// analogue the learner keys memory mappings on).
+    pub var: String,
+}
+
+/// Base of an [`IrAddr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IrBase {
+    /// Absolute address of a global.
+    Global(u32),
+    /// A register holding an address.
+    Reg(VReg),
+    /// A slot in the current frame (byte offset from the frame base).
+    Frame(i32),
+}
+
+impl fmt::Display for IrAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        match self.base {
+            IrBase::Global(a) => write!(f, "@{:#x}", a)?,
+            IrBase::Reg(r) => write!(f, "{r}")?,
+            IrBase::Frame(off) => write!(f, "frame{off:+}")?,
+        }
+        if let Some((r, s)) = self.index {
+            write!(f, " + {r} << {s}")?;
+        }
+        if self.offset != 0 {
+            write!(f, " + {}", self.offset)?;
+        }
+        write!(f, " !{}]", self.var)
+    }
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrInst {
+    /// `dst = src`.
+    Copy {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: IrValue,
+    },
+    /// `dst = a op b`.
+    Bin {
+        /// Opcode.
+        op: IrBinOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: IrValue,
+        /// Right operand.
+        b: IrValue,
+    },
+    /// `dst = (a cmp b) ? 1 : 0`.
+    SetCmp {
+        /// Predicate.
+        cmp: IrCmp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: IrValue,
+        /// Right operand.
+        b: IrValue,
+    },
+    /// `dst = load addr`.
+    Load {
+        /// Destination.
+        dst: VReg,
+        /// Address.
+        addr: IrAddr,
+    },
+    /// `store src, addr`.
+    Store {
+        /// Value.
+        src: IrValue,
+        /// Address.
+        addr: IrAddr,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Conditional branch on `a cmp b`.
+    Branch {
+        /// Predicate.
+        cmp: IrCmp,
+        /// Left operand.
+        a: IrValue,
+        /// Right operand.
+        b: IrValue,
+        /// Target when the predicate holds.
+        then_bb: BlockId,
+        /// Target otherwise.
+        else_bb: BlockId,
+    },
+    /// Call `func(args)`, optionally binding the result.
+    Call {
+        /// Callee name.
+        func: String,
+        /// Arguments.
+        args: Vec<IrValue>,
+        /// Result register.
+        dst: Option<VReg>,
+    },
+    /// Return.
+    Ret {
+        /// Return value (0 if absent).
+        value: Option<IrValue>,
+    },
+}
+
+impl IrInst {
+    /// The register defined, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            IrInst::Copy { dst, .. }
+            | IrInst::Bin { dst, .. }
+            | IrInst::SetCmp { dst, .. }
+            | IrInst::Load { dst, .. } => Some(*dst),
+            IrInst::Call { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// The registers read.
+    pub fn uses(&self) -> Vec<VReg> {
+        fn val(v: &IrValue, out: &mut Vec<VReg>) {
+            if let IrValue::Reg(r) = v {
+                out.push(*r);
+            }
+        }
+        fn addr(a: &IrAddr, out: &mut Vec<VReg>) {
+            if let IrBase::Reg(r) = a.base {
+                out.push(r);
+            }
+            if let Some((r, _)) = a.index {
+                out.push(r);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            IrInst::Copy { src, .. } => val(src, &mut out),
+            IrInst::Bin { a, b, .. } | IrInst::SetCmp { a, b, .. } | IrInst::Branch { a, b, .. } => {
+                val(a, &mut out);
+                val(b, &mut out);
+            }
+            IrInst::Load { addr: a, .. } => addr(a, &mut out),
+            IrInst::Store { src, addr: a } => {
+                val(src, &mut out);
+                addr(a, &mut out);
+            }
+            IrInst::Call { args, .. } => {
+                for a in args {
+                    val(a, &mut out);
+                }
+            }
+            IrInst::Ret { value } => {
+                if let Some(v) = value {
+                    val(v, &mut out);
+                }
+            }
+            IrInst::Jump { .. } => {}
+        }
+        out
+    }
+
+    /// Whether the instruction has side effects beyond its def.
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            IrInst::Store { .. }
+                | IrInst::Call { .. }
+                | IrInst::Ret { .. }
+                | IrInst::Jump { .. }
+                | IrInst::Branch { .. }
+        )
+    }
+
+    /// Whether the instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, IrInst::Jump { .. } | IrInst::Branch { .. } | IrInst::Ret { .. })
+    }
+}
+
+impl fmt::Display for IrInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrInst::Copy { dst, src } => write!(f, "{dst} = {src}"),
+            IrInst::Bin { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
+            IrInst::SetCmp { cmp, dst, a, b } => write!(f, "{dst} = set{cmp} {a}, {b}"),
+            IrInst::Load { dst, addr } => write!(f, "{dst} = load {addr}"),
+            IrInst::Store { src, addr } => write!(f, "store {src}, {addr}"),
+            IrInst::Jump { target } => write!(f, "jump {target}"),
+            IrInst::Branch { cmp, a, b, then_bb, else_bb } => {
+                write!(f, "br {cmp} {a}, {b} ? {then_bb} : {else_bb}")
+            }
+            IrInst::Call { func, args, dst } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = call {func}(")?;
+                } else {
+                    write!(f, "call {func}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            IrInst::Ret { value } => match value {
+                Some(v) => write!(f, "ret {v}"),
+                None => write!(f, "ret"),
+            },
+        }
+    }
+}
+
+/// An instruction with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrTagged {
+    /// The instruction.
+    pub inst: IrInst,
+    /// Source location.
+    pub loc: SourceLoc,
+}
+
+/// A basic block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IrBlock {
+    /// Instructions; the last one is the terminator.
+    pub insts: Vec<IrTagged>,
+}
+
+/// A function in IR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrFunction {
+    /// Name.
+    pub name: String,
+    /// Number of parameters (bound to the first `param_count` vregs).
+    pub param_count: usize,
+    /// Next unused vreg number.
+    pub vreg_count: u32,
+    /// Blocks in layout order; entry is block 0.
+    pub blocks: Vec<IrBlock>,
+    /// Frame bytes used by memory-homed locals / arrays.
+    pub frame_size: u32,
+    /// Loop extents as (first block, last block) inclusive, innermost
+    /// last — used by the register allocator to extend live ranges over
+    /// back edges.
+    pub loops: Vec<(BlockId, BlockId)>,
+}
+
+impl IrFunction {
+    /// Iterate over all instructions in layout order.
+    pub fn insts(&self) -> impl Iterator<Item = &IrTagged> {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+
+    /// Total instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+impl fmt::Display for IrFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {}({} params) {{", self.name, self.param_count)?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "bb{i}:")?;
+            for t in &b.insts {
+                writeln!(f, "  {}    ; line {}", t.inst, t.loc.line)?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A whole module in IR form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IrModule {
+    /// Functions in source order.
+    pub funcs: Vec<IrFunction>,
+    /// Global layout: (name, address, element count, initial value).
+    pub globals: Vec<(String, u32, u32, i32)>,
+}
+
+/// A machine instruction with learning metadata, as emitted by a backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledInstr<I> {
+    /// The machine instruction.
+    pub instr: I,
+    /// Source location (line 0 = compiler-generated glue).
+    pub loc: SourceLoc,
+    /// Variable name of the instruction's memory operand, if any.
+    pub mem_var: Option<String>,
+}
+
+/// A compiled function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledFunction<I> {
+    /// Name.
+    pub name: String,
+    /// Code in layout order.
+    pub code: Vec<CompiledInstr<I>>,
+}
+
+/// A compiled program (one ISA).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledProgram<I> {
+    /// Functions, in source order, `_start` glue excluded.
+    pub funcs: Vec<CompiledFunction<I>>,
+    /// Global layout: (name, address, element count, initial value).
+    pub globals: Vec<(String, u32, u32, i32)>,
+}
+
+impl<I> CompiledProgram<I> {
+    /// Total instruction count across functions.
+    pub fn instr_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+
+    /// Find a function by name.
+    pub fn func(&self, name: &str) -> Option<&CompiledFunction<I>> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval() {
+        assert_eq!(IrBinOp::Add.eval(i32::MAX, 1), i32::MIN);
+        assert_eq!(IrBinOp::Sar.eval(-8, 1), -4);
+        assert_eq!(IrBinOp::Shl.eval(1, 33), 2, "shift counts mask to 5 bits");
+        assert_eq!(IrBinOp::Mul.eval(-3, 7), -21);
+    }
+
+    #[test]
+    fn cmp_eval_invert_swap() {
+        for cmp in [IrCmp::Eq, IrCmp::Ne, IrCmp::Lt, IrCmp::Le, IrCmp::Gt, IrCmp::Ge] {
+            for (a, b) in [(1, 2), (2, 1), (3, 3), (-1, 1)] {
+                assert_eq!(cmp.eval(a, b), !cmp.invert().eval(a, b));
+                assert_eq!(cmp.eval(a, b), cmp.swap().eval(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let i = IrInst::Bin {
+            op: IrBinOp::Add,
+            dst: VReg(3),
+            a: IrValue::Reg(VReg(1)),
+            b: IrValue::Const(5),
+        };
+        assert_eq!(i.def(), Some(VReg(3)));
+        assert_eq!(i.uses(), vec![VReg(1)]);
+
+        let st = IrInst::Store {
+            src: IrValue::Reg(VReg(2)),
+            addr: IrAddr {
+                base: IrBase::Reg(VReg(4)),
+                index: Some((VReg(5), 2)),
+                offset: -4,
+                var: "x".into(),
+            },
+        };
+        assert_eq!(st.def(), None);
+        assert_eq!(st.uses(), vec![VReg(2), VReg(4), VReg(5)]);
+        assert!(st.has_side_effects());
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = IrInst::Bin {
+            op: IrBinOp::Add,
+            dst: VReg(0),
+            a: IrValue::Reg(VReg(1)),
+            b: IrValue::Const(2),
+        };
+        assert_eq!(i.to_string(), "%0 = add %1, 2");
+        let l = IrInst::Load {
+            dst: VReg(0),
+            addr: IrAddr { base: IrBase::Global(0x100000), index: None, offset: 8, var: "g".into() },
+        };
+        assert_eq!(l.to_string(), "%0 = load [@0x100000 + 8 !g]");
+    }
+}

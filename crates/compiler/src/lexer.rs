@@ -1,0 +1,199 @@
+//! The tokenizer.
+
+use crate::ast::CompileError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal.
+    Num(i32),
+    /// Identifier or keyword.
+    Ident(String),
+    /// `int`.
+    KwInt,
+    /// `if`.
+    KwIf,
+    /// `else`.
+    KwElse,
+    /// `while`.
+    KwWhile,
+    /// `for`.
+    KwFor,
+    /// `return`.
+    KwReturn,
+    /// A punctuation or operator token, by its spelling.
+    Punct(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::KwInt => write!(f, "int"),
+            Tok::KwIf => write!(f, "if"),
+            Tok::KwElse => write!(f, "else"),
+            Tok::KwWhile => write!(f, "while"),
+            Tok::KwFor => write!(f, "for"),
+            Tok::KwReturn => write!(f, "return"),
+            Tok::Punct(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+}
+
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "&&", "||", "<<", ">>", "<=", ">=", "==", "!=", "+=", "-=", "*=", "&=", "|=",
+    "^=", "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*", "&", "|", "^", "<", ">", "=",
+    "!", "~",
+];
+
+/// Tokenize a source string.
+///
+/// Supports `//` line comments and decimal / `0x` hexadecimal literals.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unknown characters or malformed numbers.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let (radix, digits_start) = if c == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                i += 2;
+                (16, i)
+            } else {
+                (10, i)
+            };
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            let text = &source[digits_start..i];
+            let value = i64::from_str_radix(text, radix)
+                .map_err(|_| CompileError::new(line, format!("bad number `{}`", &source[start..i])))?;
+            if value > u32::MAX as i64 {
+                return Err(CompileError::new(line, format!("number `{value}` out of range")));
+            }
+            out.push(Token { tok: Tok::Num(value as u32 as i32), line });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &source[start..i];
+            let tok = match word {
+                "int" => Tok::KwInt,
+                "if" => Tok::KwIf,
+                "else" => Tok::KwElse,
+                "while" => Tok::KwWhile,
+                "for" => Tok::KwFor,
+                "return" => Tok::KwReturn,
+                _ => Tok::Ident(word.to_string()),
+            };
+            out.push(Token { tok, line });
+            continue;
+        }
+        for p in PUNCTS {
+            if source[i..].starts_with(p) {
+                out.push(Token { tok: Tok::Punct(p), line });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(CompileError::new(line, format!("unexpected character `{}`", c as char)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int foo while whilex"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("foo".into()),
+                Tok::KwWhile,
+                Tok::Ident("whilex".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("0 42 0x10"), vec![Tok::Num(0), Tok::Num(42), Tok::Num(16)]);
+        assert_eq!(toks("0xffffffff"), vec![Tok::Num(-1)]);
+        assert!(lex("0xZZ").is_err());
+        assert!(lex("99999999999").is_err());
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(
+            toks("a <<= b << c <= d < e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<<"),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Ident("d".into()),
+                Tok::Punct("<"),
+                Tok::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a // comment\nb").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn unknown_character() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.message.contains('$'));
+    }
+}

@@ -1,0 +1,55 @@
+#![forbid(unsafe_code)]
+//! A mini-C compiler with ARM and x86 backends (the LLVM/GCC stand-in).
+//!
+//! The paper learns translation rules from guest and host binaries
+//! compiled *from the same source* with debug info. This crate provides
+//! that pipeline end to end:
+//!
+//! * a C-subset front end ([`lexer`], [`parser`]): `int` scalars, global
+//!   arrays, functions, `if`/`while`/`for`, the usual arithmetic/logical
+//!   /comparison operators (no division — like early ARM cores, the
+//!   guest ISA has no divide instruction),
+//! * a three-address IR ([`ir`], [`lower`]) whose memory operands carry
+//!   *variable names*, the analogue of LLVM IR value names that the
+//!   learner's memory-operand mapping keys on,
+//! * optimization levels O0–O3 ([`opt`]): constant folding, copy
+//!   propagation, local CSE, dead-code elimination, strength reduction;
+//!   O0 additionally keeps every named local in memory (so the learning
+//!   sensitivity experiment of Figure 6/7 reproduces),
+//! * two backends ([`armgen`], [`x86gen`]) with live-interval register
+//!   allocation, per-instruction source-line debug tags, and two
+//!   *compiler styles* ([`Style::Llvm`] and [`Style::Gcc`]) that differ
+//!   in instruction selection (e.g. `incl` vs `addl $1`, `movzbl` vs
+//!   `andl $255`) and register preference order — used by the Figure 9
+//!   cross-compiler experiment,
+//! * an ARM image linker ([`link`]) producing runnable guest binaries
+//!   for the DBT.
+//!
+//! # Example
+//!
+//! ```
+//! use ldbt_compiler::{compile_arm, compile_x86, Options};
+//!
+//! let src = "int f(int a, int b) { return a + b - 1; }";
+//! let guest = compile_arm(src, &Options::o2()).unwrap();
+//! let host = compile_x86(src, &Options::o2()).unwrap();
+//! assert_eq!(guest.funcs[0].name, "f");
+//! assert_eq!(host.funcs[0].name, "f");
+//! ```
+
+pub mod armgen;
+pub mod ast;
+pub mod ir;
+pub mod lexer;
+pub mod link;
+pub mod lower;
+pub mod opt;
+pub mod parser;
+pub mod regalloc;
+pub mod x86gen;
+
+pub use armgen::compile_arm;
+pub use ast::{CompileError, OptLevel, Options, Style};
+pub use ir::{CompiledInstr, CompiledProgram};
+pub use link::{link_arm, ArmImage};
+pub use x86gen::compile_x86;

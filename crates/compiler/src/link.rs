@@ -1,0 +1,317 @@
+//! Linking ARM programs into runnable guest images.
+//!
+//! The image contains a `_start` stub (stack setup, `bl main`, `svc #0`),
+//! all functions laid out contiguously, resolved `bl` displacements, the
+//! global-data initializers, and the per-instruction debug metadata
+//! (source line + memory-operand variable) that the rule learner and the
+//! DBT statistics consume.
+
+use crate::ast::CompileError;
+use crate::ir::CompiledProgram;
+use ldbt_arm::{encode, ArmInstr, ArmReg, Cond, Operand2, Shift};
+use ldbt_isa::{Memory, SourceLoc, Width};
+
+/// Base address where code is loaded.
+pub const CODE_BASE: u32 = 0x0001_0000;
+/// Initial stack pointer (grows down).
+pub const STACK_TOP: u32 = 0x0080_0000;
+
+/// A linked, runnable ARM guest program.
+#[derive(Debug, Clone)]
+pub struct ArmImage {
+    /// Raw little-endian code bytes.
+    pub bytes: Vec<u8>,
+    /// Load address of `bytes`.
+    pub base: u32,
+    /// Entry point (the `_start` stub).
+    pub entry: u32,
+    /// (function name, address) pairs.
+    pub func_addrs: Vec<(String, u32)>,
+    /// Per-instruction metadata, indexed by `(addr - base) / 4`.
+    pub meta: Vec<(SourceLoc, Option<String>)>,
+    /// Global layout: (name, address, element count, initial value).
+    pub globals: Vec<(String, u32, u32, i32)>,
+}
+
+impl ArmImage {
+    /// Copy code and global initializers into a guest memory.
+    pub fn load_into(&self, mem: &mut Memory) {
+        mem.write_bytes(self.base, &self.bytes);
+        for (_, addr, _, init) in &self.globals {
+            if *init != 0 {
+                mem.write(*addr, *init as u32, Width::W32);
+            }
+        }
+    }
+
+    /// The metadata for the instruction at `addr`, if it is in the image.
+    pub fn meta_at(&self, addr: u32) -> Option<&(SourceLoc, Option<String>)> {
+        if addr < self.base {
+            return None;
+        }
+        self.meta.get(((addr - self.base) / 4) as usize)
+    }
+
+    /// Number of instructions in the image.
+    pub fn instr_count(&self) -> usize {
+        self.bytes.len() / 4
+    }
+}
+
+/// Link a compiled ARM program (with its per-function call fixups).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if `main` is missing, a callee is
+/// undefined, or an instruction fails to encode.
+pub fn link_arm(
+    prog: &CompiledProgram<ArmInstr>,
+    calls: &[Vec<(usize, String)>],
+) -> Result<ArmImage, CompileError> {
+    // _start stub: sp = STACK_TOP; bl main; svc #0.
+    let stub = vec![
+        ArmInstr::mov(ArmReg::Sp, Operand2::Imm(STACK_TOP >> 12)),
+        ArmInstr::mov(ArmReg::Sp, Operand2::RegShift(ArmReg::Sp, Shift::Lsl(12))),
+        ArmInstr::Bl { offset: 0, cond: Cond::Al }, // patched below
+        ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ];
+    let mut instrs: Vec<ArmInstr> = stub;
+    let mut meta: Vec<(SourceLoc, Option<String>)> =
+        vec![(SourceLoc::NONE, None); instrs.len()];
+    let mut func_starts: Vec<(String, usize)> = Vec::new();
+    for f in &prog.funcs {
+        func_starts.push((f.name.clone(), instrs.len()));
+        for c in &f.code {
+            instrs.push(c.instr);
+            meta.push((c.loc, c.mem_var.clone()));
+        }
+    }
+    let start_of = |name: &str| -> Option<usize> {
+        func_starts.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
+    };
+    // Patch the stub's `bl main`.
+    let main_start =
+        start_of("main").ok_or_else(|| CompileError::new(0, "missing `main` function"))?;
+    if let ArmInstr::Bl { offset, .. } = &mut instrs[2] {
+        *offset = main_start as i32 - 3;
+    }
+    // Patch calls.
+    for (fi, f) in prog.funcs.iter().enumerate() {
+        let fstart = func_starts[fi].1;
+        for (idx, callee) in &calls[fi] {
+            let target = start_of(callee)
+                .ok_or_else(|| CompileError::new(0, format!("undefined function `{callee}`")))?;
+            let site = fstart + idx;
+            let ArmInstr::Bl { offset, .. } = &mut instrs[site] else {
+                return Err(CompileError::new(0, "call fixup does not point at bl"));
+            };
+            *offset = target as i32 - (site as i32 + 1);
+        }
+        let _ = f;
+    }
+    let bytes = encode::assemble(&instrs)
+        .map_err(|e| CompileError::new(0, format!("encoding failed: {e}")))?;
+    Ok(ArmImage {
+        bytes,
+        base: CODE_BASE,
+        entry: CODE_BASE,
+        func_addrs: func_starts
+            .into_iter()
+            .map(|(n, s)| (n, CODE_BASE + 4 * s as u32))
+            .collect(),
+        meta,
+        globals: prog.globals.clone(),
+    })
+}
+
+/// Convenience: compile and link in one step.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] from any stage.
+pub fn build_arm_image(
+    source: &str,
+    options: &crate::ast::Options,
+) -> Result<ArmImage, CompileError> {
+    let (prog, calls) = crate::armgen::compile_arm_with_calls(source, options)?;
+    link_arm(&prog, &calls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{OptLevel, Options, Style};
+    use ldbt_arm::{ArmMachine, ArmStop};
+
+    fn run(src: &str, options: &Options) -> (ArmMachine, u32) {
+        let image = build_arm_image(src, options).unwrap();
+        let mut m = ArmMachine::new();
+        image.load_into(&mut m.state.mem);
+        m.state.regs[15] = image.entry;
+        let stop = m.run(10_000_000);
+        assert_eq!(stop, ArmStop::Halt, "program must halt cleanly");
+        let r0 = m.state.reg(ldbt_arm::ArmReg::R0);
+        (m, r0)
+    }
+
+    fn result(src: &str) -> u32 {
+        run(src, &Options::o2()).1
+    }
+
+    fn result_all_configs(src: &str) -> u32 {
+        let mut results = Vec::new();
+        for style in [Style::Llvm, Style::Gcc] {
+            for level in OptLevel::ALL {
+                results.push(run(src, &Options { level, style }).1);
+            }
+        }
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "all configurations must agree");
+        }
+        results[0]
+    }
+
+    #[test]
+    fn return_constant() {
+        assert_eq!(result("int main() { return 42; }"), 42);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(
+            result_all_configs("int main() { return (3 + 4) * 5 - (10 >> 1); }"),
+            30
+        );
+    }
+
+    #[test]
+    fn locals_and_loops() {
+        let src = "
+int main() {
+  int s = 0;
+  for (int i = 1; i <= 10; i += 1) { s += i; }
+  return s;
+}";
+        assert_eq!(result_all_configs(src), 55);
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let src = "
+int g = 7;
+int a[10];
+int main() {
+  for (int i = 0; i < 10; i += 1) { a[i] = i * i; }
+  int s = g;
+  for (int i = 0; i < 10; i += 1) { s += a[i]; }
+  return s;
+}";
+        assert_eq!(result_all_configs(src), 7 + 285);
+    }
+
+    #[test]
+    fn function_calls() {
+        let src = "
+int square(int x) { return x * x; }
+int add3(int a, int b, int c) { return a + b + c; }
+int main() { return add3(square(2), square(3), square(4)); }";
+        assert_eq!(result_all_configs(src), 29);
+    }
+
+    #[test]
+    fn recursion() {
+        let src = "
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }";
+        assert_eq!(result_all_configs(src), 144);
+    }
+
+    #[test]
+    fn conditionals_and_logic() {
+        let src = "
+int classify(int x) {
+  if (x < 0) { return 0 - 1; }
+  else if (x == 0) { return 0; }
+  else if (x < 10 && x > 5) { return 7; }
+  return 1;
+}
+int main() {
+  return classify(0-5) + 10 * classify(0) + 100 * classify(8) + 1000 * classify(50);
+}";
+        // -1 + 0 + 700 + 1000
+        assert_eq!(result_all_configs(src) as i32, 1699);
+    }
+
+    #[test]
+    fn bitwise_kernel() {
+        let src = "
+int main() {
+  int h = 2166136261;
+  for (int i = 0; i < 8; i += 1) {
+    h = (h ^ i) * 16777619;
+    h = h & 0xffffff;
+  }
+  return h & 0xffff;
+}";
+        // Cross-check against the same computation in Rust.
+        let mut h: i32 = 2166136261u32 as i32;
+        for i in 0..8 {
+            h = (h ^ i).wrapping_mul(16777619);
+            h &= 0xffffff;
+        }
+        assert_eq!(result_all_configs(src), (h & 0xffff) as u32);
+    }
+
+    #[test]
+    fn register_pressure_spills_execute_correctly() {
+        let src = "
+int main() {
+  int v0 = 1; int v1 = 2; int v2 = 3; int v3 = 4; int v4 = 5;
+  int v5 = 6; int v6 = 7; int v7 = 8; int v8 = 9; int v9 = 10;
+  int v10 = 11; int v11 = 12; int v12 = 13; int v13 = 14;
+  return v0 + v1 * 2 + v2 * 3 + v3 + v4 + v5 + v6 + v7 + v8 + v9
+       + v10 + v11 + v12 + v13;
+}";
+        // 1 + 4 + 9 + 4..14 = 14 + sum(4..=14)
+        let want: u32 = 1 + 4 + 9 + (4..=14).sum::<u32>();
+        assert_eq!(result_all_configs(src), want);
+    }
+
+    #[test]
+    fn comparison_values() {
+        let src = "
+int main() {
+  int a = 5; int b = 9;
+  return (a < b) + 2 * (a == 5) + 4 * (b <= 8) + 8 * !(a > 100);
+}";
+        assert_eq!(result_all_configs(src), 1 + 2 + 0 + 8);
+    }
+
+    #[test]
+    fn meta_lines_cover_function_bodies() {
+        let image = build_arm_image(
+            "int main() {\n  int x = 3;\n  return x + 1;\n}",
+            &Options::o2(),
+        )
+        .unwrap();
+        let lines: Vec<u32> = image.meta.iter().map(|(l, _)| l.line).collect();
+        assert!(lines.contains(&2) || lines.contains(&3));
+        assert_eq!(image.meta.len(), image.instr_count());
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let err = build_arm_image("int f() { return 1; }", &Options::o2()).unwrap_err();
+        assert!(err.message.contains("main"));
+    }
+
+    #[test]
+    fn negative_numbers_and_unary() {
+        let src = "int main() { int x = 0 - 7; return -x + ~0 + 10; }";
+        // 7 + (-1) + 10
+        assert_eq!(result_all_configs(src) as i32, 16);
+    }
+}

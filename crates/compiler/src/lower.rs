@@ -1,0 +1,870 @@
+//! Lowering from the AST to the three-address IR.
+//!
+//! The optimization level influences lowering itself in two ways that
+//! mirror real compilers (and drive the paper's Figure 6/7 experiment):
+//!
+//! * at `-O0` every named local lives in a frame slot and is reloaded at
+//!   each use (so guest/host live-in register counts often disagree and
+//!   parameterization fails more),
+//! * scaled addressing (`base + index<<2`) is only *fused* into memory
+//!   operands at `-O2` and above; below that, address arithmetic is
+//!   materialized as explicit shift/add instructions.
+
+use crate::ast::{BinOp, CompileError, Expr, Function, LValue, OptLevel, Program, Stmt, UnOp};
+use crate::ir::{
+    BlockId, IrAddr, IrBase, IrBinOp, IrBlock, IrCmp, IrFunction, IrInst, IrModule, IrTagged,
+    IrValue, VReg,
+};
+use ldbt_isa::SourceLoc;
+use std::collections::HashMap;
+
+/// Base address of the global data region.
+pub const GLOBAL_BASE: u32 = 0x0010_0000;
+
+#[derive(Debug, Clone, Copy)]
+enum VarSlot {
+    Reg(VReg),
+    Frame(i32),
+}
+
+#[derive(Debug, Clone)]
+enum VarInfo {
+    Local(VarSlot),
+    GlobalScalar { addr: u32 },
+    GlobalArray { addr: u32, elems: u32 },
+}
+
+struct FnLowerer<'a> {
+    level: OptLevel,
+    globals: &'a HashMap<String, VarInfo>,
+    func_names: &'a HashMap<String, usize>,
+    scopes: Vec<HashMap<String, VarSlot>>,
+    blocks: Vec<IrBlock>,
+    cur: usize,
+    vregs: u32,
+    frame: u32,
+    loops: Vec<(BlockId, BlockId)>,
+}
+
+impl<'a> FnLowerer<'a> {
+    fn new_vreg(&mut self) -> VReg {
+        let r = VReg(self.vregs);
+        self.vregs += 1;
+        r
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(IrBlock::default());
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    fn switch_to(&mut self, b: BlockId) {
+        self.cur = b.0 as usize;
+    }
+
+    fn emit(&mut self, inst: IrInst, line: u32) {
+        self.blocks[self.cur].insts.push(IrTagged { inst, loc: SourceLoc::line(line) });
+    }
+
+    fn terminated(&self) -> bool {
+        self.blocks[self.cur]
+            .insts
+            .last()
+            .map(|t| t.inst.is_terminator())
+            .unwrap_or(false)
+    }
+
+    fn new_frame_slot(&mut self) -> i32 {
+        let off = self.frame as i32;
+        self.frame += 4;
+        off
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarInfo> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(slot) = scope.get(name) {
+                return Some(VarInfo::Local(*slot));
+            }
+        }
+        self.globals.get(name).cloned()
+    }
+
+    fn declare_local(&mut self, name: &str, line: u32) -> Result<VarSlot, CompileError> {
+        let slot = if self.level == OptLevel::O0 {
+            VarSlot::Frame(self.new_frame_slot())
+        } else {
+            VarSlot::Reg(self.new_vreg())
+        };
+        self.scopes
+            .last_mut()
+            .expect("scope stack non-empty")
+            .insert(name.to_string(), slot);
+        let _ = line;
+        Ok(slot)
+    }
+
+    fn frame_addr(&self, off: i32, var: &str) -> IrAddr {
+        IrAddr { base: IrBase::Frame(off), index: None, offset: 0, var: var.to_string() }
+    }
+
+    /// Read a variable into an [`IrValue`].
+    fn read_var(&mut self, name: &str, line: u32) -> Result<IrValue, CompileError> {
+        match self.lookup(name) {
+            Some(VarInfo::Local(VarSlot::Reg(r))) => Ok(IrValue::Reg(r)),
+            Some(VarInfo::Local(VarSlot::Frame(off))) => {
+                let dst = self.new_vreg();
+                let addr = self.frame_addr(off, name);
+                self.emit(IrInst::Load { dst, addr }, line);
+                Ok(IrValue::Reg(dst))
+            }
+            Some(VarInfo::GlobalScalar { addr }) => {
+                let dst = self.new_vreg();
+                self.emit(
+                    IrInst::Load {
+                        dst,
+                        addr: IrAddr {
+                            base: IrBase::Global(addr),
+                            index: None,
+                            offset: 0,
+                            var: name.to_string(),
+                        },
+                    },
+                    line,
+                );
+                Ok(IrValue::Reg(dst))
+            }
+            Some(VarInfo::GlobalArray { .. }) => {
+                Err(CompileError::new(line, format!("array `{name}` used as scalar")))
+            }
+            None => Err(CompileError::new(line, format!("undefined variable `{name}`"))),
+        }
+    }
+
+    /// The address of `name[index]`.
+    fn element_addr(
+        &mut self,
+        name: &str,
+        index: &Expr,
+        line: u32,
+    ) -> Result<IrAddr, CompileError> {
+        let Some(VarInfo::GlobalArray { addr, elems }) = self.lookup(name) else {
+            return Err(CompileError::new(line, format!("`{name}` is not an array")));
+        };
+        let idx = self.lower_expr(index, line)?;
+        match idx {
+            IrValue::Const(c) if c < 0 || c as u32 >= elems => Err(CompileError::new(
+                line,
+                format!("index {c} out of bounds for `{name}[{elems}]`"),
+            )),
+            IrValue::Const(c) => Ok(IrAddr {
+                base: IrBase::Global(addr),
+                index: None,
+                offset: c.wrapping_mul(4),
+                var: name.to_string(),
+            }),
+            IrValue::Reg(r) => {
+                if self.level >= OptLevel::O2 {
+                    Ok(IrAddr {
+                        base: IrBase::Global(addr),
+                        index: Some((r, 2)),
+                        offset: 0,
+                        var: name.to_string(),
+                    })
+                } else {
+                    // Explicit address arithmetic below -O2.
+                    let scaled = self.new_vreg();
+                    self.emit(
+                        IrInst::Bin {
+                            op: IrBinOp::Shl,
+                            dst: scaled,
+                            a: IrValue::Reg(r),
+                            b: IrValue::Const(2),
+                        },
+                        line,
+                    );
+                    Ok(IrAddr {
+                        base: IrBase::Global(addr),
+                        index: Some((scaled, 0)),
+                        offset: 0,
+                        var: name.to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn lower_expr(&mut self, e: &Expr, line: u32) -> Result<IrValue, CompileError> {
+        match e {
+            Expr::Num(n) => Ok(IrValue::Const(*n)),
+            Expr::Var(name) => self.read_var(name, line),
+            Expr::Index(name, idx) => {
+                let addr = self.element_addr(name, idx, line)?;
+                let dst = self.new_vreg();
+                self.emit(IrInst::Load { dst, addr }, line);
+                Ok(IrValue::Reg(dst))
+            }
+            Expr::Un(op, inner) => {
+                let v = self.lower_expr(inner, line)?;
+                match op {
+                    UnOp::Neg => self.bin_value(IrBinOp::Sub, IrValue::Const(0), v, line),
+                    UnOp::BitNot => self.bin_value(IrBinOp::Xor, v, IrValue::Const(-1), line),
+                    UnOp::LogNot => {
+                        let dst = self.new_vreg();
+                        self.emit(
+                            IrInst::SetCmp { cmp: IrCmp::Eq, dst, a: v, b: IrValue::Const(0) },
+                            line,
+                        );
+                        Ok(IrValue::Reg(dst))
+                    }
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                if let Some(cmp) = cmp_of(*op) {
+                    let va = self.lower_expr(a, line)?;
+                    let vb = self.lower_expr(b, line)?;
+                    let dst = self.new_vreg();
+                    self.emit(IrInst::SetCmp { cmp, dst, a: va, b: vb }, line);
+                    return Ok(IrValue::Reg(dst));
+                }
+                if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+                    // Value form of && / || via control flow.
+                    let dst = self.new_vreg();
+                    let true_bb = self.new_block();
+                    let false_bb = self.new_block();
+                    let merge = self.new_block();
+                    self.lower_cond(e, true_bb, false_bb, line)?;
+                    self.switch_to(true_bb);
+                    self.emit(IrInst::Copy { dst, src: IrValue::Const(1) }, line);
+                    self.emit(IrInst::Jump { target: merge }, line);
+                    self.switch_to(false_bb);
+                    self.emit(IrInst::Copy { dst, src: IrValue::Const(0) }, line);
+                    self.emit(IrInst::Jump { target: merge }, line);
+                    self.switch_to(merge);
+                    return Ok(IrValue::Reg(dst));
+                }
+                let ir_op = match op {
+                    BinOp::Add => IrBinOp::Add,
+                    BinOp::Sub => IrBinOp::Sub,
+                    BinOp::Mul => IrBinOp::Mul,
+                    BinOp::And => IrBinOp::And,
+                    BinOp::Or => IrBinOp::Or,
+                    BinOp::Xor => IrBinOp::Xor,
+                    BinOp::Shl => IrBinOp::Shl,
+                    BinOp::Shr => IrBinOp::Sar,
+                    _ => unreachable!("handled above"),
+                };
+                let va = self.lower_expr(a, line)?;
+                let vb = self.lower_expr(b, line)?;
+                self.bin_value(ir_op, va, vb, line)
+            }
+            Expr::Call(name, args) => {
+                if !self.func_names.contains_key(name.as_str()) {
+                    return Err(CompileError::new(line, format!("undefined function `{name}`")));
+                }
+                let mut vals = Vec::new();
+                for a in args {
+                    vals.push(self.lower_expr(a, line)?);
+                }
+                let dst = self.new_vreg();
+                self.emit(IrInst::Call { func: name.clone(), args: vals, dst: Some(dst) }, line);
+                Ok(IrValue::Reg(dst))
+            }
+        }
+    }
+
+    fn bin_value(
+        &mut self,
+        op: IrBinOp,
+        a: IrValue,
+        b: IrValue,
+        line: u32,
+    ) -> Result<IrValue, CompileError> {
+        let dst = self.new_vreg();
+        self.emit(IrInst::Bin { op, dst, a, b }, line);
+        Ok(IrValue::Reg(dst))
+    }
+
+    /// Lower `e` directly into `dst`, avoiding a temporary + copy for the
+    /// common `x = a op b` shape (this is also what lets the backends fuse
+    /// flag-setting arithmetic with a following branch).
+    fn lower_expr_to(&mut self, dst: VReg, e: &Expr, line: u32) -> Result<(), CompileError> {
+        match e {
+            Expr::Bin(op, a, b) if !matches!(op, BinOp::LogAnd | BinOp::LogOr) => {
+                if let Some(cmp) = cmp_of(*op) {
+                    let va = self.lower_expr(a, line)?;
+                    let vb = self.lower_expr(b, line)?;
+                    self.emit(IrInst::SetCmp { cmp, dst, a: va, b: vb }, line);
+                } else {
+                    let ir_op = plain_op(*op, line)?;
+                    let va = self.lower_expr(a, line)?;
+                    let vb = self.lower_expr(b, line)?;
+                    self.emit(IrInst::Bin { op: ir_op, dst, a: va, b: vb }, line);
+                }
+                Ok(())
+            }
+            _ => {
+                let v = self.lower_expr(e, line)?;
+                if v != IrValue::Reg(dst) {
+                    self.emit(IrInst::Copy { dst, src: v }, line);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Lower a boolean condition with short-circuiting.
+    fn lower_cond(
+        &mut self,
+        e: &Expr,
+        then_bb: BlockId,
+        else_bb: BlockId,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        match e {
+            Expr::Bin(op, a, b) if cmp_of(*op).is_some() => {
+                let cmp = cmp_of(*op).expect("checked");
+                let va = self.lower_expr(a, line)?;
+                let vb = self.lower_expr(b, line)?;
+                self.emit(IrInst::Branch { cmp, a: va, b: vb, then_bb, else_bb }, line);
+                Ok(())
+            }
+            Expr::Bin(BinOp::LogAnd, a, b) => {
+                let mid = self.new_block();
+                self.lower_cond(a, mid, else_bb, line)?;
+                self.switch_to(mid);
+                self.lower_cond(b, then_bb, else_bb, line)
+            }
+            Expr::Bin(BinOp::LogOr, a, b) => {
+                let mid = self.new_block();
+                self.lower_cond(a, then_bb, mid, line)?;
+                self.switch_to(mid);
+                self.lower_cond(b, then_bb, else_bb, line)
+            }
+            Expr::Un(UnOp::LogNot, inner) => self.lower_cond(inner, else_bb, then_bb, line),
+            _ => {
+                let v = self.lower_expr(e, line)?;
+                self.emit(
+                    IrInst::Branch {
+                        cmp: IrCmp::Ne,
+                        a: v,
+                        b: IrValue::Const(0),
+                        then_bb,
+                        else_bb,
+                    },
+                    line,
+                );
+                Ok(())
+            }
+        }
+    }
+
+    fn write_var(&mut self, name: &str, value: IrValue, line: u32) -> Result<(), CompileError> {
+        match self.lookup(name) {
+            Some(VarInfo::Local(VarSlot::Reg(r))) => {
+                self.emit(IrInst::Copy { dst: r, src: value }, line);
+                Ok(())
+            }
+            Some(VarInfo::Local(VarSlot::Frame(off))) => {
+                let addr = self.frame_addr(off, name);
+                self.emit(IrInst::Store { src: value, addr }, line);
+                Ok(())
+            }
+            Some(VarInfo::GlobalScalar { addr }) => {
+                self.emit(
+                    IrInst::Store {
+                        src: value,
+                        addr: IrAddr {
+                            base: IrBase::Global(addr),
+                            index: None,
+                            offset: 0,
+                            var: name.to_string(),
+                        },
+                    },
+                    line,
+                );
+                Ok(())
+            }
+            Some(VarInfo::GlobalArray { .. }) => {
+                Err(CompileError::new(line, format!("cannot assign to array `{name}`")))
+            }
+            None => Err(CompileError::new(line, format!("undefined variable `{name}`"))),
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Decl { name, init, line } => {
+                // Evaluate the initializer in the enclosing scope, then
+                // declare.
+                match init {
+                    Some(e) => {
+                        if self.level != OptLevel::O0 {
+                            // The fresh vreg is not visible by name until
+                            // after the initializer is lowered, so it can
+                            // be the direct destination.
+                            let dst = self.new_vreg();
+                            self.lower_expr_to(dst, e, *line)?;
+                            self.scopes
+                                .last_mut()
+                                .expect("scope stack non-empty")
+                                .insert(name.clone(), VarSlot::Reg(dst));
+                            Ok(())
+                        } else {
+                            let value = self.lower_expr(e, *line)?;
+                            self.declare_local(name, *line)?;
+                            self.write_var(name, value, *line)
+                        }
+                    }
+                    None => {
+                        self.declare_local(name, *line)?;
+                        self.write_var(name, IrValue::Const(0), *line)
+                    }
+                }
+            }
+            Stmt::Assign { lv, op, rhs, line } => match lv {
+                LValue::Var(name) => {
+                    match (op, self.lookup(name)) {
+                        (None, Some(VarInfo::Local(VarSlot::Reg(dst)))) => {
+                            self.lower_expr_to(dst, rhs, *line)
+                        }
+                        (Some(bop), Some(VarInfo::Local(VarSlot::Reg(dst)))) => {
+                            let r = self.lower_expr(rhs, *line)?;
+                            let ir_op = plain_op(*bop, *line)?;
+                            self.emit(
+                                IrInst::Bin { op: ir_op, dst, a: IrValue::Reg(dst), b: r },
+                                *line,
+                            );
+                            Ok(())
+                        }
+                        (None, _) => {
+                            let value = self.lower_expr(rhs, *line)?;
+                            self.write_var(name, value, *line)
+                        }
+                        (Some(bop), _) => {
+                            let cur = self.read_var(name, *line)?;
+                            let r = self.lower_expr(rhs, *line)?;
+                            let ir_op = plain_op(*bop, *line)?;
+                            let value = self.bin_value(ir_op, cur, r, *line)?;
+                            self.write_var(name, value, *line)
+                        }
+                    }
+                }
+                LValue::Index(name, idx) => match op {
+                    None => {
+                        let v = self.lower_expr(rhs, *line)?;
+                        let addr = self.element_addr(name, idx, *line)?;
+                        self.emit(IrInst::Store { src: v, addr }, *line);
+                        Ok(())
+                    }
+                    Some(bop) => {
+                        let addr = self.element_addr(name, idx, *line)?;
+                        let cur = self.new_vreg();
+                        self.emit(IrInst::Load { dst: cur, addr: addr.clone() }, *line);
+                        let r = self.lower_expr(rhs, *line)?;
+                        let ir_op = plain_op(*bop, *line)?;
+                        let v = self.bin_value(ir_op, IrValue::Reg(cur), r, *line)?;
+                        self.emit(IrInst::Store { src: v, addr }, *line);
+                        Ok(())
+                    }
+                },
+            },
+            Stmt::If { cond, then_body, else_body, line } => {
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let merge = if else_body.is_empty() { else_bb } else { self.new_block() };
+                self.lower_cond(cond, then_bb, else_bb, *line)?;
+                self.switch_to(then_bb);
+                self.scopes.push(HashMap::new());
+                for s in then_body {
+                    self.lower_stmt(s)?;
+                }
+                self.scopes.pop();
+                if !self.terminated() {
+                    self.emit(IrInst::Jump { target: merge }, *line);
+                }
+                if !else_body.is_empty() {
+                    self.switch_to(else_bb);
+                    self.scopes.push(HashMap::new());
+                    for s in else_body {
+                        self.lower_stmt(s)?;
+                    }
+                    self.scopes.pop();
+                    if !self.terminated() {
+                        self.emit(IrInst::Jump { target: merge }, *line);
+                    }
+                }
+                self.switch_to(merge);
+                Ok(())
+            }
+            Stmt::While { cond, body, line } => {
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.emit(IrInst::Jump { target: header }, *line);
+                self.switch_to(header);
+                self.lower_cond(cond, body_bb, exit, *line)?;
+                self.switch_to(body_bb);
+                self.scopes.push(HashMap::new());
+                for s in body {
+                    self.lower_stmt(s)?;
+                }
+                self.scopes.pop();
+                if !self.terminated() {
+                    self.emit(IrInst::Jump { target: header }, *line);
+                }
+                let last = BlockId(self.blocks.len() as u32 - 1);
+                self.loops.push((header, last));
+                self.switch_to(exit);
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, line } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.lower_stmt(i)?;
+                }
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.emit(IrInst::Jump { target: header }, *line);
+                self.switch_to(header);
+                match cond {
+                    Some(c) => self.lower_cond(c, body_bb, exit, *line)?,
+                    None => self.emit(IrInst::Jump { target: body_bb }, *line),
+                }
+                self.switch_to(body_bb);
+                self.scopes.push(HashMap::new());
+                for s in body {
+                    self.lower_stmt(s)?;
+                }
+                self.scopes.pop();
+                if !self.terminated() {
+                    if let Some(st) = step {
+                        self.lower_stmt(st)?;
+                    }
+                    self.emit(IrInst::Jump { target: header }, *line);
+                }
+                self.scopes.pop();
+                let last = BlockId(self.blocks.len() as u32 - 1);
+                self.loops.push((header, last));
+                self.switch_to(exit);
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                let v = match value {
+                    Some(e) => Some(self.lower_expr(e, *line)?),
+                    None => None,
+                };
+                self.emit(IrInst::Ret { value: v }, *line);
+                // Code after a return goes to a fresh unreachable block.
+                let cont = self.new_block();
+                self.switch_to(cont);
+                Ok(())
+            }
+            Stmt::ExprStmt { expr, line } => {
+                if let Expr::Call(name, args) = expr {
+                    if !self.func_names.contains_key(name.as_str()) {
+                        return Err(CompileError::new(*line, format!("undefined function `{name}`")));
+                    }
+                    let mut vals = Vec::new();
+                    for a in args {
+                        vals.push(self.lower_expr(a, *line)?);
+                    }
+                    self.emit(IrInst::Call { func: name.clone(), args: vals, dst: None }, *line);
+                    Ok(())
+                } else {
+                    let _ = self.lower_expr(expr, *line)?;
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+fn cmp_of(op: BinOp) -> Option<IrCmp> {
+    Some(match op {
+        BinOp::Lt => IrCmp::Lt,
+        BinOp::Le => IrCmp::Le,
+        BinOp::Gt => IrCmp::Gt,
+        BinOp::Ge => IrCmp::Ge,
+        BinOp::EqEq => IrCmp::Eq,
+        BinOp::Ne => IrCmp::Ne,
+        _ => return None,
+    })
+}
+
+fn plain_op(op: BinOp, line: u32) -> Result<IrBinOp, CompileError> {
+    Ok(match op {
+        BinOp::Add => IrBinOp::Add,
+        BinOp::Sub => IrBinOp::Sub,
+        BinOp::Mul => IrBinOp::Mul,
+        BinOp::And => IrBinOp::And,
+        BinOp::Or => IrBinOp::Or,
+        BinOp::Xor => IrBinOp::Xor,
+        BinOp::Shl => IrBinOp::Shl,
+        BinOp::Shr => IrBinOp::Sar,
+        _ => return Err(CompileError::new(line, "compound comparison assignment")),
+    })
+}
+
+fn lower_function(
+    f: &Function,
+    level: OptLevel,
+    globals: &HashMap<String, VarInfo>,
+    func_names: &HashMap<String, usize>,
+) -> Result<IrFunction, CompileError> {
+    let mut l = FnLowerer {
+        level,
+        globals,
+        func_names,
+        scopes: vec![HashMap::new()],
+        blocks: vec![IrBlock::default()],
+        cur: 0,
+        vregs: f.params.len() as u32,
+        frame: 0,
+        loops: Vec::new(),
+    };
+    // Bind parameters: vregs 0..n are the incoming arguments.
+    for (i, p) in f.params.iter().enumerate() {
+        if l.level == OptLevel::O0 {
+            let off = l.new_frame_slot();
+            l.scopes[0].insert(p.clone(), VarSlot::Frame(off));
+            let addr = l.frame_addr(off, p);
+            l.emit(IrInst::Store { src: IrValue::Reg(VReg(i as u32)), addr }, f.line);
+        } else {
+            l.scopes[0].insert(p.clone(), VarSlot::Reg(VReg(i as u32)));
+        }
+    }
+    for s in &f.body {
+        l.lower_stmt(s)?;
+    }
+    // Add an implicit `ret` unless the current block is an unreachable
+    // empty continuation (created after a `return`, never jumped to).
+    if !l.terminated() {
+        let cur = l.cur;
+        let reachable = cur == 0
+            || !l.blocks[cur].insts.is_empty()
+            || l.blocks.iter().flat_map(|b| b.insts.iter()).any(|t| match t.inst {
+                IrInst::Jump { target } => target.0 as usize == cur,
+                IrInst::Branch { then_bb, else_bb, .. } => {
+                    then_bb.0 as usize == cur || else_bb.0 as usize == cur
+                }
+                _ => false,
+            });
+        if reachable {
+            l.emit(IrInst::Ret { value: None }, f.line);
+        }
+    }
+    Ok(IrFunction {
+        name: f.name.clone(),
+        param_count: f.params.len(),
+        vreg_count: l.vregs,
+        blocks: l.blocks,
+        frame_size: l.frame,
+        loops: l.loops,
+    })
+}
+
+/// Lower a parsed program to an IR module.
+///
+/// # Errors
+///
+/// Returns the first semantic [`CompileError`] (undefined names, arity
+/// misuse of arrays, …).
+pub fn lower(prog: &Program, level: OptLevel) -> Result<IrModule, CompileError> {
+    let mut globals = HashMap::new();
+    let mut layout = Vec::new();
+    let mut addr = GLOBAL_BASE;
+    for g in &prog.globals {
+        if globals.contains_key(&g.name) {
+            return Err(CompileError::new(g.line, format!("duplicate global `{}`", g.name)));
+        }
+        let info = if g.elems == 1 {
+            VarInfo::GlobalScalar { addr }
+        } else {
+            VarInfo::GlobalArray { addr, elems: g.elems }
+        };
+        globals.insert(g.name.clone(), info);
+        layout.push((g.name.clone(), addr, g.elems, g.init));
+        addr += g.elems * 4;
+    }
+    let mut func_names = HashMap::new();
+    for (i, f) in prog.funcs.iter().enumerate() {
+        if func_names.insert(f.name.clone(), i).is_some() {
+            return Err(CompileError::new(f.line, format!("duplicate function `{}`", f.name)));
+        }
+    }
+    let mut funcs = Vec::new();
+    for f in &prog.funcs {
+        funcs.push(lower_function(f, level, &globals, &func_names)?);
+    }
+    Ok(IrModule { funcs, globals: layout })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str, level: OptLevel) -> IrModule {
+        lower(&parse(src).unwrap(), level).unwrap()
+    }
+
+    #[test]
+    fn simple_function_shape() {
+        let m = lower_src("int f(int a, int b) { return a + b; }", OptLevel::O2);
+        let f = &m.funcs[0];
+        assert_eq!(f.param_count, 2);
+        let insts: Vec<String> = f.insts().map(|t| t.inst.to_string()).collect();
+        assert_eq!(insts, vec!["%2 = add %0, %1", "ret %2"]);
+    }
+
+    #[test]
+    fn o0_homes_locals_in_frame() {
+        let m = lower_src("int f(int a) { int x = a; return x; }", OptLevel::O0);
+        let f = &m.funcs[0];
+        assert!(f.frame_size >= 8, "param + local slots");
+        let has_store = f.insts().any(|t| matches!(t.inst, IrInst::Store { .. }));
+        let has_load = f.insts().any(|t| matches!(t.inst, IrInst::Load { .. }));
+        assert!(has_store && has_load);
+    }
+
+    #[test]
+    fn o2_keeps_locals_in_vregs() {
+        let m = lower_src("int f(int a) { int x = a; return x; }", OptLevel::O2);
+        let f = &m.funcs[0];
+        assert_eq!(f.frame_size, 0);
+        assert!(!f.insts().any(|t| matches!(t.inst, IrInst::Load { .. })));
+    }
+
+    #[test]
+    fn array_fusion_by_level() {
+        let src = "int a[8]; int f(int i) { return a[i]; }";
+        let m2 = lower_src(src, OptLevel::O2);
+        let fused = m2.funcs[0]
+            .insts()
+            .any(|t| matches!(&t.inst, IrInst::Load { addr, .. } if matches!(addr.index, Some((_, 2)))));
+        assert!(fused, "O2 fuses the scale into the address");
+        let m1 = lower_src(src, OptLevel::O1);
+        let explicit_shift = m1.funcs[0]
+            .insts()
+            .any(|t| matches!(&t.inst, IrInst::Bin { op: IrBinOp::Shl, .. }));
+        assert!(explicit_shift, "O1 materializes the shift");
+    }
+
+    #[test]
+    fn while_records_loop_span() {
+        let m = lower_src(
+            "int f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }",
+            OptLevel::O2,
+        );
+        let f = &m.funcs[0];
+        assert_eq!(f.loops.len(), 1);
+        let (h, l) = f.loops[0];
+        assert!(h < l);
+        // The header ends with a conditional branch.
+        let hdr = &f.blocks[h.0 as usize];
+        assert!(matches!(hdr.insts.last().unwrap().inst, IrInst::Branch { .. }));
+    }
+
+    #[test]
+    fn short_circuit_condition() {
+        let m = lower_src(
+            "int f(int a, int b) { if (a > 0 && b > 0) { return 1; } return 0; }",
+            OptLevel::O2,
+        );
+        let branches = m.funcs[0]
+            .insts()
+            .filter(|t| matches!(t.inst, IrInst::Branch { .. }))
+            .count();
+        assert_eq!(branches, 2, "two tests for &&");
+    }
+
+    #[test]
+    fn logical_value_materializes_zero_one() {
+        let m = lower_src("int f(int a, int b) { return a > 0 || b > 0; }", OptLevel::O2);
+        let copies: Vec<i32> = m.funcs[0]
+            .insts()
+            .filter_map(|t| match t.inst {
+                IrInst::Copy { src: IrValue::Const(c), .. } => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert!(copies.contains(&0) && copies.contains(&1));
+    }
+
+    #[test]
+    fn global_layout() {
+        let m = lower_src("int g; int a[4]; int h = 3; int f() { return g; }", OptLevel::O2);
+        assert_eq!(m.globals[0], ("g".to_string(), GLOBAL_BASE, 1, 0));
+        assert_eq!(m.globals[1], ("a".to_string(), GLOBAL_BASE + 4, 4, 0));
+        assert_eq!(m.globals[2], ("h".to_string(), GLOBAL_BASE + 20, 1, 3));
+    }
+
+    #[test]
+    fn mem_var_names_flow_through() {
+        let m = lower_src("int total; int f(int x) { total += x; return total; }", OptLevel::O2);
+        let vars: Vec<&str> = m.funcs[0]
+            .insts()
+            .filter_map(|t| match &t.inst {
+                IrInst::Load { addr, .. } | IrInst::Store { addr, .. } => Some(addr.var.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(vars.iter().all(|v| *v == "total"));
+        assert!(vars.len() >= 2);
+    }
+
+    #[test]
+    fn constant_index_bounds_checked() {
+        assert!(lower(&parse("int a[4]; int f() { return a[3]; }").unwrap(), OptLevel::O2).is_ok());
+        let e = lower(&parse("int a[4]; int f() { return a[4]; }").unwrap(), OptLevel::O2)
+            .unwrap_err();
+        assert!(e.message.contains("out of bounds"), "{e}");
+        // Non-constant indices are not statically checkable.
+        assert!(
+            lower(&parse("int a[4]; int f(int i) { a[i] = 0; return 0; }").unwrap(), OptLevel::O2)
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn semantic_errors() {
+        assert!(lower(&parse("int f() { return x; }").unwrap(), OptLevel::O2).is_err());
+        assert!(lower(&parse("int f() { return g(); }").unwrap(), OptLevel::O2).is_err());
+        assert!(lower(&parse("int a[2]; int f() { return a; }").unwrap(), OptLevel::O2).is_err());
+        assert!(lower(&parse("int g; int g; ").unwrap(), OptLevel::O2).is_err());
+        assert!(
+            lower(&parse("int f() { return 1; } int f() { return 2; }").unwrap(), OptLevel::O2)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn every_block_is_terminated() {
+        let src = "
+int f(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i += 1) {
+    if (i & 1) { s += i; } else { s -= i; }
+  }
+  if (s > 10) { return s; }
+  return 0 - s;
+}";
+        let m = lower_src(src, OptLevel::O2);
+        for (i, b) in m.funcs[0].blocks.iter().enumerate() {
+            // Unreachable continuation blocks may be empty; all non-empty
+            // blocks must end in a terminator.
+            if let Some(last) = b.insts.last() {
+                assert!(last.inst.is_terminator(), "bb{i} not terminated");
+            }
+        }
+    }
+
+    #[test]
+    fn lines_tag_instructions() {
+        let src = "int f(int a) {\n  int x = a + 1;\n  x = x * 2;\n  return x;\n}";
+        let m = lower_src(src, OptLevel::O2);
+        let lines: Vec<u32> = m.funcs[0].insts().map(|t| t.loc.line).collect();
+        assert!(lines.contains(&2) && lines.contains(&3) && lines.contains(&4));
+    }
+}

@@ -1,0 +1,375 @@
+//! IR optimization passes.
+//!
+//! The IR is non-SSA (virtual registers are mutable), so the value-based
+//! passes are block-local with conservative invalidation; dead-code
+//! elimination is function-global on the "never used anywhere" criterion,
+//! which is sound for mutable vregs.
+
+use crate::ast::OptLevel;
+use crate::ir::{IrAddr, IrBinOp, IrFunction, IrInst, IrModule, IrValue, VReg};
+use std::collections::{HashMap, HashSet};
+
+/// Run the pass pipeline for `level` on a module, in place.
+pub fn optimize(module: &mut IrModule, level: OptLevel) {
+    let iterations = match level {
+        OptLevel::O0 => 0,
+        OptLevel::O1 => 1,
+        OptLevel::O2 => 2,
+        OptLevel::O3 => 3,
+    };
+    for f in &mut module.funcs {
+        for _ in 0..iterations {
+            const_fold(f);
+            copy_prop(f);
+            strength_reduce(f);
+            if level >= OptLevel::O2 {
+                cse(f);
+            }
+            dce(f);
+        }
+    }
+}
+
+/// Fold constant operands.
+fn const_fold(f: &mut IrFunction) {
+    for b in &mut f.blocks {
+        for t in &mut b.insts {
+            let new = match &t.inst {
+                IrInst::Bin { op, dst, a: IrValue::Const(x), b: IrValue::Const(y) } => {
+                    Some(IrInst::Copy { dst: *dst, src: IrValue::Const(op.eval(*x, *y)) })
+                }
+                IrInst::SetCmp { cmp, dst, a: IrValue::Const(x), b: IrValue::Const(y) } => {
+                    Some(IrInst::Copy { dst: *dst, src: IrValue::Const(cmp.eval(*x, *y) as i32) })
+                }
+                IrInst::Branch { cmp, a: IrValue::Const(x), b: IrValue::Const(y), then_bb, else_bb } => {
+                    let target = if cmp.eval(*x, *y) { *then_bb } else { *else_bb };
+                    Some(IrInst::Jump { target })
+                }
+                // Algebraic identities with one constant.
+                IrInst::Bin { op, dst, a, b: IrValue::Const(c) } => match (op, c) {
+                    (IrBinOp::Add, 0)
+                    | (IrBinOp::Sub, 0)
+                    | (IrBinOp::Or, 0)
+                    | (IrBinOp::Xor, 0)
+                    | (IrBinOp::Shl, 0)
+                    | (IrBinOp::Sar, 0) => Some(IrInst::Copy { dst: *dst, src: *a }),
+                    (IrBinOp::Mul, 1) => Some(IrInst::Copy { dst: *dst, src: *a }),
+                    (IrBinOp::Mul, 0) | (IrBinOp::And, 0) => {
+                        Some(IrInst::Copy { dst: *dst, src: IrValue::Const(0) })
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(inst) = new {
+                t.inst = inst;
+            }
+        }
+    }
+}
+
+fn subst_value(v: &mut IrValue, env: &HashMap<VReg, IrValue>) {
+    if let IrValue::Reg(r) = v {
+        if let Some(repl) = env.get(r) {
+            *v = *repl;
+        }
+    }
+}
+
+fn subst_addr(a: &mut IrAddr, env: &HashMap<VReg, IrValue>) {
+    if let crate::ir::IrBase::Reg(r) = a.base {
+        if let Some(IrValue::Reg(n)) = env.get(&r) {
+            a.base = crate::ir::IrBase::Reg(*n);
+        }
+    }
+    if let Some((r, shift)) = a.index {
+        match env.get(&r) {
+            Some(IrValue::Reg(n)) => a.index = Some((*n, shift)),
+            Some(IrValue::Const(c)) => {
+                // Fold a constant index into the displacement.
+                a.offset = a.offset.wrapping_add(c.wrapping_shl(shift));
+                a.index = None;
+            }
+            None => {}
+        }
+    }
+}
+
+/// Block-local copy propagation (registers and constants).
+fn copy_prop(f: &mut IrFunction) {
+    for b in &mut f.blocks {
+        let mut env: HashMap<VReg, IrValue> = HashMap::new();
+        for t in &mut b.insts {
+            // Substitute uses.
+            match &mut t.inst {
+                IrInst::Copy { src, .. } => subst_value(src, &env),
+                IrInst::Bin { a, b, .. } | IrInst::SetCmp { a, b, .. } | IrInst::Branch { a, b, .. } => {
+                    subst_value(a, &env);
+                    subst_value(b, &env);
+                }
+                IrInst::Load { addr, .. } => subst_addr(addr, &env),
+                IrInst::Store { src, addr } => {
+                    subst_value(src, &env);
+                    subst_addr(addr, &env);
+                }
+                IrInst::Call { args, .. } => {
+                    for a in args {
+                        subst_value(a, &env);
+                    }
+                }
+                IrInst::Ret { value: Some(v) } => subst_value(v, &env),
+                _ => {}
+            }
+            // Invalidate and record.
+            if let Some(d) = t.inst.def() {
+                env.retain(|k, v| *k != d && *v != IrValue::Reg(d));
+                if let IrInst::Copy { dst, src } = &t.inst {
+                    if *src != IrValue::Reg(*dst) {
+                        env.insert(*dst, *src);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Multiply-by-power-of-two → shift.
+fn strength_reduce(f: &mut IrFunction) {
+    for b in &mut f.blocks {
+        for t in &mut b.insts {
+            if let IrInst::Bin { op: op @ IrBinOp::Mul, a, b: bv, dst } = &mut t.inst {
+                let (reg, c) = match (&a, &bv) {
+                    (IrValue::Reg(_), IrValue::Const(c)) => (*a, *c),
+                    (IrValue::Const(c), IrValue::Reg(_)) => (*bv, *c),
+                    _ => continue,
+                };
+                if c > 0 && (c as u32).is_power_of_two() {
+                    *op = IrBinOp::Shl;
+                    *a = reg;
+                    *bv = IrValue::Const(c.trailing_zeros() as i32);
+                    let _ = dst;
+                }
+            }
+        }
+    }
+}
+
+/// Block-local common-subexpression elimination (pure ops and loads).
+fn cse(f: &mut IrFunction) {
+    #[derive(PartialEq, Eq, Hash)]
+    enum Key {
+        Bin(IrBinOp, IrValue, IrValue),
+        Load(IrAddrKey),
+    }
+    #[derive(PartialEq, Eq, Hash, Clone)]
+    struct IrAddrKey(String);
+
+    fn addr_key(a: &IrAddr) -> IrAddrKey {
+        IrAddrKey(format!("{a}"))
+    }
+
+    for b in &mut f.blocks {
+        let mut avail: HashMap<Key, VReg> = HashMap::new();
+        for t in &mut b.insts {
+            // Stores and calls kill loads.
+            if matches!(t.inst, IrInst::Store { .. } | IrInst::Call { .. }) {
+                avail.retain(|k, _| !matches!(k, Key::Load(_)));
+            }
+            // 1. Lookup (operands are read before the def takes effect).
+            let key_of = |v: &IrValue| match v {
+                IrValue::Reg(r) => (0u8, r.0 as i64),
+                IrValue::Const(c) => (1u8, *c as i64),
+            };
+            let (replacement, record) = match &t.inst {
+                IrInst::Bin { op, dst, a, b } => {
+                    let (ka, kb) = if op.commutative() && key_of(b) < key_of(a) {
+                        (*b, *a)
+                    } else {
+                        (*a, *b)
+                    };
+                    let key = Key::Bin(*op, ka, kb);
+                    match avail.get(&key) {
+                        Some(prev) => {
+                            (Some(IrInst::Copy { dst: *dst, src: IrValue::Reg(*prev) }), None)
+                        }
+                        None => {
+                            // Only record if the expression does not read
+                            // the register it defines.
+                            let self_ref = *a == IrValue::Reg(*dst) || *b == IrValue::Reg(*dst);
+                            (None, (!self_ref).then_some((key, *dst)))
+                        }
+                    }
+                }
+                IrInst::Load { dst, addr } => {
+                    let key = Key::Load(addr_key(addr));
+                    let self_ref = addr.index.map(|(r, _)| r) == Some(*dst)
+                        || matches!(addr.base, crate::ir::IrBase::Reg(r) if r == *dst);
+                    match avail.get(&key) {
+                        Some(prev) => {
+                            (Some(IrInst::Copy { dst: *dst, src: IrValue::Reg(*prev) }), None)
+                        }
+                        None => (None, (!self_ref).then_some((key, *dst))),
+                    }
+                }
+                _ => (None, None),
+            };
+            if let Some(inst) = replacement {
+                t.inst = inst;
+            }
+            // 2. The def invalidates expressions mentioning the register.
+            if let Some(d) = t.inst.def() {
+                avail.retain(|k, v| {
+                    if *v == d {
+                        return false;
+                    }
+                    match k {
+                        Key::Bin(_, a, b) => *a != IrValue::Reg(d) && *b != IrValue::Reg(d),
+                        Key::Load(IrAddrKey(s)) => !s.contains(&format!("%{} ", d.0)),
+                    }
+                });
+            }
+            // 3. Record the new available expression.
+            if let Some((key, dst)) = record {
+                avail.insert(key, dst);
+            }
+        }
+    }
+}
+
+/// Remove defs of vregs never used anywhere in the function.
+fn dce(f: &mut IrFunction) {
+    loop {
+        let mut used: HashSet<VReg> = HashSet::new();
+        for t in f.insts() {
+            used.extend(t.inst.uses());
+        }
+        let mut removed = false;
+        for b in &mut f.blocks {
+            b.insts.retain(|t| {
+                let dead = match t.inst.def() {
+                    Some(d) => {
+                        !used.contains(&d)
+                            && !t.inst.has_side_effects()
+                            && !matches!(t.inst, IrInst::Call { .. })
+                    }
+                    None => false,
+                };
+                if dead {
+                    removed = true;
+                }
+                !dead
+            });
+        }
+        if !removed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::OptLevel;
+    use crate::lower::lower;
+    use crate::parser::parse;
+
+    fn optimized(src: &str, level: OptLevel) -> IrModule {
+        let mut m = lower(&parse(src).unwrap(), level).unwrap();
+        optimize(&mut m, level);
+        m
+    }
+
+    #[test]
+    fn constants_fold() {
+        let m = optimized("int f() { return 2 + 3 * 4; }", OptLevel::O2);
+        let insts: Vec<String> = m.funcs[0].insts().map(|t| t.inst.to_string()).collect();
+        assert!(insts.iter().any(|s| s.contains("ret 14")), "{insts:?}");
+    }
+
+    #[test]
+    fn copies_propagate_into_ret() {
+        let m = optimized("int f(int a) { int x = a; int y = x; return y; }", OptLevel::O2);
+        let f = &m.funcs[0];
+        // After copy-prop and DCE only the ret should remain.
+        let insts: Vec<String> = f.insts().map(|t| t.inst.to_string()).collect();
+        assert_eq!(insts, vec!["ret %0"], "{insts:?}");
+    }
+
+    #[test]
+    fn mul_by_eight_becomes_shift() {
+        let m = optimized("int f(int a) { return a * 8; }", OptLevel::O1);
+        let has_shl = m.funcs[0]
+            .insts()
+            .any(|t| matches!(t.inst, IrInst::Bin { op: IrBinOp::Shl, b: IrValue::Const(3), .. }));
+        assert!(has_shl);
+    }
+
+    #[test]
+    fn cse_merges_repeated_loads() {
+        let src = "int g; int f(int a) { return g + a * g; }";
+        // Count loads of g at O2 (CSE on) vs O1 (off).
+        let loads = |level| {
+            optimized(src, level).funcs[0]
+                .insts()
+                .filter(|t| matches!(t.inst, IrInst::Load { .. }))
+                .count()
+        };
+        assert_eq!(loads(OptLevel::O2), 1);
+        assert_eq!(loads(OptLevel::O1), 2);
+    }
+
+    #[test]
+    fn cse_does_not_cross_stores() {
+        let src = "int g; int f(int a) { int x = g; g = a; return x + g; }";
+        let m = optimized(src, OptLevel::O2);
+        let loads = m.funcs[0]
+            .insts()
+            .filter(|t| matches!(t.inst, IrInst::Load { .. }))
+            .count();
+        assert_eq!(loads, 2, "store to g must kill the cached load");
+    }
+
+    #[test]
+    fn dce_removes_dead_work() {
+        let m = optimized("int f(int a) { int dead = a * 37; return a; }", OptLevel::O1);
+        let insts: Vec<String> = m.funcs[0].insts().map(|t| t.inst.to_string()).collect();
+        assert_eq!(insts, vec!["ret %0"], "{insts:?}");
+    }
+
+    #[test]
+    fn calls_survive_dce() {
+        let m = optimized(
+            "int g; int side() { g += 1; return g; } int f() { int x = side(); return 0; }",
+            OptLevel::O2,
+        );
+        let f = m.funcs.iter().find(|f| f.name == "f").unwrap();
+        assert!(f.insts().any(|t| matches!(t.inst, IrInst::Call { .. })));
+    }
+
+    #[test]
+    fn constant_branch_folds_to_jump() {
+        let m = optimized("int f() { if (1 < 2) { return 1; } return 2; }", OptLevel::O1);
+        assert!(!m.funcs[0].insts().any(|t| matches!(t.inst, IrInst::Branch { .. })));
+    }
+
+    #[test]
+    fn constant_index_folds_into_offset() {
+        let m = optimized("int a[8]; int f() { return a[3]; }", OptLevel::O2);
+        let ok = m.funcs[0].insts().any(|t| {
+            matches!(&t.inst, IrInst::Load { addr, .. } if addr.offset == 12 && addr.index.is_none())
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn loop_counter_not_dced() {
+        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; i += 1) { s += i; } return s; }";
+        let m = optimized(src, OptLevel::O2);
+        // The increment of i must survive (it is used by the loop test).
+        let adds = m.funcs[0]
+            .insts()
+            .filter(|t| matches!(t.inst, IrInst::Bin { op: IrBinOp::Add, .. }))
+            .count();
+        assert!(adds >= 2, "s += i and i += 1 both present");
+    }
+}

@@ -1,0 +1,487 @@
+//! Recursive-descent parser for the mini-C subset.
+
+use crate::ast::{BinOp, CompileError, Expr, Function, Global, LValue, Program, Stmt, UnOp};
+use crate::lexer::{lex, Tok, Token};
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|t| t.line)
+            .unwrap_or(1)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.line(), msg)
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), CompileError> {
+        match self.peek() {
+            Some(Tok::Punct(q)) if *q == p => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{p}`, found `{}`", fmt_tok(other)))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found `{}`", fmt_tok(other.as_ref())))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        while self.peek().is_some() {
+            let line = self.line();
+            match self.bump() {
+                Some(Tok::KwInt) => {}
+                other => {
+                    return Err(CompileError::new(
+                        line,
+                        format!("expected `int` declaration, found `{}`", fmt_tok(other.as_ref())),
+                    ))
+                }
+            }
+            let name = self.expect_ident()?;
+            if self.eat_punct("(") {
+                prog.funcs.push(self.function(name, line)?);
+            } else {
+                prog.globals.push(self.global(name, line)?);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn global(&mut self, name: String, line: u32) -> Result<Global, CompileError> {
+        let mut elems = 1u32;
+        if self.eat_punct("[") {
+            match self.bump() {
+                Some(Tok::Num(n)) if n > 0 => elems = n as u32,
+                _ => return Err(self.err("expected positive array size")),
+            }
+            self.expect_punct("]")?;
+        }
+        let mut init = 0i32;
+        if self.eat_punct("=") {
+            init = self.const_expr()?;
+        }
+        self.expect_punct(";")?;
+        Ok(Global { name, elems, init, line })
+    }
+
+    fn const_expr(&mut self) -> Result<i32, CompileError> {
+        let neg = self.eat_punct("-");
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(if neg { n.wrapping_neg() } else { n }),
+            other => Err(self.err(format!("expected constant, found `{}`", fmt_tok(other.as_ref())))),
+        }
+    }
+
+    fn function(&mut self, name: String, line: u32) -> Result<Function, CompileError> {
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                match self.bump() {
+                    Some(Tok::KwInt) => {}
+                    other => {
+                        return Err(self.err(format!(
+                            "expected `int` parameter, found `{}`",
+                            fmt_tok(other.as_ref())
+                        )))
+                    }
+                }
+                params.push(self.expect_ident()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            if self.peek().is_none() {
+                return Err(self.err("unexpected end of input in block"));
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::KwInt) => {
+                self.bump();
+                let name = self.expect_ident()?;
+                let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+                self.expect_punct(";")?;
+                Ok(Stmt::Decl { name, init, line })
+            }
+            Some(Tok::KwReturn) => {
+                self.bump();
+                let value = if self.eat_punct(";") {
+                    None
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Some(e)
+                };
+                Ok(Stmt::Return { value, line })
+            }
+            Some(Tok::KwIf) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then_body = self.block()?;
+                let else_body = if matches!(self.peek(), Some(Tok::KwElse)) {
+                    self.bump();
+                    if matches!(self.peek(), Some(Tok::KwIf)) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body, line })
+            }
+            Some(Tok::KwWhile) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Some(Tok::KwFor) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let init = if self.eat_punct(";") {
+                    None
+                } else {
+                    let s = self.simple_stmt()?;
+                    self.expect_punct(";")?;
+                    Some(Box::new(s))
+                };
+                let cond = if self.eat_punct(";") {
+                    None
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Some(e)
+                };
+                let step = if self.eat_punct(")") {
+                    None
+                } else {
+                    let s = self.simple_stmt()?;
+                    self.expect_punct(")")?;
+                    Some(Box::new(s))
+                };
+                let body = self.block()?;
+                Ok(Stmt::For { init, cond, step, body, line })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect_punct(";")?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Assignment, compound assignment, declaration-free initializer, or
+    /// expression — without the trailing `;` (shared by `for` headers).
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if matches!(self.peek(), Some(Tok::KwInt)) {
+            self.bump();
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+            return Ok(Stmt::Decl { name, init, line });
+        }
+        // Lookahead: identifier followed by an assignment operator?
+        if let Some(Tok::Ident(name)) = self.peek().cloned() {
+            let save = self.pos;
+            self.bump();
+            let lv = if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                LValue::Index(name.clone(), Box::new(idx))
+            } else {
+                LValue::Var(name.clone())
+            };
+            let op = match self.peek() {
+                Some(Tok::Punct("=")) => Some(None),
+                Some(Tok::Punct("+=")) => Some(Some(BinOp::Add)),
+                Some(Tok::Punct("-=")) => Some(Some(BinOp::Sub)),
+                Some(Tok::Punct("*=")) => Some(Some(BinOp::Mul)),
+                Some(Tok::Punct("&=")) => Some(Some(BinOp::And)),
+                Some(Tok::Punct("|=")) => Some(Some(BinOp::Or)),
+                Some(Tok::Punct("^=")) => Some(Some(BinOp::Xor)),
+                Some(Tok::Punct("<<=")) => Some(Some(BinOp::Shl)),
+                Some(Tok::Punct(">>=")) => Some(Some(BinOp::Shr)),
+                _ => None,
+            };
+            if let Some(op) = op {
+                self.bump();
+                let rhs = self.expr()?;
+                return Ok(Stmt::Assign { lv, op, rhs, line });
+            }
+            self.pos = save;
+        }
+        let expr = self.expr()?;
+        Ok(Stmt::ExprStmt { expr, line })
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some(Tok::Punct(p)) = self.peek() else { break };
+            let Some((op, prec)) = binop_of(p) else { break };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::Un(UnOp::BitNot, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Un(UnOp::LogNot, Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Ident(name)) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct(")")?;
+                    }
+                    Ok(Expr::Call(name, args))
+                } else if self.eat_punct("[") {
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Tok::Punct("(")) => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected expression, found `{}`", fmt_tok(other.as_ref())),
+            )),
+        }
+    }
+}
+
+fn binop_of(p: &str) -> Option<(BinOp, u8)> {
+    Some(match p {
+        "||" => (BinOp::LogOr, 1),
+        "&&" => (BinOp::LogAnd, 2),
+        "|" => (BinOp::Or, 3),
+        "^" => (BinOp::Xor, 4),
+        "&" => (BinOp::And, 5),
+        "==" => (BinOp::EqEq, 6),
+        "!=" => (BinOp::Ne, 6),
+        "<" => (BinOp::Lt, 7),
+        "<=" => (BinOp::Le, 7),
+        ">" => (BinOp::Gt, 7),
+        ">=" => (BinOp::Ge, 7),
+        "<<" => (BinOp::Shl, 8),
+        ">>" => (BinOp::Shr, 8),
+        "+" => (BinOp::Add, 9),
+        "-" => (BinOp::Sub, 9),
+        "*" => (BinOp::Mul, 10),
+        _ => return None,
+    })
+}
+
+fn fmt_tok(t: Option<&Tok>) -> String {
+    t.map(|t| t.to_string()).unwrap_or_else(|| "<eof>".to_string())
+}
+
+/// Parse a source string into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`CompileError`].
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_and_functions() {
+        let p = parse("int g = 5; int a[10]; int main() { return g; }").unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].init, 5);
+        assert_eq!(p.globals[1].elems, 10);
+        assert_eq!(p.funcs[0].name, "main");
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("int f() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        assert_eq!(
+            *e,
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Num(1)),
+                Box::new(Expr::Bin(BinOp::Mul, Box::new(Expr::Num(2)), Box::new(Expr::Num(3))))
+            )
+        );
+    }
+
+    #[test]
+    fn compound_assignment_and_index() {
+        let p = parse("int a[4]; int f(int i) { a[i] += 2; return a[i]; }").unwrap();
+        let Stmt::Assign { lv: LValue::Index(name, _), op: Some(BinOp::Add), .. } =
+            &p.funcs[0].body[0]
+        else {
+            panic!("{:?}", p.funcs[0].body[0]);
+        };
+        assert_eq!(name, "a");
+    }
+
+    #[test]
+    fn control_flow() {
+        let src = "
+int f(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i += 1) {
+    if (i & 1) { s += i; } else { s -= i; }
+  }
+  while (s > 100) { s >>= 1; }
+  return s;
+}";
+        let p = parse(src).unwrap();
+        assert_eq!(p.funcs[0].params, vec!["n"]);
+        assert_eq!(p.funcs[0].body.len(), 4);
+        let Stmt::For { init: Some(_), cond: Some(_), step: Some(_), .. } = &p.funcs[0].body[1]
+        else {
+            panic!()
+        };
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let src = "int f(int x) { if (x < 0) { return 0; } else if (x < 10) { return 1; } else { return 2; } }";
+        let p = parse(src).unwrap();
+        let Stmt::If { else_body, .. } = &p.funcs[0].body[0] else { panic!() };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn calls_with_args() {
+        let p = parse("int g(int a, int b) { return a; } int f() { return g(1, 2 + 3); }").unwrap();
+        let Stmt::Return { value: Some(Expr::Call(name, args)), .. } = &p.funcs[1].body[0] else {
+            panic!()
+        };
+        assert_eq!(name, "g");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn lines_recorded() {
+        let src = "int f() {\n  int x = 1;\n  x += 2;\n  return x;\n}";
+        let p = parse(src).unwrap();
+        let lines: Vec<u32> = p.funcs[0]
+            .body
+            .iter()
+            .map(|s| match s {
+                Stmt::Decl { line, .. } | Stmt::Assign { line, .. } | Stmt::Return { line, .. } => {
+                    *line
+                }
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(lines, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = parse("int f() {\n  return ;;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("int f() { return 1 }").is_err());
+        assert!(parse("float f() {}").is_err());
+        assert!(parse("int a[0];").is_err());
+    }
+
+    #[test]
+    fn negative_global_init() {
+        let p = parse("int g = -7;").unwrap();
+        assert_eq!(p.globals[0].init, -7);
+    }
+}

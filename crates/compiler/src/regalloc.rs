@@ -1,0 +1,309 @@
+//! Live-interval register allocation (linear scan), shared by both
+//! backends.
+//!
+//! Intervals are computed over the linearized instruction order and
+//! conservatively extended across loop bodies (recorded by the lowerer)
+//! so loop-carried values stay pinned for the whole loop. Vregs that do
+//! not fit in the register pool are spilled to frame slots; backends
+//! access spilled vregs through reserved scratch registers.
+//!
+//! The pool *order* is a style knob: the LLVM- and GCC-flavored backends
+//! pass different preference orders, so the same IR allocates differently
+//! — one source of the guest/host register-mapping mismatches the paper
+//! observes (Table 1, column "Rg").
+
+use crate::ir::{IrFunction, VReg};
+use std::collections::HashMap;
+
+/// Where a vreg lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// Physical register, as an index into the backend's pool.
+    Reg(usize),
+    /// Spilled to the frame at this byte offset.
+    Spill(i32),
+}
+
+/// A live interval over linear instruction positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// First position (inclusive).
+    pub start: u32,
+    /// Last position (inclusive).
+    pub end: u32,
+}
+
+/// The result of allocation.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Location per vreg (indexed by vreg number).
+    pub locs: Vec<Loc>,
+    /// Live interval per vreg (degenerate `1..0` if never seen).
+    pub intervals: Vec<Interval>,
+    /// Total frame bytes including the lowerer's slots and spills.
+    pub frame_size: u32,
+}
+
+impl Allocation {
+    /// The location of a vreg.
+    pub fn loc(&self, r: VReg) -> Loc {
+        self.locs[r.0 as usize]
+    }
+
+    /// Whether `r` is live across position `pos` (strictly spanning it).
+    pub fn live_across(&self, r: VReg, pos: u32) -> bool {
+        let iv = self.intervals[r.0 as usize];
+        iv.start < pos && pos < iv.end
+    }
+}
+
+/// Allocate registers for a function.
+///
+/// `pool` is the preference-ordered list of physical register indices the
+/// backend exposes. Positions are assigned in block-layout order, one per
+/// IR instruction.
+pub fn allocate(f: &IrFunction, pool: &[usize]) -> Allocation {
+    let n = f.vreg_count as usize;
+    let mut intervals = vec![Interval { start: 1, end: 0 }; n];
+    let touch = |r: VReg, pos: u32, intervals: &mut Vec<Interval>| {
+        let iv = &mut intervals[r.0 as usize];
+        if iv.start > iv.end {
+            *iv = Interval { start: pos, end: pos };
+        } else {
+            iv.start = iv.start.min(pos);
+            iv.end = iv.end.max(pos);
+        }
+    };
+    // Parameters are live-in from position 0.
+    for p in 0..f.param_count.min(n) {
+        touch(VReg(p as u32), 0, &mut intervals);
+    }
+    // Walk instructions; record block position spans for loop extension.
+    let mut pos = 0u32;
+    let mut block_span = Vec::with_capacity(f.blocks.len());
+    for b in &f.blocks {
+        let start = pos;
+        for t in &b.insts {
+            pos += 1;
+            if let Some(d) = t.inst.def() {
+                touch(d, pos, &mut intervals);
+            }
+            for u in t.inst.uses() {
+                touch(u, pos, &mut intervals);
+            }
+        }
+        block_span.push((start + 1, pos.max(start + 1)));
+    }
+    // Extend intervals across loops until fixpoint.
+    let loop_spans: Vec<(u32, u32)> = f
+        .loops
+        .iter()
+        .map(|(h, l)| {
+            let ls = block_span.get(h.0 as usize).map(|s| s.0).unwrap_or(1);
+            let le = block_span.get(l.0 as usize).map(|s| s.1).unwrap_or(ls);
+            (ls, le)
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for iv in intervals.iter_mut() {
+            if iv.start > iv.end {
+                continue;
+            }
+            for &(ls, le) in &loop_spans {
+                // Live into the loop: pin to the loop end.
+                if iv.start < ls && iv.end >= ls && iv.end < le {
+                    iv.end = le;
+                    changed = true;
+                }
+                // Defined in the loop, live out of it: pin from the start.
+                if iv.start >= ls && iv.start <= le && iv.end > le && iv.start > ls {
+                    iv.start = ls;
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Linear scan.
+    let mut order: Vec<usize> = (0..n).filter(|i| intervals[*i].start <= intervals[*i].end).collect();
+    order.sort_by_key(|i| (intervals[*i].start, intervals[*i].end));
+    let mut locs = vec![Loc::Spill(-1); n];
+    let mut active: Vec<(usize, usize)> = Vec::new(); // (vreg index, pool slot)
+    let mut free: Vec<usize> = pool.to_vec();
+    let mut next_spill = f.frame_size as i32;
+    let mut reg_of_pool: HashMap<usize, usize> = HashMap::new(); // pool reg -> vreg
+    for &vi in &order {
+        let iv = intervals[vi];
+        // Expire finished intervals.
+        active.retain(|&(avi, slot)| {
+            if intervals[avi].end < iv.start {
+                free.push(slot);
+                reg_of_pool.remove(&slot);
+                false
+            } else {
+                true
+            }
+        });
+        // Prefer pool order among free registers.
+        let chosen = pool.iter().find(|r| free.contains(r)).copied();
+        match chosen {
+            Some(slot) => {
+                free.retain(|&s| s != slot);
+                active.push((vi, slot));
+                reg_of_pool.insert(slot, vi);
+                locs[vi] = Loc::Reg(slot);
+            }
+            None => {
+                // Spill the active interval ending last (or this one).
+                let victim = active
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, (avi, _))| intervals[*avi].end)
+                    .map(|(i, _)| i);
+                match victim {
+                    Some(ai) if intervals[active[ai].0].end > iv.end => {
+                        let (victim_vi, slot) = active[ai];
+                        locs[victim_vi] = Loc::Spill(next_spill);
+                        next_spill += 4;
+                        active[ai] = (vi, slot);
+                        reg_of_pool.insert(slot, vi);
+                        locs[vi] = Loc::Reg(slot);
+                    }
+                    _ => {
+                        locs[vi] = Loc::Spill(next_spill);
+                        next_spill += 4;
+                    }
+                }
+            }
+        }
+    }
+    Allocation { locs, intervals, frame_size: next_spill as u32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::OptLevel;
+    use crate::lower::lower;
+    use crate::opt::optimize;
+    use crate::parser::parse;
+
+    fn alloc(src: &str, pool: &[usize]) -> (IrFunction, Allocation) {
+        let mut m = lower(&parse(src).unwrap(), OptLevel::O2).unwrap();
+        optimize(&mut m, OptLevel::O2);
+        let f = m.funcs.remove(0);
+        let a = allocate(&f, pool);
+        (f, a)
+    }
+
+    #[test]
+    fn small_function_all_in_registers() {
+        let (_, a) = alloc("int f(int x, int y) { return x + y * 2; }", &[0, 1, 2, 3]);
+        for (i, loc) in a.locs.iter().enumerate() {
+            if a.intervals[i].start <= a.intervals[i].end {
+                assert!(matches!(loc, Loc::Reg(_)), "vreg {i} spilled unnecessarily");
+            }
+        }
+    }
+
+    #[test]
+    fn no_two_live_vregs_share_a_register() {
+        let src = "
+int f(int a, int b, int c, int d) {
+  int e = a + b;
+  int g = c + d;
+  int h = e * g;
+  return h + a + b + c + d;
+}";
+        let (_, a) = alloc(src, &[0, 1, 2, 3, 4, 5]);
+        for i in 0..a.locs.len() {
+            for j in (i + 1)..a.locs.len() {
+                let (li, lj) = (a.locs[i], a.locs[j]);
+                if let (Loc::Reg(ri), Loc::Reg(rj)) = (li, lj) {
+                    if ri == rj {
+                        let (a1, a2) = (a.intervals[i], a.intervals[j]);
+                        let overlap = a1.start.max(a2.start) <= a1.end.min(a2.end);
+                        assert!(!overlap, "vregs {i} and {j} overlap in reg {ri}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_forces_spills() {
+        // Ten simultaneously live values with a 3-register pool.
+        let src = "
+int f(int a, int b) {
+  int v0 = a + 1; int v1 = a + 2; int v2 = a + 3; int v3 = a + 4;
+  int v4 = a + 5; int v5 = a + 6; int v6 = a + 7; int v7 = a + 8;
+  return v0 + v1 + v2 + v3 + v4 + v5 + v6 + v7 + b;
+}";
+        let (_, a) = alloc(src, &[0, 1, 2]);
+        let spills = a
+            .locs
+            .iter()
+            .enumerate()
+            .filter(|(i, l)| {
+                a.intervals[*i].start <= a.intervals[*i].end && matches!(l, Loc::Spill(_))
+            })
+            .count();
+        assert!(spills > 0, "must spill under pressure");
+        assert!(a.frame_size >= 4 * spills as u32);
+    }
+
+    #[test]
+    fn loop_carried_values_pinned_across_loop() {
+        let src = "
+int f(int n) {
+  int s = 0;
+  int i = 0;
+  while (i < n) { s += i; i += 1; }
+  return s;
+}";
+        let (f, a) = alloc(src, &[0, 1, 2, 3]);
+        // Every vreg used inside the loop must have an interval covering
+        // the entire loop span.
+        let (h, l) = f.loops[0];
+        let mut pos = 0u32;
+        let mut spans = Vec::new();
+        for b in &f.blocks {
+            let s = pos;
+            pos += b.insts.len() as u32;
+            spans.push((s + 1, pos.max(s + 1)));
+        }
+        let (ls, le) = (spans[h.0 as usize].0, spans[l.0 as usize].1);
+        for b in &f.blocks[h.0 as usize..=l.0 as usize] {
+            for t in &b.insts {
+                for u in t.inst.uses() {
+                    let iv = a.intervals[u.0 as usize];
+                    if iv.start < ls {
+                        assert!(iv.end >= le, "vreg {u} not pinned across loop");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preference_order_respected() {
+        let (_, a) = alloc("int f(int x) { return x + 1; }", &[5, 2, 0]);
+        // The single long-lived vreg (the parameter) gets the most
+        // preferred register, index 5.
+        assert_eq!(a.locs[0], Loc::Reg(5));
+    }
+
+    #[test]
+    fn live_across_queries() {
+        let a = Allocation {
+            locs: vec![Loc::Reg(0)],
+            intervals: vec![Interval { start: 2, end: 9 }],
+            frame_size: 0,
+        };
+        assert!(a.live_across(VReg(0), 5));
+        assert!(!a.live_across(VReg(0), 2));
+        assert!(!a.live_across(VReg(0), 9));
+        assert!(!a.live_across(VReg(0), 12));
+    }
+}

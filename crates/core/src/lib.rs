@@ -1,0 +1,196 @@
+#![forbid(unsafe_code)]
+//! End-to-end pipeline: learn translation rules from a program corpus and
+//! run benchmarks under the rule-enhanced DBT.
+//!
+//! This facade crate wires the whole system together the way the paper's
+//! evaluation does:
+//!
+//! 1. [`learn_suite`] compiles every (synthetic) SPEC CINT2006 program
+//!    for both ISAs and learns verified translation rules, optionally
+//!    *excluding* the program under evaluation (the paper's leave-one-out
+//!    protocol);
+//! 2. [`run_benchmark`] executes a benchmark under a chosen engine
+//!    (QEMU-style TCG baseline, rule-enhanced, or the HQEMU-style
+//!    optimizing JIT), validating the final architectural state against
+//!    the ARM interpreter and returning the statistics each figure is
+//!    computed from;
+//! 3. [`experiment`] contains one driver per table/figure of the paper.
+//!
+//! ```no_run
+//! use ldbt_core::{learn_suite, run_benchmark, EngineKind};
+//! use ldbt_compiler::Options;
+//! use ldbt_workloads::Workload;
+//!
+//! let (rules, _) = learn_suite(&Options::o2(), Some("mcf")).unwrap();
+//! let baseline = run_benchmark("mcf", Workload::Ref, EngineKind::Tcg, &Options::o2(), None);
+//! let ours = run_benchmark("mcf", Workload::Ref, EngineKind::Rules, &Options::o2(), Some(&rules));
+//! println!("speedup: {:.2}x", ours.speedup_over(&baseline));
+//! ```
+
+pub mod experiment;
+
+pub use ldbt_compiler as compiler;
+pub use ldbt_dbt as dbt;
+pub use ldbt_learn as learn;
+pub use ldbt_workloads as workloads;
+
+use ldbt_compiler::{link::build_arm_image, CompileError, Options};
+use ldbt_dbt::engine::{RunOutcome, Translator};
+use ldbt_dbt::{DbtStats, Engine};
+use ldbt_learn::{LearnStats, RuleSet};
+use ldbt_workloads::{benchmark, source, Workload, SUITE};
+use std::rc::Rc;
+
+/// Which execution engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// QEMU-style TCG baseline.
+    Tcg,
+    /// Rule-enhanced translation (requires a [`RuleSet`]).
+    Rules,
+    /// HQEMU-style optimizing JIT backend.
+    Jit,
+}
+
+/// The result of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Benchmark name.
+    pub name: String,
+    /// The engine used.
+    pub engine: EngineKind,
+    /// DBT statistics (cycles, coverage, rule hits).
+    pub stats: DbtStats,
+    /// The guest checksum (r0 at exit) — validated against the
+    /// interpreter.
+    pub checksum: u32,
+}
+
+impl BenchRun {
+    /// Speedup of this run over a baseline (`baseline_time / own_time`).
+    pub fn speedup_over(&self, baseline: &BenchRun) -> f64 {
+        baseline.stats.total_cycles() as f64 / self.stats.total_cycles() as f64
+    }
+}
+
+/// Learn rules from the whole suite, optionally excluding one program
+/// (the paper's protocol: "the translation rules learned from all other
+/// benchmark programs that do not include the evaluated benchmark").
+///
+/// Rules are always learned from `Ref`-workload sources compiled with
+/// `options` (the workload only changes iteration counts, not code
+/// shape).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if generation/compilation fails.
+pub fn learn_suite(
+    options: &Options,
+    exclude: Option<&str>,
+) -> Result<(RuleSet, Vec<LearnStats>), CompileError> {
+    let mut rules = RuleSet::new();
+    let mut stats = Vec::new();
+    for b in &SUITE {
+        if Some(b.name) == exclude {
+            continue;
+        }
+        let src = source(b, Workload::Ref);
+        let report = ldbt_learn::pipeline::learn_from_source(b.name, &src, options)?;
+        rules.extend_from(&report.rules);
+        stats.push(report.stats);
+    }
+    Ok((rules, stats))
+}
+
+/// Host-instruction fuel for benchmark runs.
+pub const RUN_FUEL: u64 = 3_000_000_000;
+
+/// Run one benchmark under an engine, validating correctness against the
+/// ARM interpreter.
+///
+/// # Panics
+///
+/// Panics if compilation fails, the engine does not halt, or the final
+/// guest state disagrees with the interpreter — any of these is a bug in
+/// the translation stack, never a measurement to report.
+pub fn run_benchmark(
+    name: &str,
+    workload: Workload,
+    engine: EngineKind,
+    guest_options: &Options,
+    rules: Option<&RuleSet>,
+) -> BenchRun {
+    let b = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let src = source(b, workload);
+    let image = build_arm_image(&src, guest_options)
+        .unwrap_or_else(|e| panic!("{name} failed to build: {e}"));
+    // Reference run.
+    let mut m = ldbt_arm::ArmMachine::new();
+    image.load_into(&mut m.state.mem);
+    m.state.regs[15] = image.entry;
+    let stop = m.run(600_000_000);
+    assert_eq!(stop, ldbt_arm::ArmStop::Halt, "{name}: interpreter did not halt");
+    let want = m.state.reg(ldbt_arm::ArmReg::R0);
+    // DBT run.
+    let translator = match engine {
+        EngineKind::Tcg => Translator::Tcg,
+        EngineKind::Jit => Translator::Jit,
+        EngineKind::Rules => {
+            Translator::Rules(Rc::new(rules.expect("Rules engine needs a rule set").clone()))
+        }
+    };
+    let mut e = Engine::new(&image, translator);
+    let out = e.run(RUN_FUEL);
+    assert_eq!(out, RunOutcome::Halted, "{name}: DBT did not halt under {engine:?}");
+    let got = e.guest_reg(ldbt_arm::ArmReg::R0);
+    assert_eq!(got, want, "{name}: wrong result under {engine:?}");
+    BenchRun { name: name.to_string(), engine, stats: e.stats, checksum: got }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leave_one_out_excludes() {
+        // Use a tiny sub-experiment: learning from two small programs.
+        let (all, stats_all) = {
+            let mut rules = RuleSet::new();
+            let mut stats = Vec::new();
+            for name in ["mcf", "libquantum"] {
+                let b = benchmark(name).unwrap();
+                let src = source(b, Workload::Ref);
+                let r =
+                    ldbt_learn::pipeline::learn_from_source(name, &src, &Options::o2()).unwrap();
+                rules.extend_from(&r.rules);
+                stats.push(r.stats);
+            }
+            (rules, stats)
+        };
+        assert_eq!(stats_all.len(), 2);
+        assert!(all.len() > 0, "some rules learned");
+    }
+
+    #[test]
+    fn tcg_baseline_runs_mcf_test() {
+        let run = run_benchmark("mcf", Workload::Test, EngineKind::Tcg, &Options::o2(), None);
+        assert!(run.stats.guest_dyn > 0);
+        assert!(run.stats.exec.host_instrs > run.stats.guest_dyn, "expansion > 1x");
+    }
+
+    #[test]
+    fn rules_engine_correct_and_faster_on_ref() {
+        let (rules, _) = learn_suite(&Options::o2(), Some("mcf")).unwrap();
+        let base = run_benchmark("mcf", Workload::Ref, EngineKind::Tcg, &Options::o2(), None);
+        let ours =
+            run_benchmark("mcf", Workload::Ref, EngineKind::Rules, &Options::o2(), Some(&rules));
+        assert_eq!(base.checksum, ours.checksum);
+        let speedup = ours.speedup_over(&base);
+        assert!(
+            speedup > 1.0,
+            "rules must beat the baseline on ref (got {speedup:.3}x, coverage {:.2})",
+            ours.stats.dynamic_coverage()
+        );
+        assert!(ours.stats.dynamic_coverage() > 0.2, "some dynamic coverage");
+    }
+}

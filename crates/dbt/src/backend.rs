@@ -1,0 +1,796 @@
+//! Lowering TCG micro-ops to host (x86) code.
+//!
+//! QEMU-style conventions:
+//!
+//! * the guest register file lives in the env; each guest register
+//!   accessed by a block gets a *home* host register, loaded on first use
+//!   and written back (if dirty) at every block exit,
+//! * `%eax` is the dispatcher register (the block returns the next guest
+//!   PC in it) and doubles as scratch,
+//! * temporaries that exceed the register pool spill to env slots,
+//! * blocks that read live-in guest flags get a prologue stub that, when
+//!   a predecessor left lazily-saved host flags (paper §5), materializes
+//!   the env NZCV slots from the saved EFLAGS image — the moral
+//!   equivalent of the paper's two-version blocks, selected by the same
+//!   boolean flag-mode.
+
+use crate::env::{
+    env_mem, flag_mem, reg_mem, FlagId, FLAGMODE_OFFSET, HOSTFLAGS_OFFSET, SPILL_OFFSET,
+    SPILL_SLOTS,
+};
+use crate::tcg::{BlockEnd, TcgAlu, TcgBlock, TcgCond, TcgOp, Temp};
+use ldbt_arm::ArmReg;
+use ldbt_isa::Width;
+use ldbt_x86::{AluOp, Cc, Gpr, Operand, ShiftOp, UnOp, X86Instr, X86Mem};
+use std::collections::HashMap;
+
+const POOL: [Gpr; 6] = [Gpr::Ecx, Gpr::Edx, Gpr::Ebx, Gpr::Esi, Gpr::Edi, Gpr::Ebp];
+
+fn cc_of(c: TcgCond) -> Cc {
+    match c {
+        TcgCond::Eq => Cc::E,
+        TcgCond::Ne => Cc::Ne,
+        TcgCond::Ltu => Cc::B,
+        TcgCond::Leu => Cc::Be,
+        TcgCond::Geu => Cc::Ae,
+        TcgCond::Gtu => Cc::A,
+        TcgCond::Lts => Cc::L,
+        TcgCond::Ges => Cc::Ge,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegUse {
+    Free,
+    Temp(Temp),
+    Home(ArmReg),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TLoc {
+    Reg(Gpr),
+    Spill(u32),
+}
+
+struct Lowerer {
+    code: Vec<X86Instr>,
+    /// Cache guest registers in host registers for the block (QEMU
+    /// style).
+    home_caching: bool,
+    /// Number of pool registers available. The JIT path shrinks this,
+    /// modeling the extra spills the paper attributes to LLVM keeping a
+    /// copy of the guest register file in host memory (reserved base
+    /// registers, shadow slots).
+    pool_limit: usize,
+    reg_state: HashMap<Gpr, RegUse>,
+    temp_loc: HashMap<Temp, TLoc>,
+    home: HashMap<ArmReg, Gpr>,
+    dirty: HashMap<ArmReg, bool>,
+    last_use: HashMap<Temp, usize>,
+    free_slots: Vec<u32>,
+    cur: usize,
+}
+
+impl Lowerer {
+    fn new(block: &TcgBlock) -> Lowerer {
+        let mut last_use: HashMap<Temp, usize> = HashMap::new();
+        for (i, op) in block.ops.iter().enumerate() {
+            for u in op.uses() {
+                last_use.insert(u, i);
+            }
+        }
+        let end_idx = block.ops.len();
+        match block.end {
+            BlockEnd::Branch { cond, .. } => {
+                last_use.insert(cond, end_idx);
+            }
+            BlockEnd::Indirect(t) => {
+                last_use.insert(t, end_idx);
+            }
+            _ => {}
+        }
+        Lowerer {
+            code: Vec::new(),
+            home_caching: true,
+            pool_limit: POOL.len(),
+            reg_state: POOL.iter().map(|r| (*r, RegUse::Free)).collect(),
+            temp_loc: HashMap::new(),
+            home: HashMap::new(),
+            dirty: HashMap::new(),
+            last_use,
+            free_slots: (0..SPILL_SLOTS).rev().collect(),
+            cur: 0,
+        }
+    }
+
+    fn emit(&mut self, i: X86Instr) {
+        self.code.push(i);
+    }
+
+    fn spill_mem(&self, slot: u32) -> X86Mem {
+        env_mem(SPILL_OFFSET + 4 * slot)
+    }
+
+    /// Grab a free pool register, evicting if necessary. Registers
+    /// holding temps in `forbid` are never victimized (they are operands
+    /// of the op being lowered).
+    fn grab_reg(&mut self, forbid: &[Temp]) -> Gpr {
+        let pool = &POOL[..self.pool_limit];
+        if let Some(r) = pool.iter().find(|r| self.reg_state[r] == RegUse::Free) {
+            return *r;
+        }
+        // Prefer evicting a clean home, then a dirty home, then spill the
+        // temp with the furthest last use.
+        let mut clean = None;
+        let mut dirty = None;
+        for r in pool.iter().copied() {
+            if let RegUse::Home(g) = self.reg_state[&r] {
+                if self.dirty.get(&g).copied().unwrap_or(false) {
+                    dirty.get_or_insert((r, g));
+                } else {
+                    clean.get_or_insert((r, g));
+                }
+            }
+        }
+        if let Some((r, g)) = clean.or(dirty) {
+            if self.dirty.get(&g).copied().unwrap_or(false) {
+                self.emit(X86Instr::Mov {
+                    dst: Operand::Mem(reg_mem(g)),
+                    src: Operand::Reg(r),
+                });
+            }
+            self.home.remove(&g);
+            self.dirty.remove(&g);
+            self.reg_state.insert(r, RegUse::Free);
+            return r;
+        }
+        // All pool regs hold temps: spill the one used furthest away.
+        let (victim_reg, victim_temp) = pool
+            .iter()
+            .filter_map(|r| match self.reg_state[r] {
+                RegUse::Temp(t) if !forbid.contains(&t) => Some((*r, t)),
+                _ => None,
+            })
+            .max_by_key(|(_, t)| self.last_use.get(t).copied().unwrap_or(0))
+            .expect("pool has evictable temps");
+        let slot = self.free_slots.pop().expect("out of spill slots");
+        let m = self.spill_mem(slot);
+        self.emit(X86Instr::Mov { dst: Operand::Mem(m), src: Operand::Reg(victim_reg) });
+        self.temp_loc.insert(victim_temp, TLoc::Spill(slot));
+        self.reg_state.insert(victim_reg, RegUse::Free);
+        victim_reg
+    }
+
+    /// The home register for a guest register, loading it if requested.
+    fn guest_home(&mut self, g: ArmReg, load: bool) -> Option<Gpr> {
+        if !self.home_caching {
+            return None;
+        }
+        if let Some(r) = self.home.get(&g) {
+            return Some(*r);
+        }
+        // Only cache if a register is free or a home can be evicted —
+        // avoid thrashing temps.
+        let has_room = POOL[..self.pool_limit]
+            .iter()
+            .any(|r| matches!(self.reg_state[r], RegUse::Free | RegUse::Home(_)));
+        if !has_room {
+            return None;
+        }
+        let r = self.grab_reg(&[]);
+        self.reg_state.insert(r, RegUse::Home(g));
+        self.home.insert(g, r);
+        self.dirty.insert(g, false);
+        if load {
+            self.emit(X86Instr::Mov { dst: Operand::Reg(r), src: Operand::Mem(reg_mem(g)) });
+        }
+        Some(r)
+    }
+
+    /// Materialize a temp into a pool register, un-spilling it if needed.
+    /// `forbid` protects other operands of the current op from eviction.
+    fn unspill(&mut self, t: Temp, forbid: &[Temp]) -> Gpr {
+        match self.temp_loc.get(&t).copied() {
+            Some(TLoc::Reg(r)) => r,
+            Some(TLoc::Spill(slot)) => {
+                let r = self.grab_reg(forbid);
+                let m = self.spill_mem(slot);
+                self.emit(X86Instr::Mov { dst: Operand::Reg(r), src: Operand::Mem(m) });
+                self.reg_state.insert(r, RegUse::Temp(t));
+                self.temp_loc.insert(t, TLoc::Reg(r));
+                self.free_slots.push(slot);
+                r
+            }
+            None => panic!("use of undefined temp {t:?}"),
+        }
+    }
+
+    /// A source operand for a temp (spills stay in memory).
+    fn temp_operand(&self, t: Temp) -> Operand {
+        match self.temp_loc.get(&t).copied() {
+            Some(TLoc::Reg(r)) => Operand::Reg(r),
+            Some(TLoc::Spill(slot)) => Operand::Mem(self.spill_mem(slot)),
+            None => panic!("use of undefined temp {t:?}"),
+        }
+    }
+
+    /// Allocate a register for a temp definition.
+    fn def_temp(&mut self, t: Temp, forbid: &[Temp]) -> Gpr {
+        let r = self.grab_reg(forbid);
+        self.reg_state.insert(r, RegUse::Temp(t));
+        self.temp_loc.insert(t, TLoc::Reg(r));
+        r
+    }
+
+    /// Release temps whose last use has passed.
+    fn expire(&mut self, idx: usize) {
+        let dead: Vec<Temp> = self
+            .temp_loc
+            .keys()
+            .copied()
+            .filter(|t| self.last_use.get(t).copied().unwrap_or(0) <= idx)
+            .collect();
+        for t in dead {
+            match self.temp_loc.remove(&t) {
+                Some(TLoc::Reg(r)) => {
+                    if self.reg_state[&r] == RegUse::Temp(t) {
+                        self.reg_state.insert(r, RegUse::Free);
+                    }
+                }
+                Some(TLoc::Spill(slot)) => self.free_slots.push(slot),
+                None => {}
+            }
+        }
+    }
+
+    fn writeback_all(&mut self) {
+        let mut dirty: Vec<(ArmReg, Gpr)> = self
+            .home
+            .iter()
+            .filter(|(g, _)| self.dirty.get(g).copied().unwrap_or(false))
+            .map(|(g, r)| (*g, *r))
+            .collect();
+        dirty.sort_by_key(|(g, _)| g.index());
+        for (g, r) in dirty {
+            self.emit(X86Instr::Mov { dst: Operand::Mem(reg_mem(g)), src: Operand::Reg(r) });
+        }
+    }
+
+    fn lower_op(&mut self, op: &TcgOp, idx: usize) {
+        self.cur = idx;
+        match *op {
+            TcgOp::MovI(d, v) => {
+                let r = self.def_temp(d, &[]);
+                self.emit(X86Instr::mov_imm(r, v as i32));
+            }
+            TcgOp::Mov(d, s) => {
+                let r = self.def_temp(d, &[s]);
+                let src = self.temp_operand(s);
+                self.emit(X86Instr::Mov { dst: Operand::Reg(r), src });
+            }
+            TcgOp::Alu(aop, d, a, b) => {
+                let sa = self.unspill(a, &[b]);
+                let r = self.def_temp(d, &[a, b]);
+                if r != sa {
+                    self.emit(X86Instr::mov_rr(r, sa));
+                }
+                let sb = self.temp_operand(b);
+                match aop {
+                    TcgAlu::Shl | TcgAlu::Lshr | TcgAlu::Ashr => {
+                        unreachable!("variable shift in TCG stream")
+                    }
+                    TcgAlu::Mul => self.emit(X86Instr::Imul { dst: r, src: sb }),
+                    _ => {
+                        let x86op = match aop {
+                            TcgAlu::Add => AluOp::Add,
+                            TcgAlu::Sub => AluOp::Sub,
+                            TcgAlu::And => AluOp::And,
+                            TcgAlu::Or => AluOp::Or,
+                            TcgAlu::Xor => AluOp::Xor,
+                            _ => unreachable!(),
+                        };
+                        self.emit(X86Instr::Alu { op: x86op, dst: Operand::Reg(r), src: sb });
+                    }
+                }
+            }
+            TcgOp::AluI(aop, d, a, imm) => {
+                let sa = self.unspill(a, &[]);
+                let r = self.def_temp(d, &[a]);
+                if r != sa {
+                    self.emit(X86Instr::mov_rr(r, sa));
+                }
+                match aop {
+                    TcgAlu::Shl | TcgAlu::Lshr | TcgAlu::Ashr => {
+                        let sop = match aop {
+                            TcgAlu::Shl => ShiftOp::Shl,
+                            TcgAlu::Lshr => ShiftOp::Shr,
+                            _ => ShiftOp::Sar,
+                        };
+                        let count = (imm & 31) as u8;
+                        if count != 0 {
+                            self.emit(X86Instr::Shift { op: sop, dst: Operand::Reg(r), count });
+                        }
+                    }
+                    TcgAlu::Mul => {
+                        self.emit(X86Instr::mov_imm(Gpr::Eax, imm as i32));
+                        self.emit(X86Instr::Imul { dst: r, src: Operand::Reg(Gpr::Eax) });
+                    }
+                    _ => {
+                        let x86op = match aop {
+                            TcgAlu::Add => AluOp::Add,
+                            TcgAlu::Sub => AluOp::Sub,
+                            TcgAlu::And => AluOp::And,
+                            TcgAlu::Or => AluOp::Or,
+                            TcgAlu::Xor => AluOp::Xor,
+                            _ => unreachable!(),
+                        };
+                        self.emit(X86Instr::alu_ri(x86op, r, imm as i32));
+                    }
+                }
+            }
+            TcgOp::Not(d, a) => {
+                let sa = self.unspill(a, &[]);
+                let r = self.def_temp(d, &[a]);
+                if r != sa {
+                    self.emit(X86Instr::mov_rr(r, sa));
+                }
+                self.emit(X86Instr::Un { op: UnOp::Not, dst: Operand::Reg(r) });
+            }
+            TcgOp::Neg(d, a) => {
+                let sa = self.unspill(a, &[]);
+                let r = self.def_temp(d, &[a]);
+                if r != sa {
+                    self.emit(X86Instr::mov_rr(r, sa));
+                }
+                self.emit(X86Instr::Un { op: UnOp::Neg, dst: Operand::Reg(r) });
+            }
+            TcgOp::Setc(d, cond, a, b) => {
+                let sa = self.unspill(a, &[b]);
+                let sb = self.temp_operand(b);
+                self.emit(X86Instr::Alu { op: AluOp::Cmp, dst: Operand::Reg(sa), src: sb });
+                // setcc needs a byte register; go through %eax (movs and
+                // register shuffles below do not touch EFLAGS).
+                self.emit(X86Instr::mov_imm(Gpr::Eax, 0));
+                self.emit(X86Instr::Setcc { cc: cc_of(cond), dst: Gpr::Eax });
+                let r = self.def_temp(d, &[]);
+                self.emit(X86Instr::mov_rr(r, Gpr::Eax));
+            }
+            TcgOp::GetReg(d, g) => match self.guest_home(g, true) {
+                Some(h) => {
+                    let r = self.def_temp(d, &[]);
+                    self.emit(X86Instr::mov_rr(r, h));
+                }
+                None => {
+                    let r = self.def_temp(d, &[]);
+                    self.emit(X86Instr::Mov {
+                        dst: Operand::Reg(r),
+                        src: Operand::Mem(reg_mem(g)),
+                    });
+                }
+            },
+            TcgOp::PutReg(g, s) => {
+                let src = self.unspill(s, &[]);
+                match self.home.get(&g).copied() {
+                    Some(h) => {
+                        if h != src {
+                            self.emit(X86Instr::mov_rr(h, src));
+                        }
+                        self.dirty.insert(g, true);
+                    }
+                    None => match self.guest_home(g, false) {
+                        Some(h) => {
+                            self.emit(X86Instr::mov_rr(h, src));
+                            self.dirty.insert(g, true);
+                        }
+                        None => {
+                            self.emit(X86Instr::Mov {
+                                dst: Operand::Mem(reg_mem(g)),
+                                src: Operand::Reg(src),
+                            });
+                        }
+                    },
+                }
+            }
+            TcgOp::GetFlag(d, f) => {
+                let r = self.def_temp(d, &[]);
+                self.emit(X86Instr::Mov { dst: Operand::Reg(r), src: Operand::Mem(flag_mem(f)) });
+            }
+            TcgOp::PutFlag(f, s) => {
+                let src = self.unspill(s, &[]);
+                self.emit(X86Instr::Mov { dst: Operand::Mem(flag_mem(f)), src: Operand::Reg(src) });
+            }
+            TcgOp::Load(d, a, width, signed) => {
+                let base = self.unspill(a, &[]);
+                let r = self.def_temp(d, &[a]);
+                let m = X86Mem::base(base);
+                match width {
+                    Width::W32 => {
+                        self.emit(X86Instr::Mov { dst: Operand::Reg(r), src: Operand::Mem(m) })
+                    }
+                    w => self.emit(X86Instr::Movx {
+                        sign: signed,
+                        width: w,
+                        dst: r,
+                        src: Operand::Mem(m),
+                    }),
+                }
+            }
+            TcgOp::Store(s, a, width) => {
+                let val = self.unspill(s, &[a]);
+                let base = self.unspill(a, &[s]);
+                match width {
+                    Width::W32 => self.emit(X86Instr::Mov {
+                        dst: Operand::Mem(X86Mem::base(base)),
+                        src: Operand::Reg(val),
+                    }),
+                    w => {
+                        let src = if val.low8_name().is_some() || w == Width::W16 {
+                            val
+                        } else {
+                            self.emit(X86Instr::mov_rr(Gpr::Eax, val));
+                            Gpr::Eax
+                        };
+                        self.emit(X86Instr::MovStore { width: w, src, dst: X86Mem::base(base) });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The flag-materialization prologue for blocks that read live-in guest
+/// flags (see module docs). Ends just before the block body.
+fn flag_stub(code: &mut Vec<X86Instr>) {
+    let start = code.len();
+    code.push(X86Instr::Alu {
+        op: AluOp::Cmp,
+        dst: Operand::Mem(env_mem(FLAGMODE_OFFSET)),
+        src: Operand::Imm(0),
+    });
+    //
+
+    // Patched below to skip the stub when flag-mode is 0.
+    code.push(X86Instr::Jcc { cc: Cc::E, target: 0 });
+    let je_at = code.len() - 1;
+    code.push(X86Instr::Mov {
+        dst: Operand::Reg(Gpr::Ecx),
+        src: Operand::Mem(env_mem(FLAGMODE_OFFSET)),
+    });
+    code.push(X86Instr::Push { src: Operand::Mem(env_mem(HOSTFLAGS_OFFSET)) });
+    code.push(X86Instr::Popfd);
+    let set = |code: &mut Vec<X86Instr>, cc: Cc, f: FlagId| {
+        code.push(X86Instr::mov_imm(Gpr::Eax, 0));
+        code.push(X86Instr::Setcc { cc, dst: Gpr::Eax });
+        code.push(X86Instr::Mov { dst: Operand::Mem(flag_mem(f)), src: Operand::Reg(Gpr::Eax) });
+    };
+    set(code, Cc::S, FlagId::N);
+    set(code, Cc::E, FlagId::Z);
+    set(code, Cc::O, FlagId::V);
+    // Carry: polarity bit 1 of the saved mode decides CF vs ¬CF.
+    code.push(X86Instr::mov_imm(Gpr::Eax, 0));
+    code.push(X86Instr::Setcc { cc: Cc::B, dst: Gpr::Eax });
+    code.push(X86Instr::Alu { op: AluOp::Test, dst: Operand::Reg(Gpr::Ecx), src: Operand::Imm(2) });
+    code.push(X86Instr::Jcc { cc: Cc::Ne, target: 1 }); // skip the invert
+    code.push(X86Instr::alu_ri(AluOp::Xor, Gpr::Eax, 1));
+    code.push(X86Instr::Mov {
+        dst: Operand::Mem(flag_mem(FlagId::C)),
+        src: Operand::Reg(Gpr::Eax),
+    });
+    code.push(X86Instr::Mov {
+        dst: Operand::Mem(env_mem(FLAGMODE_OFFSET)),
+        src: Operand::Imm(0),
+    });
+    // Patch the skip target.
+    let end = code.len();
+    let skip = (end - je_at - 1) as i32;
+    if let X86Instr::Jcc { target, .. } = &mut code[je_at] {
+        *target = skip;
+    }
+    let _ = start;
+}
+
+/// Lower a TCG block to host code.
+pub fn lower_block(block: &TcgBlock) -> Vec<X86Instr> {
+    lower_block_opts(block, true, POOL.len())
+}
+
+/// [`lower_block`] with explicit control over guest-register home
+/// caching and the register-pool size (the JIT path shrinks the pool).
+pub fn lower_block_opts(block: &TcgBlock, home_caching: bool, pool_limit: usize) -> Vec<X86Instr> {
+    let mut l = Lowerer::new(block);
+    l.home_caching = home_caching;
+    l.pool_limit = pool_limit.clamp(2, POOL.len());
+    if block.reads_live_in_flags {
+        flag_stub(&mut l.code);
+    }
+    if block.writes_flags {
+        l.emit(X86Instr::Mov {
+            dst: Operand::Mem(env_mem(FLAGMODE_OFFSET)),
+            src: Operand::Imm(0),
+        });
+    }
+    for (idx, op) in block.ops.iter().enumerate() {
+        l.lower_op(op, idx);
+        l.expire(idx);
+    }
+    // Terminator.
+    match block.end {
+        BlockEnd::Jump(pc) => {
+            l.writeback_all();
+            l.emit(X86Instr::mov_imm(Gpr::Eax, pc as i32));
+            l.emit(X86Instr::Ret);
+        }
+        BlockEnd::Halt => {
+            l.writeback_all();
+            l.emit(X86Instr::Halt);
+        }
+        BlockEnd::Indirect(t) => {
+            let src = l.temp_operand(t);
+            l.writeback_all();
+            l.emit(X86Instr::Mov { dst: Operand::Reg(Gpr::Eax), src });
+            l.emit(X86Instr::Ret);
+        }
+        BlockEnd::Branch { cond, taken, not_taken } => {
+            let c = l.temp_operand(cond);
+            l.writeback_all();
+            l.emit(X86Instr::Alu { op: AluOp::Cmp, dst: c, src: Operand::Imm(0) });
+            l.emit(X86Instr::Jcc { cc: Cc::Ne, target: 2 });
+            l.emit(X86Instr::mov_imm(Gpr::Eax, not_taken as i32));
+            l.emit(X86Instr::Ret);
+            l.emit(X86Instr::mov_imm(Gpr::Eax, taken as i32));
+            l.emit(X86Instr::Ret);
+        }
+    }
+    l.code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ENV_BASE;
+    use crate::tcg::{decode_block, translate_block, GuestBlock};
+    use ldbt_arm::{ArmInstr, Cond, DpOp, Operand2};
+    use ldbt_isa::{CostModel, ExecStats, Memory};
+    use ldbt_x86::interp::{run_seq, SeqExit};
+    use ldbt_x86::X86State;
+
+    fn run_block(
+        instrs: Vec<ArmInstr>,
+        setup: impl FnOnce(&mut Memory),
+    ) -> (X86State, SeqExit, Vec<X86Instr>) {
+        let block = GuestBlock { pc: 0x1_0000, instrs };
+        let mem = Memory::new();
+        let tcg = translate_block(&mem, &block);
+        assert_eq!(tcg.unsupported_at, None);
+        let code = lower_block(&tcg);
+        let mut st = X86State::new();
+        st.set_reg(Gpr::Esp, crate::env::HOST_STACK_TOP);
+        setup(&mut st.mem);
+        let mut stats = ExecStats::new();
+        let exit = run_seq(&mut st, &code, 10_000, &CostModel::default(), &mut stats);
+        (st, exit, code)
+    }
+
+    fn set_guest_reg(mem: &mut Memory, r: ArmReg, v: u32) {
+        mem.write(ENV_BASE + 4 * r.index() as u32, v, Width::W32);
+    }
+
+    fn guest_reg(st: &X86State, r: ArmReg) -> u32 {
+        st.mem.read(ENV_BASE + 4 * r.index() as u32, Width::W32)
+    }
+
+    #[test]
+    fn add_block_updates_env() {
+        let (st, exit, _) = run_block(
+            vec![ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Reg(ArmReg::R0))],
+            |mem| {
+                set_guest_reg(mem, ArmReg::R0, 5);
+                set_guest_reg(mem, ArmReg::R1, 7);
+            },
+        );
+        assert_eq!(exit, SeqExit::Returned);
+        assert_eq!(st.reg(Gpr::Eax), 0x1_0004, "next pc");
+        assert_eq!(guest_reg(&st, ArmReg::R1), 12);
+        assert_eq!(guest_reg(&st, ArmReg::R0), 5);
+    }
+
+    #[test]
+    fn cmp_branch_block_sets_flags_and_selects_target() {
+        let instrs = vec![
+            ArmInstr::cmp(ArmReg::R2, Operand2::Reg(ArmReg::R3)),
+            ArmInstr::B { offset: 3, cond: Cond::Ne },
+        ];
+        let (st, exit, _) = run_block(instrs.clone(), |mem| {
+            set_guest_reg(mem, ArmReg::R2, 1);
+            set_guest_reg(mem, ArmReg::R3, 2);
+        });
+        assert_eq!(exit, SeqExit::Returned);
+        // taken: next(0x10008) + 3*4 = 0x10014.
+        assert_eq!(st.reg(Gpr::Eax), 0x1_0014);
+        let (st2, _, _) = run_block(instrs, |mem| {
+            set_guest_reg(mem, ArmReg::R2, 2);
+            set_guest_reg(mem, ArmReg::R3, 2);
+        });
+        assert_eq!(st2.reg(Gpr::Eax), 0x1_0008, "fall through when equal");
+    }
+
+    #[test]
+    fn flag_slots_materialized() {
+        // cmp writes NZCV env slots when the flags are live out
+        // (conservative here because the block ends with a return-like bx).
+        let (st, _, _) = run_block(
+            vec![
+                ArmInstr::cmp(ArmReg::R2, Operand2::Imm(5)),
+                ArmInstr::Bx { rm: ArmReg::Lr, cond: Cond::Al },
+            ],
+            |mem| {
+                set_guest_reg(mem, ArmReg::R2, 3);
+                set_guest_reg(mem, ArmReg::Lr, 0x2_0000);
+            },
+        );
+        assert_eq!(st.reg(Gpr::Eax), 0x2_0000, "indirect exit to lr");
+        // 3 - 5: N=1 Z=0 C=0 (borrow) V=0.
+        assert_eq!(st.mem.read(ENV_BASE + FlagId::N.offset(), Width::W32), 1);
+        assert_eq!(st.mem.read(ENV_BASE + FlagId::Z.offset(), Width::W32), 0);
+        assert_eq!(st.mem.read(ENV_BASE + FlagId::C.offset(), Width::W32), 0);
+        assert_eq!(st.mem.read(ENV_BASE + FlagId::V.offset(), Width::W32), 0);
+    }
+
+    #[test]
+    fn dead_flags_not_materialized() {
+        // cmp followed in-block by bne: only Z is consumed, and the branch
+        // targets immediately redefine all flags with another cmp — so
+        // N/C/V must be pruned.
+        let mut mem = Memory::new();
+        // Place `cmp r0, #0; svc` at both targets so the liveness scan
+        // sees a full redefinition.
+        let cmp = ldbt_arm::encode::encode(&ArmInstr::cmp(ArmReg::R0, Operand2::Imm(0))).unwrap();
+        let svc = ldbt_arm::encode::encode(&ArmInstr::Svc { imm: 0, cond: Cond::Al }).unwrap();
+        for base in [0x1_0008u32, 0x1_0014] {
+            mem.write(base, cmp, Width::W32);
+            mem.write(base + 4, svc, Width::W32);
+        }
+        let block = GuestBlock {
+            pc: 0x1_0000,
+            instrs: vec![
+                ArmInstr::cmp(ArmReg::R2, Operand2::Reg(ArmReg::R3)),
+                ArmInstr::B { offset: 3, cond: Cond::Ne },
+            ],
+        };
+        let tcg = translate_block(&mem, &block);
+        let flag_puts = tcg
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TcgOp::PutFlag(_, _)))
+            .count();
+        assert_eq!(flag_puts, 1, "only Z materialized: {:?}", tcg.ops);
+    }
+
+    #[test]
+    fn load_store_block() {
+        let (st, _, _) = run_block(
+            vec![
+                ArmInstr::ldr(ArmReg::R0, ldbt_arm::AddrMode::Imm(ArmReg::R1, 4)),
+                ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Imm(1)),
+                ArmInstr::str(ArmReg::R0, ldbt_arm::AddrMode::Imm(ArmReg::R1, 8)),
+            ],
+            |mem| {
+                set_guest_reg(mem, ArmReg::R1, 0x8000);
+                mem.write(0x8004, 41, Width::W32);
+            },
+        );
+        assert_eq!(st.mem.read(0x8008, Width::W32), 42);
+        assert_eq!(guest_reg(&st, ArmReg::R0), 42);
+    }
+
+    #[test]
+    fn sub_word_accesses() {
+        let (st, _, _) = run_block(
+            vec![
+                ArmInstr::Ldr {
+                    rt: ArmReg::R0,
+                    addr: ldbt_arm::AddrMode::Imm(ArmReg::R1, 0),
+                    width: Width::W8,
+                    signed: true,
+                    cond: Cond::Al,
+                },
+                ArmInstr::Str {
+                    rt: ArmReg::R0,
+                    addr: ldbt_arm::AddrMode::Imm(ArmReg::R1, 4),
+                    width: Width::W8,
+                    cond: Cond::Al,
+                },
+            ],
+            |mem| {
+                set_guest_reg(mem, ArmReg::R1, 0x8000);
+                mem.write(0x8000, 0x80, Width::W8);
+                mem.write(0x8004, 0xffff_ffff, Width::W32);
+            },
+        );
+        assert_eq!(guest_reg(&st, ArmReg::R0), 0xffff_ff80, "sign extended");
+        assert_eq!(st.mem.read(0x8004, Width::W32), 0xffff_ff80);
+    }
+
+    #[test]
+    fn predicated_mov_via_select() {
+        // movne r0, #9 with Z=1 (not taken) and Z=0 (taken).
+        let instr = ArmInstr::Dp {
+            op: DpOp::Mov,
+            rd: ArmReg::R0,
+            rn: ArmReg::R0,
+            op2: Operand2::Imm(9),
+            set_flags: false,
+            cond: Cond::Ne,
+        };
+        let (st, _, _) = run_block(vec![instr], |mem| {
+            set_guest_reg(mem, ArmReg::R0, 1);
+            mem.write(ENV_BASE + FlagId::Z.offset(), 1, Width::W32);
+        });
+        assert_eq!(guest_reg(&st, ArmReg::R0), 1, "suppressed");
+        let (st2, _, _) = run_block(vec![instr], |mem| {
+            set_guest_reg(mem, ArmReg::R0, 1);
+            mem.write(ENV_BASE + FlagId::Z.offset(), 0, Width::W32);
+        });
+        assert_eq!(guest_reg(&st2, ArmReg::R0), 9, "executed");
+    }
+
+    #[test]
+    fn many_guest_regs_force_eviction() {
+        // Touch 9 distinct guest registers; pool has 6.
+        let mut instrs = Vec::new();
+        for i in 0..9 {
+            instrs.push(ArmInstr::dp(
+                DpOp::Add,
+                ArmReg::from_index(i),
+                ArmReg::from_index(i),
+                Operand2::Imm(i as u32 + 1),
+            ));
+        }
+        let (st, exit, _) = run_block(instrs, |mem| {
+            for i in 0..9 {
+                set_guest_reg(mem, ArmReg::from_index(i), 100 * i as u32);
+            }
+        });
+        assert_eq!(exit, SeqExit::Returned);
+        for i in 0..9 {
+            assert_eq!(
+                guest_reg(&st, ArmReg::from_index(i)),
+                100 * i as u32 + i as u32 + 1,
+                "r{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn flag_stub_materializes_saved_host_flags() {
+        // A block that reads live-in flags (bne at block start) with
+        // flag-mode = 1 and saved host EFLAGS where ZF=0.
+        let block = GuestBlock {
+            pc: 0x1_0000,
+            instrs: vec![ArmInstr::B { offset: 3, cond: Cond::Ne }],
+        };
+        let mem = Memory::new();
+        let tcg = translate_block(&mem, &block);
+        assert!(tcg.reads_live_in_flags);
+        let code = lower_block(&tcg);
+        let mut st = X86State::new();
+        st.set_reg(Gpr::Esp, crate::env::HOST_STACK_TOP);
+        // Saved flags: ZF clear (so NE holds), mode=1, sub polarity.
+        st.mem.write(ENV_BASE + HOSTFLAGS_OFFSET, 0, Width::W32);
+        st.mem.write(ENV_BASE + FLAGMODE_OFFSET, 1, Width::W32);
+        let mut stats = ExecStats::new();
+        let exit = run_seq(&mut st, &code, 10_000, &CostModel::default(), &mut stats);
+        assert_eq!(exit, SeqExit::Returned);
+        assert_eq!(st.reg(Gpr::Eax), 0x1_0010, "branch taken (ZF=0 → ne)");
+        assert_eq!(
+            st.mem.read(ENV_BASE + FLAGMODE_OFFSET, Width::W32),
+            0,
+            "mode reset after materialization"
+        );
+        assert_eq!(
+            st.mem.read(ENV_BASE + FlagId::C.offset(), Width::W32),
+            1,
+            "sub polarity: CF=0 → ARM C=1"
+        );
+    }
+}

@@ -1,0 +1,506 @@
+//! The DBT execution engine: code cache, dispatcher, translation-cost
+//! model, and the interpreter helper fallback.
+
+use crate::backend::lower_block;
+use crate::env::{env_mem, reg_mem, FlagId, ENV_BASE, HOST_STACK_TOP};
+use crate::jit::optimize_block;
+use crate::rules::block_supported;
+use crate::stats::DbtStats;
+use crate::tcg::{decode_block, translate_block};
+use ldbt_arm::{encode::decode, ArmEvent, ArmReg, ArmState};
+use ldbt_compiler::ArmImage;
+use ldbt_isa::{CostModel, Memory, Width};
+use ldbt_learn::RuleSet;
+use ldbt_x86::interp::{run_seq, SeqExit};
+use ldbt_x86::{Gpr, X86Instr, X86State};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Which translator the engine uses.
+#[derive(Debug, Clone)]
+pub enum Translator {
+    /// Baseline QEMU-style TCG translation.
+    Tcg,
+    /// Rule-based translation with TCG fallback (the paper's prototype).
+    Rules(Rc<RuleSet>),
+    /// Rule-based translation without the §5 lazy host-flag save (the
+    /// condition-code ablation: flag-live-out rules are skipped).
+    RulesNoLazyFlags(Rc<RuleSet>),
+    /// HQEMU-style optimizing JIT backend.
+    Jit,
+}
+
+/// Modeled translation costs, in cycles.
+///
+/// Only the ratios matter for the reproduced shapes: rule lookup and
+/// emission are cheap ("much faster than a general translation that goes
+/// through an IR"), the optimizing JIT is two orders of magnitude more
+/// expensive per op (LLVM in the paper).
+#[derive(Debug, Clone)]
+pub struct TransCost {
+    /// Fixed cost per translated block.
+    pub block_base: u64,
+    /// Cost per TCG micro-op generated.
+    pub per_tcg_op: u64,
+    /// Cost per rule hash-table probe.
+    pub per_lookup: u64,
+    /// Cost per host instruction emitted from a rule.
+    pub per_rule_instr: u64,
+    /// Fixed cost per block for the optimizing JIT.
+    pub jit_block_base: u64,
+    /// Cost per micro-op for the optimizing JIT.
+    pub jit_per_op: u64,
+    /// Cost of one interpreter-helper step.
+    pub helper: u64,
+}
+
+impl Default for TransCost {
+    fn default() -> Self {
+        TransCost {
+            block_base: 60,
+            per_tcg_op: 12,
+            per_lookup: 5,
+            per_rule_instr: 10,
+            jit_block_base: 1_200,
+            jit_per_op: 110,
+            helper: 80,
+        }
+    }
+}
+
+struct CachedBlock {
+    code: Rc<Vec<X86Instr>>,
+    guest_len: u64,
+    covered: u64,
+    execs: u64,
+    /// Interpret exactly one guest instruction instead of running code.
+    interp_one: bool,
+    hits: Vec<(usize, u64)>,
+}
+
+/// How an engine run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Guest executed `svc #0`.
+    Halted,
+    /// The fuel budget ran out.
+    OutOfFuel,
+    /// Translated code misbehaved (dispatcher protocol violation).
+    Fault,
+}
+
+/// The dynamic binary translator.
+pub struct Engine {
+    /// Host machine state; its memory holds the guest image, the env, and
+    /// the host stack.
+    pub state: X86State,
+    translator: Translator,
+    cache: HashMap<u32, CachedBlock>,
+    /// Statistics for the experiment harness.
+    pub stats: DbtStats,
+    cost: CostModel,
+    tcost: TransCost,
+    entry: u32,
+    pc: u32,
+}
+
+impl Engine {
+    /// Create an engine for a linked guest image.
+    pub fn new(image: &ArmImage, translator: Translator) -> Engine {
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let mut state = X86State::new();
+        state.mem = mem;
+        Engine {
+            state,
+            translator,
+            cache: HashMap::new(),
+            stats: DbtStats::new(),
+            cost: CostModel::default(),
+            tcost: TransCost::default(),
+            entry: image.entry,
+            pc: image.entry,
+        }
+    }
+
+    /// Override the cycle cost model.
+    pub fn with_cost(mut self, cost: CostModel, tcost: TransCost) -> Engine {
+        self.cost = cost;
+        self.tcost = tcost;
+        self
+    }
+
+    /// Read a guest register from the env.
+    pub fn guest_reg(&self, r: ArmReg) -> u32 {
+        self.state.mem.read(ENV_BASE + 4 * r.index() as u32, Width::W32)
+    }
+
+    /// The current guest PC.
+    pub fn guest_pc(&self) -> u32 {
+        self.pc
+    }
+
+    fn translate(&mut self, pc: u32) {
+        let block = decode_block(&self.state.mem, pc);
+        self.stats.blocks += 1;
+        if block.instrs.is_empty() {
+            // Undecodable: fault block.
+            self.cache.insert(
+                pc,
+                CachedBlock {
+                    code: Rc::new(vec![X86Instr::Halt]),
+                    guest_len: 0,
+                    covered: 0,
+                    execs: 0,
+                    interp_one: false,
+                    hits: vec![],
+                },
+            );
+            return;
+        }
+        // Rule-based translation path.
+        let rules_cfg = match &self.translator {
+            Translator::Rules(r) => Some((Rc::clone(r), true)),
+            Translator::RulesNoLazyFlags(r) => Some((Rc::clone(r), false)),
+            _ => None,
+        };
+        if let Some((rules, lazy_flags)) = rules_cfg {
+            if block_supported(&block) {
+                let low = crate::rules::lower_block_with_rules_opts(
+                    &self.state.mem,
+                    &block,
+                    &rules,
+                    lazy_flags,
+                );
+                let covered = low.covered.iter().filter(|c| **c).count() as u64;
+                self.stats.exec.translation_cycles += self.tcost.block_base
+                    + self.tcost.per_lookup * low.lookups as u64
+                    + self.tcost.per_rule_instr * low.rule_instrs as u64
+                    + self.tcost.per_tcg_op * low.tcg_ops as u64;
+                self.stats.rule_lookups += low.lookups as u64;
+                self.stats.guest_static += block.instrs.len() as u64;
+                self.stats.guest_static_covered += covered;
+                self.cache.insert(
+                    pc,
+                    CachedBlock {
+                        code: Rc::new(low.code),
+                        guest_len: block.instrs.len() as u64,
+                        covered,
+                        execs: 0,
+                        interp_one: false,
+                        hits: low.hits,
+                    },
+                );
+                return;
+            }
+        }
+        // TCG / JIT path.
+        let tcg = translate_block(&self.state.mem, &block);
+        if tcg.unsupported_at == Some(0) {
+            // The first instruction needs the interpreter helper.
+            self.cache.insert(
+                pc,
+                CachedBlock {
+                    code: Rc::new(Vec::new()),
+                    guest_len: 1,
+                    covered: 0,
+                    execs: 0,
+                    interp_one: true,
+                    hits: vec![],
+                },
+            );
+            self.stats.guest_static += 1;
+            return;
+        }
+        let translated_len = match tcg.unsupported_at {
+            Some(k) => k as u64,
+            None => block.instrs.len() as u64,
+        };
+        let (code, op_count) = match self.translator {
+            Translator::Jit => {
+                let opt = optimize_block(&tcg);
+                let code = crate::backend::lower_block_opts(&opt, true, 3);
+                self.stats.exec.translation_cycles +=
+                    self.tcost.jit_block_base + self.tcost.jit_per_op * tcg.ops.len() as u64;
+                (code, tcg.ops.len())
+            }
+            _ => {
+                let code = lower_block(&tcg);
+                self.stats.exec.translation_cycles +=
+                    self.tcost.block_base + self.tcost.per_tcg_op * tcg.ops.len() as u64;
+                (code, tcg.ops.len())
+            }
+        };
+        let _ = op_count;
+        self.stats.guest_static += translated_len;
+        self.cache.insert(
+            pc,
+            CachedBlock {
+                code: Rc::new(code),
+                guest_len: translated_len,
+                covered: 0,
+                execs: 0,
+                interp_one: false,
+                hits: vec![],
+            },
+        );
+    }
+
+    /// Interpret a single guest instruction against the env (the "helper"
+    /// path for instructions the translators do not model).
+    fn helper_step(&mut self, pc: u32) -> Result<u32, RunOutcome> {
+        let word = self.state.mem.read(pc, Width::W32);
+        let Ok(instr) = decode(word) else { return Err(RunOutcome::Fault) };
+        // Build an ArmState view over the env.
+        let mem = std::mem::take(&mut self.state.mem);
+        let mut arm = ArmState { regs: [0; 16], flags: Default::default(), mem };
+        for r in ArmReg::ALL {
+            arm.regs[r.index()] = arm.mem.read(ENV_BASE + 4 * r.index() as u32, Width::W32);
+        }
+        arm.flags.n = arm.mem.read(ENV_BASE + FlagId::N.offset(), Width::W32) != 0;
+        arm.flags.z = arm.mem.read(ENV_BASE + FlagId::Z.offset(), Width::W32) != 0;
+        arm.flags.c = arm.mem.read(ENV_BASE + FlagId::C.offset(), Width::W32) != 0;
+        arm.flags.v = arm.mem.read(ENV_BASE + FlagId::V.offset(), Width::W32) != 0;
+        let event = arm.exec(&instr);
+        let next = pc.wrapping_add(4);
+        let next_pc = match event {
+            ArmEvent::Next => next,
+            ArmEvent::Branch(off) => next.wrapping_add((off as u32).wrapping_mul(4)),
+            ArmEvent::Call(off) => {
+                arm.set_reg(ArmReg::Lr, next);
+                next.wrapping_add((off as u32).wrapping_mul(4))
+            }
+            ArmEvent::Indirect(a) => a,
+            ArmEvent::Syscall(0) => {
+                // Halt: write back and signal.
+                for r in ArmReg::ALL {
+                    arm.mem.write(ENV_BASE + 4 * r.index() as u32, arm.regs[r.index()], Width::W32);
+                }
+                self.state.mem = std::mem::take(&mut arm.mem);
+                return Err(RunOutcome::Halted);
+            }
+            ArmEvent::Syscall(_) => next,
+        };
+        for r in ArmReg::ALL {
+            arm.mem.write(ENV_BASE + 4 * r.index() as u32, arm.regs[r.index()], Width::W32);
+        }
+        arm.mem.write(ENV_BASE + FlagId::N.offset(), arm.flags.n as u32, Width::W32);
+        arm.mem.write(ENV_BASE + FlagId::Z.offset(), arm.flags.z as u32, Width::W32);
+        arm.mem.write(ENV_BASE + FlagId::C.offset(), arm.flags.c as u32, Width::W32);
+        arm.mem.write(ENV_BASE + FlagId::V.offset(), arm.flags.v as u32, Width::W32);
+        arm.mem.write(ENV_BASE + crate::env::FLAGMODE_OFFSET, 0, Width::W32);
+        self.state.mem = std::mem::take(&mut arm.mem);
+        self.stats.exec.exec_cycles += self.tcost.helper;
+        self.stats.helper_steps += 1;
+        Ok(next_pc)
+    }
+
+    /// Run until the guest halts or `fuel` host instructions have been
+    /// executed.
+    pub fn run(&mut self, fuel: u64) -> RunOutcome {
+        self.state.set_reg(Gpr::Esp, HOST_STACK_TOP);
+        loop {
+            if self.stats.exec.host_instrs >= fuel {
+                return RunOutcome::OutOfFuel;
+            }
+            let pc = self.pc;
+            if !self.cache.contains_key(&pc) {
+                self.translate(pc);
+            }
+            let (code, interp_one, guest_len, covered, hits) = {
+                let b = self.cache.get_mut(&pc).expect("just translated");
+                b.execs += 1;
+                (Rc::clone(&b.code), b.interp_one, b.guest_len, b.covered, b.hits.clone())
+            };
+            self.stats.block_execs += 1;
+            self.stats.guest_dyn += guest_len;
+            self.stats.guest_dyn_covered += covered;
+            for (len, key) in hits {
+                self.stats.hit_rules.insert(key, len);
+            }
+            if interp_one {
+                match self.helper_step(pc) {
+                    Ok(next) => {
+                        self.pc = next;
+                        continue;
+                    }
+                    Err(out) => return out,
+                }
+            }
+            if code.is_empty() {
+                return RunOutcome::Fault;
+            }
+            let remaining = fuel - self.stats.exec.host_instrs;
+            let exit = run_seq(&mut self.state, &code, remaining, &self.cost, &mut self.stats.exec);
+            match exit {
+                SeqExit::Returned => {
+                    self.pc = self.state.reg(Gpr::Eax);
+                }
+                SeqExit::Halted => return RunOutcome::Halted,
+                SeqExit::OutOfFuel => return RunOutcome::OutOfFuel,
+                SeqExit::JumpedOut(_) | SeqExit::FellThrough => return RunOutcome::Fault,
+            }
+        }
+    }
+
+    /// Reset execution state (keeping the translated-code cache) so the
+    /// same image can be run again.
+    pub fn reset(&mut self) {
+        self.pc = self.entry;
+    }
+
+    /// Number of translated blocks in the code cache.
+    pub fn cache_blocks(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The env slot address of a guest register (for tests/diagnostics).
+    pub fn reg_slot(r: ArmReg) -> u32 {
+        (reg_mem(r).disp) as u32
+    }
+
+    /// The env slot address of a flag.
+    pub fn flag_slot(f: FlagId) -> u32 {
+        (env_mem(f.offset()).disp) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldbt_compiler::{link::build_arm_image, Options};
+
+    fn run_both_ways(src: &str) -> (u32, u32) {
+        let image = build_arm_image(src, &Options::o2()).unwrap();
+        // Reference: the ARM interpreter.
+        let mut m = ldbt_arm::ArmMachine::new();
+        image.load_into(&mut m.state.mem);
+        m.state.regs[15] = image.entry;
+        assert_eq!(m.run(50_000_000), ldbt_arm::ArmStop::Halt);
+        let want = m.state.reg(ArmReg::R0);
+        // DBT.
+        let mut e = Engine::new(&image, Translator::Tcg);
+        assert_eq!(e.run(200_000_000), RunOutcome::Halted);
+        (want, e.guest_reg(ArmReg::R0))
+    }
+
+    #[test]
+    fn simple_program_matches_interpreter() {
+        let (want, got) = run_both_ways("int main() { return 41 + 1; }");
+        assert_eq!(want, got);
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn loops_and_branches_match() {
+        let src = "
+int main() {
+  int s = 0;
+  for (int i = 1; i <= 100; i += 1) {
+    if (i & 1) { s += i; } else { s -= 1; }
+  }
+  return s;
+}";
+        let (want, got) = run_both_ways(src);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn memory_and_calls_match() {
+        let src = "
+int a[32];
+int sum(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i += 1) { s += a[i]; }
+  return s;
+}
+int main() {
+  for (int i = 0; i < 32; i += 1) { a[i] = i * 3; }
+  return sum(32) & 0xffff;
+}";
+        let (want, got) = run_both_ways(src);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn recursion_matches() {
+        let src = "
+int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+int main() { return fib(14); }";
+        let (want, got) = run_both_ways(src);
+        assert_eq!(want, got);
+        assert_eq!(got, 377);
+    }
+
+    #[test]
+    fn code_cache_reuses_blocks() {
+        let src = "
+int main() {
+  int s = 0;
+  for (int i = 0; i < 50; i += 1) { s += i; }
+  return s;
+}";
+        let image = build_arm_image(src, &Options::o2()).unwrap();
+        let mut e = Engine::new(&image, Translator::Tcg);
+        assert_eq!(e.run(10_000_000), RunOutcome::Halted);
+        assert!(e.stats.block_execs > e.stats.blocks, "loop blocks re-executed");
+        assert!(e.cache_blocks() as u64 == e.stats.blocks);
+    }
+
+    #[test]
+    fn jit_translator_matches_tcg() {
+        let src = "
+int h(int x) { return (x ^ 2166136261) * 599; }
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 40; i += 1) { acc += h(i) & 1023; }
+  return acc;
+}";
+        let image = build_arm_image(src, &Options::o2()).unwrap();
+        let mut tcg = Engine::new(&image, Translator::Tcg);
+        assert_eq!(tcg.run(50_000_000), RunOutcome::Halted);
+        let mut jit = Engine::new(&image, Translator::Jit);
+        assert_eq!(jit.run(50_000_000), RunOutcome::Halted);
+        assert_eq!(tcg.guest_reg(ArmReg::R0), jit.guest_reg(ArmReg::R0));
+        assert!(
+            jit.stats.exec.host_instrs < tcg.stats.exec.host_instrs,
+            "jit code is leaner: {} vs {}",
+            jit.stats.exec.host_instrs,
+            tcg.stats.exec.host_instrs
+        );
+        assert!(
+            jit.stats.exec.translation_cycles > tcg.stats.exec.translation_cycles,
+            "jit pays for it in translation time"
+        );
+    }
+
+    #[test]
+    fn predicated_code_via_helper_or_select() {
+        // Comparison-as-value compiles to a predicated mov: must still run
+        // correctly under the DBT.
+        let src = "int main() { int a = 5; int b = 9; return (a < b) + 2 * (a == 5); }";
+        let (want, got) = run_both_ways(src);
+        assert_eq!(want, got);
+        assert_eq!(got, 3);
+    }
+
+    #[test]
+    fn guest_dyn_instr_accounting() {
+        let src = "int main() { return 7; }";
+        let image = build_arm_image(src, &Options::o2()).unwrap();
+        let mut e = Engine::new(&image, Translator::Tcg);
+        assert_eq!(e.run(1_000_000), RunOutcome::Halted);
+        // _start (4 instrs incl. svc) + main body.
+        assert!(e.stats.guest_dyn >= 6, "{}", e.stats.guest_dyn);
+        assert!(e.stats.exec.host_instrs > 0);
+        assert!(e.stats.exec.translation_cycles > 0);
+    }
+
+    #[test]
+    fn out_of_fuel_reported() {
+        let src = "int main() { int s = 0; while (s < 100000000) { s += 1; } return s; }";
+        let image = build_arm_image(src, &Options::o2()).unwrap();
+        let mut e = Engine::new(&image, Translator::Tcg);
+        assert_eq!(e.run(10_000), RunOutcome::OutOfFuel);
+    }
+}

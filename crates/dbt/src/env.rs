@@ -1,0 +1,125 @@
+//! The emulation environment: guest state held in host memory.
+//!
+//! Like QEMU, the DBT keeps the guest register file and condition flags
+//! in a host memory block (`env`); translated code loads guest registers
+//! into host registers on demand and writes dirty ones back at block
+//! boundaries.
+
+use ldbt_arm::ArmReg;
+use ldbt_x86::X86Mem;
+
+/// Base address of the env block.
+pub const ENV_BASE: u32 = 0x00f0_0000;
+/// Host stack for translated code (`%esp` initial value, grows down).
+pub const HOST_STACK_TOP: u32 = 0x00e8_0000;
+
+/// Byte offset of guest register `r` within the env.
+pub fn reg_offset(r: ArmReg) -> u32 {
+    4 * r.index() as u32
+}
+
+/// One guest condition flag, in env order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlagId {
+    /// Negative.
+    N,
+    /// Zero.
+    Z,
+    /// Carry (ARM polarity).
+    C,
+    /// Overflow.
+    V,
+}
+
+impl FlagId {
+    /// All flags, env order.
+    pub const ALL: [FlagId; 4] = [FlagId::N, FlagId::Z, FlagId::C, FlagId::V];
+
+    /// The flag's NZCV mask bit (N=8, Z=4, C=2, V=1).
+    pub fn mask(self) -> u8 {
+        match self {
+            FlagId::N => 0b1000,
+            FlagId::Z => 0b0100,
+            FlagId::C => 0b0010,
+            FlagId::V => 0b0001,
+        }
+    }
+
+    /// Byte offset of the flag's env slot (each slot holds 0 or 1).
+    pub fn offset(self) -> u32 {
+        0x40 + 4 * match self {
+            FlagId::N => 0,
+            FlagId::Z => 1,
+            FlagId::C => 2,
+            FlagId::V => 3,
+        }
+    }
+}
+
+/// Env slot holding saved host EFLAGS (`pushfd` image) for lazily-saved
+/// condition codes (paper §5).
+pub const HOSTFLAGS_OFFSET: u32 = 0x50;
+/// Env slot: flag mode. Bit 0: 1 = `HOSTFLAGS` is authoritative, 0 = the
+/// NZCV slots are. Bit 1: carry polarity of the saved flags (0 = ARM C is
+/// ¬CF, subtraction-style; 1 = ARM C is CF, addition-style).
+pub const FLAGMODE_OFFSET: u32 = 0x54;
+/// Start of the spill area for translated-code temporaries.
+pub const SPILL_OFFSET: u32 = 0x80;
+/// Number of temp spill slots.
+pub const SPILL_SLOTS: u32 = 16;
+
+/// An absolute-address memory operand for an env slot.
+pub fn env_mem(offset: u32) -> X86Mem {
+    X86Mem::absolute((ENV_BASE + offset) as i32)
+}
+
+/// The env slot of a guest register.
+pub fn reg_mem(r: ArmReg) -> X86Mem {
+    env_mem(reg_offset(r))
+}
+
+/// The env slot of a guest flag.
+pub fn flag_mem(f: FlagId) -> X86Mem {
+    env_mem(f.offset())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_disjoint() {
+        let mut offsets: Vec<u32> = ArmReg::ALL.iter().map(|r| reg_offset(*r)).collect();
+        offsets.extend(FlagId::ALL.iter().map(|f| f.offset()));
+        offsets.push(HOSTFLAGS_OFFSET);
+        offsets.push(FLAGMODE_OFFSET);
+        for k in 0..SPILL_SLOTS {
+            offsets.push(SPILL_OFFSET + 4 * k);
+        }
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), offsets.len(), "overlapping env slots");
+    }
+
+    #[test]
+    fn flag_masks() {
+        assert_eq!(FlagId::N.mask() | FlagId::Z.mask() | FlagId::C.mask() | FlagId::V.mask(), 0b1111);
+        assert_eq!(FlagId::C.offset(), 0x48);
+    }
+
+    #[test]
+    fn env_mem_is_absolute() {
+        let m = reg_mem(ArmReg::R3);
+        assert_eq!(m.base, None);
+        assert_eq!(m.disp as u32, ENV_BASE + 12);
+    }
+
+    #[test]
+    fn env_does_not_collide_with_program_regions() {
+        // Code, globals, guest stack, host stack all live below the env.
+        assert!(ldbt_compiler::link::CODE_BASE < ENV_BASE);
+        assert!(ldbt_compiler::link::STACK_TOP < ENV_BASE);
+        assert!(HOST_STACK_TOP < ENV_BASE);
+    }
+}

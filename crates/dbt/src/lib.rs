@@ -1,0 +1,32 @@
+#![forbid(unsafe_code)]
+//! The cross-ISA dynamic binary translator (the QEMU stand-in).
+//!
+//! A block-at-a-time ARM→x86 DBT with three interchangeable translators:
+//!
+//! * [`tcg`]/[`backend`] — the baseline: each guest instruction expands
+//!   into TCG-like micro-ops which the backend lowers to host code, with
+//!   the guest register file held in host memory (the `env`, see [`mod@env`])
+//!   and condition codes materialized into env slots,
+//! * [`rules`] — the paper's contribution: learned rules translate
+//!   maximal guest sequences directly to host code, cooperating with the
+//!   register allocator and the condition-code scheme of §5 (host-flag
+//!   save, flag-mode dispatch, liveness screening of unemulated flags),
+//! * [`jit`] — an HQEMU-style optimizing backend: the same TCG stream is
+//!   cleaned up (value numbering, dead get/put removal) before lowering,
+//!   at a much higher modeled translation cost.
+//!
+//! The [`engine`] owns the code cache and the dispatcher (QEMU
+//! convention: a translated block returns the next guest PC in `%eax`)
+//! and runs translated code on the `ldbt-x86` interpreter, accumulating
+//! the cycle-model statistics every experiment consumes.
+
+pub mod backend;
+pub mod engine;
+pub mod env;
+pub mod jit;
+pub mod rules;
+pub mod stats;
+pub mod tcg;
+
+pub use engine::{Engine, RunOutcome, Translator};
+pub use stats::DbtStats;

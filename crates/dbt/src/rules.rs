@@ -1,0 +1,660 @@
+//! Rule-based block translation (paper §4 and §5).
+//!
+//! A guest block is scanned greedily for the *longest* contiguous
+//! instruction sequence matching a learned rule (hash-bucketed by the
+//! mean guest opcode); matched sequences emit the rule's host template
+//! directly — bypassing the TCG IR — while uncovered instructions fall
+//! back to the TCG path. Rule host code cooperates with the translator's
+//! register state the way the paper's prototype reuses TCG's allocator:
+//! bound guest registers get home host registers, loaded on demand and
+//! written back at boundaries.
+//!
+//! Condition codes follow §5: a rule's flag-setting host code leaves
+//! guest-visible flags in the *host* EFLAGS; if guest flags are live out
+//! of the block the translator appends the three-instruction lazy save
+//! (`pushfd; popl env.hostflags; movl $mode, env.flagmode`), and
+//! consumer blocks materialize the env NZCV slots through the flag-mode
+//! dispatch stub in [`crate::backend`]. A rule whose *unemulated* flags
+//! would be consumed downstream is simply not applied (the paper's
+//! "lightweight analysis at translation time").
+
+use crate::backend::lower_block;
+use crate::env::{env_mem, reg_mem, FLAGMODE_OFFSET, HOSTFLAGS_OFFSET};
+use crate::tcg::{flags_live_at, translate_block, GuestBlock, TcgBlock};
+use ldbt_arm::{ArmInstr, ArmReg, Cond};
+use ldbt_isa::Memory;
+use ldbt_learn::rule::Binding;
+use ldbt_learn::{Rule, RuleSet};
+use ldbt_x86::{Cc, Gpr, Operand, X86Instr};
+#[cfg(test)]
+use ldbt_x86::AluOp;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Host registers available as guest-register homes in rule segments.
+const RULE_POOL: [Gpr; 6] = [Gpr::Ecx, Gpr::Edx, Gpr::Ebx, Gpr::Esi, Gpr::Edi, Gpr::Ebp];
+
+/// Map an ARM condition to the x86 condition under the standard flag
+/// correspondence (N↔SF, Z↔ZF, V↔OF, C↔¬CF).
+pub fn cond_to_cc(cond: Cond) -> Option<Cc> {
+    Some(match cond {
+        Cond::Eq => Cc::E,
+        Cond::Ne => Cc::Ne,
+        Cond::Cs => Cc::Ae,
+        Cond::Cc => Cc::B,
+        Cond::Mi => Cc::S,
+        Cond::Pl => Cc::Ns,
+        Cond::Vs => Cc::O,
+        Cond::Vc => Cc::No,
+        Cond::Hi => Cc::A,
+        Cond::Ls => Cc::Be,
+        Cond::Ge => Cc::Ge,
+        Cond::Lt => Cc::L,
+        Cond::Gt => Cc::G,
+        Cond::Le => Cc::Le,
+        Cond::Al => return None,
+    })
+}
+
+/// The result of translating one block with rules.
+#[derive(Debug, Clone)]
+pub struct RuleLowering {
+    /// The host code.
+    pub code: Vec<X86Instr>,
+    /// Per guest instruction: covered by a rule?
+    pub covered: Vec<bool>,
+    /// (length, stable rule key) of each rule application.
+    pub hits: Vec<(usize, u64)>,
+    /// Number of TCG micro-ops emitted for uncovered stretches (for the
+    /// translation-overhead model).
+    pub tcg_ops: usize,
+    /// Number of rule host instructions emitted.
+    pub rule_instrs: usize,
+    /// Rule-match attempts (hash lookups) made.
+    pub lookups: usize,
+}
+
+fn rule_key(rule: &Rule) -> u64 {
+    let mut h = DefaultHasher::new();
+    rule.dedup_key().hash(&mut h);
+    h.finish()
+}
+
+/// Guest flags read by `instrs[from..]` before being written, plus
+/// conservative liveness at the end.
+fn flags_consumed_after(
+    instrs: &[ArmInstr],
+    from: usize,
+    mem: &Memory,
+    block_pc: u32,
+) -> u8 {
+    let mut live = 0u8;
+    let mut written = 0u8;
+    for i in &instrs[from..] {
+        live |= i.flags_read() & !written;
+        written |= i.flags_written();
+    }
+    if written != 0b1111 {
+        // Flags may escape through the block's successors.
+        let n = instrs.len() as u32;
+        let live_out = match instrs.last() {
+            Some(ArmInstr::B { offset, cond }) => {
+                let end_pc = block_pc.wrapping_add(4 * n);
+                let taken = end_pc.wrapping_add((*offset as u32).wrapping_mul(4));
+                let mut l = flags_live_at(mem, taken, 2);
+                if *cond != Cond::Al {
+                    l |= flags_live_at(mem, end_pc, 2);
+                }
+                l
+            }
+            _ => 0b1111,
+        };
+        live |= live_out & !written;
+    }
+    live
+}
+
+struct RuleHomes {
+    map: HashMap<ArmReg, Gpr>,
+    dirty: HashMap<ArmReg, bool>,
+    free: Vec<Gpr>,
+}
+
+impl RuleHomes {
+    fn new() -> RuleHomes {
+        RuleHomes {
+            map: HashMap::new(),
+            dirty: HashMap::new(),
+            free: RULE_POOL.iter().rev().copied().collect(),
+        }
+    }
+
+    /// Can `extra` more distinct guest registers be accommodated?
+    fn can_fit(&self, regs: &[ArmReg]) -> bool {
+        let new = regs.iter().filter(|r| !self.map.contains_key(r)).count();
+        new <= self.free.len()
+    }
+
+    fn home(&mut self, g: ArmReg, code: &mut Vec<X86Instr>) -> Gpr {
+        if let Some(h) = self.map.get(&g) {
+            return *h;
+        }
+        let h = self.free.pop().expect("checked by can_fit");
+        self.map.insert(g, h);
+        self.dirty.insert(g, false);
+        code.push(X86Instr::Mov { dst: Operand::Reg(h), src: Operand::Mem(reg_mem(g)) });
+        h
+    }
+
+    fn writeback(&mut self, code: &mut Vec<X86Instr>) {
+        let mut dirty: Vec<(ArmReg, Gpr)> = self
+            .map
+            .iter()
+            .filter(|(g, _)| self.dirty.get(g).copied().unwrap_or(false))
+            .map(|(g, h)| (*g, *h))
+            .collect();
+        dirty.sort_by_key(|(g, _)| g.index());
+        for (g, h) in dirty {
+            code.push(X86Instr::Mov { dst: Operand::Mem(reg_mem(g)), src: Operand::Reg(h) });
+        }
+        for d in self.dirty.values_mut() {
+            *d = false;
+        }
+    }
+
+    fn invalidate(&mut self) {
+        self.map.clear();
+        self.dirty.clear();
+        self.free = RULE_POOL.iter().rev().copied().collect();
+    }
+}
+
+/// One planned segment of a block.
+enum Segment {
+    Rule { start: usize, len: usize, rule_index: (u32, usize) },
+    Tcg { start: usize, len: usize },
+}
+
+/// Translate a guest block using the rule set with TCG fallback.
+pub fn lower_block_with_rules(
+    mem: &Memory,
+    block: &GuestBlock,
+    rules: &RuleSet,
+) -> RuleLowering {
+    lower_block_with_rules_opts(mem, block, rules, true)
+}
+
+/// [`lower_block_with_rules`] with the §5 lazy host-flag save as a knob:
+/// with `lazy_flags = false`, rules whose guest flags are live out of the
+/// block are *not applied* (the conservative ablation baseline).
+pub fn lower_block_with_rules_opts(
+    mem: &Memory,
+    block: &GuestBlock,
+    rules: &RuleSet,
+    lazy_flags: bool,
+) -> RuleLowering {
+    let instrs = &block.instrs;
+    let n = instrs.len();
+    let mut lookups = 0usize;
+
+    // --- Plan: longest-match scan (paper §4). ---
+    struct Planned<'r> {
+        start: usize,
+        len: usize,
+        rule: &'r Rule,
+        binding: Binding,
+    }
+    let mut plans: Vec<Planned> = Vec::new();
+    let mut covered = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut applied = false;
+        let max_len = n - i;
+        for len in (1..=max_len).rev() {
+            let seq = &instrs[i..i + len];
+            // A branch may only appear as the final instruction of both
+            // the sequence and the block.
+            if seq[..len - 1].iter().any(|x| x.is_block_end())
+                || (seq[len - 1].is_block_end() && i + len != n)
+            {
+                continue;
+            }
+            lookups += 1;
+            let Some((rule, binding)) = rules.lookup(seq) else { continue };
+            // §5 applicability: unemulated guest flags must not be
+            // consumed downstream.
+            if rule.unemulated_flags != 0 {
+                let consumed = flags_consumed_after(instrs, i + len, mem, block.pc);
+                if rule.unemulated_flags & consumed != 0 {
+                    continue;
+                }
+            }
+            // Flags defined by the rule but *read via env* by a later
+            // uncovered instruction cannot be seen (they live in host
+            // EFLAGS): handled by only allowing flag-setting rules whose
+            // flags are dead in-block after the rule (live-out uses the
+            // lazy save instead).
+            let writes_flags = seq.iter().any(|x| x.flags_written() != 0);
+            if !lazy_flags
+                && writes_flags
+                && flags_consumed_after(instrs, i + len, mem, block.pc) != 0
+            {
+                continue;
+            }
+            if writes_flags && !rule.has_branch {
+                let mut read_later = 0u8;
+                let mut redefined = 0u8;
+                for j in &instrs[i + len..] {
+                    read_later |= j.flags_read() & !redefined;
+                    redefined |= j.flags_written();
+                }
+                if read_later != 0 {
+                    continue;
+                }
+            }
+            plans.push(Planned { start: i, len, rule, binding });
+            for c in covered[i..i + len].iter_mut() {
+                *c = true;
+            }
+            i += len;
+            applied = true;
+            break;
+        }
+        if !applied {
+            i += 1;
+        }
+    }
+
+    // --- Segment the block. ---
+    let mut segments: Vec<Segment> = Vec::new();
+    {
+        let mut i = 0usize;
+        let mut plan_iter = plans.iter().enumerate().peekable();
+        while i < n {
+            if let Some((pi, p)) = plan_iter.peek() {
+                if p.start == i {
+                    segments.push(Segment::Rule {
+                        start: i,
+                        len: p.len,
+                        rule_index: (0, *pi),
+                    });
+                    i += p.len;
+                    plan_iter.next();
+                    continue;
+                }
+                let stop = p.start;
+                segments.push(Segment::Tcg { start: i, len: stop - i });
+                i = stop;
+            } else {
+                segments.push(Segment::Tcg { start: i, len: n - i });
+                i = n;
+            }
+        }
+    }
+
+    // --- Emit. ---
+    let mut code: Vec<X86Instr> = Vec::new();
+    let mut homes = RuleHomes::new();
+    let mut hits = Vec::new();
+    let mut tcg_ops = 0usize;
+    let mut rule_instrs = 0usize;
+
+    // Does any rule host code in this block set flags that are live out?
+    // (computed per rule application below).
+    for seg in &segments {
+        match *seg {
+            Segment::Rule { start, len, rule_index } => {
+                let p = &plans[rule_index.1];
+                debug_assert_eq!((p.start, p.len), (start, len));
+                let rule = p.rule;
+                hits.push((rule.len(), rule_key(rule)));
+                // Bound guest registers, in template order.
+                let bound: Vec<ArmReg> = p.binding.regs.values().copied().collect();
+                if !homes.can_fit(&bound) {
+                    // Very wide rule with a full home table: flush and
+                    // restart the table (rare).
+                    homes.writeback(&mut code);
+                    homes.invalidate();
+                }
+                // Which guest regs does the rule define? (for dirty marks)
+                let defined: Vec<ArmReg> = instrs[start..start + len]
+                    .iter()
+                    .filter_map(|g| g.def())
+                    .map(|template_or_actual| template_or_actual)
+                    .collect();
+                let host = rule.instantiate(&p.binding, |g| homes.home(g, &mut code));
+                // Flag epilogue decision.
+                let writes_flags =
+                    instrs[start..start + len].iter().any(|x| x.flags_written() != 0);
+                let flags_live_out = if writes_flags {
+                    flags_consumed_after(instrs, start + len, mem, block.pc) != 0
+                } else {
+                    false
+                };
+                // Split a trailing jcc off the template: the lazy flag
+                // save and register writebacks must precede it (none of
+                // them touch EFLAGS).
+                let (body, tail_jcc) = match host.split_last() {
+                    Some((X86Instr::Jcc { cc, .. }, body)) if rule.has_branch => {
+                        (body.to_vec(), Some(*cc))
+                    }
+                    _ => (host, None),
+                };
+                rule_instrs += body.len() + tail_jcc.is_some() as usize;
+                code.extend(body);
+                for d in &defined {
+                    if let Some(dirty) = homes.dirty.get_mut(d) {
+                        *dirty = true;
+                    }
+                }
+                if flags_live_out {
+                    // The 3-instruction lazy save of paper §5.
+                    code.push(X86Instr::Pushfd);
+                    code.push(X86Instr::Pop { dst: Operand::Mem(env_mem(HOSTFLAGS_OFFSET)) });
+                    code.push(X86Instr::Mov {
+                        dst: Operand::Mem(env_mem(FLAGMODE_OFFSET)),
+                        src: Operand::Imm(1), // bit1 = 0: sub carry polarity
+                    });
+                }
+                if let Some(cc) = tail_jcc {
+                    // Terminal conditional branch: write everything back
+                    // (flag-safe movs), then branch between the two exits.
+                    homes.writeback(&mut code);
+                    let end_pc = block.pc.wrapping_add(4 * n as u32);
+                    let ArmInstr::B { offset, .. } = instrs[n - 1] else {
+                        unreachable!("branch rule must end on b")
+                    };
+                    let taken = end_pc.wrapping_add((offset as u32).wrapping_mul(4));
+                    code.push(X86Instr::Jcc { cc, target: 2 });
+                    code.push(X86Instr::mov_imm(Gpr::Eax, end_pc as i32));
+                    code.push(X86Instr::Ret);
+                    code.push(X86Instr::mov_imm(Gpr::Eax, taken as i32));
+                    code.push(X86Instr::Ret);
+                }
+            }
+            Segment::Tcg { start, len } => {
+                // Flush rule homes: the TCG sub-block works env-to-env.
+                homes.writeback(&mut code);
+                homes.invalidate();
+                let sub = GuestBlock {
+                    pc: block.pc.wrapping_add(4 * start as u32),
+                    instrs: instrs[start..start + len].to_vec(),
+                };
+                let tcg: TcgBlock = translate_block(mem, &sub);
+                debug_assert_eq!(tcg.unsupported_at, None, "prefiltered by engine");
+                tcg_ops += tcg.ops.len();
+                let sub_code = lower_block(&tcg);
+                if start + len == n {
+                    // Final segment: keep the sub-block's own terminator.
+                    code.extend(sub_code);
+                } else {
+                    // Mid-block segment: strip the `movl $pc, %eax; ret`
+                    // tail (fall through into the next segment).
+                    let body_len = sub_code.len().saturating_sub(2);
+                    debug_assert!(matches!(sub_code.last(), Some(X86Instr::Ret)));
+                    code.extend_from_slice(&sub_code[..body_len]);
+                }
+            }
+        }
+    }
+
+    // If the block's last guest instruction was covered by a *non-branch*
+    // rule (or the loop ended without a terminator segment), fall through
+    // to the next PC.
+    let ends_with_exit = matches!(
+        code.last(),
+        Some(X86Instr::Ret) | Some(X86Instr::Halt)
+    );
+    if !ends_with_exit {
+        homes.writeback(&mut code);
+        let next = block.pc.wrapping_add(4 * n as u32);
+        code.push(X86Instr::mov_imm(Gpr::Eax, next as i32));
+        code.push(X86Instr::Ret);
+    }
+
+    RuleLowering { code, covered, hits, tcg_ops, rule_instrs, lookups }
+}
+
+/// Whether a block contains anything the rule translator cannot lower
+/// (the engine then falls back entirely to TCG or the interpreter).
+pub fn block_supported(block: &GuestBlock) -> bool {
+    !block.instrs.iter().any(|i| {
+        i.is_predicated() && matches!(i, ArmInstr::Ldr { .. } | ArmInstr::Str { .. })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{ENV_BASE, HOST_STACK_TOP};
+    use ldbt_arm::{DpOp, Operand2};
+    use ldbt_isa::{CostModel, ExecStats, Width};
+    use ldbt_learn::rule::{ImmParam, ImmRel, ImmSlot};
+    use ldbt_x86::interp::{run_seq, SeqExit};
+    use ldbt_x86::{X86Mem, X86State};
+
+    fn figure1_rule() -> Rule {
+        Rule {
+            guest: vec![
+                ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R1)),
+                ArmInstr::dp(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(5)),
+            ],
+            host: vec![X86Instr::Lea {
+                dst: Gpr::Edx,
+                addr: X86Mem { base: Some(Gpr::Edx), index: Some((Gpr::Ecx, 1)), disp: -5 },
+            }],
+            host_reg_of: [(Gpr::Edx, ArmReg::R0), (Gpr::Ecx, ArmReg::R1)].into_iter().collect(),
+            imm_params: vec![ImmParam {
+                guest_site: (1, ImmSlot::Data),
+                extra_guest_sites: vec![],
+                template_value: 5,
+                host_sites: vec![(0, ImmSlot::MemOffset, ImmRel::Neg)],
+            }],
+            unemulated_flags: 0,
+            has_branch: false,
+        }
+    }
+
+    fn run(code: &[X86Instr], setup: impl FnOnce(&mut X86State)) -> (X86State, SeqExit) {
+        let mut st = X86State::new();
+        st.set_reg(Gpr::Esp, HOST_STACK_TOP);
+        setup(&mut st);
+        let mut stats = ExecStats::new();
+        let exit = run_seq(&mut st, code, 10_000, &CostModel::default(), &mut stats);
+        (st, exit)
+    }
+
+    fn set_guest(st: &mut X86State, r: ArmReg, v: u32) {
+        st.mem.write(ENV_BASE + 4 * r.index() as u32, v, Width::W32);
+    }
+
+    fn guest(st: &X86State, r: ArmReg) -> u32 {
+        st.mem.read(ENV_BASE + 4 * r.index() as u32, Width::W32)
+    }
+
+    #[test]
+    fn fully_covered_block_uses_one_lea() {
+        let mut rules = RuleSet::new();
+        rules.insert(figure1_rule());
+        let block = GuestBlock {
+            pc: 0x1_0000,
+            instrs: vec![
+                ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Reg(ArmReg::R7)),
+                ArmInstr::dp(DpOp::Sub, ArmReg::R4, ArmReg::R4, Operand2::Imm(12)),
+            ],
+        };
+        let mem = Memory::new();
+        let low = lower_block_with_rules(&mem, &block, &rules);
+        assert_eq!(low.covered, vec![true, true]);
+        assert_eq!(low.hits.len(), 1);
+        assert_eq!(low.hits[0].0, 2);
+        assert!(low.code.iter().any(|i| matches!(i, X86Instr::Lea { .. })));
+        // Execute and check the env.
+        let (st, exit) = run(&low.code, |st| {
+            set_guest(st, ArmReg::R4, 100);
+            set_guest(st, ArmReg::R7, 30);
+        });
+        assert_eq!(exit, SeqExit::Returned);
+        assert_eq!(st.reg(Gpr::Eax), 0x1_0008);
+        assert_eq!(guest(&st, ArmReg::R4), 118);
+        assert_eq!(guest(&st, ArmReg::R7), 30);
+    }
+
+    #[test]
+    fn partial_coverage_mixes_tcg_and_rules() {
+        let mut rules = RuleSet::new();
+        rules.insert(figure1_rule());
+        let block = GuestBlock {
+            pc: 0x1_0000,
+            instrs: vec![
+                // Uncovered: mvn has no rule.
+                ArmInstr::dp(DpOp::Mvn, ArmReg::R2, ArmReg::R0, Operand2::Reg(ArmReg::R2)),
+                ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Reg(ArmReg::R7)),
+                ArmInstr::dp(DpOp::Sub, ArmReg::R4, ArmReg::R4, Operand2::Imm(3)),
+            ],
+        };
+        let mem = Memory::new();
+        let low = lower_block_with_rules(&mem, &block, &rules);
+        assert_eq!(low.covered, vec![false, true, true]);
+        assert!(low.tcg_ops > 0);
+        let (st, _) = run(&low.code, |st| {
+            set_guest(st, ArmReg::R2, 0x0f0f_0f0f);
+            set_guest(st, ArmReg::R4, 50);
+            set_guest(st, ArmReg::R7, 8);
+        });
+        assert_eq!(guest(&st, ArmReg::R2), !0x0f0f_0f0f);
+        assert_eq!(guest(&st, ArmReg::R4), 55);
+    }
+
+    #[test]
+    fn branch_rule_emits_two_exits() {
+        let mut rules = RuleSet::new();
+        rules.insert(Rule {
+            guest: vec![
+                ArmInstr::cmp(ArmReg::R2, Operand2::Reg(ArmReg::R3)),
+                ArmInstr::B { offset: 0, cond: Cond::Ne },
+            ],
+            host: vec![
+                X86Instr::alu_rr(AluOp::Cmp, Gpr::Ecx, Gpr::Edx),
+                X86Instr::Jcc { cc: Cc::Ne, target: 0 },
+            ],
+            host_reg_of: [(Gpr::Ecx, ArmReg::R2), (Gpr::Edx, ArmReg::R3)].into_iter().collect(),
+            imm_params: vec![],
+            unemulated_flags: 0,
+            has_branch: true,
+        });
+        let block = GuestBlock {
+            pc: 0x1_0000,
+            instrs: vec![
+                ArmInstr::cmp(ArmReg::R5, Operand2::Reg(ArmReg::R6)),
+                ArmInstr::B { offset: 3, cond: Cond::Ne },
+            ],
+        };
+        let mem = Memory::new();
+        let low = lower_block_with_rules(&mem, &block, &rules);
+        assert_eq!(low.covered, vec![true, true]);
+        let (st, _) = run(&low.code, |st| {
+            set_guest(st, ArmReg::R5, 1);
+            set_guest(st, ArmReg::R6, 2);
+        });
+        assert_eq!(st.reg(Gpr::Eax), 0x1_0008 + 12, "taken");
+        let (st2, _) = run(&low.code, |st| {
+            set_guest(st, ArmReg::R5, 2);
+            set_guest(st, ArmReg::R6, 2);
+        });
+        assert_eq!(st2.reg(Gpr::Eax), 0x1_0008, "not taken");
+        // The flag save must be present: successors are unknown code
+        // (zeroed memory decodes as flag-unknown), so flags are live-out.
+        assert!(low.code.iter().any(|i| matches!(i, X86Instr::Pushfd)));
+    }
+
+    #[test]
+    fn longest_match_preferred() {
+        // Both a 2-instruction rule and a 1-instruction rule apply at
+        // index 0; the longer must win.
+        let mut rules = RuleSet::new();
+        rules.insert(figure1_rule());
+        rules.insert(Rule {
+            guest: vec![ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R1))],
+            host: vec![X86Instr::alu_rr(AluOp::Add, Gpr::Edx, Gpr::Ecx)],
+            host_reg_of: [(Gpr::Edx, ArmReg::R0), (Gpr::Ecx, ArmReg::R1)].into_iter().collect(),
+            imm_params: vec![],
+            unemulated_flags: 0,
+            has_branch: false,
+        });
+        let block = GuestBlock {
+            pc: 0x1_0000,
+            instrs: vec![
+                ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Reg(ArmReg::R7)),
+                ArmInstr::dp(DpOp::Sub, ArmReg::R4, ArmReg::R4, Operand2::Imm(9)),
+            ],
+        };
+        let mem = Memory::new();
+        let low = lower_block_with_rules(&mem, &block, &rules);
+        assert_eq!(low.hits.len(), 1);
+        assert_eq!(low.hits[0].0, 2, "longest match wins");
+    }
+
+    #[test]
+    fn unemulated_flags_block_application() {
+        // A rule with C unemulated must not apply when a later in-block
+        // instruction reads C.
+        let mut rules = RuleSet::new();
+        rules.insert(Rule {
+            guest: vec![ArmInstr::dps(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Imm(1))],
+            host: vec![X86Instr::Un {
+                op: ldbt_x86::UnOp::Inc,
+                dst: Operand::Reg(Gpr::Ecx),
+            }],
+            host_reg_of: [(Gpr::Ecx, ArmReg::R0)].into_iter().collect(),
+            imm_params: vec![],
+            unemulated_flags: 0b0010, // C
+            has_branch: false,
+        });
+        let block = GuestBlock {
+            pc: 0x1_0000,
+            instrs: vec![
+                ArmInstr::dps(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Imm(1)),
+                // adc reads the carry the rule cannot produce.
+                ArmInstr::dp(DpOp::Adc, ArmReg::R5, ArmReg::R5, Operand2::Imm(0)),
+            ],
+        };
+        let mem = Memory::new();
+        let low = lower_block_with_rules(&mem, &block, &rules);
+        assert_eq!(low.covered, vec![false, false], "rule must be skipped");
+    }
+
+    #[test]
+    fn mixed_block_correctness_against_interpreter() {
+        // A block with a store, a rule-covered pair, and a compare.
+        let mut rules = RuleSet::new();
+        rules.insert(figure1_rule());
+        let instrs = vec![
+            ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Reg(ArmReg::R0)),
+            ArmInstr::dp(DpOp::Sub, ArmReg::R1, ArmReg::R1, Operand2::Imm(7)),
+            ArmInstr::str(ArmReg::R1, ldbt_arm::AddrMode::Imm(ArmReg::R6, 4)),
+            ArmInstr::dp(DpOp::Eor, ArmReg::R2, ArmReg::R1, Operand2::Imm(0xff)),
+        ];
+        let block = GuestBlock { pc: 0x1_0000, instrs: instrs.clone() };
+        let mem = Memory::new();
+        let low = lower_block_with_rules(&mem, &block, &rules);
+        let (st, exit) = run(&low.code, |st| {
+            set_guest(st, ArmReg::R0, 11);
+            set_guest(st, ArmReg::R1, 100);
+            set_guest(st, ArmReg::R6, 0x8000);
+        });
+        assert_eq!(exit, SeqExit::Returned);
+        // Reference: the ARM interpreter.
+        let mut arm = ldbt_arm::ArmState::new();
+        arm.set_reg(ArmReg::R0, 11);
+        arm.set_reg(ArmReg::R1, 100);
+        arm.set_reg(ArmReg::R6, 0x8000);
+        for i in &instrs {
+            arm.exec(i);
+        }
+        assert_eq!(guest(&st, ArmReg::R1), arm.reg(ArmReg::R1));
+        assert_eq!(guest(&st, ArmReg::R2), arm.reg(ArmReg::R2));
+        assert_eq!(st.mem.read(0x8004, Width::W32), arm.mem.read(0x8004, Width::W32));
+    }
+}

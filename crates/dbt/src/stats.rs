@@ -1,0 +1,104 @@
+//! DBT-level statistics: everything Figures 8–12 are computed from.
+
+use ldbt_isa::ExecStats;
+use std::collections::HashMap;
+
+/// Statistics accumulated by an [`crate::Engine`] run.
+#[derive(Debug, Clone, Default)]
+pub struct DbtStats {
+    /// Host-side dynamic execution statistics (instructions, cycles,
+    /// translation cycles).
+    pub exec: ExecStats,
+    /// Dynamic guest instructions emulated.
+    pub guest_dyn: u64,
+    /// Dynamic guest instructions emulated through learned rules
+    /// (`Σ Fᵢ·Bᵢ` in the paper's coverage definition).
+    pub guest_dyn_covered: u64,
+    /// Static guest instructions translated (`m`).
+    pub guest_static: u64,
+    /// Static guest instructions covered by rules (`Σ Bᵢ`).
+    pub guest_static_covered: u64,
+    /// Blocks translated.
+    pub blocks: u64,
+    /// Block dispatches executed.
+    pub block_execs: u64,
+    /// Guest instructions emulated by the interpreter helper.
+    pub helper_steps: u64,
+    /// Rule-match hash lookups performed during translation.
+    pub rule_lookups: u64,
+    /// Distinct rules hit at least once: stable key → rule length.
+    pub hit_rules: HashMap<u64, usize>,
+}
+
+impl DbtStats {
+    /// Fresh statistics.
+    pub fn new() -> Self {
+        DbtStats::default()
+    }
+
+    /// Static rule coverage `Sₚ = Σ Bᵢ / m` (Figure 11).
+    pub fn static_coverage(&self) -> f64 {
+        if self.guest_static == 0 {
+            0.0
+        } else {
+            self.guest_static_covered as f64 / self.guest_static as f64
+        }
+    }
+
+    /// Dynamic rule coverage `Dₚ = Σ Fᵢ·Bᵢ / Σ Fᵢ` (Figure 11).
+    pub fn dynamic_coverage(&self) -> f64 {
+        if self.guest_dyn == 0 {
+            0.0
+        } else {
+            self.guest_dyn_covered as f64 / self.guest_dyn as f64
+        }
+    }
+
+    /// Histogram of hit-rule lengths (Figure 12): length → distinct rules.
+    pub fn hit_length_histogram(&self) -> HashMap<usize, usize> {
+        let mut h = HashMap::new();
+        for len in self.hit_rules.values() {
+            *h.entry(*len).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Total modeled time (translation + execution cycles).
+    pub fn total_cycles(&self) -> u64 {
+        self.exec.total_cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_ratios() {
+        let mut s = DbtStats::new();
+        s.guest_static = 10;
+        s.guest_static_covered = 6;
+        s.guest_dyn = 1000;
+        s.guest_dyn_covered = 850;
+        assert!((s.static_coverage() - 0.6).abs() < 1e-12);
+        assert!((s.dynamic_coverage() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_safe() {
+        let s = DbtStats::new();
+        assert_eq!(s.static_coverage(), 0.0);
+        assert_eq!(s.dynamic_coverage(), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_distinct_rules() {
+        let mut s = DbtStats::new();
+        s.hit_rules.insert(1, 2);
+        s.hit_rules.insert(2, 2);
+        s.hit_rules.insert(3, 4);
+        let h = s.hit_length_histogram();
+        assert_eq!(h[&2], 2);
+        assert_eq!(h[&4], 1);
+    }
+}

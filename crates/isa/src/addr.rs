@@ -1,0 +1,174 @@
+//! Normalized memory addresses: `base ± index × scale + offset`.
+//!
+//! Section 3.2 of the paper normalizes every guest and host addressing mode
+//! into this common form before mapping live-in registers. The form is
+//! generic over the register type so both ISAs (and the learner's
+//! parameterized registers) can reuse it.
+
+use std::fmt;
+
+/// A scale factor, kept in its *syntactic* form.
+///
+/// The paper deliberately keeps `(1 << 2)` distinct from `4` so that the
+/// immediate-operand mapping can later record `(1 << 2) ↦ 4` (ARM encodes
+/// scaled index registers as shifts, x86 as SIB scale bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// A literal multiplier, e.g. x86's SIB `4`.
+    Value(u32),
+    /// A left-shift amount, e.g. ARM's `lsl #2`.
+    Shl(u32),
+}
+
+impl Scale {
+    /// The numeric multiplier this scale denotes.
+    ///
+    /// ```
+    /// use ldbt_isa::Scale;
+    /// assert_eq!(Scale::Shl(3).factor(), 8);
+    /// assert_eq!(Scale::Value(8).factor(), 8);
+    /// ```
+    pub fn factor(self) -> u32 {
+        match self {
+            Scale::Value(v) => v,
+            Scale::Shl(s) => 1u32.wrapping_shl(s),
+        }
+    }
+
+    /// Whether two scales denote the same multiplier regardless of form.
+    pub fn same_factor(self, other: Scale) -> bool {
+        self.factor() == other.factor()
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scale::Value(v) => write!(f, "{v}"),
+            Scale::Shl(s) => write!(f, "(1 << {s})"),
+        }
+    }
+}
+
+/// A normalized memory address `base + index × scale + offset`.
+///
+/// Either component register may be absent (e.g. an absolute address has
+/// neither). `offset` is a signed displacement.
+///
+/// ```
+/// use ldbt_isa::{NormAddr, Scale};
+/// // -0x4(%ecx,%eax,4)  normalizes to  ecx + eax*4 + (-4)
+/// let a = NormAddr { base: Some("ecx"), index: Some(("eax", Scale::Value(4))), offset: -4 };
+/// assert_eq!(a.to_string(), "ecx + eax*4 + -4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NormAddr<R> {
+    /// The base register, if any.
+    pub base: Option<R>,
+    /// The index register and its scale, if any.
+    pub index: Option<(R, Scale)>,
+    /// Signed displacement added to the address.
+    pub offset: i64,
+}
+
+impl<R> NormAddr<R> {
+    /// An address consisting of a bare base register.
+    pub fn base(base: R) -> Self {
+        NormAddr { base: Some(base), index: None, offset: 0 }
+    }
+
+    /// An absolute address (displacement only).
+    pub fn absolute(offset: i64) -> Self {
+        NormAddr { base: None, index: None, offset }
+    }
+
+    /// The registers appearing in the address, base first.
+    pub fn regs(&self) -> impl Iterator<Item = &R> {
+        self.base.iter().chain(self.index.iter().map(|(r, _)| r))
+    }
+
+    /// Map the register type, preserving structure.
+    pub fn map<S>(self, mut f: impl FnMut(R) -> S) -> NormAddr<S> {
+        NormAddr {
+            base: self.base.map(&mut f),
+            index: self.index.map(|(r, s)| (f(r), s)),
+            offset: self.offset,
+        }
+    }
+
+    /// Number of registers used by the address (0–2).
+    pub fn reg_count(&self) -> usize {
+        self.base.is_some() as usize + self.index.is_some() as usize
+    }
+}
+
+impl<R: fmt::Display> fmt::Display for NormAddr<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if let Some(b) = &self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some((r, s)) = &self.index {
+            if wrote {
+                write!(f, " + ")?;
+            }
+            write!(f, "{r}*{s}")?;
+            wrote = true;
+        }
+        if self.offset != 0 || !wrote {
+            if wrote {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", self.offset)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factor() {
+        assert_eq!(Scale::Value(1).factor(), 1);
+        assert_eq!(Scale::Shl(0).factor(), 1);
+        assert_eq!(Scale::Shl(2).factor(), 4);
+        assert!(Scale::Shl(2).same_factor(Scale::Value(4)));
+        assert!(!Scale::Shl(1).same_factor(Scale::Value(4)));
+    }
+
+    #[test]
+    fn scale_display_keeps_syntactic_form() {
+        assert_eq!(Scale::Shl(2).to_string(), "(1 << 2)");
+        assert_eq!(Scale::Value(4).to_string(), "4");
+    }
+
+    #[test]
+    fn norm_addr_constructors() {
+        let a: NormAddr<u8> = NormAddr::base(3);
+        assert_eq!(a.reg_count(), 1);
+        assert_eq!(a.offset, 0);
+        let b: NormAddr<u8> = NormAddr::absolute(0x100);
+        assert_eq!(b.reg_count(), 0);
+        assert_eq!(b.to_string(), "256");
+    }
+
+    #[test]
+    fn norm_addr_regs_iterates_base_then_index() {
+        let a = NormAddr { base: Some("r1"), index: Some(("r0", Scale::Shl(2))), offset: -4 };
+        let regs: Vec<_> = a.regs().collect();
+        assert_eq!(regs, vec![&"r1", &"r0"]);
+        assert_eq!(a.to_string(), "r1 + r0*(1 << 2) + -4");
+    }
+
+    #[test]
+    fn norm_addr_map() {
+        let a = NormAddr { base: Some(1u8), index: Some((2u8, Scale::Value(8))), offset: 12 };
+        let b = a.map(|r| r * 10);
+        assert_eq!(b.base, Some(10));
+        assert_eq!(b.index, Some((20, Scale::Value(8))));
+        assert_eq!(b.offset, 12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Bit widths and low-level bit manipulation helpers.
+
+use std::fmt;
+
+/// An operand or access width, in bits.
+///
+/// Both modeled ISAs are 32-bit machines; sub-word widths appear in memory
+/// accesses (`ldrb`, `movzbl`, …) and in zero/sign extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    /// 8 bits.
+    W8,
+    /// 16 bits.
+    W16,
+    /// 32 bits (the native word size of both modeled ISAs).
+    W32,
+}
+
+impl Width {
+    /// Number of bits in this width.
+    ///
+    /// ```
+    /// assert_eq!(ldbt_isa::Width::W16.bits(), 16);
+    /// ```
+    pub const fn bits(self) -> u32 {
+        match self {
+            Width::W8 => 8,
+            Width::W16 => 16,
+            Width::W32 => 32,
+        }
+    }
+
+    /// Number of bytes in this width.
+    pub const fn bytes(self) -> u32 {
+        self.bits() / 8
+    }
+
+    /// Mask with the low `bits()` bits set.
+    pub const fn mask(self) -> u64 {
+        match self {
+            Width::W8 => 0xff,
+            Width::W16 => 0xffff,
+            Width::W32 => 0xffff_ffff,
+        }
+    }
+
+    /// All widths, narrowest first.
+    pub const ALL: [Width; 3] = [Width::W8, Width::W16, Width::W32];
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.bits())
+    }
+}
+
+/// Sign-extend the low `width` bits of `value` to 64 bits.
+///
+/// ```
+/// use ldbt_isa::{bits::sign_extend, Width};
+/// assert_eq!(sign_extend(0xff, Width::W8), -1i64 as u64);
+/// assert_eq!(sign_extend(0x7f, Width::W8), 0x7f);
+/// ```
+pub fn sign_extend(value: u64, width: Width) -> u64 {
+    let bits = width.bits();
+    let shift = 64 - bits;
+    (((value << shift) as i64) >> shift) as u64
+}
+
+/// Truncate `value` to the low `width` bits (zero-extending the rest).
+///
+/// ```
+/// use ldbt_isa::{bits::truncate, Width};
+/// assert_eq!(truncate(0x1_2345, Width::W16), 0x2345);
+/// ```
+pub fn truncate(value: u64, width: Width) -> u64 {
+    value & width.mask()
+}
+
+/// Carry flag for a 32-bit addition `a + b + carry_in`.
+pub fn add_carry32(a: u32, b: u32, carry_in: bool) -> bool {
+    (a as u64) + (b as u64) + (carry_in as u64) > u32::MAX as u64
+}
+
+/// Signed-overflow flag for a 32-bit addition `a + b + carry_in`.
+pub fn add_overflow32(a: u32, b: u32, carry_in: bool) -> bool {
+    let r = a.wrapping_add(b).wrapping_add(carry_in as u32);
+    // Overflow iff operands share sign and the result sign differs.
+    ((a ^ r) & (b ^ r)) >> 31 != 0
+}
+
+/// ARM-style carry (NOT borrow) for a 32-bit subtraction `a - b - !carry_in`.
+///
+/// ARM's `C` after `SUBS` is set when no borrow occurred, i.e. `a >= b` for
+/// a plain subtract. x86's `CF` is the *borrow*, i.e. the inverse.
+pub fn sub_carry32_arm(a: u32, b: u32, carry_in: bool) -> bool {
+    let full = (a as u64)
+        .wrapping_add(!b as u64)
+        .wrapping_add(carry_in as u64);
+    full > u32::MAX as u64
+}
+
+/// Signed-overflow flag for a 32-bit subtraction `a - b`.
+pub fn sub_overflow32(a: u32, b: u32) -> bool {
+    let r = a.wrapping_sub(b);
+    ((a ^ b) & (a ^ r)) >> 31 != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_accessors() {
+        assert_eq!(Width::W8.bits(), 8);
+        assert_eq!(Width::W32.bytes(), 4);
+        assert_eq!(Width::W16.mask(), 0xffff);
+        assert_eq!(Width::ALL.len(), 3);
+        assert!(Width::W8 < Width::W32);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Width::W32.to_string(), "i32");
+    }
+
+    #[test]
+    fn sign_extend_positive_and_negative() {
+        assert_eq!(sign_extend(0x80, Width::W8), 0xffff_ffff_ffff_ff80);
+        assert_eq!(sign_extend(0x7fff, Width::W16), 0x7fff);
+        assert_eq!(sign_extend(0x8000, Width::W16), 0xffff_ffff_ffff_8000);
+        assert_eq!(sign_extend(0xffff_ffff, Width::W32), u64::MAX);
+    }
+
+    #[test]
+    fn truncate_masks() {
+        assert_eq!(truncate(u64::MAX, Width::W8), 0xff);
+        assert_eq!(truncate(0x1234_5678_9abc, Width::W32), 0x5678_9abc);
+    }
+
+    #[test]
+    fn add_flags() {
+        assert!(add_carry32(u32::MAX, 1, false));
+        assert!(!add_carry32(1, 2, false));
+        assert!(add_carry32(u32::MAX, 0, true));
+        assert!(add_overflow32(i32::MAX as u32, 1, false));
+        assert!(!add_overflow32(1, 1, false));
+        assert!(add_overflow32(i32::MIN as u32, i32::MIN as u32, false));
+    }
+
+    #[test]
+    fn sub_flags() {
+        // ARM carry = no borrow.
+        assert!(sub_carry32_arm(5, 3, true));
+        assert!(!sub_carry32_arm(3, 5, true));
+        assert!(sub_carry32_arm(3, 3, true));
+        assert!(sub_overflow32(i32::MIN as u32, 1));
+        assert!(!sub_overflow32(5, 3));
+        assert!(sub_overflow32(i32::MAX as u32, u32::MAX)); // MAX - (-1) overflows
+    }
+
+    #[test]
+    fn exhaustive_8bit_carry_matches_wide_arithmetic() {
+        for a in 0..=255u32 {
+            for b in 0..=255u32 {
+                let a32 = a << 24;
+                let b32 = b << 24;
+                let wide = (a32 as u64) + (b32 as u64);
+                assert_eq!(add_carry32(a32, b32, false), wide > u32::MAX as u64);
+            }
+        }
+    }
+}

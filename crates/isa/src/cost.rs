@@ -1,0 +1,171 @@
+//! Execution statistics and the host cycle cost model.
+//!
+//! The paper reports *relative* metrics — speedup over QEMU, percentage of
+//! dynamic host instructions removed, rule coverage. Our execution
+//! substrate is an interpreter, so wall-clock time is replaced by a modeled
+//! cycle count: `time = translation_cycles + Σ cost(dynamic host instr)`.
+//! The per-kind costs below are loosely calibrated to a small out-of-order
+//! x86 core; only their ratios matter for the reproduced shapes.
+
+/// Coarse classification of host instructions for the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrKind {
+    /// Register-to-register ALU operation (incl. `lea`).
+    Alu,
+    /// Integer multiply.
+    Mul,
+    /// Memory load (or ALU op with a memory source).
+    Load,
+    /// Memory store.
+    Store,
+    /// Taken or not-taken direct branch / jump.
+    Branch,
+    /// Indirect branch (returns, computed jumps).
+    IndirectBranch,
+    /// Flag save/restore traffic (`pushfd`/`popfd`-style).
+    FlagSync,
+    /// Call/return linkage.
+    CallRet,
+}
+
+/// Cycle costs per [`InstrKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of an ALU instruction.
+    pub alu: u64,
+    /// Cost of a multiply.
+    pub mul: u64,
+    /// Cost of a load.
+    pub load: u64,
+    /// Cost of a store.
+    pub store: u64,
+    /// Cost of a direct branch.
+    pub branch: u64,
+    /// Cost of an indirect branch.
+    pub indirect_branch: u64,
+    /// Cost of a flag save/restore instruction.
+    pub flag_sync: u64,
+    /// Cost of a call or return.
+    pub call_ret: u64,
+}
+
+impl CostModel {
+    /// Cost of one instruction of kind `kind`.
+    pub fn cost(&self, kind: InstrKind) -> u64 {
+        match kind {
+            InstrKind::Alu => self.alu,
+            InstrKind::Mul => self.mul,
+            InstrKind::Load => self.load,
+            InstrKind::Store => self.store,
+            InstrKind::Branch => self.branch,
+            InstrKind::IndirectBranch => self.indirect_branch,
+            InstrKind::FlagSync => self.flag_sync,
+            InstrKind::CallRet => self.call_ret,
+        }
+    }
+}
+
+impl Default for CostModel {
+    /// The calibration used by all experiments.
+    fn default() -> Self {
+        CostModel {
+            alu: 1,
+            mul: 3,
+            load: 3,
+            store: 2,
+            branch: 2,
+            indirect_branch: 8,
+            flag_sync: 4,
+            call_ret: 4,
+        }
+    }
+}
+
+/// Dynamic execution statistics accumulated by an execution engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Dynamic host instructions executed.
+    pub host_instrs: u64,
+    /// Modeled execution cycles (cost-weighted host instructions).
+    pub exec_cycles: u64,
+    /// Modeled translation cycles (compile-time work).
+    pub translation_cycles: u64,
+    /// Guest instructions translated (static).
+    pub guest_instrs_translated: u64,
+    /// Guest basic blocks translated (static).
+    pub blocks_translated: u64,
+}
+
+impl ExecStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        ExecStats::default()
+    }
+
+    /// Record execution of one host instruction of kind `kind`.
+    pub fn record(&mut self, kind: InstrKind, model: &CostModel) {
+        self.host_instrs += 1;
+        self.exec_cycles += model.cost(kind);
+    }
+
+    /// Total modeled time: translation plus execution.
+    pub fn total_cycles(&self) -> u64 {
+        self.exec_cycles + self.translation_cycles
+    }
+
+    /// Speedup of `self` relative to a `baseline` (baseline_time / self_time).
+    ///
+    /// Returns `f64::INFINITY` if `self` took zero cycles.
+    pub fn speedup_over(&self, baseline: &ExecStats) -> f64 {
+        let own = self.total_cycles();
+        if own == 0 {
+            return f64::INFINITY;
+        }
+        baseline.total_cycles() as f64 / own as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_costs_are_ordered_sensibly() {
+        let m = CostModel::default();
+        assert!(m.alu < m.load);
+        assert!(m.branch < m.indirect_branch);
+        assert!(m.alu <= m.mul);
+        assert_eq!(m.cost(InstrKind::Alu), m.alu);
+        assert_eq!(m.cost(InstrKind::IndirectBranch), m.indirect_branch);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let m = CostModel::default();
+        let mut s = ExecStats::new();
+        s.record(InstrKind::Alu, &m);
+        s.record(InstrKind::Load, &m);
+        assert_eq!(s.host_instrs, 2);
+        assert_eq!(s.exec_cycles, m.alu + m.load);
+    }
+
+    #[test]
+    fn speedup() {
+        let mut fast = ExecStats::new();
+        fast.exec_cycles = 100;
+        let mut slow = ExecStats::new();
+        slow.exec_cycles = 200;
+        slow.translation_cycles = 50;
+        assert!((fast.speedup_over(&slow) - 2.5).abs() < 1e-12);
+        let zero = ExecStats::new();
+        assert!(zero.speedup_over(&slow).is_infinite());
+    }
+
+    #[test]
+    fn total_includes_translation() {
+        let mut s = ExecStats::new();
+        s.exec_cycles = 10;
+        s.translation_cycles = 5;
+        assert_eq!(s.total_cycles(), 15);
+    }
+}

@@ -1,0 +1,39 @@
+#![forbid(unsafe_code)]
+//! Shared ISA abstractions for the learned-DBT system.
+//!
+//! This crate holds the small set of types that are meaningful across both
+//! the guest (ARM-flavored RISC, `ldbt-arm`) and host (x86-flavored CISC,
+//! `ldbt-x86`) instruction sets:
+//!
+//! * bit widths and bit-manipulation helpers ([`Width`], [`bits::sign_extend`]),
+//! * source-line debug locations ([`SourceLoc`]) — the unit the rule
+//!   learner keys on,
+//! * the normalized memory-address form `base ± index × scale + offset`
+//!   ([`NormAddr`]) used by the operand-parameterization heuristics,
+//! * the byte-addressed sparse [`Memory`] shared by both concrete
+//!   interpreters,
+//! * execution statistics and the cycle cost model ([`ExecStats`],
+//!   [`CostModel`]) used by the DBT execution engine.
+//!
+//! # Example
+//!
+//! ```
+//! use ldbt_isa::{Memory, Width};
+//!
+//! let mut mem = Memory::new();
+//! mem.write(0x1000, 0xdead_beef, Width::W32);
+//! assert_eq!(mem.read(0x1000, Width::W32), 0xdead_beef);
+//! assert_eq!(mem.read(0x1002, Width::W16), 0xdead);
+//! ```
+
+pub mod addr;
+pub mod bits;
+pub mod cost;
+pub mod mem;
+pub mod source;
+
+pub use addr::{NormAddr, Scale};
+pub use bits::{sign_extend, truncate, Width};
+pub use cost::{CostModel, ExecStats, InstrKind};
+pub use mem::Memory;
+pub use source::{SourceLoc, SourceMap};

@@ -1,0 +1,146 @@
+//! A sparse, byte-addressed, little-endian memory.
+//!
+//! Both modeled ISAs are little-endian (the paper assumes matching
+//! endianness between guest and host). The memory is page-sparse so that
+//! widely separated code / global / stack regions do not allocate the
+//! whole address space.
+
+use crate::bits::Width;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// A sparse 32-bit little-endian byte-addressable memory.
+///
+/// Reads of never-written bytes return zero, which keeps concrete
+/// interpretation deterministic.
+///
+/// ```
+/// use ldbt_isa::{Memory, Width};
+/// let mut m = Memory::new();
+/// m.write(0xfffc, 0x1122_3344, Width::W32);
+/// assert_eq!(m.read(0xfffc, Width::W32), 0x1122_3344);
+/// assert_eq!(m.read(0xfffe, Width::W8), 0x22);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Create an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Read `width` bytes starting at `addr`, little-endian, zero-extended.
+    pub fn read(&self, addr: u32, width: Width) -> u32 {
+        let mut v: u32 = 0;
+        for i in 0..width.bytes() {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u32) << (8 * i);
+        }
+        v
+    }
+
+    /// Write the low `width` bytes of `value` at `addr`, little-endian.
+    pub fn write(&mut self, addr: u32, value: u32, width: Width) {
+        for i in 0..width.bytes() {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copy a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Read `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
+            .collect()
+    }
+
+    /// Number of resident pages (for diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = Memory::new();
+        assert_eq!(m.read(0, Width::W32), 0);
+        assert_eq!(m.read(0xdead_beef, Width::W8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write(0x100, 0x0a0b_0c0d, Width::W32);
+        assert_eq!(m.read_u8(0x100), 0x0d);
+        assert_eq!(m.read_u8(0x101), 0x0c);
+        assert_eq!(m.read_u8(0x102), 0x0b);
+        assert_eq!(m.read_u8(0x103), 0x0a);
+        assert_eq!(m.read(0x100, Width::W16), 0x0c0d);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE as u32 - 2; // straddles the first page boundary
+        m.write(addr, 0x1234_5678, Width::W32);
+        assert_eq!(m.read(addr, Width::W32), 0x1234_5678);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_width_writes_do_not_clobber_neighbors() {
+        let mut m = Memory::new();
+        m.write(0x200, 0xffff_ffff, Width::W32);
+        m.write(0x201, 0x00, Width::W8);
+        assert_eq!(m.read(0x200, Width::W32), 0xffff_00ff);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = Memory::new();
+        let data = [1u8, 2, 3, 4, 5];
+        m.write_bytes(0x300, &data);
+        assert_eq!(m.read_bytes(0x300, 5), data.to_vec());
+    }
+
+    #[test]
+    fn wrapping_addresses() {
+        let mut m = Memory::new();
+        m.write(u32::MAX, 0xab, Width::W8);
+        m.write(0, 0xcd, Width::W8);
+        assert_eq!(m.read(u32::MAX, Width::W16), 0xcdab);
+    }
+}

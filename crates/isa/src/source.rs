@@ -1,0 +1,181 @@
+//! Source-level debug locations.
+//!
+//! The paper's learning scope is a *line of source code*: the compiler
+//! tags every emitted machine instruction with the source line it came
+//! from (mirroring DWARF line tables), and the learner extracts the guest
+//! and host instruction groups that share a line.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A source location: file id plus 1-based line number.
+///
+/// Files are interned as small integers by the compiler session; the
+/// learner only ever compares locations for equality and ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceLoc {
+    /// Interned file identifier.
+    pub file: u32,
+    /// 1-based line number. Line 0 means "no debug info".
+    pub line: u32,
+}
+
+impl SourceLoc {
+    /// A location in file 0 at the given line.
+    pub fn line(line: u32) -> Self {
+        SourceLoc { file: 0, line }
+    }
+
+    /// The "no debug info" sentinel (compiler-generated glue code).
+    pub const NONE: SourceLoc = SourceLoc { file: 0, line: 0 };
+
+    /// Whether this location carries real debug info.
+    pub fn is_known(self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file{}:{}", self.file, self.line)
+    }
+}
+
+/// A line table mapping instruction indices to source locations, as the
+/// compiler backends emit it (the moral equivalent of `.debug_line`).
+///
+/// ```
+/// use ldbt_isa::{SourceLoc, SourceMap};
+/// let mut map = SourceMap::new();
+/// map.record(0, SourceLoc::line(10));
+/// map.record(1, SourceLoc::line(10));
+/// map.record(2, SourceLoc::line(11));
+/// assert_eq!(map.loc(1), SourceLoc::line(10));
+/// let groups: Vec<_> = map.line_groups().collect();
+/// assert_eq!(groups, vec![(SourceLoc::line(10), 0..2), (SourceLoc::line(11), 2..3)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    locs: BTreeMap<usize, SourceLoc>,
+}
+
+impl SourceMap {
+    /// Create an empty line table.
+    pub fn new() -> Self {
+        SourceMap::default()
+    }
+
+    /// Record that instruction `index` was generated from `loc`.
+    pub fn record(&mut self, index: usize, loc: SourceLoc) {
+        self.locs.insert(index, loc);
+    }
+
+    /// The location of instruction `index` ([`SourceLoc::NONE`] if untagged).
+    pub fn loc(&self, index: usize) -> SourceLoc {
+        self.locs.get(&index).copied().unwrap_or(SourceLoc::NONE)
+    }
+
+    /// Number of tagged instructions.
+    pub fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locs.is_empty()
+    }
+
+    /// Iterate over maximal runs of *consecutive* instructions that share a
+    /// source location, in instruction order.
+    ///
+    /// This is exactly the grouping the learner uses: a guest snippet is one
+    /// contiguous run attributed to a single line. Non-contiguous
+    /// re-occurrences of a line (e.g. loop rotation) produce separate groups.
+    pub fn line_groups(&self) -> impl Iterator<Item = (SourceLoc, std::ops::Range<usize>)> + '_ {
+        let entries: Vec<(usize, SourceLoc)> = self.locs.iter().map(|(k, v)| (*k, *v)).collect();
+        LineGroups { entries, pos: 0 }
+    }
+}
+
+struct LineGroups {
+    entries: Vec<(usize, SourceLoc)>,
+    pos: usize,
+}
+
+impl Iterator for LineGroups {
+    type Item = (SourceLoc, std::ops::Range<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.entries.len() {
+            return None;
+        }
+        let (start_idx, loc) = self.entries[self.pos];
+        let mut end_idx = start_idx + 1;
+        self.pos += 1;
+        while self.pos < self.entries.len() {
+            let (idx, l) = self.entries[self.pos];
+            if l == loc && idx == end_idx {
+                end_idx += 1;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Some((loc, start_idx..end_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_sentinel() {
+        assert!(!SourceLoc::NONE.is_known());
+        assert!(SourceLoc::line(5).is_known());
+        assert_eq!(SourceLoc::line(5).to_string(), "file0:5");
+    }
+
+    #[test]
+    fn missing_index_is_none() {
+        let map = SourceMap::new();
+        assert_eq!(map.loc(42), SourceLoc::NONE);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn groups_split_on_line_change() {
+        let mut map = SourceMap::new();
+        for (i, l) in [(0, 1), (1, 1), (2, 2), (3, 1)] {
+            map.record(i, SourceLoc::line(l));
+        }
+        let groups: Vec<_> = map.line_groups().collect();
+        assert_eq!(
+            groups,
+            vec![
+                (SourceLoc::line(1), 0..2),
+                (SourceLoc::line(2), 2..3),
+                (SourceLoc::line(1), 3..4),
+            ]
+        );
+    }
+
+    #[test]
+    fn groups_split_on_gap() {
+        let mut map = SourceMap::new();
+        map.record(0, SourceLoc::line(7));
+        map.record(2, SourceLoc::line(7)); // gap at index 1
+        let groups: Vec<_> = map.line_groups().collect();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].1, 0..1);
+        assert_eq!(groups[1].1, 2..3);
+    }
+
+    #[test]
+    fn len_counts_entries() {
+        let mut map = SourceMap::new();
+        map.record(3, SourceLoc::line(1));
+        map.record(4, SourceLoc::line(1));
+        assert_eq!(map.len(), 2);
+    }
+}

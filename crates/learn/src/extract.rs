@@ -1,0 +1,201 @@
+//! Snippet extraction: pairing guest and host instruction groups by
+//! source line (paper §2, "Learning Scope").
+
+use ldbt_arm::ArmInstr;
+use ldbt_compiler::{CompiledInstr, CompiledProgram};
+use ldbt_isa::{SourceLoc, SourceMap};
+use ldbt_x86::X86Instr;
+use std::collections::BTreeMap;
+
+/// A guest/host snippet pair attributed to one source line.
+#[derive(Debug, Clone)]
+pub struct SnippetPair {
+    /// The source line.
+    pub loc: SourceLoc,
+    /// The function both snippets came from.
+    pub func: String,
+    /// Guest instructions with their memory-variable annotations.
+    pub guest: Vec<(ArmInstr, Option<String>)>,
+    /// Host instructions with their memory-variable annotations.
+    pub host: Vec<(X86Instr, Option<String>)>,
+}
+
+impl SnippetPair {
+    /// Guest instructions without annotations.
+    pub fn guest_instrs(&self) -> Vec<ArmInstr> {
+        self.guest.iter().map(|(i, _)| *i).collect()
+    }
+
+    /// Host instructions without annotations.
+    pub fn host_instrs(&self) -> Vec<X86Instr> {
+        self.host.iter().map(|(i, _)| *i).collect()
+    }
+}
+
+fn line_groups<I: Clone>(
+    code: &[CompiledInstr<I>],
+    ends_block: impl Fn(&I) -> bool,
+) -> BTreeMap<SourceLoc, Vec<Vec<usize>>> {
+    let mut map = SourceMap::new();
+    for (i, c) in code.iter().enumerate() {
+        if c.loc.is_known() {
+            map.record(i, c.loc);
+        }
+    }
+    let mut groups: BTreeMap<SourceLoc, Vec<Vec<usize>>> = BTreeMap::new();
+    for (loc, range) in map.line_groups() {
+        // Split at control-flow instructions: a candidate snippet is a
+        // single-basic-block sequence (a branch may only end one), which
+        // keeps loop-header `cmp+bcc` pairs separate from the loop-entry
+        // jump the compiler tags with the same line.
+        let mut cur: Vec<usize> = Vec::new();
+        for i in range {
+            cur.push(i);
+            if ends_block(&code[i].instr) {
+                groups.entry(loc).or_default().push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            groups.entry(loc).or_default().push(cur);
+        }
+    }
+    groups
+}
+
+/// Extract all snippet pairs from a guest and a host compilation of the
+/// same source.
+///
+/// Functions are matched by name; within a function, the i-th contiguous
+/// guest group of a line pairs with the i-th host group of the same line
+/// (extra groups on either side are dropped — they only cost yield).
+pub fn extract(
+    guest: &CompiledProgram<ArmInstr>,
+    host: &CompiledProgram<X86Instr>,
+) -> Vec<SnippetPair> {
+    extract_with_stats(guest, host).0
+}
+
+/// [`extract`] plus the number of groups dropped because the two sides
+/// split a line into different numbers of single-block groups — counted
+/// as "multiple blocks" preparation failures in Table 1.
+pub fn extract_with_stats(
+    guest: &CompiledProgram<ArmInstr>,
+    host: &CompiledProgram<X86Instr>,
+) -> (Vec<SnippetPair>, usize) {
+    let mut dropped = 0usize;
+    let mut out = Vec::new();
+    for gf in &guest.funcs {
+        let Some(hf) = host.func(&gf.name) else { continue };
+        let ggroups = line_groups(&gf.code, |i: &ArmInstr| i.is_block_end());
+        let hgroups = line_groups(&hf.code, |i: &X86Instr| {
+            matches!(
+                i,
+                X86Instr::Jcc { .. }
+                    | X86Instr::Jmp { .. }
+                    | X86Instr::JmpInd { .. }
+                    | X86Instr::Call { .. }
+                    | X86Instr::Ret
+                    | X86Instr::Halt
+            )
+        });
+        for (loc, glists) in &ggroups {
+            let Some(hlists) = hgroups.get(loc) else {
+                dropped += glists.len();
+                continue;
+            };
+            dropped += glists.len().abs_diff(hlists.len());
+            for (glist, hlist) in glists.iter().zip(hlists) {
+                let mut guest: Vec<(ArmInstr, Option<String>)> = glist
+                    .iter()
+                    .map(|&i| (gf.code[i].instr, gf.code[i].mem_var.clone()))
+                    .collect();
+                let mut host: Vec<(X86Instr, Option<String>)> = hlist
+                    .iter()
+                    .map(|&i| (hf.code[i].instr, hf.code[i].mem_var.clone()))
+                    .collect();
+                // A trailing *unconditional* direct jump is pure control
+                // glue (the DBT re-resolves targets anyway): strip it from
+                // both sides so loop-entry/step snippets stay learnable.
+                if matches!(guest.last(), Some((ArmInstr::B { cond: ldbt_arm::Cond::Al, .. }, _)))
+                {
+                    guest.pop();
+                }
+                if matches!(host.last(), Some((X86Instr::Jmp { .. }, _))) {
+                    host.pop();
+                }
+                if guest.is_empty() || host.is_empty() {
+                    continue;
+                }
+                out.push(SnippetPair { loc: *loc, func: gf.name.clone(), guest, host });
+            }
+        }
+    }
+    (out, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldbt_compiler::{compile_arm, compile_x86, Options};
+
+    fn pairs(src: &str) -> Vec<SnippetPair> {
+        let g = compile_arm(src, &Options::o2()).unwrap();
+        let h = compile_x86(src, &Options::o2()).unwrap();
+        extract(&g, &h)
+    }
+
+    #[test]
+    fn pairs_cover_each_line() {
+        let src = "int f(int a, int b) {\n  int x = a + b;\n  x = x * 2;\n  return x;\n}";
+        let ps = pairs(src);
+        let lines: Vec<u32> = ps.iter().map(|p| p.loc.line).collect();
+        assert!(lines.contains(&2), "{lines:?}");
+        assert!(lines.contains(&3), "{lines:?}");
+        assert!(lines.contains(&4), "{lines:?}");
+        for p in &ps {
+            assert!(!p.guest.is_empty());
+            assert!(!p.host.is_empty());
+            assert_eq!(p.func, "f");
+        }
+    }
+
+    #[test]
+    fn figure1_shape_pair_exists() {
+        // `a + b - 1` on one line: guest add+sub vs host lea/add-sub.
+        let src = "int f(int a, int b) {\n  return a + b - 1;\n}";
+        let ps = pairs(src);
+        let p = ps.iter().find(|p| p.loc.line == 2).expect("line 2 pair");
+        assert!(p.guest.len() >= 2);
+        assert!(!p.host.is_empty());
+    }
+
+    #[test]
+    fn multiple_functions_matched_by_name() {
+        let src = "int g(int x) { return x + 1; }\nint f(int y) { return y - 1; }";
+        let ps = pairs(src);
+        assert!(ps.iter().any(|p| p.func == "g"));
+        assert!(ps.iter().any(|p| p.func == "f"));
+    }
+
+    #[test]
+    fn loop_lines_can_produce_multiple_groups() {
+        let src = "
+int f(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i += 1) { s += i; }
+  return s;
+}";
+        let ps = pairs(src);
+        // Line 4 (the for header) appears in at least one group.
+        assert!(ps.iter().any(|p| p.loc.line == 4));
+    }
+
+    #[test]
+    fn annotations_travel_with_instructions() {
+        let src = "int total;\nint f(int x) {\n  total += x;\n  return total;\n}";
+        let ps = pairs(src);
+        let p = ps.iter().find(|p| p.loc.line == 3).unwrap();
+        assert!(p.guest.iter().any(|(_, v)| v.as_deref() == Some("total")));
+        assert!(p.host.iter().any(|(_, v)| v.as_deref() == Some("total")));
+    }
+}

@@ -1,0 +1,34 @@
+#![forbid(unsafe_code)]
+//! Automatic learning of ARM→x86 translation rules (paper §2–§3).
+//!
+//! The pipeline mirrors the paper exactly:
+//!
+//! 1. **Extraction** ([`extract`]) — compile the same source for both
+//!    ISAs with debug info, and pair up the guest/host instruction groups
+//!    attributed to the same source line.
+//! 2. **Preparation** ([`prepare`]) — discard snippets containing calls
+//!    or indirect branches ("CI"), predicated instructions ("PI"), or
+//!    spanning multiple blocks ("MB"); Table 1's first failure family.
+//! 3. **Parameterization** ([`param`]) — heuristically build an *initial
+//!    mapping* between guest and host operands: memory operands by IR
+//!    variable name, live-in registers via normalized addresses /
+//!    matching operations / bounded permutation search (≤ 5 tries),
+//!    immediates by value with arithmetic/logical adaptor operations.
+//! 4. **Verification** ([`verify`]) — symbolically execute both sides
+//!    under the shared initial mapping and check defined registers (via a
+//!    conflict-free *final mapping*), memory store logs, and branch
+//!    conditions with the SAT-backed equivalence oracle.
+//!
+//! Verified pairs become parameterized [`rule::Rule`]s collected in a
+//! [`rule::RuleSet`] (deduplicated, shortest-host-wins), ready for the
+//! DBT in `ldbt-dbt`.
+
+pub mod extract;
+pub mod param;
+pub mod pipeline;
+pub mod prepare;
+pub mod rule;
+pub mod verify;
+
+pub use pipeline::{learn_rules, LearnReport, LearnStats};
+pub use rule::{Rule, RuleOperand, RuleSet};

@@ -1,0 +1,732 @@
+//! Operand parameterization: building *initial mappings* (paper §3.2).
+//!
+//! An initial mapping pairs guest and host operands of the same type:
+//!
+//! * **memory operands** by the variable names the compilers preserved in
+//!   their IR (both sides of a pair then share one displacement
+//!   parameter),
+//! * **live-in registers** through normalized memory addresses first
+//!   (`base ± index×scale + offset`), then by the operations performed on
+//!   them, and finally by bounded permutation search (at most
+//!   [`MAX_MAPPING_TRIES`] candidate mappings, as in the paper),
+//! * **immediate operands** by value, allowing an arithmetic/logical
+//!   adaptor ([`ImmRel`]) between the guest and host values.
+
+use crate::extract::SnippetPair;
+use crate::rule::{ImmParam, ImmRel, ImmSlot};
+use ldbt_arm::{ArmInstr, ArmReg, DpOp, Operand2};
+use ldbt_isa::NormAddr;
+use ldbt_x86::{AluOp, Gpr, Operand, X86Instr};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Maximum number of initial mappings tried per snippet (paper: "we
+/// limit it to 5 tries").
+pub const MAX_MAPPING_TRIES: usize = 5;
+
+/// Why parameterization failed (Table 1's "#F in Parameterization").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamFail {
+    /// Different numbers of memory variables ("Num").
+    MemCount,
+    /// Different memory variable names ("Name").
+    MemName,
+    /// No initial mapping for live-in registers could be generated
+    /// ("FailG").
+    LiveIns,
+}
+
+/// One candidate initial mapping.
+#[derive(Debug, Clone, Default)]
+pub struct InitialMapping {
+    /// Paired (guest, host) registers.
+    pub reg_pairs: Vec<(ArmReg, Gpr)>,
+    /// Parameterized immediates (guest site + host sites with relations).
+    pub imm_params: Vec<ImmParam>,
+    /// Paired (guest instr index, host instr index) memory operands, in
+    /// pairing order.
+    pub mem_pairs: Vec<(usize, usize)>,
+}
+
+impl InitialMapping {
+    /// The host register a guest register maps to, if any.
+    pub fn host_of(&self, g: ArmReg) -> Option<Gpr> {
+        self.reg_pairs.iter().find(|(gg, _)| *gg == g).map(|(_, h)| *h)
+    }
+}
+
+/// Live-in registers of a guest sequence (used before defined), in first
+/// use order.
+pub fn guest_live_ins(seq: &[ArmInstr]) -> Vec<ArmReg> {
+    let mut defined: HashSet<ArmReg> = HashSet::new();
+    let mut live = Vec::new();
+    for i in seq {
+        for u in i.uses() {
+            if !defined.contains(&u) && !live.contains(&u) {
+                live.push(u);
+            }
+        }
+        if let Some(d) = i.def() {
+            defined.insert(d);
+        }
+    }
+    live
+}
+
+/// Live-in registers of a host sequence.
+pub fn host_live_ins(seq: &[X86Instr]) -> Vec<Gpr> {
+    let mut defined: HashSet<Gpr> = HashSet::new();
+    let mut live = Vec::new();
+    for i in seq {
+        for u in i.uses() {
+            if !defined.contains(&u) && !live.contains(&u) {
+                live.push(u);
+            }
+        }
+        if let Some(d) = i.def() {
+            defined.insert(d);
+        }
+    }
+    live
+}
+
+/// Coarse operation classes used by the live-in mapping heuristic
+/// (paper Figure 3: "mapped based on the operations performed on them").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OpClass {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shift,
+    Move,
+    Compare,
+    MemAddr,
+    StoreVal,
+    Other,
+}
+
+fn guest_first_use_class(seq: &[ArmInstr], reg: ArmReg) -> (OpClass, usize) {
+    for i in seq {
+        let uses = i.uses();
+        if let Some(pos) = uses.iter().position(|u| *u == reg) {
+            let class = match i {
+                ArmInstr::Dp { op, .. } => match op {
+                    DpOp::Add | DpOp::Adc | DpOp::Cmn => OpClass::Add,
+                    DpOp::Sub | DpOp::Sbc | DpOp::Rsb => OpClass::Sub,
+                    DpOp::And | DpOp::Bic | DpOp::Tst => OpClass::And,
+                    DpOp::Orr => OpClass::Or,
+                    DpOp::Eor | DpOp::Teq => OpClass::Xor,
+                    DpOp::Mov | DpOp::Mvn => OpClass::Move,
+                    DpOp::Cmp => OpClass::Compare,
+                },
+                ArmInstr::Mul { .. } => OpClass::Mul,
+                ArmInstr::Ldr { .. } => OpClass::MemAddr,
+                ArmInstr::Str { .. } => {
+                    if pos == 0 {
+                        OpClass::StoreVal
+                    } else {
+                        OpClass::MemAddr
+                    }
+                }
+                _ => OpClass::Other,
+            };
+            return (class, pos);
+        }
+    }
+    (OpClass::Other, 0)
+}
+
+fn host_first_use_class(seq: &[X86Instr], reg: Gpr) -> (OpClass, usize) {
+    for i in seq {
+        let uses = i.uses();
+        if let Some(pos) = uses.iter().position(|u| *u == reg) {
+            let in_addr = i
+                .mem_operand()
+                .map(|(a, _, _)| a.regs().any(|r| *r == reg))
+                .unwrap_or(false);
+            let class = if in_addr {
+                OpClass::MemAddr
+            } else {
+                match i {
+                    X86Instr::Alu { op, .. } => match op {
+                        AluOp::Add | AluOp::Adc => OpClass::Add,
+                        AluOp::Sub | AluOp::Sbb => OpClass::Sub,
+                        AluOp::And | AluOp::Test => OpClass::And,
+                        AluOp::Or => OpClass::Or,
+                        AluOp::Xor => OpClass::Xor,
+                        AluOp::Cmp => OpClass::Compare,
+                    },
+                    // lea is address arithmetic: usually an add in guest
+                    // terms.
+                    X86Instr::Lea { .. } => OpClass::Add,
+                    X86Instr::Imul { .. } => OpClass::Mul,
+                    X86Instr::Shift { .. } => OpClass::Shift,
+                    X86Instr::Mov { dst: Operand::Mem(_), .. } => OpClass::StoreVal,
+                    X86Instr::MovStore { .. } => OpClass::StoreVal,
+                    X86Instr::Mov { .. } | X86Instr::Movx { .. } => OpClass::Move,
+                    X86Instr::Un { op, .. } => match op {
+                        ldbt_x86::UnOp::Inc => OpClass::Add,
+                        ldbt_x86::UnOp::Dec => OpClass::Sub,
+                        ldbt_x86::UnOp::Neg => OpClass::Sub,
+                        ldbt_x86::UnOp::Not => OpClass::Xor,
+                    },
+                    _ => OpClass::Other,
+                }
+            };
+            return (class, pos);
+        }
+    }
+    (OpClass::Other, 0)
+}
+
+/// A memory-operand site on one side.
+#[derive(Debug, Clone)]
+struct GuestMemSite {
+    instr: usize,
+    addr: NormAddr<ArmReg>,
+    var: String,
+    has_offset_slot: bool,
+}
+
+#[derive(Debug, Clone)]
+struct HostMemSite {
+    instr: usize,
+    addr: NormAddr<Gpr>,
+    var: String,
+}
+
+fn guest_mem_sites(pair: &SnippetPair) -> Vec<GuestMemSite> {
+    pair.guest
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (g, var))| {
+            let (addr, _, _) = g.mem_operand()?;
+            Some(GuestMemSite {
+                instr: i,
+                addr,
+                var: var.clone().unwrap_or_default(),
+                has_offset_slot: matches!(
+                    g,
+                    ArmInstr::Ldr { addr: ldbt_arm::AddrMode::Imm(_, _), .. }
+                        | ArmInstr::Str { addr: ldbt_arm::AddrMode::Imm(_, _), .. }
+                ),
+            })
+        })
+        .collect()
+}
+
+fn host_mem_sites(pair: &SnippetPair) -> Vec<HostMemSite> {
+    pair.host
+        .iter()
+        .enumerate()
+        .flat_map(|(i, (h, var))| {
+            // Read-modify-write instructions contribute two accesses.
+            h.mem_operands().into_iter().map(move |(addr, _, _)| HostMemSite {
+                instr: i,
+                addr,
+                var: var.clone().unwrap_or_default(),
+            })
+        })
+        .collect()
+}
+
+/// Guest data-immediate sites: (instr index, value).
+fn guest_imm_sites(seq: &[ArmInstr]) -> Vec<(usize, i64)> {
+    seq.iter()
+        .enumerate()
+        .filter_map(|(i, g)| match g {
+            ArmInstr::Dp { op2: Operand2::Imm(v), .. } => Some((i, *v as i64)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Host immediate sites: (instr index, slot, value). `lea` displacements
+/// count as immediate sites — Figure 1's `-imm000 ↦ imm100` pairs a guest
+/// data immediate with a host address displacement.
+fn host_imm_sites(seq: &[X86Instr]) -> Vec<(usize, ImmSlot, i64)> {
+    seq.iter()
+        .enumerate()
+        .filter_map(|(i, h)| match h {
+            X86Instr::Mov { src: Operand::Imm(v), .. }
+            | X86Instr::Alu { src: Operand::Imm(v), .. } => Some((i, ImmSlot::Data, *v as i64)),
+            X86Instr::Lea { addr, .. } if addr.disp != 0 => {
+                Some((i, ImmSlot::MemOffset, addr.disp as i64))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Generate up to [`MAX_MAPPING_TRIES`] candidate initial mappings.
+///
+/// # Errors
+///
+/// Returns the Table 1 parameterization failure category when no
+/// candidate can be built.
+pub fn initial_mappings(pair: &SnippetPair) -> Result<Vec<InitialMapping>, ParamFail> {
+    initial_mappings_limit(pair, MAX_MAPPING_TRIES)
+}
+
+/// [`initial_mappings`] with an explicit candidate cap (ablation knob for
+/// the paper's "limit it to 5 tries").
+pub fn initial_mappings_limit(
+    pair: &SnippetPair,
+    max_tries: usize,
+) -> Result<Vec<InitialMapping>, ParamFail> {
+    let guest_seq = pair.guest_instrs();
+    let host_seq = pair.host_instrs();
+    let gmem = guest_mem_sites(pair);
+    let hmem = host_mem_sites(pair);
+
+    // --- Memory operands: match by variable-name multiset. ---
+    if gmem.len() != hmem.len() {
+        return Err(ParamFail::MemCount);
+    }
+    {
+        let mut gnames: Vec<&str> = gmem.iter().map(|s| s.var.as_str()).collect();
+        let mut hnames: Vec<&str> = hmem.iter().map(|s| s.var.as_str()).collect();
+        gnames.sort_unstable();
+        hnames.sort_unstable();
+        if gnames != hnames {
+            return Err(ParamFail::MemName);
+        }
+    }
+    // Pair occurrences per name in order.
+    let mut by_name: BTreeMap<&str, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+    for (i, s) in gmem.iter().enumerate() {
+        by_name.entry(&s.var).or_default().0.push(i);
+    }
+    for (i, s) in hmem.iter().enumerate() {
+        by_name.entry(&s.var).or_default().1.push(i);
+    }
+    let mut mem_pairs: Vec<(usize, usize)> = Vec::new(); // indices into gmem/hmem
+    for (_, (gs, hs)) in &by_name {
+        for (g, h) in gs.iter().zip(hs) {
+            mem_pairs.push((*g, *h));
+        }
+    }
+    mem_pairs.sort();
+
+    // --- Live-in registers from normalized addresses. ---
+    let glive = guest_live_ins(&guest_seq);
+    let hlive = host_live_ins(&host_seq);
+    let mut fixed: HashMap<ArmReg, Gpr> = HashMap::new();
+    let mut taken: HashSet<Gpr> = HashSet::new();
+    let bind = |g: ArmReg, h: Gpr, fixed: &mut HashMap<ArmReg, Gpr>, taken: &mut HashSet<Gpr>| -> bool {
+        match fixed.get(&g) {
+            Some(prev) => *prev == h,
+            None => {
+                if taken.contains(&h) {
+                    return false;
+                }
+                fixed.insert(g, h);
+                taken.insert(h);
+                true
+            }
+        }
+    };
+    for (gi, hi) in &mem_pairs {
+        let gs = &gmem[*gi];
+        let hs = &hmem[*hi];
+        // Scales must denote the same factor when both sides have one.
+        if let (Some((_, gsc)), Some((_, hsc))) = (gs.addr.index, hs.addr.index) {
+            if !gsc.same_factor(hsc) {
+                return Err(ParamFail::LiveIns);
+            }
+        }
+        if let (Some(gb), Some(hb)) = (gs.addr.base, hs.addr.base) {
+            if glive.contains(&gb) && hlive.contains(&hb) {
+                if !bind(gb, hb, &mut fixed, &mut taken) {
+                    return Err(ParamFail::LiveIns);
+                }
+            }
+        }
+        if let (Some((gidx, _)), Some((hidx, _))) = (gs.addr.index, hs.addr.index) {
+            if glive.contains(&gidx) && hlive.contains(&hidx) {
+                if !bind(gidx, hidx, &mut fixed, &mut taken) {
+                    return Err(ParamFail::LiveIns);
+                }
+            }
+        }
+    }
+
+    // --- Remaining live-ins by operation heuristic + permutations. ---
+    let grem: Vec<ArmReg> = glive.iter().copied().filter(|g| !fixed.contains_key(g)).collect();
+    let hrem: Vec<Gpr> = hlive.iter().copied().filter(|h| !taken.contains(h)).collect();
+    if grem.len() != hrem.len() {
+        return Err(ParamFail::LiveIns);
+    }
+
+    // Heuristic order: match by (class, position), then class, then order.
+    let mut heuristic: Vec<(ArmReg, Gpr)> = Vec::new();
+    {
+        let mut hused = vec![false; hrem.len()];
+        for g in &grem {
+            let (gc, gp) = guest_first_use_class(&guest_seq, *g);
+            let mut pick = None;
+            for (i, h) in hrem.iter().enumerate() {
+                if hused[i] {
+                    continue;
+                }
+                let (hc, hp) = host_first_use_class(&host_seq, *h);
+                if hc == gc && hp == gp {
+                    pick = Some(i);
+                    break;
+                }
+            }
+            if pick.is_none() {
+                for (i, h) in hrem.iter().enumerate() {
+                    if hused[i] {
+                        continue;
+                    }
+                    if host_first_use_class(&host_seq, *h).0 == gc {
+                        pick = Some(i);
+                        break;
+                    }
+                }
+            }
+            if pick.is_none() {
+                pick = hused.iter().position(|u| !u);
+            }
+            let i = pick.expect("counts equal");
+            hused[i] = true;
+            heuristic.push((*g, hrem[i]));
+        }
+    }
+
+    // --- Immediate operands. ---
+    let mut imm_params: Vec<ImmParam> = Vec::new();
+    // Memory displacements of paired operands share one parameter (only
+    // when the guest side has an immediate-offset slot).
+    for (gi, hi) in &mem_pairs {
+        let gs = &gmem[*gi];
+        let hs = &hmem[*hi];
+        // Pair displacement slots only when both sides displace off a
+        // base register; a host *absolute* operand carries the full
+        // address in its displacement (the guest materializes it into a
+        // register instead), and the two must stay concrete so symbolic
+        // execution can prove the addresses equal.
+        if gs.has_offset_slot && hs.addr.base.is_some() {
+            let hsite = (hs.instr, ImmSlot::MemOffset, ImmRel::Id);
+            // Two guest accesses hitting one host RMW instruction share a
+            // single parameter (their actual offsets must then agree,
+            // which the rule matcher enforces).
+            if let Some(existing) = imm_params
+                .iter_mut()
+                .find(|p: &&mut ImmParam| p.host_sites.contains(&hsite))
+            {
+                existing.extra_guest_sites.push((gs.instr, ImmSlot::MemOffset));
+            } else {
+                imm_params.push(ImmParam {
+                    guest_site: (gs.instr, ImmSlot::MemOffset),
+                    extra_guest_sites: vec![],
+                    template_value: gs.addr.offset,
+                    host_sites: vec![hsite],
+                });
+            }
+        }
+    }
+    // Data immediates by value with Id/Neg/Not adaptors.
+    let gimms = guest_imm_sites(&guest_seq);
+    let himms = host_imm_sites(&host_seq);
+    // Host displacement sites already bound to a paired memory operand
+    // must not be re-bound to a data immediate.
+    let reserved: HashSet<(usize, ImmSlot)> = imm_params
+        .iter()
+        .flat_map(|p| p.host_sites.iter().map(|(i, s, _)| (*i, *s)))
+        .collect();
+    let mut hused = vec![false; himms.len()];
+    for (gidx, gv) in &gimms {
+        let mut host_sites = Vec::new();
+        for (k, (hidx, hslot, hv)) in himms.iter().enumerate() {
+            if hused[k] || reserved.contains(&(*hidx, *hslot)) {
+                continue;
+            }
+            let rel = if *hv as i32 == *gv as i32 {
+                Some(ImmRel::Id)
+            } else if *hv as i32 == (*gv as i32).wrapping_neg() {
+                Some(ImmRel::Neg)
+            } else if *hv as i32 == !(*gv as i32) {
+                Some(ImmRel::Not)
+            } else {
+                None
+            };
+            if let Some(rel) = rel {
+                hused[k] = true;
+                host_sites.push((*hidx, *hslot, rel));
+            }
+        }
+        if !host_sites.is_empty() {
+            imm_params.push(ImmParam {
+                guest_site: (*gidx, ImmSlot::Data),
+                extra_guest_sites: vec![],
+                template_value: *gv,
+                host_sites,
+            });
+        }
+        // Unpaired guest immediates stay concrete (paper: "left without
+        // being parameterized").
+    }
+
+    // --- Assemble candidates: heuristic first, then permutations. ---
+    let base_pairs: Vec<(ArmReg, Gpr)> = fixed.iter().map(|(g, h)| (*g, *h)).collect();
+    let mem_instr_pairs: Vec<(usize, usize)> = mem_pairs
+        .iter()
+        .map(|(gi, hi)| (gmem[*gi].instr, hmem[*hi].instr))
+        .collect();
+    let mut candidates = Vec::new();
+    let max_tries = max_tries.max(1);
+    let push_candidate = |assign: &[(ArmReg, Gpr)], candidates: &mut Vec<InitialMapping>| {
+        let mut reg_pairs = base_pairs.clone();
+        reg_pairs.extend_from_slice(assign);
+        reg_pairs.sort_by_key(|(g, _)| g.index());
+        if candidates.iter().any(|c: &InitialMapping| c.reg_pairs == reg_pairs) {
+            return;
+        }
+        candidates.push(InitialMapping {
+            reg_pairs,
+            imm_params: imm_params.clone(),
+            mem_pairs: mem_instr_pairs.clone(),
+        });
+    };
+    push_candidate(&heuristic, &mut candidates);
+    // Permutations of the ambiguous remainder.
+    let mut perm: Vec<usize> = (0..hrem.len()).collect();
+    loop {
+        if candidates.len() >= max_tries {
+            break;
+        }
+        let assign: Vec<(ArmReg, Gpr)> =
+            grem.iter().zip(&perm).map(|(g, i)| (*g, hrem[*i])).collect();
+        push_candidate(&assign, &mut candidates);
+        if !next_permutation(&mut perm) {
+            break;
+        }
+    }
+    Ok(candidates)
+}
+
+fn next_permutation(p: &mut [usize]) -> bool {
+    if p.len() < 2 {
+        return false;
+    }
+    let mut i = p.len() - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = p.len() - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldbt_isa::SourceLoc;
+    use ldbt_x86::X86Mem;
+
+    fn mkpair(
+        guest: Vec<(ArmInstr, Option<&str>)>,
+        host: Vec<(X86Instr, Option<&str>)>,
+    ) -> SnippetPair {
+        SnippetPair {
+            loc: SourceLoc::line(1),
+            func: "f".into(),
+            guest: guest.into_iter().map(|(g, v)| (g, v.map(str::to_string))).collect(),
+            host: host.into_iter().map(|(h, v)| (h, v.map(str::to_string))).collect(),
+        }
+    }
+
+    #[test]
+    fn live_in_computation() {
+        let seq = [
+            ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R1, Operand2::Reg(ArmReg::R0)),
+            ArmInstr::dp(DpOp::Sub, ArmReg::R2, ArmReg::R0, Operand2::Imm(1)),
+        ];
+        // r1 and r0 are live-in (r0 used before redefined); r2 is not.
+        assert_eq!(guest_live_ins(&seq), vec![ArmReg::R1, ArmReg::R0]);
+    }
+
+    #[test]
+    fn figure1_mapping_by_operations() {
+        // add r0,r0,r1; sub r0,r0,#5 vs leal -5(%edx,%ecx,1), %edx.
+        let pair = mkpair(
+            vec![
+                (ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R1)), None),
+                (ArmInstr::dp(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(5)), None),
+            ],
+            vec![(
+                X86Instr::Lea {
+                    dst: Gpr::Edx,
+                    addr: X86Mem { base: Some(Gpr::Edx), index: Some((Gpr::Ecx, 1)), disp: -5 },
+                },
+                None,
+            )],
+        );
+        let cands = initial_mappings(&pair).unwrap();
+        assert!(!cands.is_empty());
+        assert!(cands.len() <= MAX_MAPPING_TRIES);
+        // Some candidate maps {r0,r1} onto {edx,ecx} bijectively.
+        for c in &cands {
+            assert_eq!(c.reg_pairs.len(), 2);
+            let hs: HashSet<Gpr> = c.reg_pairs.iter().map(|(_, h)| *h).collect();
+            assert_eq!(hs.len(), 2);
+        }
+        // The immediate pair 5 ↦ -5 is found with the Neg adaptor.
+        let c = &cands[0];
+        assert_eq!(c.imm_params.len(), 1);
+        assert_eq!(c.imm_params[0].host_sites[0].2, ImmRel::Neg);
+    }
+
+    #[test]
+    fn figure2a_live_ins_via_normalized_addresses() {
+        // ldr r0, [r1, r0, lsl #2]-ish vs movl -4(%ecx,%eax,4), %eax:
+        // base↦base, index↦index.
+        let pair = mkpair(
+            vec![(
+                ArmInstr::ldr(
+                    ArmReg::R0,
+                    ldbt_arm::AddrMode::RegShift(ArmReg::R1, ArmReg::R0, 2),
+                ),
+                Some("arr"),
+            )],
+            vec![(
+                X86Instr::Mov {
+                    dst: Operand::Reg(Gpr::Eax),
+                    src: Operand::Mem(X86Mem {
+                        base: Some(Gpr::Ecx),
+                        index: Some((Gpr::Eax, 4)),
+                        disp: 0,
+                    }),
+                },
+                Some("arr"),
+            )],
+        );
+        let cands = initial_mappings(&pair).unwrap();
+        let c = &cands[0];
+        assert!(c.reg_pairs.contains(&(ArmReg::R1, Gpr::Ecx)), "{:?}", c.reg_pairs);
+        assert!(c.reg_pairs.contains(&(ArmReg::R0, Gpr::Eax)), "{:?}", c.reg_pairs);
+    }
+
+    #[test]
+    fn mem_count_mismatch() {
+        let pair = mkpair(
+            vec![(ArmInstr::ldr(ArmReg::R0, ldbt_arm::AddrMode::Imm(ArmReg::R1, 0)), Some("g"))],
+            vec![(X86Instr::mov_rr(Gpr::Eax, Gpr::Ecx), None)],
+        );
+        assert_eq!(initial_mappings(&pair).unwrap_err(), ParamFail::MemCount);
+    }
+
+    #[test]
+    fn mem_name_mismatch() {
+        let pair = mkpair(
+            vec![(ArmInstr::ldr(ArmReg::R0, ldbt_arm::AddrMode::Imm(ArmReg::R1, 0)), Some("g"))],
+            vec![(
+                X86Instr::Mov {
+                    dst: Operand::Reg(Gpr::Eax),
+                    src: Operand::Mem(X86Mem::base(Gpr::Ecx)),
+                },
+                Some("h"),
+            )],
+        );
+        assert_eq!(initial_mappings(&pair).unwrap_err(), ParamFail::MemName);
+    }
+
+    #[test]
+    fn live_in_count_mismatch() {
+        // Guest has 2 live-ins, host 1.
+        let pair = mkpair(
+            vec![(ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R1)), None)],
+            vec![(X86Instr::Un { op: ldbt_x86::UnOp::Inc, dst: Operand::Reg(Gpr::Eax) }, None)],
+        );
+        assert_eq!(initial_mappings(&pair).unwrap_err(), ParamFail::LiveIns);
+    }
+
+    #[test]
+    fn scale_factor_mismatch_fails() {
+        let pair = mkpair(
+            vec![(
+                ArmInstr::ldr(
+                    ArmReg::R0,
+                    ldbt_arm::AddrMode::RegShift(ArmReg::R1, ArmReg::R2, 2),
+                ),
+                Some("a"),
+            )],
+            vec![(
+                X86Instr::Mov {
+                    dst: Operand::Reg(Gpr::Eax),
+                    src: Operand::Mem(X86Mem {
+                        base: Some(Gpr::Ecx),
+                        index: Some((Gpr::Edx, 2)),
+                        disp: 0,
+                    }),
+                },
+                Some("a"),
+            )],
+        );
+        assert_eq!(initial_mappings(&pair).unwrap_err(), ParamFail::LiveIns);
+    }
+
+    #[test]
+    fn mem_offsets_share_a_parameter() {
+        let pair = mkpair(
+            vec![(ArmInstr::str(ArmReg::R1, ldbt_arm::AddrMode::Imm(ArmReg::R6, 0)), Some("s"))],
+            vec![(
+                X86Instr::Mov {
+                    dst: Operand::Mem(X86Mem::base_disp(Gpr::Esi, 0x34)),
+                    src: Operand::Reg(Gpr::Eax),
+                },
+                Some("s"),
+            )],
+        );
+        let cands = initial_mappings(&pair).unwrap();
+        let c = &cands[0];
+        let p = c
+            .imm_params
+            .iter()
+            .find(|p| p.guest_site.1 == ImmSlot::MemOffset)
+            .expect("offset param");
+        assert_eq!(p.host_sites[0].1, ImmSlot::MemOffset);
+        assert_eq!(p.host_sites[0].2, ImmRel::Id);
+    }
+
+    #[test]
+    fn permutations_stop_at_five() {
+        // Four unmappable-by-heuristic live-ins would have 24 perms.
+        let pair = mkpair(
+            vec![
+                (ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R1, Operand2::Reg(ArmReg::R2)), None),
+                (ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R3)), None),
+                (ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R4)), None),
+            ],
+            vec![
+                (X86Instr::alu_rr(AluOp::Add, Gpr::Eax, Gpr::Ecx), None),
+                (X86Instr::alu_rr(AluOp::Add, Gpr::Eax, Gpr::Edx), None),
+                (X86Instr::alu_rr(AluOp::Add, Gpr::Eax, Gpr::Esi), None),
+            ],
+        );
+        let cands = initial_mappings(&pair).unwrap();
+        assert!(cands.len() <= MAX_MAPPING_TRIES, "{}", cands.len());
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn next_permutation_enumerates() {
+        let mut p = vec![0, 1, 2];
+        let mut seen = vec![p.clone()];
+        while next_permutation(&mut p) {
+            seen.push(p.clone());
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

@@ -1,0 +1,268 @@
+//! The end-to-end learning pipeline and its statistics (Table 1).
+
+use crate::extract::extract_with_stats;
+use crate::param::ParamFail;
+use crate::prepare::{prepare, PrepFail};
+use crate::rule::RuleSet;
+use crate::verify::{verify, VerifyFail};
+use ldbt_compiler::{compile_arm, compile_x86, CompileError, Options};
+use std::time::{Duration, Instant};
+
+/// Per-program learning statistics, mirroring Table 1's columns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LearnStats {
+    /// Program name.
+    pub name: String,
+    /// Total extracted snippet pairs.
+    pub total: usize,
+    /// Preparation failures: call/indirect ("CI").
+    pub prep_ci: usize,
+    /// Preparation failures: predicated instructions ("PI").
+    pub prep_pi: usize,
+    /// Preparation failures: multiple blocks ("MB").
+    pub prep_mb: usize,
+    /// Parameterization failures: memory-variable counts ("Num").
+    pub par_num: usize,
+    /// Parameterization failures: memory-variable names ("Name").
+    pub par_name: usize,
+    /// Parameterization failures: live-in mapping ("FailG").
+    pub par_failg: usize,
+    /// Verification failures: registers ("Rg").
+    pub ver_rg: usize,
+    /// Verification failures: memory ("Mm").
+    pub ver_mm: usize,
+    /// Verification failures: branch conditions ("Br").
+    pub ver_br: usize,
+    /// Verification failures: other (hazards, timeouts).
+    pub ver_other: usize,
+    /// Rules learned (before cross-program dedup).
+    pub rules: usize,
+    /// Wall-clock learning time.
+    pub learn_time: Duration,
+    /// Time spent in the verification step alone.
+    pub verify_time: Duration,
+}
+
+impl LearnStats {
+    /// Snippets that survived preparation.
+    pub fn past_preparation(&self) -> usize {
+        self.total - self.prep_ci - self.prep_pi - self.prep_mb
+    }
+
+    /// Yield: learned rules over total snippet pairs.
+    pub fn yield_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.rules as f64 / self.total as f64
+        }
+    }
+}
+
+/// The result of learning from one program.
+#[derive(Debug, Clone)]
+pub struct LearnReport {
+    /// The learned rules.
+    pub rules: RuleSet,
+    /// The pipeline statistics.
+    pub stats: LearnStats,
+}
+
+/// Learn translation rules from one source program.
+///
+/// Compiles the program for both ISAs with `options`, extracts per-line
+/// snippet pairs, and runs preparation → parameterization → verification,
+/// retrying with up to 5 initial mappings (only the last verification
+/// failure is counted, as in the paper).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if the source does not compile.
+pub fn learn_from_source(
+    name: &str,
+    source: &str,
+    options: &Options,
+) -> Result<LearnReport, CompileError> {
+    learn_from_source_with_tries(name, source, options, crate::param::MAX_MAPPING_TRIES)
+}
+
+/// [`learn_from_source`] with an explicit initial-mapping try limit
+/// (ablation knob; the paper uses 5).
+pub fn learn_from_source_with_tries(
+    name: &str,
+    source: &str,
+    options: &Options,
+    max_tries: usize,
+) -> Result<LearnReport, CompileError> {
+    let start = Instant::now();
+    let guest = compile_arm(source, options)?;
+    let host = compile_x86(source, options)?;
+    let (pairs, dropped) = extract_with_stats(&guest, &host);
+    let mut stats = LearnStats {
+        name: name.to_string(),
+        total: pairs.len() + dropped,
+        prep_mb: dropped,
+        ..Default::default()
+    };
+    let mut rules = RuleSet::new();
+    for pair in &pairs {
+        match prepare(pair) {
+            Err(PrepFail::CallIndirect) => {
+                stats.prep_ci += 1;
+                continue;
+            }
+            Err(PrepFail::Predicated) => {
+                stats.prep_pi += 1;
+                continue;
+            }
+            Err(PrepFail::MultiBlock) => {
+                stats.prep_mb += 1;
+                continue;
+            }
+            Ok(()) => {}
+        }
+        let mappings = match crate::param::initial_mappings_limit(pair, max_tries) {
+            Ok(m) if !m.is_empty() => m,
+            Ok(_) => {
+                stats.par_failg += 1;
+                continue;
+            }
+            Err(ParamFail::MemCount) => {
+                stats.par_num += 1;
+                continue;
+            }
+            Err(ParamFail::MemName) => {
+                stats.par_name += 1;
+                continue;
+            }
+            Err(ParamFail::LiveIns) => {
+                stats.par_failg += 1;
+                continue;
+            }
+        };
+        let vstart = Instant::now();
+        let mut last_fail = VerifyFail::Other;
+        let mut learned = false;
+        for m in &mappings {
+            match verify(pair, m) {
+                Ok(rule) => {
+                    rules.insert(rule);
+                    stats.rules += 1;
+                    learned = true;
+                    break;
+                }
+                Err(f) => last_fail = f,
+            }
+        }
+        stats.verify_time += vstart.elapsed();
+        if !learned {
+            match last_fail {
+                VerifyFail::Registers => stats.ver_rg += 1,
+                VerifyFail::Memory => stats.ver_mm += 1,
+                VerifyFail::Branch => stats.ver_br += 1,
+                VerifyFail::Other => stats.ver_other += 1,
+            }
+        }
+    }
+    stats.learn_time = start.elapsed();
+    Ok(LearnReport { rules, stats })
+}
+
+/// Learn from a collection of programs, merging the rule sets.
+///
+/// # Errors
+///
+/// Returns the first [`CompileError`].
+pub fn learn_rules(
+    programs: &[(&str, &str)],
+    options: &Options,
+) -> Result<(RuleSet, Vec<LearnStats>), CompileError> {
+    let mut all = RuleSet::new();
+    let mut stats = Vec::new();
+    for (name, src) in programs {
+        let report = learn_from_source(name, src, options)?;
+        all.extend_from(&report.rules);
+        stats.push(report.stats);
+    }
+    Ok((all, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRAM: &str = "
+int total;
+int data[64];
+int hash(int x) {
+  x = x ^ 2166136261;
+  x = x * 599;
+  x = x & 0xffff;
+  return x;
+}
+int fill(int n) {
+  for (int i = 0; i < n; i += 1) {
+    data[i] = hash(i) + i * 4 - 1;
+  }
+  return data[n - 1];
+}
+int main() {
+  total = fill(64);
+  int acc = 0;
+  for (int i = 0; i < 64; i += 1) {
+    acc += data[i];
+    if (acc > 100000) { acc -= total; }
+  }
+  return acc & 255;
+}";
+
+    #[test]
+    fn learns_rules_from_a_real_program() {
+        let report = learn_from_source("demo", PROGRAM, &Options::o2()).unwrap();
+        let s = &report.stats;
+        assert!(s.total > 10, "snippets: {}", s.total);
+        assert!(s.rules > 0, "no rules learned: {s:?}");
+        assert_eq!(
+            s.total,
+            s.prep_ci
+                + s.prep_pi
+                + s.prep_mb
+                + s.par_num
+                + s.par_name
+                + s.par_failg
+                + s.ver_rg
+                + s.ver_mm
+                + s.ver_br
+                + s.ver_other
+                + s.rules,
+            "categories partition the snippets: {s:?}"
+        );
+        assert!(report.rules.len() <= s.rules, "dedup only shrinks");
+        assert!(report.rules.len() > 0);
+    }
+
+    #[test]
+    fn leave_one_out_merging() {
+        let other = "int f(int a, int b) { return a + b - 1; }\nint main() { return f(1, 2); }";
+        let (rules, stats) =
+            learn_rules(&[("demo", PROGRAM), ("tiny", other)], &Options::o2()).unwrap();
+        assert_eq!(stats.len(), 2);
+        assert!(rules.len() > 0);
+        assert!(rules.len() <= stats.iter().map(|s| s.rules).sum::<usize>());
+    }
+
+    #[test]
+    fn rules_have_bounded_length() {
+        let report = learn_from_source("demo", PROGRAM, &Options::o2()).unwrap();
+        for rule in report.rules.iter() {
+            assert!(rule.len() >= 1 && rule.len() <= 16, "rule length {}", rule.len());
+            assert!(!rule.host.is_empty());
+        }
+    }
+
+    #[test]
+    fn timing_is_recorded() {
+        let report = learn_from_source("demo", PROGRAM, &Options::o2()).unwrap();
+        assert!(report.stats.learn_time >= report.stats.verify_time);
+    }
+}

@@ -1,0 +1,160 @@
+//! The preparation filter (paper §3.1 and Table 1's "#F in Preparation").
+
+use crate::extract::SnippetPair;
+use ldbt_arm::ArmInstr;
+use ldbt_x86::X86Instr;
+
+/// Why a snippet was rejected in preparation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrepFail {
+    /// Contains a call or indirect branch ("CI").
+    CallIndirect,
+    /// Contains a predicated (conditionally executed) instruction ("PI").
+    Predicated,
+    /// Spans multiple basic blocks ("MB").
+    MultiBlock,
+}
+
+/// Check a snippet pair against the preparation rules.
+///
+/// # Errors
+///
+/// Returns the paper's failure category for rejected snippets.
+pub fn prepare(pair: &SnippetPair) -> Result<(), PrepFail> {
+    // Guest-side checks.
+    for (i, (g, _)) in pair.guest.iter().enumerate() {
+        let last = i + 1 == pair.guest.len();
+        match g {
+            ArmInstr::Bl { .. } | ArmInstr::Bx { .. } | ArmInstr::Svc { .. } => {
+                return Err(PrepFail::CallIndirect)
+            }
+            ArmInstr::B { .. } if !last => return Err(PrepFail::MultiBlock),
+            _ => {}
+        }
+        if g.is_predicated() {
+            return Err(PrepFail::Predicated);
+        }
+    }
+    // Host-side checks.
+    for (i, (h, _)) in pair.host.iter().enumerate() {
+        let last = i + 1 == pair.host.len();
+        match h {
+            X86Instr::Call { .. }
+            | X86Instr::Ret
+            | X86Instr::JmpInd { .. }
+            | X86Instr::Push { .. }
+            | X86Instr::Pop { .. }
+            | X86Instr::Halt => return Err(PrepFail::CallIndirect),
+            X86Instr::Jcc { .. } if !last => return Err(PrepFail::MultiBlock),
+            X86Instr::Jmp { .. } => return Err(PrepFail::MultiBlock),
+            _ => {}
+        }
+    }
+    // A branch on one side requires one on the other; asymmetric control
+    // flow means the line spans blocks differently on the two sides.
+    let g_branch = matches!(pair.guest.last(), Some((ArmInstr::B { .. }, _)));
+    let h_branch = matches!(pair.host.last(), Some((X86Instr::Jcc { .. }, _)));
+    if g_branch != h_branch {
+        return Err(PrepFail::MultiBlock);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldbt_arm::{ArmReg, Cond, DpOp, Operand2};
+    use ldbt_isa::SourceLoc;
+    use ldbt_x86::{AluOp, Cc, Gpr, Operand};
+
+    fn pair(guest: Vec<ArmInstr>, host: Vec<X86Instr>) -> SnippetPair {
+        SnippetPair {
+            loc: SourceLoc::line(1),
+            func: "f".into(),
+            guest: guest.into_iter().map(|g| (g, None)).collect(),
+            host: host.into_iter().map(|h| (h, None)).collect(),
+        }
+    }
+
+    #[test]
+    fn clean_snippet_passes() {
+        let p = pair(
+            vec![ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R1))],
+            vec![X86Instr::alu_rr(AluOp::Add, Gpr::Eax, Gpr::Ecx)],
+        );
+        assert_eq!(prepare(&p), Ok(()));
+    }
+
+    #[test]
+    fn calls_rejected() {
+        let p = pair(vec![ArmInstr::Bl { offset: 0, cond: Cond::Al }], vec![]);
+        assert_eq!(prepare(&p), Err(PrepFail::CallIndirect));
+        let p = pair(vec![], vec![X86Instr::Call { target: 0 }]);
+        assert_eq!(prepare(&p), Err(PrepFail::CallIndirect));
+        let p = pair(vec![ArmInstr::Bx { rm: ArmReg::Lr, cond: Cond::Al }], vec![]);
+        assert_eq!(prepare(&p), Err(PrepFail::CallIndirect));
+        let p = pair(vec![], vec![X86Instr::Push { src: Operand::Reg(Gpr::Eax) }]);
+        assert_eq!(prepare(&p), Err(PrepFail::CallIndirect));
+    }
+
+    #[test]
+    fn predicated_rejected() {
+        let p = pair(
+            vec![ArmInstr::Dp {
+                op: DpOp::Mov,
+                rd: ArmReg::R0,
+                rn: ArmReg::R0,
+                op2: Operand2::Imm(1),
+                set_flags: false,
+                cond: Cond::Lt,
+            }],
+            vec![],
+        );
+        assert_eq!(prepare(&p), Err(PrepFail::Predicated));
+    }
+
+    #[test]
+    fn mid_sequence_branch_rejected() {
+        let p = pair(
+            vec![
+                ArmInstr::B { offset: 1, cond: Cond::Eq },
+                ArmInstr::mov(ArmReg::R0, Operand2::Imm(1)),
+            ],
+            vec![X86Instr::mov_imm(Gpr::Eax, 1), X86Instr::Jcc { cc: Cc::E, target: 0 }],
+        );
+        assert_eq!(prepare(&p), Err(PrepFail::MultiBlock));
+    }
+
+    #[test]
+    fn matched_final_branches_pass() {
+        let p = pair(
+            vec![
+                ArmInstr::cmp(ArmReg::R0, Operand2::Imm(0)),
+                ArmInstr::B { offset: 3, cond: Cond::Ne },
+            ],
+            vec![
+                X86Instr::alu_ri(AluOp::Cmp, Gpr::Eax, 0),
+                X86Instr::Jcc { cc: Cc::Ne, target: 0 },
+            ],
+        );
+        assert_eq!(prepare(&p), Ok(()));
+    }
+
+    #[test]
+    fn asymmetric_branch_rejected() {
+        let p = pair(
+            vec![
+                ArmInstr::cmp(ArmReg::R0, Operand2::Imm(0)),
+                ArmInstr::B { offset: 3, cond: Cond::Ne },
+            ],
+            vec![X86Instr::alu_ri(AluOp::Cmp, Gpr::Eax, 0)],
+        );
+        assert_eq!(prepare(&p), Err(PrepFail::MultiBlock));
+    }
+
+    #[test]
+    fn unconditional_jump_is_multiblock() {
+        let p = pair(vec![], vec![X86Instr::Jmp { target: 0 }]);
+        assert_eq!(prepare(&p), Err(PrepFail::MultiBlock));
+    }
+}

@@ -1,0 +1,757 @@
+//! Parameterized translation rules and the rule store.
+
+use ldbt_arm::{AddrMode, ArmInstr, ArmReg, Operand2};
+use ldbt_x86::{Gpr, Operand, X86Instr, X86Mem};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How a host immediate is derived from its guest parameter (paper §3.2's
+/// "arithmetic/logical operations to accommodate the differences").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImmRel {
+    /// Same value.
+    Id,
+    /// Additive inverse (`-imm000 ↦ imm100` in Figure 1).
+    Neg,
+    /// Bitwise complement.
+    Not,
+}
+
+impl ImmRel {
+    /// Apply the relation.
+    pub fn apply(self, v: i64) -> i64 {
+        match self {
+            ImmRel::Id => v,
+            ImmRel::Neg => v.wrapping_neg(),
+            ImmRel::Not => !v,
+        }
+    }
+}
+
+/// Which immediate slot of an instruction a parameter occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImmSlot {
+    /// A data immediate (`#imm`, `$imm`).
+    Data,
+    /// The displacement of a memory operand.
+    MemOffset,
+}
+
+/// One parameterized immediate: a guest site and the host sites bound to
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImmParam {
+    /// Guest instruction index and slot.
+    pub guest_site: (usize, ImmSlot),
+    /// Additional guest sites bound to the *same* parameter (e.g. the
+    /// load and store displacements of a read-modify-write pattern);
+    /// matching requires their actual values to agree.
+    pub extra_guest_sites: Vec<(usize, ImmSlot)>,
+    /// Template value at the guest site (for diagnostics).
+    pub template_value: i64,
+    /// Host sites receiving the (transformed) bound value.
+    pub host_sites: Vec<(usize, ImmSlot, ImmRel)>,
+}
+
+/// A register/immediate binding produced by matching a rule against
+/// concrete guest code.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Binding {
+    /// Template guest register → actual guest register.
+    pub regs: HashMap<ArmReg, ArmReg>,
+    /// Bound value per immediate parameter (indexed like
+    /// [`Rule::imm_params`]).
+    pub imms: Vec<i64>,
+}
+
+/// A learned, verified, parameterized translation rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The guest instruction template.
+    pub guest: Vec<ArmInstr>,
+    /// The host instruction template.
+    pub host: Vec<X86Instr>,
+    /// Host register → guest register correspondence (initial ∪ final
+    /// mapping). Every register used by `host` appears here.
+    pub host_reg_of: HashMap<Gpr, ArmReg>,
+    /// Parameterized immediates.
+    pub imm_params: Vec<ImmParam>,
+    /// NZCV mask (N=8, Z=4, C=2, V=1) of guest flags the guest template
+    /// writes but the host template does *not* emulate; the DBT refuses
+    /// to apply the rule if any of these is live afterwards (paper §5).
+    pub unemulated_flags: u8,
+    /// Whether the rule ends with a (conditional) branch pair.
+    pub has_branch: bool,
+}
+
+impl Rule {
+    /// Rule length = number of guest instructions (Figure 12's metric).
+    pub fn len(&self) -> usize {
+        self.guest.len()
+    }
+
+    /// Whether the guest template is empty (never true for learned rules).
+    pub fn is_empty(&self) -> bool {
+        self.guest.is_empty()
+    }
+
+    /// The hash-table key: arithmetic mean of the guest opcode ids
+    /// (paper §4).
+    pub fn hash_key(&self) -> u32 {
+        hash_key(&self.guest)
+    }
+
+    /// Try to match this rule against a concrete guest sequence.
+    ///
+    /// Registers unify up to a *bijective* renaming; immediates at
+    /// parameterized sites bind, all others must match exactly; branch
+    /// offsets are ignored (targets are re-resolved by the DBT).
+    pub fn matches(&self, seq: &[ArmInstr]) -> Option<Binding> {
+        if seq.len() != self.guest.len() {
+            return None;
+        }
+        let mut regs: HashMap<ArmReg, ArmReg> = HashMap::new();
+        let mut taken: HashMap<ArmReg, ArmReg> = HashMap::new();
+        let mut imms = vec![0i64; self.imm_params.len()];
+        // (param index, is_primary_site).
+        let param_of = |site: (usize, ImmSlot)| -> Option<(usize, bool)> {
+            for (k, p) in self.imm_params.iter().enumerate() {
+                if p.guest_site == site {
+                    return Some((k, true));
+                }
+                if p.extra_guest_sites.contains(&site) {
+                    return Some((k, false));
+                }
+            }
+            None
+        };
+        let mut bind_reg = |t: ArmReg, a: ArmReg| -> bool {
+            match regs.get(&t) {
+                Some(prev) => *prev == a,
+                None => {
+                    if taken.contains_key(&a) {
+                        return false;
+                    }
+                    regs.insert(t, a);
+                    taken.insert(a, t);
+                    true
+                }
+            }
+        };
+        let mut bound = vec![false; self.imm_params.len()];
+        let mut bind_imm = |idx: usize,
+                            slot: ImmSlot,
+                            tmpl: i64,
+                            actual: i64,
+                            imms: &mut Vec<i64>|
+         -> bool {
+            match param_of((idx, slot)) {
+                Some((p, _)) => {
+                    if bound[p] {
+                        // A shared parameter: every site must agree.
+                        imms[p] == actual
+                    } else {
+                        bound[p] = true;
+                        imms[p] = actual;
+                        true
+                    }
+                }
+                None => tmpl == actual,
+            }
+        };
+        for (idx, (t, a)) in self.guest.iter().zip(seq).enumerate() {
+            match (*t, *a) {
+                (
+                    ArmInstr::Dp { op: to, rd: trd, rn: trn, op2: top2, set_flags: ts, cond: tc },
+                    ArmInstr::Dp { op: ao, rd: ard, rn: arn, op2: aop2, set_flags: as_, cond: ac },
+                ) => {
+                    if to != ao || ts != as_ || tc != ac {
+                        return None;
+                    }
+                    if !to.is_compare() && !bind_reg(trd, ard) {
+                        return None;
+                    }
+                    if !to.is_move() && !bind_reg(trn, arn) {
+                        return None;
+                    }
+                    match (top2, aop2) {
+                        (Operand2::Imm(tv), Operand2::Imm(av)) => {
+                            if !bind_imm(idx, ImmSlot::Data, tv as i64, av as i64, &mut imms) {
+                                return None;
+                            }
+                        }
+                        (Operand2::Reg(tr), Operand2::Reg(ar)) => {
+                            if !bind_reg(tr, ar) {
+                                return None;
+                            }
+                        }
+                        (Operand2::RegShift(tr, tsh), Operand2::RegShift(ar, ash)) => {
+                            if tsh != ash || !bind_reg(tr, ar) {
+                                return None;
+                            }
+                        }
+                        _ => return None,
+                    }
+                }
+                (
+                    ArmInstr::Mul { rd: trd, rn: trn, rm: trm, set_flags: ts, cond: tc },
+                    ArmInstr::Mul { rd: ard, rn: arn, rm: arm, set_flags: as_, cond: ac },
+                ) => {
+                    if ts != as_ || tc != ac {
+                        return None;
+                    }
+                    if !bind_reg(trd, ard) || !bind_reg(trn, arn) || !bind_reg(trm, arm) {
+                        return None;
+                    }
+                }
+                (
+                    ArmInstr::Ldr { rt: trt, addr: ta, width: tw, signed: tsg, cond: tc },
+                    ArmInstr::Ldr { rt: art, addr: aa, width: aw, signed: asg, cond: ac },
+                ) => {
+                    if tw != aw || tsg != asg || tc != ac || !bind_reg(trt, art) {
+                        return None;
+                    }
+                    if !match_addr(idx, ta, aa, &mut bind_reg, &mut bind_imm, &mut imms) {
+                        return None;
+                    }
+                }
+                (
+                    ArmInstr::Str { rt: trt, addr: ta, width: tw, cond: tc },
+                    ArmInstr::Str { rt: art, addr: aa, width: aw, cond: ac },
+                ) => {
+                    if tw != aw || tc != ac || !bind_reg(trt, art) {
+                        return None;
+                    }
+                    if !match_addr(idx, ta, aa, &mut bind_reg, &mut bind_imm, &mut imms) {
+                        return None;
+                    }
+                }
+                (ArmInstr::B { cond: tc, .. }, ArmInstr::B { cond: ac, .. }) => {
+                    if tc != ac {
+                        return None;
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(Binding { regs, imms })
+    }
+
+    /// Instantiate the host template under a binding.
+    ///
+    /// `host_reg_alloc` maps an *actual guest register* to the host
+    /// register the DBT allocated for it. Branch targets are emitted as 0
+    /// and patched by the DBT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule is malformed (a host register without a guest
+    /// correspondence — excluded by construction in the verifier).
+    pub fn instantiate(
+        &self,
+        binding: &Binding,
+        mut host_reg_alloc: impl FnMut(ArmReg) -> Gpr,
+    ) -> Vec<X86Instr> {
+        let mut sub_reg = |h: Gpr| -> Gpr {
+            let template_guest = self.host_reg_of.get(&h).copied().unwrap_or_else(|| {
+                panic!("host register {h} has no guest correspondence in rule")
+            });
+            let actual_guest = binding.regs.get(&template_guest).copied().unwrap_or_else(|| {
+                panic!("guest template register {template_guest} unbound")
+            });
+            host_reg_alloc(actual_guest)
+        };
+        let imm_at = |idx: usize, slot: ImmSlot, template: i64| -> i64 {
+            for (p, param) in self.imm_params.iter().enumerate() {
+                for (hi, hslot, rel) in &param.host_sites {
+                    if *hi == idx && *hslot == slot {
+                        return rel.apply(binding.imms[p]);
+                    }
+                }
+            }
+            template
+        };
+        let mut out = Vec::with_capacity(self.host.len());
+        for (idx, h) in self.host.iter().enumerate() {
+            let sub_mem = |m: &X86Mem, sub_reg: &mut dyn FnMut(Gpr) -> Gpr| -> X86Mem {
+                X86Mem {
+                    base: m.base.map(&mut *sub_reg),
+                    index: m.index.map(|(r, s)| (sub_reg(r), s)),
+                    disp: imm_at(idx, ImmSlot::MemOffset, m.disp as i64) as i32,
+                }
+            };
+            let sub_op = |o: &Operand, sub_reg: &mut dyn FnMut(Gpr) -> Gpr| -> Operand {
+                match o {
+                    Operand::Reg(r) => Operand::Reg(sub_reg(*r)),
+                    Operand::Imm(v) => Operand::Imm(imm_at(idx, ImmSlot::Data, *v as i64) as i32),
+                    Operand::Mem(m) => Operand::Mem(sub_mem(m, sub_reg)),
+                }
+            };
+            let new = match h {
+                X86Instr::Mov { dst, src } => X86Instr::Mov {
+                    dst: sub_op(dst, &mut sub_reg),
+                    src: sub_op(src, &mut sub_reg),
+                },
+                X86Instr::Alu { op, dst, src } => X86Instr::Alu {
+                    op: *op,
+                    dst: sub_op(dst, &mut sub_reg),
+                    src: sub_op(src, &mut sub_reg),
+                },
+                X86Instr::Lea { dst, addr } => X86Instr::Lea {
+                    dst: sub_reg(*dst),
+                    addr: sub_mem(addr, &mut sub_reg),
+                },
+                X86Instr::Imul { dst, src } => X86Instr::Imul {
+                    dst: sub_reg(*dst),
+                    src: sub_op(src, &mut sub_reg),
+                },
+                X86Instr::Shift { op, dst, count } => X86Instr::Shift {
+                    op: *op,
+                    dst: sub_op(dst, &mut sub_reg),
+                    count: *count,
+                },
+                X86Instr::Un { op, dst } => {
+                    X86Instr::Un { op: *op, dst: sub_op(dst, &mut sub_reg) }
+                }
+                X86Instr::Movx { sign, width, dst, src } => X86Instr::Movx {
+                    sign: *sign,
+                    width: *width,
+                    dst: sub_reg(*dst),
+                    src: sub_op(src, &mut sub_reg),
+                },
+                X86Instr::MovStore { width, src, dst } => X86Instr::MovStore {
+                    width: *width,
+                    src: sub_reg(*src),
+                    dst: sub_mem(dst, &mut sub_reg),
+                },
+                X86Instr::Setcc { cc, dst } => {
+                    X86Instr::Setcc { cc: *cc, dst: sub_reg(*dst) }
+                }
+                X86Instr::Jcc { cc, .. } => X86Instr::Jcc { cc: *cc, target: 0 },
+                other => panic!("unexpected instruction in host template: {other}"),
+            };
+            out.push(new);
+        }
+        out
+    }
+
+    /// A canonical text key used for deduplication.
+    pub fn dedup_key(&self) -> String {
+        // Canonicalize register names through first-occurrence numbering.
+        let mut names: HashMap<ArmReg, usize> = HashMap::new();
+        let mut canon = String::new();
+        for g in &self.guest {
+            let mut rendered = g.to_string();
+            let mut regs = guest_regs_of(g);
+            // Longer names first so `r1` cannot corrupt `r12` in the text.
+            regs.sort_by_key(|r| std::cmp::Reverse(r.to_string().len()));
+            for r in regs {
+                let n = names.len();
+                let id = *names.entry(r).or_insert(n);
+                rendered = rendered.replace(&r.to_string(), &format!("reg{id}"));
+            }
+            canon.push_str(&rendered);
+            canon.push(';');
+        }
+        canon.push('|');
+        for (p, param) in self.imm_params.iter().enumerate() {
+            canon.push_str(&format!("imm{p}@{:?};", param.guest_site));
+        }
+        canon
+    }
+}
+
+fn guest_regs_of(i: &ArmInstr) -> Vec<ArmReg> {
+    let mut v = i.uses();
+    if let Some(d) = i.def() {
+        v.push(d);
+    }
+    v.dedup();
+    v
+}
+
+fn match_addr(
+    idx: usize,
+    t: AddrMode,
+    a: AddrMode,
+    bind_reg: &mut impl FnMut(ArmReg, ArmReg) -> bool,
+    bind_imm: &mut impl FnMut(usize, ImmSlot, i64, i64, &mut Vec<i64>) -> bool,
+    imms: &mut Vec<i64>,
+) -> bool {
+    match (t, a) {
+        (AddrMode::Imm(trn, toff), AddrMode::Imm(arn, aoff)) => {
+            bind_reg(trn, arn) && bind_imm(idx, ImmSlot::MemOffset, toff as i64, aoff as i64, imms)
+        }
+        (AddrMode::Reg(trn, trm), AddrMode::Reg(arn, arm)) => {
+            bind_reg(trn, arn) && bind_reg(trm, arm)
+        }
+        (AddrMode::RegShift(trn, trm, ts), AddrMode::RegShift(arn, arm, asx)) => {
+            ts == asx && bind_reg(trn, arn) && bind_reg(trm, arm)
+        }
+        _ => false,
+    }
+}
+
+/// The rule-sequence hash key: integer mean of guest opcode ids.
+pub fn hash_key(seq: &[ArmInstr]) -> u32 {
+    if seq.is_empty() {
+        return 0;
+    }
+    let sum: u32 = seq.iter().map(|i| i.opcode_id()).sum();
+    sum / seq.len() as u32
+}
+
+/// A parameterized operand rendered for display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleOperand {
+    /// A register parameter.
+    Reg(u8),
+    /// An immediate parameter.
+    Imm(u8),
+}
+
+/// The rule store: a hash table keyed by the guest opcode mean (paper
+/// §4), with per-key buckets of rules.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    buckets: HashMap<u32, Vec<Rule>>,
+    len: usize,
+    dedup: HashMap<String, (u32, usize)>,
+    /// Ablation knob: when `true` (default via [`RuleSet::new`]) a
+    /// duplicate guest template keeps the host sequence with fewer
+    /// instructions (paper §6.1); when `false`, first-found wins.
+    pub prefer_shorter: bool,
+}
+
+impl RuleSet {
+    /// An empty rule set (shortest-host dedup policy).
+    pub fn new() -> Self {
+        RuleSet { prefer_shorter: true, ..RuleSet::default() }
+    }
+
+    /// An empty rule set with first-found dedup (the ablation baseline).
+    pub fn new_first_found() -> Self {
+        RuleSet { prefer_shorter: false, ..RuleSet::default() }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a rule, deduplicating by guest template. When two rules
+    /// share a guest template the one with the *fewest host instructions*
+    /// wins (paper §6.1: "we select the sequence with the smallest number
+    /// of host instructions").
+    ///
+    /// Returns `true` if the set changed.
+    pub fn insert(&mut self, rule: Rule) -> bool {
+        let key = rule.dedup_key();
+        let hkey = rule.hash_key();
+        if let Some((bucket, idx)) = self.dedup.get(&key) {
+            let existing = &mut self.buckets.get_mut(bucket).expect("bucket exists")[*idx];
+            if self.prefer_shorter && rule.host.len() < existing.host.len() {
+                *existing = rule;
+                return true;
+            }
+            return false;
+        }
+        let bucket = self.buckets.entry(hkey).or_default();
+        bucket.push(rule);
+        self.dedup.insert(key, (hkey, bucket.len() - 1));
+        self.len += 1;
+        true
+    }
+
+    /// All rules whose hash key matches `seq`'s and whose length equals
+    /// `seq.len()` — the candidates for matching.
+    pub fn candidates(&self, seq: &[ArmInstr]) -> impl Iterator<Item = &Rule> {
+        let key = hash_key(seq);
+        let n = seq.len();
+        self.buckets
+            .get(&key)
+            .into_iter()
+            .flatten()
+            .filter(move |r| r.len() == n)
+    }
+
+    /// Find the first rule matching `seq`, with its binding.
+    pub fn lookup(&self, seq: &[ArmInstr]) -> Option<(&Rule, Binding)> {
+        for r in self.candidates(seq) {
+            if let Some(b) = r.matches(seq) {
+                return Some((r, b));
+            }
+        }
+        None
+    }
+
+    /// Iterate over all rules.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.buckets.values().flatten()
+    }
+
+    /// Lookup by scanning every rule (no hash pre-filter) — the ablation
+    /// baseline for the paper's opcode-mean hash scheme. Returns the
+    /// match plus the number of rules probed.
+    pub fn lookup_linear(&self, seq: &[ArmInstr]) -> (Option<(&Rule, Binding)>, usize) {
+        let mut probes = 0;
+        for r in self.iter() {
+            probes += 1;
+            if r.len() != seq.len() {
+                continue;
+            }
+            if let Some(b) = r.matches(seq) {
+                return (Some((r, b)), probes);
+            }
+        }
+        (None, probes)
+    }
+
+    /// Merge another rule set into this one.
+    pub fn extend_from(&mut self, other: &RuleSet) {
+        for r in other.iter() {
+            self.insert(r.clone());
+        }
+    }
+
+    /// Histogram of rule lengths (for Figure 12-style reporting).
+    pub fn length_histogram(&self) -> HashMap<usize, usize> {
+        let mut h = HashMap::new();
+        for r in self.iter() {
+            *h.entry(r.len()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "rule (len {}):", self.len())?;
+        for g in &self.guest {
+            writeln!(f, "  guest: {g}")?;
+        }
+        for h in &self.host {
+            writeln!(f, "  host:  {h}")?;
+        }
+        if self.unemulated_flags != 0 {
+            writeln!(f, "  unemulated flags: {:#06b}", self.unemulated_flags)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldbt_arm::DpOp;
+    use ldbt_x86::AluOp;
+
+    /// The paper's Figure 1 rule: `add r0,r0,r1; sub r0,r0,#imm` →
+    /// `leal -imm(r0,r1), r0`.
+    fn figure1_rule() -> Rule {
+        Rule {
+            guest: vec![
+                ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R1)),
+                ArmInstr::dp(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(5)),
+            ],
+            host: vec![X86Instr::Lea {
+                dst: Gpr::Edx,
+                addr: X86Mem { base: Some(Gpr::Edx), index: Some((Gpr::Ecx, 1)), disp: -5 },
+            }],
+            host_reg_of: [(Gpr::Edx, ArmReg::R0), (Gpr::Ecx, ArmReg::R1)].into_iter().collect(),
+            imm_params: vec![ImmParam {
+                guest_site: (1, ImmSlot::Data),
+                extra_guest_sites: vec![],
+                template_value: 5,
+                host_sites: vec![(0, ImmSlot::MemOffset, ImmRel::Neg)],
+            }],
+            unemulated_flags: 0,
+            has_branch: false,
+        }
+    }
+
+    #[test]
+    fn figure1_matches_renamed_registers() {
+        let rule = figure1_rule();
+        let seq = [
+            ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Reg(ArmReg::R7)),
+            ArmInstr::dp(DpOp::Sub, ArmReg::R4, ArmReg::R4, Operand2::Imm(12)),
+        ];
+        let b = rule.matches(&seq).expect("must match");
+        assert_eq!(b.regs[&ArmReg::R0], ArmReg::R4);
+        assert_eq!(b.regs[&ArmReg::R1], ArmReg::R7);
+        assert_eq!(b.imms, vec![12]);
+    }
+
+    #[test]
+    fn figure1_instantiates_with_bound_operands() {
+        let rule = figure1_rule();
+        let seq = [
+            ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Reg(ArmReg::R7)),
+            ArmInstr::dp(DpOp::Sub, ArmReg::R4, ArmReg::R4, Operand2::Imm(12)),
+        ];
+        let b = rule.matches(&seq).unwrap();
+        // DBT allocation: r4 → esi, r7 → eax.
+        let host = rule.instantiate(&b, |g| match g {
+            ArmReg::R4 => Gpr::Esi,
+            ArmReg::R7 => Gpr::Eax,
+            other => panic!("{other}"),
+        });
+        assert_eq!(host.len(), 1);
+        assert_eq!(host[0].to_string(), "leal -12(%esi,%eax,1), %esi");
+    }
+
+    #[test]
+    fn mismatched_structure_rejected() {
+        let rule = figure1_rule();
+        // Different opcode.
+        let seq = [
+            ArmInstr::dp(DpOp::Sub, ArmReg::R4, ArmReg::R4, Operand2::Reg(ArmReg::R7)),
+            ArmInstr::dp(DpOp::Sub, ArmReg::R4, ArmReg::R4, Operand2::Imm(12)),
+        ];
+        assert!(rule.matches(&seq).is_none());
+        // Wrong length.
+        assert!(rule.matches(&seq[..1]).is_none());
+        // Inconsistent register renaming: template r0 must be one register.
+        let seq = [
+            ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Reg(ArmReg::R7)),
+            ArmInstr::dp(DpOp::Sub, ArmReg::R5, ArmReg::R5, Operand2::Imm(12)),
+        ];
+        assert!(rule.matches(&seq).is_none());
+    }
+
+    #[test]
+    fn bijective_renaming_enforced() {
+        // Template uses two distinct registers; actual code uses one.
+        let rule = figure1_rule();
+        let seq = [
+            ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Reg(ArmReg::R4)),
+            ArmInstr::dp(DpOp::Sub, ArmReg::R4, ArmReg::R4, Operand2::Imm(12)),
+        ];
+        assert!(rule.matches(&seq).is_none(), "r0 and r1 cannot both bind r4");
+    }
+
+    #[test]
+    fn unparameterized_immediates_must_match() {
+        let mut rule = figure1_rule();
+        rule.imm_params.clear(); // now #5 is structural
+        let hit = [
+            ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R1)),
+            ArmInstr::dp(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(5)),
+        ];
+        let miss = [
+            ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R1)),
+            ArmInstr::dp(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(6)),
+        ];
+        assert!(rule.matches(&hit).is_some());
+        assert!(rule.matches(&miss).is_none());
+    }
+
+    #[test]
+    fn hash_key_is_opcode_mean() {
+        let rule = figure1_rule();
+        let add_id =
+            ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Imm(0)).opcode_id();
+        let sub_id =
+            ArmInstr::dp(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(0)).opcode_id();
+        assert_eq!(rule.hash_key(), (add_id + sub_id) / 2);
+    }
+
+    #[test]
+    fn ruleset_dedup_prefers_shorter_host() {
+        let mut rs = RuleSet::new();
+        let long = Rule {
+            host: vec![
+                X86Instr::alu_rr(AluOp::Add, Gpr::Edx, Gpr::Ecx),
+                X86Instr::alu_ri(AluOp::Sub, Gpr::Edx, 5),
+            ],
+            ..figure1_rule()
+        };
+        assert!(rs.insert(long));
+        assert_eq!(rs.len(), 1);
+        // The one-instruction lea version replaces it.
+        assert!(rs.insert(figure1_rule()));
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.iter().next().unwrap().host.len(), 1);
+        // A worse rule does not.
+        let worse = Rule {
+            host: vec![
+                X86Instr::alu_rr(AluOp::Add, Gpr::Edx, Gpr::Ecx),
+                X86Instr::alu_ri(AluOp::Sub, Gpr::Edx, 5),
+                X86Instr::mov_rr(Gpr::Edx, Gpr::Edx),
+            ],
+            ..figure1_rule()
+        };
+        assert!(!rs.insert(worse));
+        assert_eq!(rs.iter().next().unwrap().host.len(), 1);
+    }
+
+    #[test]
+    fn ruleset_lookup_by_hash() {
+        let mut rs = RuleSet::new();
+        rs.insert(figure1_rule());
+        let seq = [
+            ArmInstr::dp(DpOp::Add, ArmReg::R2, ArmReg::R2, Operand2::Reg(ArmReg::R3)),
+            ArmInstr::dp(DpOp::Sub, ArmReg::R2, ArmReg::R2, Operand2::Imm(100)),
+        ];
+        let (rule, binding) = rs.lookup(&seq).expect("found");
+        assert_eq!(rule.len(), 2);
+        assert_eq!(binding.imms, vec![100]);
+        // Non-matching sequence.
+        let other = [ArmInstr::mov(ArmReg::R0, Operand2::Imm(1))];
+        assert!(rs.lookup(&other).is_none());
+    }
+
+    #[test]
+    fn dedup_key_canonicalizes_registers() {
+        let a = figure1_rule();
+        let mut b = figure1_rule();
+        // Rename r0→r6, r1→r9 consistently in the guest template.
+        b.guest = vec![
+            ArmInstr::dp(DpOp::Add, ArmReg::R6, ArmReg::R6, Operand2::Reg(ArmReg::R9)),
+            ArmInstr::dp(DpOp::Sub, ArmReg::R6, ArmReg::R6, Operand2::Imm(5)),
+        ];
+        assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn length_histogram() {
+        let mut rs = RuleSet::new();
+        rs.insert(figure1_rule());
+        let h = rs.length_histogram();
+        assert_eq!(h.get(&2), Some(&1));
+    }
+
+    #[test]
+    fn branch_rule_matches_ignoring_offset() {
+        let rule = Rule {
+            guest: vec![
+                ArmInstr::cmp(ArmReg::R2, Operand2::Reg(ArmReg::R3)),
+                ArmInstr::B { offset: 7, cond: ldbt_arm::Cond::Ne },
+            ],
+            host: vec![
+                X86Instr::alu_rr(AluOp::Cmp, Gpr::Ecx, Gpr::Edx),
+                X86Instr::Jcc { cc: ldbt_x86::Cc::Ne, target: 0 },
+            ],
+            host_reg_of: [(Gpr::Ecx, ArmReg::R2), (Gpr::Edx, ArmReg::R3)].into_iter().collect(),
+            imm_params: vec![],
+            unemulated_flags: 0,
+            has_branch: true,
+        };
+        let seq = [
+            ArmInstr::cmp(ArmReg::R5, Operand2::Reg(ArmReg::R6)),
+            ArmInstr::B { offset: -42, cond: ldbt_arm::Cond::Ne },
+        ];
+        assert!(rule.matches(&seq).is_some());
+        let wrong_cond = [
+            ArmInstr::cmp(ArmReg::R5, Operand2::Reg(ArmReg::R6)),
+            ArmInstr::B { offset: -42, cond: ldbt_arm::Cond::Eq },
+        ];
+        assert!(rule.matches(&wrong_cond).is_none());
+    }
+}

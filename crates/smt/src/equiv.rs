@@ -1,0 +1,224 @@
+//! Equivalence queries over bit-vector terms.
+//!
+//! This is the interface the rule verifier uses: *is term `a` equal to
+//! term `b` for every assignment of the shared symbolic inputs?* — the
+//! same question the paper answers with STP. The pipeline is:
+//!
+//! 1. syntactic check (hash-consing already canonicalizes most cases),
+//! 2. quick randomized refutation (cheap counterexamples),
+//! 3. bit-blast `a ≠ b` and run the CDCL solver; UNSAT proves
+//!    equivalence, SAT yields a concrete counterexample model.
+
+use crate::blast::Blaster;
+use crate::sat::SatResult;
+use crate::term::{TermId, TermPool};
+use std::collections::HashMap;
+
+/// Outcome of an equivalence query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivResult {
+    /// The terms are equal for all inputs.
+    Proved,
+    /// A counterexample assignment (symbol id → value) distinguishes them.
+    Refuted(HashMap<u32, u64>),
+    /// The solver budget was exhausted.
+    Unknown,
+}
+
+impl EquivResult {
+    /// Whether the query was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, EquivResult::Proved)
+    }
+}
+
+/// Default conflict budget for [`check_equiv`].
+pub const DEFAULT_BUDGET: u64 = 2_000_000;
+
+/// Check whether two terms are equivalent for all variable assignments.
+///
+/// # Panics
+///
+/// Panics if the terms have different widths.
+pub fn check_equiv(pool: &mut TermPool, a: TermId, b: TermId) -> EquivResult {
+    check_equiv_budget(pool, a, b, DEFAULT_BUDGET)
+}
+
+/// [`check_equiv`] with an explicit SAT conflict budget.
+pub fn check_equiv_budget(pool: &mut TermPool, a: TermId, b: TermId, budget: u64) -> EquivResult {
+    assert_eq!(pool.width(a), pool.width(b), "equivalence of unequal widths");
+    // 1. Syntactic equality via hash-consing.
+    if a == b {
+        return EquivResult::Proved;
+    }
+    // 2. Randomized refutation: evaluate on a deterministic set of
+    //    assignments; many false candidates die here without SAT cost.
+    let mut vars = pool.vars(a);
+    for v in pool.vars(b) {
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+    let mut seed = 0x5851_f42d_4c95_7f2du64;
+    for round in 0..32u64 {
+        let mut env = HashMap::new();
+        for (i, &sym) in vars.iter().enumerate() {
+            let v = match round {
+                0 => 0u64,
+                1 => u64::MAX,
+                2 => 1,
+                3 => 0x8000_0000,
+                _ => {
+                    seed = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407 ^ (i as u64) << 32);
+                    seed
+                }
+            };
+            env.insert(sym, v);
+        }
+        if pool.eval(a, &env) != pool.eval(b, &env) {
+            return EquivResult::Refuted(env);
+        }
+    }
+    // 3. Decide by SAT on the miter a ≠ b.
+    let ne = pool.ne(a, b);
+    let mut blaster = Blaster::new();
+    blaster.assert_true(pool, ne);
+    match blaster.solver.solve(budget) {
+        SatResult::Unsat => EquivResult::Proved,
+        SatResult::Sat(model) => {
+            let mut env = HashMap::new();
+            for sym in vars {
+                if let Some(v) = blaster.model_value(&model, sym) {
+                    env.insert(sym, v);
+                }
+            }
+            debug_assert_ne!(
+                pool.eval(a, &env),
+                pool.eval(b, &env),
+                "SAT model must be a real counterexample"
+            );
+            EquivResult::Refuted(env)
+        }
+        SatResult::Unknown => EquivResult::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syntactic_fast_path() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 32);
+        let y = p.var("y", 32);
+        let a = p.add(x, y);
+        let b = p.add(y, x);
+        assert_eq!(check_equiv(&mut p, a, b), EquivResult::Proved);
+    }
+
+    #[test]
+    fn lea_rule_equivalence() {
+        // Paper Figure 1: add r0,r0,r1; sub r0,r0,#imm  ≡  lea -imm(r0,r1).
+        let mut p = TermPool::new();
+        let r0 = p.var("r0", 32);
+        let r1 = p.var("r1", 32);
+        let imm = p.var("imm0", 32);
+        let t = p.add(r0, r1);
+        let guest = p.sub(t, imm);
+        let nimm = p.neg(imm);
+        let sum = p.add(r0, r1);
+        let host = p.add(sum, nimm);
+        assert!(check_equiv(&mut p, guest, host).is_proved());
+    }
+
+    #[test]
+    fn movzbl_equals_and_255() {
+        // Paper Figure 3(b): and r0, r0, #255 ≡ movzbl %al, %eax.
+        let mut p = TermPool::new();
+        let r0 = p.var("r0", 32);
+        let c255 = p.constant(255, 32);
+        let guest = p.and_(r0, c255);
+        let low = p.extract(r0, 7, 0);
+        let host = p.zext(low, 32);
+        assert!(check_equiv(&mut p, guest, host).is_proved());
+    }
+
+    #[test]
+    fn random_refutation_finds_counterexample() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 32);
+        let one = p.constant(1, 32);
+        let plus = p.add(x, one);
+        match check_equiv(&mut p, plus, x) {
+            EquivResult::Refuted(env) => {
+                assert!(!env.is_empty() || p.eval(plus, &env) != p.eval(x, &env));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sat_needed_for_subtle_equivalence() {
+        // x*3 == (x << 1) + x — canonical forms differ, SAT must prove it.
+        let mut p = TermPool::new();
+        let x = p.var("x", 16);
+        let three = p.constant(3, 16);
+        let lhs = p.mul(x, three);
+        let one = p.constant(1, 16);
+        let sh = p.shl(x, one);
+        let rhs = p.add(sh, x);
+        assert!(check_equiv(&mut p, lhs, rhs).is_proved());
+    }
+
+    #[test]
+    fn subtle_inequivalence_caught() {
+        // (x >> 1) << 1 != x (drops bit 0). Randomized phase catches it.
+        let mut p = TermPool::new();
+        let x = p.var("x", 32);
+        let one = p.constant(1, 32);
+        let down = p.lshr(x, one);
+        let back = p.shl(down, one);
+        match check_equiv(&mut p, back, x) {
+            EquivResult::Refuted(env) => {
+                assert_ne!(p.eval(back, &env), p.eval(x, &env));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arm_vs_x86_carry_polarity_inequivalence() {
+        // ARM carry-after-cmp (a >= b) vs x86 CF (a < b) are complements,
+        // never equal.
+        let mut p = TermPool::new();
+        let a = p.var("a", 32);
+        let b = p.var("b", 32);
+        let x86_cf = p.ult(a, b);
+        let arm_c = p.not_(x86_cf);
+        assert!(!check_equiv(&mut p, arm_c, x86_cf).is_proved());
+    }
+
+    #[test]
+    fn tight_budget_reports_unknown_or_decides() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 32);
+        let y = p.var("y", 32);
+        let lhs = p.mul(x, y);
+        let rhs = p.mul(y, x);
+        // Commutative canonicalization makes this syntactic — still Proved
+        // even with budget 0.
+        assert!(check_equiv_budget(&mut p, lhs, rhs, 0).is_proved());
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal widths")]
+    fn width_mismatch_panics() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 32);
+        let y = p.var("y", 8);
+        let _ = check_equiv(&mut p, x, y);
+    }
+}

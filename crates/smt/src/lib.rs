@@ -1,0 +1,39 @@
+#![forbid(unsafe_code)]
+//! A small QF_BV decision procedure (the paper's STP stand-in).
+//!
+//! The rule learner verifies that a guest and a host instruction sequence
+//! compute identical results by comparing symbolic bit-vector
+//! expressions. The paper uses the STP SMT solver; this crate provides
+//! the equivalent capability from scratch:
+//!
+//! * [`term`] — hash-consed bit-vector terms with aggressive local
+//!   simplification (constant folding, algebraic identities, canonical
+//!   operand ordering),
+//! * [`sat`] — a CDCL SAT solver (two-watched-literal propagation,
+//!   1-UIP conflict learning, VSIDS-style activities, Luby restarts),
+//! * [`blast`] — a Tseitin bit-blaster from terms to CNF,
+//! * [`equiv`] — the equivalence query used by the verifier: `a ≡ b` is
+//!   proved by showing `a ≠ b` unsatisfiable, and refutations come back
+//!   as concrete counterexample models.
+//!
+//! # Example
+//!
+//! ```
+//! use ldbt_smt::{equiv::check_equiv, term::TermPool};
+//!
+//! let mut p = TermPool::new();
+//! let x = p.var("x", 32);
+//! let y = p.var("y", 32);
+//! // (x + y) - y == x, for all x and y.
+//! let sum = p.add(x, y);
+//! let lhs = p.sub(sum, y);
+//! assert!(check_equiv(&mut p, lhs, x).is_proved());
+//! ```
+
+pub mod blast;
+pub mod equiv;
+pub mod sat;
+pub mod term;
+
+pub use equiv::{check_equiv, check_equiv_budget, EquivResult};
+pub use term::{Term, TermId, TermPool};

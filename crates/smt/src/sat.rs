@@ -1,0 +1,619 @@
+//! A CDCL SAT solver.
+//!
+//! Standard architecture: two-watched-literal unit propagation, first-UIP
+//! conflict analysis with clause learning, VSIDS-style exponential
+//! activity decay, phase saving, and Luby-sequence restarts. Sized for
+//! the bit-blasted equivalence queries this workspace generates
+//! (thousands of variables, tens of thousands of clauses).
+
+/// A propositional variable (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+/// A literal: a variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// A literal with explicit polarity (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the positive literal.
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complement literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The result of a solve call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; the model assigns every variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted.
+    Unknown,
+}
+
+impl SatResult {
+    /// Whether this is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+type ClauseRef = usize;
+
+/// The solver.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// watches[lit] = clauses currently watching `lit`.
+    watches: Vec<Vec<ClauseRef>>,
+    assign: Vec<i8>, // 0 unassigned, 1 true, -1 false
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    unsat: bool,
+    /// Statistics: total conflicts seen.
+    pub conflicts: u64,
+    /// Statistics: total decisions made.
+    pub decisions: u64,
+    /// Statistics: total propagations.
+    pub propagations: u64,
+}
+
+impl Solver {
+    /// A solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver { act_inc: 1.0, ..Solver::default() }
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(0);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    fn value(&self, lit: Lit) -> i8 {
+        let v = self.assign[lit.var().0 as usize];
+        if lit.is_pos() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Add a clause (disjunction of literals).
+    ///
+    /// Duplicates are removed; tautologies are ignored. Adding the empty
+    /// clause marks the instance unsatisfiable.
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        if self.unsat {
+            return;
+        }
+        debug_assert!(self.trail_lim.is_empty(), "add_clause at decision level 0 only");
+        lits.sort();
+        lits.dedup();
+        // Tautology check and removal of root-level falsified literals.
+        let mut i = 0;
+        while i + 1 < lits.len() {
+            if lits[i].var() == lits[i + 1].var() {
+                return; // x ∨ ¬x
+            }
+            i += 1;
+        }
+        lits.retain(|l| self.value(*l) != -1);
+        if lits.iter().any(|l| self.value(*l) == 1) {
+            return;
+        }
+        match lits.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(lits[0], None) {
+                    self.unsat = true;
+                } else if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let cref = self.clauses.len();
+                self.watches[lits[0].negate().index()].push(cref);
+                self.watches[lits[1].negate().index()].push(cref);
+                self.clauses.push(Clause { lits });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) -> bool {
+        match self.value(lit) {
+            1 => true,
+            -1 => false,
+            _ => {
+                let v = lit.var().0 as usize;
+                self.assign[v] = if lit.is_pos() { 1 } else { -1 };
+                self.phase[v] = lit.is_pos();
+                self.level[v] = self.trail_lim.len() as u32;
+                self.reason[v] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Propagate until fixpoint; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.prop_head < self.trail.len() {
+            let lit = self.trail[self.prop_head];
+            self.prop_head += 1;
+            self.propagations += 1;
+            // Clauses watching ¬lit must be visited: lit became true, so
+            // watchers of the complement may now be unit/conflicting.
+            let mut ws = std::mem::take(&mut self.watches[lit.index()]);
+            let mut keep = Vec::with_capacity(ws.len());
+            let mut conflict = None;
+            while let Some(cref) = ws.pop() {
+                if conflict.is_some() {
+                    keep.push(cref);
+                    continue;
+                }
+                let falsified = lit.negate();
+                // Ensure the falsified literal is at position 1.
+                let c = &mut self.clauses[cref];
+                if c.lits[0] == falsified {
+                    c.lits.swap(0, 1);
+                }
+                debug_assert_eq!(c.lits[1], falsified);
+                let first = c.lits[0];
+                if self.value(first) == 1 {
+                    keep.push(cref);
+                    continue;
+                }
+                // Look for a new watch.
+                let mut moved = false;
+                for k in 2..self.clauses[cref].lits.len() {
+                    let cand = self.clauses[cref].lits[k];
+                    if self.value(cand) != -1 {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[cand.negate().index()].push(cref);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflict.
+                keep.push(cref);
+                if !self.enqueue(first, Some(cref)) {
+                    conflict = Some(cref);
+                }
+            }
+            self.watches[lit.index()] = keep;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v.0 as usize] += self.act_inc;
+        if self.activity[v.0 as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns (learned clause, backtrack level).
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let cur_level = self.trail_lim.len() as u32;
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut cref = conflict;
+        let mut trail_pos = self.trail.len();
+        let mut uip = None;
+        loop {
+            for &l in &self.clauses[cref].lits.clone() {
+                let v = l.var();
+                if seen[v.0 as usize] || self.level[v.0 as usize] == 0 {
+                    continue;
+                }
+                if Some(l) == uip.map(|u: Lit| u) {
+                    continue;
+                }
+                seen[v.0 as usize] = true;
+                self.bump(v);
+                if self.level[v.0 as usize] == cur_level {
+                    counter += 1;
+                } else {
+                    learned.push(l);
+                }
+            }
+            // Walk the trail backwards to the next seen literal.
+            loop {
+                trail_pos -= 1;
+                let l = self.trail[trail_pos];
+                if seen[l.var().0 as usize] {
+                    uip = Some(l);
+                    seen[l.var().0 as usize] = false;
+                    counter -= 1;
+                    break;
+                }
+            }
+            if counter == 0 {
+                break;
+            }
+            cref = self.reason[uip.unwrap().var().0 as usize].expect("non-decision has reason");
+        }
+        let uip = uip.unwrap();
+        learned.push(uip.negate());
+        let n = learned.len();
+        learned.swap(0, n - 1); // asserting literal first
+        // Backtrack level = second-highest level in the clause.
+        let bt = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var().0 as usize])
+            .max()
+            .unwrap_or(0);
+        (learned, bt)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                self.assign[l.var().0 as usize] = 0;
+                self.reason[l.var().0 as usize] = None;
+            }
+        }
+        self.prop_head = self.trail.len().min(self.prop_head);
+        self.prop_head = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<(f64, usize)> = None;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == 0 {
+                let a = self.activity[v];
+                if best.map_or(true, |(ba, _)| a > ba) {
+                    best = Some((a, v));
+                }
+            }
+        }
+        best.map(|(_, v)| Lit::new(Var(v as u32), self.phase[v]))
+    }
+
+    /// Solve with a conflict budget.
+    ///
+    /// Returns [`SatResult::Unknown`] only if `max_conflicts` is hit.
+    pub fn solve(&mut self, max_conflicts: u64) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+        let mut restart_count = 0u32;
+        let mut conflicts_until_restart = luby(restart_count) * 64;
+        let start_conflicts = self.conflicts;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                if self.trail_lim.is_empty() {
+                    self.unsat = true;
+                    return SatResult::Unsat;
+                }
+                if self.conflicts - start_conflicts > max_conflicts {
+                    return SatResult::Unknown;
+                }
+                let (learned, bt) = self.analyze(conflict);
+                self.backtrack(bt);
+                self.act_inc *= 1.0 / 0.95;
+                if learned.len() == 1 {
+                    let ok = self.enqueue(learned[0], None);
+                    debug_assert!(ok);
+                } else {
+                    let cref = self.clauses.len();
+                    self.watches[learned[0].negate().index()].push(cref);
+                    self.watches[learned[1].negate().index()].push(cref);
+                    let assert_lit = learned[0];
+                    self.clauses.push(Clause { lits: learned });
+                    let ok = self.enqueue(assert_lit, Some(cref));
+                    debug_assert!(ok);
+                }
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                if conflicts_until_restart == 0 {
+                    restart_count += 1;
+                    conflicts_until_restart = luby(restart_count) * 64;
+                    self.backtrack(0);
+                }
+            } else {
+                match self.decide() {
+                    None => {
+                        let model = self.assign.iter().map(|&a| a == 1).collect();
+                        return SatResult::Sat(model);
+                    }
+                    Some(lit) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(lit, None);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …).
+fn luby(i: u32) -> u64 {
+    let mut k = 1u32;
+    while (1u64 << k) < (i as u64 + 2) {
+        k += 1;
+    }
+    if (1u64 << k) == i as u64 + 2 {
+        return 1u64 << (k - 1);
+    }
+    luby(i + 1 - (1 << (k - 1)) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn lit_encoding() {
+        let v = Var(3);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert!(Lit::pos(v).is_pos());
+        assert!(!Lit::neg(v).is_pos());
+        assert_eq!(Lit::pos(v).negate(), Lit::neg(v));
+        assert_eq!(Lit::new(v, false), Lit::neg(v));
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(vec![Lit::pos(v[0])]);
+        s.add_clause(vec![Lit::neg(v[1])]);
+        match s.solve(1000) {
+            SatResult::Sat(m) => {
+                assert!(m[0]);
+                assert!(!m[1]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(vec![Lit::pos(v[0])]);
+        s.add_clause(vec![Lit::neg(v[0])]);
+        assert_eq!(s.solve(1000), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = Solver::new();
+        s.add_clause(vec![]);
+        assert_eq!(s.solve(10), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(vec![Lit::pos(v[0]), Lit::neg(v[0])]);
+        assert!(s.solve(10).is_sat());
+    }
+
+    #[test]
+    fn implication_chain() {
+        // x0 ∧ (x0→x1) ∧ (x1→x2) ∧ … forces all true.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 20);
+        s.add_clause(vec![Lit::pos(v[0])]);
+        for i in 0..19 {
+            s.add_clause(vec![Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+        }
+        match s.solve(1000) {
+            SatResult::Sat(m) => assert!(m.iter().all(|&b| b)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p[i][j] = pigeon i in hole j; 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(vec![Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(100_000), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_4_sat() {
+        let mut s = Solver::new();
+        let n = 4;
+        let mut p = vec![vec![Var(0); n]; n];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|v| Lit::pos(*v)).collect());
+        }
+        for j in 0..n {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(s.solve(100_000).is_sat());
+    }
+
+    #[test]
+    fn xor_chain_parity_unsat() {
+        // Tseitin-encode x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x0 ⊕ x2 = 1: odd cycle, UNSAT.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let pairs = [(0, 1), (1, 2), (0, 2)];
+        for (a, b) in pairs {
+            // a ⊕ b: (a ∨ b) ∧ (¬a ∨ ¬b)
+            s.add_clause(vec![Lit::pos(v[a]), Lit::pos(v[b])]);
+            s.add_clause(vec![Lit::neg(v[a]), Lit::neg(v[b])]);
+        }
+        assert_eq!(s.solve(100_000), SatResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_solutions_verified() {
+        // Deterministic pseudo-random 3-SAT instances; whenever the solver
+        // says SAT, the model must satisfy every clause.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let nvars = 12;
+            let nclauses = 40;
+            let mut s = Solver::new();
+            let v = lits(&mut s, nvars);
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let var = v[(next() % nvars as u64) as usize];
+                    let pol = next() % 2 == 0;
+                    c.push(Lit::new(var, pol));
+                }
+                clauses.push(c.clone());
+                s.add_clause(c);
+            }
+            if let SatResult::Sat(m) = s.solve(100_000) {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|l| m[l.var().0 as usize] == l.is_pos()),
+                        "model does not satisfy clause"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u32), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown_or_answers() {
+        // A small hard-ish instance with a tiny budget must not panic.
+        let mut s = Solver::new();
+        let mut p = vec![vec![Var(0); 4]; 5];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().map(|v| Lit::pos(*v)).collect());
+        }
+        for j in 0..4 {
+            for i1 in 0..5 {
+                for i2 in (i1 + 1)..5 {
+                    s.add_clause(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        let r = s.solve(10);
+        assert!(matches!(r, SatResult::Unknown | SatResult::Unsat));
+    }
+}

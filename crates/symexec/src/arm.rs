@@ -1,0 +1,480 @@
+//! Symbolic execution of ARM instruction sequences.
+
+use crate::common::{
+    add_with_carry, nz_of, ImmBinder, ImmRole, MemOracle, StoreEntry, StoreLog, SymFlags,
+    SymHazard,
+};
+use ldbt_arm::{AddrMode, ArmInstr, ArmReg, Cond, DpOp, Operand2, Shift};
+use ldbt_isa::Width;
+use ldbt_smt::{TermId, TermPool};
+
+/// A symbolic ARM register/flag state.
+#[derive(Debug, Clone)]
+pub struct SymArmState {
+    /// One term per register.
+    pub regs: [TermId; 16],
+    /// Symbolic NZCV.
+    pub flags: SymFlags,
+}
+
+impl SymArmState {
+    /// A state whose registers are fresh variables `r0…r15` (prefixable)
+    /// and whose flags are fresh variables.
+    pub fn fresh(pool: &mut TermPool, prefix: &str) -> SymArmState {
+        let regs = std::array::from_fn(|i| pool.var(&format!("{prefix}r{i}"), 32));
+        SymArmState { regs, flags: SymFlags::fresh(pool, prefix) }
+    }
+
+    /// Read a register term.
+    pub fn reg(&self, r: ArmReg) -> TermId {
+        self.regs[r.index()]
+    }
+
+    /// Write a register term.
+    pub fn set_reg(&mut self, r: ArmReg, t: TermId) {
+        self.regs[r.index()] = t;
+    }
+}
+
+/// What a symbolic ARM execution produced.
+#[derive(Debug, Clone)]
+pub struct ArmSymOutcome {
+    /// Final register/flag state.
+    pub state: SymArmState,
+    /// Registers written by the sequence, in first-write order.
+    pub defined_regs: Vec<ArmReg>,
+    /// NZCV mask of flags written (N=8, Z=4, C=2, V=1).
+    pub flags_defined: u8,
+    /// The store log.
+    pub stores: Vec<StoreEntry>,
+    /// Branch-taken condition if the sequence ends in a conditional
+    /// branch (`None` for plain straight-line code).
+    pub branch_cond: Option<TermId>,
+}
+
+fn shift_sym(
+    pool: &mut TermPool,
+    value: TermId,
+    shift: Option<Shift>,
+    carry_in: TermId,
+) -> (TermId, TermId) {
+    let Some(shift) = shift else {
+        return (value, carry_in);
+    };
+    let amt = shift.amount() as u32 & 31;
+    if amt == 0 {
+        return (value, carry_in);
+    }
+    let amt_t = pool.constant(amt as u64, 32);
+    match shift {
+        Shift::Lsl(_) => {
+            let r = pool.shl(value, amt_t);
+            let c = pool.extract(value, 32 - amt, 32 - amt);
+            (r, c)
+        }
+        Shift::Lsr(_) => {
+            let r = pool.lshr(value, amt_t);
+            let c = pool.extract(value, amt - 1, amt - 1);
+            (r, c)
+        }
+        Shift::Asr(_) => {
+            let r = pool.ashr(value, amt_t);
+            let c = pool.extract(value, amt - 1, amt - 1);
+            (r, c)
+        }
+        Shift::Ror(_) => {
+            let lo = pool.lshr(value, amt_t);
+            let inv = pool.constant((32 - amt) as u64, 32);
+            let hi = pool.shl(value, inv);
+            let r = pool.or_(lo, hi);
+            let c = pool.extract(r, 31, 31);
+            (r, c)
+        }
+    }
+}
+
+fn addr_term(
+    pool: &mut TermPool,
+    state: &SymArmState,
+    addr: AddrMode,
+    binder: &mut ImmBinder,
+    idx: usize,
+) -> TermId {
+    match addr {
+        AddrMode::Imm(rn, off) => {
+            let base = state.reg(rn);
+            let off_t = binder(pool, idx, ImmRole::MemOffset, off as i64);
+            pool.add(base, off_t)
+        }
+        AddrMode::Reg(rn, rm) => {
+            let base = state.reg(rn);
+            let index = state.reg(rm);
+            pool.add(base, index)
+        }
+        AddrMode::RegShift(rn, rm, s) => {
+            let base = state.reg(rn);
+            let sh = pool.constant(s as u64, 32);
+            let scaled = pool.shl(state.reg(rm), sh);
+            pool.add(base, scaled)
+        }
+    }
+}
+
+fn cond_term(pool: &mut TermPool, f: &SymFlags, cond: Cond) -> TermId {
+    match cond {
+        Cond::Eq => f.z,
+        Cond::Ne => pool.not_(f.z),
+        Cond::Cs => f.c,
+        Cond::Cc => pool.not_(f.c),
+        Cond::Mi => f.n,
+        Cond::Pl => pool.not_(f.n),
+        Cond::Vs => f.v,
+        Cond::Vc => pool.not_(f.v),
+        Cond::Hi => {
+            let nz = pool.not_(f.z);
+            pool.and_(f.c, nz)
+        }
+        Cond::Ls => {
+            let nc = pool.not_(f.c);
+            pool.or_(nc, f.z)
+        }
+        Cond::Ge => {
+            let x = pool.xor_(f.n, f.v);
+            pool.not_(x)
+        }
+        Cond::Lt => pool.xor_(f.n, f.v),
+        Cond::Gt => {
+            let x = pool.xor_(f.n, f.v);
+            let ge = pool.not_(x);
+            let nz = pool.not_(f.z);
+            pool.and_(ge, nz)
+        }
+        Cond::Le => {
+            let lt = pool.xor_(f.n, f.v);
+            pool.or_(f.z, lt)
+        }
+        Cond::Al => pool.tru(),
+    }
+}
+
+/// Symbolically execute an ARM sequence.
+///
+/// `binder` decides how immediates become terms (constants or rule
+/// parameters). The sequence may end in a conditional branch; any other
+/// control flow, predication, or undecidable memory aliasing yields a
+/// [`SymHazard`].
+pub fn exec_arm_seq(
+    pool: &mut TermPool,
+    seq: &[ArmInstr],
+    init: SymArmState,
+    oracle: &mut MemOracle,
+    binder: &mut ImmBinder,
+) -> Result<ArmSymOutcome, SymHazard> {
+    let mut state = init;
+    let mut defined: Vec<ArmReg> = Vec::new();
+    let mut flags_defined = 0u8;
+    let mut log = StoreLog::new();
+    let mut branch_cond = None;
+
+    let define = |defined: &mut Vec<ArmReg>, r: ArmReg| {
+        if !defined.contains(&r) {
+            defined.push(r);
+        }
+    };
+
+    for (idx, instr) in seq.iter().enumerate() {
+        if branch_cond.is_some() {
+            return Err(SymHazard::MidBlockBranch);
+        }
+        if instr.is_predicated() {
+            return Err(SymHazard::Unsupported("predicated instruction"));
+        }
+        match *instr {
+            ArmInstr::Dp { op, rd, rn, op2, set_flags, .. } => {
+                let (b, shifter_c) = match op2 {
+                    Operand2::Imm(v) => {
+                        let t = binder(pool, idx, ImmRole::Data, v as i64);
+                        (t, state.flags.c)
+                    }
+                    Operand2::Reg(r) => (state.reg(r), state.flags.c),
+                    Operand2::RegShift(r, s) => {
+                        let val = state.reg(r);
+                        shift_sym(pool, val, Some(s), state.flags.c)
+                    }
+                };
+                let a = if op.is_move() { pool.constant(0, 32) } else { state.reg(rn) };
+                let one = pool.tru();
+                let zero = pool.fls();
+                let (value, c, v) = match op {
+                    DpOp::And | DpOp::Tst => (pool.and_(a, b), shifter_c, state.flags.v),
+                    DpOp::Eor | DpOp::Teq => (pool.xor_(a, b), shifter_c, state.flags.v),
+                    DpOp::Orr => (pool.or_(a, b), shifter_c, state.flags.v),
+                    DpOp::Bic => {
+                        let nb = pool.not_(b);
+                        (pool.and_(a, nb), shifter_c, state.flags.v)
+                    }
+                    DpOp::Mov => (b, shifter_c, state.flags.v),
+                    DpOp::Mvn => (pool.not_(b), shifter_c, state.flags.v),
+                    DpOp::Add | DpOp::Cmn => {
+                        let (r, c, v) = add_with_carry(pool, a, b, zero);
+                        (r, c, v)
+                    }
+                    DpOp::Adc => {
+                        let (r, c, v) = add_with_carry(pool, a, b, state.flags.c);
+                        (r, c, v)
+                    }
+                    DpOp::Sub | DpOp::Cmp => {
+                        let nb = pool.not_(b);
+                        let (r, c, v) = add_with_carry(pool, a, nb, one);
+                        (r, c, v)
+                    }
+                    DpOp::Sbc => {
+                        let nb = pool.not_(b);
+                        let (r, c, v) = add_with_carry(pool, a, nb, state.flags.c);
+                        (r, c, v)
+                    }
+                    DpOp::Rsb => {
+                        let na = pool.not_(a);
+                        let (r, c, v) = add_with_carry(pool, b, na, one);
+                        (r, c, v)
+                    }
+                };
+                if set_flags {
+                    let (n, z) = nz_of(pool, value);
+                    state.flags.n = n;
+                    state.flags.z = z;
+                    flags_defined |= 0b1100;
+                    if op.is_arithmetic() {
+                        state.flags.c = c;
+                        state.flags.v = v;
+                        flags_defined |= 0b0011;
+                    } else {
+                        state.flags.c = c; // shifter carry (may be pass-through)
+                        if matches!(op2, Operand2::RegShift(_, _)) {
+                            flags_defined |= 0b0010;
+                        }
+                    }
+                }
+                if !op.is_compare() {
+                    state.set_reg(rd, value);
+                    define(&mut defined, rd);
+                }
+            }
+            ArmInstr::Mul { rd, rn, rm, set_flags, .. } => {
+                let a = state.reg(rn);
+                let b = state.reg(rm);
+                let value = pool.mul(a, b);
+                if set_flags {
+                    let (n, z) = nz_of(pool, value);
+                    state.flags.n = n;
+                    state.flags.z = z;
+                    flags_defined |= 0b1100;
+                }
+                state.set_reg(rd, value);
+                define(&mut defined, rd);
+            }
+            ArmInstr::Ldr { rt, addr, width, signed, .. } => {
+                let a = addr_term(pool, &state, addr, binder, idx);
+                let raw = log.load(pool, oracle, a, width)?;
+                let v = match (width, signed) {
+                    (Width::W32, _) => raw,
+                    (_, true) => pool.sext(raw, 32),
+                    (_, false) => pool.zext(raw, 32),
+                };
+                state.set_reg(rt, v);
+                define(&mut defined, rt);
+            }
+            ArmInstr::Str { rt, addr, width, .. } => {
+                let a = addr_term(pool, &state, addr, binder, idx);
+                let full = state.reg(rt);
+                let value = if width == Width::W32 {
+                    full
+                } else {
+                    pool.extract(full, width.bits() - 1, 0)
+                };
+                log.push(StoreEntry { addr: a, value, width });
+            }
+            ArmInstr::B { cond, .. } => {
+                if idx + 1 != seq.len() {
+                    return Err(SymHazard::MidBlockBranch);
+                }
+                branch_cond = Some(cond_term(pool, &state.flags, cond));
+            }
+            ArmInstr::Bl { .. } => return Err(SymHazard::Unsupported("call")),
+            ArmInstr::Bx { .. } => return Err(SymHazard::Unsupported("indirect branch")),
+            ArmInstr::Svc { .. } => return Err(SymHazard::Unsupported("svc")),
+        }
+    }
+    Ok(ArmSymOutcome {
+        state,
+        defined_regs: defined,
+        flags_defined,
+        stores: log.entries().to_vec(),
+        branch_cond,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::concrete_imms;
+    use ldbt_arm::ArmInstr as I;
+    use std::collections::HashMap;
+
+    fn exec(seq: &[I]) -> (TermPool, ArmSymOutcome) {
+        let mut pool = TermPool::new();
+        let init = SymArmState::fresh(&mut pool, "");
+        let mut oracle = MemOracle::new();
+        let out = exec_arm_seq(&mut pool, seq, init, &mut oracle, &mut concrete_imms).unwrap();
+        (pool, out)
+    }
+
+    #[test]
+    fn straight_line_add() {
+        let (pool, out) = exec(&[I::dp(
+            DpOp::Add,
+            ArmReg::R1,
+            ArmReg::R1,
+            Operand2::Reg(ArmReg::R0),
+        )]);
+        assert_eq!(out.defined_regs, vec![ArmReg::R1]);
+        assert_eq!(out.flags_defined, 0);
+        assert_eq!(pool.display(out.state.reg(ArmReg::R1)), "(+ r0 r1)");
+    }
+
+    #[test]
+    fn figure1_guest_sequence() {
+        // add r0, r0, r1 ; sub r0, r0, #5 — the value must fold into
+        // r0 + r1 + (-5).
+        let (pool, out) = exec(&[
+            I::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R1)),
+            I::dp(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(5)),
+        ]);
+        let mut p2 = pool.clone();
+        let r0 = p2.var("r0", 32);
+        let r1 = p2.var("r1", 32);
+        let s = p2.add(r0, r1);
+        let m5 = p2.constant((-5i64) as u64, 32);
+        let want = p2.add(s, m5);
+        assert_eq!(out.state.reg(ArmReg::R0), want);
+    }
+
+    #[test]
+    fn flags_of_subs_match_concrete() {
+        let seq = [I::dps(DpOp::Sub, ArmReg::R2, ArmReg::R0, Operand2::Reg(ArmReg::R1))];
+        let (pool, out) = exec(&seq);
+        assert_eq!(out.flags_defined, 0b1111);
+        // Evaluate under a concrete env and compare with the interpreter.
+        for (a, b) in [(5u32, 3u32), (3, 5), (7, 7), (0x8000_0000, 1)] {
+            let mut env = HashMap::new();
+            // Symbols r0..r15 were created in order by fresh().
+            env.insert(0u32, a as u64);
+            env.insert(1u32, b as u64);
+            let mut st = ldbt_arm::ArmState::new();
+            st.set_reg(ArmReg::R0, a);
+            st.set_reg(ArmReg::R1, b);
+            st.exec(&seq[0]);
+            assert_eq!(pool.eval(out.state.flags.n, &env) == 1, st.flags.n, "n {a} {b}");
+            assert_eq!(pool.eval(out.state.flags.z, &env) == 1, st.flags.z, "z {a} {b}");
+            assert_eq!(pool.eval(out.state.flags.c, &env) == 1, st.flags.c, "c {a} {b}");
+            assert_eq!(pool.eval(out.state.flags.v, &env) == 1, st.flags.v, "v {a} {b}");
+            assert_eq!(
+                pool.eval(out.state.reg(ArmReg::R2), &env) as u32,
+                st.reg(ArmReg::R2)
+            );
+        }
+    }
+
+    #[test]
+    fn cmp_then_branch_produces_condition() {
+        let (pool, out) = exec(&[
+            I::cmp(ArmReg::R2, Operand2::Reg(ArmReg::R3)),
+            I::B { offset: 3, cond: Cond::Ne },
+        ]);
+        let cond = out.branch_cond.expect("branch condition");
+        for (a, b) in [(1u32, 1u32), (1, 2)] {
+            let mut env = HashMap::new();
+            env.insert(2u32, a as u64);
+            env.insert(3u32, b as u64);
+            assert_eq!(pool.eval(cond, &env) == 1, a != b);
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip_and_log() {
+        let (pool, out) = exec(&[
+            I::str(ArmReg::R1, AddrMode::Imm(ArmReg::R6, 0)),
+            I::ldr(ArmReg::R2, AddrMode::Imm(ArmReg::R6, 0)),
+        ]);
+        assert_eq!(out.stores.len(), 1);
+        let mut pool = pool;
+        let r1 = pool.var("r1", 32); // interned: same id as the initial r1
+        assert_eq!(out.state.reg(ArmReg::R2), r1);
+    }
+
+    #[test]
+    fn aliasing_load_is_hazard() {
+        let mut pool = TermPool::new();
+        let init = SymArmState::fresh(&mut pool, "");
+        let mut oracle = MemOracle::new();
+        let seq = [
+            I::str(ArmReg::R1, AddrMode::Imm(ArmReg::R6, 0)),
+            I::ldr(ArmReg::R2, AddrMode::Imm(ArmReg::R7, 0)),
+        ];
+        let r = exec_arm_seq(&mut pool, &seq, init, &mut oracle, &mut concrete_imms);
+        assert_eq!(r.unwrap_err(), SymHazard::MayAlias);
+    }
+
+    #[test]
+    fn unsupported_instructions_are_hazards() {
+        let mut pool = TermPool::new();
+        let mut oracle = MemOracle::new();
+        for (seq, what) in [
+            (vec![I::Bl { offset: 0, cond: Cond::Al }], "call"),
+            (vec![I::Bx { rm: ArmReg::Lr, cond: Cond::Al }], "indirect branch"),
+            (vec![I::Svc { imm: 0, cond: Cond::Al }], "svc"),
+        ] {
+            let init = SymArmState::fresh(&mut pool, "");
+            let r = exec_arm_seq(&mut pool, &seq, init, &mut oracle, &mut concrete_imms);
+            assert_eq!(r.unwrap_err(), SymHazard::Unsupported(what));
+        }
+        // Predicated non-branch.
+        let init = SymArmState::fresh(&mut pool, "");
+        let seq = [I::Dp {
+            op: DpOp::Mov,
+            rd: ArmReg::R0,
+            rn: ArmReg::R0,
+            op2: Operand2::Imm(1),
+            set_flags: false,
+            cond: Cond::Eq,
+        }];
+        let r = exec_arm_seq(&mut pool, &seq, init, &mut oracle, &mut concrete_imms);
+        assert_eq!(r.unwrap_err(), SymHazard::Unsupported("predicated instruction"));
+    }
+
+    #[test]
+    fn mid_block_branch_is_hazard() {
+        let mut pool = TermPool::new();
+        let init = SymArmState::fresh(&mut pool, "");
+        let mut oracle = MemOracle::new();
+        let seq = [
+            I::B { offset: 1, cond: Cond::Al },
+            I::mov(ArmReg::R0, Operand2::Imm(1)),
+        ];
+        let r = exec_arm_seq(&mut pool, &seq, init, &mut oracle, &mut concrete_imms);
+        assert_eq!(r.unwrap_err(), SymHazard::MidBlockBranch);
+    }
+
+    #[test]
+    fn byte_store_truncates() {
+        let (pool, out) = exec(&[I::Str {
+            rt: ArmReg::R1,
+            addr: AddrMode::Imm(ArmReg::R6, 4),
+            width: Width::W8,
+            cond: Cond::Al,
+        }]);
+        assert_eq!(out.stores.len(), 1);
+        assert_eq!(pool.width(out.stores[0].value), 8);
+        assert_eq!(out.stores[0].width, Width::W8);
+    }
+}

@@ -1,0 +1,321 @@
+//! Shared pieces of the two symbolic executors.
+
+use ldbt_isa::Width;
+use ldbt_smt::{TermId, TermPool};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a symbolic execution gave up.
+///
+/// Hazards map to the paper's "Other" verification-failure column: the
+/// snippet is simply not learned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymHazard {
+    /// A load may alias an earlier store whose address is not
+    /// syntactically identical — the store-log model cannot decide it.
+    MayAlias,
+    /// A load/store overlaps an earlier access of a different width at
+    /// the same address expression.
+    MixedWidth,
+    /// An instruction kind the executor does not model symbolically
+    /// (calls, indirect branches, predicated execution, stack traffic).
+    Unsupported(&'static str),
+    /// A branch that is not the final instruction of the sequence.
+    MidBlockBranch,
+}
+
+impl fmt::Display for SymHazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymHazard::MayAlias => write!(f, "possible aliasing between store and load"),
+            SymHazard::MixedWidth => write!(f, "mixed-width access to one location"),
+            SymHazard::Unsupported(what) => write!(f, "unsupported instruction: {what}"),
+            SymHazard::MidBlockBranch => write!(f, "branch before end of sequence"),
+        }
+    }
+}
+
+impl std::error::Error for SymHazard {}
+
+/// Which syntactic slot an immediate occupies (for parameterization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImmRole {
+    /// A data-processing / ALU immediate (`#imm`, `$imm`).
+    Data,
+    /// A memory-operand displacement.
+    MemOffset,
+}
+
+/// A callback that turns a concrete immediate into a term.
+///
+/// The default behaviour is a constant; the rule verifier instead returns
+/// parameter variables (possibly wrapped in the mapped operation).
+/// Arguments: pool, instruction index within the sequence, role, value.
+pub type ImmBinder<'a> = dyn FnMut(&mut TermPool, usize, ImmRole, i64) -> TermId + 'a;
+
+/// An [`ImmBinder`] that materializes every immediate as a constant.
+pub fn concrete_imms(pool: &mut TermPool, _idx: usize, _role: ImmRole, value: i64) -> TermId {
+    pool.constant(value as u64, 32)
+}
+
+/// The symbolic condition flags (each a width-1 term).
+///
+/// The field names follow ARM (`n`/`z`/`c`/`v`); the x86 executor maps
+/// `sf`→`n`, `zf`→`z`, `cf`→`c`, `of`→`v` positionally. Note the two
+/// ISAs' *semantics* for the carry bit differ (borrow polarity); the
+/// executors encode each ISA's own definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymFlags {
+    /// Negative / sign flag.
+    pub n: TermId,
+    /// Zero flag.
+    pub z: TermId,
+    /// Carry flag (ISA-specific polarity).
+    pub c: TermId,
+    /// Overflow flag.
+    pub v: TermId,
+}
+
+impl SymFlags {
+    /// Fresh flag variables with a name prefix (`"g"` → `gN`, `gZ`, …).
+    pub fn fresh(pool: &mut TermPool, prefix: &str) -> SymFlags {
+        SymFlags {
+            n: pool.var(&format!("{prefix}N"), 1),
+            z: pool.var(&format!("{prefix}Z"), 1),
+            c: pool.var(&format!("{prefix}C"), 1),
+            v: pool.var(&format!("{prefix}V"), 1),
+        }
+    }
+}
+
+/// The shared symbolic memory.
+///
+/// Loads from addresses with no matching store return a fresh variable
+/// *keyed by the address expression and width*, shared between the guest
+/// and host executions — so a guest load and a host load from mapped
+/// (hence syntactically identical) addresses see the same unknown value.
+/// Each side keeps its own store log; the verifier compares the logs.
+#[derive(Debug, Clone, Default)]
+pub struct MemOracle {
+    reads: HashMap<(TermId, Width), TermId>,
+    counter: u32,
+}
+
+impl MemOracle {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        MemOracle::default()
+    }
+
+    /// The unknown initial value at `(addr, width)`.
+    pub fn initial_value(&mut self, pool: &mut TermPool, addr: TermId, width: Width) -> TermId {
+        if let Some(v) = self.reads.get(&(addr, width)) {
+            return *v;
+        }
+        let name = format!("mem{}_{}", self.counter, width.bits());
+        self.counter += 1;
+        let v = pool.var(&name, width.bits());
+        self.reads.insert((addr, width), v);
+        v
+    }
+}
+
+/// One entry of a store log: `(address expression, value, width)`.
+///
+/// The address is recorded at the moment of the access (paper §3.3:
+/// "record the symbolic expressions corresponding to the memory access
+/// addresses when they are used"), so later modification of the registers
+/// used in the address cannot corrupt the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// Symbolic byte address.
+    pub addr: TermId,
+    /// Stored value (already truncated to `width` bits).
+    pub value: TermId,
+    /// Access width.
+    pub width: Width,
+}
+
+/// A per-side store log with sound load forwarding.
+#[derive(Debug, Clone, Default)]
+pub struct StoreLog {
+    entries: Vec<StoreEntry>,
+}
+
+impl StoreLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        StoreLog::default()
+    }
+
+    /// Record a store.
+    pub fn push(&mut self, entry: StoreEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The recorded stores, oldest first.
+    pub fn entries(&self) -> &[StoreEntry] {
+        &self.entries
+    }
+
+    /// Resolve a load: forwarded store value, initial-memory value, or a
+    /// hazard if aliasing cannot be ruled out syntactically.
+    pub fn load(
+        &self,
+        pool: &mut TermPool,
+        oracle: &mut MemOracle,
+        addr: TermId,
+        width: Width,
+    ) -> Result<TermId, SymHazard> {
+        for e in self.entries.iter().rev() {
+            if e.addr == addr {
+                if e.width == width {
+                    return Ok(e.value);
+                }
+                return Err(SymHazard::MixedWidth);
+            }
+            // A store to a syntactically different address may still
+            // alias; only constant-vs-constant disjointness is decidable
+            // here, and we keep the model simple and conservative.
+            return Err(SymHazard::MayAlias);
+        }
+        Ok(oracle.initial_value(pool, addr, width))
+    }
+}
+
+/// 33-bit addition helper: returns `(result32, carry_out, overflow)` for
+/// `a + b + carry_in`. Both executors build their flag semantics on it.
+pub fn add_with_carry(
+    pool: &mut TermPool,
+    a: TermId,
+    b: TermId,
+    carry_in: TermId,
+) -> (TermId, TermId, TermId) {
+    // The 32-bit value uses plain 32-bit additions so that guest and host
+    // value expressions converge syntactically; only the carry flag needs
+    // the 33-bit computation.
+    let c32 = pool.zext(carry_in, 32);
+    let ab = pool.add(a, b);
+    let result = pool.add(ab, c32);
+    let wa = pool.zext(a, 33);
+    let wb = pool.zext(b, 33);
+    let wc = pool.zext(carry_in, 33);
+    let s1 = pool.add(wa, wb);
+    let wide = pool.add(s1, wc);
+    let carry = pool.extract(wide, 32, 32);
+    // Signed overflow: operands share a sign that differs from the result.
+    let sa = pool.extract(a, 31, 31);
+    let sb = pool.extract(b, 31, 31);
+    let sr = pool.extract(result, 31, 31);
+    let xa = pool.xor_(sa, sr);
+    let xb = pool.xor_(sb, sr);
+    let v = pool.and_(xa, xb);
+    (result, carry, v)
+}
+
+/// `n`/`z` of a 32-bit result.
+pub fn nz_of(pool: &mut TermPool, result: TermId) -> (TermId, TermId) {
+    let n = pool.extract(result, 31, 31);
+    let zero = pool.constant(0, 32);
+    let z = pool.eq(result, zero);
+    (n, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_shares_reads_by_address_and_width() {
+        let mut pool = TermPool::new();
+        let mut o = MemOracle::new();
+        let a1 = pool.var("a", 32);
+        let v1 = o.initial_value(&mut pool, a1, Width::W32);
+        let v2 = o.initial_value(&mut pool, a1, Width::W32);
+        assert_eq!(v1, v2);
+        let v3 = o.initial_value(&mut pool, a1, Width::W8);
+        assert_ne!(v1, v3);
+        assert_eq!(pool.width(v3), 8);
+        let a2 = pool.var("b", 32);
+        let v4 = o.initial_value(&mut pool, a2, Width::W32);
+        assert_ne!(v1, v4);
+    }
+
+    #[test]
+    fn store_log_forwards_exact_match() {
+        let mut pool = TermPool::new();
+        let mut o = MemOracle::new();
+        let mut log = StoreLog::new();
+        let addr = pool.var("p", 32);
+        let val = pool.var("v", 32);
+        log.push(StoreEntry { addr, value: val, width: Width::W32 });
+        assert_eq!(log.load(&mut pool, &mut o, addr, Width::W32), Ok(val));
+    }
+
+    #[test]
+    fn store_log_rejects_possible_alias() {
+        let mut pool = TermPool::new();
+        let mut o = MemOracle::new();
+        let mut log = StoreLog::new();
+        let p = pool.var("p", 32);
+        let q = pool.var("q", 32);
+        let val = pool.var("v", 32);
+        log.push(StoreEntry { addr: p, value: val, width: Width::W32 });
+        assert_eq!(log.load(&mut pool, &mut o, q, Width::W32), Err(SymHazard::MayAlias));
+    }
+
+    #[test]
+    fn store_log_rejects_mixed_width() {
+        let mut pool = TermPool::new();
+        let mut o = MemOracle::new();
+        let mut log = StoreLog::new();
+        let p = pool.var("p", 32);
+        let val = pool.var("v", 32);
+        log.push(StoreEntry { addr: p, value: val, width: Width::W32 });
+        assert_eq!(log.load(&mut pool, &mut o, p, Width::W8), Err(SymHazard::MixedWidth));
+    }
+
+    #[test]
+    fn add_with_carry_matches_concrete() {
+        let mut pool = TermPool::new();
+        for (a, b, cin) in [
+            (5u32, 7u32, false),
+            (u32::MAX, 1, false),
+            (u32::MAX, 0, true),
+            (0x7fff_ffff, 1, false),
+            (0x8000_0000, 0x8000_0000, false),
+        ] {
+            let ta = pool.constant(a as u64, 32);
+            let tb = pool.constant(b as u64, 32);
+            let tc = pool.constant(cin as u64, 1);
+            let (r, c, v) = add_with_carry(&mut pool, ta, tb, tc);
+            let env = HashMap::new();
+            assert_eq!(
+                pool.eval(r, &env) as u32,
+                a.wrapping_add(b).wrapping_add(cin as u32)
+            );
+            assert_eq!(pool.eval(c, &env) == 1, ldbt_isa::bits::add_carry32(a, b, cin));
+            assert_eq!(pool.eval(v, &env) == 1, ldbt_isa::bits::add_overflow32(a, b, cin));
+        }
+    }
+
+    #[test]
+    fn nz_of_flags() {
+        let mut pool = TermPool::new();
+        let t = pool.constant(0, 32);
+        let (n, z) = nz_of(&mut pool, t);
+        let env = HashMap::new();
+        assert_eq!(pool.eval(n, &env), 0);
+        assert_eq!(pool.eval(z, &env), 1);
+        let t = pool.constant(0x8000_0000, 32);
+        let (n, z) = nz_of(&mut pool, t);
+        assert_eq!(pool.eval(n, &env), 1);
+        assert_eq!(pool.eval(z, &env), 0);
+    }
+
+    #[test]
+    fn hazard_display() {
+        assert!(SymHazard::MayAlias.to_string().contains("alias"));
+        assert!(SymHazard::Unsupported("call").to_string().contains("call"));
+    }
+}

@@ -1,0 +1,32 @@
+#![forbid(unsafe_code)]
+//! Binary symbolic execution for the guest and host ISAs.
+//!
+//! This is the workspace's FuzzBALL stand-in: it executes an ARM or x86
+//! instruction sequence over *symbolic* machine states, producing
+//! bit-vector terms (from [`ldbt_smt`]) for every defined register, every
+//! memory store (keyed by the symbolic address expression recorded at
+//! access time, exactly as paper §3.3 describes), and the final branch
+//! condition.
+//!
+//! The rule verifier drives both executors from a shared [`ldbt_smt::TermPool`] and
+//! a shared [`MemOracle`]: operands that the initial mapping pairs up are
+//! given the *same* symbolic variable, so semantically mirrored
+//! computations converge to syntactically identical terms, and anything
+//! that remains is decided by the SAT-based equivalence check.
+//!
+//! Immediate operands can be *parameterized*: the driver supplies an
+//! [`ImmBinder`] that replaces selected concrete immediates with symbolic
+//! parameters (possibly wrapped in the mapped arithmetic/logical
+//! operation, e.g. the additive-inverse mapping of Figure 1).
+//!
+//! The executors mirror the concrete semantics in `ldbt_arm::semantics` /
+//! `ldbt_x86::semantics`; the property tests in `tests/` cross-check the
+//! two against each other on random instruction sequences and inputs.
+
+pub mod arm;
+pub mod common;
+pub mod x86;
+
+pub use arm::{exec_arm_seq, ArmSymOutcome, SymArmState};
+pub use common::{ImmBinder, ImmRole, MemOracle, SymFlags, SymHazard};
+pub use x86::{exec_x86_seq, SymX86State, X86SymOutcome};

@@ -1,0 +1,577 @@
+//! Symbolic execution of x86 instruction sequences.
+
+use crate::common::{
+    add_with_carry, nz_of, ImmBinder, ImmRole, MemOracle, StoreEntry, StoreLog, SymFlags,
+    SymHazard,
+};
+use ldbt_isa::Width;
+use ldbt_smt::{TermId, TermPool};
+use ldbt_x86::{AluOp, Cc, Gpr, Operand, ShiftOp, UnOp, X86Instr, X86Mem};
+
+/// A symbolic x86 register/flag state.
+///
+/// Flags reuse [`SymFlags`] positionally: `n`=SF, `z`=ZF, `c`=CF, `v`=OF.
+#[derive(Debug, Clone)]
+pub struct SymX86State {
+    /// One term per register, in encoding order.
+    pub regs: [TermId; 8],
+    /// Symbolic flags.
+    pub flags: SymFlags,
+}
+
+impl SymX86State {
+    /// A state with fresh variables (`{prefix}eax`, …).
+    pub fn fresh(pool: &mut TermPool, prefix: &str) -> SymX86State {
+        let names = ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"];
+        let regs = std::array::from_fn(|i| pool.var(&format!("{prefix}{}", names[i]), 32));
+        SymX86State { regs, flags: SymFlags::fresh(pool, &format!("{prefix}f")) }
+    }
+
+    /// Read a register term.
+    pub fn reg(&self, r: Gpr) -> TermId {
+        self.regs[r.index()]
+    }
+
+    /// Write a register term.
+    pub fn set_reg(&mut self, r: Gpr, t: TermId) {
+        self.regs[r.index()] = t;
+    }
+}
+
+/// What a symbolic x86 execution produced.
+#[derive(Debug, Clone)]
+pub struct X86SymOutcome {
+    /// Final register/flag state.
+    pub state: SymX86State,
+    /// Registers written, in first-write order.
+    pub defined_regs: Vec<Gpr>,
+    /// Flag-written mask in x86 layout (CF=1, ZF=2, SF=4, OF=8).
+    pub flags_defined: u8,
+    /// The store log.
+    pub stores: Vec<StoreEntry>,
+    /// Branch-taken condition for a final `jcc`.
+    pub branch_cond: Option<TermId>,
+}
+
+fn mem_term(
+    pool: &mut TermPool,
+    state: &SymX86State,
+    m: &X86Mem,
+    binder: &mut ImmBinder,
+    idx: usize,
+) -> TermId {
+    let mut t = binder(pool, idx, ImmRole::MemOffset, m.disp as i64);
+    if let Some(b) = m.base {
+        t = pool.add(t, state.reg(b));
+    }
+    if let Some((i, s)) = m.index {
+        let sc = pool.constant(s as u64, 32);
+        let scaled = pool.mul(state.reg(i), sc);
+        t = pool.add(t, scaled);
+    }
+    t
+}
+
+fn cc_term(pool: &mut TermPool, f: &SymFlags, cc: Cc) -> TermId {
+    // x86 mapping: f.c = CF, f.z = ZF, f.n = SF, f.v = OF.
+    match cc {
+        Cc::O => f.v,
+        Cc::No => pool.not_(f.v),
+        Cc::B => f.c,
+        Cc::Ae => pool.not_(f.c),
+        Cc::E => f.z,
+        Cc::Ne => pool.not_(f.z),
+        Cc::Be => pool.or_(f.c, f.z),
+        Cc::A => {
+            let nc = pool.not_(f.c);
+            let nz = pool.not_(f.z);
+            pool.and_(nc, nz)
+        }
+        Cc::S => f.n,
+        Cc::Ns => pool.not_(f.n),
+        Cc::L => pool.xor_(f.n, f.v),
+        Cc::Ge => {
+            let x = pool.xor_(f.n, f.v);
+            pool.not_(x)
+        }
+        Cc::Le => {
+            let lt = pool.xor_(f.n, f.v);
+            pool.or_(f.z, lt)
+        }
+        Cc::G => {
+            let x = pool.xor_(f.n, f.v);
+            let ge = pool.not_(x);
+            let nz = pool.not_(f.z);
+            pool.and_(ge, nz)
+        }
+    }
+}
+
+/// Symbolically execute an x86 sequence.
+///
+/// Mirrors `ldbt_x86::semantics` exactly, including CF's borrow polarity,
+/// the `inc`/`dec` CF preservation, and logical ops clearing CF/OF. A
+/// final `jcc` produces `branch_cond`; stack traffic and other control
+/// flow are hazards (the learner filters such snippets anyway).
+pub fn exec_x86_seq(
+    pool: &mut TermPool,
+    seq: &[X86Instr],
+    init: SymX86State,
+    oracle: &mut MemOracle,
+    binder: &mut ImmBinder,
+) -> Result<X86SymOutcome, SymHazard> {
+    let mut state = init;
+    let mut defined: Vec<Gpr> = Vec::new();
+    let mut flags_defined = 0u8;
+    let mut log = StoreLog::new();
+    let mut branch_cond = None;
+
+    fn define(defined: &mut Vec<Gpr>, r: Gpr) {
+        if !defined.contains(&r) {
+            defined.push(r);
+        }
+    }
+
+    // Read an operand as a 32-bit term.
+    fn read_op(
+        pool: &mut TermPool,
+        state: &SymX86State,
+        log: &StoreLog,
+        oracle: &mut MemOracle,
+        op: &Operand,
+        binder: &mut ImmBinder,
+        idx: usize,
+        role: ImmRole,
+    ) -> Result<TermId, SymHazard> {
+        match op {
+            Operand::Reg(r) => Ok(state.reg(*r)),
+            Operand::Imm(v) => Ok(binder(pool, idx, role, *v as i64)),
+            Operand::Mem(m) => {
+                let a = mem_term(pool, state, m, binder, idx);
+                log.load(pool, oracle, a, Width::W32)
+            }
+        }
+    }
+
+    for (idx, instr) in seq.iter().enumerate() {
+        if branch_cond.is_some() {
+            return Err(SymHazard::MidBlockBranch);
+        }
+        match *instr {
+            X86Instr::Mov { dst, src } => {
+                let v = read_op(pool, &state, &log, oracle, &src, binder, idx, ImmRole::Data)?;
+                match dst {
+                    Operand::Reg(r) => {
+                        state.set_reg(r, v);
+                        define(&mut defined, r);
+                    }
+                    Operand::Mem(m) => {
+                        let a = mem_term(pool, &state, &m, binder, idx);
+                        log.push(StoreEntry { addr: a, value: v, width: Width::W32 });
+                    }
+                    Operand::Imm(_) => return Err(SymHazard::Unsupported("mov to imm")),
+                }
+            }
+            X86Instr::Alu { op, dst, src } => {
+                let a = read_op(pool, &state, &log, oracle, &dst, binder, idx, ImmRole::Data)?;
+                let b = read_op(pool, &state, &log, oracle, &src, binder, idx, ImmRole::Data)?;
+                let one = pool.tru();
+                let zero = pool.fls();
+                let (value, cf, of) = match op {
+                    AluOp::Add => {
+                        let (r, c, v) = add_with_carry(pool, a, b, zero);
+                        (r, c, v)
+                    }
+                    AluOp::Adc => {
+                        let (r, c, v) = add_with_carry(pool, a, b, state.flags.c);
+                        (r, c, v)
+                    }
+                    AluOp::Sub | AluOp::Cmp => {
+                        let nb = pool.not_(b);
+                        let (r, c, v) = add_with_carry(pool, a, nb, one);
+                        (r, pool.not_(c), v) // CF = borrow = !carry
+                    }
+                    AluOp::Sbb => {
+                        let nb = pool.not_(b);
+                        let ncf = pool.not_(state.flags.c);
+                        let (r, c, v) = add_with_carry(pool, a, nb, ncf);
+                        (r, pool.not_(c), v)
+                    }
+                    AluOp::And | AluOp::Test => (pool.and_(a, b), zero, zero),
+                    AluOp::Or => (pool.or_(a, b), zero, zero),
+                    AluOp::Xor => (pool.xor_(a, b), zero, zero),
+                };
+                let (n, z) = nz_of(pool, value);
+                state.flags = SymFlags { n, z, c: cf, v: of };
+                flags_defined |= 0b1111;
+                if !op.is_compare() {
+                    match dst {
+                        Operand::Reg(r) => {
+                            state.set_reg(r, value);
+                            define(&mut defined, r);
+                        }
+                        Operand::Mem(m) => {
+                            let a = mem_term(pool, &state, &m, binder, idx);
+                            log.push(StoreEntry { addr: a, value, width: Width::W32 });
+                        }
+                        Operand::Imm(_) => return Err(SymHazard::Unsupported("alu to imm")),
+                    }
+                }
+            }
+            X86Instr::Lea { dst, addr } => {
+                let a = mem_term(pool, &state, &addr, binder, idx);
+                state.set_reg(dst, a);
+                define(&mut defined, dst);
+            }
+            X86Instr::Imul { dst, src } => {
+                let a = state.reg(dst);
+                let b = read_op(pool, &state, &log, oracle, &src, binder, idx, ImmRole::Data)?;
+                let value = pool.mul(a, b);
+                // CF=OF = full product does not fit: sext64(lo) != product.
+                let wa = pool.sext(a, 64);
+                let wb = pool.sext(b, 64);
+                let full = pool.mul(wa, wb);
+                let lo = pool.sext(value, 64);
+                let fits = pool.eq(full, lo);
+                let ovf = pool.not_(fits);
+                state.flags.c = ovf;
+                state.flags.v = ovf;
+                flags_defined |= 0b1001;
+                state.set_reg(dst, value);
+                define(&mut defined, dst);
+            }
+            X86Instr::Shift { op, dst, count } => {
+                let a = read_op(pool, &state, &log, oracle, &dst, binder, idx, ImmRole::Data)?;
+                let count = count as u32 & 31;
+                if count == 0 {
+                    continue;
+                }
+                let amt = pool.constant(count as u64, 32);
+                let (value, cf) = match op {
+                    ShiftOp::Shl => {
+                        let r = pool.shl(a, amt);
+                        (r, pool.extract(a, 32 - count, 32 - count))
+                    }
+                    ShiftOp::Shr => {
+                        let r = pool.lshr(a, amt);
+                        (r, pool.extract(a, count - 1, count - 1))
+                    }
+                    ShiftOp::Sar => {
+                        let r = pool.ashr(a, amt);
+                        (r, pool.extract(a, count - 1, count - 1))
+                    }
+                };
+                let (n, z) = nz_of(pool, value);
+                state.flags = SymFlags { n, z, c: cf, v: pool.fls() };
+                flags_defined |= 0b1111;
+                match dst {
+                    Operand::Reg(r) => {
+                        state.set_reg(r, value);
+                        define(&mut defined, r);
+                    }
+                    Operand::Mem(m) => {
+                        let a = mem_term(pool, &state, &m, binder, idx);
+                        log.push(StoreEntry { addr: a, value, width: Width::W32 });
+                    }
+                    Operand::Imm(_) => return Err(SymHazard::Unsupported("shift imm dst")),
+                }
+            }
+            X86Instr::Un { op, dst } => {
+                let a = read_op(pool, &state, &log, oracle, &dst, binder, idx, ImmRole::Data)?;
+                let one32 = pool.constant(1, 32);
+                let zero32 = pool.constant(0, 32);
+                let value = match op {
+                    UnOp::Neg => pool.sub(zero32, a),
+                    UnOp::Not => pool.not_(a),
+                    UnOp::Inc => pool.add(a, one32),
+                    UnOp::Dec => pool.sub(a, one32),
+                };
+                match op {
+                    UnOp::Neg => {
+                        let cf = pool.ne(a, zero32);
+                        let min = pool.constant(0x8000_0000, 32);
+                        let of = pool.eq(a, min);
+                        let (n, z) = nz_of(pool, value);
+                        state.flags = SymFlags { n, z, c: cf, v: of };
+                        flags_defined |= 0b1111;
+                    }
+                    UnOp::Not => {}
+                    UnOp::Inc => {
+                        let max = pool.constant(0x7fff_ffff, 32);
+                        let of = pool.eq(a, max);
+                        let (n, z) = nz_of(pool, value);
+                        state.flags = SymFlags { n, z, c: state.flags.c, v: of };
+                        flags_defined |= 0b1110;
+                    }
+                    UnOp::Dec => {
+                        let min = pool.constant(0x8000_0000, 32);
+                        let of = pool.eq(a, min);
+                        let (n, z) = nz_of(pool, value);
+                        state.flags = SymFlags { n, z, c: state.flags.c, v: of };
+                        flags_defined |= 0b1110;
+                    }
+                }
+                match dst {
+                    Operand::Reg(r) => {
+                        state.set_reg(r, value);
+                        define(&mut defined, r);
+                    }
+                    Operand::Mem(m) => {
+                        let a = mem_term(pool, &state, &m, binder, idx);
+                        log.push(StoreEntry { addr: a, value, width: Width::W32 });
+                    }
+                    Operand::Imm(_) => return Err(SymHazard::Unsupported("unary imm dst")),
+                }
+            }
+            X86Instr::Movx { sign, width, dst, src } => {
+                let narrow = match src {
+                    Operand::Reg(r) => {
+                        let full = state.reg(r);
+                        pool.extract(full, width.bits() - 1, 0)
+                    }
+                    Operand::Mem(m) => {
+                        let a = mem_term(pool, &state, &m, binder, idx);
+                        log.load(pool, oracle, a, width)?
+                    }
+                    Operand::Imm(_) => return Err(SymHazard::Unsupported("movx imm")),
+                };
+                let v = if sign { pool.sext(narrow, 32) } else { pool.zext(narrow, 32) };
+                state.set_reg(dst, v);
+                define(&mut defined, dst);
+            }
+            X86Instr::MovStore { width, src, dst } => {
+                let a = mem_term(pool, &state, &dst, binder, idx);
+                let full = state.reg(src);
+                let value = pool.extract(full, width.bits() - 1, 0);
+                log.push(StoreEntry { addr: a, value, width });
+            }
+            X86Instr::Setcc { cc, dst } => {
+                let bit = cc_term(pool, &state.flags, cc);
+                let wide = pool.zext(bit, 32);
+                let old = state.reg(dst);
+                let himask = pool.constant(0xffff_ff00, 32);
+                let hi = pool.and_(old, himask);
+                let v = pool.or_(hi, wide);
+                state.set_reg(dst, v);
+                define(&mut defined, dst);
+            }
+            X86Instr::Jcc { cc, .. } => {
+                if idx + 1 != seq.len() {
+                    return Err(SymHazard::MidBlockBranch);
+                }
+                branch_cond = Some(cc_term(pool, &state.flags, cc));
+            }
+            X86Instr::Jmp { .. } => {
+                if idx + 1 != seq.len() {
+                    return Err(SymHazard::MidBlockBranch);
+                }
+                branch_cond = Some(pool.tru());
+            }
+            X86Instr::JmpInd { .. } => return Err(SymHazard::Unsupported("indirect jump")),
+            X86Instr::Call { .. } => return Err(SymHazard::Unsupported("call")),
+            X86Instr::Ret => return Err(SymHazard::Unsupported("ret")),
+            X86Instr::Push { .. } | X86Instr::Pop { .. } => {
+                return Err(SymHazard::Unsupported("stack traffic"))
+            }
+            X86Instr::Pushfd | X86Instr::Popfd => {
+                return Err(SymHazard::Unsupported("flag save/restore"))
+            }
+            X86Instr::Halt => return Err(SymHazard::Unsupported("hlt")),
+        }
+    }
+    Ok(X86SymOutcome {
+        state,
+        defined_regs: defined,
+        flags_defined,
+        stores: log.entries().to_vec(),
+        branch_cond,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::concrete_imms;
+    use ldbt_x86::X86Instr as I;
+    use std::collections::HashMap;
+
+    fn exec(seq: &[I]) -> (TermPool, X86SymOutcome) {
+        let mut pool = TermPool::new();
+        let init = SymX86State::fresh(&mut pool, "");
+        let mut oracle = MemOracle::new();
+        let out = exec_x86_seq(&mut pool, seq, init, &mut oracle, &mut concrete_imms).unwrap();
+        (pool, out)
+    }
+
+    #[test]
+    fn lea_matches_arm_add_sub_chain() {
+        // leal -5(%edx,%ecx,1), %edx ≡ edx + ecx - 5.
+        let (mut pool, out) = exec(&[I::Lea {
+            dst: Gpr::Edx,
+            addr: X86Mem { base: Some(Gpr::Edx), index: Some((Gpr::Ecx, 1)), disp: -5 },
+        }]);
+        let edx = pool.var("edx", 32);
+        let ecx = pool.var("ecx", 32);
+        let s = pool.add(edx, ecx);
+        let m5 = pool.constant((-5i64) as u64, 32);
+        let want = pool.add(s, m5);
+        assert_eq!(out.state.reg(Gpr::Edx), want);
+        assert_eq!(out.defined_regs, vec![Gpr::Edx]);
+        assert_eq!(out.flags_defined, 0, "lea writes no flags");
+    }
+
+    #[test]
+    fn alu_flags_match_concrete_interpreter() {
+        use ldbt_x86::{EFlags, X86State};
+        let cases = [
+            I::alu_rr(AluOp::Add, Gpr::Eax, Gpr::Ecx),
+            I::alu_rr(AluOp::Sub, Gpr::Eax, Gpr::Ecx),
+            I::alu_rr(AluOp::And, Gpr::Eax, Gpr::Ecx),
+            I::alu_rr(AluOp::Xor, Gpr::Eax, Gpr::Ecx),
+            I::alu_rr(AluOp::Cmp, Gpr::Eax, Gpr::Ecx),
+            I::Un { op: UnOp::Inc, dst: Operand::Reg(Gpr::Eax) },
+            I::Un { op: UnOp::Dec, dst: Operand::Reg(Gpr::Eax) },
+            I::Un { op: UnOp::Neg, dst: Operand::Reg(Gpr::Eax) },
+            I::Shift { op: ShiftOp::Shl, dst: Operand::Reg(Gpr::Eax), count: 3 },
+            I::Shift { op: ShiftOp::Sar, dst: Operand::Reg(Gpr::Eax), count: 1 },
+        ];
+        for instr in cases {
+            let (pool, out) = exec(&[instr]);
+            for (a, b) in [(5u32, 3u32), (3, 5), (0, 0), (0x8000_0000, 1), (u32::MAX, 1)] {
+                let mut env = HashMap::new();
+                env.insert(0u32, a as u64); // eax
+                env.insert(1u32, b as u64); // ecx
+                let mut st = X86State::new();
+                st.set_reg(Gpr::Eax, a);
+                st.set_reg(Gpr::Ecx, b);
+                st.flags = EFlags::new();
+                // Symbolic initial flags default to 0 in eval (unassigned).
+                st.exec(&instr);
+                assert_eq!(
+                    pool.eval(out.state.reg(Gpr::Eax), &env) as u32,
+                    st.reg(Gpr::Eax),
+                    "{instr} value a={a} b={b}"
+                );
+                assert_eq!(
+                    pool.eval(out.state.flags.c, &env) == 1,
+                    st.flags.cf,
+                    "{instr} cf a={a} b={b}"
+                );
+                assert_eq!(pool.eval(out.state.flags.z, &env) == 1, st.flags.zf, "{instr} zf");
+                assert_eq!(pool.eval(out.state.flags.n, &env) == 1, st.flags.sf, "{instr} sf");
+                assert_eq!(pool.eval(out.state.flags.v, &env) == 1, st.flags.of, "{instr} of");
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_jcc_condition() {
+        let (pool, out) = exec(&[
+            I::alu_rr(AluOp::Cmp, Gpr::Eax, Gpr::Ecx),
+            I::Jcc { cc: Cc::Le, target: 2 },
+        ]);
+        let cond = out.branch_cond.unwrap();
+        for (a, b) in [(1i32, 2i32), (2, 1), (2, 2), (-1, 1)] {
+            let mut env = HashMap::new();
+            env.insert(0u32, a as u32 as u64);
+            env.insert(1u32, b as u32 as u64);
+            assert_eq!(pool.eval(cond, &env) == 1, a <= b, "{a} <= {b}");
+        }
+    }
+
+    #[test]
+    fn movzbl_structure() {
+        let (mut pool, out) = exec(&[I::Movx {
+            sign: false,
+            width: Width::W8,
+            dst: Gpr::Eax,
+            src: Operand::Reg(Gpr::Eax),
+        }]);
+        let eax = pool.var("eax", 32);
+        let lo = pool.extract(eax, 7, 0);
+        let want = pool.zext(lo, 32);
+        assert_eq!(out.state.reg(Gpr::Eax), want);
+    }
+
+    #[test]
+    fn store_log_records_address_at_use() {
+        // movl %eax, (%esi); addl $4, %esi — the store address must be the
+        // *original* esi.
+        let (mut pool, out) = exec(&[
+            I::Mov { dst: Operand::Mem(X86Mem::base(Gpr::Esi)), src: Operand::Reg(Gpr::Eax) },
+            I::alu_ri(AluOp::Add, Gpr::Esi, 4),
+        ]);
+        assert_eq!(out.stores.len(), 1);
+        let esi = pool.var("esi", 32);
+        assert_eq!(out.stores[0].addr, esi);
+        // And the final esi differs from the store address.
+        assert_ne!(out.state.reg(Gpr::Esi), esi);
+    }
+
+    #[test]
+    fn memory_operand_in_alu_reads_shared_oracle() {
+        let mut pool = TermPool::new();
+        let mut oracle = MemOracle::new();
+        let init = SymX86State::fresh(&mut pool, "");
+        let esi = init.reg(Gpr::Esi);
+        let seq = [I::Alu {
+            op: AluOp::Add,
+            dst: Operand::Reg(Gpr::Eax),
+            src: Operand::Mem(X86Mem::base(Gpr::Esi)),
+        }];
+        let out = exec_x86_seq(&mut pool, &seq, init, &mut oracle, &mut concrete_imms).unwrap();
+        // A second read from the same address gives the same variable.
+        let v = oracle.initial_value(&mut pool, esi, Width::W32);
+        let eax = pool.var("eax", 32);
+        let want = pool.add(eax, v);
+        assert_eq!(out.state.reg(Gpr::Eax), want);
+    }
+
+    #[test]
+    fn unsupported_are_hazards() {
+        let mut pool = TermPool::new();
+        let mut oracle = MemOracle::new();
+        for (i, what) in [
+            (I::Ret, "ret"),
+            (I::Call { target: 0 }, "call"),
+            (I::Push { src: Operand::Reg(Gpr::Eax) }, "stack traffic"),
+            (I::Pushfd, "flag save/restore"),
+            (I::Halt, "hlt"),
+            (I::JmpInd { src: Operand::Reg(Gpr::Eax) }, "indirect jump"),
+        ] {
+            let init = SymX86State::fresh(&mut pool, "");
+            let r = exec_x86_seq(&mut pool, &[i], init, &mut oracle, &mut concrete_imms);
+            assert_eq!(r.unwrap_err(), SymHazard::Unsupported(what));
+        }
+    }
+
+    #[test]
+    fn setcc_merges_low_byte() {
+        let (pool, out) = exec(&[
+            I::alu_rr(AluOp::Cmp, Gpr::Eax, Gpr::Eax), // ZF=1
+            I::Setcc { cc: Cc::E, dst: Gpr::Ecx },
+        ]);
+        let mut env = HashMap::new();
+        env.insert(1u32, 0xdead_be00u64); // ecx
+        assert_eq!(pool.eval(out.state.reg(Gpr::Ecx), &env), 0xdead_be01);
+    }
+
+    #[test]
+    fn imul_overflow_flag_symbolic() {
+        let (pool, out) = exec(&[I::Imul { dst: Gpr::Eax, src: Operand::Reg(Gpr::Ecx) }]);
+        for (a, b, ovf) in [
+            (1000u32, 1000u32, false),
+            (0x10000, 0x10000, true),
+            ((-3i32) as u32, 7, false),
+        ] {
+            let mut env = HashMap::new();
+            env.insert(0u32, a as u64);
+            env.insert(1u32, b as u64);
+            assert_eq!(pool.eval(out.state.flags.c, &env) == 1, ovf, "{a}*{b}");
+            assert_eq!(
+                pool.eval(out.state.reg(Gpr::Eax), &env) as u32,
+                a.wrapping_mul(b)
+            );
+        }
+    }
+}

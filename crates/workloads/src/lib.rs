@@ -1,0 +1,359 @@
+#![forbid(unsafe_code)]
+//! The synthetic SPEC CINT2006 stand-in suite.
+//!
+//! The paper evaluates on the twelve SPEC CINT2006 programs, which we do
+//! not have (nor the cross-compilers to build them). This crate generates
+//! twelve deterministic mini-C programs named after them, with:
+//!
+//! * source sizes scaled to the real suite's relative LoC (Table 1), so
+//!   per-benchmark learning statistics have the same orderings,
+//! * kernels drawn from the integer idioms those benchmarks are known
+//!   for — hashing and string-ish scans (perlbench), block transforms
+//!   (bzip2), table-driven dispatch (gcc), pointer-chasing-style index
+//!   loops (mcf), board evaluation ladders (gobmk), dynamic-programming
+//!   inner loops (hmmer), minimax-ish counters (sjeng), bit-twiddling
+//!   (libquantum), sliding-window sums (h264ref), event counters
+//!   (omnetpp), grid scans (astar), and tree-walk-ish loops (xalancbmk),
+//! * a `test` and a `ref` workload differing only in iteration counts
+//!   (the paper's short- vs long-running comparison),
+//! * a self-checksum: the result is accumulated into a global and
+//!   returned, so any engine can be validated against the interpreter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Which input size to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Short-running (translation overhead dominates).
+    Test,
+    /// Long-running (code quality dominates).
+    Ref,
+}
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Benchmark {
+    /// SPEC-style name.
+    pub name: &'static str,
+    /// Source size of the real benchmark, in K LoC (Table 1).
+    pub loc_k: f64,
+    /// Whether the real program is C++ (affects nothing but reporting).
+    pub cpp: bool,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// The twelve benchmarks, in Table 1 order.
+pub const SUITE: [Benchmark; 12] = [
+    Benchmark { name: "perlbench", loc_k: 128.0, cpp: false, seed: 11 },
+    Benchmark { name: "bzip2", loc_k: 5.7, cpp: false, seed: 22 },
+    Benchmark { name: "gcc", loc_k: 386.0, cpp: false, seed: 33 },
+    Benchmark { name: "mcf", loc_k: 1.6, cpp: false, seed: 44 },
+    Benchmark { name: "gobmk", loc_k: 158.0, cpp: false, seed: 55 },
+    Benchmark { name: "hmmer", loc_k: 40.7, cpp: false, seed: 66 },
+    Benchmark { name: "sjeng", loc_k: 10.5, cpp: false, seed: 77 },
+    Benchmark { name: "libquantum", loc_k: 2.6, cpp: false, seed: 88 },
+    Benchmark { name: "h264ref", loc_k: 36.0, cpp: false, seed: 99 },
+    Benchmark { name: "omnetpp", loc_k: 26.7, cpp: true, seed: 111 },
+    Benchmark { name: "astar", loc_k: 4.3, cpp: true, seed: 122 },
+    Benchmark { name: "xalancbmk", loc_k: 267.0, cpp: true, seed: 133 },
+];
+
+/// Find a benchmark by name.
+pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
+    SUITE.iter().find(|b| b.name == name)
+}
+
+/// Number of generated kernel functions for a benchmark (LoC-scaled).
+pub fn kernel_count(b: &Benchmark) -> usize {
+    (3.0 + b.loc_k.sqrt() * 1.1).round().min(25.0) as usize
+}
+
+struct Gen {
+    rng: StdRng,
+    src: String,
+    locals: Vec<String>,
+}
+
+impl Gen {
+    fn pick<'a>(&mut self, items: &'a [String]) -> &'a str {
+        let i = self.rng.gen_range(0..items.len());
+        &items[i]
+    }
+
+    fn small(&mut self) -> i32 {
+        self.rng.gen_range(1..64)
+    }
+
+    /// A random simple expression over the locals.
+    fn expr(&mut self, depth: u32) -> String {
+        if depth == 0 || self.rng.gen_bool(0.35) {
+            return if self.rng.gen_bool(0.5) {
+                let locals = self.locals.clone();
+                self.pick(&locals).to_string()
+            } else {
+                format!("{}", self.small())
+            };
+        }
+        let a = self.expr(depth - 1);
+        let b = self.expr(depth - 1);
+        let op = ["+", "-", "*", "&", "|", "^"][self.rng.gen_range(0..6)];
+        format!("({a} {op} {b})")
+    }
+}
+
+fn kernel(g: &mut Gen, idx: usize, arrays: &[String]) {
+    let name = format!("k{idx}");
+    let shape = g.rng.gen_range(0..8);
+    let arr = arrays[g.rng.gen_range(0..arrays.len())].clone();
+    let arr2 = arrays[g.rng.gen_range(0..arrays.len())].clone();
+    let c1 = g.small();
+    let c2 = g.small();
+    let sh = g.rng.gen_range(1..5);
+    let mul = [3, 5, 7, 9, 599, 33][g.rng.gen_range(0..6)];
+    let mask = [0xff, 0x3f, 0xfff, 0x1f][g.rng.gen_range(0..4)];
+    g.locals = vec!["a".into(), "b".into(), "s".into(), "i".into()];
+    match shape {
+        0 => {
+            // Hash/mix loop (perl/gcc style).
+            let _ = write!(
+                g.src,
+                "int {name}(int a, int b) {{
+  int s = a ^ {c1};
+  for (int i = 0; i < b; i += 1) {{
+    s = (s + i) * {mul};
+    s = s ^ (s >> {sh});
+    s = s & 0xffffff;
+  }}
+  return s;
+}}\n"
+            );
+        }
+        1 => {
+            // Array scan with conditional accumulation.
+            let e = g.expr(2);
+            let _ = write!(
+                g.src,
+                "int {name}(int a, int b) {{
+  int s = 0;
+  for (int i = 0; i < a; i += 1) {{
+    int v = {arr}[i & 63];
+    if (v > b) {{ s += v - b; }} else {{ s += {e}; }}
+  }}
+  return s;
+}}\n"
+            );
+        }
+        2 => {
+            // Table-lookup chain.
+            let _ = write!(
+                g.src,
+                "int {name}(int a, int b) {{
+  int s = b;
+  for (int i = 0; i < a; i += 1) {{
+    int j = {arr}[i & 63] & 63;
+    s += {arr2}[j] + {c2};
+  }}
+  return s & {mask};
+}}\n"
+            );
+        }
+        3 => {
+            // Write-heavy transform.
+            let _ = write!(
+                g.src,
+                "int {name}(int a, int b) {{
+  for (int i = 0; i < a; i += 1) {{
+    {arr}[i & 63] = (b + i * {c1}) ^ {c2};
+  }}
+  return {arr}[b & 63];
+}}\n"
+            );
+        }
+        4 => {
+            // Nested loops (DP / matrix style).
+            let _ = write!(
+                g.src,
+                "int {name}(int a, int b) {{
+  int s = 0;
+  for (int i = 0; i < a; i += 1) {{
+    for (int j = 0; j < 4; j += 1) {{
+      s += {arr}[(i + j) & 63] * (j + {c1});
+    }}
+    if (s > 1000000) {{ s -= b; }}
+  }}
+  return s;
+}}\n"
+            );
+        }
+        5 => {
+            // Bit twiddling (libquantum style).
+            let _ = write!(
+                g.src,
+                "int {name}(int a, int b) {{
+  int s = a;
+  int i = 0;
+  while (i < b) {{
+    s = (s << 1) ^ (s >> {sh});
+    s = s + (s & {mask});
+    i += 1;
+  }}
+  return s & 0xffffff;
+}}\n"
+            );
+        }
+        6 => {
+            // Comparisons as values (predicated moves on the guest side —
+            // these snippets hit Table 1's "PI" preparation filter).
+            let _ = write!(
+                g.src,
+                "int {name}(int a, int b) {{
+  int s = 0;
+  for (int i = 0; i < a; i += 1) {{
+    int v = {arr}[i & 63];
+    s += (v > b) + (v == {c1});
+    s += (v < s) * {c2};
+  }}
+  return s;
+}}\n"
+            );
+        }
+        _ => {
+            // Branchy ladder (board evaluation style).
+            let e1 = g.expr(1);
+            let e2 = g.expr(1);
+            let _ = write!(
+                g.src,
+                "int {name}(int a, int b) {{
+  int s = 0;
+  for (int i = 0; i < a; i += 1) {{
+    int v = (i * {c1}) & {mask};
+    if (v < {c2}) {{ s += {e1}; }}
+    else if (v < {c2} + 16) {{ s += v; }}
+    else if (v & 1) {{ s -= {e2}; }}
+    else {{ s += b; }}
+  }}
+  return s;
+}}\n"
+            );
+        }
+    }
+}
+
+/// Generate the benchmark's source for a workload.
+pub fn source(b: &Benchmark, workload: Workload) -> String {
+    let mut g = Gen { rng: StdRng::seed_from_u64(b.seed), src: String::new(), locals: vec![] };
+    let _ = writeln!(g.src, "// synthetic stand-in for {}", b.name);
+    let _ = writeln!(g.src, "int checksum;");
+    let arrays: Vec<String> = (0..3).map(|i| format!("tbl{i}")).collect();
+    for a in &arrays {
+        let _ = writeln!(g.src, "int {a}[64];");
+    }
+    let nk = kernel_count(b);
+    for k in 0..nk {
+        kernel(&mut g, k, &arrays);
+    }
+    let reps = match workload {
+        Workload::Test => 2,
+        // Heavier for small benchmarks so ref running time is comparable.
+        Workload::Ref => (600.0 / (1.0 + b.loc_k.sqrt())).round().max(25.0) as i32,
+    };
+    let inner = g.rng.gen_range(24..40);
+    let _ = writeln!(g.src, "int main() {{");
+    let _ = writeln!(
+        g.src,
+        "  for (int i = 0; i < 64; i += 1) {{ tbl0[i] = i * 7; tbl1[i] = i ^ 21; tbl2[i] = 63 - i; }}"
+    );
+    let _ = writeln!(g.src, "  int acc = 0;");
+    let _ = writeln!(g.src, "  for (int r = 0; r < {reps}; r += 1) {{");
+    for k in 0..nk {
+        let _ = writeln!(g.src, "    acc += k{k}({inner}, (r & 15) + {});", k % 7 + 1);
+    }
+    let _ = writeln!(g.src, "    acc = acc & 0xffffff;");
+    let _ = writeln!(g.src, "  }}");
+    let _ = writeln!(g.src, "  checksum = acc;");
+    let _ = writeln!(g.src, "  return acc & 255;");
+    let _ = writeln!(g.src, "}}");
+    g.src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldbt_compiler::{link::build_arm_image, Options};
+
+    #[test]
+    fn suite_has_twelve() {
+        assert_eq!(SUITE.len(), 12);
+        assert_eq!(benchmark("mcf").unwrap().loc_k, 1.6);
+        assert!(benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let b = benchmark("sjeng").unwrap();
+        assert_eq!(source(b, Workload::Ref), source(b, Workload::Ref));
+        assert_ne!(source(b, Workload::Ref), source(b, Workload::Test));
+    }
+
+    #[test]
+    fn sizes_scale_with_loc() {
+        let mcf = source(benchmark("mcf").unwrap(), Workload::Ref).lines().count();
+        let gcc = source(benchmark("gcc").unwrap(), Workload::Ref).lines().count();
+        assert!(gcc > 2 * mcf, "gcc {gcc} lines vs mcf {mcf}");
+    }
+
+    #[test]
+    fn all_benchmarks_compile_and_halt() {
+        for b in &SUITE {
+            let src = source(b, Workload::Test);
+            let image = build_arm_image(&src, &Options::o2())
+                .unwrap_or_else(|e| panic!("{}: {e}\n{src}", b.name));
+            let mut m = ldbt_arm::ArmMachine::new();
+            image.load_into(&mut m.state.mem);
+            m.state.regs[15] = image.entry;
+            let stop = m.run(80_000_000);
+            assert_eq!(stop, ldbt_arm::ArmStop::Halt, "{} did not halt", b.name);
+        }
+    }
+
+    #[test]
+    fn checksums_agree_across_configs() {
+        use ldbt_compiler::{OptLevel, Style};
+        let b = benchmark("libquantum").unwrap();
+        let src = source(b, Workload::Test);
+        let mut sums = Vec::new();
+        for style in [Style::Llvm, Style::Gcc] {
+            for level in [OptLevel::O0, OptLevel::O2] {
+                let image =
+                    build_arm_image(&src, &Options { level, style }).unwrap();
+                let mut m = ldbt_arm::ArmMachine::new();
+                image.load_into(&mut m.state.mem);
+                m.state.regs[15] = image.entry;
+                assert_eq!(m.run(80_000_000), ldbt_arm::ArmStop::Halt);
+                sums.push(m.state.reg(ldbt_arm::ArmReg::R0));
+            }
+        }
+        assert!(sums.windows(2).all(|w| w[0] == w[1]), "{sums:?}");
+    }
+
+    #[test]
+    fn ref_is_longer_than_test() {
+        let b = benchmark("astar").unwrap();
+        for (w, budget) in [(Workload::Test, 80_000_000u64), (Workload::Ref, 200_000_000)] {
+            let src = source(b, w);
+            let image = build_arm_image(&src, &Options::o2()).unwrap();
+            let mut m = ldbt_arm::ArmMachine::new();
+            image.load_into(&mut m.state.mem);
+            m.state.regs[15] = image.entry;
+            assert_eq!(m.run(budget), ldbt_arm::ArmStop::Halt, "{w:?}");
+            if w == Workload::Test {
+                assert!(m.steps < 3_000_000, "test workload too heavy: {}", m.steps);
+            } else {
+                assert!(m.steps > 100_000, "ref workload too light: {}", m.steps);
+            }
+        }
+    }
+}

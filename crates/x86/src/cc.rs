@@ -1,0 +1,203 @@
+//! x86 condition codes (`jcc`/`setcc` predicates).
+
+use crate::flags::EFlags;
+use std::fmt;
+
+/// An x86 condition code over the modeled EFLAGS subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Cc {
+    /// Overflow (`OF`).
+    O,
+    /// No overflow.
+    No,
+    /// Below — unsigned `<` (`CF`).
+    B,
+    /// Above or equal — unsigned `>=`.
+    Ae,
+    /// Equal (`ZF`).
+    E,
+    /// Not equal.
+    Ne,
+    /// Below or equal — unsigned `<=` (`CF || ZF`).
+    Be,
+    /// Above — unsigned `>`.
+    A,
+    /// Sign (`SF`).
+    S,
+    /// No sign.
+    Ns,
+    /// Less — signed `<` (`SF != OF`).
+    L,
+    /// Greater or equal — signed `>=`.
+    Ge,
+    /// Less or equal — signed `<=`.
+    Le,
+    /// Greater — signed `>`.
+    G,
+}
+
+impl Cc {
+    /// All condition codes in encoding order (low nibble of `0F 8x`).
+    pub const ALL: [Cc; 14] = [
+        Cc::O,
+        Cc::No,
+        Cc::B,
+        Cc::Ae,
+        Cc::E,
+        Cc::Ne,
+        Cc::Be,
+        Cc::A,
+        Cc::S,
+        Cc::Ns,
+        Cc::L,
+        Cc::Ge,
+        Cc::Le,
+        Cc::G,
+    ];
+
+    /// The IA-32 condition nibble (as in `jcc rel32` = `0F 80+cc`).
+    pub fn encoding(self) -> u8 {
+        match self {
+            Cc::O => 0x0,
+            Cc::No => 0x1,
+            Cc::B => 0x2,
+            Cc::Ae => 0x3,
+            Cc::E => 0x4,
+            Cc::Ne => 0x5,
+            Cc::Be => 0x6,
+            Cc::A => 0x7,
+            Cc::S => 0x8,
+            Cc::Ns => 0x9,
+            Cc::L => 0xc,
+            Cc::Ge => 0xd,
+            Cc::Le => 0xe,
+            Cc::G => 0xf,
+        }
+    }
+
+    /// The condition with the given nibble (0xa/0xb — `P`/`NP` — are not
+    /// modeled).
+    pub fn from_encoding(nibble: u8) -> Option<Cc> {
+        Cc::ALL.iter().copied().find(|c| c.encoding() == nibble)
+    }
+
+    /// Evaluate against a flag state.
+    pub fn eval(self, f: EFlags) -> bool {
+        match self {
+            Cc::O => f.of,
+            Cc::No => !f.of,
+            Cc::B => f.cf,
+            Cc::Ae => !f.cf,
+            Cc::E => f.zf,
+            Cc::Ne => !f.zf,
+            Cc::Be => f.cf || f.zf,
+            Cc::A => !f.cf && !f.zf,
+            Cc::S => f.sf,
+            Cc::Ns => !f.sf,
+            Cc::L => f.sf != f.of,
+            Cc::Ge => f.sf == f.of,
+            Cc::Le => f.zf || f.sf != f.of,
+            Cc::G => !f.zf && f.sf == f.of,
+        }
+    }
+
+    /// The logical negation.
+    pub fn invert(self) -> Cc {
+        match self {
+            Cc::O => Cc::No,
+            Cc::No => Cc::O,
+            Cc::B => Cc::Ae,
+            Cc::Ae => Cc::B,
+            Cc::E => Cc::Ne,
+            Cc::Ne => Cc::E,
+            Cc::Be => Cc::A,
+            Cc::A => Cc::Be,
+            Cc::S => Cc::Ns,
+            Cc::Ns => Cc::S,
+            Cc::L => Cc::Ge,
+            Cc::Ge => Cc::L,
+            Cc::Le => Cc::G,
+            Cc::G => Cc::Le,
+        }
+    }
+
+    /// The mnemonic suffix (`e`, `ne`, `b`, …).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cc::O => "o",
+            Cc::No => "no",
+            Cc::B => "b",
+            Cc::Ae => "ae",
+            Cc::E => "e",
+            Cc::Ne => "ne",
+            Cc::Be => "be",
+            Cc::A => "a",
+            Cc::S => "s",
+            Cc::Ns => "ns",
+            Cc::L => "l",
+            Cc::Ge => "ge",
+            Cc::Le => "le",
+            Cc::G => "g",
+        }
+    }
+}
+
+impl fmt::Display for Cc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_flag_states() -> impl Iterator<Item = EFlags> {
+        (0..16u32).map(|b| EFlags {
+            cf: b & 1 != 0,
+            zf: b & 2 != 0,
+            sf: b & 4 != 0,
+            of: b & 8 != 0,
+        })
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        for c in Cc::ALL {
+            assert_eq!(Cc::from_encoding(c.encoding()), Some(c));
+        }
+        assert_eq!(Cc::from_encoding(0xa), None); // parity not modeled
+    }
+
+    #[test]
+    fn invert_complements() {
+        for c in Cc::ALL {
+            assert_eq!(c.invert().invert(), c);
+            for f in all_flag_states() {
+                assert_eq!(c.eval(f), !c.invert().eval(f));
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons_after_cmp() {
+        // Emulate `cmpl b, a` (AT&T: computes a - b) and check predicates.
+        for (a, b) in [(5i32, 3i32), (3, 5), (-2, 3), (3, -2), (7, 7), (i32::MIN, 1)] {
+            let (au, bu) = (a as u32, b as u32);
+            let r = au.wrapping_sub(bu);
+            let f = EFlags {
+                cf: (au as u64) < (bu as u64),
+                zf: r == 0,
+                sf: (r >> 31) != 0,
+                of: ldbt_isa::bits::sub_overflow32(au, bu),
+            };
+            assert_eq!(Cc::E.eval(f), a == b);
+            assert_eq!(Cc::L.eval(f), a < b);
+            assert_eq!(Cc::G.eval(f), a > b);
+            assert_eq!(Cc::B.eval(f), au < bu);
+            assert_eq!(Cc::A.eval(f), au > bu);
+            assert_eq!(Cc::Ae.eval(f), au >= bu);
+        }
+    }
+}

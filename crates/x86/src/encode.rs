@@ -1,0 +1,946 @@
+//! Variable-length binary encoding/decoding for the x86 subset.
+//!
+//! Real IA-32 opcodes, ModRM/SIB addressing bytes, and disp8/disp32
+//! compression are used. The encoder enforces the architectural
+//! constraints paper §5 calls "host ISA specific constraints":
+//!
+//! * SIB scale must be 1, 2, 4 or 8,
+//! * `%esp` can never be an index register,
+//! * byte-register forms (`setcc`, `movb`, 8-bit `movzx` from a register)
+//!   require a byte-addressable register (`%eax`–`%ebx`).
+//!
+//! Control-flow note: in [`X86Instr`] branch targets are
+//! *instruction-relative*. [`assemble`] lays out a sequence and converts
+//! them to byte displacements; [`disassemble`] converts back. The
+//! low-level [`encode`]/[`decode`] pair treats the target field as a raw
+//! byte displacement and is primarily used by those two.
+
+use crate::cc::Cc;
+use crate::insn::{AluOp, Operand, ShiftOp, UnOp, X86Instr, X86Mem};
+use crate::reg::Gpr;
+use ldbt_isa::Width;
+use std::fmt;
+
+/// Error produced when an instruction cannot be encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeX86Error {
+    /// SIB scale not in {1, 2, 4, 8}.
+    BadScale(u8),
+    /// `%esp` used as an index register.
+    EspIndex,
+    /// A byte-register form used a register without a low byte.
+    NotByteAddressable(Gpr),
+    /// Memory-to-memory operand combination.
+    TwoMemoryOperands,
+    /// Operand combination not representable (e.g. immediate destination).
+    BadOperands(&'static str),
+    /// Shift count outside 1–31.
+    BadShiftCount(u8),
+    /// A branch target that does not fit in rel32 after layout.
+    BranchLayout,
+}
+
+impl fmt::Display for EncodeX86Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeX86Error::BadScale(s) => write!(f, "scale {s} not in {{1,2,4,8}}"),
+            EncodeX86Error::EspIndex => write!(f, "%esp cannot be an index register"),
+            EncodeX86Error::NotByteAddressable(r) => {
+                write!(f, "{r} has no byte form")
+            }
+            EncodeX86Error::TwoMemoryOperands => write!(f, "two memory operands"),
+            EncodeX86Error::BadOperands(why) => write!(f, "bad operands: {why}"),
+            EncodeX86Error::BadShiftCount(c) => write!(f, "shift count {c} outside 1..=31"),
+            EncodeX86Error::BranchLayout => write!(f, "branch target out of range"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeX86Error {}
+
+/// Error produced when bytes do not decode to a modeled instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeX86Error {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeX86Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode at +{}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeX86Error {}
+
+fn check_mem(m: &X86Mem) -> Result<(), EncodeX86Error> {
+    if let Some((idx, scale)) = m.index {
+        if !matches!(scale, 1 | 2 | 4 | 8) {
+            return Err(EncodeX86Error::BadScale(scale));
+        }
+        if idx == Gpr::Esp {
+            return Err(EncodeX86Error::EspIndex);
+        }
+    }
+    Ok(())
+}
+
+fn byte_reg(r: Gpr) -> Result<u8, EncodeX86Error> {
+    if r.index() < 4 {
+        Ok(r.index() as u8)
+    } else {
+        Err(EncodeX86Error::NotByteAddressable(r))
+    }
+}
+
+/// Emit a ModRM (+ optional SIB + displacement) for `reg` field `reg` and
+/// an r/m operand that is either a register or memory.
+fn modrm(out: &mut Vec<u8>, reg: u8, rm: &RmOperand) -> Result<(), EncodeX86Error> {
+    match rm {
+        RmOperand::Reg(r) => out.push(0xc0 | reg << 3 | r.index() as u8),
+        RmOperand::Mem(m) => {
+            check_mem(m)?;
+            let scale_bits = |s: u8| match s {
+                1 => 0u8,
+                2 => 1,
+                4 => 2,
+                _ => 3,
+            };
+            let (disp_mode, disp_bytes): (u8, usize) = match (m.base, m.disp) {
+                (None, _) => (0, 4),
+                (Some(Gpr::Ebp), 0) => (1, 1), // (ebp) needs disp8 0
+                (Some(_), 0) => (0, 0),
+                (Some(_), d) if (-128..=127).contains(&d) => (1, 1),
+                (Some(_), _) => (2, 4),
+            };
+            match (m.base, m.index) {
+                (Some(base), None) if base != Gpr::Esp => {
+                    out.push(disp_mode << 6 | reg << 3 | base.index() as u8);
+                }
+                (None, None) => {
+                    // disp32 absolute: mod=00 rm=101.
+                    out.push(reg << 3 | 0b101);
+                }
+                (base, index) => {
+                    // SIB form (also required for base == %esp).
+                    let mode = if base.is_none() { 0 } else { disp_mode };
+                    out.push(mode << 6 | reg << 3 | 0b100);
+                    let ss = index.map(|(_, s)| scale_bits(s)).unwrap_or(0);
+                    let idx = index.map(|(r, _)| r.index() as u8).unwrap_or(0b100);
+                    let b = base.map(|r| r.index() as u8).unwrap_or(0b101);
+                    out.push(ss << 6 | idx << 3 | b);
+                }
+            }
+            let n = if m.base.is_none() { 4 } else { disp_bytes };
+            match n {
+                0 => {}
+                1 => out.push(m.disp as i8 as u8),
+                _ => out.extend_from_slice(&m.disp.to_le_bytes()),
+            }
+        }
+    }
+    Ok(())
+}
+
+enum RmOperand {
+    Reg(Gpr),
+    Mem(X86Mem),
+}
+
+impl RmOperand {
+    fn from_operand(op: &Operand, why: &'static str) -> Result<RmOperand, EncodeX86Error> {
+        match op {
+            Operand::Reg(r) => Ok(RmOperand::Reg(*r)),
+            Operand::Mem(m) => Ok(RmOperand::Mem(*m)),
+            Operand::Imm(_) => Err(EncodeX86Error::BadOperands(why)),
+        }
+    }
+}
+
+fn alu_imm_ext(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Or => 1,
+        AluOp::Adc => 2,
+        AluOp::Sbb => 3,
+        AluOp::And => 4,
+        AluOp::Sub => 5,
+        AluOp::Xor => 6,
+        AluOp::Cmp => 7,
+        AluOp::Test => 0, // separate opcode F7 /0
+    }
+}
+
+fn alu_base(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0x00,
+        AluOp::Or => 0x08,
+        AluOp::Adc => 0x10,
+        AluOp::Sbb => 0x18,
+        AluOp::And => 0x20,
+        AluOp::Sub => 0x28,
+        AluOp::Xor => 0x30,
+        AluOp::Cmp => 0x38,
+        AluOp::Test => 0x84,
+    }
+}
+
+/// Encode one instruction to bytes.
+///
+/// For `Jcc`/`Jmp`/`Call` the `target` field is emitted verbatim as the
+/// rel32 byte displacement — use [`assemble`] for instruction-relative
+/// sequences.
+///
+/// # Errors
+///
+/// Returns an [`EncodeX86Error`] for operand combinations or values that
+/// IA-32 cannot represent.
+pub fn encode(instr: &X86Instr) -> Result<Vec<u8>, EncodeX86Error> {
+    let mut out = Vec::with_capacity(6);
+    match *instr {
+        X86Instr::Mov { dst, src } => match (dst, src) {
+            (Operand::Reg(d), Operand::Imm(v)) => {
+                out.push(0xb8 + d.index() as u8);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            (Operand::Mem(m), Operand::Imm(v)) => {
+                out.push(0xc7);
+                modrm(&mut out, 0, &RmOperand::Mem(m))?;
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            (Operand::Reg(d), Operand::Mem(m)) => {
+                out.push(0x8b);
+                modrm(&mut out, d.index() as u8, &RmOperand::Mem(m))?;
+            }
+            (rm, Operand::Reg(s)) => {
+                out.push(0x89);
+                modrm(&mut out, s.index() as u8, &RmOperand::from_operand(&rm, "mov dst")?)?;
+            }
+            (Operand::Mem(_), Operand::Mem(_)) => return Err(EncodeX86Error::TwoMemoryOperands),
+            _ => return Err(EncodeX86Error::BadOperands("mov")),
+        },
+        X86Instr::Alu { op, dst, src } => match (dst, src) {
+            (Operand::Mem(_), Operand::Mem(_)) => return Err(EncodeX86Error::TwoMemoryOperands),
+            (Operand::Imm(_), _) => return Err(EncodeX86Error::BadOperands("imm dst")),
+            (rm, Operand::Imm(v)) => {
+                if op == AluOp::Test {
+                    out.push(0xf7);
+                    modrm(&mut out, 0, &RmOperand::from_operand(&rm, "test dst")?)?;
+                } else {
+                    out.push(0x81);
+                    modrm(
+                        &mut out,
+                        alu_imm_ext(op),
+                        &RmOperand::from_operand(&rm, "alu dst")?,
+                    )?;
+                }
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            (rm, Operand::Reg(s)) => {
+                // op r/m32, r32 form (base+1, or 0x85 for test).
+                let opc = if op == AluOp::Test { 0x85 } else { alu_base(op) + 1 };
+                out.push(opc);
+                modrm(&mut out, s.index() as u8, &RmOperand::from_operand(&rm, "alu dst")?)?;
+            }
+            (Operand::Reg(d), Operand::Mem(m)) => {
+                if op == AluOp::Test {
+                    // test has no r32, r/m32 form; operands commute.
+                    out.push(0x85);
+                    modrm(&mut out, d.index() as u8, &RmOperand::Mem(m))?;
+                } else {
+                    out.push(alu_base(op) + 3);
+                    modrm(&mut out, d.index() as u8, &RmOperand::Mem(m))?;
+                }
+            }
+        },
+        X86Instr::Lea { dst, addr } => {
+            out.push(0x8d);
+            modrm(&mut out, dst.index() as u8, &RmOperand::Mem(addr))?;
+        }
+        X86Instr::Imul { dst, src } => {
+            out.extend_from_slice(&[0x0f, 0xaf]);
+            modrm(&mut out, dst.index() as u8, &RmOperand::from_operand(&src, "imul src")?)?;
+        }
+        X86Instr::Shift { op, dst, count } => {
+            if count == 0 || count > 31 {
+                return Err(EncodeX86Error::BadShiftCount(count));
+            }
+            out.push(0xc1);
+            let ext = match op {
+                ShiftOp::Shl => 4,
+                ShiftOp::Shr => 5,
+                ShiftOp::Sar => 7,
+            };
+            modrm(&mut out, ext, &RmOperand::from_operand(&dst, "shift dst")?)?;
+            out.push(count);
+        }
+        X86Instr::Un { op, dst } => {
+            let (opc, ext) = match op {
+                UnOp::Not => (0xf7, 2),
+                UnOp::Neg => (0xf7, 3),
+                UnOp::Inc => (0xff, 0),
+                UnOp::Dec => (0xff, 1),
+            };
+            out.push(opc);
+            modrm(&mut out, ext, &RmOperand::from_operand(&dst, "unary dst")?)?;
+        }
+        X86Instr::Movx { sign, width, dst, src } => {
+            let opc = match (sign, width) {
+                (false, Width::W8) => 0xb6,
+                (false, Width::W16) => 0xb7,
+                (true, Width::W8) => 0xbe,
+                (true, Width::W16) => 0xbf,
+                _ => return Err(EncodeX86Error::BadOperands("movx width")),
+            };
+            if width == Width::W8 {
+                if let Operand::Reg(r) = src {
+                    byte_reg(r)?;
+                }
+            }
+            out.extend_from_slice(&[0x0f, opc]);
+            modrm(&mut out, dst.index() as u8, &RmOperand::from_operand(&src, "movx src")?)?;
+        }
+        X86Instr::MovStore { width, src, dst } => match width {
+            Width::W8 => {
+                let r = byte_reg(src)?;
+                out.push(0x88);
+                modrm(&mut out, r, &RmOperand::Mem(dst))?;
+            }
+            Width::W16 => {
+                out.extend_from_slice(&[0x66, 0x89]);
+                modrm(&mut out, src.index() as u8, &RmOperand::Mem(dst))?;
+            }
+            Width::W32 => return Err(EncodeX86Error::BadOperands("movstore width")),
+        },
+        X86Instr::Setcc { cc, dst } => {
+            let r = byte_reg(dst)?;
+            out.extend_from_slice(&[0x0f, 0x90 + cc.encoding()]);
+            out.push(0xc0 | r);
+        }
+        X86Instr::Jcc { cc, target } => {
+            out.extend_from_slice(&[0x0f, 0x80 + cc.encoding()]);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        X86Instr::Jmp { target } => {
+            out.push(0xe9);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        X86Instr::JmpInd { src } => {
+            out.push(0xff);
+            modrm(&mut out, 4, &RmOperand::from_operand(&src, "jmp*")?)?;
+        }
+        X86Instr::Call { target } => {
+            out.push(0xe8);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        X86Instr::Ret => out.push(0xc3),
+        X86Instr::Push { src } => match src {
+            Operand::Reg(r) => out.push(0x50 + r.index() as u8),
+            Operand::Imm(v) => {
+                out.push(0x68);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Operand::Mem(m) => {
+                out.push(0xff);
+                modrm(&mut out, 6, &RmOperand::Mem(m))?;
+            }
+        },
+        X86Instr::Pop { dst } => match dst {
+            Operand::Reg(r) => out.push(0x58 + r.index() as u8),
+            Operand::Mem(m) => {
+                out.push(0x8f);
+                modrm(&mut out, 0, &RmOperand::Mem(m))?;
+            }
+            Operand::Imm(_) => return Err(EncodeX86Error::BadOperands("pop imm")),
+        },
+        X86Instr::Pushfd => out.push(0x9c),
+        X86Instr::Popfd => out.push(0x9d),
+        X86Instr::Halt => out.push(0xf4),
+    }
+    Ok(out)
+}
+
+/// A byte-stream reader for decoding.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeX86Error> {
+        let b = self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .ok_or(DecodeX86Error { offset: self.pos, reason: "truncated" })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeX86Error> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeX86Error> {
+        let mut buf = [0u8; 4];
+        for b in &mut buf {
+            *b = self.u8()?;
+        }
+        Ok(i32::from_le_bytes(buf))
+    }
+
+    fn err(&self, reason: &'static str) -> DecodeX86Error {
+        DecodeX86Error { offset: self.pos, reason }
+    }
+}
+
+/// Decode a ModRM-addressed operand; returns (reg field, r/m operand).
+fn decode_modrm(r: &mut Reader) -> Result<(u8, Operand), DecodeX86Error> {
+    let modrm = r.u8()?;
+    let mode = modrm >> 6;
+    let reg = (modrm >> 3) & 7;
+    let rm = modrm & 7;
+    if mode == 3 {
+        return Ok((reg, Operand::Reg(Gpr::from_index(rm as usize))));
+    }
+    let mut base = None;
+    let mut index = None;
+    if rm == 0b100 {
+        let sib = r.u8()?;
+        let ss = sib >> 6;
+        let idx = (sib >> 3) & 7;
+        let b = sib & 7;
+        if idx != 0b100 {
+            index = Some((Gpr::from_index(idx as usize), 1u8 << ss));
+        }
+        if !(b == 0b101 && mode == 0) {
+            base = Some(Gpr::from_index(b as usize));
+        }
+    } else if !(rm == 0b101 && mode == 0) {
+        base = Some(Gpr::from_index(rm as usize));
+    }
+    let disp = match (mode, base) {
+        (0, None) => r.i32()?,
+        (0, Some(_)) => 0,
+        (1, _) => r.i8()? as i32,
+        (2, _) => r.i32()?,
+        _ => unreachable!(),
+    };
+    Ok((reg, Operand::Mem(X86Mem { base, index, disp })))
+}
+
+/// Decode one instruction from the front of `bytes`.
+///
+/// Returns the instruction and the number of bytes consumed. Branch
+/// targets come back as raw byte displacements (see [`disassemble`]).
+///
+/// # Errors
+///
+/// Returns a [`DecodeX86Error`] for unmodeled or truncated encodings.
+pub fn decode(bytes: &[u8]) -> Result<(X86Instr, usize), DecodeX86Error> {
+    let mut r = Reader { bytes, pos: 0 };
+    let opc = r.u8()?;
+    let instr = match opc {
+        0x50..=0x57 => X86Instr::Push { src: Operand::Reg(Gpr::from_index((opc - 0x50) as usize)) },
+        0x58..=0x5f => X86Instr::Pop { dst: Operand::Reg(Gpr::from_index((opc - 0x58) as usize)) },
+        0xb8..=0xbf => X86Instr::Mov {
+            dst: Operand::Reg(Gpr::from_index((opc - 0xb8) as usize)),
+            src: Operand::Imm(r.i32()?),
+        },
+        0x89 => {
+            let (reg, rm) = decode_modrm(&mut r)?;
+            X86Instr::Mov { dst: rm, src: Operand::Reg(Gpr::from_index(reg as usize)) }
+        }
+        0x8b => {
+            let (reg, rm) = decode_modrm(&mut r)?;
+            if !rm.is_mem() {
+                return Err(r.err("mov 8b expects memory source"));
+            }
+            X86Instr::Mov { dst: Operand::Reg(Gpr::from_index(reg as usize)), src: rm }
+        }
+        0xc7 => {
+            let (ext, rm) = decode_modrm(&mut r)?;
+            if ext != 0 || !rm.is_mem() {
+                return Err(r.err("c7 /0 expects memory"));
+            }
+            X86Instr::Mov { dst: rm, src: Operand::Imm(r.i32()?) }
+        }
+        0x01 | 0x09 | 0x11 | 0x19 | 0x21 | 0x29 | 0x31 | 0x39 => {
+            let op = match opc {
+                0x01 => AluOp::Add,
+                0x09 => AluOp::Or,
+                0x11 => AluOp::Adc,
+                0x19 => AluOp::Sbb,
+                0x21 => AluOp::And,
+                0x29 => AluOp::Sub,
+                0x31 => AluOp::Xor,
+                _ => AluOp::Cmp,
+            };
+            let (reg, rm) = decode_modrm(&mut r)?;
+            X86Instr::Alu { op, dst: rm, src: Operand::Reg(Gpr::from_index(reg as usize)) }
+        }
+        0x03 | 0x0b | 0x13 | 0x1b | 0x23 | 0x2b | 0x33 | 0x3b => {
+            let op = match opc {
+                0x03 => AluOp::Add,
+                0x0b => AluOp::Or,
+                0x13 => AluOp::Adc,
+                0x1b => AluOp::Sbb,
+                0x23 => AluOp::And,
+                0x2b => AluOp::Sub,
+                0x33 => AluOp::Xor,
+                _ => AluOp::Cmp,
+            };
+            let (reg, rm) = decode_modrm(&mut r)?;
+            if !rm.is_mem() {
+                return Err(r.err("r32, r/m32 form expects memory"));
+            }
+            X86Instr::Alu { op, dst: Operand::Reg(Gpr::from_index(reg as usize)), src: rm }
+        }
+        0x85 => {
+            let (reg, rm) = decode_modrm(&mut r)?;
+            X86Instr::Alu { op: AluOp::Test, dst: rm, src: Operand::Reg(Gpr::from_index(reg as usize)) }
+        }
+        0x81 => {
+            let (ext, rm) = decode_modrm(&mut r)?;
+            let op = match ext {
+                0 => AluOp::Add,
+                1 => AluOp::Or,
+                2 => AluOp::Adc,
+                3 => AluOp::Sbb,
+                4 => AluOp::And,
+                5 => AluOp::Sub,
+                6 => AluOp::Xor,
+                _ => AluOp::Cmp,
+            };
+            X86Instr::Alu { op, dst: rm, src: Operand::Imm(r.i32()?) }
+        }
+        0x8d => {
+            let (reg, rm) = decode_modrm(&mut r)?;
+            let Operand::Mem(m) = rm else {
+                return Err(r.err("lea expects memory"));
+            };
+            X86Instr::Lea { dst: Gpr::from_index(reg as usize), addr: m }
+        }
+        0xc1 => {
+            let (ext, rm) = decode_modrm(&mut r)?;
+            let op = match ext {
+                4 => ShiftOp::Shl,
+                5 => ShiftOp::Shr,
+                7 => ShiftOp::Sar,
+                _ => return Err(r.err("unmodeled shift extension")),
+            };
+            let count = r.u8()?;
+            X86Instr::Shift { op, dst: rm, count }
+        }
+        0xf7 => {
+            let (ext, rm) = decode_modrm(&mut r)?;
+            match ext {
+                0 => X86Instr::Alu { op: AluOp::Test, dst: rm, src: Operand::Imm(r.i32()?) },
+                2 => X86Instr::Un { op: UnOp::Not, dst: rm },
+                3 => X86Instr::Un { op: UnOp::Neg, dst: rm },
+                _ => return Err(r.err("unmodeled f7 extension")),
+            }
+        }
+        0xff => {
+            let (ext, rm) = decode_modrm(&mut r)?;
+            match ext {
+                0 => X86Instr::Un { op: UnOp::Inc, dst: rm },
+                1 => X86Instr::Un { op: UnOp::Dec, dst: rm },
+                4 => X86Instr::JmpInd { src: rm },
+                6 => {
+                    if !rm.is_mem() {
+                        return Err(r.err("push ff /6 expects memory"));
+                    }
+                    X86Instr::Push { src: rm }
+                }
+                _ => return Err(r.err("unmodeled ff extension")),
+            }
+        }
+        0x8f => {
+            let (ext, rm) = decode_modrm(&mut r)?;
+            if ext != 0 || !rm.is_mem() {
+                return Err(r.err("pop 8f /0 expects memory"));
+            }
+            X86Instr::Pop { dst: rm }
+        }
+        0x88 => {
+            let (reg, rm) = decode_modrm(&mut r)?;
+            let Operand::Mem(m) = rm else {
+                return Err(r.err("movb expects memory destination"));
+            };
+            if reg >= 4 {
+                return Err(r.err("movb requires byte register"));
+            }
+            X86Instr::MovStore { width: Width::W8, src: Gpr::from_index(reg as usize), dst: m }
+        }
+        0x66 => {
+            let next = r.u8()?;
+            if next != 0x89 {
+                return Err(r.err("unmodeled 66-prefixed opcode"));
+            }
+            let (reg, rm) = decode_modrm(&mut r)?;
+            let Operand::Mem(m) = rm else {
+                return Err(r.err("movw expects memory destination"));
+            };
+            X86Instr::MovStore { width: Width::W16, src: Gpr::from_index(reg as usize), dst: m }
+        }
+        0xe9 => X86Instr::Jmp { target: r.i32()? },
+        0xe8 => X86Instr::Call { target: r.i32()? },
+        0xc3 => X86Instr::Ret,
+        0x68 => X86Instr::Push { src: Operand::Imm(r.i32()?) },
+        0x9c => X86Instr::Pushfd,
+        0x9d => X86Instr::Popfd,
+        0xf4 => X86Instr::Halt,
+        0x0f => {
+            let op2 = r.u8()?;
+            match op2 {
+                0xaf => {
+                    let (reg, rm) = decode_modrm(&mut r)?;
+                    X86Instr::Imul { dst: Gpr::from_index(reg as usize), src: rm }
+                }
+                0xb6 | 0xb7 | 0xbe | 0xbf => {
+                    let (reg, rm) = decode_modrm(&mut r)?;
+                    let (sign, width) = match op2 {
+                        0xb6 => (false, Width::W8),
+                        0xb7 => (false, Width::W16),
+                        0xbe => (true, Width::W8),
+                        _ => (true, Width::W16),
+                    };
+                    X86Instr::Movx { sign, width, dst: Gpr::from_index(reg as usize), src: rm }
+                }
+                0x80..=0x8f => {
+                    let Some(cc) = Cc::from_encoding(op2 - 0x80) else {
+                        return Err(r.err("parity condition not modeled"));
+                    };
+                    X86Instr::Jcc { cc, target: r.i32()? }
+                }
+                0x90..=0x9f => {
+                    let Some(cc) = Cc::from_encoding(op2 - 0x90) else {
+                        return Err(r.err("parity condition not modeled"));
+                    };
+                    let modrm = r.u8()?;
+                    if modrm >> 6 != 3 {
+                        return Err(r.err("setcc to memory not modeled"));
+                    }
+                    let rm = modrm & 7;
+                    if rm >= 4 {
+                        return Err(r.err("setcc requires byte register"));
+                    }
+                    X86Instr::Setcc { cc, dst: Gpr::from_index(rm as usize) }
+                }
+                _ => return Err(r.err("unmodeled 0f opcode")),
+            }
+        }
+        _ => return Err(r.err("unmodeled opcode")),
+    };
+    Ok((instr, r.pos))
+}
+
+/// Assemble an instruction sequence, converting instruction-relative
+/// branch targets to byte displacements.
+///
+/// # Errors
+///
+/// Propagates encoding errors; returns [`EncodeX86Error::BranchLayout`]
+/// if a target points outside the sequence.
+pub fn assemble(instrs: &[X86Instr]) -> Result<Vec<u8>, EncodeX86Error> {
+    // First pass: lengths with placeholder displacements.
+    let mut offsets = Vec::with_capacity(instrs.len() + 1);
+    let mut pos = 0usize;
+    for i in instrs {
+        offsets.push(pos);
+        pos += encode(i)?.len();
+    }
+    offsets.push(pos);
+    // Second pass: emit with real displacements.
+    let mut out = Vec::with_capacity(pos);
+    for (idx, i) in instrs.iter().enumerate() {
+        let patched = match *i {
+            X86Instr::Jcc { cc, target } => {
+                X86Instr::Jcc { cc, target: byte_disp(&offsets, idx, target)? }
+            }
+            X86Instr::Jmp { target } => X86Instr::Jmp { target: byte_disp(&offsets, idx, target)? },
+            X86Instr::Call { target } => {
+                X86Instr::Call { target: byte_disp(&offsets, idx, target)? }
+            }
+            other => other,
+        };
+        out.extend_from_slice(&encode(&patched)?);
+    }
+    Ok(out)
+}
+
+fn byte_disp(offsets: &[usize], idx: usize, target: i32) -> Result<i32, EncodeX86Error> {
+    let dest = (idx as i64) + 1 + (target as i64);
+    if dest < 0 || dest as usize >= offsets.len() {
+        return Err(EncodeX86Error::BranchLayout);
+    }
+    Ok((offsets[dest as usize] as i64 - offsets[idx + 1] as i64) as i32)
+}
+
+/// Disassemble a byte stream produced by [`assemble`], converting byte
+/// displacements back to instruction-relative targets.
+///
+/// # Errors
+///
+/// Returns a [`DecodeX86Error`] on unmodeled bytes or a displacement
+/// that does not land on an instruction boundary.
+pub fn disassemble(bytes: &[u8]) -> Result<Vec<X86Instr>, DecodeX86Error> {
+    let mut instrs = Vec::new();
+    let mut starts = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let (i, len) = decode(&bytes[pos..]).map_err(|e| DecodeX86Error {
+            offset: pos + e.offset,
+            reason: e.reason,
+        })?;
+        starts.push(pos);
+        instrs.push(i);
+        pos += len;
+    }
+    starts.push(pos);
+    // Convert byte displacements to instruction counts.
+    let index_of = |byte: i64, pos: usize| -> Result<i32, DecodeX86Error> {
+        starts
+            .iter()
+            .position(|&s| s as i64 == byte)
+            .map(|i| i as i32)
+            .ok_or(DecodeX86Error { offset: pos, reason: "branch into middle of instruction" })
+    };
+    for idx in 0..instrs.len() {
+        let next_byte = starts[idx + 1] as i64;
+        let fix = |target: i32, pos: usize| -> Result<i32, DecodeX86Error> {
+            let dest_idx = index_of(next_byte + target as i64, pos)?;
+            Ok(dest_idx - (idx as i32 + 1))
+        };
+        match instrs[idx] {
+            X86Instr::Jcc { cc, target } => {
+                instrs[idx] = X86Instr::Jcc { cc, target: fix(target, starts[idx])? }
+            }
+            X86Instr::Jmp { target } => {
+                instrs[idx] = X86Instr::Jmp { target: fix(target, starts[idx])? }
+            }
+            X86Instr::Call { target } => {
+                instrs[idx] = X86Instr::Call { target: fix(target, starts[idx])? }
+            }
+            _ => {}
+        }
+    }
+    Ok(instrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: X86Instr) {
+        let bytes = encode(&i).unwrap();
+        let (decoded, len) = decode(&bytes).unwrap();
+        assert_eq!(decoded, i, "bytes {bytes:02x?}");
+        assert_eq!(len, bytes.len());
+    }
+
+    #[test]
+    fn roundtrip_mov_forms() {
+        roundtrip(X86Instr::mov_imm(Gpr::Edi, -1));
+        roundtrip(X86Instr::mov_rr(Gpr::Eax, Gpr::Ebp));
+        roundtrip(X86Instr::Mov {
+            dst: Operand::Reg(Gpr::Eax),
+            src: Operand::Mem(X86Mem::base(Gpr::Edi)),
+        });
+        roundtrip(X86Instr::Mov {
+            dst: Operand::Mem(X86Mem::base_disp(Gpr::Esi, 0x34)),
+            src: Operand::Reg(Gpr::Eax),
+        });
+        roundtrip(X86Instr::Mov {
+            dst: Operand::Mem(X86Mem { base: Some(Gpr::Ecx), index: Some((Gpr::Eax, 4)), disp: -4 }),
+            src: Operand::Imm(42),
+        });
+    }
+
+    #[test]
+    fn roundtrip_alu_forms() {
+        for op in AluOp::ALL {
+            roundtrip(X86Instr::alu_rr(op, Gpr::Edx, Gpr::Eax));
+            roundtrip(X86Instr::alu_ri(op, Gpr::Ecx, -100));
+            roundtrip(X86Instr::Alu {
+                op,
+                dst: Operand::Mem(X86Mem::base_disp(Gpr::Ebp, -8)),
+                src: Operand::Reg(Gpr::Eax),
+            });
+            if op != AluOp::Test {
+                roundtrip(X86Instr::Alu {
+                    op,
+                    dst: Operand::Reg(Gpr::Eax),
+                    src: Operand::Mem(X86Mem::base_disp(Gpr::Ebp, 300)),
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_addressing_modes() {
+        let mems = [
+            X86Mem::base(Gpr::Eax),
+            X86Mem::base(Gpr::Esp),  // needs SIB
+            X86Mem::base(Gpr::Ebp),  // needs disp8
+            X86Mem::base_disp(Gpr::Ecx, 127),
+            X86Mem::base_disp(Gpr::Ecx, -128),
+            X86Mem::base_disp(Gpr::Ecx, 128),
+            X86Mem::absolute(0x1000),
+            X86Mem { base: None, index: Some((Gpr::Eax, 4)), disp: 0x20 },
+            X86Mem { base: Some(Gpr::Ebx), index: Some((Gpr::Esi, 8)), disp: -4 },
+            X86Mem { base: Some(Gpr::Ebp), index: Some((Gpr::Edi, 1)), disp: 0 },
+            X86Mem { base: Some(Gpr::Esp), index: Some((Gpr::Ecx, 2)), disp: 12 },
+        ];
+        for m in mems {
+            roundtrip(X86Instr::Lea { dst: Gpr::Edx, addr: m });
+            roundtrip(X86Instr::Mov { dst: Operand::Reg(Gpr::Eax), src: Operand::Mem(m) });
+        }
+    }
+
+    #[test]
+    fn roundtrip_misc() {
+        roundtrip(X86Instr::Imul { dst: Gpr::Eax, src: Operand::Reg(Gpr::Ecx) });
+        roundtrip(X86Instr::Imul { dst: Gpr::Eax, src: Operand::Mem(X86Mem::base(Gpr::Edi)) });
+        roundtrip(X86Instr::Shift { op: ShiftOp::Shl, dst: Operand::Reg(Gpr::Eax), count: 2 });
+        roundtrip(X86Instr::Shift { op: ShiftOp::Sar, dst: Operand::Reg(Gpr::Ebx), count: 31 });
+        for op in [UnOp::Neg, UnOp::Not, UnOp::Inc, UnOp::Dec] {
+            roundtrip(X86Instr::Un { op, dst: Operand::Reg(Gpr::Esi) });
+            roundtrip(X86Instr::Un { op, dst: Operand::Mem(X86Mem::base(Gpr::Eax)) });
+        }
+        roundtrip(X86Instr::Movx {
+            sign: false,
+            width: Width::W8,
+            dst: Gpr::Eax,
+            src: Operand::Reg(Gpr::Eax),
+        });
+        roundtrip(X86Instr::Movx {
+            sign: true,
+            width: Width::W16,
+            dst: Gpr::Edi,
+            src: Operand::Mem(X86Mem::base(Gpr::Ecx)),
+        });
+        roundtrip(X86Instr::MovStore { width: Width::W8, src: Gpr::Ecx, dst: X86Mem::base(Gpr::Edi) });
+        roundtrip(X86Instr::MovStore { width: Width::W16, src: Gpr::Esi, dst: X86Mem::base(Gpr::Edi) });
+        for cc in Cc::ALL {
+            roundtrip(X86Instr::Setcc { cc, dst: Gpr::Edx });
+            roundtrip(X86Instr::Jcc { cc, target: -77 });
+        }
+        roundtrip(X86Instr::Jmp { target: 1234 });
+        roundtrip(X86Instr::JmpInd { src: Operand::Reg(Gpr::Eax) });
+        roundtrip(X86Instr::JmpInd { src: Operand::Mem(X86Mem::base_disp(Gpr::Ebx, 4)) });
+        roundtrip(X86Instr::Call { target: -1 });
+        roundtrip(X86Instr::Ret);
+        roundtrip(X86Instr::Push { src: Operand::Reg(Gpr::Ebp) });
+        roundtrip(X86Instr::Push { src: Operand::Imm(7) });
+        roundtrip(X86Instr::Push { src: Operand::Mem(X86Mem::base(Gpr::Eax)) });
+        roundtrip(X86Instr::Pop { dst: Operand::Reg(Gpr::Ebp) });
+        roundtrip(X86Instr::Pop { dst: Operand::Mem(X86Mem::base(Gpr::Eax)) });
+        roundtrip(X86Instr::Pushfd);
+        roundtrip(X86Instr::Popfd);
+        roundtrip(X86Instr::Halt);
+    }
+
+    #[test]
+    fn constraint_errors() {
+        let bad_scale = X86Mem { base: Some(Gpr::Eax), index: Some((Gpr::Ecx, 3)), disp: 0 };
+        assert_eq!(
+            encode(&X86Instr::Lea { dst: Gpr::Eax, addr: bad_scale }),
+            Err(EncodeX86Error::BadScale(3))
+        );
+        let esp_index = X86Mem { base: Some(Gpr::Eax), index: Some((Gpr::Esp, 1)), disp: 0 };
+        assert_eq!(
+            encode(&X86Instr::Lea { dst: Gpr::Eax, addr: esp_index }),
+            Err(EncodeX86Error::EspIndex)
+        );
+        assert_eq!(
+            encode(&X86Instr::Setcc { cc: Cc::E, dst: Gpr::Esi }),
+            Err(EncodeX86Error::NotByteAddressable(Gpr::Esi))
+        );
+        assert_eq!(
+            encode(&X86Instr::Mov {
+                dst: Operand::Mem(X86Mem::base(Gpr::Eax)),
+                src: Operand::Mem(X86Mem::base(Gpr::Ecx)),
+            }),
+            Err(EncodeX86Error::TwoMemoryOperands)
+        );
+        assert_eq!(
+            encode(&X86Instr::Shift { op: ShiftOp::Shl, dst: Operand::Reg(Gpr::Eax), count: 0 }),
+            Err(EncodeX86Error::BadShiftCount(0))
+        );
+    }
+
+    #[test]
+    fn disp8_compression() {
+        let small = encode(&X86Instr::Mov {
+            dst: Operand::Reg(Gpr::Eax),
+            src: Operand::Mem(X86Mem::base_disp(Gpr::Ecx, 8)),
+        })
+        .unwrap();
+        let large = encode(&X86Instr::Mov {
+            dst: Operand::Reg(Gpr::Eax),
+            src: Operand::Mem(X86Mem::base_disp(Gpr::Ecx, 0x1000)),
+        })
+        .unwrap();
+        assert_eq!(small.len(), 3); // 8b 41 08
+        assert_eq!(large.len(), 6); // 8b 81 + disp32
+    }
+
+    #[test]
+    fn assemble_and_disassemble_branches() {
+        use crate::cc::Cc;
+        let prog = vec![
+            X86Instr::alu_rr(AluOp::Cmp, Gpr::Eax, Gpr::Ecx),
+            X86Instr::Jcc { cc: Cc::E, target: 2 }, // to mov_imm(edx, 2)
+            X86Instr::mov_imm(Gpr::Edx, 1),
+            X86Instr::Jmp { target: 1 }, // to ret
+            X86Instr::mov_imm(Gpr::Edx, 2),
+            X86Instr::Ret,
+        ];
+        let bytes = assemble(&prog).unwrap();
+        let back = disassemble(&bytes).unwrap();
+        assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn assemble_backward_branch() {
+        let prog = vec![
+            X86Instr::Un { op: UnOp::Dec, dst: Operand::Reg(Gpr::Ecx) },
+            X86Instr::Jcc { cc: Cc::Ne, target: -2 }, // back to dec
+            X86Instr::Ret,
+        ];
+        let bytes = assemble(&prog).unwrap();
+        assert_eq!(disassemble(&bytes).unwrap(), prog);
+    }
+
+    #[test]
+    fn assemble_rejects_out_of_range_target() {
+        let prog = vec![X86Instr::Jmp { target: 5 }];
+        assert_eq!(assemble(&prog), Err(EncodeX86Error::BranchLayout));
+    }
+
+    #[test]
+    fn decode_rejects_unmodeled() {
+        assert!(decode(&[0x90]).is_err()); // nop not modeled
+        assert!(decode(&[0x0f, 0x05]).is_err());
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[0x81]).is_err()); // truncated
+    }
+
+    #[test]
+    fn decoded_length_is_consumed_bytes() {
+        // Decode must report exact lengths so disassembly can walk a
+        // stream; verify by concatenating instructions.
+        let a = X86Instr::mov_imm(Gpr::Eax, 7);
+        let b = X86Instr::Ret;
+        let mut bytes = encode(&a).unwrap();
+        bytes.extend(encode(&b).unwrap());
+        let (d1, l1) = decode(&bytes).unwrap();
+        assert_eq!(d1, a);
+        let (d2, _) = decode(&bytes[l1..]).unwrap();
+        assert_eq!(d2, b);
+    }
+}

@@ -1,0 +1,100 @@
+//! The modeled EFLAGS subset.
+
+use std::fmt;
+
+/// The x86 status flags modeled by this crate: `CF`, `ZF`, `SF`, `OF`.
+///
+/// Polarity note (central to the paper's condition-code emulation): after
+/// a subtraction, x86 `CF` records a *borrow*, while ARM `C` records *no
+/// borrow* — so ARM `cs` maps to x86 `ae`, not `b`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct EFlags {
+    /// Carry flag (borrow on subtraction).
+    pub cf: bool,
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Signed-overflow flag.
+    pub of: bool,
+}
+
+impl EFlags {
+    /// All flags clear.
+    pub fn new() -> Self {
+        EFlags::default()
+    }
+
+    /// Set `zf`/`sf` from a 32-bit result, leaving `cf`/`of` intact.
+    pub fn set_zs(&mut self, result: u32) {
+        self.zf = result == 0;
+        self.sf = (result >> 31) != 0;
+    }
+
+    /// Pack into the low bits of a word in EFLAGS bit positions
+    /// (CF=bit 0, ZF=bit 6, SF=bit 7, OF=bit 11), as `pushfd` would.
+    pub fn to_word(self) -> u32 {
+        (self.cf as u32) | (self.zf as u32) << 6 | (self.sf as u32) << 7 | (self.of as u32) << 11
+    }
+
+    /// Unpack from EFLAGS bit positions.
+    pub fn from_word(word: u32) -> Self {
+        EFlags {
+            cf: word & 1 != 0,
+            zf: word & (1 << 6) != 0,
+            sf: word & (1 << 7) != 0,
+            of: word & (1 << 11) != 0,
+        }
+    }
+}
+
+impl fmt::Display for EFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            if self.cf { 'C' } else { 'c' },
+            if self.zf { 'Z' } else { 'z' },
+            if self.sf { 'S' } else { 's' },
+            if self.of { 'O' } else { 'o' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip() {
+        for bits in 0..16u32 {
+            let f = EFlags {
+                cf: bits & 1 != 0,
+                zf: bits & 2 != 0,
+                sf: bits & 4 != 0,
+                of: bits & 8 != 0,
+            };
+            assert_eq!(EFlags::from_word(f.to_word()), f);
+        }
+    }
+
+    #[test]
+    fn word_positions_match_eflags() {
+        let f = EFlags { cf: true, zf: true, sf: false, of: true };
+        assert_eq!(f.to_word(), 1 | (1 << 6) | (1 << 11));
+    }
+
+    #[test]
+    fn set_zs() {
+        let mut f = EFlags { cf: true, of: true, ..EFlags::new() };
+        f.set_zs(0);
+        assert!(f.zf && !f.sf && f.cf && f.of);
+        f.set_zs(0x8000_0000);
+        assert!(!f.zf && f.sf);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EFlags::new().to_string(), "czso");
+    }
+}

@@ -1,0 +1,796 @@
+//! x86 instruction types, operands, and static metadata.
+
+use crate::cc::Cc;
+use crate::reg::Gpr;
+use ldbt_isa::{InstrKind, NormAddr, Scale, Width};
+use std::fmt;
+
+/// An x86 memory operand: `disp(base, index, scale)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct X86Mem {
+    /// Base register.
+    pub base: Option<Gpr>,
+    /// Index register and scale. IA-32 allows scales 1, 2, 4, 8 only and
+    /// `%esp` can never be an index; [`crate::encode::encode`] enforces
+    /// both.
+    pub index: Option<(Gpr, u8)>,
+    /// Signed 32-bit displacement.
+    pub disp: i32,
+}
+
+impl X86Mem {
+    /// `(%reg)` — a bare base register.
+    pub fn base(reg: Gpr) -> X86Mem {
+        X86Mem { base: Some(reg), index: None, disp: 0 }
+    }
+
+    /// `disp(%reg)`.
+    pub fn base_disp(reg: Gpr, disp: i32) -> X86Mem {
+        X86Mem { base: Some(reg), index: None, disp }
+    }
+
+    /// An absolute address.
+    pub fn absolute(disp: i32) -> X86Mem {
+        X86Mem { base: None, index: None, disp }
+    }
+
+    /// Registers the operand reads.
+    pub fn regs(&self) -> Vec<Gpr> {
+        let mut v = Vec::new();
+        if let Some(b) = self.base {
+            v.push(b);
+        }
+        if let Some((i, _)) = self.index {
+            v.push(i);
+        }
+        v
+    }
+
+    /// Normalize to the learner's `base + index×scale + offset` form.
+    pub fn normalize(&self) -> NormAddr<Gpr> {
+        NormAddr {
+            base: self.base,
+            index: self.index.map(|(r, s)| (r, Scale::Value(s as u32))),
+            offset: self.disp as i64,
+        }
+    }
+}
+
+impl fmt::Display for X86Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disp != 0 || (self.base.is_none() && self.index.is_none()) {
+            write!(f, "{}", self.disp)?;
+        }
+        if self.base.is_some() || self.index.is_some() {
+            write!(f, "(")?;
+            if let Some(b) = self.base {
+                write!(f, "{b}")?;
+            }
+            if let Some((i, s)) = self.index {
+                write!(f, ",{i},{s}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A general operand: register, immediate, or memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A 32-bit register.
+    Reg(Gpr),
+    /// A sign-extended immediate.
+    Imm(i32),
+    /// A memory operand.
+    Mem(X86Mem),
+}
+
+impl Operand {
+    /// The memory operand, if this is one.
+    pub fn mem(&self) -> Option<&X86Mem> {
+        match self {
+            Operand::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a memory operand.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Operand::Mem(_))
+    }
+
+    /// Registers read when this operand is used as a *source*.
+    pub fn src_regs(&self) -> Vec<Gpr> {
+        match self {
+            Operand::Reg(r) => vec![*r],
+            Operand::Imm(_) => vec![],
+            Operand::Mem(m) => m.regs(),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "${v}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Two-operand ALU opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Adc,
+    Sub,
+    Sbb,
+    And,
+    Or,
+    Xor,
+    Cmp,
+    Test,
+}
+
+impl AluOp {
+    /// All ALU opcodes.
+    pub const ALL: [AluOp; 9] = [
+        AluOp::Add,
+        AluOp::Adc,
+        AluOp::Sub,
+        AluOp::Sbb,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Cmp,
+        AluOp::Test,
+    ];
+
+    /// Whether the opcode discards its result (`cmp`, `test`).
+    pub fn is_compare(self) -> bool {
+        matches!(self, AluOp::Cmp | AluOp::Test)
+    }
+
+    /// Whether the opcode reads the incoming carry (`adc`, `sbb`).
+    pub fn reads_carry(self) -> bool {
+        matches!(self, AluOp::Adc | AluOp::Sbb)
+    }
+
+    /// The AT&T mnemonic (with the `l` suffix).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "addl",
+            AluOp::Adc => "adcl",
+            AluOp::Sub => "subl",
+            AluOp::Sbb => "sbbl",
+            AluOp::And => "andl",
+            AluOp::Or => "orl",
+            AluOp::Xor => "xorl",
+            AluOp::Cmp => "cmpl",
+            AluOp::Test => "testl",
+        }
+    }
+}
+
+/// Shift opcodes (immediate count only in the modeled subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ShiftOp {
+    Shl,
+    Shr,
+    Sar,
+}
+
+impl ShiftOp {
+    /// The AT&T mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Shl => "shll",
+            ShiftOp::Shr => "shrl",
+            ShiftOp::Sar => "sarl",
+        }
+    }
+}
+
+/// One-operand opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+    Inc,
+    Dec,
+}
+
+impl UnOp {
+    /// The AT&T mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "negl",
+            UnOp::Not => "notl",
+            UnOp::Inc => "incl",
+            UnOp::Dec => "decl",
+        }
+    }
+}
+
+/// An x86 instruction (the modeled subset, 32-bit operand size).
+///
+/// Control-flow targets (`Jcc`, `Jmp`, `Call`) are *instruction-relative
+/// offsets in instructions* from the following instruction, exactly like
+/// the ARM side; the binary encoder converts them to byte displacements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum X86Instr {
+    /// `movl src, dst` (no memory-to-memory form).
+    Mov {
+        /// Destination (register or memory).
+        dst: Operand,
+        /// Source (register, immediate, or memory).
+        src: Operand,
+    },
+    /// Two-operand ALU: `op src, dst`.
+    Alu {
+        /// Opcode.
+        op: AluOp,
+        /// Destination and first source.
+        dst: Operand,
+        /// Second source.
+        src: Operand,
+    },
+    /// `leal addr, dst` — address arithmetic without memory access.
+    Lea {
+        /// Destination register.
+        dst: Gpr,
+        /// The address expression.
+        addr: X86Mem,
+    },
+    /// Two-operand signed multiply: `imull src, dst`.
+    Imul {
+        /// Destination and first factor.
+        dst: Gpr,
+        /// Second factor (register or memory).
+        src: Operand,
+    },
+    /// Shift by an immediate count: `op $count, dst`.
+    Shift {
+        /// Opcode.
+        op: ShiftOp,
+        /// Destination.
+        dst: Operand,
+        /// Count, 1–31.
+        count: u8,
+    },
+    /// One-operand ALU: `negl`/`notl`/`incl`/`decl dst`.
+    Un {
+        /// Opcode.
+        op: UnOp,
+        /// Destination.
+        dst: Operand,
+    },
+    /// Zero/sign-extending sub-word move (`movzbl`, `movswl`, …).
+    Movx {
+        /// Sign-extend (`movs*`) vs zero-extend (`movz*`).
+        sign: bool,
+        /// Source width (`W8` or `W16`).
+        width: Width,
+        /// Destination register.
+        dst: Gpr,
+        /// Source: the low bits of a register or a memory operand.
+        src: Operand,
+    },
+    /// Sub-word store: `movb`/`movw` of a register's low bits to memory.
+    MovStore {
+        /// Store width (`W8` or `W16`).
+        width: Width,
+        /// Source register (low bits stored). For `W8` the encoder
+        /// requires a byte-addressable register (`eax`–`ebx`).
+        src: Gpr,
+        /// Destination memory operand.
+        dst: X86Mem,
+    },
+    /// `setcc dst` — write 0/1 to the low byte of `dst` (upper bits kept).
+    Setcc {
+        /// Predicate.
+        cc: Cc,
+        /// Destination register (must be byte-addressable).
+        dst: Gpr,
+    },
+    /// Conditional jump.
+    Jcc {
+        /// Predicate.
+        cc: Cc,
+        /// Instruction-relative target.
+        target: i32,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Instruction-relative target.
+        target: i32,
+    },
+    /// Indirect jump: `jmp *src`.
+    JmpInd {
+        /// Target address (register or memory).
+        src: Operand,
+    },
+    /// Direct call.
+    Call {
+        /// Instruction-relative target.
+        target: i32,
+    },
+    /// Near return.
+    Ret,
+    /// `pushl src`.
+    Push {
+        /// Pushed value.
+        src: Operand,
+    },
+    /// `popl dst`.
+    Pop {
+        /// Destination.
+        dst: Operand,
+    },
+    /// `pushfd` — push EFLAGS.
+    Pushfd,
+    /// `popfd` — pop EFLAGS.
+    Popfd,
+    /// `hlt` — stop the interpreter (dispatcher sentinel).
+    Halt,
+}
+
+impl X86Instr {
+    /// `movl $imm, reg`.
+    pub fn mov_imm(dst: Gpr, imm: i32) -> X86Instr {
+        X86Instr::Mov { dst: Operand::Reg(dst), src: Operand::Imm(imm) }
+    }
+
+    /// `movl src, dst` between registers.
+    pub fn mov_rr(dst: Gpr, src: Gpr) -> X86Instr {
+        X86Instr::Mov { dst: Operand::Reg(dst), src: Operand::Reg(src) }
+    }
+
+    /// Register-register ALU op.
+    pub fn alu_rr(op: AluOp, dst: Gpr, src: Gpr) -> X86Instr {
+        X86Instr::Alu { op, dst: Operand::Reg(dst), src: Operand::Reg(src) }
+    }
+
+    /// Register-immediate ALU op.
+    pub fn alu_ri(op: AluOp, dst: Gpr, imm: i32) -> X86Instr {
+        X86Instr::Alu { op, dst: Operand::Reg(dst), src: Operand::Imm(imm) }
+    }
+
+    /// The register this instruction defines, if exactly one GPR.
+    ///
+    /// `%esp` updates from push/pop and flag-only updates are not
+    /// reported.
+    pub fn def(&self) -> Option<Gpr> {
+        match *self {
+            X86Instr::Mov { dst: Operand::Reg(r), .. } => Some(r),
+            X86Instr::Alu { op, dst: Operand::Reg(r), .. } if !op.is_compare() => Some(r),
+            X86Instr::Lea { dst, .. } => Some(dst),
+            X86Instr::Imul { dst, .. } => Some(dst),
+            X86Instr::Shift { dst: Operand::Reg(r), .. } => Some(r),
+            X86Instr::Un { dst: Operand::Reg(r), .. } => Some(r),
+            X86Instr::Movx { dst, .. } => Some(dst),
+            X86Instr::Setcc { dst, .. } => Some(dst),
+            X86Instr::Pop { dst: Operand::Reg(r) } => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The registers this instruction reads, in operand order.
+    pub fn uses(&self) -> Vec<Gpr> {
+        match *self {
+            X86Instr::Mov { dst, src } => {
+                let mut v = src.src_regs();
+                if let Operand::Mem(m) = dst {
+                    v.extend(m.regs());
+                }
+                v
+            }
+            X86Instr::Alu { op, dst, src } => {
+                let mut v = Vec::new();
+                // dst is read unless this is a plain mov-like op; ALU dst
+                // is always read (even cmp/test read it).
+                match dst {
+                    Operand::Reg(r) => v.push(r),
+                    Operand::Mem(m) => v.extend(m.regs()),
+                    Operand::Imm(_) => {}
+                }
+                v.extend(src.src_regs());
+                let _ = op;
+                v
+            }
+            X86Instr::Lea { addr, .. } => addr.regs(),
+            X86Instr::Imul { dst, src } => {
+                let mut v = vec![dst];
+                v.extend(src.src_regs());
+                v
+            }
+            X86Instr::Shift { dst, .. } | X86Instr::Un { dst, .. } => match dst {
+                Operand::Reg(r) => vec![r],
+                Operand::Mem(m) => m.regs(),
+                Operand::Imm(_) => vec![],
+            },
+            X86Instr::Movx { src, .. } => src.src_regs(),
+            X86Instr::MovStore { src, dst, .. } => {
+                let mut v = vec![src];
+                v.extend(dst.regs());
+                v
+            }
+            X86Instr::Setcc { dst, .. } => vec![dst], // merges into low byte
+            X86Instr::JmpInd { src } => src.src_regs(),
+            X86Instr::Push { src } => {
+                let mut v = src.src_regs();
+                v.push(Gpr::Esp);
+                v
+            }
+            X86Instr::Pop { dst } => {
+                let mut v = vec![Gpr::Esp];
+                if let Operand::Mem(m) = dst {
+                    v.extend(m.regs());
+                }
+                v
+            }
+            X86Instr::Pushfd | X86Instr::Popfd | X86Instr::Ret => vec![Gpr::Esp],
+            X86Instr::Jcc { .. } | X86Instr::Jmp { .. } | X86Instr::Call { .. } | X86Instr::Halt => {
+                vec![]
+            }
+        }
+    }
+
+    /// The memory operand, if any: (normalized address, width, is_store).
+    ///
+    /// `lea` has *no* memory operand — it never accesses memory.
+    pub fn mem_operand(&self) -> Option<(NormAddr<Gpr>, Width, bool)> {
+        match *self {
+            X86Instr::Mov { dst: Operand::Mem(m), .. } => Some((m.normalize(), Width::W32, true)),
+            X86Instr::Mov { src: Operand::Mem(m), .. } => Some((m.normalize(), Width::W32, false)),
+            X86Instr::Alu { dst: Operand::Mem(m), .. }
+            | X86Instr::Shift { dst: Operand::Mem(m), .. }
+            | X86Instr::Un { dst: Operand::Mem(m), .. } => Some((m.normalize(), Width::W32, true)),
+            X86Instr::Alu { src: Operand::Mem(m), .. }
+            | X86Instr::Imul { src: Operand::Mem(m), .. } => {
+                Some((m.normalize(), Width::W32, false))
+            }
+            X86Instr::Movx { src: Operand::Mem(m), width, .. } => {
+                Some((m.normalize(), width, false))
+            }
+            X86Instr::MovStore { dst, width, .. } => Some((dst.normalize(), width, true)),
+            _ => None,
+        }
+    }
+
+    /// All memory accesses the instruction performs, in access order:
+    /// `(normalized address, width, is_store)`. A read-modify-write ALU
+    /// with a memory destination reports *two* accesses (load then
+    /// store) — the learner pairs each against a guest access.
+    pub fn mem_operands(&self) -> Vec<(NormAddr<Gpr>, Width, bool)> {
+        match *self {
+            X86Instr::Alu { op, dst: Operand::Mem(m), .. } if !op.is_compare() => {
+                vec![(m.normalize(), Width::W32, false), (m.normalize(), Width::W32, true)]
+            }
+            X86Instr::Shift { dst: Operand::Mem(m), .. }
+            | X86Instr::Un { dst: Operand::Mem(m), .. } => {
+                vec![(m.normalize(), Width::W32, false), (m.normalize(), Width::W32, true)]
+            }
+            _ => self.mem_operand().into_iter().collect(),
+        }
+    }
+
+    /// Immediate data operands (excluding address displacements).
+    pub fn immediates(&self) -> Vec<i64> {
+        match *self {
+            X86Instr::Mov { src: Operand::Imm(v), .. }
+            | X86Instr::Alu { src: Operand::Imm(v), .. }
+            | X86Instr::Push { src: Operand::Imm(v) } => vec![v as i64],
+            X86Instr::Shift { count, .. } => vec![count as i64],
+            _ => vec![],
+        }
+    }
+
+    /// Which EFLAGS the instruction writes, as a mask (CF=1, ZF=2, SF=4,
+    /// OF=8).
+    ///
+    /// Notable quirks preserved from IA-32: `inc`/`dec` leave `CF`
+    /// untouched; logical ops clear `CF`/`OF`; `mov`/`lea`/`movx`/`setcc`
+    /// touch nothing.
+    pub fn flags_written(&self) -> u8 {
+        match *self {
+            X86Instr::Alu { .. } | X86Instr::Shift { .. } => 0b1111,
+            X86Instr::Un { op: UnOp::Neg, .. } => 0b1111,
+            X86Instr::Un { op: UnOp::Inc, .. } | X86Instr::Un { op: UnOp::Dec, .. } => 0b1110,
+            X86Instr::Un { op: UnOp::Not, .. } => 0,
+            X86Instr::Imul { .. } => 0b1001, // CF and OF; ZF/SF preserved in our model
+            X86Instr::Popfd => 0b1111,
+            _ => 0,
+        }
+    }
+
+    /// Which EFLAGS the instruction reads (same mask layout).
+    pub fn flags_read(&self) -> u8 {
+        match *self {
+            X86Instr::Alu { op, .. } if op.reads_carry() => 0b0001,
+            X86Instr::Setcc { cc, .. } | X86Instr::Jcc { cc, .. } => cc_mask(cc),
+            X86Instr::Pushfd => 0b1111,
+            _ => 0,
+        }
+    }
+
+    /// Whether this instruction ends a straight-line sequence.
+    pub fn is_block_end(&self) -> bool {
+        matches!(
+            self,
+            X86Instr::Jmp { .. }
+                | X86Instr::JmpInd { .. }
+                | X86Instr::Ret
+                | X86Instr::Call { .. }
+                | X86Instr::Halt
+        )
+    }
+
+    /// Cost-model classification.
+    pub fn kind(&self) -> InstrKind {
+        match *self {
+            X86Instr::Imul { src, .. } => {
+                if src.is_mem() {
+                    InstrKind::Load
+                } else {
+                    InstrKind::Mul
+                }
+            }
+            X86Instr::Mov { dst, src } => {
+                if dst.is_mem() {
+                    InstrKind::Store
+                } else if src.is_mem() {
+                    InstrKind::Load
+                } else {
+                    InstrKind::Alu
+                }
+            }
+            X86Instr::MovStore { .. } => InstrKind::Store,
+            X86Instr::Alu { dst, src, .. } => {
+                if dst.is_mem() {
+                    InstrKind::Store
+                } else if src.is_mem() {
+                    InstrKind::Load
+                } else {
+                    InstrKind::Alu
+                }
+            }
+            X86Instr::Movx { src, .. } => {
+                if src.is_mem() {
+                    InstrKind::Load
+                } else {
+                    InstrKind::Alu
+                }
+            }
+            X86Instr::Shift { dst, .. } | X86Instr::Un { dst, .. } => {
+                if dst.is_mem() {
+                    InstrKind::Store
+                } else {
+                    InstrKind::Alu
+                }
+            }
+            X86Instr::Lea { .. } | X86Instr::Setcc { .. } => InstrKind::Alu,
+            X86Instr::Jcc { .. } | X86Instr::Jmp { .. } => InstrKind::Branch,
+            X86Instr::JmpInd { .. } => InstrKind::IndirectBranch,
+            X86Instr::Call { .. } | X86Instr::Ret => InstrKind::CallRet,
+            X86Instr::Push { .. } => InstrKind::Store,
+            X86Instr::Pop { .. } => InstrKind::Load,
+            X86Instr::Pushfd | X86Instr::Popfd => InstrKind::FlagSync,
+            X86Instr::Halt => InstrKind::Branch,
+        }
+    }
+
+    /// A small stable id of the opcode kind (rule hashing, host side).
+    pub fn opcode_id(&self) -> u32 {
+        match *self {
+            X86Instr::Mov { .. } => 1,
+            X86Instr::Alu { op, .. } => 2 + op as u32,
+            X86Instr::Lea { .. } => 12,
+            X86Instr::Imul { .. } => 13,
+            X86Instr::Shift { op, .. } => 14 + op as u32,
+            X86Instr::Un { op, .. } => 17 + op as u32,
+            X86Instr::Movx { sign, width, .. } => 21 + (sign as u32) * 2 + (width == Width::W16) as u32,
+            X86Instr::MovStore { width, .. } => 25 + (width == Width::W16) as u32,
+            X86Instr::Setcc { .. } => 27,
+            X86Instr::Jcc { .. } => 28,
+            X86Instr::Jmp { .. } => 29,
+            X86Instr::JmpInd { .. } => 30,
+            X86Instr::Call { .. } => 31,
+            X86Instr::Ret => 32,
+            X86Instr::Push { .. } => 33,
+            X86Instr::Pop { .. } => 34,
+            X86Instr::Pushfd => 35,
+            X86Instr::Popfd => 36,
+            X86Instr::Halt => 37,
+        }
+    }
+}
+
+fn cc_mask(cc: Cc) -> u8 {
+    match cc {
+        Cc::O | Cc::No => 0b1000,
+        Cc::B | Cc::Ae => 0b0001,
+        Cc::E | Cc::Ne => 0b0010,
+        Cc::Be | Cc::A => 0b0011,
+        Cc::S | Cc::Ns => 0b0100,
+        Cc::L | Cc::Ge => 0b1100,
+        Cc::Le | Cc::G => 0b1110,
+    }
+}
+
+impl fmt::Display for X86Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            X86Instr::Mov { dst, src } => write!(f, "movl {src}, {dst}"),
+            X86Instr::Alu { op, dst, src } => write!(f, "{} {src}, {dst}", op.mnemonic()),
+            X86Instr::Lea { dst, addr } => write!(f, "leal {addr}, {dst}"),
+            X86Instr::Imul { dst, src } => write!(f, "imull {src}, {dst}"),
+            X86Instr::Shift { op, dst, count } => write!(f, "{} ${count}, {dst}", op.mnemonic()),
+            X86Instr::Un { op, dst } => write!(f, "{} {dst}", op.mnemonic()),
+            X86Instr::Movx { sign, width, dst, src } => {
+                let m = match (sign, width) {
+                    (false, Width::W8) => "movzbl",
+                    (false, _) => "movzwl",
+                    (true, Width::W8) => "movsbl",
+                    (true, _) => "movswl",
+                };
+                write!(f, "{m} {src}, {dst}")
+            }
+            X86Instr::MovStore { width, src, dst } => {
+                let m = if width == Width::W8 { "movb" } else { "movw" };
+                match (width, src.low8_name()) {
+                    (Width::W8, Some(name)) => write!(f, "{m} {name}, {dst}"),
+                    _ => write!(f, "{m} {src}, {dst}"),
+                }
+            }
+            X86Instr::Setcc { cc, dst } => {
+                match dst.low8_name() {
+                    Some(name) => write!(f, "set{cc} {name}"),
+                    None => write!(f, "set{cc} {dst}"),
+                }
+            }
+            X86Instr::Jcc { cc, target } => write!(f, "j{cc} #{target}"),
+            X86Instr::Jmp { target } => write!(f, "jmp #{target}"),
+            X86Instr::JmpInd { src } => write!(f, "jmp *{src}"),
+            X86Instr::Call { target } => write!(f, "call #{target}"),
+            X86Instr::Ret => write!(f, "ret"),
+            X86Instr::Push { src } => write!(f, "pushl {src}"),
+            X86Instr::Pop { dst } => write!(f, "popl {dst}"),
+            X86Instr::Pushfd => write!(f, "pushfd"),
+            X86Instr::Popfd => write!(f, "popfd"),
+            X86Instr::Halt => write!(f, "hlt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_display() {
+        assert_eq!(X86Mem::base(Gpr::Edi).to_string(), "(%edi)");
+        assert_eq!(X86Mem::base_disp(Gpr::Esi, 0x34).to_string(), "52(%esi)");
+        let m = X86Mem { base: Some(Gpr::Ecx), index: Some((Gpr::Eax, 4)), disp: -4 };
+        assert_eq!(m.to_string(), "-4(%ecx,%eax,4)");
+        assert_eq!(X86Mem::absolute(0x1000).to_string(), "4096");
+    }
+
+    #[test]
+    fn instr_display() {
+        assert_eq!(X86Instr::alu_rr(AluOp::Add, Gpr::Edx, Gpr::Eax).to_string(), "addl %eax, %edx");
+        assert_eq!(X86Instr::alu_ri(AluOp::Sub, Gpr::Edx, 1).to_string(), "subl $1, %edx");
+        assert_eq!(
+            X86Instr::Movx { sign: false, width: Width::W8, dst: Gpr::Eax, src: Operand::Reg(Gpr::Eax) }
+                .to_string(),
+            "movzbl %eax, %eax"
+        );
+        assert_eq!(X86Instr::Setcc { cc: Cc::E, dst: Gpr::Eax }.to_string(), "sete %al");
+        assert_eq!(X86Instr::Un { op: UnOp::Inc, dst: Operand::Reg(Gpr::Ecx) }.to_string(), "incl %ecx");
+        assert_eq!(X86Instr::Jcc { cc: Cc::Ne, target: -5 }.to_string(), "jne #-5");
+        assert_eq!(X86Instr::JmpInd { src: Operand::Reg(Gpr::Eax) }.to_string(), "jmp *%eax");
+        assert_eq!(
+            X86Instr::MovStore { width: Width::W8, src: Gpr::Ecx, dst: X86Mem::base(Gpr::Edi) }
+                .to_string(),
+            "movb %cl, (%edi)"
+        );
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let i = X86Instr::alu_rr(AluOp::Add, Gpr::Edx, Gpr::Eax);
+        assert_eq!(i.def(), Some(Gpr::Edx));
+        assert_eq!(i.uses(), vec![Gpr::Edx, Gpr::Eax]);
+
+        let cmp = X86Instr::alu_rr(AluOp::Cmp, Gpr::Edx, Gpr::Eax);
+        assert_eq!(cmp.def(), None);
+
+        let lea = X86Instr::Lea {
+            dst: Gpr::Ecx,
+            addr: X86Mem { base: Some(Gpr::Edx), index: Some((Gpr::Eax, 4)), disp: -4 },
+        };
+        assert_eq!(lea.def(), Some(Gpr::Ecx));
+        assert_eq!(lea.uses(), vec![Gpr::Edx, Gpr::Eax]);
+
+        let st = X86Instr::Mov {
+            dst: Operand::Mem(X86Mem::base_disp(Gpr::Esi, 8)),
+            src: Operand::Reg(Gpr::Eax),
+        };
+        assert_eq!(st.def(), None);
+        assert_eq!(st.uses(), vec![Gpr::Eax, Gpr::Esi]);
+
+        let setcc = X86Instr::Setcc { cc: Cc::L, dst: Gpr::Ebx };
+        assert_eq!(setcc.def(), Some(Gpr::Ebx));
+        assert_eq!(setcc.uses(), vec![Gpr::Ebx]); // byte merge reads dst
+    }
+
+    #[test]
+    fn mem_operand_excludes_lea() {
+        let lea = X86Instr::Lea { dst: Gpr::Ecx, addr: X86Mem::base(Gpr::Eax) };
+        assert!(lea.mem_operand().is_none());
+        let ld = X86Instr::Mov { dst: Operand::Reg(Gpr::Eax), src: Operand::Mem(X86Mem::base(Gpr::Edi)) };
+        let (addr, w, store) = ld.mem_operand().unwrap();
+        assert_eq!(addr.base, Some(Gpr::Edi));
+        assert_eq!(w, Width::W32);
+        assert!(!store);
+    }
+
+    #[test]
+    fn inc_does_not_write_cf() {
+        let inc = X86Instr::Un { op: UnOp::Inc, dst: Operand::Reg(Gpr::Eax) };
+        assert_eq!(inc.flags_written() & 0b0001, 0, "inc must not touch CF");
+        assert_ne!(inc.flags_written() & 0b1000, 0, "inc writes OF");
+        let add = X86Instr::alu_ri(AluOp::Add, Gpr::Eax, 1);
+        assert_eq!(add.flags_written(), 0b1111);
+    }
+
+    #[test]
+    fn flags_read_of_jcc() {
+        assert_eq!(X86Instr::Jcc { cc: Cc::E, target: 0 }.flags_read(), 0b0010);
+        assert_eq!(X86Instr::Jcc { cc: Cc::A, target: 0 }.flags_read(), 0b0011);
+        assert_eq!(X86Instr::Jcc { cc: Cc::G, target: 0 }.flags_read(), 0b1110);
+        assert_eq!(X86Instr::alu_rr(AluOp::Adc, Gpr::Eax, Gpr::Ecx).flags_read(), 0b0001);
+    }
+
+    #[test]
+    fn kinds_for_cost_model() {
+        assert_eq!(X86Instr::mov_rr(Gpr::Eax, Gpr::Ecx).kind(), InstrKind::Alu);
+        assert_eq!(
+            X86Instr::Mov { dst: Operand::Reg(Gpr::Eax), src: Operand::Mem(X86Mem::base(Gpr::Edi)) }
+                .kind(),
+            InstrKind::Load
+        );
+        assert_eq!(X86Instr::Push { src: Operand::Reg(Gpr::Eax) }.kind(), InstrKind::Store);
+        assert_eq!(X86Instr::Pushfd.kind(), InstrKind::FlagSync);
+        assert_eq!(X86Instr::Ret.kind(), InstrKind::CallRet);
+        assert_eq!(X86Instr::Imul { dst: Gpr::Eax, src: Operand::Reg(Gpr::Ecx) }.kind(), InstrKind::Mul);
+    }
+
+    #[test]
+    fn opcode_ids_distinct() {
+        use std::collections::HashSet;
+        let samples = vec![
+            X86Instr::mov_rr(Gpr::Eax, Gpr::Ecx),
+            X86Instr::alu_rr(AluOp::Add, Gpr::Eax, Gpr::Ecx),
+            X86Instr::alu_rr(AluOp::Cmp, Gpr::Eax, Gpr::Ecx),
+            X86Instr::Lea { dst: Gpr::Eax, addr: X86Mem::base(Gpr::Ecx) },
+            X86Instr::Imul { dst: Gpr::Eax, src: Operand::Reg(Gpr::Ecx) },
+            X86Instr::Shift { op: ShiftOp::Shl, dst: Operand::Reg(Gpr::Eax), count: 1 },
+            X86Instr::Un { op: UnOp::Neg, dst: Operand::Reg(Gpr::Eax) },
+            X86Instr::Movx { sign: true, width: Width::W8, dst: Gpr::Eax, src: Operand::Reg(Gpr::Eax) },
+            X86Instr::Setcc { cc: Cc::E, dst: Gpr::Eax },
+            X86Instr::Jcc { cc: Cc::E, target: 0 },
+            X86Instr::Jmp { target: 0 },
+            X86Instr::Ret,
+            X86Instr::Pushfd,
+            X86Instr::Halt,
+        ];
+        let ids: HashSet<u32> = samples.iter().map(|i| i.opcode_id()).collect();
+        assert_eq!(ids.len(), samples.len());
+    }
+}

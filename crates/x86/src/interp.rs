@@ -1,0 +1,436 @@
+//! Concrete interpreter for the x86 subset.
+//!
+//! [`X86State`] executes single instructions; [`run_seq`] executes a
+//! straight-line-with-branches instruction sequence (a translated block,
+//! a learned-rule snippet, or a whole program image assembled as one
+//! sequence), with the QEMU-like dispatcher convention: a top-level
+//! `ret` ends execution and `%eax` carries the next guest PC.
+
+use crate::flags::EFlags;
+use crate::insn::{Operand, X86Instr, X86Mem};
+use crate::reg::Gpr;
+use crate::semantics::{eval_alu, eval_imul, eval_shift, eval_un};
+use ldbt_isa::{bits, CostModel, ExecStats, Memory, Width};
+
+/// The host-visible architectural state.
+#[derive(Debug, Clone, Default)]
+pub struct X86State {
+    /// The 8 general registers, in encoding order.
+    pub regs: [u32; 8],
+    /// The modeled EFLAGS.
+    pub flags: EFlags,
+    /// Host memory (shared with the guest image in the DBT).
+    pub mem: Memory,
+}
+
+/// Control-flow outcome of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum X86Event {
+    /// Fall through.
+    Next,
+    /// Relative jump taken (instruction-relative offset).
+    Jump(i32),
+    /// Relative call taken.
+    Call(i32),
+    /// Indirect jump to an absolute value.
+    JumpInd(u32),
+    /// `ret` executed.
+    Return,
+    /// `hlt` executed.
+    Halt,
+}
+
+impl X86State {
+    /// A zeroed state.
+    pub fn new() -> Self {
+        X86State::default()
+    }
+
+    /// Read a register.
+    pub fn reg(&self, r: Gpr) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Write a register.
+    pub fn set_reg(&mut self, r: Gpr, v: u32) {
+        self.regs[r.index()] = v;
+    }
+
+    /// The effective address of a memory operand.
+    pub fn effective_addr(&self, m: &X86Mem) -> u32 {
+        let mut a = m.disp as u32;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.reg(b));
+        }
+        if let Some((i, s)) = m.index {
+            a = a.wrapping_add(self.reg(i).wrapping_mul(s as u32));
+        }
+        a
+    }
+
+    fn read_operand(&self, op: &Operand) -> u32 {
+        match op {
+            Operand::Reg(r) => self.reg(*r),
+            Operand::Imm(v) => *v as u32,
+            Operand::Mem(m) => self.mem.read(self.effective_addr(m), Width::W32),
+        }
+    }
+
+    fn write_operand(&mut self, op: &Operand, v: u32) {
+        match op {
+            Operand::Reg(r) => self.set_reg(*r, v),
+            Operand::Mem(m) => {
+                let a = self.effective_addr(m);
+                self.mem.write(a, v, Width::W32);
+            }
+            Operand::Imm(_) => panic!("write to immediate operand"),
+        }
+    }
+
+    fn push(&mut self, v: u32) {
+        let sp = self.reg(Gpr::Esp).wrapping_sub(4);
+        self.set_reg(Gpr::Esp, sp);
+        self.mem.write(sp, v, Width::W32);
+    }
+
+    fn pop(&mut self) -> u32 {
+        let sp = self.reg(Gpr::Esp);
+        let v = self.mem.read(sp, Width::W32);
+        self.set_reg(Gpr::Esp, sp.wrapping_add(4));
+        v
+    }
+
+    /// Execute one instruction.
+    pub fn exec(&mut self, instr: &X86Instr) -> X86Event {
+        match *instr {
+            X86Instr::Mov { dst, src } => {
+                let v = self.read_operand(&src);
+                self.write_operand(&dst, v);
+            }
+            X86Instr::Alu { op, dst, src } => {
+                let a = self.read_operand(&dst);
+                let b = self.read_operand(&src);
+                let r = eval_alu(op, a, b, self.flags);
+                self.flags = r.flags;
+                if !op.is_compare() {
+                    self.write_operand(&dst, r.value);
+                }
+            }
+            X86Instr::Lea { dst, addr } => {
+                let a = self.effective_addr(&addr);
+                self.set_reg(dst, a);
+            }
+            X86Instr::Imul { dst, src } => {
+                let r = eval_imul(self.reg(dst), self.read_operand(&src), self.flags);
+                self.flags = r.flags;
+                self.set_reg(dst, r.value);
+            }
+            X86Instr::Shift { op, dst, count } => {
+                let r = eval_shift(op, self.read_operand(&dst), count, self.flags);
+                self.flags = r.flags;
+                self.write_operand(&dst, r.value);
+            }
+            X86Instr::Un { op, dst } => {
+                let r = eval_un(op, self.read_operand(&dst), self.flags);
+                self.flags = r.flags;
+                self.write_operand(&dst, r.value);
+            }
+            X86Instr::Movx { sign, width, dst, src } => {
+                let raw = match src {
+                    Operand::Reg(r) => self.reg(r) & width.mask() as u32,
+                    Operand::Mem(m) => self.mem.read(self.effective_addr(&m), width),
+                    Operand::Imm(v) => v as u32 & width.mask() as u32,
+                };
+                let v = if sign {
+                    bits::sign_extend(raw as u64, width) as u32
+                } else {
+                    raw
+                };
+                self.set_reg(dst, v);
+            }
+            X86Instr::MovStore { width, src, dst } => {
+                let a = self.effective_addr(&dst);
+                self.mem.write(a, self.reg(src), width);
+            }
+            X86Instr::Setcc { cc, dst } => {
+                let bit = cc.eval(self.flags) as u32;
+                let old = self.reg(dst);
+                self.set_reg(dst, (old & !0xff) | bit);
+            }
+            X86Instr::Jcc { cc, target } => {
+                if cc.eval(self.flags) {
+                    return X86Event::Jump(target);
+                }
+            }
+            X86Instr::Jmp { target } => return X86Event::Jump(target),
+            X86Instr::JmpInd { src } => return X86Event::JumpInd(self.read_operand(&src)),
+            X86Instr::Call { target } => return X86Event::Call(target),
+            X86Instr::Ret => return X86Event::Return,
+            X86Instr::Push { src } => {
+                let v = self.read_operand(&src);
+                self.push(v);
+            }
+            X86Instr::Pop { dst } => {
+                let v = self.pop();
+                self.write_operand(&dst, v);
+            }
+            X86Instr::Pushfd => {
+                let w = self.flags.to_word();
+                self.push(w);
+            }
+            X86Instr::Popfd => {
+                let w = self.pop();
+                self.flags = EFlags::from_word(w);
+            }
+            X86Instr::Halt => return X86Event::Halt,
+        }
+        X86Event::Next
+    }
+}
+
+/// Why [`run_seq`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqExit {
+    /// A top-level `ret` executed; by the dispatcher convention `%eax`
+    /// holds the next guest PC.
+    Returned,
+    /// `hlt` executed.
+    Halted,
+    /// An indirect jump left the sequence.
+    JumpedOut(u32),
+    /// The fuel budget was exhausted.
+    OutOfFuel,
+    /// Control fell off the end or jumped outside the sequence.
+    FellThrough,
+}
+
+/// Execute an instruction sequence from index 0.
+///
+/// Calls within the sequence push their return index on the emulated
+/// stack; a `ret` that does not match a prior call ends the run with
+/// [`SeqExit::Returned`]. Dynamic instruction counts and cycle costs are
+/// accumulated into `stats`.
+pub fn run_seq(
+    state: &mut X86State,
+    instrs: &[X86Instr],
+    fuel: u64,
+    model: &CostModel,
+    stats: &mut ExecStats,
+) -> SeqExit {
+    let mut ip: i64 = 0;
+    let mut depth = 0usize;
+    for _ in 0..fuel {
+        let Some(instr) = usize::try_from(ip).ok().and_then(|i| instrs.get(i)) else {
+            return SeqExit::FellThrough;
+        };
+        stats.record(instr.kind(), model);
+        match state.exec(instr) {
+            X86Event::Next => ip += 1,
+            X86Event::Jump(off) => ip += 1 + off as i64,
+            X86Event::Call(off) => {
+                state.push((ip + 1) as u32);
+                depth += 1;
+                ip += 1 + off as i64;
+            }
+            X86Event::Return => {
+                if depth == 0 {
+                    return SeqExit::Returned;
+                }
+                depth -= 1;
+                ip = state.pop() as i64;
+            }
+            X86Event::JumpInd(addr) => return SeqExit::JumpedOut(addr),
+            X86Event::Halt => return SeqExit::Halted,
+        }
+    }
+    SeqExit::OutOfFuel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::Cc;
+    use crate::insn::{AluOp, ShiftOp, UnOp};
+
+    fn run(instrs: &[X86Instr], setup: impl FnOnce(&mut X86State)) -> (X86State, SeqExit) {
+        let mut st = X86State::new();
+        st.set_reg(Gpr::Esp, 0x20_0000);
+        setup(&mut st);
+        let mut stats = ExecStats::new();
+        let exit = run_seq(&mut st, instrs, 10_000, &CostModel::default(), &mut stats);
+        (st, exit)
+    }
+
+    #[test]
+    fn lea_computes_address_without_memory_access() {
+        let (st, exit) = run(
+            &[
+                X86Instr::Lea {
+                    dst: Gpr::Edx,
+                    addr: X86Mem { base: Some(Gpr::Edx), index: Some((Gpr::Eax, 4)), disp: -4 },
+                },
+                X86Instr::Ret,
+            ],
+            |st| {
+                st.set_reg(Gpr::Edx, 100);
+                st.set_reg(Gpr::Eax, 3);
+            },
+        );
+        assert_eq!(exit, SeqExit::Returned);
+        assert_eq!(st.reg(Gpr::Edx), 108);
+    }
+
+    #[test]
+    fn alu_with_memory_source() {
+        let (st, _) = run(
+            &[
+                X86Instr::Alu {
+                    op: AluOp::Add,
+                    dst: Operand::Reg(Gpr::Eax),
+                    src: Operand::Mem(X86Mem::base_disp(Gpr::Esi, 8)),
+                },
+                X86Instr::Ret,
+            ],
+            |st| {
+                st.set_reg(Gpr::Esi, 0x1000);
+                st.set_reg(Gpr::Eax, 5);
+                st.mem.write(0x1008, 37, Width::W32);
+            },
+        );
+        assert_eq!(st.reg(Gpr::Eax), 42);
+    }
+
+    #[test]
+    fn conditional_branch_loop() {
+        // ecx = 5; eax = 0; loop { eax += ecx; ecx -= 1 } until zf
+        let prog = [
+            X86Instr::alu_rr(AluOp::Add, Gpr::Eax, Gpr::Ecx),
+            X86Instr::alu_ri(AluOp::Sub, Gpr::Ecx, 1),
+            X86Instr::Jcc { cc: Cc::Ne, target: -3 },
+            X86Instr::Ret,
+        ];
+        let (st, exit) = run(&prog, |st| st.set_reg(Gpr::Ecx, 5));
+        assert_eq!(exit, SeqExit::Returned);
+        assert_eq!(st.reg(Gpr::Eax), 15);
+    }
+
+    #[test]
+    fn push_pop_and_stack_direction() {
+        let (st, _) = run(
+            &[
+                X86Instr::Push { src: Operand::Imm(11) },
+                X86Instr::Push { src: Operand::Reg(Gpr::Ebx) },
+                X86Instr::Pop { dst: Operand::Reg(Gpr::Ecx) },
+                X86Instr::Pop { dst: Operand::Reg(Gpr::Edx) },
+                X86Instr::Ret,
+            ],
+            |st| st.set_reg(Gpr::Ebx, 22),
+        );
+        assert_eq!(st.reg(Gpr::Ecx), 22);
+        assert_eq!(st.reg(Gpr::Edx), 11);
+        assert_eq!(st.reg(Gpr::Esp), 0x20_0000);
+    }
+
+    #[test]
+    fn pushfd_popfd_roundtrip() {
+        let (st, _) = run(
+            &[
+                X86Instr::alu_ri(AluOp::Cmp, Gpr::Eax, 1), // sets CF (0 < 1), SF
+                X86Instr::Pushfd,
+                X86Instr::alu_rr(AluOp::Xor, Gpr::Ebx, Gpr::Ebx), // clobbers flags
+                X86Instr::Popfd,
+                X86Instr::Setcc { cc: Cc::B, dst: Gpr::Edx },
+                X86Instr::Ret,
+            ],
+            |_| {},
+        );
+        assert_eq!(st.reg(Gpr::Edx) & 0xff, 1, "CF restored by popfd");
+    }
+
+    #[test]
+    fn setcc_preserves_upper_bytes() {
+        let (st, _) = run(
+            &[
+                X86Instr::alu_rr(AluOp::Cmp, Gpr::Eax, Gpr::Eax), // ZF
+                X86Instr::Setcc { cc: Cc::E, dst: Gpr::Ecx },
+                X86Instr::Ret,
+            ],
+            |st| st.set_reg(Gpr::Ecx, 0xdead_be00),
+        );
+        assert_eq!(st.reg(Gpr::Ecx), 0xdead_be01);
+    }
+
+    #[test]
+    fn movx_from_register_low_bits() {
+        let (st, _) = run(
+            &[
+                X86Instr::Movx { sign: true, width: Width::W8, dst: Gpr::Eax, src: Operand::Reg(Gpr::Ebx) },
+                X86Instr::Movx { sign: false, width: Width::W16, dst: Gpr::Ecx, src: Operand::Reg(Gpr::Ebx) },
+                X86Instr::Ret,
+            ],
+            |st| st.set_reg(Gpr::Ebx, 0x1234_8899),
+        );
+        assert_eq!(st.reg(Gpr::Eax), 0xffff_ff99);
+        assert_eq!(st.reg(Gpr::Ecx), 0x8899);
+    }
+
+    #[test]
+    fn movstore_writes_low_bits() {
+        let (st, _) = run(
+            &[
+                X86Instr::MovStore { width: Width::W8, src: Gpr::Ecx, dst: X86Mem::base(Gpr::Edi) },
+                X86Instr::Ret,
+            ],
+            |st| {
+                st.set_reg(Gpr::Edi, 0x3000);
+                st.set_reg(Gpr::Ecx, 0xaabb_ccdd);
+                st.mem.write(0x3000, 0xffff_ffff, Width::W32);
+            },
+        );
+        assert_eq!(st.mem.read(0x3000, Width::W32), 0xffff_ffdd);
+    }
+
+    #[test]
+    fn call_and_ret_within_sequence() {
+        let prog = [
+            X86Instr::Call { target: 1 },       // call the +2 "function"
+            X86Instr::Ret,                       // top-level return
+            X86Instr::mov_imm(Gpr::Eax, 99),     // function body
+            X86Instr::Ret,                       // return from call
+        ];
+        let (st, exit) = run(&prog, |_| {});
+        assert_eq!(exit, SeqExit::Returned);
+        assert_eq!(st.reg(Gpr::Eax), 99);
+    }
+
+    #[test]
+    fn stats_and_fuel() {
+        let mut st = X86State::new();
+        st.set_reg(Gpr::Esp, 0x20_0000);
+        let mut stats = ExecStats::new();
+        let prog = [X86Instr::Jmp { target: -1 }];
+        let exit = run_seq(&mut st, &prog, 7, &CostModel::default(), &mut stats);
+        assert_eq!(exit, SeqExit::OutOfFuel);
+        assert_eq!(stats.host_instrs, 7);
+        assert_eq!(stats.exec_cycles, 7 * CostModel::default().branch);
+    }
+
+    #[test]
+    fn fell_through_detection() {
+        let (_, exit) = run(&[X86Instr::mov_imm(Gpr::Eax, 1)], |_| {});
+        assert_eq!(exit, SeqExit::FellThrough);
+        let (_, exit) = run(&[X86Instr::Jmp { target: 5 }], |_| {});
+        assert_eq!(exit, SeqExit::FellThrough);
+    }
+
+    #[test]
+    fn halt_and_indirect_exit() {
+        let (_, exit) = run(&[X86Instr::Halt], |_| {});
+        assert_eq!(exit, SeqExit::Halted);
+        let (_, exit) = run(
+            &[X86Instr::JmpInd { src: Operand::Reg(Gpr::Eax) }],
+            |st| st.set_reg(Gpr::Eax, 0xbeef),
+        );
+        assert_eq!(exit, SeqExit::JumpedOut(0xbeef));
+    }
+}

@@ -1,0 +1,52 @@
+#![forbid(unsafe_code)]
+//! The host instruction set: a 32-bit x86-flavored CISC ISA.
+//!
+//! This crate models the host side of the paper's ARM→x86 translation
+//! pipeline as a faithful subset of IA-32:
+//!
+//! * 8 general registers with x86 roles (`%esp` is the hardware stack),
+//! * EFLAGS (`CF`/`ZF`/`SF`/`OF`) with the real quirks the paper leans on
+//!   — `CF` is a *borrow* on subtraction (the inverse of ARM `C`), and
+//!   `inc`/`dec` do not touch `CF` (paper §5's `adds`→`incl` example),
+//! * rich memory operands `disp(base, index, scale)` usable directly in
+//!   ALU instructions, plus `lea` for address arithmetic (the paper's
+//!   flagship many-to-one rule target),
+//! * scale values restricted to 1/2/4/8 — the "host ISA specific
+//!   constraint" of paper §5,
+//! * a variable-length binary encoder/decoder with ModRM/SIB bytes.
+//!
+//! The [`interp`] module executes host instruction sequences and doubles
+//! as the DBT's execution substrate (translated code runs on it, and the
+//! dispatcher convention is QEMU-like: a block returns the next guest PC
+//! in `%eax`).
+//!
+//! # Example
+//!
+//! ```
+//! use ldbt_x86::{Gpr, X86Instr, X86Mem};
+//!
+//! // leal -4(%edx,%eax,4), %ecx
+//! let i = X86Instr::Lea {
+//!     dst: Gpr::Ecx,
+//!     addr: X86Mem { base: Some(Gpr::Edx), index: Some((Gpr::Eax, 4)), disp: -4 },
+//! };
+//! assert_eq!(i.to_string(), "leal -4(%edx,%eax,4), %ecx");
+//! let bytes = ldbt_x86::encode::encode(&i).unwrap();
+//! let (decoded, len) = ldbt_x86::encode::decode(&bytes).unwrap();
+//! assert_eq!(decoded, i);
+//! assert_eq!(len, bytes.len());
+//! ```
+
+pub mod cc;
+pub mod encode;
+pub mod flags;
+pub mod insn;
+pub mod interp;
+pub mod reg;
+pub mod semantics;
+
+pub use cc::Cc;
+pub use flags::EFlags;
+pub use insn::{AluOp, Operand, ShiftOp, UnOp, X86Instr, X86Mem};
+pub use interp::{X86Event, X86State};
+pub use reg::Gpr;

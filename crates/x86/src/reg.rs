@@ -1,0 +1,102 @@
+//! x86 general-purpose registers.
+
+use std::fmt;
+
+/// One of the 8 IA-32 general registers, in ModRM encoding order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Gpr {
+    Eax,
+    Ecx,
+    Edx,
+    Ebx,
+    Esp,
+    Ebp,
+    Esi,
+    Edi,
+}
+
+impl Gpr {
+    /// All 8 registers in encoding order.
+    pub const ALL: [Gpr; 8] = [
+        Gpr::Eax,
+        Gpr::Ecx,
+        Gpr::Edx,
+        Gpr::Ebx,
+        Gpr::Esp,
+        Gpr::Ebp,
+        Gpr::Esi,
+        Gpr::Edi,
+    ];
+
+    /// The 3-bit ModRM encoding of the register.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The register with the given encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 7`.
+    pub fn from_index(index: usize) -> Gpr {
+        Self::ALL[index]
+    }
+
+    /// The AT&T name of the low byte (`%al`, `%cl`, …) where it exists.
+    ///
+    /// Only the first four registers have addressable low bytes in IA-32.
+    pub fn low8_name(self) -> Option<&'static str> {
+        match self {
+            Gpr::Eax => Some("%al"),
+            Gpr::Ecx => Some("%cl"),
+            Gpr::Edx => Some("%dl"),
+            Gpr::Ebx => Some("%bl"),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Gpr::Eax => "%eax",
+            Gpr::Ecx => "%ecx",
+            Gpr::Edx => "%edx",
+            Gpr::Ebx => "%ebx",
+            Gpr::Esp => "%esp",
+            Gpr::Ebp => "%ebp",
+            Gpr::Esi => "%esi",
+            Gpr::Edi => "%edi",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_order_matches_ia32() {
+        assert_eq!(Gpr::Eax.index(), 0);
+        assert_eq!(Gpr::Ecx.index(), 1);
+        assert_eq!(Gpr::Esp.index(), 4);
+        assert_eq!(Gpr::Edi.index(), 7);
+        for (i, r) in Gpr::ALL.iter().enumerate() {
+            assert_eq!(Gpr::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Gpr::Eax.to_string(), "%eax");
+        assert_eq!(Gpr::Ebp.to_string(), "%ebp");
+    }
+
+    #[test]
+    fn low_bytes() {
+        assert_eq!(Gpr::Eax.low8_name(), Some("%al"));
+        assert_eq!(Gpr::Esi.low8_name(), None);
+    }
+}

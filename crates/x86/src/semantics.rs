@@ -1,0 +1,234 @@
+//! Pure definitions of x86 ALU semantics, shared with the symbolic
+//! executor (mirrored structurally over bit-vector terms there and
+//! cross-checked by property tests in `ldbt-symexec`).
+
+use crate::flags::EFlags;
+use crate::insn::{AluOp, ShiftOp, UnOp};
+use ldbt_isa::bits;
+
+/// Result of an ALU evaluation: the value and the resulting flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluOut {
+    /// The computed value (discarded by `cmp`/`test`).
+    pub value: u32,
+    /// The flag state after the instruction.
+    pub flags: EFlags,
+}
+
+/// Evaluate a two-operand ALU op `dst = dst op src` with incoming flags.
+///
+/// IA-32 flag rules for the modeled subset:
+/// * add/adc/sub/sbb/cmp: CF (borrow polarity for subtraction!), ZF, SF,
+///   OF all set from the operation,
+/// * and/or/xor/test: CF = OF = 0, ZF/SF from the result.
+pub fn eval_alu(op: AluOp, dst: u32, src: u32, flags_in: EFlags) -> AluOut {
+    let c = flags_in.cf;
+    let (value, cf, of) = match op {
+        AluOp::Add => (
+            dst.wrapping_add(src),
+            bits::add_carry32(dst, src, false),
+            bits::add_overflow32(dst, src, false),
+        ),
+        AluOp::Adc => (
+            dst.wrapping_add(src).wrapping_add(c as u32),
+            bits::add_carry32(dst, src, c),
+            bits::add_overflow32(dst, src, c),
+        ),
+        AluOp::Sub | AluOp::Cmp => (
+            dst.wrapping_sub(src),
+            // x86 CF = borrow = NOT (ARM carry).
+            !bits::sub_carry32_arm(dst, src, true),
+            bits::sub_overflow32(dst, src),
+        ),
+        AluOp::Sbb => {
+            let r = dst.wrapping_sub(src).wrapping_sub(c as u32);
+            let full = (dst as i32 as i64) - (src as i32 as i64) - (c as i64);
+            (
+                r,
+                !bits::sub_carry32_arm(dst, src, !c),
+                full < i32::MIN as i64 || full > i32::MAX as i64,
+            )
+        }
+        AluOp::And | AluOp::Test => (dst & src, false, false),
+        AluOp::Or => (dst | src, false, false),
+        AluOp::Xor => (dst ^ src, false, false),
+    };
+    let mut flags = EFlags { cf, of, ..flags_in };
+    flags.set_zs(value);
+    AluOut { value, flags }
+}
+
+/// Evaluate a shift by an immediate count (1–31).
+///
+/// CF is the last bit shifted out; ZF/SF track the result. OF is modeled
+/// as cleared for all counts (IA-32 defines it only for count 1); the
+/// symbolic executor mirrors this simplification exactly.
+pub fn eval_shift(op: ShiftOp, dst: u32, count: u8, flags_in: EFlags) -> AluOut {
+    let count = (count & 31) as u32;
+    if count == 0 {
+        return AluOut { value: dst, flags: flags_in };
+    }
+    let (value, cf) = match op {
+        ShiftOp::Shl => (dst << count, (dst >> (32 - count)) & 1 != 0),
+        ShiftOp::Shr => (dst >> count, (dst >> (count - 1)) & 1 != 0),
+        ShiftOp::Sar => (
+            ((dst as i32) >> count) as u32,
+            ((dst as i32) >> (count - 1)) & 1 != 0,
+        ),
+    };
+    let mut flags = EFlags { cf, of: false, ..flags_in };
+    flags.set_zs(value);
+    AluOut { value, flags }
+}
+
+/// Evaluate a one-operand op.
+///
+/// `neg` sets all four flags (CF = operand ≠ 0); `inc`/`dec` set
+/// ZF/SF/OF but *preserve CF* (the quirk paper §5 exploits); `not` sets
+/// no flags at all.
+pub fn eval_un(op: UnOp, dst: u32, flags_in: EFlags) -> AluOut {
+    match op {
+        UnOp::Neg => {
+            let value = 0u32.wrapping_sub(dst);
+            let mut flags = EFlags {
+                cf: dst != 0,
+                of: dst == 0x8000_0000,
+                ..flags_in
+            };
+            flags.set_zs(value);
+            AluOut { value, flags }
+        }
+        UnOp::Not => AluOut { value: !dst, flags: flags_in },
+        UnOp::Inc => {
+            let value = dst.wrapping_add(1);
+            let mut flags = EFlags {
+                of: dst == 0x7fff_ffff,
+                ..flags_in // CF preserved
+            };
+            flags.set_zs(value);
+            AluOut { value, flags }
+        }
+        UnOp::Dec => {
+            let value = dst.wrapping_sub(1);
+            let mut flags = EFlags { of: dst == 0x8000_0000, ..flags_in };
+            flags.set_zs(value);
+            AluOut { value, flags }
+        }
+    }
+}
+
+/// Evaluate a two-operand `imul`.
+///
+/// CF = OF = set when the full signed product does not fit in 32 bits;
+/// ZF/SF are architecturally undefined and modeled as preserved.
+pub fn eval_imul(dst: u32, src: u32, flags_in: EFlags) -> AluOut {
+    let full = (dst as i32 as i64) * (src as i32 as i64);
+    let value = full as u32;
+    let overflow = full != value as i32 as i64;
+    AluOut {
+        value,
+        flags: EFlags { cf: overflow, of: overflow, ..flags_in },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_carry_is_borrow() {
+        let r = eval_alu(AluOp::Cmp, 3, 5, EFlags::new());
+        assert!(r.flags.cf, "3 - 5 borrows");
+        let r = eval_alu(AluOp::Cmp, 5, 3, EFlags::new());
+        assert!(!r.flags.cf);
+        let r = eval_alu(AluOp::Cmp, 5, 5, EFlags::new());
+        assert!(!r.flags.cf);
+        assert!(r.flags.zf);
+    }
+
+    #[test]
+    fn logical_clears_cf_of() {
+        let f = EFlags { cf: true, of: true, ..EFlags::new() };
+        let r = eval_alu(AluOp::And, 0xf0, 0x0f, f);
+        assert_eq!(r.value, 0);
+        assert!(r.flags.zf && !r.flags.cf && !r.flags.of);
+    }
+
+    #[test]
+    fn adc_sbb_chain() {
+        let f = EFlags { cf: true, ..EFlags::new() };
+        assert_eq!(eval_alu(AluOp::Adc, 1, 1, f).value, 3);
+        assert_eq!(eval_alu(AluOp::Sbb, 5, 3, f).value, 1);
+        assert_eq!(eval_alu(AluOp::Sbb, 5, 3, EFlags::new()).value, 2);
+    }
+
+    #[test]
+    fn shifts() {
+        let r = eval_shift(ShiftOp::Shl, 0x8000_0001, 1, EFlags::new());
+        assert_eq!(r.value, 2);
+        assert!(r.flags.cf);
+        let r = eval_shift(ShiftOp::Sar, 0x8000_0000, 4, EFlags::new());
+        assert_eq!(r.value, 0xf800_0000);
+        let r = eval_shift(ShiftOp::Shr, 0b101, 1, EFlags::new());
+        assert_eq!(r.value, 0b10);
+        assert!(r.flags.cf);
+    }
+
+    #[test]
+    fn inc_preserves_cf() {
+        let f = EFlags { cf: true, ..EFlags::new() };
+        let r = eval_un(UnOp::Inc, 5, f);
+        assert_eq!(r.value, 6);
+        assert!(r.flags.cf, "inc preserves CF");
+        let r = eval_un(UnOp::Inc, u32::MAX, EFlags::new());
+        assert_eq!(r.value, 0);
+        assert!(r.flags.zf);
+        assert!(!r.flags.cf, "wrap does NOT set CF via inc");
+        let r = eval_un(UnOp::Inc, 0x7fff_ffff, EFlags::new());
+        assert!(r.flags.of);
+    }
+
+    #[test]
+    fn dec_and_neg() {
+        let r = eval_un(UnOp::Dec, 1, EFlags { cf: true, ..EFlags::new() });
+        assert_eq!(r.value, 0);
+        assert!(r.flags.zf && r.flags.cf);
+        let r = eval_un(UnOp::Neg, 5, EFlags::new());
+        assert_eq!(r.value, (-5i32) as u32);
+        assert!(r.flags.cf && r.flags.sf);
+        let r = eval_un(UnOp::Neg, 0, EFlags::new());
+        assert!(!r.flags.cf && r.flags.zf);
+    }
+
+    #[test]
+    fn not_touches_no_flags() {
+        let f = EFlags { cf: true, zf: true, sf: true, of: true };
+        let r = eval_un(UnOp::Not, 0, f);
+        assert_eq!(r.value, u32::MAX);
+        assert_eq!(r.flags, f);
+    }
+
+    #[test]
+    fn imul_overflow_flag() {
+        let r = eval_imul(0x10000, 0x10000, EFlags::new());
+        assert_eq!(r.value, 0);
+        assert!(r.flags.cf && r.flags.of);
+        let r = eval_imul(1000, 1000, EFlags::new());
+        assert_eq!(r.value, 1_000_000);
+        assert!(!r.flags.cf);
+        let r = eval_imul((-3i32) as u32, 7, EFlags::new());
+        assert_eq!(r.value, (-21i32) as u32);
+        assert!(!r.flags.cf);
+    }
+
+    #[test]
+    fn x86_vs_arm_carry_polarity() {
+        // The paper's cs→ae mapping: after identical compares, ARM C is
+        // the negation of x86 CF.
+        for (a, b) in [(1u32, 2u32), (2, 1), (7, 7), (0, u32::MAX)] {
+            let x86 = eval_alu(AluOp::Cmp, a, b, EFlags::new());
+            let arm_c = ldbt_isa::bits::sub_carry32_arm(a, b, true);
+            assert_eq!(x86.flags.cf, !arm_c);
+        }
+    }
+}

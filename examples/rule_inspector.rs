@@ -1,0 +1,62 @@
+//! Inspect the translation rules learned from a suite benchmark:
+//! templates, parameterization, flag caveats, and length histogram.
+//!
+//! ```sh
+//! cargo run --release --example rule_inspector -- gcc
+//! cargo run --release --example rule_inspector -- mcf --branches
+//! ```
+
+use ldbt_core::compiler::Options;
+use ldbt_core::learn::pipeline::learn_from_source;
+use ldbt_core::workloads::{benchmark, source, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("mcf");
+    let only_branches = args.iter().any(|a| a == "--branches");
+    let b = benchmark(name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; pick one of:");
+        for b in &ldbt_core::workloads::SUITE {
+            eprintln!("  {}", b.name);
+        }
+        std::process::exit(1);
+    });
+
+    let src = source(b, Workload::Ref);
+    let report = learn_from_source(name, &src, &Options::o2()).unwrap();
+    let s = &report.stats;
+    println!("== learning report for {name} ==");
+    println!(
+        "snippets {} | preparation fails CI {} PI {} MB {} | parameterization fails {} | \
+         verification fails {} | rules {} ({} after dedup)",
+        s.total,
+        s.prep_ci,
+        s.prep_pi,
+        s.prep_mb,
+        s.par_num + s.par_name + s.par_failg,
+        s.ver_rg + s.ver_mm + s.ver_br + s.ver_other,
+        s.rules,
+        report.rules.len()
+    );
+    println!("learning time: {:?} ({:?} in verification)", s.learn_time, s.verify_time);
+
+    let hist = report.rules.length_histogram();
+    let mut lens: Vec<_> = hist.iter().collect();
+    lens.sort();
+    print!("rule length histogram: ");
+    for (len, n) in lens {
+        print!("{len}→{n}  ");
+    }
+    println!();
+    println!();
+    for (i, rule) in report.rules.iter().enumerate() {
+        if only_branches && !rule.has_branch {
+            continue;
+        }
+        println!("--- rule {i} ({} guest → {} host)", rule.len(), rule.host.len());
+        print!("{rule}");
+        if !rule.imm_params.is_empty() {
+            println!("  parameterized immediates: {}", rule.imm_params.len());
+        }
+    }
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! Top-level facade for the learned-DBT workspace.
+//!
+//! Re-exports the end-to-end pipeline from [`ldbt_core`]. See the README
+//! for the architecture overview and `examples/` for runnable entry points.
+
+pub use ldbt_core::*;

@@ -1,0 +1,158 @@
+//! Adversarial tests: the verifier must reject wrong rules, and the DBT
+//! must actually *execute* rule-generated code (a deliberately corrupted
+//! rule changes program results — proving rules are load-bearing).
+
+use ldbt_arm::{ArmInstr, ArmReg, DpOp, Operand2};
+use ldbt_compiler::{link::build_arm_image, Options};
+use ldbt_dbt::engine::{RunOutcome, Translator};
+use ldbt_dbt::Engine;
+use ldbt_learn::extract::SnippetPair;
+use ldbt_learn::param::initial_mappings;
+use ldbt_learn::verify::verify;
+use ldbt_learn::{Rule, RuleSet};
+use ldbt_x86::{AluOp, Gpr, X86Instr};
+use std::rc::Rc;
+
+fn learn_one(guest: Vec<ArmInstr>, host: Vec<X86Instr>) -> Result<Rule, String> {
+    let pair = SnippetPair {
+        loc: ldbt_isa::SourceLoc::line(1),
+        func: "f".into(),
+        guest: guest.into_iter().map(|g| (g, None)).collect(),
+        host: host.into_iter().map(|h| (h, None)).collect(),
+    };
+    let mappings = initial_mappings(&pair).map_err(|e| format!("{e:?}"))?;
+    let mut last = Err("no mapping".to_string());
+    for m in &mappings {
+        match verify(&pair, m) {
+            Ok(r) => return Ok(r),
+            Err(e) => last = Err(format!("{e:?}")),
+        }
+    }
+    last
+}
+
+/// Mutating any single host instruction of a correct rule into a
+/// different ALU operation must make verification fail.
+#[test]
+fn verifier_rejects_mutated_host_code() {
+    let guest = vec![
+        ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Reg(ArmReg::R0)),
+        ArmInstr::dp(DpOp::Eor, ArmReg::R2, ArmReg::R1, Operand2::Imm(9)),
+    ];
+    let host = vec![
+        X86Instr::alu_rr(AluOp::Add, Gpr::Edx, Gpr::Eax),
+        X86Instr::mov_rr(Gpr::Ecx, Gpr::Edx),
+        X86Instr::alu_ri(AluOp::Xor, Gpr::Ecx, 9),
+    ];
+    assert!(learn_one(guest.clone(), host.clone()).is_ok(), "base rule verifies");
+    // Mutations: swap each ALU opcode for a wrong one.
+    let mutations: Vec<Vec<X86Instr>> = vec![
+        vec![
+            X86Instr::alu_rr(AluOp::Sub, Gpr::Edx, Gpr::Eax), // add → sub
+            host[1],
+            host[2],
+        ],
+        vec![
+            host[0],
+            host[1],
+            X86Instr::alu_ri(AluOp::Or, Gpr::Ecx, 9), // xor → or
+        ],
+        vec![
+            host[0],
+            host[1],
+            X86Instr::alu_ri(AluOp::Xor, Gpr::Ecx, 8), // wrong immediate
+        ],
+        vec![
+            host[0],
+            X86Instr::mov_rr(Gpr::Ecx, Gpr::Eax), // copies the wrong source
+            host[2],
+        ],
+    ];
+    for (i, m) in mutations.into_iter().enumerate() {
+        assert!(
+            learn_one(guest.clone(), m).is_err(),
+            "mutation {i} must be rejected"
+        );
+    }
+}
+
+/// Flag-polarity confusion must be caught: emulating ARM `cs` with x86
+/// `b` (instead of `ae`) is refuted by the branch-condition check.
+#[test]
+fn verifier_rejects_carry_polarity_swap() {
+    let guest = vec![
+        ArmInstr::cmp(ArmReg::R2, Operand2::Reg(ArmReg::R3)),
+        ArmInstr::B { offset: 4, cond: ldbt_arm::Cond::Cs },
+    ];
+    let good = vec![
+        X86Instr::alu_rr(AluOp::Cmp, Gpr::Ecx, Gpr::Ebx),
+        X86Instr::Jcc { cc: ldbt_x86::Cc::Ae, target: 0 },
+    ];
+    let bad = vec![
+        X86Instr::alu_rr(AluOp::Cmp, Gpr::Ecx, Gpr::Ebx),
+        X86Instr::Jcc { cc: ldbt_x86::Cc::B, target: 0 },
+    ];
+    assert!(learn_one(guest.clone(), good).is_ok());
+    assert!(learn_one(guest, bad).is_err());
+}
+
+/// Rule code actually executes: injecting a subtly wrong rule directly
+/// into the rule set (bypassing verification) changes the program's
+/// result, proving the engine runs rule-generated host code rather than
+/// silently falling back to TCG.
+#[test]
+fn rules_are_load_bearing() {
+    let src = "
+int main() {
+  int s = 0;
+  for (int i = 0; i < 10; i += 1) { s = s + i; s = s ^ 3; }
+  return s;
+}";
+    let image = build_arm_image(src, &Options::o2()).unwrap();
+    let mut base = Engine::new(&image, Translator::Tcg);
+    assert_eq!(base.run(10_000_000), RunOutcome::Halted);
+    let want = base.guest_reg(ArmReg::R0);
+
+    // A wrong "rule": eor r, r, #imm → xorl $(imm+1).
+    let mut evil = RuleSet::new();
+    evil.insert(Rule {
+        guest: vec![ArmInstr::dp(DpOp::Eor, ArmReg::R0, ArmReg::R0, Operand2::Imm(3))],
+        host: vec![X86Instr::alu_ri(AluOp::Xor, Gpr::Ecx, 2)],
+        host_reg_of: [(Gpr::Ecx, ArmReg::R0)].into_iter().collect(),
+        imm_params: vec![],
+        unemulated_flags: 0,
+        has_branch: false,
+    });
+    let mut evil_engine = Engine::new(&image, Translator::Rules(Rc::new(evil)));
+    assert_eq!(evil_engine.run(10_000_000), RunOutcome::Halted);
+    assert_ne!(
+        evil_engine.guest_reg(ArmReg::R0),
+        want,
+        "the corrupted rule must visibly change the result (rules execute)"
+    );
+    assert!(evil_engine.stats.guest_dyn_covered > 0);
+}
+
+/// The repair synthesizer's output is itself verified: a snippet whose
+/// scratch materialization cannot be expressed as mov/lea is rejected,
+/// not silently mistranslated.
+#[test]
+fn unsynthesizable_scratch_rejected() {
+    // Guest computes r12 = r0 * r1 (not expressible as a single mov/lea
+    // over mapped inputs) while the host ignores it.
+    let guest = vec![
+        ArmInstr::Mul {
+            rd: ArmReg::R12,
+            rn: ArmReg::R0,
+            rm: ArmReg::R1,
+            set_flags: false,
+            cond: ldbt_arm::Cond::Al,
+        },
+        ArmInstr::dp(DpOp::Add, ArmReg::R2, ArmReg::R0, Operand2::Reg(ArmReg::R1)),
+    ];
+    let host = vec![X86Instr::Lea {
+        dst: Gpr::Edx,
+        addr: ldbt_x86::X86Mem { base: Some(Gpr::Eax), index: Some((Gpr::Ecx, 1)), disp: 0 },
+    }];
+    assert!(learn_one(guest, host).is_err());
+}

@@ -1,0 +1,212 @@
+//! Hand-written guest images that exercise the engine paths compiled
+//! code rarely hits: cross-block condition-code consumption (the paper's
+//! §5 machinery end-to-end), indirect branches, helper fallback, and
+//! cache reuse across runs.
+
+use ldbt_arm::{encode::assemble, AddrMode, ArmInstr, ArmReg, Cond, DpOp, Operand2};
+use ldbt_compiler::ArmImage;
+use ldbt_dbt::engine::{RunOutcome, Translator};
+use ldbt_dbt::Engine;
+use ldbt_learn::{Rule, RuleSet};
+use ldbt_x86::{AluOp, Cc, Gpr, X86Instr};
+use std::rc::Rc;
+
+/// Wrap raw instructions into a runnable image at the standard base.
+fn image_of(instrs: &[ArmInstr]) -> ArmImage {
+    ArmImage {
+        bytes: assemble(instrs).expect("encodable"),
+        base: ldbt_compiler::link::CODE_BASE,
+        entry: ldbt_compiler::link::CODE_BASE,
+        func_addrs: vec![("raw".into(), ldbt_compiler::link::CODE_BASE)],
+        meta: vec![(ldbt_isa::SourceLoc::NONE, None); instrs.len()],
+        globals: vec![],
+    }
+}
+
+fn run_all_engines(image: &ArmImage, rules: Rc<RuleSet>) -> Vec<(String, u32, u32)> {
+    // Reference.
+    let mut m = ldbt_arm::ArmMachine::new();
+    image.load_into(&mut m.state.mem);
+    m.state.regs[15] = image.entry;
+    assert_eq!(m.run(1_000_000), ldbt_arm::ArmStop::Halt);
+    let want_r0 = m.state.reg(ArmReg::R0);
+    let want_r4 = m.state.reg(ArmReg::R4);
+    let mut out = Vec::new();
+    for t in [
+        Translator::Tcg,
+        Translator::Jit,
+        Translator::Rules(Rc::clone(&rules)),
+        Translator::RulesNoLazyFlags(rules.clone()),
+    ] {
+        let label = format!("{t:?}");
+        let mut e = Engine::new(image, t);
+        assert_eq!(e.run(100_000_000), RunOutcome::Halted, "{label}");
+        assert_eq!(e.guest_reg(ArmReg::R0), want_r0, "{label} r0");
+        assert_eq!(e.guest_reg(ArmReg::R4), want_r4, "{label} r4");
+        out.push((label, e.guest_reg(ArmReg::R0), e.guest_reg(ArmReg::R4)));
+    }
+    out
+}
+
+/// A rule for `subs r, r, #imm` → `subl $imm, r` so the rule engine
+/// covers the flag-producing block (C is emulated with sub polarity,
+/// hence `unemulated_flags == 0`).
+fn subs_rule() -> Rule {
+    Rule {
+        guest: vec![ArmInstr::dps(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(1))],
+        host: vec![X86Instr::alu_ri(AluOp::Sub, Gpr::Ecx, 1)],
+        host_reg_of: [(Gpr::Ecx, ArmReg::R0)].into_iter().collect(),
+        imm_params: vec![ldbt_learn::rule::ImmParam {
+            guest_site: (0, ldbt_learn::rule::ImmSlot::Data),
+            extra_guest_sites: vec![],
+            template_value: 1,
+            host_sites: vec![(0, ldbt_learn::rule::ImmSlot::Data, ldbt_learn::rule::ImmRel::Id)],
+        }],
+        unemulated_flags: 0,
+        has_branch: false,
+    }
+}
+
+/// Flags set in one block, consumed by a *different* block: the rule
+/// engine must save host flags lazily and the consumer must materialize
+/// them through the flag-mode stub.
+#[test]
+fn cross_block_flag_consumption() {
+    // b +0 forces a block boundary between the flag producer and the
+    // conditional branch.
+    let prog = vec![
+        ArmInstr::mov(ArmReg::R0, Operand2::Imm(3)),
+        ArmInstr::mov(ArmReg::R4, Operand2::Imm(0)),
+        // loop:
+        ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Imm(5)),
+        ArmInstr::dps(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(1)), // flags!
+        ArmInstr::B { offset: 0, cond: Cond::Al }, // block boundary
+        ArmInstr::B { offset: -4, cond: Cond::Ne }, // consumes Z cross-block
+        ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ];
+    let mut rules = RuleSet::new();
+    rules.insert(subs_rule());
+    let results = run_all_engines(&image_of(&prog), Rc::new(rules));
+    for (label, r0, r4) in &results {
+        assert_eq!(*r0, 0, "{label}");
+        assert_eq!(*r4, 15, "{label}");
+    }
+}
+
+/// Carry consumed across blocks (unsigned comparison polarity through
+/// the saved-flag path).
+#[test]
+fn cross_block_carry_polarity() {
+    let prog = vec![
+        ArmInstr::mov(ArmReg::R0, Operand2::Imm(7)),
+        ArmInstr::cmp(ArmReg::R0, Operand2::Imm(9)), // 7 < 9: C clear (borrow)
+        ArmInstr::B { offset: 0, cond: Cond::Al },   // boundary
+        // cs would skip; cc taken:
+        ArmInstr::Dp {
+            op: DpOp::Mov,
+            rd: ArmReg::R4,
+            rn: ArmReg::R0,
+            op2: Operand2::Imm(111),
+            set_flags: false,
+            cond: Cond::Al,
+        },
+        ArmInstr::B { offset: 1, cond: Cond::Cc }, // taken (C clear)
+        ArmInstr::mov(ArmReg::R4, Operand2::Imm(222)), // skipped
+        ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ];
+    // Rule covering cmp so flags end up host-side.
+    let mut rules = RuleSet::new();
+    rules.insert(Rule {
+        guest: vec![ArmInstr::cmp(ArmReg::R0, Operand2::Imm(9))],
+        host: vec![X86Instr::alu_ri(AluOp::Cmp, Gpr::Ecx, 9)],
+        host_reg_of: [(Gpr::Ecx, ArmReg::R0)].into_iter().collect(),
+        imm_params: vec![],
+        unemulated_flags: 0,
+        has_branch: false,
+    });
+    let results = run_all_engines(&image_of(&prog), Rc::new(rules));
+    for (label, _, r4) in &results {
+        assert_eq!(*r4, 111, "{label}");
+    }
+}
+
+/// Indirect branches through `bx` (computed dispatch).
+#[test]
+fn indirect_dispatch() {
+    let base = ldbt_compiler::link::CODE_BASE;
+    let prog = vec![
+        // r1 = address of target (instr 5)
+        ArmInstr::mov(ArmReg::R1, Operand2::Imm(5 * 4)),
+        ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Imm((base & 0xfff) as u32)),
+        // base is 0x10000: materialize via shift
+        ArmInstr::mov(ArmReg::R2, Operand2::Imm(1)),
+        ArmInstr::dp(
+            DpOp::Add,
+            ArmReg::R1,
+            ArmReg::R1,
+            Operand2::RegShift(ArmReg::R2, ldbt_arm::Shift::Lsl(16)),
+        ),
+        ArmInstr::Bx { rm: ArmReg::R1, cond: Cond::Al },
+        // target:
+        ArmInstr::mov(ArmReg::R0, Operand2::Imm(99)),
+        ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ];
+    let results = run_all_engines(&image_of(&prog), Rc::new(RuleSet::new()));
+    for (label, r0, _) in &results {
+        assert_eq!(*r0, 99, "{label}");
+    }
+}
+
+/// Predicated memory operations go through the interpreter helper.
+#[test]
+fn predicated_memory_helper_fallback() {
+    let prog = vec![
+        ArmInstr::mov(ArmReg::R1, Operand2::Imm(0x800)),
+        ArmInstr::mov(ArmReg::R0, Operand2::Imm(42)),
+        ArmInstr::cmp(ArmReg::R0, Operand2::Imm(42)),
+        // streq r0, [r1] — executes (Z set).
+        ArmInstr::Str {
+            rt: ArmReg::R0,
+            addr: AddrMode::Imm(ArmReg::R1, 0),
+            width: ldbt_isa::Width::W32,
+            cond: Cond::Eq,
+        },
+        // strne r0, [r1, #4] — suppressed.
+        ArmInstr::Str {
+            rt: ArmReg::R0,
+            addr: AddrMode::Imm(ArmReg::R1, 4),
+            width: ldbt_isa::Width::W32,
+            cond: Cond::Ne,
+        },
+        ArmInstr::ldr(ArmReg::R4, AddrMode::Imm(ArmReg::R1, 0)),
+        ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ];
+    let image = image_of(&prog);
+    let mut e = Engine::new(&image, Translator::Tcg);
+    assert_eq!(e.run(1_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R4), 42);
+    assert!(e.stats.helper_steps > 0, "helper must have been used");
+    assert_eq!(e.state.mem.read(0x804, ldbt_isa::Width::W32), 0, "suppressed store");
+}
+
+/// The code cache is reused across a reset: the second run translates
+/// nothing new.
+#[test]
+fn cache_reuse_across_reset() {
+    let prog = vec![
+        ArmInstr::mov(ArmReg::R0, Operand2::Imm(7)),
+        ArmInstr::dps(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(1)),
+        ArmInstr::B { offset: -2, cond: Cond::Ne },
+        ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ];
+    let image = image_of(&prog);
+    let mut e = Engine::new(&image, Translator::Tcg);
+    assert_eq!(e.run(1_000_000), RunOutcome::Halted);
+    let blocks_after_first = e.stats.blocks;
+    let trans_after_first = e.stats.exec.translation_cycles;
+    e.reset();
+    assert_eq!(e.run(1_000_000), RunOutcome::Halted);
+    assert_eq!(e.stats.blocks, blocks_after_first, "no retranslation");
+    assert_eq!(e.stats.exec.translation_cycles, trans_after_first);
+    assert_eq!(e.guest_reg(ArmReg::R0), 0);
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for both instruction sets: encode/decode
+//! round-trips and interpreter invariants.
+
+use ldbt_arm::{AddrMode, ArmInstr, ArmReg, Cond, DpOp, Operand2, Shift};
+use ldbt_isa::Width;
+use ldbt_x86::{AluOp, Cc, Gpr, Operand, ShiftOp, UnOp, X86Instr, X86Mem};
+use proptest::prelude::*;
+
+fn arm_reg() -> impl Strategy<Value = ArmReg> {
+    (0usize..16).prop_map(ArmReg::from_index)
+}
+
+fn arm_cond() -> impl Strategy<Value = Cond> {
+    (0usize..15).prop_map(|i| Cond::ALL[i])
+}
+
+fn shift() -> impl Strategy<Value = Shift> {
+    (0u8..4, 1u8..32).prop_map(|(t, a)| match t {
+        0 => Shift::Lsl(a),
+        1 => Shift::Lsr(a),
+        2 => Shift::Asr(a),
+        _ => Shift::Ror(a),
+    })
+}
+
+fn operand2() -> impl Strategy<Value = Operand2> {
+    prop_oneof![
+        (0u32..4096).prop_map(Operand2::Imm),
+        arm_reg().prop_map(Operand2::Reg),
+        (arm_reg(), shift()).prop_map(|(r, s)| Operand2::RegShift(r, s)),
+    ]
+}
+
+fn arm_instr() -> impl Strategy<Value = ArmInstr> {
+    prop_oneof![
+        (0usize..15, arm_reg(), arm_reg(), operand2(), any::<bool>(), arm_cond()).prop_map(
+            |(op, rd, rn, op2, s, cond)| {
+                let op = DpOp::ALL[op];
+                ArmInstr::Dp { op, rd, rn, op2, set_flags: s || op.is_compare(), cond }
+            }
+        ),
+        (arm_reg(), arm_reg(), arm_reg(), any::<bool>(), arm_cond())
+            .prop_map(|(rd, rn, rm, s, cond)| ArmInstr::Mul { rd, rn, rm, set_flags: s, cond }),
+        (arm_reg(), arm_reg(), -2048i32..2048, 0usize..3, any::<bool>(), arm_cond()).prop_map(
+            |(rt, rn, off, w, sg, cond)| {
+                let width = [Width::W8, Width::W16, Width::W32][w];
+                ArmInstr::Ldr { rt, addr: AddrMode::Imm(rn, off), width, signed: sg, cond }
+            }
+        ),
+        (arm_reg(), arm_reg(), arm_reg(), 1u8..32, arm_cond()).prop_map(
+            |(rt, rn, rm, s, cond)| ArmInstr::Str {
+                rt,
+                addr: AddrMode::RegShift(rn, rm, s),
+                width: Width::W32,
+                cond
+            }
+        ),
+        (-(1i32 << 23)..(1 << 23), arm_cond()).prop_map(|(offset, cond)| ArmInstr::B {
+            offset,
+            cond
+        }),
+        (arm_reg(), 0u32..0x100_0000).prop_map(|(rm, imm)| {
+            if imm & 1 == 0 {
+                ArmInstr::Bx { rm, cond: Cond::Al }
+            } else {
+                ArmInstr::Svc { imm, cond: Cond::Al }
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arm_encode_decode_roundtrip(instr in arm_instr()) {
+        let word = ldbt_arm::encode::encode(&instr).expect("valid by construction");
+        let back = ldbt_arm::encode::decode(word).expect("decodes");
+        prop_assert_eq!(back, instr);
+        // Re-encoding is a fixpoint.
+        prop_assert_eq!(ldbt_arm::encode::encode(&back).unwrap(), word);
+    }
+
+    #[test]
+    fn arm_display_is_nonempty_and_stable(instr in arm_instr()) {
+        let s = instr.to_string();
+        prop_assert!(!s.is_empty());
+        prop_assert_eq!(instr.to_string(), s);
+    }
+
+    #[test]
+    fn arm_flags_written_within_mask(instr in arm_instr()) {
+        prop_assert_eq!(instr.flags_written() & !0b1111, 0);
+        prop_assert_eq!(instr.flags_read() & !0b1111, 0);
+        if !instr.sets_flags() {
+            prop_assert_eq!(instr.flags_written(), 0);
+        }
+    }
+}
+
+fn gpr() -> impl Strategy<Value = Gpr> {
+    (0usize..8).prop_map(Gpr::from_index)
+}
+
+fn x86_mem() -> impl Strategy<Value = X86Mem> {
+    (
+        proptest::option::of(gpr()),
+        proptest::option::of((gpr().prop_filter("esp is not an index", |g| *g != Gpr::Esp), 0u8..4)),
+        -5000i32..5000,
+    )
+        .prop_map(|(base, idx, disp)| X86Mem {
+            base,
+            index: idx.map(|(r, s)| (r, 1u8 << s)),
+            disp,
+        })
+}
+
+fn rm_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![gpr().prop_map(Operand::Reg), x86_mem().prop_map(Operand::Mem)]
+}
+
+fn x86_instr() -> impl Strategy<Value = X86Instr> {
+    prop_oneof![
+        (gpr(), any::<i32>()).prop_map(|(r, v)| X86Instr::mov_imm(r, v)),
+        (rm_operand(), gpr()).prop_map(|(dst, s)| X86Instr::Mov { dst, src: Operand::Reg(s) }),
+        (gpr(), x86_mem()).prop_map(|(d, m)| X86Instr::Mov {
+            dst: Operand::Reg(d),
+            src: Operand::Mem(m)
+        }),
+        (0usize..9, rm_operand(), gpr()).prop_map(|(op, dst, s)| X86Instr::Alu {
+            op: AluOp::ALL[op],
+            dst,
+            src: Operand::Reg(s)
+        }),
+        (0usize..9, rm_operand(), any::<i32>()).prop_map(|(op, dst, v)| X86Instr::Alu {
+            op: AluOp::ALL[op],
+            dst,
+            src: Operand::Imm(v)
+        }),
+        (gpr(), x86_mem()).prop_map(|(d, m)| X86Instr::Lea { dst: d, addr: m }),
+        (gpr(), rm_operand()).prop_map(|(d, s)| X86Instr::Imul { dst: d, src: s }),
+        (0usize..3, rm_operand(), 1u8..32).prop_map(|(op, dst, c)| X86Instr::Shift {
+            op: [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar][op],
+            dst,
+            count: c
+        }),
+        (0usize..4, rm_operand()).prop_map(|(op, dst)| X86Instr::Un {
+            op: [UnOp::Neg, UnOp::Not, UnOp::Inc, UnOp::Dec][op],
+            dst
+        }),
+        (any::<bool>(), any::<bool>(), gpr(), x86_mem()).prop_map(|(sg, w16, d, m)| {
+            X86Instr::Movx {
+                sign: sg,
+                width: if w16 { Width::W16 } else { Width::W8 },
+                dst: d,
+                src: Operand::Mem(m),
+            }
+        }),
+        (0usize..14, 0usize..4).prop_map(|(cc, r)| X86Instr::Setcc {
+            cc: Cc::ALL[cc],
+            dst: Gpr::from_index(r)
+        }),
+        Just(X86Instr::Ret),
+        Just(X86Instr::Pushfd),
+        Just(X86Instr::Popfd),
+        Just(X86Instr::Halt),
+        gpr().prop_map(|r| X86Instr::Push { src: Operand::Reg(r) }),
+        gpr().prop_map(|r| X86Instr::Pop { dst: Operand::Reg(r) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn x86_encode_decode_roundtrip(instr in x86_instr()) {
+        let bytes = ldbt_x86::encode::encode(&instr).expect("valid by construction");
+        let (back, len) = ldbt_x86::encode::decode(&bytes).expect("decodes");
+        prop_assert_eq!(back, instr);
+        prop_assert_eq!(len, bytes.len());
+    }
+
+    #[test]
+    fn x86_sequences_disassemble(instrs in proptest::collection::vec(x86_instr(), 1..12)) {
+        // Straight-line sequences (no branch targets to fix up).
+        let bytes = ldbt_x86::encode::assemble(&instrs).expect("assembles");
+        let back = ldbt_x86::encode::disassemble(&bytes).expect("disassembles");
+        prop_assert_eq!(back, instrs);
+    }
+
+    #[test]
+    fn x86_mem_operands_consistent(instr in x86_instr()) {
+        // mem_operands() ⊇ mem_operand(), and RMW forms report
+        // load-then-store at the same address.
+        let all = instr.mem_operands();
+        if let Some(one) = instr.mem_operand() {
+            prop_assert!(all.contains(&one));
+        }
+        if all.len() == 2 {
+            prop_assert_eq!(all[0].0, all[1].0);
+            prop_assert!(!all[0].2 && all[1].2);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Cross-checking the symbolic executors against the concrete
+//! interpreters: for random straight-line sequences and random inputs,
+//! evaluating the symbolic outputs under the inputs must reproduce the
+//! interpreter's final state — registers, flags, and stores.
+
+use ldbt_arm::{ArmInstr, ArmReg, DpOp, Operand2, Shift};
+use ldbt_smt::TermPool;
+use ldbt_symexec::common::concrete_imms;
+use ldbt_symexec::{exec_arm_seq, exec_x86_seq, MemOracle, SymArmState, SymX86State};
+use ldbt_x86::{AluOp, Gpr, Operand, ShiftOp, UnOp, X86Instr, X86Mem};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn low_reg() -> impl Strategy<Value = ArmReg> {
+    (0usize..8).prop_map(ArmReg::from_index)
+}
+
+fn dp_op() -> impl Strategy<Value = DpOp> {
+    (0usize..15).prop_map(|i| DpOp::ALL[i])
+}
+
+fn straightline_arm() -> impl Strategy<Value = Vec<ArmInstr>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (dp_op(), low_reg(), low_reg(), low_reg(), any::<bool>()).prop_map(
+                |(op, rd, rn, rm, s)| ArmInstr::Dp {
+                    op,
+                    rd,
+                    rn,
+                    op2: Operand2::Reg(rm),
+                    set_flags: s || op.is_compare(),
+                    cond: ldbt_arm::Cond::Al,
+                }
+            ),
+            (dp_op(), low_reg(), low_reg(), 0u32..4096, any::<bool>()).prop_map(
+                |(op, rd, rn, v, s)| ArmInstr::Dp {
+                    op,
+                    rd,
+                    rn,
+                    op2: Operand2::Imm(v),
+                    set_flags: s || op.is_compare(),
+                    cond: ldbt_arm::Cond::Al,
+                }
+            ),
+            (dp_op(), low_reg(), low_reg(), low_reg(), 1u8..32, 0u8..4).prop_map(
+                |(op, rd, rn, rm, a, t)| {
+                    let shift = match t {
+                        0 => Shift::Lsl(a),
+                        1 => Shift::Lsr(a),
+                        2 => Shift::Asr(a),
+                        _ => Shift::Ror(a),
+                    };
+                    ArmInstr::Dp {
+                        op,
+                        rd,
+                        rn,
+                        op2: Operand2::RegShift(rm, shift),
+                        set_flags: op.is_compare(),
+                        cond: ldbt_arm::Cond::Al,
+                    }
+                }
+            ),
+            (low_reg(), low_reg(), low_reg(), any::<bool>()).prop_map(|(rd, rn, rm, s)| {
+                ArmInstr::Mul { rd, rn, rm, set_flags: s, cond: ldbt_arm::Cond::Al }
+            }),
+        ],
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arm_symbolic_matches_interpreter(
+        seq in straightline_arm(),
+        inputs in proptest::collection::vec(any::<u32>(), 8),
+        nzcv in 0u8..16,
+    ) {
+        // Symbolic execution with fresh symbols per register.
+        let mut pool = TermPool::new();
+        let init = SymArmState::fresh(&mut pool, "");
+        let mut oracle = MemOracle::new();
+        let out = exec_arm_seq(&mut pool, &seq, init, &mut oracle, &mut concrete_imms)
+            .expect("straight-line sequences have no hazards");
+
+        // Concrete interpretation from the same inputs.
+        let mut arm = ldbt_arm::ArmState::new();
+        for (i, v) in inputs.iter().enumerate() {
+            arm.set_reg(ArmReg::from_index(i), *v);
+        }
+        arm.flags = ldbt_arm::Flags::from_nzcv(nzcv);
+        for i in &seq {
+            arm.exec(i);
+        }
+
+        // Environment: registers r0..r7 were interned first (symbols 0..15
+        // in register order), then the flags gN..gV — resolve by name.
+        let mut env: HashMap<u32, u64> = HashMap::new();
+        let mut pool2 = pool.clone();
+        for i in 0..16usize {
+            let t = pool2.var(&format!("r{i}"), 32);
+            if let ldbt_smt::term::Term::Var { sym, .. } = *pool2.term(t) {
+                env.insert(sym, if i < 8 { inputs[i] as u64 } else { 0 });
+            }
+        }
+        let f0 = ldbt_arm::Flags::from_nzcv(nzcv);
+        for (name, b) in [("N", f0.n), ("Z", f0.z), ("C", f0.c), ("V", f0.v)] {
+            let t = pool2.var(name, 1);
+            if let ldbt_smt::term::Term::Var { sym, .. } = *pool2.term(t) {
+                env.insert(sym, b as u64);
+            }
+        }
+
+        for r in 0..8usize {
+            let reg = ArmReg::from_index(r);
+            let got = pool2.eval(out.state.reg(reg), &env) as u32;
+            prop_assert_eq!(got, arm.reg(reg), "r{} after {:?}", r, seq);
+        }
+        prop_assert_eq!(pool2.eval(out.state.flags.n, &env) == 1, arm.flags.n, "N");
+        prop_assert_eq!(pool2.eval(out.state.flags.z, &env) == 1, arm.flags.z, "Z");
+        prop_assert_eq!(pool2.eval(out.state.flags.c, &env) == 1, arm.flags.c, "C");
+        prop_assert_eq!(pool2.eval(out.state.flags.v, &env) == 1, arm.flags.v, "V");
+    }
+}
+
+fn x86_straightline() -> impl Strategy<Value = Vec<X86Instr>> {
+    let gpr = (0usize..4).prop_map(Gpr::from_index); // eax..ebx: byte-addressable
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..9, gpr.clone(), gpr.clone()).prop_map(|(op, d, s)| {
+                X86Instr::alu_rr(AluOp::ALL[op], d, s)
+            }),
+            (0usize..9, gpr.clone(), any::<i32>()).prop_map(|(op, d, v)| {
+                X86Instr::alu_ri(AluOp::ALL[op], d, v)
+            }),
+            (gpr.clone(), gpr.clone()).prop_map(|(d, s)| X86Instr::mov_rr(d, s)),
+            (gpr.clone(), any::<i32>()).prop_map(|(d, v)| X86Instr::mov_imm(d, v)),
+            (0usize..3, gpr.clone(), 1u8..32).prop_map(|(op, d, c)| X86Instr::Shift {
+                op: [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar][op],
+                dst: Operand::Reg(d),
+                count: c,
+            }),
+            (0usize..4, gpr.clone()).prop_map(|(op, d)| X86Instr::Un {
+                op: [UnOp::Neg, UnOp::Not, UnOp::Inc, UnOp::Dec][op],
+                dst: Operand::Reg(d),
+            }),
+            (gpr.clone(), gpr.clone()).prop_map(|(d, s)| X86Instr::Imul {
+                dst: d,
+                src: Operand::Reg(s)
+            }),
+            (gpr.clone(), gpr.clone(), -64i32..64).prop_map(|(d, b, off)| X86Instr::Lea {
+                dst: d,
+                addr: X86Mem::base_disp(b, off),
+            }),
+            (0usize..14, gpr).prop_map(|(cc, d)| X86Instr::Setcc {
+                cc: ldbt_x86::Cc::ALL[cc],
+                dst: d
+            }),
+        ],
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn x86_symbolic_matches_interpreter(
+        seq in x86_straightline(),
+        inputs in proptest::collection::vec(any::<u32>(), 4),
+        flag_bits in 0u8..16,
+    ) {
+        let mut pool = TermPool::new();
+        let init = SymX86State::fresh(&mut pool, "");
+        let mut oracle = MemOracle::new();
+        let out = exec_x86_seq(&mut pool, &seq, init, &mut oracle, &mut concrete_imms)
+            .expect("straight-line sequences have no hazards");
+
+        let mut x86 = ldbt_x86::X86State::new();
+        for (i, v) in inputs.iter().enumerate() {
+            x86.set_reg(Gpr::from_index(i), *v);
+        }
+        x86.flags = ldbt_x86::EFlags {
+            cf: flag_bits & 1 != 0,
+            zf: flag_bits & 2 != 0,
+            sf: flag_bits & 4 != 0,
+            of: flag_bits & 8 != 0,
+        };
+        for i in &seq {
+            x86.exec(i);
+        }
+
+        let mut env: HashMap<u32, u64> = HashMap::new();
+        let mut pool2 = pool.clone();
+        let names = ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"];
+        for (i, n) in names.iter().enumerate() {
+            let t = pool2.var(n, 32);
+            if let ldbt_smt::term::Term::Var { sym, .. } = *pool2.term(t) {
+                env.insert(sym, if i < 4 { inputs[i] as u64 } else { 0 });
+            }
+        }
+        let f = ldbt_x86::EFlags {
+            cf: flag_bits & 1 != 0,
+            zf: flag_bits & 2 != 0,
+            sf: flag_bits & 4 != 0,
+            of: flag_bits & 8 != 0,
+        };
+        for (name, b) in [("fN", f.sf), ("fZ", f.zf), ("fC", f.cf), ("fV", f.of)] {
+            let t = pool2.var(name, 1);
+            if let ldbt_smt::term::Term::Var { sym, .. } = *pool2.term(t) {
+                env.insert(sym, b as u64);
+            }
+        }
+
+        for r in 0..4usize {
+            let reg = Gpr::from_index(r);
+            let got = pool2.eval(out.state.reg(reg), &env) as u32;
+            prop_assert_eq!(got, x86.reg(reg), "{} after {:?}", reg, seq);
+        }
+        prop_assert_eq!(pool2.eval(out.state.flags.c, &env) == 1, x86.flags.cf, "CF");
+        prop_assert_eq!(pool2.eval(out.state.flags.z, &env) == 1, x86.flags.zf, "ZF");
+        prop_assert_eq!(pool2.eval(out.state.flags.n, &env) == 1, x86.flags.sf, "SF");
+        prop_assert_eq!(pool2.eval(out.state.flags.v, &env) == 1, x86.flags.of, "OF");
+    }
+}
