@@ -46,10 +46,16 @@ pub enum EncodeArmError {
 impl fmt::Display for EncodeArmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EncodeArmError::ImmediateRange(v) => write!(f, "immediate #{v} does not fit in 12 bits"),
-            EncodeArmError::OffsetRange(v) => write!(f, "offset #{v} does not fit in signed 12 bits"),
+            EncodeArmError::ImmediateRange(v) => {
+                write!(f, "immediate #{v} does not fit in 12 bits")
+            }
+            EncodeArmError::OffsetRange(v) => {
+                write!(f, "offset #{v} does not fit in signed 12 bits")
+            }
             EncodeArmError::ShiftAmount(a) => write!(f, "shift amount {a} outside 1..=31"),
-            EncodeArmError::BranchRange(v) => write!(f, "branch offset {v} does not fit in 24 bits"),
+            EncodeArmError::BranchRange(v) => {
+                write!(f, "branch offset {v} does not fit in 24 bits")
+            }
             EncodeArmError::SvcRange(v) => write!(f, "svc immediate {v} does not fit in 24 bits"),
         }
     }
@@ -120,9 +126,7 @@ pub fn encode(instr: &ArmInstr) -> Result<u32, EncodeArmError> {
             }
             w
         }
-        ArmInstr::Ldr { rt, addr, width, signed, .. } => {
-            mem_word(rt, addr, width, signed, true)?
-        }
+        ArmInstr::Ldr { rt, addr, width, signed, .. } => mem_word(rt, addr, width, signed, true)?,
         ArmInstr::Str { rt, addr, width, .. } => mem_word(rt, addr, width, false, false)?,
         ArmInstr::B { offset, .. } => 0b10 << 26 | off24(offset)?,
         ArmInstr::Bl { offset, .. } => 0b10 << 26 | 0b01 << 24 | off24(offset)?,
@@ -343,7 +347,12 @@ mod tests {
         for op in DpOp::ALL {
             roundtrip(I::dp(op, ArmReg::R4, ArmReg::R5, Operand2::Reg(ArmReg::R6)));
             roundtrip(I::dps(op, ArmReg::R4, ArmReg::R5, Operand2::Imm(7)));
-            roundtrip(I::dp(op, ArmReg::R4, ArmReg::R5, Operand2::RegShift(ArmReg::R7, Shift::Asr(9))));
+            roundtrip(I::dp(
+                op,
+                ArmReg::R4,
+                ArmReg::R5,
+                Operand2::RegShift(ArmReg::R7, Shift::Asr(9)),
+            ));
         }
     }
 
@@ -380,7 +389,13 @@ mod tests {
 
     #[test]
     fn roundtrip_mul_and_conditions() {
-        roundtrip(I::Mul { rd: ArmReg::R3, rn: ArmReg::R1, rm: ArmReg::R2, set_flags: true, cond: Cond::Al });
+        roundtrip(I::Mul {
+            rd: ArmReg::R3,
+            rn: ArmReg::R1,
+            rm: ArmReg::R2,
+            set_flags: true,
+            cond: Cond::Al,
+        });
         for cond in Cond::ALL {
             roundtrip(I::Dp {
                 op: DpOp::Add,
@@ -420,7 +435,7 @@ mod tests {
     #[test]
     fn decode_rejects_reserved() {
         assert!(decode(0xf000_0000).is_err()); // cond 1111
-        // DP opcode 15.
+                                               // DP opcode 15.
         assert!(decode(15 << 21).is_err());
         // Register op2 with bit 4 set.
         assert!(decode((DpOp::Add as u32) << 21 | 1 << 4).is_err());
@@ -434,11 +449,9 @@ mod tests {
 
     #[test]
     fn assemble_emits_le_words() {
-        let bytes = assemble(&[
-            I::mov(ArmReg::R0, Operand2::Imm(1)),
-            I::Svc { imm: 0, cond: Cond::Al },
-        ])
-        .unwrap();
+        let bytes =
+            assemble(&[I::mov(ArmReg::R0, Operand2::Imm(1)), I::Svc { imm: 0, cond: Cond::Al }])
+                .unwrap();
         assert_eq!(bytes.len(), 8);
         let w0 = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
         assert_eq!(decode(w0).unwrap(), I::mov(ArmReg::R0, Operand2::Imm(1)));

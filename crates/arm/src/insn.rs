@@ -116,7 +116,10 @@ impl DpOp {
     /// Whether the opcode is arithmetic (sets C/V from the adder) rather
     /// than logical (leaves C/V to the shifter).
     pub fn is_arithmetic(self) -> bool {
-        matches!(self, DpOp::Add | DpOp::Adc | DpOp::Sub | DpOp::Sbc | DpOp::Rsb | DpOp::Cmp | DpOp::Cmn)
+        matches!(
+            self,
+            DpOp::Add | DpOp::Adc | DpOp::Sub | DpOp::Sbc | DpOp::Rsb | DpOp::Cmp | DpOp::Cmn
+        )
     }
 
     /// Whether the opcode reads the incoming carry flag (`adc`, `sbc`).
@@ -631,16 +634,20 @@ mod tests {
         use std::collections::HashSet;
         let mut ids = HashSet::new();
         for op in DpOp::ALL {
-            assert!(ids.insert(ArmInstr::dp(op, ArmReg::R0, ArmReg::R1, Operand2::Imm(0)).opcode_id()));
+            assert!(
+                ids.insert(ArmInstr::dp(op, ArmReg::R0, ArmReg::R1, Operand2::Imm(0)).opcode_id())
+            );
         }
-        assert!(ids.insert(ArmInstr::Mul {
-            rd: ArmReg::R0,
-            rn: ArmReg::R1,
-            rm: ArmReg::R2,
-            set_flags: false,
-            cond: Cond::Al
-        }
-        .opcode_id()));
+        assert!(ids.insert(
+            ArmInstr::Mul {
+                rd: ArmReg::R0,
+                rn: ArmReg::R1,
+                rm: ArmReg::R2,
+                set_flags: false,
+                cond: Cond::Al
+            }
+            .opcode_id()
+        ));
         assert!(ids.insert(ArmInstr::ldr(ArmReg::R0, AddrMode::Imm(ArmReg::R1, 0)).opcode_id()));
         assert!(ids.insert(ArmInstr::str(ArmReg::R0, AddrMode::Imm(ArmReg::R1, 0)).opcode_id()));
         assert!(ids.insert(ArmInstr::B { offset: 0, cond: Cond::Al }.opcode_id()));

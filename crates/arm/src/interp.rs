@@ -381,7 +381,13 @@ mod tests {
     #[test]
     fn mul_sets_nz_only() {
         let mut m = machine(&[
-            ArmInstr::Mul { rd: ArmReg::R0, rn: ArmReg::R1, rm: ArmReg::R2, set_flags: true, cond: Cond::Al },
+            ArmInstr::Mul {
+                rd: ArmReg::R0,
+                rn: ArmReg::R1,
+                rm: ArmReg::R2,
+                set_flags: true,
+                cond: Cond::Al,
+            },
             ArmInstr::Svc { imm: 0, cond: Cond::Al },
         ]);
         m.state.set_reg(ArmReg::R1, 0x10000);

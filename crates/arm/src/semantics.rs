@@ -81,21 +81,17 @@ pub fn eval_dp(op: DpOp, a: u32, b: u32, shifter_carry: bool, flags_in: Flags) -
         DpOp::Bic => (a & !b, shifter_carry, flags_in.v),
         DpOp::Mov => (b, shifter_carry, flags_in.v),
         DpOp::Mvn => (!b, shifter_carry, flags_in.v),
-        DpOp::Add => (
-            a.wrapping_add(b),
-            bits::add_carry32(a, b, false),
-            bits::add_overflow32(a, b, false),
-        ),
+        DpOp::Add => {
+            (a.wrapping_add(b), bits::add_carry32(a, b, false), bits::add_overflow32(a, b, false))
+        }
         DpOp::Adc => (
             a.wrapping_add(b).wrapping_add(c_in as u32),
             bits::add_carry32(a, b, c_in),
             bits::add_overflow32(a, b, c_in),
         ),
-        DpOp::Sub | DpOp::Cmp => (
-            a.wrapping_sub(b),
-            bits::sub_carry32_arm(a, b, true),
-            bits::sub_overflow32(a, b),
-        ),
+        DpOp::Sub | DpOp::Cmp => {
+            (a.wrapping_sub(b), bits::sub_carry32_arm(a, b, true), bits::sub_overflow32(a, b))
+        }
         DpOp::Sbc => {
             let r = a.wrapping_sub(b).wrapping_sub(!c_in as u32);
             (
@@ -108,16 +104,12 @@ pub fn eval_dp(op: DpOp, a: u32, b: u32, shifter_carry: bool, flags_in: Flags) -
                 },
             )
         }
-        DpOp::Rsb => (
-            b.wrapping_sub(a),
-            bits::sub_carry32_arm(b, a, true),
-            bits::sub_overflow32(b, a),
-        ),
-        DpOp::Cmn => (
-            a.wrapping_add(b),
-            bits::add_carry32(a, b, false),
-            bits::add_overflow32(a, b, false),
-        ),
+        DpOp::Rsb => {
+            (b.wrapping_sub(a), bits::sub_carry32_arm(b, a, true), bits::sub_overflow32(b, a))
+        }
+        DpOp::Cmn => {
+            (a.wrapping_add(b), bits::add_carry32(a, b, false), bits::add_overflow32(a, b, false))
+        }
     };
     let mut flags = Flags { c, v, ..flags_in };
     flags.set_nz(value);

@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ldbt_compiler::Options;
-use ldbt_learn::pipeline::learn_from_source;
+use ldbt_learn::cache::VerifyCache;
+use ldbt_learn::pipeline::{learn_from_source, learn_from_source_cached, LearnConfig};
 use ldbt_workloads::{benchmark, source, Workload};
 use std::hint::black_box;
 
@@ -18,8 +19,55 @@ fn bench_learning(c: &mut Criterion) {
     });
 }
 
+/// Sequential vs parallel learning over the whole suite's heaviest
+/// stand-in (each iteration uses a fresh memo cache, so the comparison
+/// measures real verification work, not memoized replay). The separate
+/// `memoized` entry shows the cache win alone: a second learn of the
+/// same program against a warm shared cache.
+fn bench_scaling(c: &mut Criterion) {
+    let gcc = source(benchmark("gcc").unwrap(), Workload::Ref);
+    let threads = ldbt_learn::configured_threads();
+    let mut g = c.benchmark_group("learn_scaling");
+    g.bench_function("sequential", |b| {
+        let config = LearnConfig { threads: 1, ..LearnConfig::default() };
+        b.iter(|| {
+            learn_from_source_cached(
+                "gcc",
+                black_box(&gcc),
+                &Options::o2(),
+                &config,
+                &mut VerifyCache::new(),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function(&format!("parallel_x{threads}"), |b| {
+        let config = LearnConfig::default();
+        b.iter(|| {
+            learn_from_source_cached(
+                "gcc",
+                black_box(&gcc),
+                &Options::o2(),
+                &config,
+                &mut VerifyCache::new(),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("memoized", |b| {
+        let config = LearnConfig::default();
+        let mut cache = VerifyCache::new();
+        learn_from_source_cached("gcc", &gcc, &Options::o2(), &config, &mut cache).unwrap();
+        b.iter(|| {
+            learn_from_source_cached("gcc", black_box(&gcc), &Options::o2(), &config, &mut cache)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
 fn bench_lookup(c: &mut Criterion) {
-    use ldbt_arm::{ArmInstr, ArmReg, Cond, DpOp, Operand2};
+    use ldbt_arm::{ArmInstr, ArmReg, Cond, Operand2};
     let report =
         learn_from_source("gcc", &source(benchmark("gcc").unwrap(), Workload::Ref), &Options::o2())
             .unwrap();
@@ -29,10 +77,8 @@ fn bench_lookup(c: &mut Criterion) {
         ArmInstr::B { offset: 1, cond: Cond::Lt },
     ];
     c.bench_function("rule_lookup/hash", |b| b.iter(|| rules.lookup(black_box(&seq))));
-    c.bench_function("rule_lookup/linear", |b| {
-        b.iter(|| rules.lookup_linear(black_box(&seq)))
-    });
+    c.bench_function("rule_lookup/linear", |b| b.iter(|| rules.lookup_linear(black_box(&seq))));
 }
 
-criterion_group!(benches, bench_learning, bench_lookup);
+criterion_group!(benches, bench_learning, bench_scaling, bench_lookup);
 criterion_main!(benches);

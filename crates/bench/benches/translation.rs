@@ -13,9 +13,8 @@ use std::rc::Rc;
 fn bench_translation(c: &mut Criterion) {
     let all = learn_all(&Options::o2()).unwrap();
     let rules = Rc::new(loo_rules(&all, "mcf"));
-    let image =
-        build_arm_image(&source(benchmark("mcf").unwrap(), Workload::Test), &Options::o2())
-            .unwrap();
+    let image = build_arm_image(&source(benchmark("mcf").unwrap(), Workload::Test), &Options::o2())
+        .unwrap();
     let mut g = c.benchmark_group("emulate_mcf_test");
     g.sample_size(20);
     g.bench_function("tcg", |b| {

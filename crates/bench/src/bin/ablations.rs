@@ -44,8 +44,15 @@ fn main() {
             }
         }
         let base = run_benchmark(name, Workload::Ref, EngineKind::Tcg, &Options::o2(), None);
-        let a = run_benchmark(name, Workload::Ref, EngineKind::Rules, &Options::o2(), Some(&shortest));
-        let b = run_benchmark(name, Workload::Ref, EngineKind::Rules, &Options::o2(), Some(&first_found));
+        let a =
+            run_benchmark(name, Workload::Ref, EngineKind::Rules, &Options::o2(), Some(&shortest));
+        let b = run_benchmark(
+            name,
+            Workload::Ref,
+            EngineKind::Rules,
+            &Options::o2(),
+            Some(&first_found),
+        );
         println!(
             "{:<12} shortest-host {:>5.2}x   first-found {:>5.2}x",
             name,
@@ -89,8 +96,10 @@ fn main() {
             }
         }
         println!("hash-bucketed probes: {hash_probes:>8}");
-        println!("linear-scan probes:   {linear_probes:>8}  ({:.1}x more)",
-            linear_probes as f64 / hash_probes.max(1) as f64);
+        println!(
+            "linear-scan probes:   {linear_probes:>8}  ({:.1}x more)",
+            linear_probes as f64 / hash_probes.max(1) as f64
+        );
     }
 
     println!();
@@ -130,7 +139,8 @@ fn main() {
         .map(|name| {
             let rules = loo_rules(&all, name);
             let base = run_benchmark(name, Workload::Ref, EngineKind::Tcg, &Options::o2(), None);
-            let ours = run_benchmark(name, Workload::Ref, EngineKind::Rules, &Options::o2(), Some(&rules));
+            let ours =
+                run_benchmark(name, Workload::Ref, EngineKind::Rules, &Options::o2(), Some(&rules));
             ours.speedup_over(&base)
         })
         .collect();

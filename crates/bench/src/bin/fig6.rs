@@ -11,7 +11,10 @@ fn main() {
     hr(60);
     let mut sums = [0usize; 4];
     for (name, counts) in &rows {
-        println!("{:<12} {:>6} {:>6} {:>6} {:>6}", name, counts[0], counts[1], counts[2], counts[3]);
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>6}",
+            name, counts[0], counts[1], counts[2], counts[3]
+        );
         for i in 0..4 {
             sums[i] += counts[i];
         }

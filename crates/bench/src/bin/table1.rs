@@ -7,16 +7,21 @@ fn main() {
     let all = learn_everything();
     let rows = table1(&all);
     println!("Table 1. Learning results (synthetic SPEC CINT2006 stand-ins)");
-    hr(118);
+    hr(130);
     println!(
-        "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9} {:>9}",
-        "bench", "PL", "LoC", "CI", "PI", "MB", "Num", "Name", "FailG", "Rg", "Mm", "Br", "Other", "#Rules", "time(ms)", "ms/rule"
+        "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9} {:>9} {:>5} {:>5}",
+        "bench", "PL", "LoC", "CI", "PI", "MB", "Num", "Name", "FailG", "Rg", "Mm", "Br", "Other", "#Rules", "time(ms)", "ms/rule", "vfy%", "hit%"
     );
-    hr(118);
-    let mut tot = [0usize; 12];
+    hr(130);
+    let mut tot = [0usize; 14];
     for (b, lines, s) in &rows {
+        let vfy_share = if s.learn_time.as_secs_f64() > 0.0 {
+            s.verify_time.as_secs_f64() / s.learn_time.as_secs_f64() * 100.0
+        } else {
+            0.0
+        };
         println!(
-            "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9.2} {:>9.3}",
+            "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9.2} {:>9.3} {:>5.1} {:>5.1}",
             b.name,
             if b.cpp { "C++" } else { "C" },
             lines,
@@ -26,10 +31,24 @@ fn main() {
             s.rules,
             s.learn_time.as_secs_f64() * 1e3,
             if s.rules > 0 { s.learn_time.as_secs_f64() * 1e3 / s.rules as f64 } else { 0.0 },
+            vfy_share,
+            s.cache_hit_rate() * 100.0,
         );
         for (i, v) in [
-            s.total, s.prep_ci, s.prep_pi, s.prep_mb, s.par_num, s.par_name, s.par_failg,
-            s.ver_rg, s.ver_mm, s.ver_br, s.ver_other, s.rules,
+            s.total,
+            s.prep_ci,
+            s.prep_pi,
+            s.prep_mb,
+            s.par_num,
+            s.par_name,
+            s.par_failg,
+            s.ver_rg,
+            s.ver_mm,
+            s.ver_br,
+            s.ver_other,
+            s.rules,
+            s.cache_hits,
+            s.cache_misses,
         ]
         .into_iter()
         .enumerate()
@@ -37,7 +56,7 @@ fn main() {
             tot[i] += v;
         }
     }
-    hr(118);
+    hr(130);
     let total = tot[0] as f64;
     println!(
         "preparation failures: {:.0}%   parameterization failures: {:.0}%   verification failures: {:.0}%   yield: {:.0}%",
@@ -47,10 +66,20 @@ fn main() {
         tot[11] as f64 / total * 100.0,
     );
     println!("(paper: 43% / 19% / 14% / 24% yield; verification dominates learning time)");
-    let verify_share: f64 = rows
-        .iter()
-        .map(|(_, _, s)| s.verify_time.as_secs_f64())
-        .sum::<f64>()
+    let verify_share: f64 = rows.iter().map(|(_, _, s)| s.verify_time.as_secs_f64()).sum::<f64>()
         / rows.iter().map(|(_, _, s)| s.learn_time.as_secs_f64()).sum::<f64>();
     println!("verification share of learning time: {:.0}% (paper: ~95%)", verify_share * 100.0);
+    let queries = tot[12] + tot[13];
+    if queries > 0 {
+        println!(
+            "verify memo cache: {} hits / {} unique signatures verified ({:.0}% hit rate, shared across programs)",
+            tot[12],
+            tot[13],
+            tot[12] as f64 / queries as f64 * 100.0,
+        );
+    }
+    println!(
+        "threads: {} (override with LDBT_THREADS; 1 = sequential)",
+        ldbt_core::configured_threads()
+    );
 }

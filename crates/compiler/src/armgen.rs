@@ -64,8 +64,7 @@ impl<'a> Emitter<'a> {
     }
 
     fn emit_mem(&mut self, i: ArmInstr, var: &str) {
-        self.code
-            .push(CompiledInstr { instr: i, loc: self.loc, mem_var: Some(var.to_string()) });
+        self.code.push(CompiledInstr { instr: i, loc: self.loc, mem_var: Some(var.to_string()) });
     }
 
     /// Materialize a 32-bit constant into `rd`.
@@ -241,16 +240,9 @@ impl<'a> Emitter<'a> {
             IrBinOp::Mul => {
                 let ra = self.read_value(a, SCRATCH0, 0);
                 let rb = self.read_value(b, SCRATCH1, 0);
-                self.emit(ArmInstr::Mul {
-                    rd,
-                    rn: ra,
-                    rm: rb,
-                    set_flags,
-                    cond: Cond::Al,
-                });
+                self.emit(ArmInstr::Mul { rd, rn: ra, rm: rb, set_flags, cond: Cond::Al });
             }
-            IrBinOp::Add | IrBinOp::Sub
-                if matches!(b, IrValue::Const(c) if c < 0 && c >= -0xfff) =>
+            IrBinOp::Add | IrBinOp::Sub if matches!(b, IrValue::Const(c) if (-0xfff..0).contains(&c)) =>
             {
                 // add x, -c  →  sub x, #c (and vice versa).
                 let IrValue::Const(c) = b else { unreachable!() };
@@ -313,9 +305,7 @@ impl<'a> Emitter<'a> {
     fn parallel_moves(&mut self, mut moves: Vec<(ArmReg, ArmReg)>) {
         moves.retain(|(s, d)| s != d);
         while !moves.is_empty() {
-            let ready = moves
-                .iter()
-                .position(|&(_, d)| !moves.iter().any(|&(s, _)| s == d));
+            let ready = moves.iter().position(|&(_, d)| !moves.iter().any(|&(s, _)| s == d));
             match ready {
                 Some(i) => {
                     let (s, d) = moves.remove(i);
@@ -355,12 +345,7 @@ impl<'a> Emitter<'a> {
         save.dedup();
         let save_bytes = (save.len() as u32) * 4;
         if save_bytes > 0 {
-            self.emit(ArmInstr::dp(
-                DpOp::Sub,
-                ArmReg::Sp,
-                ArmReg::Sp,
-                Operand2::Imm(save_bytes),
-            ));
+            self.emit(ArmInstr::dp(DpOp::Sub, ArmReg::Sp, ArmReg::Sp, Operand2::Imm(save_bytes)));
             for (i, r) in save.clone().iter().enumerate() {
                 self.emit(ArmInstr::str(*r, AddrMode::Imm(ArmReg::Sp, i as i32 * 4)));
             }
@@ -417,12 +402,7 @@ impl<'a> Emitter<'a> {
             for (i, r) in save.iter().enumerate() {
                 self.emit(ArmInstr::ldr(*r, AddrMode::Imm(ArmReg::Sp, i as i32 * 4)));
             }
-            self.emit(ArmInstr::dp(
-                DpOp::Add,
-                ArmReg::Sp,
-                ArmReg::Sp,
-                Operand2::Imm(save_bytes),
-            ));
+            self.emit(ArmInstr::dp(DpOp::Add, ArmReg::Sp, ArmReg::Sp, Operand2::Imm(save_bytes)));
         }
         Ok(())
     }
@@ -611,10 +591,7 @@ fn gen_function(
         }
     }
     let _ = e.f;
-    Ok(CompiledFunction {
-        name: f.name.clone(),
-        code: e.code,
-    })
+    Ok(CompiledFunction { name: f.name.clone(), code: e.code })
 }
 
 /// Per-function call fixups are resolved at link time; encode the callee
@@ -627,10 +604,7 @@ pub struct ArmFunction {
     pub calls: Vec<(usize, String)>,
 }
 
-fn gen_function_with_calls(
-    f: &IrFunction,
-    options: &Options,
-) -> Result<ArmFunction, CompileError> {
+fn gen_function_with_calls(f: &IrFunction, options: &Options) -> Result<ArmFunction, CompileError> {
     // gen_function resolves everything except calls; re-run capturing them.
     // (Single pass: we thread the fixups out through a thread-local-free
     // API by regenerating — cheap for these sizes.)
@@ -669,16 +643,23 @@ fn gen_emitter_calls(f: &IrFunction, options: &Options) -> Result<ArmFunction, C
 /// # Errors
 ///
 /// Returns the first [`CompileError`] from any stage.
-pub fn compile_arm(source: &str, options: &Options) -> Result<CompiledProgram<ArmInstr>, CompileError> {
+pub fn compile_arm(
+    source: &str,
+    options: &Options,
+) -> Result<CompiledProgram<ArmInstr>, CompileError> {
     Ok(compile_arm_with_calls(source, options)?.0)
 }
+
+/// Per-function call fixups: for each function, `(instruction index,
+/// callee name)` pairs the linker must patch.
+pub type CallFixups = Vec<Vec<(usize, String)>>;
 
 /// Compile for ARM, also returning per-function call fixups (used by the
 /// linker).
 pub fn compile_arm_with_calls(
     source: &str,
     options: &Options,
-) -> Result<(CompiledProgram<ArmInstr>, Vec<Vec<(usize, String)>>), CompileError> {
+) -> Result<(CompiledProgram<ArmInstr>, CallFixups), CompileError> {
     let ast = parse(source)?;
     let mut module = lower(&ast, options.level)?;
     optimize(&mut module, options.level);
@@ -746,26 +727,17 @@ int main() { return f(10, 2); }";
         let src = "int f(int s, int x) { s -= x; if (s != 0) { return 1; } return 0; }";
         let p = compile(src);
         let code = asm(&p.funcs[0]);
-        assert!(
-            code.iter().any(|s| s.starts_with("subs ")),
-            "expected fused subs: {code:?}"
-        );
+        assert!(code.iter().any(|s| s.starts_with("subs ")), "expected fused subs: {code:?}");
         let p0 = compile_arm(src, &Options::level(crate::ast::OptLevel::O1)).unwrap();
         let code0 = asm(&p0.funcs[0]);
-        assert!(
-            !code0.iter().any(|s| s.starts_with("subs ")),
-            "no fusion below O2: {code0:?}"
-        );
+        assert!(!code0.iter().any(|s| s.starts_with("subs ")), "no fusion below O2: {code0:?}");
     }
 
     #[test]
     fn scaled_addressing_at_o2() {
         let p = compile("int a[16]; int f(int i) { return a[i]; }");
         let code = asm(&p.funcs[0]);
-        assert!(
-            code.iter().any(|s| s.contains("lsl #2]")),
-            "expected scaled load: {code:?}"
-        );
+        assert!(code.iter().any(|s| s.contains("lsl #2]")), "expected scaled load: {code:?}");
     }
 
     #[test]
@@ -803,7 +775,8 @@ int main() { return f(10, 2); }";
 
     #[test]
     fn variable_shift_rejected() {
-        let err = compile_arm("int f(int a, int b) { return a << b; }", &Options::o2()).unwrap_err();
+        let err =
+            compile_arm("int f(int a, int b) { return a << b; }", &Options::o2()).unwrap_err();
         assert!(err.message.contains("shift"));
     }
 }

@@ -80,10 +80,7 @@ impl IrBinOp {
 
     /// Whether operands commute.
     pub fn commutative(self) -> bool {
-        matches!(
-            self,
-            IrBinOp::Add | IrBinOp::Mul | IrBinOp::And | IrBinOp::Or | IrBinOp::Xor
-        )
+        matches!(self, IrBinOp::Add | IrBinOp::Mul | IrBinOp::And | IrBinOp::Or | IrBinOp::Xor)
     }
 }
 
@@ -321,7 +318,9 @@ impl IrInst {
         let mut out = Vec::new();
         match self {
             IrInst::Copy { src, .. } => val(src, &mut out),
-            IrInst::Bin { a, b, .. } | IrInst::SetCmp { a, b, .. } | IrInst::Branch { a, b, .. } => {
+            IrInst::Bin { a, b, .. }
+            | IrInst::SetCmp { a, b, .. }
+            | IrInst::Branch { a, b, .. } => {
                 val(a, &mut out);
                 val(b, &mut out);
             }
@@ -565,7 +564,12 @@ mod tests {
         assert_eq!(i.to_string(), "%0 = add %1, 2");
         let l = IrInst::Load {
             dst: VReg(0),
-            addr: IrAddr { base: IrBase::Global(0x100000), index: None, offset: 8, var: "g".into() },
+            addr: IrAddr {
+                base: IrBase::Global(0x100000),
+                index: None,
+                offset: 8,
+                var: "g".into(),
+            },
         };
         assert_eq!(l.to_string(), "%0 = load [@0x100000 + 8 !g]");
     }

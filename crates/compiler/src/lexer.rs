@@ -53,8 +53,8 @@ pub struct Token {
 
 const PUNCTS: &[&str] = &[
     "<<=", ">>=", "&&", "||", "<<", ">>", "<=", ">=", "==", "!=", "+=", "-=", "*=", "&=", "|=",
-    "^=", "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*", "&", "|", "^", "<", ">", "=",
-    "!", "~",
+    "^=", "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*", "&", "|", "^", "<", ">", "=", "!",
+    "~",
 ];
 
 /// Tokenize a source string.
@@ -88,18 +88,20 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
         }
         if c.is_ascii_digit() {
             let start = i;
-            let (radix, digits_start) = if c == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
-                i += 2;
-                (16, i)
-            } else {
-                (10, i)
-            };
+            let (radix, digits_start) =
+                if c == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    i += 2;
+                    (16, i)
+                } else {
+                    (10, i)
+                };
             while i < bytes.len() && (bytes[i].is_ascii_alphanumeric()) {
                 i += 1;
             }
             let text = &source[digits_start..i];
-            let value = i64::from_str_radix(text, radix)
-                .map_err(|_| CompileError::new(line, format!("bad number `{}`", &source[start..i])))?;
+            let value = i64::from_str_radix(text, radix).map_err(|_| {
+                CompileError::new(line, format!("bad number `{}`", &source[start..i]))
+            })?;
             if value > u32::MAX as i64 {
                 return Err(CompileError::new(line, format!("number `{value}` out of range")));
             }
@@ -148,12 +150,7 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             toks("int foo while whilex"),
-            vec![
-                Tok::KwInt,
-                Tok::Ident("foo".into()),
-                Tok::KwWhile,
-                Tok::Ident("whilex".into())
-            ]
+            vec![Tok::KwInt, Tok::Ident("foo".into()), Tok::KwWhile, Tok::Ident("whilex".into())]
         );
     }
 

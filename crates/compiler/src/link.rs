@@ -76,8 +76,7 @@ pub fn link_arm(
         ArmInstr::Svc { imm: 0, cond: Cond::Al },
     ];
     let mut instrs: Vec<ArmInstr> = stub;
-    let mut meta: Vec<(SourceLoc, Option<String>)> =
-        vec![(SourceLoc::NONE, None); instrs.len()];
+    let mut meta: Vec<(SourceLoc, Option<String>)> = vec![(SourceLoc::NONE, None); instrs.len()];
     let mut func_starts: Vec<(String, usize)> = Vec::new();
     for f in &prog.funcs {
         func_starts.push((f.name.clone(), instrs.len()));
@@ -115,10 +114,7 @@ pub fn link_arm(
         bytes,
         base: CODE_BASE,
         entry: CODE_BASE,
-        func_addrs: func_starts
-            .into_iter()
-            .map(|(n, s)| (n, CODE_BASE + 4 * s as u32))
-            .collect(),
+        func_addrs: func_starts.into_iter().map(|(n, s)| (n, CODE_BASE + 4 * s as u32)).collect(),
         meta,
         globals: prog.globals.clone(),
     })
@@ -178,10 +174,7 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(
-            result_all_configs("int main() { return (3 + 4) * 5 - (10 >> 1); }"),
-            30
-        );
+        assert_eq!(result_all_configs("int main() { return (3 + 4) * 5 - (10 >> 1); }"), 30);
     }
 
     #[test]
@@ -287,16 +280,14 @@ int main() {
   int a = 5; int b = 9;
   return (a < b) + 2 * (a == 5) + 4 * (b <= 8) + 8 * !(a > 100);
 }";
-        assert_eq!(result_all_configs(src), 1 + 2 + 0 + 8);
+        assert_eq!(result_all_configs(src), 1 + 2 + 8);
     }
 
     #[test]
     fn meta_lines_cover_function_bodies() {
-        let image = build_arm_image(
-            "int main() {\n  int x = 3;\n  return x + 1;\n}",
-            &Options::o2(),
-        )
-        .unwrap();
+        let image =
+            build_arm_image("int main() {\n  int x = 3;\n  return x + 1;\n}", &Options::o2())
+                .unwrap();
         let lines: Vec<u32> = image.meta.iter().map(|(l, _)| l.line).collect();
         assert!(lines.contains(&2) || lines.contains(&3));
         assert_eq!(image.meta.len(), image.instr_count());

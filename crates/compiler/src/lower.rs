@@ -67,11 +67,7 @@ impl<'a> FnLowerer<'a> {
     }
 
     fn terminated(&self) -> bool {
-        self.blocks[self.cur]
-            .insts
-            .last()
-            .map(|t| t.inst.is_terminator())
-            .unwrap_or(false)
+        self.blocks[self.cur].insts.last().map(|t| t.inst.is_terminator()).unwrap_or(false)
     }
 
     fn new_frame_slot(&mut self) -> i32 {
@@ -95,10 +91,7 @@ impl<'a> FnLowerer<'a> {
         } else {
             VarSlot::Reg(self.new_vreg())
         };
-        self.scopes
-            .last_mut()
-            .expect("scope stack non-empty")
-            .insert(name.to_string(), slot);
+        self.scopes.last_mut().expect("scope stack non-empty").insert(name.to_string(), slot);
         let _ = line;
         Ok(slot)
     }
@@ -344,13 +337,7 @@ impl<'a> FnLowerer<'a> {
             _ => {
                 let v = self.lower_expr(e, line)?;
                 self.emit(
-                    IrInst::Branch {
-                        cmp: IrCmp::Ne,
-                        a: v,
-                        b: IrValue::Const(0),
-                        then_bb,
-                        else_bb,
-                    },
+                    IrInst::Branch { cmp: IrCmp::Ne, a: v, b: IrValue::Const(0), then_bb, else_bb },
                     line,
                 );
                 Ok(())
@@ -422,33 +409,31 @@ impl<'a> FnLowerer<'a> {
                 }
             }
             Stmt::Assign { lv, op, rhs, line } => match lv {
-                LValue::Var(name) => {
-                    match (op, self.lookup(name)) {
-                        (None, Some(VarInfo::Local(VarSlot::Reg(dst)))) => {
-                            self.lower_expr_to(dst, rhs, *line)
-                        }
-                        (Some(bop), Some(VarInfo::Local(VarSlot::Reg(dst)))) => {
-                            let r = self.lower_expr(rhs, *line)?;
-                            let ir_op = plain_op(*bop, *line)?;
-                            self.emit(
-                                IrInst::Bin { op: ir_op, dst, a: IrValue::Reg(dst), b: r },
-                                *line,
-                            );
-                            Ok(())
-                        }
-                        (None, _) => {
-                            let value = self.lower_expr(rhs, *line)?;
-                            self.write_var(name, value, *line)
-                        }
-                        (Some(bop), _) => {
-                            let cur = self.read_var(name, *line)?;
-                            let r = self.lower_expr(rhs, *line)?;
-                            let ir_op = plain_op(*bop, *line)?;
-                            let value = self.bin_value(ir_op, cur, r, *line)?;
-                            self.write_var(name, value, *line)
-                        }
+                LValue::Var(name) => match (op, self.lookup(name)) {
+                    (None, Some(VarInfo::Local(VarSlot::Reg(dst)))) => {
+                        self.lower_expr_to(dst, rhs, *line)
                     }
-                }
+                    (Some(bop), Some(VarInfo::Local(VarSlot::Reg(dst)))) => {
+                        let r = self.lower_expr(rhs, *line)?;
+                        let ir_op = plain_op(*bop, *line)?;
+                        self.emit(
+                            IrInst::Bin { op: ir_op, dst, a: IrValue::Reg(dst), b: r },
+                            *line,
+                        );
+                        Ok(())
+                    }
+                    (None, _) => {
+                        let value = self.lower_expr(rhs, *line)?;
+                        self.write_var(name, value, *line)
+                    }
+                    (Some(bop), _) => {
+                        let cur = self.read_var(name, *line)?;
+                        let r = self.lower_expr(rhs, *line)?;
+                        let ir_op = plain_op(*bop, *line)?;
+                        let value = self.bin_value(ir_op, cur, r, *line)?;
+                        self.write_var(name, value, *line)
+                    }
+                },
                 LValue::Index(name, idx) => match op {
                     None => {
                         let v = self.lower_expr(rhs, *line)?;
@@ -563,7 +548,10 @@ impl<'a> FnLowerer<'a> {
             Stmt::ExprStmt { expr, line } => {
                 if let Expr::Call(name, args) = expr {
                     if !self.func_names.contains_key(name.as_str()) {
-                        return Err(CompileError::new(*line, format!("undefined function `{name}`")));
+                        return Err(CompileError::new(
+                            *line,
+                            format!("undefined function `{name}`"),
+                        ));
                     }
                     let mut vals = Vec::new();
                     for a in args {
@@ -740,14 +728,13 @@ mod tests {
     fn array_fusion_by_level() {
         let src = "int a[8]; int f(int i) { return a[i]; }";
         let m2 = lower_src(src, OptLevel::O2);
-        let fused = m2.funcs[0]
-            .insts()
-            .any(|t| matches!(&t.inst, IrInst::Load { addr, .. } if matches!(addr.index, Some((_, 2)))));
+        let fused = m2.funcs[0].insts().any(
+            |t| matches!(&t.inst, IrInst::Load { addr, .. } if matches!(addr.index, Some((_, 2)))),
+        );
         assert!(fused, "O2 fuses the scale into the address");
         let m1 = lower_src(src, OptLevel::O1);
-        let explicit_shift = m1.funcs[0]
-            .insts()
-            .any(|t| matches!(&t.inst, IrInst::Bin { op: IrBinOp::Shl, .. }));
+        let explicit_shift =
+            m1.funcs[0].insts().any(|t| matches!(&t.inst, IrInst::Bin { op: IrBinOp::Shl, .. }));
         assert!(explicit_shift, "O1 materializes the shift");
     }
 
@@ -772,10 +759,8 @@ mod tests {
             "int f(int a, int b) { if (a > 0 && b > 0) { return 1; } return 0; }",
             OptLevel::O2,
         );
-        let branches = m.funcs[0]
-            .insts()
-            .filter(|t| matches!(t.inst, IrInst::Branch { .. }))
-            .count();
+        let branches =
+            m.funcs[0].insts().filter(|t| matches!(t.inst, IrInst::Branch { .. })).count();
         assert_eq!(branches, 2, "two tests for &&");
     }
 
@@ -817,14 +802,15 @@ mod tests {
     #[test]
     fn constant_index_bounds_checked() {
         assert!(lower(&parse("int a[4]; int f() { return a[3]; }").unwrap(), OptLevel::O2).is_ok());
-        let e = lower(&parse("int a[4]; int f() { return a[4]; }").unwrap(), OptLevel::O2)
-            .unwrap_err();
+        let e =
+            lower(&parse("int a[4]; int f() { return a[4]; }").unwrap(), OptLevel::O2).unwrap_err();
         assert!(e.message.contains("out of bounds"), "{e}");
         // Non-constant indices are not statically checkable.
-        assert!(
-            lower(&parse("int a[4]; int f(int i) { a[i] = 0; return 0; }").unwrap(), OptLevel::O2)
-                .is_ok()
-        );
+        assert!(lower(
+            &parse("int a[4]; int f(int i) { a[i] = 0; return 0; }").unwrap(),
+            OptLevel::O2
+        )
+        .is_ok());
     }
 
     #[test]
@@ -833,10 +819,11 @@ mod tests {
         assert!(lower(&parse("int f() { return g(); }").unwrap(), OptLevel::O2).is_err());
         assert!(lower(&parse("int a[2]; int f() { return a; }").unwrap(), OptLevel::O2).is_err());
         assert!(lower(&parse("int g; int g; ").unwrap(), OptLevel::O2).is_err());
-        assert!(
-            lower(&parse("int f() { return 1; } int f() { return 2; }").unwrap(), OptLevel::O2)
-                .is_err()
-        );
+        assert!(lower(
+            &parse("int f() { return 1; } int f() { return 2; }").unwrap(),
+            OptLevel::O2
+        )
+        .is_err());
     }
 
     #[test]

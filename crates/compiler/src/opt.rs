@@ -41,7 +41,13 @@ fn const_fold(f: &mut IrFunction) {
                 IrInst::SetCmp { cmp, dst, a: IrValue::Const(x), b: IrValue::Const(y) } => {
                     Some(IrInst::Copy { dst: *dst, src: IrValue::Const(cmp.eval(*x, *y) as i32) })
                 }
-                IrInst::Branch { cmp, a: IrValue::Const(x), b: IrValue::Const(y), then_bb, else_bb } => {
+                IrInst::Branch {
+                    cmp,
+                    a: IrValue::Const(x),
+                    b: IrValue::Const(y),
+                    then_bb,
+                    else_bb,
+                } => {
                     let target = if cmp.eval(*x, *y) { *then_bb } else { *else_bb };
                     Some(IrInst::Jump { target })
                 }
@@ -103,7 +109,9 @@ fn copy_prop(f: &mut IrFunction) {
             // Substitute uses.
             match &mut t.inst {
                 IrInst::Copy { src, .. } => subst_value(src, &env),
-                IrInst::Bin { a, b, .. } | IrInst::SetCmp { a, b, .. } | IrInst::Branch { a, b, .. } => {
+                IrInst::Bin { a, b, .. }
+                | IrInst::SetCmp { a, b, .. }
+                | IrInst::Branch { a, b, .. } => {
                     subst_value(a, &env);
                     subst_value(b, &env);
                 }
@@ -182,11 +190,8 @@ fn cse(f: &mut IrFunction) {
             };
             let (replacement, record) = match &t.inst {
                 IrInst::Bin { op, dst, a, b } => {
-                    let (ka, kb) = if op.commutative() && key_of(b) < key_of(a) {
-                        (*b, *a)
-                    } else {
-                        (*a, *b)
-                    };
+                    let (ka, kb) =
+                        if op.commutative() && key_of(b) < key_of(a) { (*b, *a) } else { (*a, *b) };
                     let key = Key::Bin(*op, ka, kb);
                     match avail.get(&key) {
                         Some(prev) => {
@@ -322,10 +327,7 @@ mod tests {
     fn cse_does_not_cross_stores() {
         let src = "int g; int f(int a) { int x = g; g = a; return x + g; }";
         let m = optimized(src, OptLevel::O2);
-        let loads = m.funcs[0]
-            .insts()
-            .filter(|t| matches!(t.inst, IrInst::Load { .. }))
-            .count();
+        let loads = m.funcs[0].insts().filter(|t| matches!(t.inst, IrInst::Load { .. })).count();
         assert_eq!(loads, 2, "store to g must kill the cached load");
     }
 
@@ -363,7 +365,8 @@ mod tests {
 
     #[test]
     fn loop_counter_not_dced() {
-        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; i += 1) { s += i; } return s; }";
+        let src =
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i += 1) { s += i; } return s; }";
         let m = optimized(src, OptLevel::O2);
         // The increment of i must survive (it is used by the loop test).
         let adds = m.funcs[0]

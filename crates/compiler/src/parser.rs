@@ -14,11 +14,7 @@ impl Parser {
     }
 
     fn line(&self) -> u32 {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map(|t| t.line)
-            .unwrap_or(1)
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|t| t.line).unwrap_or(1)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -53,7 +49,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String, CompileError> {
         match self.bump() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(self.err(format!("expected identifier, found `{}`", fmt_tok(other.as_ref())))),
+            other => {
+                Err(self.err(format!("expected identifier, found `{}`", fmt_tok(other.as_ref()))))
+            }
         }
     }
 
@@ -101,7 +99,9 @@ impl Parser {
         let neg = self.eat_punct("-");
         match self.bump() {
             Some(Tok::Num(n)) => Ok(if neg { n.wrapping_neg() } else { n }),
-            other => Err(self.err(format!("expected constant, found `{}`", fmt_tok(other.as_ref())))),
+            other => {
+                Err(self.err(format!("expected constant, found `{}`", fmt_tok(other.as_ref()))))
+            }
         }
     }
 
@@ -273,8 +273,7 @@ impl Parser {
 
     fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
         let mut lhs = self.unary()?;
-        loop {
-            let Some(Tok::Punct(p)) = self.peek() else { break };
+        while let Some(Tok::Punct(p)) = self.peek() {
             let Some((op, prec)) = binop_of(p) else { break };
             if prec < min_prec {
                 break;
@@ -390,9 +389,7 @@ mod tests {
     #[test]
     fn precedence() {
         let p = parse("int f() { return 1 + 2 * 3; }").unwrap();
-        let Stmt::Return { value: Some(e), .. } = &p.funcs[0].body[0] else {
-            panic!()
-        };
+        let Stmt::Return { value: Some(e), .. } = &p.funcs[0].body[0] else { panic!() };
         // 1 + (2 * 3)
         assert_eq!(
             *e,

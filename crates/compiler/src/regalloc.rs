@@ -126,7 +126,8 @@ pub fn allocate(f: &IrFunction, pool: &[usize]) -> Allocation {
         }
     }
     // Linear scan.
-    let mut order: Vec<usize> = (0..n).filter(|i| intervals[*i].start <= intervals[*i].end).collect();
+    let mut order: Vec<usize> =
+        (0..n).filter(|i| intervals[*i].start <= intervals[*i].end).collect();
     order.sort_by_key(|i| (intervals[*i].start, intervals[*i].end));
     let mut locs = vec![Loc::Spill(-1); n];
     let mut active: Vec<(usize, usize)> = Vec::new(); // (vreg index, pool slot)

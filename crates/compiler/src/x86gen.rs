@@ -57,8 +57,7 @@ impl Emitter {
     }
 
     fn emit_mem(&mut self, i: X86Instr, var: &str) {
-        self.code
-            .push(CompiledInstr { instr: i, loc: self.loc, mem_var: Some(var.to_string()) });
+        self.code.push(CompiledInstr { instr: i, loc: self.loc, mem_var: Some(var.to_string()) });
     }
 
     fn spill_mem(&self, off: i32) -> X86Mem {
@@ -110,7 +109,7 @@ impl Emitter {
 
     /// Resolve an [`IrAddr`]; the result never references `SCRATCH0`.
     fn mem_operand(&mut self, a: &IrAddr) -> X86Mem {
-        let index = a.index.map(|(r, shift)| (r, shift));
+        let index = a.index;
         match (a.base, index) {
             (IrBase::Frame(off), None) => self.spill_mem(off + a.offset),
             (IrBase::Frame(_), Some(_)) => unreachable!("no indexed frame addressing"),
@@ -203,7 +202,8 @@ impl Emitter {
                     if ra != rd {
                         self.emit(X86Instr::mov_rr(rd, ra));
                     }
-                    let src = if rb == rd && ra == rd { Operand::Reg(rd) } else { Operand::Reg(rb) };
+                    let src =
+                        if rb == rd && ra == rd { Operand::Reg(rd) } else { Operand::Reg(rb) };
                     self.emit(X86Instr::Imul { dst: rd, src });
                 }
             }
@@ -226,18 +226,20 @@ impl Emitter {
                             if rx != rd && ry != rd {
                                 self.emit(X86Instr::Lea {
                                     dst: rd,
-                                    addr: X86Mem {
-                                        base: Some(rx),
-                                        index: Some((ry, 1)),
-                                        disp: 0,
-                                    },
+                                    addr: X86Mem { base: Some(rx), index: Some((ry, 1)), disp: 0 },
                                 });
                                 self.finish_def(spill);
                                 return Ok(());
                             }
                             // Fall through to the two-address pattern with
                             // the registers already resolved.
-                            return self.two_address(alu, rd, spill, Operand::Reg(rx), Operand::Reg(ry));
+                            return self.two_address(
+                                alu,
+                                rd,
+                                spill,
+                                Operand::Reg(rx),
+                                Operand::Reg(ry),
+                            );
                         }
                     }
                     // and $255 stays `andl` under GCC but becomes movzbl
@@ -337,8 +339,7 @@ impl Emitter {
         if use_counts.get(lr).copied().unwrap_or(0) != 1 {
             return Ok(None);
         }
-        let Some(IrInst::Bin { op, dst, a, b: bv }) = b.insts.get(ii + 1).map(|t| &t.inst)
-        else {
+        let Some(IrInst::Bin { op, dst, a, b: bv }) = b.insts.get(ii + 1).map(|t| &t.inst) else {
             return Ok(None);
         };
         let alu = match op {
@@ -352,8 +353,7 @@ impl Emitter {
         // RMW: the loaded value is the left operand and the result goes
         // straight back to the same location.
         if *a == IrValue::Reg(*lr) {
-            if let Some(IrInst::Store { src, addr: st_addr }) =
-                b.insts.get(ii + 2).map(|t| &t.inst)
+            if let Some(IrInst::Store { src, addr: st_addr }) = b.insts.get(ii + 2).map(|t| &t.inst)
             {
                 if *src == IrValue::Reg(*dst)
                     && st_addr == addr
@@ -769,10 +769,8 @@ int main() { return f(10, 2); }";
     fn flag_fusion_skips_cmp() {
         let src = "int f(int s, int x) { s -= x; if (s != 0) { return 1; } return 0; }";
         let with = asm(&compile(src).funcs[0]).join("; ");
-        let without = asm(
-            &compile_x86(src, &Options::level(OptLevel::O1)).unwrap().funcs[0],
-        )
-        .join("; ");
+        let without =
+            asm(&compile_x86(src, &Options::level(OptLevel::O1)).unwrap().funcs[0]).join("; ");
         let cmps_with = with.matches("cmpl").count();
         let cmps_without = without.matches("cmpl").count();
         assert!(cmps_with < cmps_without, "fusion removes a cmp: {with} /// {without}");
@@ -803,7 +801,8 @@ int main() { return f(10, 2); }";
 
     #[test]
     fn variable_shift_rejected() {
-        let err = compile_x86("int f(int a, int b) { return a << b; }", &Options::o2()).unwrap_err();
+        let err =
+            compile_x86("int f(int a, int b) { return a << b; }", &Options::o2()).unwrap_err();
         assert!(err.message.contains("shift"));
     }
 }

@@ -5,10 +5,9 @@
 
 use crate::{run_benchmark, BenchRun, EngineKind};
 use ldbt_compiler::{CompileError, OptLevel, Options};
-use ldbt_learn::pipeline::learn_from_source;
-use ldbt_learn::{LearnStats, RuleSet};
+use ldbt_learn::pipeline::{learn_from_source, learn_from_source_cached};
+use ldbt_learn::{LearnConfig, LearnStats, RuleSet, VerifyCache};
 use ldbt_workloads::{source, Benchmark, Workload, SUITE};
-
 
 /// Per-program learned rules (kept separate so leave-one-out sets can be
 /// assembled without re-learning).
@@ -24,25 +23,40 @@ pub struct ProgramRules {
 
 /// Learn rules from every suite program individually.
 ///
+/// Each program is learned exactly once (its `RuleSet` is kept separate
+/// so the twelve leave-one-out sets compose from the other eleven via
+/// [`loo_rules`] instead of re-learning), and one verification memo
+/// cache is shared across the suite so cross-program snippet repeats
+/// verify only once.
+///
 /// # Errors
 ///
 /// Returns a [`CompileError`] if a generated program fails to compile.
 pub fn learn_all(options: &Options) -> Result<Vec<ProgramRules>, CompileError> {
+    let config = LearnConfig::default();
+    let mut cache = VerifyCache::new();
     let mut out = Vec::new();
     for b in &SUITE {
         let src = source(b, Workload::Ref);
-        let report = learn_from_source(b.name, &src, options)?;
-        out.push(ProgramRules { name: b.name.to_string(), rules: report.rules, stats: report.stats });
+        let report = learn_from_source_cached(b.name, &src, options, &config, &mut cache)?;
+        out.push(ProgramRules {
+            name: b.name.to_string(),
+            rules: report.rules,
+            stats: report.stats,
+        });
     }
     Ok(out)
 }
 
-/// Assemble the leave-one-out rule set for `exclude`.
+/// Assemble the leave-one-out rule set for `exclude` by composing the
+/// other programs' already-learned sets ([`RuleSet::merge`] — cross-
+/// program dedup and shortest-host selection preserved, and the result
+/// is independent of the composition order).
 pub fn loo_rules(all: &[ProgramRules], exclude: &str) -> RuleSet {
     let mut rules = RuleSet::new();
     for p in all {
         if p.name != exclude {
-            rules.extend_from(&p.rules);
+            rules.merge(&p.rules);
         }
     }
     rules
@@ -56,11 +70,8 @@ pub fn table1(all: &[ProgramRules]) -> Vec<(&'static Benchmark, usize, LearnStat
         .iter()
         .map(|b| {
             let lines = source(b, Workload::Ref).lines().count();
-            let stats = all
-                .iter()
-                .find(|p| p.name == b.name)
-                .map(|p| p.stats.clone())
-                .unwrap_or_default();
+            let stats =
+                all.iter().find(|p| p.name == b.name).map(|p| p.stats.clone()).unwrap_or_default();
             (b, lines, stats)
         })
         .collect()
@@ -72,13 +83,23 @@ pub fn table1(all: &[ProgramRules]) -> Vec<(&'static Benchmark, usize, LearnStat
 ///
 /// Propagates compile errors.
 pub fn figure6() -> Result<Vec<(String, [usize; 4])>, CompileError> {
+    // One memo cache across all programs *and* levels: snippet
+    // signatures are content-based, so repeats between optimization
+    // levels verify once too.
+    let config = LearnConfig::default();
+    let mut cache = VerifyCache::new();
     let mut rows = Vec::new();
     for b in &SUITE {
         let src = source(b, Workload::Ref);
         let mut counts = [0usize; 4];
         for (i, level) in OptLevel::ALL.iter().enumerate() {
-            let report =
-                learn_from_source(b.name, &src, &Options { level: *level, style: ldbt_compiler::Style::Llvm })?;
+            let report = learn_from_source_cached(
+                b.name,
+                &src,
+                &Options { level: *level, style: ldbt_compiler::Style::Llvm },
+                &config,
+                &mut cache,
+            )?;
             counts[i] = report.rules.len();
         }
         rows.push((b.name.to_string(), counts));

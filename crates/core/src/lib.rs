@@ -32,6 +32,7 @@ pub mod experiment;
 pub use ldbt_compiler as compiler;
 pub use ldbt_dbt as dbt;
 pub use ldbt_learn as learn;
+pub use ldbt_learn::{configured_threads, LearnConfig, VerifyCache};
 pub use ldbt_workloads as workloads;
 
 use ldbt_compiler::{link::build_arm_image, CompileError, Options};
@@ -88,6 +89,8 @@ pub fn learn_suite(
     options: &Options,
     exclude: Option<&str>,
 ) -> Result<(RuleSet, Vec<LearnStats>), CompileError> {
+    let config = ldbt_learn::LearnConfig::default();
+    let mut cache = ldbt_learn::VerifyCache::new();
     let mut rules = RuleSet::new();
     let mut stats = Vec::new();
     for b in &SUITE {
@@ -95,8 +98,10 @@ pub fn learn_suite(
             continue;
         }
         let src = source(b, Workload::Ref);
-        let report = ldbt_learn::pipeline::learn_from_source(b.name, &src, options)?;
-        rules.extend_from(&report.rules);
+        let report = ldbt_learn::pipeline::learn_from_source_cached(
+            b.name, &src, options, &config, &mut cache,
+        )?;
+        rules.merge(&report.rules);
         stats.push(report.stats);
     }
     Ok((rules, stats))
@@ -168,7 +173,7 @@ mod tests {
             (rules, stats)
         };
         assert_eq!(stats_all.len(), 2);
-        assert!(all.len() > 0, "some rules learned");
+        assert!(!all.is_empty(), "some rules learned");
     }
 
     #[test]

@@ -134,10 +134,7 @@ impl Lowerer {
         }
         if let Some((r, g)) = clean.or(dirty) {
             if self.dirty.get(&g).copied().unwrap_or(false) {
-                self.emit(X86Instr::Mov {
-                    dst: Operand::Mem(reg_mem(g)),
-                    src: Operand::Reg(r),
-                });
+                self.emit(X86Instr::Mov { dst: Operand::Mem(reg_mem(g)), src: Operand::Reg(r) });
             }
             self.home.remove(&g);
             self.dirty.remove(&g);
@@ -232,13 +229,11 @@ impl Lowerer {
             .collect();
         for t in dead {
             match self.temp_loc.remove(&t) {
-                Some(TLoc::Reg(r)) => {
-                    if self.reg_state[&r] == RegUse::Temp(t) {
-                        self.reg_state.insert(r, RegUse::Free);
-                    }
+                Some(TLoc::Reg(r)) if self.reg_state[&r] == RegUse::Temp(t) => {
+                    self.reg_state.insert(r, RegUse::Free);
                 }
                 Some(TLoc::Spill(slot)) => self.free_slots.push(slot),
-                None => {}
+                Some(TLoc::Reg(_)) | None => {}
             }
         }
     }
@@ -476,10 +471,7 @@ fn flag_stub(code: &mut Vec<X86Instr>) {
         dst: Operand::Mem(flag_mem(FlagId::C)),
         src: Operand::Reg(Gpr::Eax),
     });
-    code.push(X86Instr::Mov {
-        dst: Operand::Mem(env_mem(FLAGMODE_OFFSET)),
-        src: Operand::Imm(0),
-    });
+    code.push(X86Instr::Mov { dst: Operand::Mem(env_mem(FLAGMODE_OFFSET)), src: Operand::Imm(0) });
     // Patch the skip target.
     let end = code.len();
     let skip = (end - je_at - 1) as i32;
@@ -504,10 +496,7 @@ pub fn lower_block_opts(block: &TcgBlock, home_caching: bool, pool_limit: usize)
         flag_stub(&mut l.code);
     }
     if block.writes_flags {
-        l.emit(X86Instr::Mov {
-            dst: Operand::Mem(env_mem(FLAGMODE_OFFSET)),
-            src: Operand::Imm(0),
-        });
+        l.emit(X86Instr::Mov { dst: Operand::Mem(env_mem(FLAGMODE_OFFSET)), src: Operand::Imm(0) });
     }
     for (idx, op) in block.ops.iter().enumerate() {
         l.lower_op(op, idx);
@@ -548,7 +537,7 @@ pub fn lower_block_opts(block: &TcgBlock, home_caching: bool, pool_limit: usize)
 mod tests {
     use super::*;
     use crate::env::ENV_BASE;
-    use crate::tcg::{decode_block, translate_block, GuestBlock};
+    use crate::tcg::{translate_block, GuestBlock};
     use ldbt_arm::{ArmInstr, Cond, DpOp, Operand2};
     use ldbt_isa::{CostModel, ExecStats, Memory};
     use ldbt_x86::interp::{run_seq, SeqExit};
@@ -658,11 +647,7 @@ mod tests {
             ],
         };
         let tcg = translate_block(&mem, &block);
-        let flag_puts = tcg
-            .ops
-            .iter()
-            .filter(|o| matches!(o, TcgOp::PutFlag(_, _)))
-            .count();
+        let flag_puts = tcg.ops.iter().filter(|o| matches!(o, TcgOp::PutFlag(_, _))).count();
         assert_eq!(flag_puts, 1, "only Z materialized: {:?}", tcg.ops);
     }
 
@@ -765,10 +750,8 @@ mod tests {
     fn flag_stub_materializes_saved_host_flags() {
         // A block that reads live-in flags (bne at block start) with
         // flag-mode = 1 and saved host EFLAGS where ZF=0.
-        let block = GuestBlock {
-            pc: 0x1_0000,
-            instrs: vec![ArmInstr::B { offset: 3, cond: Cond::Ne }],
-        };
+        let block =
+            GuestBlock { pc: 0x1_0000, instrs: vec![ArmInstr::B { offset: 3, cond: Cond::Ne }] };
         let mem = Memory::new();
         let tcg = translate_block(&mem, &block);
         assert!(tcg.reads_live_in_flags);

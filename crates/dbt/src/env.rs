@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn flag_masks() {
-        assert_eq!(FlagId::N.mask() | FlagId::Z.mask() | FlagId::C.mask() | FlagId::V.mask(), 0b1111);
+        assert_eq!(
+            FlagId::N.mask() | FlagId::Z.mask() | FlagId::C.mask() | FlagId::V.mask(),
+            0b1111
+        );
         assert_eq!(FlagId::C.offset(), 0x48);
     }
 
@@ -118,8 +121,8 @@ mod tests {
     #[test]
     fn env_does_not_collide_with_program_regions() {
         // Code, globals, guest stack, host stack all live below the env.
-        assert!(ldbt_compiler::link::CODE_BASE < ENV_BASE);
-        assert!(ldbt_compiler::link::STACK_TOP < ENV_BASE);
-        assert!(HOST_STACK_TOP < ENV_BASE);
+        const { assert!(ldbt_compiler::link::CODE_BASE < ENV_BASE) };
+        const { assert!(ldbt_compiler::link::STACK_TOP < ENV_BASE) };
+        const { assert!(HOST_STACK_TOP < ENV_BASE) };
     }
 }

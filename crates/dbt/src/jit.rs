@@ -220,7 +220,8 @@ mod tests {
             ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R0, Operand2::Imm(1)),
             ArmInstr::dp(DpOp::Add, ArmReg::R2, ArmReg::R0, Operand2::Imm(2)),
         ]);
-        let gets_before = b.ops.iter().filter(|o| matches!(o, TcgOp::GetReg(_, ArmReg::R0))).count();
+        let gets_before =
+            b.ops.iter().filter(|o| matches!(o, TcgOp::GetReg(_, ArmReg::R0))).count();
         let opt = optimize_block(&b);
         let gets_after =
             opt.ops.iter().filter(|o| matches!(o, TcgOp::GetReg(_, ArmReg::R0))).count();

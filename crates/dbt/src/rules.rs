@@ -25,9 +25,9 @@ use ldbt_arm::{ArmInstr, ArmReg, Cond};
 use ldbt_isa::Memory;
 use ldbt_learn::rule::Binding;
 use ldbt_learn::{Rule, RuleSet};
-use ldbt_x86::{Cc, Gpr, Operand, X86Instr};
 #[cfg(test)]
 use ldbt_x86::AluOp;
+use ldbt_x86::{Cc, Gpr, Operand, X86Instr};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -83,12 +83,7 @@ fn rule_key(rule: &Rule) -> u64 {
 
 /// Guest flags read by `instrs[from..]` before being written, plus
 /// conservative liveness at the end.
-fn flags_consumed_after(
-    instrs: &[ArmInstr],
-    from: usize,
-    mem: &Memory,
-    block_pc: u32,
-) -> u8 {
+fn flags_consumed_after(instrs: &[ArmInstr], from: usize, mem: &Memory, block_pc: u32) -> u8 {
     let mut live = 0u8;
     let mut written = 0u8;
     for i in &instrs[from..] {
@@ -177,11 +172,7 @@ enum Segment {
 }
 
 /// Translate a guest block using the rule set with TCG fallback.
-pub fn lower_block_with_rules(
-    mem: &Memory,
-    block: &GuestBlock,
-    rules: &RuleSet,
-) -> RuleLowering {
+pub fn lower_block_with_rules(mem: &Memory, block: &GuestBlock, rules: &RuleSet) -> RuleLowering {
     lower_block_with_rules_opts(mem, block, rules, true)
 }
 
@@ -274,11 +265,7 @@ pub fn lower_block_with_rules_opts(
         while i < n {
             if let Some((pi, p)) = plan_iter.peek() {
                 if p.start == i {
-                    segments.push(Segment::Rule {
-                        start: i,
-                        len: p.len,
-                        rule_index: (0, *pi),
-                    });
+                    segments.push(Segment::Rule { start: i, len: p.len, rule_index: (0, *pi) });
                     i += p.len;
                     plan_iter.next();
                     continue;
@@ -318,11 +305,8 @@ pub fn lower_block_with_rules_opts(
                     homes.invalidate();
                 }
                 // Which guest regs does the rule define? (for dirty marks)
-                let defined: Vec<ArmReg> = instrs[start..start + len]
-                    .iter()
-                    .filter_map(|g| g.def())
-                    .map(|template_or_actual| template_or_actual)
-                    .collect();
+                let defined: Vec<ArmReg> =
+                    instrs[start..start + len].iter().filter_map(|g| g.def()).collect();
                 let host = rule.instantiate(&p.binding, |g| homes.home(g, &mut code));
                 // Flag epilogue decision.
                 let writes_flags =
@@ -402,10 +386,7 @@ pub fn lower_block_with_rules_opts(
     // If the block's last guest instruction was covered by a *non-branch*
     // rule (or the loop ended without a terminator segment), fall through
     // to the next PC.
-    let ends_with_exit = matches!(
-        code.last(),
-        Some(X86Instr::Ret) | Some(X86Instr::Halt)
-    );
+    let ends_with_exit = matches!(code.last(), Some(X86Instr::Ret) | Some(X86Instr::Halt));
     if !ends_with_exit {
         homes.writeback(&mut code);
         let next = block.pc.wrapping_add(4 * n as u32);
@@ -419,9 +400,10 @@ pub fn lower_block_with_rules_opts(
 /// Whether a block contains anything the rule translator cannot lower
 /// (the engine then falls back entirely to TCG or the interpreter).
 pub fn block_supported(block: &GuestBlock) -> bool {
-    !block.instrs.iter().any(|i| {
-        i.is_predicated() && matches!(i, ArmInstr::Ldr { .. } | ArmInstr::Str { .. })
-    })
+    !block
+        .instrs
+        .iter()
+        .any(|i| i.is_predicated() && matches!(i, ArmInstr::Ldr { .. } | ArmInstr::Str { .. }))
 }
 
 #[cfg(test)]
@@ -603,10 +585,7 @@ mod tests {
         let mut rules = RuleSet::new();
         rules.insert(Rule {
             guest: vec![ArmInstr::dps(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Imm(1))],
-            host: vec![X86Instr::Un {
-                op: ldbt_x86::UnOp::Inc,
-                dst: Operand::Reg(Gpr::Ecx),
-            }],
+            host: vec![X86Instr::Un { op: ldbt_x86::UnOp::Inc, dst: Operand::Reg(Gpr::Ecx) }],
             host_reg_of: [(Gpr::Ecx, ArmReg::R0)].into_iter().collect(),
             imm_params: vec![],
             unemulated_flags: 0b0010, // C

@@ -465,8 +465,12 @@ impl FrontEnd {
                 let a = if op.is_move() { None } else { Some(self.get_reg(rn)) };
                 let live = if set_flags { flags_live } else { 0 };
                 let (value, c_out, v_out) = match op {
-                    DpOp::And | DpOp::Tst => (self.alu(TcgAlu::And, a.unwrap(), b), shifter_c, None),
-                    DpOp::Eor | DpOp::Teq => (self.alu(TcgAlu::Xor, a.unwrap(), b), shifter_c, None),
+                    DpOp::And | DpOp::Tst => {
+                        (self.alu(TcgAlu::And, a.unwrap(), b), shifter_c, None)
+                    }
+                    DpOp::Eor | DpOp::Teq => {
+                        (self.alu(TcgAlu::Xor, a.unwrap(), b), shifter_c, None)
+                    }
                     DpOp::Orr => (self.alu(TcgAlu::Or, a.unwrap(), b), shifter_c, None),
                     DpOp::Bic => {
                         let nb = self.not(b);
@@ -477,7 +481,8 @@ impl FrontEnd {
                     DpOp::Add | DpOp::Cmn => {
                         let a = a.unwrap();
                         let r = self.alu(TcgAlu::Add, a, b);
-                        let c = (live & FlagId::C.mask() != 0).then(|| self.setc(TcgCond::Ltu, r, a));
+                        let c =
+                            (live & FlagId::C.mask() != 0).then(|| self.setc(TcgCond::Ltu, r, a));
                         let v = (live & FlagId::V.mask() != 0).then(|| self.overflow_add(a, b, r));
                         (r, c, v)
                     }
@@ -497,7 +502,8 @@ impl FrontEnd {
                     DpOp::Sub | DpOp::Cmp => {
                         let a = a.unwrap();
                         let r = self.alu(TcgAlu::Sub, a, b);
-                        let c = (live & FlagId::C.mask() != 0).then(|| self.setc(TcgCond::Geu, a, b));
+                        let c =
+                            (live & FlagId::C.mask() != 0).then(|| self.setc(TcgCond::Geu, a, b));
                         let v = (live & FlagId::V.mask() != 0).then(|| self.overflow_sub(a, b, r));
                         (r, c, v)
                     }
@@ -518,7 +524,8 @@ impl FrontEnd {
                     DpOp::Rsb => {
                         let a = a.unwrap();
                         let r = self.alu(TcgAlu::Sub, b, a);
-                        let c = (live & FlagId::C.mask() != 0).then(|| self.setc(TcgCond::Geu, b, a));
+                        let c =
+                            (live & FlagId::C.mask() != 0).then(|| self.setc(TcgCond::Geu, b, a));
                         let v = (live & FlagId::V.mask() != 0).then(|| self.overflow_sub(b, a, r));
                         (r, c, v)
                     }
@@ -656,8 +663,7 @@ pub fn translate_block(mem: &Memory, block: &GuestBlock) -> TcgBlock {
             let live_out = match block.instrs.last() {
                 Some(ArmInstr::B { offset, cond }) => {
                     let end_pc = block.pc.wrapping_add(4 * n as u32);
-                    let taken =
-                        end_pc.wrapping_add((*offset as u32).wrapping_mul(4));
+                    let taken = end_pc.wrapping_add((*offset as u32).wrapping_mul(4));
                     let mut l = flags_live_at(mem, taken, 2);
                     if *cond != Cond::Al {
                         l |= flags_live_at(mem, end_pc, 2);

@@ -94,9 +94,7 @@ pub fn add_overflow32(a: u32, b: u32, carry_in: bool) -> bool {
 /// ARM's `C` after `SUBS` is set when no borrow occurred, i.e. `a >= b` for
 /// a plain subtract. x86's `CF` is the *borrow*, i.e. the inverse.
 pub fn sub_carry32_arm(a: u32, b: u32, carry_in: bool) -> bool {
-    let full = (a as u64)
-        .wrapping_add(!b as u64)
-        .wrapping_add(carry_in as u64);
+    let full = (a as u64).wrapping_add(!b as u64).wrapping_add(carry_in as u64);
     full > u32::MAX as u64
 }
 

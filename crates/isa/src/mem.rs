@@ -45,10 +45,8 @@ impl Memory {
 
     /// Write one byte.
     pub fn write_u8(&mut self, addr: u32, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        let page =
+            self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         page[(addr & PAGE_MASK) as usize] = value;
     }
 
@@ -77,9 +75,7 @@ impl Memory {
 
     /// Read `len` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
-        (0..len)
-            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
-            .collect()
+        (0..len).map(|i| self.read_u8(addr.wrapping_add(i as u32))).collect()
     }
 
     /// Number of resident pages (for diagnostics).

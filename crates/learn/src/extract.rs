@@ -105,19 +105,14 @@ pub fn extract_with_stats(
             };
             dropped += glists.len().abs_diff(hlists.len());
             for (glist, hlist) in glists.iter().zip(hlists) {
-                let mut guest: Vec<(ArmInstr, Option<String>)> = glist
-                    .iter()
-                    .map(|&i| (gf.code[i].instr, gf.code[i].mem_var.clone()))
-                    .collect();
-                let mut host: Vec<(X86Instr, Option<String>)> = hlist
-                    .iter()
-                    .map(|&i| (hf.code[i].instr, hf.code[i].mem_var.clone()))
-                    .collect();
+                let mut guest: Vec<(ArmInstr, Option<String>)> =
+                    glist.iter().map(|&i| (gf.code[i].instr, gf.code[i].mem_var.clone())).collect();
+                let mut host: Vec<(X86Instr, Option<String>)> =
+                    hlist.iter().map(|&i| (hf.code[i].instr, hf.code[i].mem_var.clone())).collect();
                 // A trailing *unconditional* direct jump is pure control
                 // glue (the DBT re-resolves targets anyway): strip it from
                 // both sides so loop-entry/step snippets stay learnable.
-                if matches!(guest.last(), Some((ArmInstr::B { cond: ldbt_arm::Cond::Al, .. }, _)))
-                {
+                if matches!(guest.last(), Some((ArmInstr::B { cond: ldbt_arm::Cond::Al, .. }, _))) {
                     guest.pop();
                 }
                 if matches!(host.last(), Some((X86Instr::Jmp { .. }, _))) {

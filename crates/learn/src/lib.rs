@@ -23,12 +23,15 @@
 //! [`rule::RuleSet`] (deduplicated, shortest-host-wins), ready for the
 //! DBT in `ldbt-dbt`.
 
+pub mod cache;
 pub mod extract;
+pub mod par;
 pub mod param;
 pub mod pipeline;
 pub mod prepare;
 pub mod rule;
 pub mod verify;
 
-pub use pipeline::{learn_rules, LearnReport, LearnStats};
+pub use cache::{VerifyCache, VerifyOutcome};
+pub use pipeline::{configured_threads, learn_rules, LearnConfig, LearnReport, LearnStats};
 pub use rule::{Rule, RuleOperand, RuleSet};

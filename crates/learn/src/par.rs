@@ -1,0 +1,118 @@
+//! A minimal scoped worker pool for the learning pipeline.
+//!
+//! Fan-out runs on [`std::thread::scope`] with self-scheduling chunked
+//! index distribution: an [`AtomicUsize`] cursor hands out chunks of
+//! indices, so idle workers keep pulling work and uneven per-item cost
+//! (a SAT-heavy verification next to an instant refutation) balances
+//! automatically. Each worker collects `(index, result)` pairs locally
+//! and the results are reassembled in index order after the scope joins,
+//! so the output is independent of thread scheduling. With `threads <= 1`
+//! no thread is spawned at all — the pure-sequential path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `job` for every index in `0..n` across up to `threads` workers
+/// and return the results in index order.
+///
+/// `make_state` builds one scratch state per worker (the verifier reuses
+/// a `TermPool` this way); the sequential path builds exactly one.
+pub fn run_indexed_with<S, T, M, F>(threads: usize, n: usize, make_state: M, job: F) -> Vec<T>
+where
+    T: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        let mut state = make_state();
+        return (0..n).map(|i| job(&mut state, i)).collect();
+    }
+    let workers = threads.min(n);
+    // Chunked self-scheduling: cheap stages over many items grab larger
+    // chunks to cut cursor contention, while expensive stages (few items
+    // per worker) degrade to chunk = 1 and so still balance well.
+    let chunk = (n / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let collected: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut state = make_state();
+                    let mut local = Vec::new();
+                    loop {
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        for i in lo..(lo + chunk).min(n) {
+                            local.push((i, job(&mut state, i)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in collected.into_iter().flatten() {
+        out[i] = Some(v);
+    }
+    out.into_iter().map(|v| v.expect("every index visited")).collect()
+}
+
+/// [`run_indexed_with`] for jobs that need no per-worker state.
+pub fn run_indexed<T, F>(threads: usize, n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(threads, n, || (), |(), i| job(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = run_indexed(threads, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(4, 1, |i| i + 10), vec![10]);
+        // More threads than items.
+        assert_eq!(run_indexed(16, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn worker_state_is_reused_within_a_worker() {
+        // Each worker counts how many items it processed; the counts must
+        // partition the index space.
+        let counts = run_indexed_with(
+            3,
+            50,
+            || 0usize,
+            |seen, _i| {
+                *seen += 1;
+                *seen
+            },
+        );
+        // Sequential check: with one worker the state increments 1..=n.
+        let seq = run_indexed_with(
+            1,
+            5,
+            || 0usize,
+            |seen, _| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(seq, vec![1, 2, 3, 4, 5]);
+        assert_eq!(counts.len(), 50);
+    }
+}

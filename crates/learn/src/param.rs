@@ -142,10 +142,8 @@ fn host_first_use_class(seq: &[X86Instr], reg: Gpr) -> (OpClass, usize) {
     for i in seq {
         let uses = i.uses();
         if let Some(pos) = uses.iter().position(|u| *u == reg) {
-            let in_addr = i
-                .mem_operand()
-                .map(|(a, _, _)| a.regs().any(|r| *r == reg))
-                .unwrap_or(false);
+            let in_addr =
+                i.mem_operand().map(|(a, _, _)| a.regs().any(|r| *r == reg)).unwrap_or(false);
             let class = if in_addr {
                 OpClass::MemAddr
             } else {
@@ -303,7 +301,7 @@ pub fn initial_mappings_limit(
         by_name.entry(&s.var).or_default().1.push(i);
     }
     let mut mem_pairs: Vec<(usize, usize)> = Vec::new(); // indices into gmem/hmem
-    for (_, (gs, hs)) in &by_name {
+    for (gs, hs) in by_name.values() {
         for (g, h) in gs.iter().zip(hs) {
             mem_pairs.push((*g, *h));
         }
@@ -315,19 +313,20 @@ pub fn initial_mappings_limit(
     let hlive = host_live_ins(&host_seq);
     let mut fixed: HashMap<ArmReg, Gpr> = HashMap::new();
     let mut taken: HashSet<Gpr> = HashSet::new();
-    let bind = |g: ArmReg, h: Gpr, fixed: &mut HashMap<ArmReg, Gpr>, taken: &mut HashSet<Gpr>| -> bool {
-        match fixed.get(&g) {
-            Some(prev) => *prev == h,
-            None => {
-                if taken.contains(&h) {
-                    return false;
+    let bind =
+        |g: ArmReg, h: Gpr, fixed: &mut HashMap<ArmReg, Gpr>, taken: &mut HashSet<Gpr>| -> bool {
+            match fixed.get(&g) {
+                Some(prev) => *prev == h,
+                None => {
+                    if taken.contains(&h) {
+                        return false;
+                    }
+                    fixed.insert(g, h);
+                    taken.insert(h);
+                    true
                 }
-                fixed.insert(g, h);
-                taken.insert(h);
-                true
             }
-        }
-    };
+        };
     for (gi, hi) in &mem_pairs {
         let gs = &gmem[*gi];
         let hs = &hmem[*hi];
@@ -338,17 +337,16 @@ pub fn initial_mappings_limit(
             }
         }
         if let (Some(gb), Some(hb)) = (gs.addr.base, hs.addr.base) {
-            if glive.contains(&gb) && hlive.contains(&hb) {
-                if !bind(gb, hb, &mut fixed, &mut taken) {
-                    return Err(ParamFail::LiveIns);
-                }
+            if glive.contains(&gb) && hlive.contains(&hb) && !bind(gb, hb, &mut fixed, &mut taken) {
+                return Err(ParamFail::LiveIns);
             }
         }
         if let (Some((gidx, _)), Some((hidx, _))) = (gs.addr.index, hs.addr.index) {
-            if glive.contains(&gidx) && hlive.contains(&hidx) {
-                if !bind(gidx, hidx, &mut fixed, &mut taken) {
-                    return Err(ParamFail::LiveIns);
-                }
+            if glive.contains(&gidx)
+                && hlive.contains(&hidx)
+                && !bind(gidx, hidx, &mut fixed, &mut taken)
+            {
+                return Err(ParamFail::LiveIns);
             }
         }
     }
@@ -414,9 +412,8 @@ pub fn initial_mappings_limit(
             // Two guest accesses hitting one host RMW instruction share a
             // single parameter (their actual offsets must then agree,
             // which the rule matcher enforces).
-            if let Some(existing) = imm_params
-                .iter_mut()
-                .find(|p: &&mut ImmParam| p.host_sites.contains(&hsite))
+            if let Some(existing) =
+                imm_params.iter_mut().find(|p: &&mut ImmParam| p.host_sites.contains(&hsite))
             {
                 existing.extra_guest_sites.push((gs.instr, ImmSlot::MemOffset));
             } else {
@@ -434,10 +431,8 @@ pub fn initial_mappings_limit(
     let himms = host_imm_sites(&host_seq);
     // Host displacement sites already bound to a paired memory operand
     // must not be re-bound to a data immediate.
-    let reserved: HashSet<(usize, ImmSlot)> = imm_params
-        .iter()
-        .flat_map(|p| p.host_sites.iter().map(|(i, s, _)| (*i, *s)))
-        .collect();
+    let reserved: HashSet<(usize, ImmSlot)> =
+        imm_params.iter().flat_map(|p| p.host_sites.iter().map(|(i, s, _)| (*i, *s))).collect();
     let mut hused = vec![false; himms.len()];
     for (gidx, gv) in &gimms {
         let mut host_sites = Vec::new();
@@ -473,10 +468,8 @@ pub fn initial_mappings_limit(
 
     // --- Assemble candidates: heuristic first, then permutations. ---
     let base_pairs: Vec<(ArmReg, Gpr)> = fixed.iter().map(|(g, h)| (*g, *h)).collect();
-    let mem_instr_pairs: Vec<(usize, usize)> = mem_pairs
-        .iter()
-        .map(|(gi, hi)| (gmem[*gi].instr, hmem[*hi].instr))
-        .collect();
+    let mem_instr_pairs: Vec<(usize, usize)> =
+        mem_pairs.iter().map(|(gi, hi)| (gmem[*gi].instr, hmem[*hi].instr)).collect();
     let mut candidates = Vec::new();
     let max_tries = max_tries.max(1);
     let push_candidate = |assign: &[(ArmReg, Gpr)], candidates: &mut Vec<InitialMapping>| {
@@ -594,10 +587,7 @@ mod tests {
         // base↦base, index↦index.
         let pair = mkpair(
             vec![(
-                ArmInstr::ldr(
-                    ArmReg::R0,
-                    ldbt_arm::AddrMode::RegShift(ArmReg::R1, ArmReg::R0, 2),
-                ),
+                ArmInstr::ldr(ArmReg::R0, ldbt_arm::AddrMode::RegShift(ArmReg::R1, ArmReg::R0, 2)),
                 Some("arr"),
             )],
             vec![(
@@ -646,7 +636,10 @@ mod tests {
     fn live_in_count_mismatch() {
         // Guest has 2 live-ins, host 1.
         let pair = mkpair(
-            vec![(ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R1)), None)],
+            vec![(
+                ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R1)),
+                None,
+            )],
             vec![(X86Instr::Un { op: ldbt_x86::UnOp::Inc, dst: Operand::Reg(Gpr::Eax) }, None)],
         );
         assert_eq!(initial_mappings(&pair).unwrap_err(), ParamFail::LiveIns);
@@ -656,10 +649,7 @@ mod tests {
     fn scale_factor_mismatch_fails() {
         let pair = mkpair(
             vec![(
-                ArmInstr::ldr(
-                    ArmReg::R0,
-                    ldbt_arm::AddrMode::RegShift(ArmReg::R1, ArmReg::R2, 2),
-                ),
+                ArmInstr::ldr(ArmReg::R0, ldbt_arm::AddrMode::RegShift(ArmReg::R1, ArmReg::R2, 2)),
                 Some("a"),
             )],
             vec![(

@@ -1,11 +1,39 @@
 //! The end-to-end learning pipeline and its statistics (Table 1).
+//!
+//! The pipeline is staged so the expensive parts fan out across worker
+//! threads while the observable output stays **byte-identical** to the
+//! sequential per-pair loop:
+//!
+//! 1. **Classify** — preparation + parameterization run per pair on the
+//!    [`crate::par`] worker pool; results come back in pair order.
+//! 2. **Group** — surviving pairs are grouped by their exact snippet
+//!    signature ([`crate::cache::pair_signature`]); each unique
+//!    signature checks the [`VerifyCache`] once. Grouping happens
+//!    *before* any verification, so hit/miss counts do not depend on
+//!    thread scheduling.
+//! 3. **Verify** — one representative per uncached signature is verified
+//!    on the pool, each worker reusing one [`TermPool`] via
+//!    [`TermPool::reset`]. `verify_time` is the wall-clock span of this
+//!    stage.
+//! 4. **Merge** — outcomes are replayed over the pairs in index order:
+//!    counters bump and rules insert exactly as the sequential loop
+//!    would, regardless of thread count or cache state.
+//!
+//! Thread count comes from [`LearnConfig::threads`], defaulting to the
+//! `LDBT_THREADS` environment knob ([`configured_threads`]);
+//! `LDBT_THREADS=1` takes the pure-sequential path (no threads spawned).
 
-use crate::extract::extract_with_stats;
-use crate::param::ParamFail;
+use crate::cache::{pair_signature, VerifyCache, VerifyOutcome};
+use crate::extract::{extract_with_stats, SnippetPair};
+use crate::par::{run_indexed, run_indexed_with};
+use crate::param::{InitialMapping, ParamFail, MAX_MAPPING_TRIES};
 use crate::prepare::{prepare, PrepFail};
 use crate::rule::RuleSet;
-use crate::verify::{verify, VerifyFail};
+use crate::verify::{verify_in, VerifyFail};
 use ldbt_compiler::{compile_arm, compile_x86, CompileError, Options};
+use ldbt_smt::TermPool;
+use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Per-program learning statistics, mirroring Table 1's columns.
@@ -37,9 +65,15 @@ pub struct LearnStats {
     pub ver_other: usize,
     /// Rules learned (before cross-program dedup).
     pub rules: usize,
+    /// Verification outcomes replayed from the memo cache (duplicate
+    /// snippets within the program plus cross-program repeats when the
+    /// cache is shared).
+    pub cache_hits: usize,
+    /// Unique snippet signatures actually verified.
+    pub cache_misses: usize,
     /// Wall-clock learning time.
     pub learn_time: Duration,
-    /// Time spent in the verification step alone.
+    /// Wall-clock span of the verification stage.
     pub verify_time: Duration,
 }
 
@@ -57,6 +91,37 @@ impl LearnStats {
             self.rules as f64 / self.total as f64
         }
     }
+
+    /// Cache hit rate over all verification queries (0 when none ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let queries = self.cache_hits + self.cache_misses;
+        if queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / queries as f64
+        }
+    }
+
+    /// Every deterministic counter (everything except the wall-clock
+    /// times), for determinism comparisons across thread counts.
+    pub fn counters(&self) -> [usize; 14] {
+        [
+            self.total,
+            self.prep_ci,
+            self.prep_pi,
+            self.prep_mb,
+            self.par_num,
+            self.par_name,
+            self.par_failg,
+            self.ver_rg,
+            self.ver_mm,
+            self.ver_br,
+            self.ver_other,
+            self.rules,
+            self.cache_hits,
+            self.cache_misses,
+        ]
+    }
 }
 
 /// The result of learning from one program.
@@ -68,12 +133,93 @@ pub struct LearnReport {
     pub stats: LearnStats,
 }
 
+/// Explicit control over the learning pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct LearnConfig {
+    /// Worker threads for the classify and verify stages. `0` means
+    /// "use [`configured_threads`]"; `1` takes the pure-sequential path.
+    pub threads: usize,
+    /// Initial-mapping try limit per snippet (the paper uses 5).
+    pub max_tries: usize,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        LearnConfig { threads: 0, max_tries: MAX_MAPPING_TRIES }
+    }
+}
+
+impl LearnConfig {
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            configured_threads()
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// The worker-thread count from the `LDBT_THREADS` environment variable,
+/// read once per process; defaults to the machine's available
+/// parallelism (invalid or zero values also fall back to it).
+pub fn configured_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        match std::env::var("LDBT_THREADS") {
+            Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(auto),
+            Err(_) => auto,
+        }
+    })
+}
+
+/// Per-pair outcome of the classify stage.
+enum Classified {
+    /// Rejected by preparation.
+    Prep(PrepFail),
+    /// Rejected by parameterization (an empty mapping list counts as
+    /// "FailG", like [`ParamFail::LiveIns`]).
+    Param(ParamFail),
+    /// Survived; carries the candidate initial mappings.
+    Ready(Vec<InitialMapping>),
+}
+
+fn classify(pair: &SnippetPair, max_tries: usize) -> Classified {
+    if let Err(f) = prepare(pair) {
+        return Classified::Prep(f);
+    }
+    match crate::param::initial_mappings_limit(pair, max_tries) {
+        Ok(m) if !m.is_empty() => Classified::Ready(m),
+        Ok(_) | Err(ParamFail::LiveIns) => Classified::Param(ParamFail::LiveIns),
+        Err(f) => Classified::Param(f),
+    }
+}
+
+/// Run the mapping-try loop for one pair: first verifying mapping wins;
+/// otherwise only the last failure is reported (as in the paper).
+fn verify_pair(
+    pool: &mut TermPool,
+    pair: &SnippetPair,
+    mappings: &[InitialMapping],
+) -> VerifyOutcome {
+    let mut last = VerifyFail::Other;
+    for m in mappings {
+        pool.reset();
+        match verify_in(pool, pair, m) {
+            Ok(rule) => return VerifyOutcome::Learned(rule),
+            Err(f) => last = f,
+        }
+    }
+    VerifyOutcome::Failed(last)
+}
+
 /// Learn translation rules from one source program.
 ///
 /// Compiles the program for both ISAs with `options`, extracts per-line
 /// snippet pairs, and runs preparation → parameterization → verification,
 /// retrying with up to 5 initial mappings (only the last verification
-/// failure is counted, as in the paper).
+/// failure is counted, as in the paper). Uses the default
+/// [`LearnConfig`] and a private memo cache.
 ///
 /// # Errors
 ///
@@ -83,16 +229,48 @@ pub fn learn_from_source(
     source: &str,
     options: &Options,
 ) -> Result<LearnReport, CompileError> {
-    learn_from_source_with_tries(name, source, options, crate::param::MAX_MAPPING_TRIES)
+    learn_from_source_cached(
+        name,
+        source,
+        options,
+        &LearnConfig::default(),
+        &mut VerifyCache::new(),
+    )
 }
 
 /// [`learn_from_source`] with an explicit initial-mapping try limit
 /// (ablation knob; the paper uses 5).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if the source does not compile.
 pub fn learn_from_source_with_tries(
     name: &str,
     source: &str,
     options: &Options,
     max_tries: usize,
+) -> Result<LearnReport, CompileError> {
+    let config = LearnConfig { max_tries, ..LearnConfig::default() };
+    learn_from_source_cached(name, source, options, &config, &mut VerifyCache::new())
+}
+
+/// The full pipeline with explicit configuration and a caller-provided
+/// memo cache (share one cache across programs to also memoize
+/// cross-program repeats).
+///
+/// The output — rules, counters, cache hit/miss counts — is a pure
+/// function of the inputs: independent of `config.threads` and of how
+/// worker threads are scheduled. Only the two wall-clock durations vary.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if the source does not compile.
+pub fn learn_from_source_cached(
+    name: &str,
+    source: &str,
+    options: &Options,
+    config: &LearnConfig,
+    cache: &mut VerifyCache,
 ) -> Result<LearnReport, CompileError> {
     let start = Instant::now();
     let guest = compile_arm(source, options)?;
@@ -104,63 +282,110 @@ pub fn learn_from_source_with_tries(
         prep_mb: dropped,
         ..Default::default()
     };
-    let mut rules = RuleSet::new();
-    for pair in &pairs {
-        match prepare(pair) {
-            Err(PrepFail::CallIndirect) => {
-                stats.prep_ci += 1;
-                continue;
-            }
-            Err(PrepFail::Predicated) => {
-                stats.prep_pi += 1;
-                continue;
-            }
-            Err(PrepFail::MultiBlock) => {
-                stats.prep_mb += 1;
-                continue;
-            }
-            Ok(()) => {}
+    let threads = config.effective_threads();
+
+    // Stage 1: classify every pair (prepare + parameterize) on the pool.
+    let classified: Vec<Classified> =
+        run_indexed(threads, pairs.len(), |i| classify(&pairs[i], config.max_tries));
+
+    // Stage 2: group verification work by snippet signature, consulting
+    // the memo cache once per unique signature. `Fresh` groups remember
+    // their first (representative) pair; later duplicates replay its
+    // outcome.
+    enum Group {
+        Cached(VerifyOutcome),
+        Fresh { rep: usize, sig: String },
+    }
+    let mut group_of: Vec<Option<usize>> = vec![None; pairs.len()];
+    let mut group_ids: HashMap<String, usize> = HashMap::new();
+    let mut groups: Vec<Group> = Vec::new();
+    for (i, c) in classified.iter().enumerate() {
+        if !matches!(c, Classified::Ready(_)) {
+            continue;
         }
-        let mappings = match crate::param::initial_mappings_limit(pair, max_tries) {
-            Ok(m) if !m.is_empty() => m,
-            Ok(_) => {
-                stats.par_failg += 1;
-                continue;
-            }
-            Err(ParamFail::MemCount) => {
-                stats.par_num += 1;
-                continue;
-            }
-            Err(ParamFail::MemName) => {
-                stats.par_name += 1;
-                continue;
-            }
-            Err(ParamFail::LiveIns) => {
-                stats.par_failg += 1;
-                continue;
+        let sig = pair_signature(&pairs[i], config.max_tries);
+        let gid = match group_ids.get(&sig) {
+            Some(&gid) => gid,
+            None => {
+                let gid = groups.len();
+                groups.push(match cache.get(&sig) {
+                    Some(o) => Group::Cached(o.clone()),
+                    None => Group::Fresh { rep: i, sig: sig.clone() },
+                });
+                group_ids.insert(sig, gid);
+                gid
             }
         };
-        let vstart = Instant::now();
-        let mut last_fail = VerifyFail::Other;
-        let mut learned = false;
-        for m in &mappings {
-            match verify(pair, m) {
-                Ok(rule) => {
-                    rules.insert(rule);
-                    stats.rules += 1;
-                    learned = true;
-                    break;
-                }
-                Err(f) => last_fail = f,
+        group_of[i] = Some(gid);
+        stats.cache_hits += 1; // representatives are re-counted as misses below
+    }
+
+    // Stage 3: verify one representative per fresh group on the pool,
+    // one reusable term pool per worker.
+    let fresh: Vec<(usize, usize)> = groups
+        .iter()
+        .enumerate()
+        .filter_map(|(gid, g)| match g {
+            Group::Fresh { rep, .. } => Some((gid, *rep)),
+            Group::Cached(_) => None,
+        })
+        .collect();
+    stats.cache_misses = fresh.len();
+    stats.cache_hits -= fresh.len();
+    let vstart = Instant::now();
+    let outcomes: Vec<VerifyOutcome> = run_indexed_with(threads, fresh.len(), TermPool::new, {
+        let pairs = &pairs;
+        let classified = &classified;
+        let fresh = &fresh;
+        move |pool, k| {
+            let (_, rep) = fresh[k];
+            match &classified[rep] {
+                Classified::Ready(mappings) => verify_pair(pool, &pairs[rep], mappings),
+                _ => unreachable!("fresh groups come from Ready pairs"),
             }
         }
-        stats.verify_time += vstart.elapsed();
-        if !learned {
-            match last_fail {
-                VerifyFail::Registers => stats.ver_rg += 1,
-                VerifyFail::Memory => stats.ver_mm += 1,
-                VerifyFail::Branch => stats.ver_br += 1,
-                VerifyFail::Other => stats.ver_other += 1,
+    });
+    stats.verify_time = vstart.elapsed();
+
+    // Record fresh outcomes in the cache and resolve every group.
+    let mut resolved: Vec<Option<VerifyOutcome>> = groups
+        .iter()
+        .map(|g| match g {
+            Group::Cached(o) => Some(o.clone()),
+            Group::Fresh { .. } => None,
+        })
+        .collect();
+    for ((gid, _), outcome) in fresh.iter().zip(outcomes) {
+        if let Group::Fresh { sig, .. } = &groups[*gid] {
+            cache.insert(sig.clone(), outcome.clone());
+        }
+        resolved[*gid] = Some(outcome);
+    }
+
+    // Stage 4: replay outcomes over the pairs in index order — exactly
+    // the sequence of counter bumps and rule insertions the sequential
+    // per-pair loop performs.
+    let mut rules = RuleSet::new();
+    for (i, c) in classified.iter().enumerate() {
+        match c {
+            Classified::Prep(PrepFail::CallIndirect) => stats.prep_ci += 1,
+            Classified::Prep(PrepFail::Predicated) => stats.prep_pi += 1,
+            Classified::Prep(PrepFail::MultiBlock) => stats.prep_mb += 1,
+            Classified::Param(ParamFail::MemCount) => stats.par_num += 1,
+            Classified::Param(ParamFail::MemName) => stats.par_name += 1,
+            Classified::Param(ParamFail::LiveIns) => stats.par_failg += 1,
+            Classified::Ready(_) => {
+                let gid = group_of[i].expect("ready pairs are grouped");
+                match resolved[gid].as_ref().expect("group resolved") {
+                    VerifyOutcome::Learned(rule) => {
+                        rules.insert(rule.clone());
+                        stats.rules += 1;
+                    }
+                    VerifyOutcome::Failed(VerifyFail::Registers) => stats.ver_rg += 1,
+                    VerifyOutcome::Failed(VerifyFail::Memory) => stats.ver_mm += 1,
+                    VerifyOutcome::Failed(VerifyFail::Branch) => stats.ver_br += 1,
+                    VerifyOutcome::Failed(VerifyFail::Other) => stats.ver_other += 1,
+                }
             }
         }
     }
@@ -168,7 +393,8 @@ pub fn learn_from_source_with_tries(
     Ok(LearnReport { rules, stats })
 }
 
-/// Learn from a collection of programs, merging the rule sets.
+/// Learn from a collection of programs, merging the rule sets and
+/// sharing one memo cache across them.
 ///
 /// # Errors
 ///
@@ -177,11 +403,13 @@ pub fn learn_rules(
     programs: &[(&str, &str)],
     options: &Options,
 ) -> Result<(RuleSet, Vec<LearnStats>), CompileError> {
+    let config = LearnConfig::default();
+    let mut cache = VerifyCache::new();
     let mut all = RuleSet::new();
     let mut stats = Vec::new();
     for (name, src) in programs {
-        let report = learn_from_source(name, src, options)?;
-        all.extend_from(&report.rules);
+        let report = learn_from_source_cached(name, src, options, &config, &mut cache)?;
+        all.merge(&report.rules);
         stats.push(report.stats);
     }
     Ok((all, stats))
@@ -238,7 +466,7 @@ int main() {
             "categories partition the snippets: {s:?}"
         );
         assert!(report.rules.len() <= s.rules, "dedup only shrinks");
-        assert!(report.rules.len() > 0);
+        assert!(!report.rules.is_empty());
     }
 
     #[test]
@@ -247,7 +475,7 @@ int main() {
         let (rules, stats) =
             learn_rules(&[("demo", PROGRAM), ("tiny", other)], &Options::o2()).unwrap();
         assert_eq!(stats.len(), 2);
-        assert!(rules.len() > 0);
+        assert!(!rules.is_empty());
         assert!(rules.len() <= stats.iter().map(|s| s.rules).sum::<usize>());
     }
 
@@ -255,7 +483,7 @@ int main() {
     fn rules_have_bounded_length() {
         let report = learn_from_source("demo", PROGRAM, &Options::o2()).unwrap();
         for rule in report.rules.iter() {
-            assert!(rule.len() >= 1 && rule.len() <= 16, "rule length {}", rule.len());
+            assert!(!rule.is_empty() && rule.len() <= 16, "rule length {}", rule.len());
             assert!(!rule.host.is_empty());
         }
     }
@@ -264,5 +492,67 @@ int main() {
     fn timing_is_recorded() {
         let report = learn_from_source("demo", PROGRAM, &Options::o2()).unwrap();
         assert!(report.stats.learn_time >= report.stats.verify_time);
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_sequential() {
+        let seq = LearnConfig { threads: 1, ..LearnConfig::default() };
+        let par = LearnConfig { threads: 4, ..LearnConfig::default() };
+        let s = learn_from_source_cached(
+            "demo",
+            PROGRAM,
+            &Options::o2(),
+            &seq,
+            &mut VerifyCache::new(),
+        )
+        .unwrap();
+        let p = learn_from_source_cached(
+            "demo",
+            PROGRAM,
+            &Options::o2(),
+            &par,
+            &mut VerifyCache::new(),
+        )
+        .unwrap();
+        assert_eq!(s.stats.counters(), p.stats.counters());
+        // Contents *and* iteration order must agree.
+        let dump = |r: &RuleSet| {
+            r.iter().map(crate::rule::Rule::canonical_text).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(dump(&s.rules), dump(&p.rules));
+    }
+
+    #[test]
+    fn memo_cache_partitioning_and_replay() {
+        let config = LearnConfig::default();
+        let mut cache = VerifyCache::new();
+        let first =
+            learn_from_source_cached("demo", PROGRAM, &Options::o2(), &config, &mut cache).unwrap();
+        let s = &first.stats;
+        // Hits + misses cover exactly the pairs that reached verification.
+        assert_eq!(
+            s.cache_hits + s.cache_misses,
+            s.ver_rg + s.ver_mm + s.ver_br + s.ver_other + s.rules,
+            "{s:?}"
+        );
+        assert_eq!(cache.len(), s.cache_misses);
+        // A second run over the same program replays everything from the
+        // cache with identical counters and rules.
+        let second =
+            learn_from_source_cached("demo", PROGRAM, &Options::o2(), &config, &mut cache).unwrap();
+        assert_eq!(second.stats.cache_misses, 0);
+        assert_eq!(second.stats.cache_hits, s.cache_hits + s.cache_misses);
+        assert_eq!(second.stats.counters()[..12], s.counters()[..12]);
+        let dump = |r: &RuleSet| {
+            r.iter().map(crate::rule::Rule::canonical_text).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(dump(&first.rules), dump(&second.rules));
+    }
+
+    #[test]
+    fn explicit_tries_limit_still_learns() {
+        let one = learn_from_source_with_tries("demo", PROGRAM, &Options::o2(), 1).unwrap();
+        let five = learn_from_source_with_tries("demo", PROGRAM, &Options::o2(), 5).unwrap();
+        assert!(one.stats.rules <= five.stats.rules, "more tries can only help");
     }
 }

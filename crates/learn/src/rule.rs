@@ -2,8 +2,9 @@
 
 use ldbt_arm::{AddrMode, ArmInstr, ArmReg, Operand2};
 use ldbt_x86::{Gpr, Operand, X86Instr, X86Mem};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::fmt::Write as _;
 
 /// How a host immediate is derived from its guest parameter (paper §3.2's
 /// "arithmetic/logical operations to accommodate the differences").
@@ -139,26 +140,22 @@ impl Rule {
             }
         };
         let mut bound = vec![false; self.imm_params.len()];
-        let mut bind_imm = |idx: usize,
-                            slot: ImmSlot,
-                            tmpl: i64,
-                            actual: i64,
-                            imms: &mut Vec<i64>|
-         -> bool {
-            match param_of((idx, slot)) {
-                Some((p, _)) => {
-                    if bound[p] {
-                        // A shared parameter: every site must agree.
-                        imms[p] == actual
-                    } else {
-                        bound[p] = true;
-                        imms[p] = actual;
-                        true
+        let mut bind_imm =
+            |idx: usize, slot: ImmSlot, tmpl: i64, actual: i64, imms: &mut Vec<i64>| -> bool {
+                match param_of((idx, slot)) {
+                    Some((p, _)) => {
+                        if bound[p] {
+                            // A shared parameter: every site must agree.
+                            imms[p] == actual
+                        } else {
+                            bound[p] = true;
+                            imms[p] = actual;
+                            true
+                        }
                     }
+                    None => tmpl == actual,
                 }
-                None => tmpl == actual,
-            }
-        };
+            };
         for (idx, (t, a)) in self.guest.iter().zip(seq).enumerate() {
             match (*t, *a) {
                 (
@@ -252,15 +249,17 @@ impl Rule {
         binding: &Binding,
         mut host_reg_alloc: impl FnMut(ArmReg) -> Gpr,
     ) -> Vec<X86Instr> {
-        let mut sub_reg = |h: Gpr| -> Gpr {
-            let template_guest = self.host_reg_of.get(&h).copied().unwrap_or_else(|| {
-                panic!("host register {h} has no guest correspondence in rule")
-            });
-            let actual_guest = binding.regs.get(&template_guest).copied().unwrap_or_else(|| {
-                panic!("guest template register {template_guest} unbound")
-            });
-            host_reg_alloc(actual_guest)
-        };
+        let mut sub_reg =
+            |h: Gpr| -> Gpr {
+                let template_guest = self.host_reg_of.get(&h).copied().unwrap_or_else(|| {
+                    panic!("host register {h} has no guest correspondence in rule")
+                });
+                let actual_guest =
+                    binding.regs.get(&template_guest).copied().unwrap_or_else(|| {
+                        panic!("guest template register {template_guest} unbound")
+                    });
+                host_reg_alloc(actual_guest)
+            };
         let imm_at = |idx: usize, slot: ImmSlot, template: i64| -> i64 {
             for (p, param) in self.imm_params.iter().enumerate() {
                 for (hi, hslot, rel) in &param.host_sites {
@@ -288,28 +287,23 @@ impl Rule {
                 }
             };
             let new = match h {
-                X86Instr::Mov { dst, src } => X86Instr::Mov {
-                    dst: sub_op(dst, &mut sub_reg),
-                    src: sub_op(src, &mut sub_reg),
-                },
+                X86Instr::Mov { dst, src } => {
+                    X86Instr::Mov { dst: sub_op(dst, &mut sub_reg), src: sub_op(src, &mut sub_reg) }
+                }
                 X86Instr::Alu { op, dst, src } => X86Instr::Alu {
                     op: *op,
                     dst: sub_op(dst, &mut sub_reg),
                     src: sub_op(src, &mut sub_reg),
                 },
-                X86Instr::Lea { dst, addr } => X86Instr::Lea {
-                    dst: sub_reg(*dst),
-                    addr: sub_mem(addr, &mut sub_reg),
-                },
-                X86Instr::Imul { dst, src } => X86Instr::Imul {
-                    dst: sub_reg(*dst),
-                    src: sub_op(src, &mut sub_reg),
-                },
-                X86Instr::Shift { op, dst, count } => X86Instr::Shift {
-                    op: *op,
-                    dst: sub_op(dst, &mut sub_reg),
-                    count: *count,
-                },
+                X86Instr::Lea { dst, addr } => {
+                    X86Instr::Lea { dst: sub_reg(*dst), addr: sub_mem(addr, &mut sub_reg) }
+                }
+                X86Instr::Imul { dst, src } => {
+                    X86Instr::Imul { dst: sub_reg(*dst), src: sub_op(src, &mut sub_reg) }
+                }
+                X86Instr::Shift { op, dst, count } => {
+                    X86Instr::Shift { op: *op, dst: sub_op(dst, &mut sub_reg), count: *count }
+                }
                 X86Instr::Un { op, dst } => {
                     X86Instr::Un { op: *op, dst: sub_op(dst, &mut sub_reg) }
                 }
@@ -324,9 +318,7 @@ impl Rule {
                     src: sub_reg(*src),
                     dst: sub_mem(dst, &mut sub_reg),
                 },
-                X86Instr::Setcc { cc, dst } => {
-                    X86Instr::Setcc { cc: *cc, dst: sub_reg(*dst) }
-                }
+                X86Instr::Setcc { cc, dst } => X86Instr::Setcc { cc: *cc, dst: sub_reg(*dst) },
                 X86Instr::Jcc { cc, .. } => X86Instr::Jcc { cc: *cc, target: 0 },
                 other => panic!("unexpected instruction in host template: {other}"),
             };
@@ -359,6 +351,77 @@ impl Rule {
         }
         canon
     }
+
+    /// A complete canonical rendering of the rule.
+    ///
+    /// Extends [`Rule::dedup_key`] with the host side: host registers
+    /// render through their guest correspondence using the same
+    /// first-occurrence numbering, and the host immediate sites, flag
+    /// mask, and branch marker are appended. Two rules compare equal
+    /// only when they are interchangeable, and the rendering is
+    /// independent of the concrete registers either rule was learned
+    /// with — which makes it usable as the final, order-independent
+    /// tie-break of [`RuleSet::merge`].
+    pub fn canonical_text(&self) -> String {
+        // Number guest registers by first occurrence — first across the
+        // guest template (like `dedup_key`), then across the guest
+        // correspondences of host-template registers, so even a register
+        // that only appears on the host side gets a deterministic id.
+        let mut names: HashMap<ArmReg, usize> = HashMap::new();
+        for g in &self.guest {
+            for r in guest_regs_of(g) {
+                let n = names.len();
+                names.entry(r).or_insert(n);
+            }
+        }
+        for h in &self.host {
+            for r in host_regs_of(h) {
+                if let Some(g) = self.host_reg_of.get(&r) {
+                    let n = names.len();
+                    names.entry(*g).or_insert(n);
+                }
+            }
+        }
+        let mut canon = self.dedup_key();
+        canon.push('|');
+        for h in &self.host {
+            let mut rendered = h.to_string();
+            for r in host_regs_of(h) {
+                let id = self.host_reg_of.get(&r).and_then(|g| names.get(g));
+                let sub = match id {
+                    Some(id) => format!("hreg{id}"),
+                    None => "hreg?".to_string(),
+                };
+                rendered = rendered.replace(&r.to_string(), &sub);
+            }
+            canon.push_str(&rendered);
+            canon.push(';');
+        }
+        canon.push('|');
+        for p in &self.imm_params {
+            let _ = write!(canon, "{:?};", p.host_sites);
+        }
+        let _ = write!(canon, "|f{:x}b{}", self.unemulated_flags, u8::from(self.has_branch));
+        canon
+    }
+
+    /// The total order [`RuleSet::merge`] uses to pick a winner among
+    /// rules sharing a guest template: fewest host instructions first
+    /// (paper §6.1), ties broken by the lexicographically least
+    /// [`Rule::canonical_text`]. Deterministic and insertion-order
+    /// independent.
+    fn merge_rank(&self) -> (usize, String) {
+        (self.host.len(), self.canonical_text())
+    }
+}
+
+fn host_regs_of(i: &X86Instr) -> Vec<Gpr> {
+    let mut v = i.uses();
+    if let Some(d) = i.def() {
+        v.push(d);
+    }
+    v.dedup();
+    v
 }
 
 fn guest_regs_of(i: &ArmInstr) -> Vec<ArmReg> {
@@ -412,9 +475,13 @@ pub enum RuleOperand {
 
 /// The rule store: a hash table keyed by the guest opcode mean (paper
 /// §4), with per-key buckets of rules.
+///
+/// Buckets live in a [`BTreeMap`] so iteration order is a deterministic
+/// function of the insertion sequence (and fully canonical after
+/// [`RuleSet::merge`]), never of hash-seed randomness.
 #[derive(Debug, Clone, Default)]
 pub struct RuleSet {
-    buckets: HashMap<u32, Vec<Rule>>,
+    buckets: BTreeMap<u32, Vec<Rule>>,
     len: usize,
     dedup: HashMap<String, (u32, usize)>,
     /// Ablation knob: when `true` (default via [`RuleSet::new`]) a
@@ -473,11 +540,7 @@ impl RuleSet {
     pub fn candidates(&self, seq: &[ArmInstr]) -> impl Iterator<Item = &Rule> {
         let key = hash_key(seq);
         let n = seq.len();
-        self.buckets
-            .get(&key)
-            .into_iter()
-            .flatten()
-            .filter(move |r| r.len() == n)
+        self.buckets.get(&key).into_iter().flatten().filter(move |r| r.len() == n)
     }
 
     /// Find the first rule matching `seq`, with its binding.
@@ -512,11 +575,65 @@ impl RuleSet {
         (None, probes)
     }
 
-    /// Merge another rule set into this one.
+    /// Merge another rule set into this one, in `other`'s iteration
+    /// order. Collisions follow [`RuleSet::insert`]'s policy, so the
+    /// result can depend on the merge order when host lengths tie —
+    /// prefer [`RuleSet::merge`] for order-independent composition.
     pub fn extend_from(&mut self, other: &RuleSet) {
         for r in other.iter() {
             self.insert(r.clone());
         }
+    }
+
+    /// Merge another rule set into this one with an order-independent
+    /// collision policy: on a shared guest template the rule with the
+    /// fewest host instructions wins, ties broken by the
+    /// lexicographically least [`Rule::canonical_text`]. Buckets are
+    /// re-sorted into the same total order afterwards, so composing the
+    /// same rule sets in *any* merge order yields byte-identical stores
+    /// — contents and iteration (hence lookup) order alike. This is how
+    /// the leave-one-out experiment sets are assembled from the twelve
+    /// per-program sets without re-learning.
+    pub fn merge(&mut self, other: &RuleSet) {
+        for r in other.iter() {
+            let key = r.dedup_key();
+            if let Some((bucket, idx)) = self.dedup.get(&key) {
+                let existing = &mut self.buckets.get_mut(bucket).expect("bucket exists")[*idx];
+                if r.merge_rank() < existing.merge_rank() {
+                    *existing = r.clone();
+                }
+            } else {
+                let hkey = r.hash_key();
+                let bucket = self.buckets.entry(hkey).or_default();
+                bucket.push(r.clone());
+                self.dedup.insert(key, (hkey, bucket.len() - 1));
+                self.len += 1;
+            }
+        }
+        self.normalize();
+    }
+
+    /// Sort every bucket by `(dedup_key, merge_rank)` and rebuild the
+    /// dedup index, making iteration order canonical.
+    fn normalize(&mut self) {
+        self.dedup.clear();
+        for (hkey, bucket) in &mut self.buckets {
+            bucket.sort_by_cached_key(|r| {
+                let (hlen, canon) = r.merge_rank();
+                (r.dedup_key(), hlen, canon)
+            });
+            for (idx, r) in bucket.iter().enumerate() {
+                self.dedup.insert(r.dedup_key(), (*hkey, idx));
+            }
+        }
+    }
+
+    /// Every rule's [`Rule::canonical_text`], sorted — a canonical dump
+    /// for comparing rule-set contents irrespective of storage order.
+    pub fn canonical_dump(&self) -> String {
+        let mut keys: Vec<String> = self.iter().map(Rule::canonical_text).collect();
+        keys.sort();
+        keys.join("\n")
     }
 
     /// Histogram of rule lengths (for Figure 12-style reporting).
@@ -655,10 +772,8 @@ mod tests {
     #[test]
     fn hash_key_is_opcode_mean() {
         let rule = figure1_rule();
-        let add_id =
-            ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Imm(0)).opcode_id();
-        let sub_id =
-            ArmInstr::dp(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(0)).opcode_id();
+        let add_id = ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Imm(0)).opcode_id();
+        let sub_id = ArmInstr::dp(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(0)).opcode_id();
         assert_eq!(rule.hash_key(), (add_id + sub_id) / 2);
     }
 
@@ -753,5 +868,117 @@ mod tests {
             ArmInstr::B { offset: -42, cond: ldbt_arm::Cond::Eq },
         ];
         assert!(rule.matches(&wrong_cond).is_none());
+    }
+
+    /// A figure1-template rule with a two-instruction host body.
+    fn figure1_long_host() -> Rule {
+        Rule {
+            host: vec![
+                X86Instr::alu_rr(AluOp::Add, Gpr::Edx, Gpr::Ecx),
+                X86Instr::alu_ri(AluOp::Sub, Gpr::Edx, 5),
+            ],
+            imm_params: vec![ImmParam {
+                guest_site: (1, ImmSlot::Data),
+                extra_guest_sites: vec![],
+                template_value: 5,
+                host_sites: vec![(1, ImmSlot::Data, ImmRel::Id)],
+            }],
+            ..figure1_rule()
+        }
+    }
+
+    /// An unrelated single-instruction rule so merges also carry
+    /// non-colliding content.
+    fn mov_rule() -> Rule {
+        Rule {
+            guest: vec![ArmInstr::mov(ArmReg::R3, Operand2::Reg(ArmReg::R4))],
+            host: vec![X86Instr::mov_rr(Gpr::Esi, Gpr::Edi)],
+            host_reg_of: [(Gpr::Esi, ArmReg::R3), (Gpr::Edi, ArmReg::R4)].into_iter().collect(),
+            imm_params: vec![],
+            unemulated_flags: 0,
+            has_branch: false,
+        }
+    }
+
+    fn set_of(rules: &[Rule]) -> RuleSet {
+        let mut rs = RuleSet::new();
+        for r in rules {
+            rs.insert(r.clone());
+        }
+        rs
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let a = set_of(&[figure1_long_host(), mov_rule()]);
+        let b = set_of(&[figure1_rule()]);
+        let c = set_of(&[figure1_long_host()]);
+        let orders: Vec<Vec<&RuleSet>> =
+            vec![vec![&a, &b, &c], vec![&c, &b, &a], vec![&b, &a, &c], vec![&b, &c, &a]];
+        let mut dumps = Vec::new();
+        let mut iteration_orders = Vec::new();
+        for order in &orders {
+            let mut merged = RuleSet::new();
+            for s in order {
+                merged.merge(s);
+            }
+            assert_eq!(merged.len(), 2, "figure1 collision resolved + mov rule");
+            // The one-instruction host must win every collision.
+            let fig1 = merged
+                .iter()
+                .find(|r| r.dedup_key() == figure1_rule().dedup_key())
+                .expect("figure1 template present");
+            assert_eq!(fig1.host.len(), 1);
+            dumps.push(merged.canonical_dump());
+            iteration_orders.push(merged.iter().map(Rule::canonical_text).collect::<Vec<_>>());
+        }
+        // Contents and iteration order are identical across merge orders.
+        assert!(dumps.windows(2).all(|w| w[0] == w[1]), "contents differ");
+        assert!(iteration_orders.windows(2).all(|w| w[0] == w[1]), "order differs");
+    }
+
+    #[test]
+    fn merge_tie_break_is_canonical_not_positional() {
+        // Two equal-length hosts for the same guest template: the
+        // lexicographically least canonical rendering must win no matter
+        // which set is merged first.
+        let lea = figure1_rule();
+        let other = Rule {
+            host: vec![X86Instr::alu_rr(AluOp::Add, Gpr::Edx, Gpr::Ecx)],
+            imm_params: lea.imm_params.clone(),
+            ..figure1_rule()
+        };
+        let expected = if lea.merge_rank() < other.merge_rank() { &lea } else { &other };
+        for order in [[&lea, &other], [&other, &lea]] {
+            let mut merged = RuleSet::new();
+            for r in order {
+                merged.merge(&set_of(std::slice::from_ref(r)));
+            }
+            assert_eq!(merged.len(), 1);
+            assert_eq!(merged.iter().next().unwrap().canonical_text(), expected.canonical_text());
+        }
+    }
+
+    #[test]
+    fn canonical_text_is_register_independent() {
+        let a = figure1_rule();
+        // Rename guest r0→r6, r1→r9 and host edx→eax, ecx→ebx coherently.
+        let b = Rule {
+            guest: vec![
+                ArmInstr::dp(DpOp::Add, ArmReg::R6, ArmReg::R6, Operand2::Reg(ArmReg::R9)),
+                ArmInstr::dp(DpOp::Sub, ArmReg::R6, ArmReg::R6, Operand2::Imm(5)),
+            ],
+            host: vec![X86Instr::Lea {
+                dst: Gpr::Eax,
+                addr: X86Mem { base: Some(Gpr::Eax), index: Some((Gpr::Ebx, 1)), disp: -5 },
+            }],
+            host_reg_of: [(Gpr::Eax, ArmReg::R6), (Gpr::Ebx, ArmReg::R9)].into_iter().collect(),
+            ..figure1_rule()
+        };
+        assert_eq!(a.canonical_text(), b.canonical_text());
+        // A host-side difference dedup_key cannot see still shows up.
+        let c =
+            Rule { host: vec![X86Instr::alu_rr(AluOp::Add, Gpr::Edx, Gpr::Ecx)], ..figure1_rule() };
+        assert_ne!(a.canonical_text(), c.canonical_text());
     }
 }

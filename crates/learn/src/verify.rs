@@ -24,9 +24,7 @@ use crate::rule::{ImmRel, ImmSlot, Rule};
 use ldbt_arm::ArmReg;
 use ldbt_smt::term::Term;
 use ldbt_smt::{check_equiv_budget, EquivResult, TermId, TermPool};
-use ldbt_symexec::{
-    exec_arm_seq, exec_x86_seq, ImmRole, MemOracle, SymArmState, SymX86State,
-};
+use ldbt_symexec::{exec_arm_seq, exec_x86_seq, ImmRole, MemOracle, SymArmState, SymX86State};
 use ldbt_x86::{Gpr, X86Instr, X86Mem};
 use std::collections::{HashMap, HashSet};
 
@@ -60,14 +58,32 @@ fn slot_of(role: ImmRole) -> ImmSlot {
 ///
 /// Returns the Table 1 verification-failure category.
 pub fn verify(pair: &SnippetPair, mapping: &InitialMapping) -> Result<Rule, VerifyFail> {
+    verify_in(&mut TermPool::new(), pair, mapping)
+}
+
+/// [`verify`] with a caller-provided term pool.
+///
+/// The pool must be fresh or [`TermPool::reset`]. Long-running callers
+/// (the learning pipeline issues one query per candidate mapping) reset
+/// and reuse one pool per worker instead of reallocating the hash-cons
+/// tables for every query; the result is identical because `reset`
+/// clears all terms and symbols.
+///
+/// # Errors
+///
+/// Returns the Table 1 verification-failure category.
+pub fn verify_in(
+    pool: &mut TermPool,
+    pair: &SnippetPair,
+    mapping: &InitialMapping,
+) -> Result<Rule, VerifyFail> {
     let guest_seq = pair.guest_instrs();
     let host_seq = pair.host_instrs();
-    let mut pool = TermPool::new();
     let mut oracle = MemOracle::new();
 
     // Shared input symbols for mapped registers.
-    let mut guest_init = SymArmState::fresh(&mut pool, "g_");
-    let mut host_init = SymX86State::fresh(&mut pool, "h_");
+    let mut guest_init = SymArmState::fresh(pool, "g_");
+    let mut host_init = SymX86State::fresh(pool, "h_");
     let mut sym_host_reg: HashMap<TermId, Gpr> = HashMap::new();
     for (k, (g, h)) in mapping.reg_pairs.iter().enumerate() {
         let v = pool.var(&format!("p{k}"), 32);
@@ -77,9 +93,8 @@ pub fn verify(pair: &SnippetPair, mapping: &InitialMapping) -> Result<Rule, Veri
     }
 
     // Immediate parameter symbols.
-    let imm_vars: Vec<TermId> = (0..mapping.imm_params.len())
-        .map(|k| pool.var(&format!("imm{k}"), 32))
-        .collect();
+    let imm_vars: Vec<TermId> =
+        (0..mapping.imm_params.len()).map(|k| pool.var(&format!("imm{k}"), 32)).collect();
     let params = mapping.imm_params.clone();
     let imm_vars_g = imm_vars.clone();
     let mut guest_binder = {
@@ -114,9 +129,9 @@ pub fn verify(pair: &SnippetPair, mapping: &InitialMapping) -> Result<Rule, Veri
         }
     };
 
-    let gout = exec_arm_seq(&mut pool, &guest_seq, guest_init, &mut oracle, &mut guest_binder)
+    let gout = exec_arm_seq(pool, &guest_seq, guest_init, &mut oracle, &mut guest_binder)
         .map_err(|_| VerifyFail::Other)?;
-    let hout = exec_x86_seq(&mut pool, &host_seq, host_init, &mut oracle, &mut host_binder)
+    let hout = exec_x86_seq(pool, &host_seq, host_init, &mut oracle, &mut host_binder)
         .map_err(|_| VerifyFail::Other)?;
 
     let equiv = |pool: &mut TermPool, a: TermId, b: TermId| -> Result<bool, VerifyFail> {
@@ -131,7 +146,7 @@ pub fn verify(pair: &SnippetPair, mapping: &InitialMapping) -> Result<Rule, Veri
     match (gout.branch_cond, hout.branch_cond) {
         (None, None) => {}
         (Some(g), Some(h)) => {
-            if !equiv(&mut pool, g, h)? {
+            if !equiv(pool, g, h)? {
                 return Err(VerifyFail::Branch);
             }
         }
@@ -146,10 +161,10 @@ pub fn verify(pair: &SnippetPair, mapping: &InitialMapping) -> Result<Rule, Veri
         if gs.width != hs.width {
             return Err(VerifyFail::Memory);
         }
-        if !equiv(&mut pool, gs.addr, hs.addr)? {
+        if !equiv(pool, gs.addr, hs.addr)? {
             return Err(VerifyFail::Memory);
         }
-        if !equiv(&mut pool, gs.value, hs.value)? {
+        if !equiv(pool, gs.value, hs.value)? {
             return Err(VerifyFail::Memory);
         }
     }
@@ -168,7 +183,7 @@ pub fn verify(pair: &SnippetPair, mapping: &InitialMapping) -> Result<Rule, Veri
             // Conflict rule: an initially-mapped register must keep its
             // partner in the final mapping.
             let th0 = hout.state.reg(h0);
-            if !claimed_host.contains(&h0) && equiv(&mut pool, tg, th0)? {
+            if !claimed_host.contains(&h0) && equiv(pool, tg, th0)? {
                 matched = Some(h0);
             } else if hout.defined_regs.contains(&h0) {
                 // The partner was redefined to something inequivalent.
@@ -181,7 +196,7 @@ pub fn verify(pair: &SnippetPair, mapping: &InitialMapping) -> Result<Rule, Veri
                 if claimed_host.contains(h) {
                     continue;
                 }
-                if equiv(&mut pool, tg, hout.state.reg(*h))? {
+                if equiv(pool, tg, hout.state.reg(*h))? {
                     matched = Some(*h);
                     break;
                 }
@@ -206,7 +221,7 @@ pub fn verify(pair: &SnippetPair, mapping: &InitialMapping) -> Result<Rule, Veri
         let partner = mapping.reg_pairs.iter().find(|(_, hh)| hh == h).map(|(g, _)| *g);
         match partner {
             Some(g) => {
-                if !equiv(&mut pool, gout.state.reg(g), hout.state.reg(*h))? {
+                if !equiv(pool, gout.state.reg(g), hout.state.reg(*h))? {
                     return Err(VerifyFail::Registers);
                 }
                 claimed_host.insert(*h);
@@ -235,7 +250,7 @@ pub fn verify(pair: &SnippetPair, mapping: &InitialMapping) -> Result<Rule, Veri
         used.insert(Gpr::Esp);
         for g in &unmatched_guest {
             let tg = gout.state.reg(*g);
-            let Some(synth) = synthesize(&pool, tg, &sym_host_reg) else {
+            let Some(synth) = synthesize(pool, tg, &sym_host_reg) else {
                 return Err(VerifyFail::Registers);
             };
             let Some(fresh) = Gpr::ALL.iter().find(|r| !used.contains(r)).copied() else {
@@ -271,7 +286,7 @@ pub fn verify(pair: &SnippetPair, mapping: &InitialMapping) -> Result<Rule, Veri
             continue; // host never writes it → unemulated
         }
         let h = if invert { pool.not_(hterm) } else { hterm };
-        if equiv(&mut pool, gterm, h)? {
+        if equiv(pool, gterm, h)? {
             emulated |= gbit;
         }
     }

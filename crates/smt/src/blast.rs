@@ -30,12 +30,7 @@ impl Blaster {
         let mut solver = Solver::new();
         let t = solver.new_var();
         solver.add_clause(vec![Lit::pos(t)]);
-        Blaster {
-            solver,
-            memo: HashMap::new(),
-            var_bits: HashMap::new(),
-            lit_true: Lit::pos(t),
-        }
+        Blaster { solver, memo: HashMap::new(), var_bits: HashMap::new(), lit_true: Lit::pos(t) }
     }
 
     fn tru(&self) -> Lit {
@@ -133,9 +128,7 @@ impl Blaster {
     }
 
     fn const_bits(&self, value: u64, width: u32) -> Vec<Lit> {
-        (0..width)
-            .map(|i| if (value >> i) & 1 == 1 { self.tru() } else { self.fls() })
-            .collect()
+        (0..width).map(|i| if (value >> i) & 1 == 1 { self.tru() } else { self.fls() }).collect()
     }
 
     /// Blast a term to its little-endian bit literals.
@@ -171,13 +164,9 @@ impl Blaster {
                 let ab = self.blast(pool, a);
                 let bb = self.blast(pool, b);
                 match op {
-                    BinOp::And => {
-                        ab.iter().zip(&bb).map(|(&x, &y)| self.and_gate(x, y)).collect()
-                    }
+                    BinOp::And => ab.iter().zip(&bb).map(|(&x, &y)| self.and_gate(x, y)).collect(),
                     BinOp::Or => ab.iter().zip(&bb).map(|(&x, &y)| self.or_gate(x, y)).collect(),
-                    BinOp::Xor => {
-                        ab.iter().zip(&bb).map(|(&x, &y)| self.xor_gate(x, y)).collect()
-                    }
+                    BinOp::Xor => ab.iter().zip(&bb).map(|(&x, &y)| self.xor_gate(x, y)).collect(),
                     BinOp::Add => self.add_bits(&ab, &bb, self.fls()).0,
                     BinOp::Sub => {
                         let inv: Vec<Lit> = bb.iter().map(|l| l.negate()).collect();
@@ -195,9 +184,7 @@ impl Blaster {
                         }
                         acc
                     }
-                    BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
-                        self.shift_bits(op, &ab, &bb, width)
-                    }
+                    BinOp::Shl | BinOp::Lshr | BinOp::Ashr => self.shift_bits(op, &ab, &bb, width),
                     BinOp::Eq => {
                         let mut acc = self.tru();
                         for (&x, &y) in ab.iter().zip(&bb) {
@@ -446,10 +433,7 @@ mod tests {
             let both = p.band(pinned, np);
             let mut b = Blaster::new();
             b.assert_true(&p, both);
-            assert!(
-                matches!(b.solver.solve(200_000), SatResult::Unsat),
-                "shl by {amt}"
-            );
+            assert!(matches!(b.solver.solve(200_000), SatResult::Unsat), "shl by {amt}");
         }
     }
 

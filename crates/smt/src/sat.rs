@@ -162,9 +162,7 @@ impl Solver {
         match lits.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(lits[0], None) {
-                    self.unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(lits[0], None) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
@@ -305,12 +303,8 @@ impl Solver {
         learned.push(uip.negate());
         let n = learned.len();
         learned.swap(0, n - 1); // asserting literal first
-        // Backtrack level = second-highest level in the clause.
-        let bt = learned[1..]
-            .iter()
-            .map(|l| self.level[l.var().0 as usize])
-            .max()
-            .unwrap_or(0);
+                                // Backtrack level = second-highest level in the clause.
+        let bt = learned[1..].iter().map(|l| self.level[l.var().0 as usize]).max().unwrap_or(0);
         (learned, bt)
     }
 
@@ -332,7 +326,7 @@ impl Solver {
         for v in 0..self.num_vars() {
             if self.assign[v] == 0 {
                 let a = self.activity[v];
-                if best.map_or(true, |(ba, _)| a > ba) {
+                if best.is_none_or(|(ba, _)| a > ba) {
                     best = Some((a, v));
                 }
             }
@@ -500,6 +494,8 @@ mod tests {
         for row in &p {
             s.add_clause(vec![Lit::pos(row[0]), Lit::pos(row[1])]);
         }
+        // Column-wise walk of the hole matrix; an iterator would hide it.
+        #[allow(clippy::needless_range_loop)]
         for j in 0..2 {
             for i1 in 0..3 {
                 for i2 in (i1 + 1)..3 {
@@ -523,6 +519,8 @@ mod tests {
         for row in &p {
             s.add_clause(row.iter().map(|v| Lit::pos(*v)).collect());
         }
+        // Column-wise walk of the hole matrix; an iterator would hide it.
+        #[allow(clippy::needless_range_loop)]
         for j in 0..n {
             for i1 in 0..n {
                 for i2 in (i1 + 1)..n {
@@ -606,6 +604,8 @@ mod tests {
         for row in &p {
             s.add_clause(row.iter().map(|v| Lit::pos(*v)).collect());
         }
+        // Column-wise walk of the hole matrix; an iterator would hide it.
+        #[allow(clippy::needless_range_loop)]
         for j in 0..4 {
             for i1 in 0..5 {
                 for i2 in (i1 + 1)..5 {

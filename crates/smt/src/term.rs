@@ -46,10 +46,7 @@ pub enum BinOp {
 impl BinOp {
     /// Whether operands can be reordered freely.
     pub fn commutative(self) -> bool {
-        matches!(
-            self,
-            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Add | BinOp::Mul | BinOp::Eq
-        )
+        matches!(self, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Add | BinOp::Mul | BinOp::Eq)
     }
 }
 
@@ -148,6 +145,19 @@ impl TermPool {
         TermPool::default()
     }
 
+    /// Clear the pool for reuse, keeping its allocations.
+    ///
+    /// Every outstanding [`TermId`] is invalidated. Long-running callers
+    /// (the rule learner issues thousands of independent verification
+    /// queries) reset one pool per query instead of allocating a fresh
+    /// pool, which keeps the hash-cons tables' capacity warm.
+    pub fn reset(&mut self) {
+        self.terms.clear();
+        self.index.clear();
+        self.sym_names.clear();
+        self.sym_index.clear();
+    }
+
     /// The term behind an id.
     pub fn term(&self, id: TermId) -> &Term {
         &self.terms[id.0 as usize]
@@ -199,7 +209,7 @@ impl TermPool {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn constant(&mut self, value: u64, width: u32) -> TermId {
-        assert!(width >= 1 && width <= 64, "width {width} out of range");
+        assert!((1..=64).contains(&width), "width {width} out of range");
         self.intern(Term::Const { value: value & mask(width), width })
     }
 
@@ -308,7 +318,7 @@ impl TermPool {
         if op.commutative() {
             let a_const = self.as_const(a).is_some();
             let b_const = self.as_const(b).is_some();
-            if (a_const && !b_const) || (!b_const && !a_const && b < a) {
+            if !b_const && (a_const || b < a) {
                 std::mem::swap(&mut a, &mut b);
             }
         }
@@ -725,7 +735,9 @@ impl TermPool {
                     }
                 }
                 Term::Const { .. } => {}
-                Term::Unary { a, .. } | Term::ZExt { a, .. } | Term::SExt { a, .. }
+                Term::Unary { a, .. }
+                | Term::ZExt { a, .. }
+                | Term::SExt { a, .. }
                 | Term::Extract { a, .. } => stack.push(a),
                 Term::Binary { a, b, .. } => {
                     stack.push(a);
@@ -773,12 +785,9 @@ impl TermPool {
             Term::ZExt { a, width } => format!("(zext{width} {})", self.display(a)),
             Term::SExt { a, width } => format!("(sext{width} {})", self.display(a)),
             Term::Extract { a, hi, lo } => format!("({}[{hi}:{lo}])", self.display(a)),
-            Term::Ite { c, t, e } => format!(
-                "(ite {} {} {})",
-                self.display(c),
-                self.display(t),
-                self.display(e)
-            ),
+            Term::Ite { c, t, e } => {
+                format!("(ite {} {} {})", self.display(c), self.display(t), self.display(e))
+            }
         }
     }
 }

@@ -1,8 +1,7 @@
 //! Symbolic execution of ARM instruction sequences.
 
 use crate::common::{
-    add_with_carry, nz_of, ImmBinder, ImmRole, MemOracle, StoreEntry, StoreLog, SymFlags,
-    SymHazard,
+    add_with_carry, nz_of, ImmBinder, ImmRole, MemOracle, StoreEntry, StoreLog, SymFlags, SymHazard,
 };
 use ldbt_arm::{AddrMode, ArmInstr, ArmReg, Cond, DpOp, Operand2, Shift};
 use ldbt_isa::Width;
@@ -331,12 +330,8 @@ mod tests {
 
     #[test]
     fn straight_line_add() {
-        let (pool, out) = exec(&[I::dp(
-            DpOp::Add,
-            ArmReg::R1,
-            ArmReg::R1,
-            Operand2::Reg(ArmReg::R0),
-        )]);
+        let (pool, out) =
+            exec(&[I::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Reg(ArmReg::R0))]);
         assert_eq!(out.defined_regs, vec![ArmReg::R1]);
         assert_eq!(out.flags_defined, 0);
         assert_eq!(pool.display(out.state.reg(ArmReg::R1)), "(+ r0 r1)");
@@ -378,10 +373,7 @@ mod tests {
             assert_eq!(pool.eval(out.state.flags.z, &env) == 1, st.flags.z, "z {a} {b}");
             assert_eq!(pool.eval(out.state.flags.c, &env) == 1, st.flags.c, "c {a} {b}");
             assert_eq!(pool.eval(out.state.flags.v, &env) == 1, st.flags.v, "v {a} {b}");
-            assert_eq!(
-                pool.eval(out.state.reg(ArmReg::R2), &env) as u32,
-                st.reg(ArmReg::R2)
-            );
+            assert_eq!(pool.eval(out.state.reg(ArmReg::R2), &env) as u32, st.reg(ArmReg::R2));
         }
     }
 
@@ -457,10 +449,7 @@ mod tests {
         let mut pool = TermPool::new();
         let init = SymArmState::fresh(&mut pool, "");
         let mut oracle = MemOracle::new();
-        let seq = [
-            I::B { offset: 1, cond: Cond::Al },
-            I::mov(ArmReg::R0, Operand2::Imm(1)),
-        ];
+        let seq = [I::B { offset: 1, cond: Cond::Al }, I::mov(ArmReg::R0, Operand2::Imm(1))];
         let r = exec_arm_seq(&mut pool, &seq, init, &mut oracle, &mut concrete_imms);
         assert_eq!(r.unwrap_err(), SymHazard::MidBlockBranch);
     }

@@ -167,7 +167,7 @@ impl StoreLog {
         addr: TermId,
         width: Width,
     ) -> Result<TermId, SymHazard> {
-        for e in self.entries.iter().rev() {
+        if let Some(e) = self.entries.last() {
             if e.addr == addr {
                 if e.width == width {
                     return Ok(e.value);
@@ -290,10 +290,7 @@ mod tests {
             let tc = pool.constant(cin as u64, 1);
             let (r, c, v) = add_with_carry(&mut pool, ta, tb, tc);
             let env = HashMap::new();
-            assert_eq!(
-                pool.eval(r, &env) as u32,
-                a.wrapping_add(b).wrapping_add(cin as u32)
-            );
+            assert_eq!(pool.eval(r, &env) as u32, a.wrapping_add(b).wrapping_add(cin as u32));
             assert_eq!(pool.eval(c, &env) == 1, ldbt_isa::bits::add_carry32(a, b, cin));
             assert_eq!(pool.eval(v, &env) == 1, ldbt_isa::bits::add_overflow32(a, b, cin));
         }

@@ -1,8 +1,7 @@
 //! Symbolic execution of x86 instruction sequences.
 
 use crate::common::{
-    add_with_carry, nz_of, ImmBinder, ImmRole, MemOracle, StoreEntry, StoreLog, SymFlags,
-    SymHazard,
+    add_with_carry, nz_of, ImmBinder, ImmRole, MemOracle, StoreEntry, StoreLog, SymFlags, SymHazard,
 };
 use ldbt_isa::Width;
 use ldbt_smt::{TermId, TermPool};
@@ -132,7 +131,10 @@ pub fn exec_x86_seq(
         }
     }
 
-    // Read an operand as a 32-bit term.
+    // Read an operand as a 32-bit term. Threads the whole execution
+    // context (pool, state, memory model, binder) — a context struct
+    // would only bundle the same borrows.
+    #[allow(clippy::too_many_arguments)]
     fn read_op(
         pool: &mut TermPool,
         state: &SymX86State,
@@ -466,10 +468,8 @@ mod tests {
 
     #[test]
     fn cmp_jcc_condition() {
-        let (pool, out) = exec(&[
-            I::alu_rr(AluOp::Cmp, Gpr::Eax, Gpr::Ecx),
-            I::Jcc { cc: Cc::Le, target: 2 },
-        ]);
+        let (pool, out) =
+            exec(&[I::alu_rr(AluOp::Cmp, Gpr::Eax, Gpr::Ecx), I::Jcc { cc: Cc::Le, target: 2 }]);
         let cond = out.branch_cond.unwrap();
         for (a, b) in [(1i32, 2i32), (2, 1), (2, 2), (-1, 1)] {
             let mut env = HashMap::new();
@@ -559,19 +559,14 @@ mod tests {
     #[test]
     fn imul_overflow_flag_symbolic() {
         let (pool, out) = exec(&[I::Imul { dst: Gpr::Eax, src: Operand::Reg(Gpr::Ecx) }]);
-        for (a, b, ovf) in [
-            (1000u32, 1000u32, false),
-            (0x10000, 0x10000, true),
-            ((-3i32) as u32, 7, false),
-        ] {
+        for (a, b, ovf) in
+            [(1000u32, 1000u32, false), (0x10000, 0x10000, true), ((-3i32) as u32, 7, false)]
+        {
             let mut env = HashMap::new();
             env.insert(0u32, a as u64);
             env.insert(1u32, b as u64);
             assert_eq!(pool.eval(out.state.flags.c, &env) == 1, ovf, "{a}*{b}");
-            assert_eq!(
-                pool.eval(out.state.reg(Gpr::Eax), &env) as u32,
-                a.wrapping_mul(b)
-            );
+            assert_eq!(pool.eval(out.state.reg(Gpr::Eax), &env) as u32, a.wrapping_mul(b));
         }
     }
 }

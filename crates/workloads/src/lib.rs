@@ -327,8 +327,7 @@ mod tests {
         let mut sums = Vec::new();
         for style in [Style::Llvm, Style::Gcc] {
             for level in [OptLevel::O0, OptLevel::O2] {
-                let image =
-                    build_arm_image(&src, &Options { level, style }).unwrap();
+                let image = build_arm_image(&src, &Options { level, style }).unwrap();
                 let mut m = ldbt_arm::ArmMachine::new();
                 image.load_into(&mut m.state.mem);
                 m.state.regs[15] = image.entry;

@@ -230,11 +230,7 @@ pub fn encode(instr: &X86Instr) -> Result<Vec<u8>, EncodeX86Error> {
                     modrm(&mut out, 0, &RmOperand::from_operand(&rm, "test dst")?)?;
                 } else {
                     out.push(0x81);
-                    modrm(
-                        &mut out,
-                        alu_imm_ext(op),
-                        &RmOperand::from_operand(&rm, "alu dst")?,
-                    )?;
+                    modrm(&mut out, alu_imm_ext(op), &RmOperand::from_operand(&rm, "alu dst")?)?;
                 }
                 out.extend_from_slice(&v.to_le_bytes());
             }
@@ -500,7 +496,11 @@ pub fn decode(bytes: &[u8]) -> Result<(X86Instr, usize), DecodeX86Error> {
         }
         0x85 => {
             let (reg, rm) = decode_modrm(&mut r)?;
-            X86Instr::Alu { op: AluOp::Test, dst: rm, src: Operand::Reg(Gpr::from_index(reg as usize)) }
+            X86Instr::Alu {
+                op: AluOp::Test,
+                dst: rm,
+                src: Operand::Reg(Gpr::from_index(reg as usize)),
+            }
         }
         0x81 => {
             let (ext, rm) = decode_modrm(&mut r)?;
@@ -692,10 +692,8 @@ pub fn disassemble(bytes: &[u8]) -> Result<Vec<X86Instr>, DecodeX86Error> {
     let mut starts = Vec::new();
     let mut pos = 0usize;
     while pos < bytes.len() {
-        let (i, len) = decode(&bytes[pos..]).map_err(|e| DecodeX86Error {
-            offset: pos + e.offset,
-            reason: e.reason,
-        })?;
+        let (i, len) = decode(&bytes[pos..])
+            .map_err(|e| DecodeX86Error { offset: pos + e.offset, reason: e.reason })?;
         starts.push(pos);
         instrs.push(i);
         pos += len;
@@ -755,7 +753,11 @@ mod tests {
             src: Operand::Reg(Gpr::Eax),
         });
         roundtrip(X86Instr::Mov {
-            dst: Operand::Mem(X86Mem { base: Some(Gpr::Ecx), index: Some((Gpr::Eax, 4)), disp: -4 }),
+            dst: Operand::Mem(X86Mem {
+                base: Some(Gpr::Ecx),
+                index: Some((Gpr::Eax, 4)),
+                disp: -4,
+            }),
             src: Operand::Imm(42),
         });
     }
@@ -784,8 +786,8 @@ mod tests {
     fn roundtrip_addressing_modes() {
         let mems = [
             X86Mem::base(Gpr::Eax),
-            X86Mem::base(Gpr::Esp),  // needs SIB
-            X86Mem::base(Gpr::Ebp),  // needs disp8
+            X86Mem::base(Gpr::Esp), // needs SIB
+            X86Mem::base(Gpr::Ebp), // needs disp8
             X86Mem::base_disp(Gpr::Ecx, 127),
             X86Mem::base_disp(Gpr::Ecx, -128),
             X86Mem::base_disp(Gpr::Ecx, 128),
@@ -823,8 +825,16 @@ mod tests {
             dst: Gpr::Edi,
             src: Operand::Mem(X86Mem::base(Gpr::Ecx)),
         });
-        roundtrip(X86Instr::MovStore { width: Width::W8, src: Gpr::Ecx, dst: X86Mem::base(Gpr::Edi) });
-        roundtrip(X86Instr::MovStore { width: Width::W16, src: Gpr::Esi, dst: X86Mem::base(Gpr::Edi) });
+        roundtrip(X86Instr::MovStore {
+            width: Width::W8,
+            src: Gpr::Ecx,
+            dst: X86Mem::base(Gpr::Edi),
+        });
+        roundtrip(X86Instr::MovStore {
+            width: Width::W16,
+            src: Gpr::Esi,
+            dst: X86Mem::base(Gpr::Edi),
+        });
         for cc in Cc::ALL {
             roundtrip(X86Instr::Setcc { cc, dst: Gpr::Edx });
             roundtrip(X86Instr::Jcc { cc, target: -77 });

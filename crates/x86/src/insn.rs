@@ -435,7 +435,10 @@ impl X86Instr {
                 v
             }
             X86Instr::Pushfd | X86Instr::Popfd | X86Instr::Ret => vec![Gpr::Esp],
-            X86Instr::Jcc { .. } | X86Instr::Jmp { .. } | X86Instr::Call { .. } | X86Instr::Halt => {
+            X86Instr::Jcc { .. }
+            | X86Instr::Jmp { .. }
+            | X86Instr::Call { .. }
+            | X86Instr::Halt => {
                 vec![]
             }
         }
@@ -594,7 +597,9 @@ impl X86Instr {
             X86Instr::Imul { .. } => 13,
             X86Instr::Shift { op, .. } => 14 + op as u32,
             X86Instr::Un { op, .. } => 17 + op as u32,
-            X86Instr::Movx { sign, width, .. } => 21 + (sign as u32) * 2 + (width == Width::W16) as u32,
+            X86Instr::Movx { sign, width, .. } => {
+                21 + (sign as u32) * 2 + (width == Width::W16) as u32
+            }
             X86Instr::MovStore { width, .. } => 25 + (width == Width::W16) as u32,
             X86Instr::Setcc { .. } => 27,
             X86Instr::Jcc { .. } => 28,
@@ -648,12 +653,10 @@ impl fmt::Display for X86Instr {
                     _ => write!(f, "{m} {src}, {dst}"),
                 }
             }
-            X86Instr::Setcc { cc, dst } => {
-                match dst.low8_name() {
-                    Some(name) => write!(f, "set{cc} {name}"),
-                    None => write!(f, "set{cc} {dst}"),
-                }
-            }
+            X86Instr::Setcc { cc, dst } => match dst.low8_name() {
+                Some(name) => write!(f, "set{cc} {name}"),
+                None => write!(f, "set{cc} {dst}"),
+            },
             X86Instr::Jcc { cc, target } => write!(f, "j{cc} #{target}"),
             X86Instr::Jmp { target } => write!(f, "jmp #{target}"),
             X86Instr::JmpInd { src } => write!(f, "jmp *{src}"),
@@ -686,12 +689,20 @@ mod tests {
         assert_eq!(X86Instr::alu_rr(AluOp::Add, Gpr::Edx, Gpr::Eax).to_string(), "addl %eax, %edx");
         assert_eq!(X86Instr::alu_ri(AluOp::Sub, Gpr::Edx, 1).to_string(), "subl $1, %edx");
         assert_eq!(
-            X86Instr::Movx { sign: false, width: Width::W8, dst: Gpr::Eax, src: Operand::Reg(Gpr::Eax) }
-                .to_string(),
+            X86Instr::Movx {
+                sign: false,
+                width: Width::W8,
+                dst: Gpr::Eax,
+                src: Operand::Reg(Gpr::Eax)
+            }
+            .to_string(),
             "movzbl %eax, %eax"
         );
         assert_eq!(X86Instr::Setcc { cc: Cc::E, dst: Gpr::Eax }.to_string(), "sete %al");
-        assert_eq!(X86Instr::Un { op: UnOp::Inc, dst: Operand::Reg(Gpr::Ecx) }.to_string(), "incl %ecx");
+        assert_eq!(
+            X86Instr::Un { op: UnOp::Inc, dst: Operand::Reg(Gpr::Ecx) }.to_string(),
+            "incl %ecx"
+        );
         assert_eq!(X86Instr::Jcc { cc: Cc::Ne, target: -5 }.to_string(), "jne #-5");
         assert_eq!(X86Instr::JmpInd { src: Operand::Reg(Gpr::Eax) }.to_string(), "jmp *%eax");
         assert_eq!(
@@ -733,7 +744,10 @@ mod tests {
     fn mem_operand_excludes_lea() {
         let lea = X86Instr::Lea { dst: Gpr::Ecx, addr: X86Mem::base(Gpr::Eax) };
         assert!(lea.mem_operand().is_none());
-        let ld = X86Instr::Mov { dst: Operand::Reg(Gpr::Eax), src: Operand::Mem(X86Mem::base(Gpr::Edi)) };
+        let ld = X86Instr::Mov {
+            dst: Operand::Reg(Gpr::Eax),
+            src: Operand::Mem(X86Mem::base(Gpr::Edi)),
+        };
         let (addr, w, store) = ld.mem_operand().unwrap();
         assert_eq!(addr.base, Some(Gpr::Edi));
         assert_eq!(w, Width::W32);
@@ -761,14 +775,20 @@ mod tests {
     fn kinds_for_cost_model() {
         assert_eq!(X86Instr::mov_rr(Gpr::Eax, Gpr::Ecx).kind(), InstrKind::Alu);
         assert_eq!(
-            X86Instr::Mov { dst: Operand::Reg(Gpr::Eax), src: Operand::Mem(X86Mem::base(Gpr::Edi)) }
-                .kind(),
+            X86Instr::Mov {
+                dst: Operand::Reg(Gpr::Eax),
+                src: Operand::Mem(X86Mem::base(Gpr::Edi))
+            }
+            .kind(),
             InstrKind::Load
         );
         assert_eq!(X86Instr::Push { src: Operand::Reg(Gpr::Eax) }.kind(), InstrKind::Store);
         assert_eq!(X86Instr::Pushfd.kind(), InstrKind::FlagSync);
         assert_eq!(X86Instr::Ret.kind(), InstrKind::CallRet);
-        assert_eq!(X86Instr::Imul { dst: Gpr::Eax, src: Operand::Reg(Gpr::Ecx) }.kind(), InstrKind::Mul);
+        assert_eq!(
+            X86Instr::Imul { dst: Gpr::Eax, src: Operand::Reg(Gpr::Ecx) }.kind(),
+            InstrKind::Mul
+        );
     }
 
     #[test]
@@ -782,7 +802,12 @@ mod tests {
             X86Instr::Imul { dst: Gpr::Eax, src: Operand::Reg(Gpr::Ecx) },
             X86Instr::Shift { op: ShiftOp::Shl, dst: Operand::Reg(Gpr::Eax), count: 1 },
             X86Instr::Un { op: UnOp::Neg, dst: Operand::Reg(Gpr::Eax) },
-            X86Instr::Movx { sign: true, width: Width::W8, dst: Gpr::Eax, src: Operand::Reg(Gpr::Eax) },
+            X86Instr::Movx {
+                sign: true,
+                width: Width::W8,
+                dst: Gpr::Eax,
+                src: Operand::Reg(Gpr::Eax),
+            },
             X86Instr::Setcc { cc: Cc::E, dst: Gpr::Eax },
             X86Instr::Jcc { cc: Cc::E, target: 0 },
             X86Instr::Jmp { target: 0 },

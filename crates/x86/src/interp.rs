@@ -141,11 +141,7 @@ impl X86State {
                     Operand::Mem(m) => self.mem.read(self.effective_addr(&m), width),
                     Operand::Imm(v) => v as u32 & width.mask() as u32,
                 };
-                let v = if sign {
-                    bits::sign_extend(raw as u64, width) as u32
-                } else {
-                    raw
-                };
+                let v = if sign { bits::sign_extend(raw as u64, width) as u32 } else { raw };
                 self.set_reg(dst, v);
             }
             X86Instr::MovStore { width, src, dst } => {
@@ -250,7 +246,7 @@ pub fn run_seq(
 mod tests {
     use super::*;
     use crate::cc::Cc;
-    use crate::insn::{AluOp, ShiftOp, UnOp};
+    use crate::insn::AluOp;
 
     fn run(instrs: &[X86Instr], setup: impl FnOnce(&mut X86State)) -> (X86State, SeqExit) {
         let mut st = X86State::new();
@@ -364,8 +360,18 @@ mod tests {
     fn movx_from_register_low_bits() {
         let (st, _) = run(
             &[
-                X86Instr::Movx { sign: true, width: Width::W8, dst: Gpr::Eax, src: Operand::Reg(Gpr::Ebx) },
-                X86Instr::Movx { sign: false, width: Width::W16, dst: Gpr::Ecx, src: Operand::Reg(Gpr::Ebx) },
+                X86Instr::Movx {
+                    sign: true,
+                    width: Width::W8,
+                    dst: Gpr::Eax,
+                    src: Operand::Reg(Gpr::Ebx),
+                },
+                X86Instr::Movx {
+                    sign: false,
+                    width: Width::W16,
+                    dst: Gpr::Ecx,
+                    src: Operand::Reg(Gpr::Ebx),
+                },
                 X86Instr::Ret,
             ],
             |st| st.set_reg(Gpr::Ebx, 0x1234_8899),
@@ -393,10 +399,10 @@ mod tests {
     #[test]
     fn call_and_ret_within_sequence() {
         let prog = [
-            X86Instr::Call { target: 1 },       // call the +2 "function"
-            X86Instr::Ret,                       // top-level return
-            X86Instr::mov_imm(Gpr::Eax, 99),     // function body
-            X86Instr::Ret,                       // return from call
+            X86Instr::Call { target: 1 },    // call the +2 "function"
+            X86Instr::Ret,                   // top-level return
+            X86Instr::mov_imm(Gpr::Eax, 99), // function body
+            X86Instr::Ret,                   // return from call
         ];
         let (st, exit) = run(&prog, |_| {});
         assert_eq!(exit, SeqExit::Returned);
@@ -427,10 +433,9 @@ mod tests {
     fn halt_and_indirect_exit() {
         let (_, exit) = run(&[X86Instr::Halt], |_| {});
         assert_eq!(exit, SeqExit::Halted);
-        let (_, exit) = run(
-            &[X86Instr::JmpInd { src: Operand::Reg(Gpr::Eax) }],
-            |st| st.set_reg(Gpr::Eax, 0xbeef),
-        );
+        let (_, exit) = run(&[X86Instr::JmpInd { src: Operand::Reg(Gpr::Eax) }], |st| {
+            st.set_reg(Gpr::Eax, 0xbeef)
+        });
         assert_eq!(exit, SeqExit::JumpedOut(0xbeef));
     }
 }

@@ -18,16 +18,8 @@ pub enum Gpr {
 
 impl Gpr {
     /// All 8 registers in encoding order.
-    pub const ALL: [Gpr; 8] = [
-        Gpr::Eax,
-        Gpr::Ecx,
-        Gpr::Edx,
-        Gpr::Ebx,
-        Gpr::Esp,
-        Gpr::Ebp,
-        Gpr::Esi,
-        Gpr::Edi,
-    ];
+    pub const ALL: [Gpr; 8] =
+        [Gpr::Eax, Gpr::Ecx, Gpr::Edx, Gpr::Ebx, Gpr::Esp, Gpr::Ebp, Gpr::Esi, Gpr::Edi];
 
     /// The 3-bit ModRM encoding of the register.
     pub fn index(self) -> usize {

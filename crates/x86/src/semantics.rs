@@ -71,10 +71,7 @@ pub fn eval_shift(op: ShiftOp, dst: u32, count: u8, flags_in: EFlags) -> AluOut 
     let (value, cf) = match op {
         ShiftOp::Shl => (dst << count, (dst >> (32 - count)) & 1 != 0),
         ShiftOp::Shr => (dst >> count, (dst >> (count - 1)) & 1 != 0),
-        ShiftOp::Sar => (
-            ((dst as i32) >> count) as u32,
-            ((dst as i32) >> (count - 1)) & 1 != 0,
-        ),
+        ShiftOp::Sar => (((dst as i32) >> count) as u32, ((dst as i32) >> (count - 1)) & 1 != 0),
     };
     let mut flags = EFlags { cf, of: false, ..flags_in };
     flags.set_zs(value);
@@ -90,11 +87,7 @@ pub fn eval_un(op: UnOp, dst: u32, flags_in: EFlags) -> AluOut {
     match op {
         UnOp::Neg => {
             let value = 0u32.wrapping_sub(dst);
-            let mut flags = EFlags {
-                cf: dst != 0,
-                of: dst == 0x8000_0000,
-                ..flags_in
-            };
+            let mut flags = EFlags { cf: dst != 0, of: dst == 0x8000_0000, ..flags_in };
             flags.set_zs(value);
             AluOut { value, flags }
         }
@@ -125,10 +118,7 @@ pub fn eval_imul(dst: u32, src: u32, flags_in: EFlags) -> AluOut {
     let full = (dst as i32 as i64) * (src as i32 as i64);
     let value = full as u32;
     let overflow = full != value as i32 as i64;
-    AluOut {
-        value,
-        flags: EFlags { cf: overflow, of: overflow, ..flags_in },
-    }
+    AluOut { value, flags: EFlags { cf: overflow, of: overflow, ..flags_in } }
 }
 
 #[cfg(test)]

@@ -66,11 +66,7 @@ fn main() {
     let rules = Rc::new(rules);
 
     let image = build_arm_image(&source, &Options::o2()).expect("program compiles");
-    println!(
-        "guest image: {} instructions, entry {:#x}",
-        image.instr_count(),
-        image.entry
-    );
+    println!("guest image: {} instructions, entry {:#x}", image.instr_count(), image.entry);
 
     for engine in engines {
         let mut e = Engine::new(&image, engine_of(engine, &rules));

@@ -54,16 +54,10 @@ int main() { return g(100, 7); }
         enhanced.guest_reg(ldbt_arm::ArmReg::R0),
         "both engines must agree"
     );
-    println!(
-        "result: {} (same under both engines)",
-        enhanced.guest_reg(ldbt_arm::ArmReg::R0)
-    );
+    println!("result: {} (same under both engines)", enhanced.guest_reg(ldbt_arm::ArmReg::R0));
     println!(
         "host instructions: {} (TCG baseline) vs {} (rule-enhanced)",
         baseline.stats.exec.host_instrs, enhanced.stats.exec.host_instrs
     );
-    println!(
-        "static rule coverage: {:.0}%",
-        enhanced.stats.static_coverage() * 100.0
-    );
+    println!("static rule coverage: {:.0}%", enhanced.stats.static_coverage() * 100.0);
 }

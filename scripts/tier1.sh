@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 gate: everything that must pass before a change lands.
+# Run from the repository root: ./scripts/tier1.sh
+set -eux
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

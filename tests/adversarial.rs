@@ -69,10 +69,7 @@ fn verifier_rejects_mutated_host_code() {
         ],
     ];
     for (i, m) in mutations.into_iter().enumerate() {
-        assert!(
-            learn_one(guest.clone(), m).is_err(),
-            "mutation {i} must be rejected"
-        );
+        assert!(learn_one(guest.clone(), m).is_err(), "mutation {i} must be rejected");
     }
 }
 

@@ -1,0 +1,47 @@
+//! Parallel learning must be byte-identical to sequential learning.
+//!
+//! The pipeline's contract (ISSUE: "parallel and sequential runs
+//! byte-identical"): for every suite program, learning with 4 worker
+//! threads produces exactly the rules and Table-1 counters the
+//! pure-sequential path produces — contents *and* rule-store iteration
+//! order. Only the wall-clock durations may differ, so those are
+//! excluded from the comparison via `LearnStats::counters`.
+
+use ldbt_compiler::Options;
+use ldbt_learn::cache::VerifyCache;
+use ldbt_learn::pipeline::{learn_from_source_cached, LearnConfig};
+use ldbt_learn::Rule;
+use ldbt_workloads::{source, Workload, SUITE};
+
+#[test]
+fn parallel_learning_matches_sequential_on_the_suite() {
+    let seq_cfg = LearnConfig { threads: 1, ..LearnConfig::default() };
+    let par_cfg = LearnConfig { threads: 4, ..LearnConfig::default() };
+    // Each side shares one memo cache across programs, like `learn_all`,
+    // so cross-program cache hits are part of the compared behavior.
+    let mut seq_cache = VerifyCache::new();
+    let mut par_cache = VerifyCache::new();
+    for b in &SUITE {
+        let src = source(b, Workload::Ref);
+        let s = learn_from_source_cached(b.name, &src, &Options::o2(), &seq_cfg, &mut seq_cache)
+            .unwrap();
+        let p = learn_from_source_cached(b.name, &src, &Options::o2(), &par_cfg, &mut par_cache)
+            .unwrap();
+        assert_eq!(
+            s.stats.counters(),
+            p.stats.counters(),
+            "{}: Table-1 counters diverge between sequential and parallel",
+            b.name
+        );
+        let order = |r: &ldbt_learn::RuleSet| -> Vec<String> {
+            r.iter().map(Rule::canonical_text).collect()
+        };
+        assert_eq!(
+            order(&s.rules),
+            order(&p.rules),
+            "{}: rule contents or iteration order diverge",
+            b.name
+        );
+    }
+    assert_eq!(seq_cache.len(), par_cache.len(), "memo caches diverge");
+}

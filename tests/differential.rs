@@ -39,11 +39,18 @@ fn random_program(seed: u64) -> String {
                     let _ = writeln!(src, "  s = (s {op} {sh}) ^ b;");
                 }
                 2 => {
-                    let _ = writeln!(src, "  if (s > b) {{ s -= b; }} else {{ s += {}; }}", rng.gen_range(1..50));
+                    let _ = writeln!(
+                        src,
+                        "  if (s > b) {{ s -= b; }} else {{ s += {}; }}",
+                        rng.gen_range(1..50)
+                    );
                 }
                 3 => {
                     let n = rng.gen_range(1..12);
-                    let _ = writeln!(src, "  for (int i = 0; i < {n}; i += 1) {{ s += arr[i & 31] ^ i; }}");
+                    let _ = writeln!(
+                        src,
+                        "  for (int i = 0; i < {n}; i += 1) {{ s += arr[i & 31] ^ i; }}"
+                    );
                 }
                 4 => {
                     let _ = writeln!(src, "  arr[s & 31] = s + b;");
@@ -89,18 +96,11 @@ fn reference_result(image: &ldbt_compiler::ArmImage) -> u32 {
 #[test]
 fn random_programs_differential() {
     // Rules learned once from two fixed training programs.
-    let training = [
-        random_program(777_001),
-        random_program(777_002),
-    ];
+    let training = [random_program(777_001), random_program(777_002)];
     let mut rules = ldbt_learn::RuleSet::new();
     for (i, src) in training.iter().enumerate() {
-        let r = ldbt_learn::pipeline::learn_from_source(
-            &format!("train{i}"),
-            src,
-            &Options::o2(),
-        )
-        .unwrap();
+        let r = ldbt_learn::pipeline::learn_from_source(&format!("train{i}"), src, &Options::o2())
+            .unwrap();
         rules.extend_from(&r.rules);
     }
     let rules = Rc::new(rules);
@@ -117,11 +117,9 @@ fn random_programs_differential() {
             let image = build_arm_image(&src, &options)
                 .unwrap_or_else(|e| panic!("seed {seed} {options:?}: {e}\n{src}"));
             let want = reference_result(&image);
-            for translator in [
-                Translator::Tcg,
-                Translator::Jit,
-                Translator::Rules(Rc::clone(&rules)),
-            ] {
+            for translator in
+                [Translator::Tcg, Translator::Jit, Translator::Rules(Rc::clone(&rules))]
+            {
                 let label = format!("seed {seed} {options:?} {translator:?}");
                 let mut e = Engine::new(&image, translator);
                 assert_eq!(e.run(3_000_000_000), RunOutcome::Halted, "{label}");
@@ -140,9 +138,6 @@ fn random_programs_are_deterministic_across_opt_levels() {
             let image = build_arm_image(&src, &Options::level(level)).unwrap();
             results.push(reference_result(&image));
         }
-        assert!(
-            results.windows(2).all(|w| w[0] == w[1]),
-            "seed {seed}: {results:?}\n{src}"
-        );
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {results:?}\n{src}");
     }
 }

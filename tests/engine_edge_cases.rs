@@ -8,7 +8,7 @@ use ldbt_compiler::ArmImage;
 use ldbt_dbt::engine::{RunOutcome, Translator};
 use ldbt_dbt::Engine;
 use ldbt_learn::{Rule, RuleSet};
-use ldbt_x86::{AluOp, Cc, Gpr, X86Instr};
+use ldbt_x86::{AluOp, Gpr, X86Instr};
 use std::rc::Rc;
 
 /// Wrap raw instructions into a runnable image at the standard base.
@@ -80,7 +80,7 @@ fn cross_block_flag_consumption() {
         // loop:
         ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Imm(5)),
         ArmInstr::dps(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(1)), // flags!
-        ArmInstr::B { offset: 0, cond: Cond::Al }, // block boundary
+        ArmInstr::B { offset: 0, cond: Cond::Al },                          // block boundary
         ArmInstr::B { offset: -4, cond: Cond::Ne }, // consumes Z cross-block
         ArmInstr::Svc { imm: 0, cond: Cond::Al },
     ];
@@ -137,7 +137,7 @@ fn indirect_dispatch() {
     let prog = vec![
         // r1 = address of target (instr 5)
         ArmInstr::mov(ArmReg::R1, Operand2::Imm(5 * 4)),
-        ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Imm((base & 0xfff) as u32)),
+        ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Imm(base & 0xfff)),
         // base is 0x10000: materialize via shift
         ArmInstr::mov(ArmReg::R2, Operand2::Imm(1)),
         ArmInstr::dp(

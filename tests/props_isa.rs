@@ -47,18 +47,11 @@ fn arm_instr() -> impl Strategy<Value = ArmInstr> {
                 ArmInstr::Ldr { rt, addr: AddrMode::Imm(rn, off), width, signed: sg, cond }
             }
         ),
-        (arm_reg(), arm_reg(), arm_reg(), 1u8..32, arm_cond()).prop_map(
-            |(rt, rn, rm, s, cond)| ArmInstr::Str {
-                rt,
-                addr: AddrMode::RegShift(rn, rm, s),
-                width: Width::W32,
-                cond
-            }
-        ),
-        (-(1i32 << 23)..(1 << 23), arm_cond()).prop_map(|(offset, cond)| ArmInstr::B {
-            offset,
-            cond
+        (arm_reg(), arm_reg(), arm_reg(), 1u8..32, arm_cond()).prop_map(|(rt, rn, rm, s, cond)| {
+            ArmInstr::Str { rt, addr: AddrMode::RegShift(rn, rm, s), width: Width::W32, cond }
         }),
+        (-(1i32 << 23)..(1 << 23), arm_cond())
+            .prop_map(|(offset, cond)| ArmInstr::B { offset, cond }),
         (arm_reg(), 0u32..0x100_0000).prop_map(|(rm, imm)| {
             if imm & 1 == 0 {
                 ArmInstr::Bx { rm, cond: Cond::Al }
@@ -105,7 +98,10 @@ fn gpr() -> impl Strategy<Value = Gpr> {
 fn x86_mem() -> impl Strategy<Value = X86Mem> {
     (
         proptest::option::of(gpr()),
-        proptest::option::of((gpr().prop_filter("esp is not an index", |g| *g != Gpr::Esp), 0u8..4)),
+        proptest::option::of((
+            gpr().prop_filter("esp is not an index", |g| *g != Gpr::Esp),
+            0u8..4,
+        )),
         -5000i32..5000,
     )
         .prop_map(|(base, idx, disp)| X86Mem {
@@ -123,10 +119,8 @@ fn x86_instr() -> impl Strategy<Value = X86Instr> {
     prop_oneof![
         (gpr(), any::<i32>()).prop_map(|(r, v)| X86Instr::mov_imm(r, v)),
         (rm_operand(), gpr()).prop_map(|(dst, s)| X86Instr::Mov { dst, src: Operand::Reg(s) }),
-        (gpr(), x86_mem()).prop_map(|(d, m)| X86Instr::Mov {
-            dst: Operand::Reg(d),
-            src: Operand::Mem(m)
-        }),
+        (gpr(), x86_mem())
+            .prop_map(|(d, m)| X86Instr::Mov { dst: Operand::Reg(d), src: Operand::Mem(m) }),
         (0usize..9, rm_operand(), gpr()).prop_map(|(op, dst, s)| X86Instr::Alu {
             op: AluOp::ALL[op],
             dst,
@@ -156,10 +150,8 @@ fn x86_instr() -> impl Strategy<Value = X86Instr> {
                 src: Operand::Mem(m),
             }
         }),
-        (0usize..14, 0usize..4).prop_map(|(cc, r)| X86Instr::Setcc {
-            cc: Cc::ALL[cc],
-            dst: Gpr::from_index(r)
-        }),
+        (0usize..14, 0usize..4)
+            .prop_map(|(cc, r)| X86Instr::Setcc { cc: Cc::ALL[cc], dst: Gpr::from_index(r) }),
         Just(X86Instr::Ret),
         Just(X86Instr::Pushfd),
         Just(X86Instr::Popfd),

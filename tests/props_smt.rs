@@ -18,16 +18,16 @@ enum Ast {
 }
 
 fn ast() -> impl Strategy<Value = Ast> {
-    let leaf = prop_oneof![
-        Just(Ast::X),
-        Just(Ast::Y),
-        any::<u8>().prop_map(Ast::Const),
-    ];
+    let leaf = prop_oneof![Just(Ast::X), Just(Ast::Y), any::<u8>().prop_map(Ast::Const),];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|a| Ast::Not(Box::new(a))),
             inner.clone().prop_map(|a| Ast::Neg(Box::new(a))),
-            (0u8..9, inner.clone(), inner).prop_map(|(op, a, b)| Ast::Bin(op, Box::new(a), Box::new(b))),
+            (0u8..9, inner.clone(), inner).prop_map(|(op, a, b)| Ast::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }

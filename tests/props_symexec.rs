@@ -98,10 +98,11 @@ proptest! {
         // in register order), then the flags gN..gV — resolve by name.
         let mut env: HashMap<u32, u64> = HashMap::new();
         let mut pool2 = pool.clone();
-        for i in 0..16usize {
+        let vals = inputs.iter().map(|&v| v as u64).chain(std::iter::repeat(0));
+        for (i, val) in vals.take(16).enumerate() {
             let t = pool2.var(&format!("r{i}"), 32);
             if let ldbt_smt::term::Term::Var { sym, .. } = *pool2.term(t) {
-                env.insert(sym, if i < 8 { inputs[i] as u64 } else { 0 });
+                env.insert(sym, val);
             }
         }
         let f0 = ldbt_arm::Flags::from_nzcv(nzcv);
@@ -128,12 +129,10 @@ fn x86_straightline() -> impl Strategy<Value = Vec<X86Instr>> {
     let gpr = (0usize..4).prop_map(Gpr::from_index); // eax..ebx: byte-addressable
     proptest::collection::vec(
         prop_oneof![
-            (0usize..9, gpr.clone(), gpr.clone()).prop_map(|(op, d, s)| {
-                X86Instr::alu_rr(AluOp::ALL[op], d, s)
-            }),
-            (0usize..9, gpr.clone(), any::<i32>()).prop_map(|(op, d, v)| {
-                X86Instr::alu_ri(AluOp::ALL[op], d, v)
-            }),
+            (0usize..9, gpr.clone(), gpr.clone())
+                .prop_map(|(op, d, s)| { X86Instr::alu_rr(AluOp::ALL[op], d, s) }),
+            (0usize..9, gpr.clone(), any::<i32>())
+                .prop_map(|(op, d, v)| { X86Instr::alu_ri(AluOp::ALL[op], d, v) }),
             (gpr.clone(), gpr.clone()).prop_map(|(d, s)| X86Instr::mov_rr(d, s)),
             (gpr.clone(), any::<i32>()).prop_map(|(d, v)| X86Instr::mov_imm(d, v)),
             (0usize..3, gpr.clone(), 1u8..32).prop_map(|(op, d, c)| X86Instr::Shift {
@@ -145,18 +144,12 @@ fn x86_straightline() -> impl Strategy<Value = Vec<X86Instr>> {
                 op: [UnOp::Neg, UnOp::Not, UnOp::Inc, UnOp::Dec][op],
                 dst: Operand::Reg(d),
             }),
-            (gpr.clone(), gpr.clone()).prop_map(|(d, s)| X86Instr::Imul {
-                dst: d,
-                src: Operand::Reg(s)
-            }),
-            (gpr.clone(), gpr.clone(), -64i32..64).prop_map(|(d, b, off)| X86Instr::Lea {
-                dst: d,
-                addr: X86Mem::base_disp(b, off),
-            }),
-            (0usize..14, gpr).prop_map(|(cc, d)| X86Instr::Setcc {
-                cc: ldbt_x86::Cc::ALL[cc],
-                dst: d
-            }),
+            (gpr.clone(), gpr.clone())
+                .prop_map(|(d, s)| X86Instr::Imul { dst: d, src: Operand::Reg(s) }),
+            (gpr.clone(), gpr.clone(), -64i32..64)
+                .prop_map(|(d, b, off)| X86Instr::Lea { dst: d, addr: X86Mem::base_disp(b, off) }),
+            (0usize..14, gpr)
+                .prop_map(|(cc, d)| X86Instr::Setcc { cc: ldbt_x86::Cc::ALL[cc], dst: d }),
         ],
         1..8,
     )
