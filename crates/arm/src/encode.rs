@@ -458,6 +458,22 @@ mod tests {
     }
 
     #[test]
+    fn garbage_words_decode_without_panicking() {
+        // Every 32-bit word must either decode or return an error —
+        // never panic: the DBT feeds raw guest memory straight in here.
+        let mut err = 0u32;
+        for base in 0..0x2_0000u32 {
+            let word = base.wrapping_mul(0x6c07_8965).wrapping_add(0x1234_5677) ^ (base << 13);
+            if decode(word).is_err() {
+                err += 1;
+            }
+        }
+        assert!(err > 0, "some garbage must be rejected");
+        // A known-hostile shape: all bits set (undefined condition field).
+        assert!(decode(0xffff_ffff).is_err());
+    }
+
+    #[test]
     fn exhaustive_decode_encode_fixpoint() {
         // Any word that decodes must re-encode to itself (sampled).
         let mut checked = 0u32;

@@ -1,27 +1,38 @@
 //! Table 1: per-benchmark learning statistics.
 
 use ldbt_bench::{hr, learn_everything};
-use ldbt_core::experiment::table1;
+use ldbt_compiler::Options;
+use ldbt_core::experiment::{loo_rules, table1};
+use ldbt_core::workloads::Workload;
+use ldbt_core::{run_benchmark, EngineKind};
 
 fn main() {
     let all = learn_everything();
     let rows = table1(&all);
     println!("Table 1. Learning results (synthetic SPEC CINT2006 stand-ins)");
-    hr(130);
+    hr(144);
     println!(
-        "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9} {:>9} {:>5} {:>5}",
-        "bench", "PL", "LoC", "CI", "PI", "MB", "Num", "Name", "FailG", "Rg", "Mm", "Br", "Other", "#Rules", "time(ms)", "ms/rule", "vfy%", "hit%"
+        "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9} {:>9} {:>5} {:>5} | {:>6} {:>4}",
+        "bench", "PL", "LoC", "CI", "PI", "MB", "Num", "Name", "FailG", "Rg", "Mm", "Br", "Other", "#Rules", "time(ms)", "ms/rule", "vfy%", "hit%", "wd-chk", "quar"
     );
-    hr(130);
+    hr(144);
     let mut tot = [0usize; 14];
+    let mut wd_tot = (0u64, 0u64);
     for (b, lines, s) in &rows {
         let vfy_share = if s.learn_time.as_secs_f64() > 0.0 {
             s.verify_time.as_secs_f64() / s.learn_time.as_secs_f64() * 100.0
         } else {
             0.0
         };
+        // A rules-engine run on the test workload surfaces the runtime
+        // fault-containment counters (nonzero only with LDBT_WATCHDOG).
+        let rules = loo_rules(&all, b.name);
+        let run =
+            run_benchmark(b.name, Workload::Test, EngineKind::Rules, &Options::o2(), Some(&rules));
+        wd_tot.0 += run.stats.watchdog_checks;
+        wd_tot.1 += run.stats.quarantined_rules;
         println!(
-            "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9.2} {:>9.3} {:>5.1} {:>5.1}",
+            "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9.2} {:>9.3} {:>5.1} {:>5.1} | {:>6} {:>4}",
             b.name,
             if b.cpp { "C++" } else { "C" },
             lines,
@@ -33,6 +44,8 @@ fn main() {
             if s.rules > 0 { s.learn_time.as_secs_f64() * 1e3 / s.rules as f64 } else { 0.0 },
             vfy_share,
             s.cache_hit_rate() * 100.0,
+            run.stats.watchdog_checks,
+            run.stats.quarantined_rules,
         );
         for (i, v) in [
             s.total,
@@ -56,7 +69,7 @@ fn main() {
             tot[i] += v;
         }
     }
-    hr(130);
+    hr(144);
     let total = tot[0] as f64;
     println!(
         "preparation failures: {:.0}%   parameterization failures: {:.0}%   verification failures: {:.0}%   yield: {:.0}%",
@@ -78,6 +91,10 @@ fn main() {
             tot[12] as f64 / queries as f64 * 100.0,
         );
     }
+    println!(
+        "watchdog cross-checks: {} performed, {} rules quarantined (enable with LDBT_WATCHDOG=on|N; fault injection via LDBT_FAULT)",
+        wd_tot.0, wd_tot.1,
+    );
     println!(
         "threads: {} (override with LDBT_THREADS; 1 = sequential)",
         ldbt_core::configured_threads()

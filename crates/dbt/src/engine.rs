@@ -2,7 +2,7 @@
 //! model, and the interpreter helper fallback.
 
 use crate::backend::lower_block;
-use crate::env::{env_mem, reg_mem, FlagId, ENV_BASE, HOST_STACK_TOP};
+use crate::env::{env_mem, reg_mem, FlagId, ENV_BASE, FLAGMODE_OFFSET, HOST_STACK_TOP};
 use crate::jit::optimize_block;
 use crate::rules::block_supported;
 use crate::stats::DbtStats;
@@ -10,11 +10,27 @@ use crate::tcg::{decode_block, translate_block};
 use ldbt_arm::{encode::decode, ArmEvent, ArmReg, ArmState};
 use ldbt_compiler::ArmImage;
 use ldbt_isa::{CostModel, Memory, Width};
-use ldbt_learn::RuleSet;
+use ldbt_learn::{FaultPlan, RuleSet};
 use ldbt_x86::interp::{run_seq, SeqExit};
 use ldbt_x86::{Gpr, X86Instr, X86State};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::OnceLock;
+
+/// The `LDBT_WATCHDOG` sampling period: `None` disables the watchdog
+/// (unset, `0`, or `off`), `on`/`1` checks every rule-covered dispatch,
+/// `N` checks every Nth.
+fn watchdog_from_env() -> Option<u64> {
+    static WATCHDOG: OnceLock<Option<u64>> = OnceLock::new();
+    *WATCHDOG.get_or_init(|| match std::env::var("LDBT_WATCHDOG") {
+        Ok(v) => match v.trim() {
+            "" | "0" | "off" => None,
+            "on" => Some(1),
+            s => s.parse::<u64>().ok().filter(|n| *n > 0),
+        },
+        Err(_) => None,
+    })
+}
 
 /// Which translator the engine uses.
 #[derive(Debug, Clone)]
@@ -102,10 +118,21 @@ pub struct Engine {
     tcost: TransCost,
     entry: u32,
     pc: u32,
+    /// Watchdog sampling period: check every Nth rule-covered dispatch.
+    watchdog: Option<u64>,
+    watchdog_tick: u64,
+    /// Blocks forced onto the TCG path after a quarantine.
+    force_tcg: HashSet<u32>,
+    /// Translation-time fault injection (`LDBT_FAULT`).
+    fault: Option<FaultPlan>,
 }
 
 impl Engine {
     /// Create an engine for a linked guest image.
+    ///
+    /// The watchdog period and fault plan default from the
+    /// `LDBT_WATCHDOG` / `LDBT_FAULT` environment; [`Engine::with_watchdog`]
+    /// and [`Engine::with_fault`] override them explicitly.
     pub fn new(image: &ArmImage, translator: Translator) -> Engine {
         let mut mem = Memory::new();
         image.load_into(&mut mem);
@@ -120,6 +147,10 @@ impl Engine {
             tcost: TransCost::default(),
             entry: image.entry,
             pc: image.entry,
+            watchdog: watchdog_from_env(),
+            watchdog_tick: 0,
+            force_tcg: HashSet::new(),
+            fault: ldbt_learn::fault::env_plan(),
         }
     }
 
@@ -127,6 +158,18 @@ impl Engine {
     pub fn with_cost(mut self, cost: CostModel, tcost: TransCost) -> Engine {
         self.cost = cost;
         self.tcost = tcost;
+        self
+    }
+
+    /// Override the watchdog sampling period (`None` disables it).
+    pub fn with_watchdog(mut self, period: Option<u64>) -> Engine {
+        self.watchdog = period;
+        self
+    }
+
+    /// Override the translation fault plan (`None` disables injection).
+    pub fn with_fault(mut self, fault: Option<FaultPlan>) -> Engine {
+        self.fault = fault;
         self
     }
 
@@ -165,12 +208,13 @@ impl Engine {
             _ => None,
         };
         if let Some((rules, lazy_flags)) = rules_cfg {
-            if block_supported(&block) {
-                let low = crate::rules::lower_block_with_rules_opts(
+            if block_supported(&block) && !self.force_tcg.contains(&pc) {
+                let low = crate::rules::lower_block_with_rules_fault(
                     &self.state.mem,
                     &block,
                     &rules,
                     lazy_flags,
+                    self.fault,
                 );
                 let covered = low.covered.iter().filter(|c| **c).count() as u64;
                 self.stats.exec.translation_cycles += self.tcost.block_base
@@ -315,7 +359,7 @@ impl Engine {
             self.stats.block_execs += 1;
             self.stats.guest_dyn += guest_len;
             self.stats.guest_dyn_covered += covered;
-            for (len, key) in hits {
+            for &(len, key) in &hits {
                 self.stats.hit_rules.insert(key, len);
             }
             if interp_one {
@@ -330,17 +374,159 @@ impl Engine {
             if code.is_empty() {
                 return RunOutcome::Fault;
             }
+            // Watchdog: sample every Nth dispatch of a rule-covered block;
+            // snapshot the pre-state so the block can be re-run through the
+            // ARM interpreter afterwards.
+            let check_now = match self.watchdog {
+                Some(period) if !hits.is_empty() => {
+                    self.watchdog_tick += 1;
+                    self.watchdog_tick.is_multiple_of(period)
+                }
+                _ => false,
+            };
+            let pre_mem = if check_now { Some(self.state.mem.clone()) } else { None };
             let remaining = fuel - self.stats.exec.host_instrs;
             let exit = run_seq(&mut self.state, &code, remaining, &self.cost, &mut self.stats.exec);
             match exit {
                 SeqExit::Returned => {
                     self.pc = self.state.reg(Gpr::Eax);
+                    if let Some(pre) = pre_mem {
+                        if let Some(out) = self.watchdog_check(pc, &hits, pre) {
+                            return out;
+                        }
+                    }
                 }
                 SeqExit::Halted => return RunOutcome::Halted,
                 SeqExit::OutOfFuel => return RunOutcome::OutOfFuel,
-                SeqExit::JumpedOut(_) | SeqExit::FellThrough => return RunOutcome::Fault,
+                SeqExit::JumpedOut(_) | SeqExit::FellThrough | SeqExit::Faulted => {
+                    return RunOutcome::Fault
+                }
             }
         }
+    }
+
+    /// Re-execute a rule-covered block from its pre-dispatch memory
+    /// snapshot through the ARM interpreter and compare architectural
+    /// state. On mismatch, quarantine every rule applied in the block
+    /// (tombstoned in the rule set), drop the affected translations from
+    /// the code cache, force this block onto the TCG path, and adopt the
+    /// interpreter's (correct) state so execution continues unharmed.
+    ///
+    /// Returns `Some(outcome)` only when the interpreter reference run
+    /// ends the program (`svc #0`).
+    fn watchdog_check(
+        &mut self,
+        pc: u32,
+        hits: &[(usize, u64)],
+        pre: Memory,
+    ) -> Option<RunOutcome> {
+        self.stats.watchdog_checks += 1;
+        let block = decode_block(&pre, pc);
+        if block.instrs.is_empty() {
+            return None;
+        }
+        // Interpreter reference run over the snapshot.
+        let mut arm = ArmState { regs: [0; 16], flags: Default::default(), mem: pre };
+        for r in ArmReg::ALL {
+            arm.regs[r.index()] = arm.mem.read(ENV_BASE + 4 * r.index() as u32, Width::W32);
+        }
+        let flagmode = arm.mem.read(ENV_BASE + FLAGMODE_OFFSET, Width::W32);
+        if flagmode & 1 != 0 {
+            // §5 lazy flag save pending: the env NZCV slots are stale and
+            // the live flags sit in the saved host EFLAGS word. Materialize
+            // them the way the flag-mode dispatch stub does (N↔SF, Z↔ZF,
+            // V↔OF; mode bit 1 selects the carry polarity).
+            let w = arm.mem.read(ENV_BASE + crate::env::HOSTFLAGS_OFFSET, Width::W32);
+            let f = ldbt_x86::EFlags::from_word(w);
+            arm.flags.n = f.sf;
+            arm.flags.z = f.zf;
+            arm.flags.v = f.of;
+            arm.flags.c = if flagmode & 2 != 0 { f.cf } else { !f.cf };
+        } else {
+            arm.flags.n = arm.mem.read(ENV_BASE + FlagId::N.offset(), Width::W32) != 0;
+            arm.flags.z = arm.mem.read(ENV_BASE + FlagId::Z.offset(), Width::W32) != 0;
+            arm.flags.c = arm.mem.read(ENV_BASE + FlagId::C.offset(), Width::W32) != 0;
+            arm.flags.v = arm.mem.read(ENV_BASE + FlagId::V.offset(), Width::W32) != 0;
+        }
+        let mut halted = false;
+        let mut next_pc = pc;
+        for (idx, instr) in block.instrs.iter().enumerate() {
+            let fallthrough = pc.wrapping_add(4 * idx as u32).wrapping_add(4);
+            next_pc = fallthrough;
+            match arm.exec(instr) {
+                ArmEvent::Next => {}
+                ArmEvent::Syscall(0) => {
+                    halted = true;
+                    break;
+                }
+                ArmEvent::Syscall(_) => {}
+                ArmEvent::Branch(off) => {
+                    next_pc = fallthrough.wrapping_add((off as u32).wrapping_mul(4));
+                    break;
+                }
+                ArmEvent::Call(off) => {
+                    arm.set_reg(ArmReg::Lr, fallthrough);
+                    next_pc = fallthrough.wrapping_add((off as u32).wrapping_mul(4));
+                    break;
+                }
+                ArmEvent::Indirect(a) => {
+                    next_pc = a;
+                    break;
+                }
+            }
+        }
+        // Compare guest-visible state: r0–r14 env slots, the next PC, and
+        // guest memory. Flags are excluded (the translated side may hold
+        // them in host EFLAGS legitimately); the env + host-stack region
+        // is host-private and also excluded.
+        let regs_ok = ArmReg::ALL.iter().all(|r| {
+            matches!(r, ArmReg::Pc)
+                || self.state.mem.read(ENV_BASE + 4 * r.index() as u32, Width::W32)
+                    == arm.regs[r.index()]
+        });
+        let pc_ok = !halted && self.pc == next_pc;
+        let mem_ok = self
+            .state
+            .mem
+            .first_difference(&arm.mem, |addr| addr >= HOST_STACK_TOP - 0x1_0000)
+            .is_none();
+        if regs_ok && pc_ok && mem_ok {
+            return None;
+        }
+        // Mismatch: quarantine every rule applied in this block (the
+        // watchdog cannot attribute the divergence to one application, so
+        // it is conservative), purge affected translations, and continue
+        // from the interpreter's state.
+        let mut newly: HashSet<u64> = HashSet::new();
+        if let Translator::Rules(rules) | Translator::RulesNoLazyFlags(rules) = &mut self.translator
+        {
+            let rs = Rc::make_mut(rules);
+            for &(_, key) in hits {
+                if rs.tombstone(key) {
+                    newly.insert(key);
+                    self.stats.quarantined_rules += 1;
+                }
+            }
+        }
+        self.force_tcg.insert(pc);
+        self.cache.retain(|_, b| !b.hits.iter().any(|&(_, k)| newly.contains(&k)));
+        self.cache.remove(&pc);
+        // Adopt the interpreter's state: write its registers and flags
+        // back into the env and take its memory.
+        for r in ArmReg::ALL {
+            arm.mem.write(ENV_BASE + 4 * r.index() as u32, arm.regs[r.index()], Width::W32);
+        }
+        arm.mem.write(ENV_BASE + FlagId::N.offset(), arm.flags.n as u32, Width::W32);
+        arm.mem.write(ENV_BASE + FlagId::Z.offset(), arm.flags.z as u32, Width::W32);
+        arm.mem.write(ENV_BASE + FlagId::C.offset(), arm.flags.c as u32, Width::W32);
+        arm.mem.write(ENV_BASE + FlagId::V.offset(), arm.flags.v as u32, Width::W32);
+        arm.mem.write(ENV_BASE + FLAGMODE_OFFSET, 0, Width::W32);
+        self.state.mem = std::mem::take(&mut arm.mem);
+        if halted {
+            return Some(RunOutcome::Halted);
+        }
+        self.pc = next_pc;
+        None
     }
 
     /// Reset execution state (keeping the translated-code cache) so the

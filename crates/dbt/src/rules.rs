@@ -24,13 +24,11 @@ use crate::tcg::{flags_live_at, translate_block, GuestBlock, TcgBlock};
 use ldbt_arm::{ArmInstr, ArmReg, Cond};
 use ldbt_isa::Memory;
 use ldbt_learn::rule::Binding;
-use ldbt_learn::{Rule, RuleSet};
+use ldbt_learn::{FaultPlan, FaultSite, Rule, RuleSet};
 #[cfg(test)]
 use ldbt_x86::AluOp;
 use ldbt_x86::{Cc, Gpr, Operand, X86Instr};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 
 /// Host registers available as guest-register homes in rule segments.
 const RULE_POOL: [Gpr; 6] = [Gpr::Ecx, Gpr::Edx, Gpr::Ebx, Gpr::Esi, Gpr::Edi, Gpr::Ebp];
@@ -76,9 +74,7 @@ pub struct RuleLowering {
 }
 
 fn rule_key(rule: &Rule) -> u64 {
-    let mut h = DefaultHasher::new();
-    rule.dedup_key().hash(&mut h);
-    h.finish()
+    rule.stable_key()
 }
 
 /// Guest flags read by `instrs[from..]` before being written, plus
@@ -185,6 +181,26 @@ pub fn lower_block_with_rules_opts(
     rules: &RuleSet,
     lazy_flags: bool,
 ) -> RuleLowering {
+    lower_block_with_rules_fault(mem, block, rules, lazy_flags, None)
+}
+
+/// [`lower_block_with_rules_opts`] with an optional fault plan. Under
+/// `LDBT_FAULT=rule-corrupt:<seed>` the seed-th rule application of each
+/// block has its host code clobbered after emission (a deterministic
+/// wrong constant into the first defined register's home), modeling a
+/// miscompiled/corrupted rule template for the watchdog to catch.
+pub fn lower_block_with_rules_fault(
+    mem: &Memory,
+    block: &GuestBlock,
+    rules: &RuleSet,
+    lazy_flags: bool,
+    fault: Option<FaultPlan>,
+) -> RuleLowering {
+    let corrupt_at: Option<usize> = match fault {
+        Some(FaultPlan { site: FaultSite::RuleCorrupt, seed }) => Some(seed as usize),
+        _ => None,
+    };
+    let mut rule_apps = 0usize;
     let instrs = &block.instrs;
     let n = instrs.len();
     let mut lookups = 0usize;
@@ -332,6 +348,14 @@ pub fn lower_block_with_rules_opts(
                         *dirty = true;
                     }
                 }
+                if corrupt_at == Some(rule_apps) {
+                    // Injected fault: clobber the first defined register's
+                    // home with a recognizably wrong constant.
+                    if let Some(home) = defined.iter().find_map(|d| homes.map.get(d)).copied() {
+                        code.push(X86Instr::mov_imm(home, 0x5a5a_5a5au32 as i32));
+                    }
+                }
+                rule_apps += 1;
                 if flags_live_out {
                     // The 3-instruction lazy save of paper §5.
                     code.push(X86Instr::Pushfd);

@@ -28,6 +28,10 @@ pub struct DbtStats {
     pub rule_lookups: u64,
     /// Distinct rules hit at least once: stable key → rule length.
     pub hit_rules: HashMap<u64, usize>,
+    /// Watchdog differential cross-checks performed (`LDBT_WATCHDOG`).
+    pub watchdog_checks: u64,
+    /// Rules quarantined by the watchdog after a state mismatch.
+    pub quarantined_rules: u64,
 }
 
 impl DbtStats {

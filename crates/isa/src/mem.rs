@@ -82,6 +82,36 @@ impl Memory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// The lowest address whose byte differs between the two memories,
+    /// skipping addresses for which `ignore` returns `true`.
+    ///
+    /// Never-written pages compare as all-zero on both sides, matching
+    /// the zero-fill read semantics; the scan covers the union of
+    /// resident pages. Used by the DBT watchdog to compare guest-visible
+    /// memory while excluding the host-private env and stack regions.
+    pub fn first_difference(&self, other: &Memory, ignore: impl Fn(u32) -> bool) -> Option<u32> {
+        const ZERO: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
+        let mut page_ids: Vec<u32> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        page_ids.sort_unstable();
+        page_ids.dedup();
+        for p in page_ids {
+            let a = self.pages.get(&p).map_or(&ZERO, |b| &**b);
+            let b = other.pages.get(&p).map_or(&ZERO, |b| &**b);
+            if a == b {
+                continue;
+            }
+            for i in 0..PAGE_SIZE {
+                if a[i] != b[i] {
+                    let addr = (p << PAGE_SHIFT) | i as u32;
+                    if !ignore(addr) {
+                        return Some(addr);
+                    }
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +160,22 @@ mod tests {
         let data = [1u8, 2, 3, 4, 5];
         m.write_bytes(0x300, &data);
         assert_eq!(m.read_bytes(0x300, 5), data.to_vec());
+    }
+
+    #[test]
+    fn first_difference_scans_union_and_honors_ignore() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        assert_eq!(a.first_difference(&b, |_| false), None);
+        // A page resident on only one side but all-zero is not a diff.
+        a.write(0x5000, 0, Width::W32);
+        assert_eq!(a.first_difference(&b, |_| false), None);
+        b.write(0x9002, 7, Width::W8);
+        a.write(0x9004, 1, Width::W8);
+        assert_eq!(a.first_difference(&b, |_| false), Some(0x9002));
+        assert_eq!(b.first_difference(&a, |_| false), Some(0x9002), "symmetric");
+        assert_eq!(a.first_difference(&b, |addr| addr == 0x9002), Some(0x9004));
+        assert_eq!(a.first_difference(&b, |addr| addr >= 0x9000), None);
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Explicit resource budgets for verification (fault containment).
+//!
+//! Each verification query consumes three bounded resources: symbolic
+//! step fuel in `ldbt_symexec`, interned terms in the shared
+//! [`ldbt_smt::TermPool`], and SAT conflicts in the equivalence oracle.
+//! A [`Budget`] makes all three explicit so exhaustion surfaces as a
+//! recorded [`crate::verify::VerifyFail::Other`] reason instead of an
+//! unbounded run or an abort — one degenerate snippet can cost at most
+//! its budget, never the whole learning run.
+
+/// Per-query resource limits threaded through [`crate::verify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// SAT conflict budget per equivalence query (the oracle answers
+    /// `Unknown` once exceeded).
+    pub solver_conflicts: u64,
+    /// Symbolic-execution step fuel per instruction sequence.
+    pub symexec_steps: usize,
+    /// Soft cap on live terms in the query's [`ldbt_smt::TermPool`].
+    pub term_pool_cap: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            // Matches the pre-budget EQUIV_BUDGET constant, so default
+            // learning output is unchanged.
+            solver_conflicts: 100_000,
+            // Snippets are short basic-block fragments; 4096 steps is
+            // orders of magnitude above any real pair.
+            symexec_steps: 4_096,
+            // One query on the largest suite snippets interns a few
+            // thousand terms; a million is a generous ceiling.
+            term_pool_cap: 1 << 20,
+        }
+    }
+}
+
+/// Recorded reason: the SAT conflict budget ran out.
+pub const REASON_SOLVER_BUDGET: &str = "solver conflict budget exhausted";
+/// Recorded reason: symbolic-execution step fuel ran out.
+pub const REASON_SYMEXEC_FUEL: &str = "symexec step fuel exhausted";
+/// Recorded reason: the term-pool soft cap was exceeded.
+pub const REASON_TERM_CAP: &str = "term pool cap exceeded";
+/// Recorded reason: a learning worker panicked on this item.
+pub const REASON_WORKER_PANIC: &str = "worker panicked";

@@ -132,8 +132,8 @@ mod tests {
         assert!(cache.is_empty());
         let sig = pair_signature(&pair(1, 7), 5);
         assert!(cache.get(&sig).is_none());
-        cache.insert(sig.clone(), VerifyOutcome::Failed(VerifyFail::Other));
+        cache.insert(sig.clone(), VerifyOutcome::Failed(VerifyFail::Other("test")));
         assert_eq!(cache.len(), 1);
-        assert!(matches!(cache.get(&sig), Some(VerifyOutcome::Failed(VerifyFail::Other))));
+        assert!(matches!(cache.get(&sig), Some(VerifyOutcome::Failed(VerifyFail::Other("test")))));
     }
 }

@@ -1,0 +1,86 @@
+//! Env-driven fault injection for exercising the containment layer.
+//!
+//! `LDBT_FAULT=<site>:<seed>` arms exactly one deterministic fault per
+//! run; each site targets a different containment mechanism:
+//!
+//! | site             | injected fault                         | contained by                  |
+//! |------------------|----------------------------------------|-------------------------------|
+//! | `rule-corrupt`   | clobber a rule application's host code | watchdog quarantine (`dbt`)   |
+//! | `solver-exhaust` | force the SAT conflict budget to seed  | budget → `VerifyFail::Other`  |
+//! | `worker-panic`   | panic in one verification worker       | `catch_unwind` isolation      |
+//!
+//! The seed selects *which* item faults (an application index, a budget
+//! value, a worker item index), keeping every injected run reproducible.
+//! Faults are injected only where a [`FaultPlan`] is explicitly threaded
+//! (engine/learn config); library defaults pick the plan up from the
+//! environment once per process.
+
+use std::sync::OnceLock;
+
+/// Where the fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Corrupt the host code of one rule application at lowering time.
+    RuleCorrupt,
+    /// Replace the SAT conflict budget with the seed (0 = every
+    /// SAT-stage query exhausts immediately).
+    SolverExhaust,
+    /// Panic inside one parallel verification worker item.
+    WorkerPanic,
+}
+
+/// One armed fault: a site plus a deterministic seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Injection site.
+    pub site: FaultSite,
+    /// Deterministic selector (meaning depends on the site).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Parse `<site>[:<seed>]`; unknown sites and malformed seeds yield
+    /// `None` (an unparseable plan must never arm a surprise fault).
+    pub fn parse(s: &str) -> Option<FaultPlan> {
+        let (name, seed) = match s.split_once(':') {
+            Some((name, seed)) => (name, seed.parse().ok()?),
+            None => (s, 0),
+        };
+        let site = match name {
+            "rule-corrupt" => FaultSite::RuleCorrupt,
+            "solver-exhaust" => FaultSite::SolverExhaust,
+            "worker-panic" => FaultSite::WorkerPanic,
+            _ => return None,
+        };
+        Some(FaultPlan { site, seed })
+    }
+}
+
+/// The process-wide plan from `LDBT_FAULT`, read once.
+pub fn env_plan() -> Option<FaultPlan> {
+    static PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+    *PLAN.get_or_init(|| std::env::var("LDBT_FAULT").ok().as_deref().and_then(FaultPlan::parse))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_sites_and_seeds() {
+        assert_eq!(
+            FaultPlan::parse("rule-corrupt:3"),
+            Some(FaultPlan { site: FaultSite::RuleCorrupt, seed: 3 })
+        );
+        assert_eq!(
+            FaultPlan::parse("solver-exhaust"),
+            Some(FaultPlan { site: FaultSite::SolverExhaust, seed: 0 })
+        );
+        assert_eq!(
+            FaultPlan::parse("worker-panic:17"),
+            Some(FaultPlan { site: FaultSite::WorkerPanic, seed: 17 })
+        );
+        assert_eq!(FaultPlan::parse("melt-cpu:1"), None);
+        assert_eq!(FaultPlan::parse("rule-corrupt:x"), None);
+    }
+}

@@ -23,8 +23,10 @@
 //! [`rule::RuleSet`] (deduplicated, shortest-host-wins), ready for the
 //! DBT in `ldbt-dbt`.
 
+pub mod budget;
 pub mod cache;
 pub mod extract;
+pub mod fault;
 pub mod par;
 pub mod param;
 pub mod pipeline;
@@ -32,6 +34,8 @@ pub mod prepare;
 pub mod rule;
 pub mod verify;
 
+pub use budget::Budget;
 pub use cache::{VerifyCache, VerifyOutcome};
+pub use fault::{FaultPlan, FaultSite};
 pub use pipeline::{configured_threads, learn_rules, LearnConfig, LearnReport, LearnStats};
 pub use rule::{Rule, RuleOperand, RuleSet};

@@ -69,6 +69,72 @@ where
     run_indexed_with(threads, n, || (), |(), i| job(i))
 }
 
+/// [`run_indexed_with`] with per-item panic isolation.
+///
+/// A `job` panic is contained to its item: the panic is caught, the
+/// item's result comes from `on_panic(i)`, the worker's scratch state is
+/// discarded (it may be poisoned mid-update) and rebuilt with
+/// `make_state` before the next item, and every other item proceeds
+/// normally. When no job panics the output is identical to
+/// [`run_indexed_with`] — isolation never reorders or perturbs results.
+pub fn run_indexed_isolated<S, T, M, F, P>(
+    threads: usize,
+    n: usize,
+    make_state: M,
+    job: F,
+    on_panic: P,
+) -> Vec<T>
+where
+    T: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+    P: Fn(usize) -> T + Sync,
+{
+    let run_one = |state: &mut Option<S>, i: usize| -> T {
+        let s = state.get_or_insert_with(&make_state);
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(s, i))) {
+            Ok(v) => v,
+            Err(_) => {
+                *state = None;
+                on_panic(i)
+            }
+        }
+    };
+    if threads <= 1 || n <= 1 {
+        let mut state = None;
+        return (0..n).map(|i| run_one(&mut state, i)).collect();
+    }
+    let workers = threads.min(n);
+    let chunk = (n / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let collected: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut state = None;
+                    let mut local = Vec::new();
+                    loop {
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        for i in lo..(lo + chunk).min(n) {
+                            local.push((i, run_one(&mut state, i)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in collected.into_iter().flatten() {
+        out[i] = Some(v);
+    }
+    out.into_iter().map(|v| v.expect("every index visited")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +180,40 @@ mod tests {
         );
         assert_eq!(seq, vec![1, 2, 3, 4, 5]);
         assert_eq!(counts.len(), 50);
+    }
+
+    #[test]
+    fn isolated_matches_plain_when_nothing_panics() {
+        for threads in [1, 4] {
+            let plain = run_indexed_with(threads, 40, || (), |(), i| i * 3);
+            let isolated = run_indexed_isolated(threads, 40, || (), |(), i| i * 3, |_| usize::MAX);
+            assert_eq!(plain, isolated, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panics_are_contained_to_their_item() {
+        // Suppress the default panic-to-stderr noise for the injected panics.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1, 4] {
+            let out = run_indexed_isolated(
+                threads,
+                20,
+                || 0u32,
+                |state, i| {
+                    *state += 1;
+                    if i == 7 || i == 13 {
+                        panic!("injected");
+                    }
+                    i
+                },
+                |i| 1000 + i,
+            );
+            let want: Vec<usize> =
+                (0..20).map(|i| if i == 7 || i == 13 { 1000 + i } else { i }).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
+        std::panic::set_hook(prev);
     }
 }

@@ -23,13 +23,15 @@
 //! `LDBT_THREADS` environment knob ([`configured_threads`]);
 //! `LDBT_THREADS=1` takes the pure-sequential path (no threads spawned).
 
+use crate::budget::{Budget, REASON_WORKER_PANIC};
 use crate::cache::{pair_signature, VerifyCache, VerifyOutcome};
 use crate::extract::{extract_with_stats, SnippetPair};
-use crate::par::{run_indexed, run_indexed_with};
+use crate::fault::{FaultPlan, FaultSite};
+use crate::par::{run_indexed, run_indexed_isolated, run_indexed_with};
 use crate::param::{InitialMapping, ParamFail, MAX_MAPPING_TRIES};
 use crate::prepare::{prepare, PrepFail};
 use crate::rule::RuleSet;
-use crate::verify::{verify_in, VerifyFail};
+use crate::verify::{verify_in_budgeted, VerifyFail};
 use ldbt_compiler::{compile_arm, compile_x86, CompileError, Options};
 use ldbt_smt::TermPool;
 use std::collections::HashMap;
@@ -141,11 +143,27 @@ pub struct LearnConfig {
     pub threads: usize,
     /// Initial-mapping try limit per snippet (the paper uses 5).
     pub max_tries: usize,
+    /// Per-query resource budgets for the verify stage.
+    pub budget: Budget,
+    /// Contain per-item panics in the verify stage with `catch_unwind`
+    /// (the panicked item becomes a [`VerifyFail::Other`] outcome). On
+    /// by default; turning it off reverts to fail-fast workers. With no
+    /// panics the output is identical either way.
+    pub isolate: bool,
+    /// Armed fault injection; defaults to the `LDBT_FAULT` environment
+    /// plan ([`crate::fault::env_plan`]). Tests override explicitly.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for LearnConfig {
     fn default() -> Self {
-        LearnConfig { threads: 0, max_tries: MAX_MAPPING_TRIES }
+        LearnConfig {
+            threads: 0,
+            max_tries: MAX_MAPPING_TRIES,
+            budget: Budget::default(),
+            isolate: true,
+            fault: crate::fault::env_plan(),
+        }
     }
 }
 
@@ -155,6 +173,17 @@ impl LearnConfig {
             configured_threads()
         } else {
             self.threads
+        }
+    }
+
+    /// The verify-stage budget after fault injection: `solver-exhaust`
+    /// replaces the SAT conflict budget with the fault seed.
+    fn effective_budget(&self) -> Budget {
+        match self.fault {
+            Some(FaultPlan { site: FaultSite::SolverExhaust, seed }) => {
+                Budget { solver_conflicts: seed, ..self.budget }
+            }
+            _ => self.budget,
         }
     }
 }
@@ -201,11 +230,12 @@ fn verify_pair(
     pool: &mut TermPool,
     pair: &SnippetPair,
     mappings: &[InitialMapping],
+    budget: &Budget,
 ) -> VerifyOutcome {
-    let mut last = VerifyFail::Other;
+    let mut last = VerifyFail::Other("no mapping");
     for m in mappings {
         pool.reset();
-        match verify_in(pool, pair, m) {
+        match verify_in_budgeted(pool, pair, m, budget) {
             Ok(rule) => return VerifyOutcome::Learned(rule),
             Err(f) => last = f,
         }
@@ -333,18 +363,38 @@ pub fn learn_from_source_cached(
     stats.cache_misses = fresh.len();
     stats.cache_hits -= fresh.len();
     let vstart = Instant::now();
-    let outcomes: Vec<VerifyOutcome> = run_indexed_with(threads, fresh.len(), TermPool::new, {
+    let budget = config.effective_budget();
+    // Fault injection: `worker-panic` poisons exactly one verify item,
+    // chosen deterministically by the seed.
+    let panic_at = match config.fault {
+        Some(FaultPlan { site: FaultSite::WorkerPanic, seed }) if !fresh.is_empty() => {
+            Some(seed as usize % fresh.len())
+        }
+        _ => None,
+    };
+    let job = {
         let pairs = &pairs;
         let classified = &classified;
         let fresh = &fresh;
-        move |pool, k| {
+        let budget = &budget;
+        move |pool: &mut TermPool, k: usize| {
+            if panic_at == Some(k) {
+                panic!("injected worker panic (LDBT_FAULT=worker-panic)");
+            }
             let (_, rep) = fresh[k];
             match &classified[rep] {
-                Classified::Ready(mappings) => verify_pair(pool, &pairs[rep], mappings),
+                Classified::Ready(mappings) => verify_pair(pool, &pairs[rep], mappings, budget),
                 _ => unreachable!("fresh groups come from Ready pairs"),
             }
         }
-    });
+    };
+    let outcomes: Vec<VerifyOutcome> = if config.isolate {
+        run_indexed_isolated(threads, fresh.len(), TermPool::new, job, |_| {
+            VerifyOutcome::Failed(VerifyFail::Other(REASON_WORKER_PANIC))
+        })
+    } else {
+        run_indexed_with(threads, fresh.len(), TermPool::new, job)
+    };
     stats.verify_time = vstart.elapsed();
 
     // Record fresh outcomes in the cache and resolve every group.
@@ -384,7 +434,7 @@ pub fn learn_from_source_cached(
                     VerifyOutcome::Failed(VerifyFail::Registers) => stats.ver_rg += 1,
                     VerifyOutcome::Failed(VerifyFail::Memory) => stats.ver_mm += 1,
                     VerifyOutcome::Failed(VerifyFail::Branch) => stats.ver_br += 1,
-                    VerifyOutcome::Failed(VerifyFail::Other) => stats.ver_other += 1,
+                    VerifyOutcome::Failed(VerifyFail::Other(_)) => stats.ver_other += 1,
                 }
             }
         }

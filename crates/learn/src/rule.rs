@@ -352,6 +352,18 @@ impl Rule {
         canon
     }
 
+    /// A stable 64-bit identity for quarantine bookkeeping.
+    ///
+    /// Hashes [`Rule::dedup_key`], so the key survives `RuleSet` clones,
+    /// merges, and re-learning of the same rule — a tombstone laid down
+    /// against one copy suppresses every equivalent copy.
+    pub fn stable_key(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.dedup_key().hash(&mut h);
+        h.finish()
+    }
+
     /// A complete canonical rendering of the rule.
     ///
     /// Extends [`Rule::dedup_key`] with the host side: host registers
@@ -484,6 +496,10 @@ pub struct RuleSet {
     buckets: BTreeMap<u32, Vec<Rule>>,
     len: usize,
     dedup: HashMap<String, (u32, usize)>,
+    /// Quarantined rules by [`Rule::stable_key`]. Tombstoned rules stay
+    /// in their buckets (so [`RuleSet::len`] and learning statistics are
+    /// unaffected) but are skipped by matching.
+    tombstones: std::collections::HashSet<u64>,
     /// Ablation knob: when `true` (default via [`RuleSet::new`]) a
     /// duplicate guest template keeps the host sequence with fewer
     /// instructions (paper §6.1); when `false`, first-found wins.
@@ -535,12 +551,41 @@ impl RuleSet {
         true
     }
 
+    /// Quarantine a rule by stable key: the rule keeps its bucket slot
+    /// but is skipped by [`RuleSet::candidates`], [`RuleSet::lookup`],
+    /// and [`RuleSet::lookup_linear`] from now on. Returns `true` when
+    /// the key was not already tombstoned.
+    pub fn tombstone(&mut self, key: u64) -> bool {
+        self.tombstones.insert(key)
+    }
+
+    /// Whether a stable key has been quarantined.
+    pub fn is_tombstoned(&self, key: u64) -> bool {
+        self.tombstones.contains(&key)
+    }
+
+    /// Number of quarantined rule keys.
+    pub fn tombstoned_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Whether matching may use this rule (not tombstoned). The
+    /// empty-set fast path keeps the no-quarantine lookup cost at zero
+    /// (no `dedup_key` rendering per candidate).
+    fn is_active(&self, r: &Rule) -> bool {
+        self.tombstones.is_empty() || !self.tombstones.contains(&r.stable_key())
+    }
+
     /// All rules whose hash key matches `seq`'s and whose length equals
     /// `seq.len()` — the candidates for matching.
     pub fn candidates(&self, seq: &[ArmInstr]) -> impl Iterator<Item = &Rule> {
         let key = hash_key(seq);
         let n = seq.len();
-        self.buckets.get(&key).into_iter().flatten().filter(move |r| r.len() == n)
+        self.buckets
+            .get(&key)
+            .into_iter()
+            .flatten()
+            .filter(move |r| r.len() == n && self.is_active(r))
     }
 
     /// Find the first rule matching `seq`, with its binding.
@@ -565,7 +610,7 @@ impl RuleSet {
         let mut probes = 0;
         for r in self.iter() {
             probes += 1;
-            if r.len() != seq.len() {
+            if r.len() != seq.len() || !self.is_active(r) {
                 continue;
             }
             if let Some(b) = r.matches(seq) {
@@ -610,6 +655,9 @@ impl RuleSet {
                 self.len += 1;
             }
         }
+        // Quarantine is sticky across composition: a rule tombstoned in
+        // either input stays quarantined in the union.
+        self.tombstones.extend(&other.tombstones);
         self.normalize();
     }
 
@@ -721,6 +769,30 @@ mod tests {
         });
         assert_eq!(host.len(), 1);
         assert_eq!(host[0].to_string(), "leal -12(%esi,%eax,1), %esi");
+    }
+
+    #[test]
+    fn tombstoned_rule_is_skipped_by_matching() {
+        let rule = figure1_rule();
+        let seq = [
+            ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Reg(ArmReg::R7)),
+            ArmInstr::dp(DpOp::Sub, ArmReg::R4, ArmReg::R4, Operand2::Imm(12)),
+        ];
+        let key = rule.stable_key();
+        let mut set = RuleSet::new();
+        set.insert(rule);
+        assert!(set.lookup(&seq).is_some());
+        assert!(set.tombstone(key), "first tombstone is new");
+        assert!(!set.tombstone(key), "second tombstone is a no-op");
+        assert!(set.is_tombstoned(key));
+        assert_eq!(set.tombstoned_count(), 1);
+        assert_eq!(set.len(), 1, "tombstoning does not remove the rule");
+        assert!(set.lookup(&seq).is_none(), "matching skips quarantined rules");
+        assert!(set.lookup_linear(&seq).0.is_none());
+        // Quarantine survives order-independent merges.
+        let mut merged = RuleSet::new();
+        merged.merge(&set);
+        assert!(merged.lookup(&seq).is_none());
     }
 
     #[test]

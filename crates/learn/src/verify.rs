@@ -18,13 +18,16 @@
 //! host code because it is built directly from the guest register's final
 //! symbolic value.
 
+use crate::budget::{Budget, REASON_SOLVER_BUDGET, REASON_SYMEXEC_FUEL, REASON_TERM_CAP};
 use crate::extract::SnippetPair;
 use crate::param::InitialMapping;
 use crate::rule::{ImmRel, ImmSlot, Rule};
 use ldbt_arm::ArmReg;
 use ldbt_smt::term::Term;
 use ldbt_smt::{check_equiv_budget, EquivResult, TermId, TermPool};
-use ldbt_symexec::{exec_arm_seq, exec_x86_seq, ImmRole, MemOracle, SymArmState, SymX86State};
+use ldbt_symexec::{
+    exec_arm_seq_fuel, exec_x86_seq_fuel, ImmRole, MemOracle, SymArmState, SymHazard, SymX86State,
+};
 use ldbt_x86::{Gpr, X86Instr, X86Mem};
 use std::collections::{HashMap, HashSet};
 
@@ -37,12 +40,21 @@ pub enum VerifyFail {
     Memory,
     /// Inequivalent branch conditions ("Br").
     Branch,
-    /// Symbolic-execution hazards, solver timeouts, … ("Other").
-    Other,
+    /// Symbolic-execution hazards, budget exhaustion, … ("Other"),
+    /// carrying the recorded reason for diagnostics.
+    Other(&'static str),
 }
 
-/// SAT conflict budget per equivalence query.
-const EQUIV_BUDGET: u64 = 100_000;
+/// The `Other` reason for a symbolic-execution hazard.
+fn hazard_reason(h: SymHazard) -> &'static str {
+    match h {
+        SymHazard::MayAlias => "symexec: possible aliasing",
+        SymHazard::MixedWidth => "symexec: mixed-width access",
+        SymHazard::Unsupported(what) => what,
+        SymHazard::MidBlockBranch => "symexec: mid-block branch",
+        SymHazard::OutOfFuel => REASON_SYMEXEC_FUEL,
+    }
+}
 
 fn slot_of(role: ImmRole) -> ImmSlot {
     match role {
@@ -77,6 +89,26 @@ pub fn verify_in(
     pair: &SnippetPair,
     mapping: &InitialMapping,
 ) -> Result<Rule, VerifyFail> {
+    verify_in_budgeted(pool, pair, mapping, &Budget::default())
+}
+
+/// [`verify_in`] under explicit resource budgets.
+///
+/// Exhausting any budget (symexec step fuel, term-pool cap, SAT conflict
+/// budget) fails the query with [`VerifyFail::Other`] carrying the
+/// exhausted resource as its reason — verification of one pair is always
+/// bounded work.
+///
+/// # Errors
+///
+/// Returns the Table 1 verification-failure category.
+pub fn verify_in_budgeted(
+    pool: &mut TermPool,
+    pair: &SnippetPair,
+    mapping: &InitialMapping,
+    budget: &Budget,
+) -> Result<Rule, VerifyFail> {
+    pool.set_soft_cap(budget.term_pool_cap);
     let guest_seq = pair.guest_instrs();
     let host_seq = pair.host_instrs();
     let mut oracle = MemOracle::new();
@@ -129,16 +161,25 @@ pub fn verify_in(
         }
     };
 
-    let gout = exec_arm_seq(pool, &guest_seq, guest_init, &mut oracle, &mut guest_binder)
-        .map_err(|_| VerifyFail::Other)?;
-    let hout = exec_x86_seq(pool, &host_seq, host_init, &mut oracle, &mut host_binder)
-        .map_err(|_| VerifyFail::Other)?;
+    let fuel = budget.symexec_steps;
+    let gout =
+        exec_arm_seq_fuel(pool, &guest_seq, guest_init, &mut oracle, &mut guest_binder, fuel)
+            .map_err(|h| VerifyFail::Other(hazard_reason(h)))?;
+    let hout = exec_x86_seq_fuel(pool, &host_seq, host_init, &mut oracle, &mut host_binder, fuel)
+        .map_err(|h| VerifyFail::Other(hazard_reason(h)))?;
+    if pool.over_cap() {
+        return Err(VerifyFail::Other(REASON_TERM_CAP));
+    }
 
-    let equiv = |pool: &mut TermPool, a: TermId, b: TermId| -> Result<bool, VerifyFail> {
-        match check_equiv_budget(pool, a, b, EQUIV_BUDGET) {
+    let conflicts = budget.solver_conflicts;
+    let equiv = move |pool: &mut TermPool, a: TermId, b: TermId| -> Result<bool, VerifyFail> {
+        if pool.over_cap() {
+            return Err(VerifyFail::Other(REASON_TERM_CAP));
+        }
+        match check_equiv_budget(pool, a, b, conflicts) {
             EquivResult::Proved => Ok(true),
             EquivResult::Refuted(_) => Ok(false),
-            EquivResult::Unknown => Err(VerifyFail::Other),
+            EquivResult::Unknown => Err(VerifyFail::Other(REASON_SOLVER_BUDGET)),
         }
     };
 
@@ -413,8 +454,8 @@ mod tests {
     }
 
     fn learn_one(pair: &SnippetPair) -> Result<Rule, VerifyFail> {
-        let mappings = initial_mappings(pair).map_err(|_| VerifyFail::Other)?;
-        let mut last = Err(VerifyFail::Other);
+        let mappings = initial_mappings(pair).map_err(|_| VerifyFail::Other("no mapping"))?;
+        let mut last = Err(VerifyFail::Other("no mapping"));
         for m in &mappings {
             last = verify(pair, m);
             if last.is_ok() {
@@ -646,5 +687,60 @@ mod tests {
         // Unmapped variable → None.
         let y = pool.var("y", 32);
         assert!(synthesize(&pool, y, &map).is_none());
+    }
+
+    /// The figure-1 pair plus its best initial mapping, for budget tests.
+    fn figure1_pair_and_mapping() -> (SnippetPair, InitialMapping) {
+        let pair = mkpair(
+            vec![
+                (ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Reg(ArmReg::R0)), None),
+                (ArmInstr::dp(DpOp::Sub, ArmReg::R1, ArmReg::R1, Operand2::Imm(1)), None),
+            ],
+            vec![(
+                X86Instr::Lea {
+                    dst: Gpr::Edx,
+                    addr: X86Mem { base: Some(Gpr::Edx), index: Some((Gpr::Eax, 1)), disp: -1 },
+                },
+                None,
+            )],
+        );
+        let mappings = initial_mappings(&pair).expect("mappings");
+        let m = mappings
+            .iter()
+            .find(|m| {
+                verify_in_budgeted(&mut TermPool::new(), &pair, m, &Budget::default()).is_ok()
+            })
+            .expect("a verifying mapping exists")
+            .clone();
+        (pair, m)
+    }
+
+    #[test]
+    fn zero_symexec_fuel_fails_with_recorded_reason() {
+        let (pair, m) = figure1_pair_and_mapping();
+        let budget = Budget { symexec_steps: 0, ..Budget::default() };
+        let err = verify_in_budgeted(&mut TermPool::new(), &pair, &m, &budget).unwrap_err();
+        assert_eq!(err, VerifyFail::Other(REASON_SYMEXEC_FUEL));
+    }
+
+    #[test]
+    fn tiny_term_cap_fails_with_recorded_reason() {
+        let (pair, m) = figure1_pair_and_mapping();
+        let budget = Budget { term_pool_cap: 4, ..Budget::default() };
+        let err = verify_in_budgeted(&mut TermPool::new(), &pair, &m, &budget).unwrap_err();
+        assert_eq!(err, VerifyFail::Other(REASON_TERM_CAP));
+    }
+
+    #[test]
+    fn exhausted_budget_does_not_poison_the_pool() {
+        // The same pool must verify the pair normally after a budgeted
+        // failure — exhaustion is a per-query outcome, not pool damage.
+        let (pair, m) = figure1_pair_and_mapping();
+        let mut pool = TermPool::new();
+        let budget = Budget { symexec_steps: 0, ..Budget::default() };
+        assert!(verify_in_budgeted(&mut pool, &pair, &m, &budget).is_err());
+        pool.reset();
+        pool.set_soft_cap(usize::MAX);
+        assert!(verify_in_budgeted(&mut pool, &pair, &m, &Budget::default()).is_ok());
     }
 }

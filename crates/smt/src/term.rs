@@ -131,12 +131,25 @@ fn sext64(value: u64, width: u32) -> i64 {
 }
 
 /// The arena interning [`Term`]s.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TermPool {
     terms: Vec<Term>,
     index: HashMap<Term, TermId>,
     sym_names: Vec<String>,
     sym_index: HashMap<String, u32>,
+    soft_cap: usize,
+}
+
+impl Default for TermPool {
+    fn default() -> Self {
+        TermPool {
+            terms: Vec::new(),
+            index: HashMap::new(),
+            sym_names: Vec::new(),
+            sym_index: HashMap::new(),
+            soft_cap: usize::MAX,
+        }
+    }
 }
 
 impl TermPool {
@@ -156,6 +169,19 @@ impl TermPool {
         self.index.clear();
         self.sym_names.clear();
         self.sym_index.clear();
+    }
+
+    /// Set a soft cap on the number of live terms. The pool never refuses
+    /// an allocation (term construction stays infallible); instead callers
+    /// poll [`TermPool::over_cap`] at natural checkpoints and abandon the
+    /// query when the cap is exceeded. [`TermPool::reset`] keeps the cap.
+    pub fn set_soft_cap(&mut self, cap: usize) {
+        self.soft_cap = cap;
+    }
+
+    /// Whether the pool has grown past its soft cap.
+    pub fn over_cap(&self) -> bool {
+        self.terms.len() > self.soft_cap
     }
 
     /// The term behind an id.

@@ -169,6 +169,20 @@ pub fn exec_arm_seq(
     oracle: &mut MemOracle,
     binder: &mut ImmBinder,
 ) -> Result<ArmSymOutcome, SymHazard> {
+    exec_arm_seq_fuel(pool, seq, init, oracle, binder, usize::MAX)
+}
+
+/// [`exec_arm_seq`] with an explicit step-fuel budget: executing more
+/// than `fuel` instructions yields [`SymHazard::OutOfFuel`] instead of
+/// running unboundedly on adversarial or degenerate snippets.
+pub fn exec_arm_seq_fuel(
+    pool: &mut TermPool,
+    seq: &[ArmInstr],
+    init: SymArmState,
+    oracle: &mut MemOracle,
+    binder: &mut ImmBinder,
+    fuel: usize,
+) -> Result<ArmSymOutcome, SymHazard> {
     let mut state = init;
     let mut defined: Vec<ArmReg> = Vec::new();
     let mut flags_defined = 0u8;
@@ -182,6 +196,9 @@ pub fn exec_arm_seq(
     };
 
     for (idx, instr) in seq.iter().enumerate() {
+        if idx >= fuel {
+            return Err(SymHazard::OutOfFuel);
+        }
         if branch_cond.is_some() {
             return Err(SymHazard::MidBlockBranch);
         }

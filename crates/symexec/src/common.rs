@@ -22,6 +22,8 @@ pub enum SymHazard {
     Unsupported(&'static str),
     /// A branch that is not the final instruction of the sequence.
     MidBlockBranch,
+    /// The caller's step-fuel budget ran out before the sequence ended.
+    OutOfFuel,
 }
 
 impl fmt::Display for SymHazard {
@@ -31,6 +33,7 @@ impl fmt::Display for SymHazard {
             SymHazard::MixedWidth => write!(f, "mixed-width access to one location"),
             SymHazard::Unsupported(what) => write!(f, "unsupported instruction: {what}"),
             SymHazard::MidBlockBranch => write!(f, "branch before end of sequence"),
+            SymHazard::OutOfFuel => write!(f, "symbolic step fuel exhausted"),
         }
     }
 }

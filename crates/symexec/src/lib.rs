@@ -27,6 +27,6 @@ pub mod arm;
 pub mod common;
 pub mod x86;
 
-pub use arm::{exec_arm_seq, ArmSymOutcome, SymArmState};
+pub use arm::{exec_arm_seq, exec_arm_seq_fuel, ArmSymOutcome, SymArmState};
 pub use common::{ImmBinder, ImmRole, MemOracle, SymFlags, SymHazard};
-pub use x86::{exec_x86_seq, SymX86State, X86SymOutcome};
+pub use x86::{exec_x86_seq, exec_x86_seq_fuel, SymX86State, X86SymOutcome};

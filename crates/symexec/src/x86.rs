@@ -119,6 +119,20 @@ pub fn exec_x86_seq(
     oracle: &mut MemOracle,
     binder: &mut ImmBinder,
 ) -> Result<X86SymOutcome, SymHazard> {
+    exec_x86_seq_fuel(pool, seq, init, oracle, binder, usize::MAX)
+}
+
+/// [`exec_x86_seq`] with an explicit step-fuel budget: executing more
+/// than `fuel` instructions yields [`SymHazard::OutOfFuel`] instead of
+/// running unboundedly on adversarial or degenerate snippets.
+pub fn exec_x86_seq_fuel(
+    pool: &mut TermPool,
+    seq: &[X86Instr],
+    init: SymX86State,
+    oracle: &mut MemOracle,
+    binder: &mut ImmBinder,
+    fuel: usize,
+) -> Result<X86SymOutcome, SymHazard> {
     let mut state = init;
     let mut defined: Vec<Gpr> = Vec::new();
     let mut flags_defined = 0u8;
@@ -156,6 +170,9 @@ pub fn exec_x86_seq(
     }
 
     for (idx, instr) in seq.iter().enumerate() {
+        if idx >= fuel {
+            return Err(SymHazard::OutOfFuel);
+        }
         if branch_cond.is_some() {
             return Err(SymHazard::MidBlockBranch);
         }

@@ -941,6 +941,40 @@ mod tests {
     }
 
     #[test]
+    fn truncated_and_garbage_streams_never_panic() {
+        // Truncations of every valid encoding must error, not panic.
+        let samples = [
+            X86Instr::mov_imm(Gpr::Eax, 0x1234_5678u32 as i32),
+            X86Instr::Mov {
+                dst: Operand::Mem(X86Mem {
+                    base: Some(Gpr::Esp),
+                    index: Some((Gpr::Eax, 4)),
+                    disp: -8,
+                }),
+                src: Operand::Reg(Gpr::Ecx),
+            },
+            X86Instr::alu_ri(AluOp::Add, Gpr::Edx, 1000),
+            X86Instr::Jcc { cc: Cc::Ne, target: -3 },
+        ];
+        for instr in &samples {
+            let bytes = encode(instr).unwrap();
+            for cut in 0..bytes.len() {
+                assert!(decode(&bytes[..cut]).is_err(), "{instr} truncated to {cut} bytes");
+            }
+        }
+        // Pseudo-random garbage streams: decode must always return.
+        let mut state = 0x8bad_f00du32;
+        for _ in 0..4096 {
+            let mut buf = [0u8; 16];
+            for b in buf.iter_mut() {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                *b = (state >> 24) as u8;
+            }
+            let _ = decode(&buf);
+        }
+    }
+
+    #[test]
     fn decoded_length_is_consumed_bytes() {
         // Decode must report exact lengths so disassembly can walk a
         // stream; verify by concatenating instructions.

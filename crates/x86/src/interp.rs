@@ -38,6 +38,10 @@ pub enum X86Event {
     Return,
     /// `hlt` executed.
     Halt,
+    /// The instruction was malformed (e.g. writes an immediate operand);
+    /// execution cannot continue. Surfaced instead of panicking so a
+    /// corrupted translation faults the engine rather than the process.
+    Fault,
 }
 
 impl X86State {
@@ -76,15 +80,18 @@ impl X86State {
         }
     }
 
-    fn write_operand(&mut self, op: &Operand, v: u32) {
+    /// Write an operand; `false` means the operand is not writable (an
+    /// immediate destination in a malformed instruction).
+    fn write_operand(&mut self, op: &Operand, v: u32) -> bool {
         match op {
             Operand::Reg(r) => self.set_reg(*r, v),
             Operand::Mem(m) => {
                 let a = self.effective_addr(m);
                 self.mem.write(a, v, Width::W32);
             }
-            Operand::Imm(_) => panic!("write to immediate operand"),
+            Operand::Imm(_) => return false,
         }
+        true
     }
 
     fn push(&mut self, v: u32) {
@@ -105,15 +112,17 @@ impl X86State {
         match *instr {
             X86Instr::Mov { dst, src } => {
                 let v = self.read_operand(&src);
-                self.write_operand(&dst, v);
+                if !self.write_operand(&dst, v) {
+                    return X86Event::Fault;
+                }
             }
             X86Instr::Alu { op, dst, src } => {
                 let a = self.read_operand(&dst);
                 let b = self.read_operand(&src);
                 let r = eval_alu(op, a, b, self.flags);
                 self.flags = r.flags;
-                if !op.is_compare() {
-                    self.write_operand(&dst, r.value);
+                if !op.is_compare() && !self.write_operand(&dst, r.value) {
+                    return X86Event::Fault;
                 }
             }
             X86Instr::Lea { dst, addr } => {
@@ -128,12 +137,16 @@ impl X86State {
             X86Instr::Shift { op, dst, count } => {
                 let r = eval_shift(op, self.read_operand(&dst), count, self.flags);
                 self.flags = r.flags;
-                self.write_operand(&dst, r.value);
+                if !self.write_operand(&dst, r.value) {
+                    return X86Event::Fault;
+                }
             }
             X86Instr::Un { op, dst } => {
                 let r = eval_un(op, self.read_operand(&dst), self.flags);
                 self.flags = r.flags;
-                self.write_operand(&dst, r.value);
+                if !self.write_operand(&dst, r.value) {
+                    return X86Event::Fault;
+                }
             }
             X86Instr::Movx { sign, width, dst, src } => {
                 let raw = match src {
@@ -168,7 +181,9 @@ impl X86State {
             }
             X86Instr::Pop { dst } => {
                 let v = self.pop();
-                self.write_operand(&dst, v);
+                if !self.write_operand(&dst, v) {
+                    return X86Event::Fault;
+                }
             }
             X86Instr::Pushfd => {
                 let w = self.flags.to_word();
@@ -198,6 +213,8 @@ pub enum SeqExit {
     OutOfFuel,
     /// Control fell off the end or jumped outside the sequence.
     FellThrough,
+    /// A malformed instruction faulted (see [`X86Event::Fault`]).
+    Faulted,
 }
 
 /// Execute an instruction sequence from index 0.
@@ -237,6 +254,7 @@ pub fn run_seq(
             }
             X86Event::JumpInd(addr) => return SeqExit::JumpedOut(addr),
             X86Event::Halt => return SeqExit::Halted,
+            X86Event::Fault => return SeqExit::Faulted,
         }
     }
     SeqExit::OutOfFuel
@@ -427,6 +445,15 @@ mod tests {
         assert_eq!(exit, SeqExit::FellThrough);
         let (_, exit) = run(&[X86Instr::Jmp { target: 5 }], |_| {});
         assert_eq!(exit, SeqExit::FellThrough);
+    }
+
+    #[test]
+    fn malformed_write_to_immediate_faults_instead_of_panicking() {
+        let (_, exit) =
+            run(&[X86Instr::Mov { dst: Operand::Imm(3), src: Operand::Reg(Gpr::Eax) }], |_| {});
+        assert_eq!(exit, SeqExit::Faulted);
+        let (_, exit) = run(&[X86Instr::Pop { dst: Operand::Imm(0) }], |_| {});
+        assert_eq!(exit, SeqExit::Faulted);
     }
 
     #[test]

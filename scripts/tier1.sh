@@ -7,3 +7,11 @@ cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+
+# Fault-injection smoke matrix: every LDBT_FAULT site must degrade
+# gracefully under the watchdog — run completes, faulty rule/snippet is
+# quarantined, guest output stays identical to pure TCG.
+for fault in rule-corrupt:0 solver-exhaust:0 worker-panic:0; do
+    LDBT_WATCHDOG=1 LDBT_FAULT="$fault" \
+        cargo test -q --release --test fault_injection
+done

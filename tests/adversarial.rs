@@ -120,7 +120,8 @@ int main() {
         unemulated_flags: 0,
         has_branch: false,
     });
-    let mut evil_engine = Engine::new(&image, Translator::Rules(Rc::new(evil)));
+    let mut evil_engine =
+        Engine::new(&image, Translator::Rules(Rc::new(evil))).with_watchdog(None).with_fault(None);
     assert_eq!(evil_engine.run(10_000_000), RunOutcome::Halted);
     assert_ne!(
         evil_engine.guest_reg(ArmReg::R0),
@@ -128,6 +129,46 @@ int main() {
         "the corrupted rule must visibly change the result (rules execute)"
     );
     assert!(evil_engine.stats.guest_dyn_covered > 0);
+}
+
+/// The watchdog catches the same deliberately corrupted rule within its
+/// sampling window, tombstones it exactly once, and the run completes
+/// with output identical to the pure-TCG run.
+#[test]
+fn watchdog_quarantines_corrupted_rule() {
+    let src = "
+int main() {
+  int s = 0;
+  for (int i = 0; i < 10; i += 1) { s = s + i; s = s ^ 3; }
+  return s;
+}";
+    let image = build_arm_image(src, &Options::o2()).unwrap();
+    let mut base = Engine::new(&image, Translator::Tcg).with_watchdog(None).with_fault(None);
+    assert_eq!(base.run(10_000_000), RunOutcome::Halted);
+    let want = base.guest_reg(ArmReg::R0);
+
+    // The same wrong "rule" as `rules_are_load_bearing` — injected past
+    // verification straight into the rule set.
+    let mut evil = RuleSet::new();
+    evil.insert(Rule {
+        guest: vec![ArmInstr::dp(DpOp::Eor, ArmReg::R0, ArmReg::R0, Operand2::Imm(3))],
+        host: vec![X86Instr::alu_ri(AluOp::Xor, Gpr::Ecx, 2)],
+        host_reg_of: [(Gpr::Ecx, ArmReg::R0)].into_iter().collect(),
+        imm_params: vec![],
+        unemulated_flags: 0,
+        has_branch: false,
+    });
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(evil)))
+        .with_watchdog(Some(1))
+        .with_fault(None);
+    assert_eq!(e.run(10_000_000), RunOutcome::Halted);
+    assert_eq!(
+        e.guest_reg(ArmReg::R0),
+        want,
+        "after quarantine the run must produce the TCG result"
+    );
+    assert!(e.stats.watchdog_checks > 0, "the corrupted block was sampled");
+    assert_eq!(e.stats.quarantined_rules, 1, "the one bad rule is tombstoned exactly once");
 }
 
 /// The repair synthesizer's output is itself verified: a snippet whose

@@ -45,3 +45,37 @@ fn parallel_learning_matches_sequential_on_the_suite() {
     }
     assert_eq!(seq_cache.len(), par_cache.len(), "memo caches diverge");
 }
+
+/// Panic isolation is invisible when nothing panics: with no fault
+/// injected, learning is byte-identical with and without `isolate`, and
+/// across thread counts — counters and the canonical rule dump both.
+#[test]
+fn isolation_and_thread_count_do_not_change_learning() {
+    let programs = ["mcf", "libquantum"];
+    let reference = {
+        let cfg = LearnConfig { threads: 1, isolate: false, fault: None, ..LearnConfig::default() };
+        learn_programs(&programs, &cfg)
+    };
+    for threads in [1, 2, 4] {
+        for isolate in [false, true] {
+            let cfg = LearnConfig { threads, isolate, fault: None, ..LearnConfig::default() };
+            let got = learn_programs(&programs, &cfg);
+            assert_eq!(reference, got, "learning diverged at threads={threads} isolate={isolate}");
+        }
+    }
+}
+
+/// Learn `programs` under `cfg` and return the comparable outcome:
+/// per-program Table-1 counters plus the canonical rule dump.
+fn learn_programs(programs: &[&str], cfg: &LearnConfig) -> Vec<([usize; 14], Vec<String>)> {
+    let mut cache = VerifyCache::new();
+    programs
+        .iter()
+        .map(|name| {
+            let b = ldbt_workloads::benchmark(name).unwrap();
+            let src = source(b, Workload::Ref);
+            let r = learn_from_source_cached(name, &src, &Options::o2(), cfg, &mut cache).unwrap();
+            (r.stats.counters(), r.rules.iter().map(Rule::canonical_text).collect())
+        })
+        .collect()
+}

@@ -1,0 +1,155 @@
+//! Fault-injection harness (`LDBT_FAULT`, `LDBT_WATCHDOG`).
+//!
+//! Each injection site must degrade gracefully, never abort: a corrupted
+//! rule is caught by the watchdog and quarantined, an exhausted solver
+//! budget surfaces as recorded `Other` verification failures, a panicking
+//! verify worker loses only its item — and in every case the guest's
+//! final state is bit-identical to a pure-TCG run (rules are verified or
+//! dropped, never trusted blindly).
+
+use ldbt_arm::ArmReg;
+use ldbt_compiler::{link::build_arm_image, Options};
+use ldbt_dbt::engine::{RunOutcome, Translator};
+use ldbt_dbt::Engine;
+use ldbt_learn::cache::VerifyCache;
+use ldbt_learn::pipeline::{learn_from_source_cached, LearnConfig};
+use ldbt_learn::{FaultPlan, FaultSite, RuleSet};
+use std::rc::Rc;
+
+/// A small program with rule-friendly inner-loop arithmetic.
+const SRC: &str = "
+int a[16];
+int main() {
+  int s = 0;
+  for (int i = 0; i < 16; i += 1) { a[i] = i * 5 + 1; }
+  for (int i = 0; i < 16; i += 1) {
+    s = s + a[i];
+    s = s - 1;
+    s = s ^ 3;
+  }
+  return s & 0xffff;
+}";
+
+fn clean_config() -> LearnConfig {
+    LearnConfig { fault: None, ..LearnConfig::default() }
+}
+
+fn learn(config: &LearnConfig) -> (RuleSet, ldbt_learn::LearnStats) {
+    let report =
+        learn_from_source_cached("fi", SRC, &Options::o2(), config, &mut VerifyCache::new())
+            .expect("learning completes");
+    (report.rules, report.stats)
+}
+
+/// The pure-TCG reference result for `SRC`.
+fn tcg_want(image: &ldbt_compiler::ArmImage) -> u32 {
+    let mut base = Engine::new(image, Translator::Tcg).with_watchdog(None).with_fault(None);
+    assert_eq!(base.run(50_000_000), RunOutcome::Halted);
+    base.guest_reg(ArmReg::R0)
+}
+
+#[test]
+fn clean_watchdog_run_quarantines_nothing() {
+    let image = build_arm_image(SRC, &Options::o2()).unwrap();
+    let want = tcg_want(&image);
+    let (rules, _) = learn(&clean_config());
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+        .with_watchdog(Some(1))
+        .with_fault(None);
+    assert_eq!(e.run(50_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), want, "watchdog must not perturb a clean run");
+    assert!(e.stats.guest_dyn_covered > 0, "rules must actually apply");
+    assert!(e.stats.watchdog_checks > 0, "rule-covered dispatches were sampled");
+    assert_eq!(e.stats.quarantined_rules, 0, "verified rules never mismatch");
+}
+
+#[test]
+fn rule_corrupt_is_quarantined_and_output_matches_tcg() {
+    let image = build_arm_image(SRC, &Options::o2()).unwrap();
+    let want = tcg_want(&image);
+    let (rules, _) = learn(&clean_config());
+    let fault = FaultPlan { site: FaultSite::RuleCorrupt, seed: 0 };
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+        .with_watchdog(Some(1))
+        .with_fault(Some(fault));
+    assert_eq!(e.run(50_000_000), RunOutcome::Halted, "corruption must not abort the run");
+    assert_eq!(e.guest_reg(ArmReg::R0), want, "quarantine must restore TCG-identical output");
+    assert!(e.stats.watchdog_checks > 0);
+    assert!(
+        e.stats.quarantined_rules >= 1,
+        "the corrupted rule application must be caught and tombstoned"
+    );
+}
+
+#[test]
+fn solver_exhaust_degrades_yield_without_abort() {
+    let (clean_rules, clean_stats) = learn(&clean_config());
+    let fault = FaultPlan { site: FaultSite::SolverExhaust, seed: 0 };
+    let config = LearnConfig { fault: Some(fault), ..LearnConfig::default() };
+    let (rules, stats) = learn(&config);
+    assert!(rules.len() <= clean_rules.len(), "an exhausted solver can only lose rules");
+    assert!(
+        stats.ver_other >= clean_stats.ver_other,
+        "budget exhaustion is recorded as Other failures"
+    );
+    // Whatever survived is still verified: the DBT result stays exact.
+    let image = build_arm_image(SRC, &Options::o2()).unwrap();
+    let want = tcg_want(&image);
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+        .with_watchdog(Some(1))
+        .with_fault(None);
+    assert_eq!(e.run(50_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), want);
+    assert_eq!(e.stats.quarantined_rules, 0);
+}
+
+#[test]
+fn worker_panic_loses_only_its_item() {
+    let (clean_rules, _) = learn(&clean_config());
+    let fault = FaultPlan { site: FaultSite::WorkerPanic, seed: 3 };
+    // Suppress the injected panic's default stderr backtrace.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let config = LearnConfig { fault: Some(fault), isolate: true, ..LearnConfig::default() };
+    let (rules, stats) = learn(&config);
+    std::panic::set_hook(prev);
+    assert!(stats.ver_other >= 1, "the panicked item is recorded as an Other failure");
+    assert!(
+        clean_rules.len().saturating_sub(rules.len()) <= 1,
+        "at most the panicked item's rule is lost ({} vs {})",
+        rules.len(),
+        clean_rules.len()
+    );
+    // The surviving set still runs exactly.
+    let image = build_arm_image(SRC, &Options::o2()).unwrap();
+    let want = tcg_want(&image);
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+        .with_watchdog(Some(1))
+        .with_fault(None);
+    assert_eq!(e.run(50_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), want);
+}
+
+/// The `scripts/tier1.sh` smoke matrix drives this test with every
+/// `LDBT_FAULT=<site>:<seed>` and `LDBT_WATCHDOG=1`: learning and the
+/// engine pick the plan up from the environment (their defaults), and the
+/// run must still complete with a pure-TCG-identical result.
+#[test]
+fn env_driven_fault_run_completes_identical_to_tcg() {
+    let image = build_arm_image(SRC, &Options::o2()).unwrap();
+    let want = tcg_want(&image);
+    // Defaults: fault and watchdog from the environment.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (rules, _) = learn(&LearnConfig::default());
+    std::panic::set_hook(prev);
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)));
+    assert_eq!(e.run(50_000_000), RunOutcome::Halted, "no fault plan may abort the run");
+    assert_eq!(
+        e.guest_reg(ArmReg::R0),
+        want,
+        "guest-visible output must stay bit-identical to pure TCG under LDBT_FAULT={:?} LDBT_WATCHDOG={:?}",
+        std::env::var("LDBT_FAULT").ok(),
+        std::env::var("LDBT_WATCHDOG").ok(),
+    );
+}
