@@ -1,0 +1,68 @@
+//! `dispatch_throughput`: end-to-end engine wall-clock on a loop-heavy
+//! workload under the three translators.
+//!
+//! This is the A/B harness for the execution hot path: block chaining,
+//! the indirect-branch target cache, the word-wide guest-memory fast
+//! path, and zero-allocation dispatch. Set `LDBT_NOCHAIN=1` to measure
+//! the unchained dispatcher for comparison; results are recorded in
+//! `results/dispatch_throughput.txt` (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldbt_compiler::{link::build_arm_image, Options};
+use ldbt_dbt::engine::{RunOutcome, Translator};
+use ldbt_dbt::Engine;
+use ldbt_learn::pipeline::learn_from_source;
+use std::hint::black_box;
+use std::rc::Rc;
+
+/// Loop-heavy source: a short hot inner loop re-dispatched hundreds of
+/// thousands of times, with enough array traffic that the guest-memory
+/// path matters. Translation cost is negligible by design.
+const SRC: &str = "
+int a[64];
+int main() {
+  int s = 0;
+  for (int i = 0; i < 64; i += 1) { a[i] = i * 7 + 1; }
+  for (int i = 0; i < 3000; i += 1) {
+    for (int j = 0; j < 64; j += 1) {
+      s = s + a[j];
+      s = s ^ (j & 7);
+    }
+  }
+  return s & 0xffff;
+}";
+
+const FUEL: u64 = 3_000_000_000;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let image = build_arm_image(SRC, &Options::o2()).unwrap();
+    let rules =
+        Rc::new(learn_from_source("dispatch", SRC, &Options::o2()).expect("learning runs").rules);
+    let mut g = c.benchmark_group("dispatch_throughput");
+    g.sample_size(10);
+    g.bench_function("tcg", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(black_box(&image), Translator::Tcg);
+            assert_eq!(e.run(FUEL), RunOutcome::Halted);
+            e.stats.exec.host_instrs
+        })
+    });
+    g.bench_function("rules", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(black_box(&image), Translator::Rules(Rc::clone(&rules)));
+            assert_eq!(e.run(FUEL), RunOutcome::Halted);
+            e.stats.exec.host_instrs
+        })
+    });
+    g.bench_function("jit", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(black_box(&image), Translator::Jit);
+            assert_eq!(e.run(FUEL), RunOutcome::Halted);
+            e.stats.exec.host_instrs
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,5 +1,28 @@
-//! The DBT execution engine: code cache, dispatcher, translation-cost
-//! model, and the interpreter helper fallback.
+//! The DBT execution engine: code cache, dispatcher, block chaining,
+//! the indirect-branch target cache, the translation-cost model, and the
+//! interpreter helper fallback.
+//!
+//! # The execution hot path
+//!
+//! Translated blocks live in an append-only arena ([`Engine::blocks`])
+//! keyed by a stable block id; a `pc → id` map backs the slow dispatcher
+//! path. Three mechanisms keep the dispatcher off the hot path:
+//!
+//! 1. **Block chaining**: when a block's exit stub (`movl $pc, %eax;
+//!    ret`) targets an already-translated block, the `ret` is patched
+//!    into [`X86Instr::ChainJmp`] and execution flows block-to-block
+//!    inside the run loop without a map probe. Every link is recorded on
+//!    *both* ends (`links_out` on the predecessor, `links_in` on the
+//!    successor) so a quarantine purge can unlink predecessors and fall
+//!    back to the dispatcher. Fuel and per-block statistics are
+//!    accounted at chain entry, making chained execution bit-identical
+//!    to unchained (`LDBT_NOCHAIN=1`).
+//! 2. **Indirect-branch target cache**: a small direct-mapped `pc → id`
+//!    table (QEMU's `lookup_tb_ptr` analog) consulted before the
+//!    `HashMap` on every dispatcher entry.
+//! 3. **Zero-allocation dispatch**: rule-hit metadata is aggregated into
+//!    [`DbtStats::hit_rules`] once at translation time and shared with
+//!    the watchdog via `Rc`, so a dispatch allocates nothing.
 
 use crate::backend::lower_block;
 use crate::env::{env_mem, reg_mem, FlagId, ENV_BASE, FLAGMODE_OFFSET, HOST_STACK_TOP};
@@ -12,7 +35,7 @@ use ldbt_compiler::ArmImage;
 use ldbt_isa::{CostModel, Memory, Width};
 use ldbt_learn::{FaultPlan, RuleSet};
 use ldbt_x86::interp::{run_seq, SeqExit};
-use ldbt_x86::{Gpr, X86Instr, X86State};
+use ldbt_x86::{Gpr, Operand, X86Instr, X86State};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::OnceLock;
@@ -29,6 +52,16 @@ fn watchdog_from_env() -> Option<u64> {
             s => s.parse::<u64>().ok().filter(|n| *n > 0),
         },
         Err(_) => None,
+    })
+}
+
+/// `LDBT_NOCHAIN` disables block chaining (for A/B measurement): unset,
+/// `0`, or `off` keep chaining on; anything else turns it off.
+fn chaining_from_env() -> bool {
+    static NOCHAIN: OnceLock<bool> = OnceLock::new();
+    !*NOCHAIN.get_or_init(|| match std::env::var("LDBT_NOCHAIN") {
+        Ok(v) => !matches!(v.trim(), "" | "0" | "off"),
+        Err(_) => false,
     })
 }
 
@@ -84,14 +117,39 @@ impl Default for TransCost {
     }
 }
 
+/// Number of entries in the direct-mapped indirect-branch target cache.
+const IBTC_SIZE: usize = 1024;
+/// Empty IBTC slot / "no block" sentinel (arena ids stay well below).
+const NO_BLOCK: u32 = u32::MAX;
+
+/// One translated block in the code cache arena.
 struct CachedBlock {
+    /// Guest start PC.
+    pc: u32,
     code: Rc<Vec<X86Instr>>,
     guest_len: u64,
     covered: u64,
     execs: u64,
     /// Interpret exactly one guest instruction instead of running code.
     interp_one: bool,
-    hits: Vec<(usize, u64)>,
+    /// (length, stable rule key) of each rule application, shared with
+    /// the watchdog without per-dispatch cloning.
+    hits: Rc<[(usize, u64)]>,
+    /// Patchable exit stubs: (index of the `ret`, direct-branch target).
+    exits: Vec<(usize, u32)>,
+    /// Outgoing chained links: (exit site, successor id).
+    links_out: Vec<(usize, u32)>,
+    /// Incoming chained links: (predecessor id, site in predecessor).
+    links_in: Vec<(u32, usize)>,
+    /// Purged by a quarantine; the arena slot is never reused.
+    dead: bool,
+}
+
+impl CachedBlock {
+    /// Whether other blocks may chain into this one.
+    fn chainable(&self) -> bool {
+        !self.dead && !self.interp_one && !self.code.is_empty()
+    }
 }
 
 /// How an engine run ended.
@@ -105,19 +163,41 @@ pub enum RunOutcome {
     Fault,
 }
 
+/// Result of a watchdog cross-check, seen from the run loop.
+enum WdVerdict {
+    /// States matched; keep running (a chain may continue).
+    Clean,
+    /// Mismatch: state was rewound to the interpreter's, translations
+    /// were purged, `self.pc` holds the corrected continuation — the run
+    /// loop must go back through the dispatcher.
+    Diverged,
+    /// The interpreter reference run ended the program.
+    End(RunOutcome),
+}
+
 /// The dynamic binary translator.
 pub struct Engine {
     /// Host machine state; its memory holds the guest image, the env, and
     /// the host stack.
     pub state: X86State,
     translator: Translator,
-    cache: HashMap<u32, CachedBlock>,
+    /// Code cache arena; ids are indices and never reused.
+    blocks: Vec<CachedBlock>,
+    /// Slow-path dispatch map: guest pc → block id.
+    map: HashMap<u32, u32>,
+    /// Direct-mapped indirect-branch target cache: `(pc, id)` entries.
+    ibtc: Vec<(u32, u32)>,
+    /// Unresolved direct-branch exits waiting for their target to be
+    /// translated: target pc → (block id, exit site).
+    pending: HashMap<u32, Vec<(u32, usize)>>,
     /// Statistics for the experiment harness.
     pub stats: DbtStats,
     cost: CostModel,
     tcost: TransCost,
     entry: u32,
     pc: u32,
+    /// Block chaining enabled (`!LDBT_NOCHAIN`).
+    chaining: bool,
     /// Watchdog sampling period: check every Nth rule-covered dispatch.
     watchdog: Option<u64>,
     watchdog_tick: u64,
@@ -130,9 +210,10 @@ pub struct Engine {
 impl Engine {
     /// Create an engine for a linked guest image.
     ///
-    /// The watchdog period and fault plan default from the
-    /// `LDBT_WATCHDOG` / `LDBT_FAULT` environment; [`Engine::with_watchdog`]
-    /// and [`Engine::with_fault`] override them explicitly.
+    /// The watchdog period, chaining flag, and fault plan default from
+    /// the `LDBT_WATCHDOG` / `LDBT_NOCHAIN` / `LDBT_FAULT` environment;
+    /// [`Engine::with_watchdog`], [`Engine::with_chaining`], and
+    /// [`Engine::with_fault`] override them explicitly.
     pub fn new(image: &ArmImage, translator: Translator) -> Engine {
         let mut mem = Memory::new();
         image.load_into(&mut mem);
@@ -141,12 +222,16 @@ impl Engine {
         Engine {
             state,
             translator,
-            cache: HashMap::new(),
+            blocks: Vec::new(),
+            map: HashMap::new(),
+            ibtc: vec![(0, NO_BLOCK); IBTC_SIZE],
+            pending: HashMap::new(),
             stats: DbtStats::new(),
             cost: CostModel::default(),
             tcost: TransCost::default(),
             entry: image.entry,
             pc: image.entry,
+            chaining: chaining_from_env(),
             watchdog: watchdog_from_env(),
             watchdog_tick: 0,
             force_tcg: HashSet::new(),
@@ -167,6 +252,12 @@ impl Engine {
         self
     }
 
+    /// Enable or disable block chaining (the `LDBT_NOCHAIN` knob).
+    pub fn with_chaining(mut self, chaining: bool) -> Engine {
+        self.chaining = chaining;
+        self
+    }
+
     /// Override the translation fault plan (`None` disables injection).
     pub fn with_fault(mut self, fault: Option<FaultPlan>) -> Engine {
         self.fault = fault;
@@ -183,23 +274,152 @@ impl Engine {
         self.pc
     }
 
-    fn translate(&mut self, pc: u32) {
+    /// Dispatcher lookup: IBTC first, then the map, then the translator.
+    fn lookup_or_translate(&mut self, pc: u32) -> u32 {
+        let slot = ((pc >> 2) as usize) & (IBTC_SIZE - 1);
+        let (epc, eid) = self.ibtc[slot];
+        if epc == pc && eid != NO_BLOCK {
+            debug_assert!(!self.blocks[eid as usize].dead, "purge scrubs the IBTC");
+            self.stats.ibtc_hits += 1;
+            return eid;
+        }
+        self.stats.ibtc_misses += 1;
+        let id = match self.map.get(&pc) {
+            Some(&i) => i,
+            None => self.translate(pc),
+        };
+        self.ibtc[slot] = (pc, id);
+        id
+    }
+
+    /// Patchable exit stubs of a code sequence: each `movl $pc, %eax;
+    /// ret` pair, reported as (index of the `ret`, target pc). Every
+    /// such pair in lowered block code is a direct-branch exit by
+    /// construction (indirect exits move a non-immediate into `%eax`).
+    fn scan_exits(code: &[X86Instr]) -> Vec<(usize, u32)> {
+        let mut exits = Vec::new();
+        for i in 1..code.len() {
+            if matches!(code[i], X86Instr::Ret) {
+                if let X86Instr::Mov { dst: Operand::Reg(Gpr::Eax), src: Operand::Imm(t) } =
+                    code[i - 1]
+                {
+                    exits.push((i, t as u32));
+                }
+            }
+        }
+        exits
+    }
+
+    /// Patch predecessor `pred`'s exit `site` into a chained jump to
+    /// `succ`, recording the link on both ends.
+    fn patch_link(&mut self, pred: u32, site: usize, succ: u32) {
+        let code = Rc::make_mut(&mut self.blocks[pred as usize].code);
+        debug_assert!(matches!(code[site], X86Instr::Ret), "link site must be an unpatched ret");
+        code[site] = X86Instr::ChainJmp { block: succ };
+        self.blocks[pred as usize].links_out.push((site, succ));
+        self.blocks[succ as usize].links_in.push((pred, site));
+        self.stats.chain_links += 1;
+    }
+
+    /// Insert a freshly translated block into the arena and, with
+    /// chaining enabled, link it to already-translated neighbors in both
+    /// directions.
+    fn insert_block(&mut self, mut block: CachedBlock) -> u32 {
+        let pc = block.pc;
+        if !block.interp_one {
+            block.exits = Self::scan_exits(&block.code);
+        }
+        let id = self.blocks.len() as u32;
+        self.blocks.push(block);
+        self.map.insert(pc, id);
+        if !self.chaining {
+            return id;
+        }
+        // Predecessors waiting for this pc.
+        if self.blocks[id as usize].chainable() {
+            for (pred, site) in self.pending.remove(&pc).unwrap_or_default() {
+                let p = &self.blocks[pred as usize];
+                if p.dead || !matches!(p.code.get(site), Some(X86Instr::Ret)) {
+                    continue;
+                }
+                self.patch_link(pred, site, id);
+            }
+        }
+        // This block's own direct exits.
+        let exits = self.blocks[id as usize].exits.clone();
+        for (site, target) in exits {
+            match self.map.get(&target) {
+                Some(&tid) if self.blocks[tid as usize].chainable() => {
+                    self.patch_link(id, site, tid);
+                }
+                _ => self.pending.entry(target).or_default().push((id, site)),
+            }
+        }
+        id
+    }
+
+    /// Purge a translation: unlink chained predecessors (their exit
+    /// stubs fall back to `ret` and re-queue as pending links), detach
+    /// from successors, drop the dispatch-map and IBTC entries, and
+    /// tombstone the arena slot.
+    fn purge_block(&mut self, id: u32) {
+        if self.blocks[id as usize].dead {
+            return;
+        }
+        let pc = self.blocks[id as usize].pc;
+        let links_in = std::mem::take(&mut self.blocks[id as usize].links_in);
+        for (pred, site) in links_in {
+            if self.blocks[pred as usize].dead {
+                continue;
+            }
+            let code = Rc::make_mut(&mut self.blocks[pred as usize].code);
+            debug_assert!(matches!(code[site], X86Instr::ChainJmp { .. }));
+            code[site] = X86Instr::Ret;
+            self.blocks[pred as usize].links_out.retain(|&(s, t)| !(s == site && t == id));
+            // The predecessor still branches to `pc`: let a future
+            // retranslation re-link it.
+            self.pending.entry(pc).or_default().push((pred, site));
+            self.stats.chain_unlinks += 1;
+        }
+        let links_out = std::mem::take(&mut self.blocks[id as usize].links_out);
+        for (site, succ) in links_out {
+            self.blocks[succ as usize].links_in.retain(|&(p, s)| !(p == id && s == site));
+        }
+        if self.map.get(&pc) == Some(&id) {
+            self.map.remove(&pc);
+        }
+        for e in self.ibtc.iter_mut() {
+            if e.1 == id {
+                *e = (0, NO_BLOCK);
+            }
+        }
+        let b = &mut self.blocks[id as usize];
+        b.dead = true;
+        b.code = Rc::new(Vec::new());
+        b.hits = Rc::from(Vec::new());
+        b.exits.clear();
+    }
+
+    /// Translate the block at `pc` into the code cache; returns its id.
+    fn translate(&mut self, pc: u32) -> u32 {
         let block = decode_block(&self.state.mem, pc);
         self.stats.blocks += 1;
+        let empty_hits: Rc<[(usize, u64)]> = Rc::from(Vec::new());
         if block.instrs.is_empty() {
             // Undecodable: fault block.
-            self.cache.insert(
+            return self.insert_block(CachedBlock {
                 pc,
-                CachedBlock {
-                    code: Rc::new(vec![X86Instr::Halt]),
-                    guest_len: 0,
-                    covered: 0,
-                    execs: 0,
-                    interp_one: false,
-                    hits: vec![],
-                },
-            );
-            return;
+                code: Rc::new(vec![X86Instr::Halt]),
+                guest_len: 0,
+                covered: 0,
+                execs: 0,
+                interp_one: false,
+                hits: empty_hits,
+                exits: Vec::new(),
+                links_out: Vec::new(),
+                links_in: Vec::new(),
+                dead: false,
+            });
         }
         // Rule-based translation path.
         let rules_cfg = match &self.translator {
@@ -224,70 +444,78 @@ impl Engine {
                 self.stats.rule_lookups += low.lookups as u64;
                 self.stats.guest_static += block.instrs.len() as u64;
                 self.stats.guest_static_covered += covered;
-                self.cache.insert(
+                // Hit-rule aggregation happens once here, not per dispatch
+                // (a translated block is always dispatched at least once).
+                for &(len, key) in &low.hits {
+                    self.stats.hit_rules.insert(key, len);
+                }
+                return self.insert_block(CachedBlock {
                     pc,
-                    CachedBlock {
-                        code: Rc::new(low.code),
-                        guest_len: block.instrs.len() as u64,
-                        covered,
-                        execs: 0,
-                        interp_one: false,
-                        hits: low.hits,
-                    },
-                );
-                return;
+                    code: Rc::new(low.code),
+                    guest_len: block.instrs.len() as u64,
+                    covered,
+                    execs: 0,
+                    interp_one: false,
+                    hits: Rc::from(low.hits),
+                    exits: Vec::new(),
+                    links_out: Vec::new(),
+                    links_in: Vec::new(),
+                    dead: false,
+                });
             }
         }
         // TCG / JIT path.
         let tcg = translate_block(&self.state.mem, &block);
         if tcg.unsupported_at == Some(0) {
             // The first instruction needs the interpreter helper.
-            self.cache.insert(
-                pc,
-                CachedBlock {
-                    code: Rc::new(Vec::new()),
-                    guest_len: 1,
-                    covered: 0,
-                    execs: 0,
-                    interp_one: true,
-                    hits: vec![],
-                },
-            );
             self.stats.guest_static += 1;
-            return;
+            return self.insert_block(CachedBlock {
+                pc,
+                code: Rc::new(Vec::new()),
+                guest_len: 1,
+                covered: 0,
+                execs: 0,
+                interp_one: true,
+                hits: empty_hits,
+                exits: Vec::new(),
+                links_out: Vec::new(),
+                links_in: Vec::new(),
+                dead: false,
+            });
         }
         let translated_len = match tcg.unsupported_at {
             Some(k) => k as u64,
             None => block.instrs.len() as u64,
         };
-        let (code, op_count) = match self.translator {
+        let code = match self.translator {
             Translator::Jit => {
                 let opt = optimize_block(&tcg);
                 let code = crate::backend::lower_block_opts(&opt, true, 3);
                 self.stats.exec.translation_cycles +=
                     self.tcost.jit_block_base + self.tcost.jit_per_op * tcg.ops.len() as u64;
-                (code, tcg.ops.len())
+                code
             }
             _ => {
                 let code = lower_block(&tcg);
                 self.stats.exec.translation_cycles +=
                     self.tcost.block_base + self.tcost.per_tcg_op * tcg.ops.len() as u64;
-                (code, tcg.ops.len())
+                code
             }
         };
-        let _ = op_count;
         self.stats.guest_static += translated_len;
-        self.cache.insert(
+        self.insert_block(CachedBlock {
             pc,
-            CachedBlock {
-                code: Rc::new(code),
-                guest_len: translated_len,
-                covered: 0,
-                execs: 0,
-                interp_one: false,
-                hits: vec![],
-            },
-        );
+            code: Rc::new(code),
+            guest_len: translated_len,
+            covered: 0,
+            execs: 0,
+            interp_one: false,
+            hits: empty_hits,
+            exits: Vec::new(),
+            links_out: Vec::new(),
+            links_in: Vec::new(),
+            dead: false,
+        })
     }
 
     /// Interpret a single guest instruction against the env (the "helper"
@@ -343,63 +571,89 @@ impl Engine {
     /// executed.
     pub fn run(&mut self, fuel: u64) -> RunOutcome {
         self.state.set_reg(Gpr::Esp, HOST_STACK_TOP);
-        loop {
+        'dispatch: loop {
             if self.stats.exec.host_instrs >= fuel {
                 return RunOutcome::OutOfFuel;
             }
             let pc = self.pc;
-            if !self.cache.contains_key(&pc) {
-                self.translate(pc);
-            }
-            let (code, interp_one, guest_len, covered, hits) = {
-                let b = self.cache.get_mut(&pc).expect("just translated");
+            let mut id = self.lookup_or_translate(pc);
+            // Chained fast loop: no map probes until control leaves the
+            // chain (indirect branch, halt, or an unlinked exit).
+            loop {
+                let b = &mut self.blocks[id as usize];
                 b.execs += 1;
-                (Rc::clone(&b.code), b.interp_one, b.guest_len, b.covered, b.hits.clone())
-            };
-            self.stats.block_execs += 1;
-            self.stats.guest_dyn += guest_len;
-            self.stats.guest_dyn_covered += covered;
-            for &(len, key) in &hits {
-                self.stats.hit_rules.insert(key, len);
-            }
-            if interp_one {
-                match self.helper_step(pc) {
-                    Ok(next) => {
-                        self.pc = next;
-                        continue;
-                    }
-                    Err(out) => return out,
-                }
-            }
-            if code.is_empty() {
-                return RunOutcome::Fault;
-            }
-            // Watchdog: sample every Nth dispatch of a rule-covered block;
-            // snapshot the pre-state so the block can be re-run through the
-            // ARM interpreter afterwards.
-            let check_now = match self.watchdog {
-                Some(period) if !hits.is_empty() => {
-                    self.watchdog_tick += 1;
-                    self.watchdog_tick.is_multiple_of(period)
-                }
-                _ => false,
-            };
-            let pre_mem = if check_now { Some(self.state.mem.clone()) } else { None };
-            let remaining = fuel - self.stats.exec.host_instrs;
-            let exit = run_seq(&mut self.state, &code, remaining, &self.cost, &mut self.stats.exec);
-            match exit {
-                SeqExit::Returned => {
-                    self.pc = self.state.reg(Gpr::Eax);
-                    if let Some(pre) = pre_mem {
-                        if let Some(out) = self.watchdog_check(pc, &hits, pre) {
-                            return out;
+                let block_pc = b.pc;
+                let interp_one = b.interp_one;
+                self.stats.block_execs += 1;
+                self.stats.guest_dyn += b.guest_len;
+                self.stats.guest_dyn_covered += b.covered;
+                if interp_one {
+                    match self.helper_step(block_pc) {
+                        Ok(next) => {
+                            self.pc = next;
+                            continue 'dispatch;
                         }
+                        Err(out) => return out,
                     }
                 }
-                SeqExit::Halted => return RunOutcome::Halted,
-                SeqExit::OutOfFuel => return RunOutcome::OutOfFuel,
-                SeqExit::JumpedOut(_) | SeqExit::FellThrough | SeqExit::Faulted => {
-                    return RunOutcome::Fault
+                let b = &self.blocks[id as usize];
+                if b.code.is_empty() {
+                    return RunOutcome::Fault;
+                }
+                // Watchdog: sample every Nth dispatch of a rule-covered
+                // block; snapshot the pre-state so the block can be re-run
+                // through the ARM interpreter afterwards.
+                let check_now = match self.watchdog {
+                    Some(period) if !b.hits.is_empty() => {
+                        self.watchdog_tick += 1;
+                        self.watchdog_tick.is_multiple_of(period)
+                    }
+                    _ => false,
+                };
+                // The `Rc` clones are pointer bumps; the memory snapshot
+                // is only taken on a sampled dispatch.
+                let code = Rc::clone(&b.code);
+                let wd = if check_now {
+                    Some((Rc::clone(&b.hits), self.state.mem.clone()))
+                } else {
+                    None
+                };
+                let remaining = fuel - self.stats.exec.host_instrs;
+                let exit =
+                    run_seq(&mut self.state, &code, remaining, &self.cost, &mut self.stats.exec);
+                let next_chain = match exit {
+                    SeqExit::Chained(next) => {
+                        self.pc = self.blocks[next as usize].pc;
+                        Some(next)
+                    }
+                    SeqExit::Returned => {
+                        self.pc = self.state.reg(Gpr::Eax);
+                        None
+                    }
+                    SeqExit::Halted => return RunOutcome::Halted,
+                    SeqExit::OutOfFuel => return RunOutcome::OutOfFuel,
+                    SeqExit::JumpedOut(_) | SeqExit::FellThrough | SeqExit::Faulted => {
+                        return RunOutcome::Fault
+                    }
+                };
+                if let Some((hits, pre)) = wd {
+                    match self.watchdog_check(block_pc, &hits, pre) {
+                        WdVerdict::Clean => {}
+                        WdVerdict::Diverged => continue 'dispatch,
+                        WdVerdict::End(out) => return out,
+                    }
+                }
+                match next_chain {
+                    Some(next) => {
+                        // Mirror the dispatcher-entry fuel check so
+                        // chained accounting is bit-identical.
+                        if self.stats.exec.host_instrs >= fuel {
+                            return RunOutcome::OutOfFuel;
+                        }
+                        self.stats.chained_execs += 1;
+                        id = next;
+                    }
+                    None => continue 'dispatch,
                 }
             }
         }
@@ -408,22 +662,15 @@ impl Engine {
     /// Re-execute a rule-covered block from its pre-dispatch memory
     /// snapshot through the ARM interpreter and compare architectural
     /// state. On mismatch, quarantine every rule applied in the block
-    /// (tombstoned in the rule set), drop the affected translations from
-    /// the code cache, force this block onto the TCG path, and adopt the
-    /// interpreter's (correct) state so execution continues unharmed.
-    ///
-    /// Returns `Some(outcome)` only when the interpreter reference run
-    /// ends the program (`svc #0`).
-    fn watchdog_check(
-        &mut self,
-        pc: u32,
-        hits: &[(usize, u64)],
-        pre: Memory,
-    ) -> Option<RunOutcome> {
+    /// (tombstoned in the rule set), purge the affected translations from
+    /// the code cache — unlinking any blocks chained into them — force
+    /// this block onto the TCG path, and adopt the interpreter's
+    /// (correct) state so execution continues unharmed.
+    fn watchdog_check(&mut self, pc: u32, hits: &[(usize, u64)], pre: Memory) -> WdVerdict {
         self.stats.watchdog_checks += 1;
         let block = decode_block(&pre, pc);
         if block.instrs.is_empty() {
-            return None;
+            return WdVerdict::Clean;
         }
         // Interpreter reference run over the snapshot.
         let mut arm = ArmState { regs: [0; 16], flags: Default::default(), mem: pre };
@@ -491,12 +738,13 @@ impl Engine {
             .first_difference(&arm.mem, |addr| addr >= HOST_STACK_TOP - 0x1_0000)
             .is_none();
         if regs_ok && pc_ok && mem_ok {
-            return None;
+            return WdVerdict::Clean;
         }
         // Mismatch: quarantine every rule applied in this block (the
         // watchdog cannot attribute the divergence to one application, so
-        // it is conservative), purge affected translations, and continue
-        // from the interpreter's state.
+        // it is conservative), purge affected translations — unlinking
+        // their chained predecessors — and continue from the
+        // interpreter's state.
         let mut newly: HashSet<u64> = HashSet::new();
         if let Translator::Rules(rules) | Translator::RulesNoLazyFlags(rules) = &mut self.translator
         {
@@ -509,8 +757,19 @@ impl Engine {
             }
         }
         self.force_tcg.insert(pc);
-        self.cache.retain(|_, b| !b.hits.iter().any(|&(_, k)| newly.contains(&k)));
-        self.cache.remove(&pc);
+        let victims: Vec<u32> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.dead && b.hits.iter().any(|&(_, k)| newly.contains(&k)))
+            .map(|(i, _)| i as u32)
+            .collect();
+        for id in victims {
+            self.purge_block(id);
+        }
+        if let Some(&id) = self.map.get(&pc) {
+            self.purge_block(id);
+        }
         // Adopt the interpreter's state: write its registers and flags
         // back into the env and take its memory.
         for r in ArmReg::ALL {
@@ -523,10 +782,10 @@ impl Engine {
         arm.mem.write(ENV_BASE + FLAGMODE_OFFSET, 0, Width::W32);
         self.state.mem = std::mem::take(&mut arm.mem);
         if halted {
-            return Some(RunOutcome::Halted);
+            return WdVerdict::End(RunOutcome::Halted);
         }
         self.pc = next_pc;
-        None
+        WdVerdict::Diverged
     }
 
     /// Reset execution state (keeping the translated-code cache) so the
@@ -535,9 +794,14 @@ impl Engine {
         self.pc = self.entry;
     }
 
-    /// Number of translated blocks in the code cache.
+    /// Number of live translated blocks in the code cache.
     pub fn cache_blocks(&self) -> usize {
-        self.cache.len()
+        self.blocks.iter().filter(|b| !b.dead).count()
+    }
+
+    /// Number of chained (patched) block-to-block links currently live.
+    pub fn live_links(&self) -> usize {
+        self.blocks.iter().filter(|b| !b.dead).map(|b| b.links_out.len()).sum()
     }
 
     /// The env slot address of a guest register (for tests/diagnostics).
@@ -688,5 +952,91 @@ int main() {
         let image = build_arm_image(src, &Options::o2()).unwrap();
         let mut e = Engine::new(&image, Translator::Tcg);
         assert_eq!(e.run(10_000), RunOutcome::OutOfFuel);
+    }
+
+    const LOOPY: &str = "
+int main() {
+  int s = 0;
+  for (int i = 0; i < 200; i += 1) {
+    if (i & 1) { s += i; } else { s ^= 5; }
+  }
+  return s & 0xffff;
+}";
+
+    #[test]
+    fn chaining_links_blocks_and_matches_unchained() {
+        let image = build_arm_image(LOOPY, &Options::o2()).unwrap();
+        let mut chained = Engine::new(&image, Translator::Tcg).with_chaining(true);
+        assert_eq!(chained.run(50_000_000), RunOutcome::Halted);
+        let mut plain = Engine::new(&image, Translator::Tcg).with_chaining(false);
+        assert_eq!(plain.run(50_000_000), RunOutcome::Halted);
+        // Chaining is live.
+        assert!(chained.stats.chain_links > 0, "direct branches were linked");
+        assert!(chained.stats.chained_execs > 0, "chained entries actually ran");
+        assert!(chained.live_links() > 0);
+        assert_eq!(plain.stats.chain_links, 0);
+        assert_eq!(plain.stats.chained_execs, 0);
+        // Bit-identical architectural results and accounting.
+        for r in ArmReg::ALL {
+            assert_eq!(chained.guest_reg(r), plain.guest_reg(r), "{r:?}");
+        }
+        assert_eq!(chained.stats.guest_dyn, plain.stats.guest_dyn);
+        assert_eq!(chained.stats.block_execs, plain.stats.block_execs);
+        assert_eq!(chained.stats.exec.host_instrs, plain.stats.exec.host_instrs);
+        assert_eq!(chained.stats.exec.exec_cycles, plain.stats.exec.exec_cycles);
+        assert_eq!(
+            chained.state.mem.first_difference(&plain.state.mem, |_| false),
+            None,
+            "guest memory identical"
+        );
+        // Chaining replaces dispatcher entries: far fewer lookups.
+        assert!(
+            chained.stats.ibtc_hits + chained.stats.ibtc_misses
+                < plain.stats.ibtc_hits + plain.stats.ibtc_misses,
+            "chained runs consult the dispatcher less"
+        );
+    }
+
+    #[test]
+    fn ibtc_serves_repeat_dispatches() {
+        let image = build_arm_image(LOOPY, &Options::o2()).unwrap();
+        // Without chaining every loop iteration goes through the
+        // dispatcher, so the IBTC must carry almost all of them.
+        let mut e = Engine::new(&image, Translator::Tcg).with_chaining(false);
+        assert_eq!(e.run(50_000_000), RunOutcome::Halted);
+        assert!(e.stats.ibtc_hits > 0, "repeat dispatches hit the IBTC");
+        assert!(
+            e.stats.ibtc_hits > e.stats.ibtc_misses,
+            "hits dominate: {} vs {}",
+            e.stats.ibtc_hits,
+            e.stats.ibtc_misses
+        );
+    }
+
+    #[test]
+    fn self_loop_chains_to_itself() {
+        // A one-block countdown loop ends in a conditional branch back to
+        // its own pc: the block must link to itself and still terminate.
+        let src = "int main() { int s = 100000; while (s > 0) { s -= 1; } return s; }";
+        let image = build_arm_image(src, &Options::o2()).unwrap();
+        let mut e = Engine::new(&image, Translator::Tcg).with_chaining(true);
+        assert_eq!(e.run(50_000_000), RunOutcome::Halted);
+        assert_eq!(e.guest_reg(ArmReg::R0), 0);
+        assert!(e.stats.chained_execs > 0);
+    }
+
+    #[test]
+    fn chained_out_of_fuel_accounting_matches() {
+        let src = "int main() { int s = 0; while (s < 100000000) { s += 1; } return s; }";
+        let image = build_arm_image(src, &Options::o2()).unwrap();
+        for fuel in [10_000u64, 10_001, 12_345] {
+            let mut a = Engine::new(&image, Translator::Tcg).with_chaining(true);
+            assert_eq!(a.run(fuel), RunOutcome::OutOfFuel);
+            let mut b = Engine::new(&image, Translator::Tcg).with_chaining(false);
+            assert_eq!(b.run(fuel), RunOutcome::OutOfFuel);
+            assert_eq!(a.stats.guest_dyn, b.stats.guest_dyn, "fuel={fuel}");
+            assert_eq!(a.stats.exec.host_instrs, b.stats.exec.host_instrs, "fuel={fuel}");
+            assert_eq!(a.guest_reg(ArmReg::R0), b.guest_reg(ArmReg::R0), "fuel={fuel}");
+        }
     }
 }

@@ -32,6 +32,16 @@ pub struct DbtStats {
     pub watchdog_checks: u64,
     /// Rules quarantined by the watchdog after a state mismatch.
     pub quarantined_rules: u64,
+    /// Dispatcher lookups served by the indirect-branch target cache.
+    pub ibtc_hits: u64,
+    /// Dispatcher lookups that fell through to the map (or translator).
+    pub ibtc_misses: u64,
+    /// Direct-branch exit stubs patched into chained jumps.
+    pub chain_links: u64,
+    /// Chained links severed by a quarantine purge.
+    pub chain_unlinks: u64,
+    /// Block entries reached through a chained jump (no dispatcher).
+    pub chained_execs: u64,
 }
 
 impl DbtStats {

@@ -4,13 +4,30 @@
 //! endianness between guest and host). The memory is page-sparse so that
 //! widely separated code / global / stack regions do not allocate the
 //! whole address space.
+//!
+//! # Hot path
+//!
+//! Pages live in a stable arena (`data`) addressed through a page-id →
+//! slot index; the emulation hot path avoids the `HashMap` probe with a
+//! one-entry *last-page cache* per access side (read and write). Aligned
+//! `W16`/`W32` accesses that provably sit inside one page are performed
+//! as single word operations (`from_le_bytes`/`to_le_bytes`); unaligned
+//! or page-crossing accesses fall back to the byte loop. Slots are never
+//! removed or reordered, so a cached `(page, slot)` pair can only go
+//! stale by pointing at a page that is still resident — never at freed
+//! or moved storage.
 
 use crate::bits::Width;
+use std::cell::Cell;
 use std::collections::HashMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// Sentinel page id for an empty last-page cache: real page ids fit in
+/// 20 bits (`addr >> 12`), so `u32::MAX` can never match.
+const NO_PAGE: u32 = u32::MAX;
 
 /// A sparse 32-bit little-endian byte-addressable memory.
 ///
@@ -24,9 +41,27 @@ const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
 /// assert_eq!(m.read(0xfffc, Width::W32), 0x1122_3344);
 /// assert_eq!(m.read(0xfffe, Width::W8), 0x22);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Memory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    /// Page id (`addr >> 12`) → slot in `data`.
+    index: HashMap<u32, u32>,
+    /// Page storage; slots are append-only and never move.
+    data: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Last page resolved by a read: `(page id, slot)`.
+    rcache: Cell<(u32, u32)>,
+    /// Last page resolved by a write: `(page id, slot)`.
+    wcache: Cell<(u32, u32)>,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory {
+            index: HashMap::new(),
+            data: Vec::new(),
+            rcache: Cell::new((NO_PAGE, 0)),
+            wcache: Cell::new((NO_PAGE, 0)),
+        }
+    }
 }
 
 impl Memory {
@@ -35,23 +70,84 @@ impl Memory {
         Memory::default()
     }
 
+    /// The slot of a resident page, via the read-side last-page cache.
+    #[inline]
+    fn read_slot(&self, page: u32) -> Option<usize> {
+        let (cp, cs) = self.rcache.get();
+        if cp == page {
+            return Some(cs as usize);
+        }
+        let slot = *self.index.get(&page)?;
+        self.rcache.set((page, slot));
+        Some(slot as usize)
+    }
+
+    /// The slot of a page for writing (allocating it if absent), via the
+    /// write-side last-page cache.
+    #[inline]
+    fn write_slot(&mut self, page: u32) -> usize {
+        let (cp, cs) = self.wcache.get();
+        if cp == page {
+            return cs as usize;
+        }
+        let slot = match self.index.get(&page) {
+            Some(&s) => s,
+            None => {
+                let s = self.data.len() as u32;
+                self.data.push(Box::new([0u8; PAGE_SIZE]));
+                self.index.insert(page, s);
+                s
+            }
+        };
+        self.wcache.set((page, slot));
+        slot as usize
+    }
+
     /// Read one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u32) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
-            Some(page) => page[(addr & PAGE_MASK) as usize],
+        match self.read_slot(addr >> PAGE_SHIFT) {
+            Some(slot) => self.data[slot][(addr & PAGE_MASK) as usize],
             None => 0,
         }
     }
 
     /// Write one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8) {
-        let page =
-            self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr & PAGE_MASK) as usize] = value;
+        let slot = self.write_slot(addr >> PAGE_SHIFT);
+        self.data[slot][(addr & PAGE_MASK) as usize] = value;
     }
 
     /// Read `width` bytes starting at `addr`, little-endian, zero-extended.
+    ///
+    /// Aligned `W16`/`W32` reads (which cannot cross a page) go through
+    /// the word-wide fast path; everything else takes the byte loop.
+    #[inline]
     pub fn read(&self, addr: u32, width: Width) -> u32 {
+        let off = (addr & PAGE_MASK) as usize;
+        match width {
+            Width::W8 => self.read_u8(addr) as u32,
+            Width::W16 if off & 1 == 0 => match self.read_slot(addr >> PAGE_SHIFT) {
+                Some(slot) => {
+                    let p = &self.data[slot];
+                    u16::from_le_bytes([p[off], p[off + 1]]) as u32
+                }
+                None => 0,
+            },
+            Width::W32 if off & 3 == 0 => match self.read_slot(addr >> PAGE_SHIFT) {
+                Some(slot) => {
+                    let p = &self.data[slot];
+                    u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]])
+                }
+                None => 0,
+            },
+            _ => self.read_slow(addr, width),
+        }
+    }
+
+    /// The byte-loop fallback for unaligned or page-crossing reads.
+    fn read_slow(&self, addr: u32, width: Width) -> u32 {
         let mut v: u32 = 0;
         for i in 0..width.bytes() {
             v |= (self.read_u8(addr.wrapping_add(i)) as u32) << (8 * i);
@@ -60,17 +156,52 @@ impl Memory {
     }
 
     /// Write the low `width` bytes of `value` at `addr`, little-endian.
+    ///
+    /// Aligned `W16`/`W32` writes go through the word-wide fast path;
+    /// everything else takes the byte loop.
+    #[inline]
     pub fn write(&mut self, addr: u32, value: u32, width: Width) {
+        let off = (addr & PAGE_MASK) as usize;
+        match width {
+            Width::W8 => self.write_u8(addr, value as u8),
+            Width::W16 if off & 1 == 0 => {
+                let slot = self.write_slot(addr >> PAGE_SHIFT);
+                self.data[slot][off..off + 2].copy_from_slice(&(value as u16).to_le_bytes());
+            }
+            Width::W32 if off & 3 == 0 => {
+                let slot = self.write_slot(addr >> PAGE_SHIFT);
+                self.data[slot][off..off + 4].copy_from_slice(&value.to_le_bytes());
+            }
+            _ => self.write_slow(addr, value, width),
+        }
+    }
+
+    /// The byte-loop fallback for unaligned or page-crossing writes.
+    fn write_slow(&mut self, addr: u32, value: u32, width: Width) {
         for i in 0..width.bytes() {
             self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
         }
     }
 
-    /// Copy a byte slice into memory starting at `addr`.
+    /// Copy a byte slice into memory starting at `addr`, page-chunked.
+    ///
+    /// Drops both last-page caches afterwards: bulk loads rewrite whole
+    /// regions (image loading, snapshot restore) and must never leave a
+    /// stale-looking cache entry behind.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), *b);
+        let mut cur = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (cur & PAGE_MASK) as usize;
+            let room = PAGE_SIZE - off;
+            let n = room.min(rest.len());
+            let slot = self.write_slot(cur >> PAGE_SHIFT);
+            self.data[slot][off..off + n].copy_from_slice(&rest[..n]);
+            cur = cur.wrapping_add(n as u32);
+            rest = &rest[n..];
         }
+        self.rcache.set((NO_PAGE, 0));
+        self.wcache.set((NO_PAGE, 0));
     }
 
     /// Read `len` bytes starting at `addr`.
@@ -80,7 +211,7 @@ impl Memory {
 
     /// Number of resident pages (for diagnostics).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.index.len()
     }
 
     /// The lowest address whose byte differs between the two memories,
@@ -92,12 +223,12 @@ impl Memory {
     /// memory while excluding the host-private env and stack regions.
     pub fn first_difference(&self, other: &Memory, ignore: impl Fn(u32) -> bool) -> Option<u32> {
         const ZERO: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
-        let mut page_ids: Vec<u32> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        let mut page_ids: Vec<u32> = self.index.keys().chain(other.index.keys()).copied().collect();
         page_ids.sort_unstable();
         page_ids.dedup();
         for p in page_ids {
-            let a = self.pages.get(&p).map_or(&ZERO, |b| &**b);
-            let b = other.pages.get(&p).map_or(&ZERO, |b| &**b);
+            let a = self.index.get(&p).map_or(&ZERO, |&s| &*self.data[s as usize]);
+            let b = other.index.get(&p).map_or(&ZERO, |&s| &*other.data[s as usize]);
             if a == b {
                 continue;
             }
@@ -160,6 +291,94 @@ mod tests {
         let data = [1u8, 2, 3, 4, 5];
         m.write_bytes(0x300, &data);
         assert_eq!(m.read_bytes(0x300, 5), data.to_vec());
+    }
+
+    #[test]
+    fn write_bytes_spanning_pages() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).cycle().take(3 * PAGE_SIZE / 2).map(|b| b as u8).collect();
+        let addr = PAGE_SIZE as u32 - 100;
+        m.write_bytes(addr, &data);
+        assert_eq!(m.read_bytes(addr, data.len()), data);
+        assert_eq!(m.resident_pages(), 3);
+    }
+
+    #[test]
+    fn unaligned_word_access_falls_back_correctly() {
+        let mut m = Memory::new();
+        // Unaligned W32 and W16 read/write at every misalignment.
+        for mis in 1..4u32 {
+            let addr = 0x400 + 16 * mis + mis;
+            m.write(addr, 0x8899_aabb, Width::W32);
+            assert_eq!(m.read(addr, Width::W32), 0x8899_aabb, "mis={mis}");
+            // Bytewise view matches little-endian order.
+            assert_eq!(m.read_u8(addr), 0xbb);
+            assert_eq!(m.read_u8(addr + 3), 0x88);
+        }
+        let addr = 0x501;
+        m.write(addr, 0xbeef, Width::W16);
+        assert_eq!(m.read(addr, Width::W16), 0xbeef);
+        assert_eq!(m.read_u8(addr), 0xef);
+        assert_eq!(m.read_u8(addr + 1), 0xbe);
+    }
+
+    #[test]
+    fn page_cross_w32_and_w16() {
+        let mut m = Memory::new();
+        // W32 across a page boundary, all split points.
+        for k in 1..4u32 {
+            let addr = 4 * PAGE_SIZE as u32 - k;
+            m.write(addr, 0x0102_0304, Width::W32);
+            assert_eq!(m.read(addr, Width::W32), 0x0102_0304, "split={k}");
+        }
+        // W16 across a page boundary.
+        let addr = 8 * PAGE_SIZE as u32 - 1;
+        m.write(addr, 0xa55a, Width::W16);
+        assert_eq!(m.read(addr, Width::W16), 0xa55a);
+        assert_eq!(m.read_u8(addr), 0x5a);
+        assert_eq!(m.read_u8(addr + 1), 0xa5);
+    }
+
+    #[test]
+    fn last_page_cache_invalidated_by_write_bytes() {
+        let mut m = Memory::new();
+        // Warm both caches on the page.
+        m.write(0x1000, 0x1111_1111, Width::W32);
+        assert_eq!(m.read(0x1000, Width::W32), 0x1111_1111);
+        // Bulk overwrite through write_bytes must be visible immediately
+        // (and drops the caches).
+        m.write_bytes(0x1000, &[0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(m.read(0x1000, Width::W32), 0xefbe_adde);
+        assert_eq!(m.read_u8(0x1003), 0xef);
+        // Writes after the invalidation still land on the right page.
+        m.write(0x1ffc, 7, Width::W32);
+        assert_eq!(m.read(0x1ffc, Width::W32), 7);
+    }
+
+    #[test]
+    fn read_cache_follows_page_switches() {
+        let mut m = Memory::new();
+        m.write(0x2000, 0xaa, Width::W8);
+        m.write(0x7000, 0xbb, Width::W8);
+        // Alternate between pages: the one-entry cache must re-resolve.
+        for _ in 0..4 {
+            assert_eq!(m.read_u8(0x2000), 0xaa);
+            assert_eq!(m.read_u8(0x7000), 0xbb);
+        }
+        // Reading a non-resident page does not disturb the cache.
+        assert_eq!(m.read_u8(0x9123), 0);
+        assert_eq!(m.read_u8(0x2000), 0xaa);
+    }
+
+    #[test]
+    fn clone_carries_data_and_stays_coherent() {
+        let mut a = Memory::new();
+        a.write(0x3000, 0x1234_5678, Width::W32);
+        assert_eq!(a.read(0x3000, Width::W32), 0x1234_5678); // warm rcache
+        let mut b = a.clone();
+        b.write(0x3000, 0x9abc_def0, Width::W32);
+        assert_eq!(a.read(0x3000, Width::W32), 0x1234_5678, "clone is independent");
+        assert_eq!(b.read(0x3000, Width::W32), 0x9abc_def0);
     }
 
     #[test]

@@ -396,6 +396,7 @@ pub fn exec_x86_seq_fuel(
                 return Err(SymHazard::Unsupported("flag save/restore"))
             }
             X86Instr::Halt => return Err(SymHazard::Unsupported("hlt")),
+            X86Instr::ChainJmp { .. } => return Err(SymHazard::Unsupported("chain jump")),
         }
     }
     Ok(X86SymOutcome {

@@ -200,6 +200,11 @@ fn alu_base(op: AluOp) -> u8 {
 pub fn encode(instr: &X86Instr) -> Result<Vec<u8>, EncodeX86Error> {
     let mut out = Vec::with_capacity(6);
     match *instr {
+        // A chained jump is an engine-internal patch of a `ret`, not a
+        // real IA-32 instruction; it never reaches the binary encoder.
+        X86Instr::ChainJmp { .. } => {
+            return Err(EncodeX86Error::BadOperands("chain jump is engine-internal"))
+        }
         X86Instr::Mov { dst, src } => match (dst, src) {
             (Operand::Reg(d), Operand::Imm(v)) => {
                 out.push(0xb8 + d.index() as u8);

@@ -338,6 +338,18 @@ pub enum X86Instr {
     Popfd,
     /// `hlt` — stop the interpreter (dispatcher sentinel).
     Halt,
+    /// Direct jump to another translated block (block chaining).
+    ///
+    /// Never emitted by a translator directly: the engine patches the
+    /// `ret` of a `movl $pc, %eax; ret` exit stub into `ChainJmp` once
+    /// the branch target is translated, so execution flows block-to-block
+    /// without returning to the dispatcher. `block` is the engine's code
+    /// cache id of the successor. Costed like `ret` ([`InstrKind::CallRet`])
+    /// so chained and unchained runs are cycle-identical.
+    ChainJmp {
+        /// Code cache id of the chained successor block.
+        block: u32,
+    },
 }
 
 impl X86Instr {
@@ -438,7 +450,8 @@ impl X86Instr {
             X86Instr::Jcc { .. }
             | X86Instr::Jmp { .. }
             | X86Instr::Call { .. }
-            | X86Instr::Halt => {
+            | X86Instr::Halt
+            | X86Instr::ChainJmp { .. } => {
                 vec![]
             }
         }
@@ -531,6 +544,7 @@ impl X86Instr {
                 | X86Instr::Ret
                 | X86Instr::Call { .. }
                 | X86Instr::Halt
+                | X86Instr::ChainJmp { .. }
         )
     }
 
@@ -580,7 +594,7 @@ impl X86Instr {
             X86Instr::Lea { .. } | X86Instr::Setcc { .. } => InstrKind::Alu,
             X86Instr::Jcc { .. } | X86Instr::Jmp { .. } => InstrKind::Branch,
             X86Instr::JmpInd { .. } => InstrKind::IndirectBranch,
-            X86Instr::Call { .. } | X86Instr::Ret => InstrKind::CallRet,
+            X86Instr::Call { .. } | X86Instr::Ret | X86Instr::ChainJmp { .. } => InstrKind::CallRet,
             X86Instr::Push { .. } => InstrKind::Store,
             X86Instr::Pop { .. } => InstrKind::Load,
             X86Instr::Pushfd | X86Instr::Popfd => InstrKind::FlagSync,
@@ -612,6 +626,7 @@ impl X86Instr {
             X86Instr::Pushfd => 35,
             X86Instr::Popfd => 36,
             X86Instr::Halt => 37,
+            X86Instr::ChainJmp { .. } => 38,
         }
     }
 }
@@ -667,6 +682,7 @@ impl fmt::Display for X86Instr {
             X86Instr::Pushfd => write!(f, "pushfd"),
             X86Instr::Popfd => write!(f, "popfd"),
             X86Instr::Halt => write!(f, "hlt"),
+            X86Instr::ChainJmp { block } => write!(f, "chain @{block}"),
         }
     }
 }

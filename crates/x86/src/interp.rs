@@ -38,6 +38,9 @@ pub enum X86Event {
     Return,
     /// `hlt` executed.
     Halt,
+    /// A chained direct jump to another translated block (the payload is
+    /// the engine's code cache id).
+    Chain(u32),
     /// The instruction was malformed (e.g. writes an immediate operand);
     /// execution cannot continue. Surfaced instead of panicking so a
     /// corrupted translation faults the engine rather than the process.
@@ -194,6 +197,7 @@ impl X86State {
                 self.flags = EFlags::from_word(w);
             }
             X86Instr::Halt => return X86Event::Halt,
+            X86Instr::ChainJmp { block } => return X86Event::Chain(block),
         }
         X86Event::Next
     }
@@ -209,6 +213,10 @@ pub enum SeqExit {
     Halted,
     /// An indirect jump left the sequence.
     JumpedOut(u32),
+    /// A chained direct jump into another translated block: execution
+    /// continues at instruction 0 of the code cache entry with this id,
+    /// without a dispatcher round trip (block chaining).
+    Chained(u32),
     /// The fuel budget was exhausted.
     OutOfFuel,
     /// Control fell off the end or jumped outside the sequence.
@@ -253,6 +261,7 @@ pub fn run_seq(
                 ip = state.pop() as i64;
             }
             X86Event::JumpInd(addr) => return SeqExit::JumpedOut(addr),
+            X86Event::Chain(block) => return SeqExit::Chained(block),
             X86Event::Halt => return SeqExit::Halted,
             X86Event::Fault => return SeqExit::Faulted,
         }

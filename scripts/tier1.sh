@@ -15,3 +15,21 @@ for fault in rule-corrupt:0 solver-exhaust:0 worker-panic:0; do
     LDBT_WATCHDOG=1 LDBT_FAULT="$fault" \
         cargo test -q --release --test fault_injection
 done
+
+# Chained-vs-unchained determinism matrix: the engine suite asserts
+# guest R0 / guest_dyn / memory against the ARM interpreter reference
+# (and chained against unchained in-process), so it must stay green in
+# every combination of LDBT_NOCHAIN x LDBT_WATCHDOG the defaults can
+# take.
+for nochain in 0 1; do
+    for watchdog in 0 1; do
+        LDBT_NOCHAIN="$nochain" LDBT_WATCHDOG="$watchdog" \
+            cargo test -q --release -p ldbt-dbt
+        LDBT_NOCHAIN="$nochain" LDBT_WATCHDOG="$watchdog" \
+            cargo test -q --release --test determinism --test adversarial
+    done
+done
+
+# The dispatch-throughput bench must keep compiling (it is the perf
+# gate's measurement tool; results live in results/dispatch_throughput.txt).
+cargo bench --no-run -p ldbt-bench

@@ -171,6 +171,50 @@ int main() {
     assert_eq!(e.stats.quarantined_rules, 1, "the one bad rule is tombstoned exactly once");
 }
 
+/// A quarantine purge must also sever chained links: blocks that were
+/// directly linked into the purged translation fall back to the
+/// dispatcher (and re-chain to the clean retranslation), so the run
+/// still ends with the pure-TCG result instead of jumping into a stale
+/// or tombstoned block.
+#[test]
+fn quarantine_unlinks_chained_predecessors() {
+    let src = "
+int main() {
+  int s = 0;
+  for (int i = 0; i < 10; i += 1) { s = s + i; s = s ^ 3; }
+  return s;
+}";
+    let image = build_arm_image(src, &Options::o2()).unwrap();
+    let mut base = Engine::new(&image, Translator::Tcg).with_watchdog(None).with_fault(None);
+    assert_eq!(base.run(10_000_000), RunOutcome::Halted);
+    let want = base.guest_reg(ArmReg::R0);
+
+    // Same deliberately wrong rule as `watchdog_quarantines_corrupted_rule`,
+    // but with block chaining explicitly on: by the time the watchdog
+    // samples the corrupted block, its predecessors have chained into it.
+    let mut evil = RuleSet::new();
+    evil.insert(Rule {
+        guest: vec![ArmInstr::dp(DpOp::Eor, ArmReg::R0, ArmReg::R0, Operand2::Imm(3))],
+        host: vec![X86Instr::alu_ri(AluOp::Xor, Gpr::Ecx, 2)],
+        host_reg_of: [(Gpr::Ecx, ArmReg::R0)].into_iter().collect(),
+        imm_params: vec![],
+        unemulated_flags: 0,
+        has_branch: false,
+    });
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(evil)))
+        .with_chaining(true)
+        .with_watchdog(Some(1))
+        .with_fault(None);
+    assert_eq!(e.run(10_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), want, "post-quarantine run matches TCG");
+    assert_eq!(e.stats.quarantined_rules, 1, "the bad rule is tombstoned");
+    assert!(e.stats.chain_links > 0, "blocks were chained before the purge");
+    assert!(
+        e.stats.chain_unlinks > 0,
+        "purging the corrupted block severed its incoming chained links"
+    );
+}
+
 /// The repair synthesizer's output is itself verified: a snippet whose
 /// scratch materialization cannot be expressed as mov/lea is rejected,
 /// not silently mistranslated.

@@ -7,11 +7,15 @@
 //! order. Only the wall-clock durations may differ, so those are
 //! excluded from the comparison via `LearnStats::counters`.
 
-use ldbt_compiler::Options;
+use ldbt_arm::ArmReg;
+use ldbt_compiler::{link::build_arm_image, Options};
+use ldbt_dbt::engine::{RunOutcome, Translator};
+use ldbt_dbt::Engine;
 use ldbt_learn::cache::VerifyCache;
-use ldbt_learn::pipeline::{learn_from_source_cached, LearnConfig};
+use ldbt_learn::pipeline::{learn_from_source, learn_from_source_cached, LearnConfig};
 use ldbt_learn::Rule;
 use ldbt_workloads::{source, Workload, SUITE};
+use std::rc::Rc;
 
 #[test]
 fn parallel_learning_matches_sequential_on_the_suite() {
@@ -61,6 +65,62 @@ fn isolation_and_thread_count_do_not_change_learning() {
             let cfg = LearnConfig { threads, isolate, fault: None, ..LearnConfig::default() };
             let got = learn_programs(&programs, &cfg);
             assert_eq!(reference, got, "learning diverged at threads={threads} isolate={isolate}");
+        }
+    }
+}
+
+/// Block chaining is an invisible optimization: for every translator,
+/// with the watchdog off and on, a chained run (`LDBT_NOCHAIN` unset)
+/// and an unchained run (`LDBT_NOCHAIN=1`) produce identical guest
+/// registers, guest memory, and dynamic-instruction counts.
+#[test]
+fn chained_execution_is_bit_identical_to_unchained() {
+    let src = "
+int a[16];
+int main() {
+  int s = 0;
+  for (int i = 0; i < 16; i += 1) { a[i] = i * 7; }
+  for (int i = 0; i < 400; i += 1) {
+    s = s + a[i & 15];
+    if (i & 1) { s = s ^ 9; }
+  }
+  return s & 0xffff;
+}";
+    let rules = Rc::new(learn_from_source("chain-det", src, &Options::o2()).unwrap().rules);
+    let image = build_arm_image(src, &Options::o2()).unwrap();
+    let translators: [(&str, Translator); 3] = [
+        ("tcg", Translator::Tcg),
+        ("rules", Translator::Rules(Rc::clone(&rules))),
+        ("jit", Translator::Jit),
+    ];
+    for (name, t) in translators {
+        for watchdog in [None, Some(3)] {
+            let run = |chaining: bool| {
+                let mut e = Engine::new(&image, t.clone())
+                    .with_chaining(chaining)
+                    .with_watchdog(watchdog)
+                    .with_fault(None);
+                assert_eq!(e.run(100_000_000), RunOutcome::Halted, "{name} wd={watchdog:?}");
+                e
+            };
+            let chained = run(true);
+            let plain = run(false);
+            let ctx = format!("{name} wd={watchdog:?}");
+            assert!(plain.stats.chained_execs == 0, "{ctx}: unchained run must not chain");
+            for r in ArmReg::ALL {
+                assert_eq!(chained.guest_reg(r), plain.guest_reg(r), "{ctx}: {r:?}");
+            }
+            assert_eq!(chained.stats.guest_dyn, plain.stats.guest_dyn, "{ctx}: guest_dyn");
+            assert_eq!(chained.stats.block_execs, plain.stats.block_execs, "{ctx}: block_execs");
+            assert_eq!(
+                chained.stats.exec.host_instrs, plain.stats.exec.host_instrs,
+                "{ctx}: host_instrs"
+            );
+            assert_eq!(
+                chained.state.mem.first_difference(&plain.state.mem, |_| false),
+                None,
+                "{ctx}: guest memory diverges"
+            );
         }
     }
 }

@@ -2,9 +2,10 @@
 //! round-trips and interpreter invariants.
 
 use ldbt_arm::{AddrMode, ArmInstr, ArmReg, Cond, DpOp, Operand2, Shift};
-use ldbt_isa::Width;
+use ldbt_isa::{Memory, Width};
 use ldbt_x86::{AluOp, Cc, Gpr, Operand, ShiftOp, UnOp, X86Instr, X86Mem};
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 fn arm_reg() -> impl Strategy<Value = ArmReg> {
     (0usize..16).prop_map(ArmReg::from_index)
@@ -87,6 +88,92 @@ proptest! {
         prop_assert_eq!(instr.flags_read() & !0b1111, 0);
         if !instr.sets_flags() {
             prop_assert_eq!(instr.flags_written(), 0);
+        }
+    }
+}
+
+/// One guest-memory operation for the fast-path equivalence property.
+#[derive(Debug, Clone)]
+enum MemOp {
+    Write(u32, u32, Width),
+    Read(u32, Width),
+    WriteBytes(u32, Vec<u8>),
+}
+
+/// Addresses concentrated on a few pages, with extra weight right at
+/// page boundaries so W16/W32 page-cross and unaligned accesses are
+/// common rather than rare.
+fn mem_addr() -> impl Strategy<Value = u32> {
+    let off = prop_oneof![0u32..4096, 4090u32..4096, Just(0u32), Just(1u32)];
+    (0u32..4, off).prop_map(|(page, off)| page * 4096 + off)
+}
+
+fn mem_op() -> impl Strategy<Value = MemOp> {
+    let width = prop_oneof![Just(Width::W8), Just(Width::W16), Just(Width::W32)];
+    prop_oneof![
+        (mem_addr(), any::<u32>(), width.clone()).prop_map(|(a, v, w)| MemOp::Write(a, v, w)),
+        (mem_addr(), width).prop_map(|(a, w)| MemOp::Read(a, w)),
+        (mem_addr(), proptest::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(a, bytes)| MemOp::WriteBytes(a, bytes)),
+    ]
+}
+
+/// Byte-at-a-time little-endian reference model for guest memory.
+#[derive(Default)]
+struct ShadowMem(HashMap<u32, u8>);
+
+impl ShadowMem {
+    fn write(&mut self, addr: u32, val: u32, width: Width) {
+        for i in 0..width.bytes() {
+            self.0.insert(addr.wrapping_add(i), (val >> (8 * i)) as u8);
+        }
+    }
+    fn read(&self, addr: u32, width: Width) -> u32 {
+        let mut v = 0u32;
+        for i in 0..width.bytes() {
+            v |= (*self.0.get(&addr.wrapping_add(i)).unwrap_or(&0) as u32) << (8 * i);
+        }
+        v
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The word-wide/page-cached memory fast path is observationally
+    /// identical to a plain byte-at-a-time little-endian model, across
+    /// unaligned and page-crossing accesses interleaved with bulk
+    /// `write_bytes` (which drops the last-page caches).
+    #[test]
+    fn memory_fast_path_equals_byte_loop(ops in proptest::collection::vec(mem_op(), 1..80)) {
+        let mut mem = Memory::new();
+        let mut shadow = ShadowMem::default();
+        for op in &ops {
+            match op {
+                MemOp::Write(a, v, w) => {
+                    mem.write(*a, *v, *w);
+                    shadow.write(*a, *v, *w);
+                }
+                MemOp::Read(a, w) => {
+                    prop_assert_eq!(mem.read(*a, *w), shadow.read(*a, *w));
+                }
+                MemOp::WriteBytes(a, bytes) => {
+                    mem.write_bytes(*a, bytes);
+                    for (i, b) in bytes.iter().enumerate() {
+                        shadow.0.insert(a.wrapping_add(i as u32), *b);
+                    }
+                }
+            }
+        }
+        // Final sweep: every byte either side ever touched, plus both
+        // sides of each page boundary, reads back identically.
+        for page in 0u32..4 {
+            for off in [0u32, 1, 2, 3, 4093, 4094, 4095] {
+                let a = page * 4096 + off;
+                for w in [Width::W8, Width::W16, Width::W32] {
+                    prop_assert_eq!(mem.read(a, w), shadow.read(a, w));
+                }
+            }
         }
     }
 }
