@@ -48,7 +48,7 @@ fn bench_translation(c: &mut Criterion) {
     c.bench_function("translate_block/tcg", |b| {
         b.iter(|| {
             let t = ldbt_dbt::tcg::translate_block(black_box(&mem), black_box(&block));
-            ldbt_dbt::backend::lower_block(&t).len()
+            ldbt_dbt::backend::lower_block(&t).code.len()
         })
     });
     c.bench_function("translate_block/rules", |b| {
@@ -62,7 +62,7 @@ fn bench_translation(c: &mut Criterion) {
         b.iter(|| {
             let t = ldbt_dbt::tcg::translate_block(black_box(&mem), black_box(&block));
             let o = ldbt_dbt::jit::optimize_block(&t);
-            ldbt_dbt::backend::lower_block(&o).len()
+            ldbt_dbt::backend::lower_block(&o).code.len()
         })
     });
 }

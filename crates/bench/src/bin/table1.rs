@@ -1,14 +1,16 @@
 //! Table 1: per-benchmark learning statistics.
 
-use ldbt_bench::{hr, learn_everything};
+use ldbt_bench::{deterministic_output, hr, learn_everything, table1_row};
 use ldbt_compiler::Options;
 use ldbt_core::experiment::{loo_rules, table1};
 use ldbt_core::workloads::Workload;
-use ldbt_core::{run_benchmark, EngineKind};
+use ldbt_core::{report, run_benchmark, EngineKind};
+use std::time::Duration;
 
 fn main() {
     let all = learn_everything();
     let rows = table1(&all);
+    let deterministic = deterministic_output();
     println!("Table 1. Learning results (synthetic SPEC CINT2006 stand-ins)");
     hr(144);
     println!(
@@ -18,35 +20,23 @@ fn main() {
     hr(144);
     let mut tot = [0usize; 14];
     let mut wd_tot = (0u64, 0u64);
+    let mut bench_runs = Vec::new();
+    let mut learn_stats = Vec::new();
     for (b, lines, s) in &rows {
-        let vfy_share = if s.learn_time.as_secs_f64() > 0.0 {
-            s.verify_time.as_secs_f64() / s.learn_time.as_secs_f64() * 100.0
-        } else {
-            0.0
-        };
+        let mut s = s.clone();
+        if deterministic {
+            s.learn_time = Duration::ZERO;
+            s.verify_time = Duration::ZERO;
+        }
         // A rules-engine run on the test workload surfaces the runtime
         // fault-containment counters (nonzero only with LDBT_WATCHDOG).
         let rules = loo_rules(&all, b.name);
         let run =
             run_benchmark(b.name, Workload::Test, EngineKind::Rules, &Options::o2(), Some(&rules));
-        wd_tot.0 += run.stats.watchdog_checks;
-        wd_tot.1 += run.stats.quarantined_rules;
-        println!(
-            "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9.2} {:>9.3} {:>5.1} {:>5.1} | {:>6} {:>4}",
-            b.name,
-            if b.cpp { "C++" } else { "C" },
-            lines,
-            s.prep_ci, s.prep_pi, s.prep_mb,
-            s.par_num, s.par_name, s.par_failg,
-            s.ver_rg, s.ver_mm, s.ver_br, s.ver_other,
-            s.rules,
-            s.learn_time.as_secs_f64() * 1e3,
-            if s.rules > 0 { s.learn_time.as_secs_f64() * 1e3 / s.rules as f64 } else { 0.0 },
-            vfy_share,
-            s.cache_hit_rate() * 100.0,
-            run.stats.watchdog_checks,
-            run.stats.quarantined_rules,
-        );
+        wd_tot.0 += run.stats.watchdog_checks();
+        wd_tot.1 += run.stats.quarantined_rules();
+        let wd = (run.stats.watchdog_checks(), run.stats.quarantined_rules());
+        println!("{}", table1_row(b.name, if b.cpp { "C++" } else { "C" }, *lines, &s, wd));
         for (i, v) in [
             s.total,
             s.prep_ci,
@@ -68,6 +58,8 @@ fn main() {
         {
             tot[i] += v;
         }
+        bench_runs.push(run);
+        learn_stats.push(s);
     }
     hr(144);
     let total = tot[0] as f64;
@@ -79,8 +71,12 @@ fn main() {
         tot[11] as f64 / total * 100.0,
     );
     println!("(paper: 43% / 19% / 14% / 24% yield; verification dominates learning time)");
-    let verify_share: f64 = rows.iter().map(|(_, _, s)| s.verify_time.as_secs_f64()).sum::<f64>()
-        / rows.iter().map(|(_, _, s)| s.learn_time.as_secs_f64()).sum::<f64>();
+    let learn_total: f64 = learn_stats.iter().map(|s| s.learn_time.as_secs_f64()).sum();
+    let verify_share: f64 = if learn_total > 0.0 {
+        learn_stats.iter().map(|s| s.verify_time.as_secs_f64()).sum::<f64>() / learn_total
+    } else {
+        0.0
+    };
     println!("verification share of learning time: {:.0}% (paper: ~95%)", verify_share * 100.0);
     let queries = tot[12] + tot[13];
     if queries > 0 {
@@ -99,4 +95,7 @@ fn main() {
         "threads: {} (override with LDBT_THREADS; 1 = sequential)",
         ldbt_core::configured_threads()
     );
+    if let Some(p) = report::write_if_configured(&bench_runs, &learn_stats) {
+        eprintln!("run report: {}", p.display());
+    }
 }

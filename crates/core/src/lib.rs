@@ -28,6 +28,7 @@
 //! ```
 
 pub mod experiment;
+pub mod report;
 
 pub use ldbt_compiler as compiler;
 pub use ldbt_dbt as dbt;
@@ -37,7 +38,7 @@ pub use ldbt_workloads as workloads;
 
 use ldbt_compiler::{link::build_arm_image, CompileError, Options};
 use ldbt_dbt::engine::{RunOutcome, Translator};
-use ldbt_dbt::{DbtStats, Engine};
+use ldbt_dbt::{DbtStats, Engine, ExecProfile};
 use ldbt_learn::{LearnStats, RuleSet};
 use ldbt_workloads::{benchmark, source, Workload, SUITE};
 use std::rc::Rc;
@@ -53,6 +54,17 @@ pub enum EngineKind {
     Jit,
 }
 
+impl EngineKind {
+    /// Stable lowercase tag used in run reports and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Tcg => "tcg",
+            EngineKind::Rules => "rules",
+            EngineKind::Jit => "jit",
+        }
+    }
+}
+
 /// The result of one benchmark run.
 #[derive(Debug, Clone)]
 pub struct BenchRun {
@@ -62,6 +74,9 @@ pub struct BenchRun {
     pub engine: EngineKind,
     /// DBT statistics (cycles, coverage, rule hits).
     pub stats: DbtStats,
+    /// Execution-hotness profile (per-rule attribution, hot blocks),
+    /// snapshotted from the code cache at run end.
+    pub profile: ExecProfile,
     /// The guest checksum (r0 at exit) — validated against the
     /// interpreter.
     pub checksum: u32,
@@ -149,7 +164,8 @@ pub fn run_benchmark(
     assert_eq!(out, RunOutcome::Halted, "{name}: DBT did not halt under {engine:?}");
     let got = e.guest_reg(ldbt_arm::ArmReg::R0);
     assert_eq!(got, want, "{name}: wrong result under {engine:?}");
-    BenchRun { name: name.to_string(), engine, stats: e.stats, checksum: got }
+    let profile = e.profile();
+    BenchRun { name: name.to_string(), engine, stats: e.stats, profile, checksum: got }
 }
 
 #[cfg(test)]
@@ -179,8 +195,8 @@ mod tests {
     #[test]
     fn tcg_baseline_runs_mcf_test() {
         let run = run_benchmark("mcf", Workload::Test, EngineKind::Tcg, &Options::o2(), None);
-        assert!(run.stats.guest_dyn > 0);
-        assert!(run.stats.exec.host_instrs > run.stats.guest_dyn, "expansion > 1x");
+        assert!(run.stats.guest_dyn() > 0);
+        assert!(run.stats.exec.host_instrs > run.stats.guest_dyn(), "expansion > 1x");
     }
 
     #[test]

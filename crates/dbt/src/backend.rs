@@ -481,14 +481,29 @@ fn flag_stub(code: &mut Vec<X86Instr>) {
     let _ = start;
 }
 
+/// Host code for one block plus its direct-exit metadata.
+///
+/// `exits` lists every patchable direct exit as `(ret_index, target_pc)`
+/// — the `Ret` whose preceding `mov $pc, %eax` names a statically known
+/// successor. The engine's block chainer patches exactly these sites
+/// and nothing else; exits are declared here, at lowering time, because
+/// pattern-matching `mov/ret` pairs after the fact cannot distinguish a
+/// genuine exit stub from a coincidental literal `mov` into `%eax`
+/// before an indirect return.
+#[derive(Debug, Clone)]
+pub struct LoweredBlock {
+    pub code: Vec<X86Instr>,
+    pub exits: Vec<(usize, u32)>,
+}
+
 /// Lower a TCG block to host code.
-pub fn lower_block(block: &TcgBlock) -> Vec<X86Instr> {
+pub fn lower_block(block: &TcgBlock) -> LoweredBlock {
     lower_block_opts(block, true, POOL.len())
 }
 
 /// [`lower_block`] with explicit control over guest-register home
 /// caching and the register-pool size (the JIT path shrinks the pool).
-pub fn lower_block_opts(block: &TcgBlock, home_caching: bool, pool_limit: usize) -> Vec<X86Instr> {
+pub fn lower_block_opts(block: &TcgBlock, home_caching: bool, pool_limit: usize) -> LoweredBlock {
     let mut l = Lowerer::new(block);
     l.home_caching = home_caching;
     l.pool_limit = pool_limit.clamp(2, POOL.len());
@@ -502,11 +517,15 @@ pub fn lower_block_opts(block: &TcgBlock, home_caching: bool, pool_limit: usize)
         l.lower_op(op, idx);
         l.expire(idx);
     }
-    // Terminator.
+    // Terminator. Direct exits (Jump, both Branch arms) are recorded as
+    // they are emitted; an Indirect return deliberately is not, even
+    // though it ends in `mov %eax; ret` too.
+    let mut exits = Vec::new();
     match block.end {
         BlockEnd::Jump(pc) => {
             l.writeback_all();
             l.emit(X86Instr::mov_imm(Gpr::Eax, pc as i32));
+            exits.push((l.code.len(), pc));
             l.emit(X86Instr::Ret);
         }
         BlockEnd::Halt => {
@@ -525,12 +544,14 @@ pub fn lower_block_opts(block: &TcgBlock, home_caching: bool, pool_limit: usize)
             l.emit(X86Instr::Alu { op: AluOp::Cmp, dst: c, src: Operand::Imm(0) });
             l.emit(X86Instr::Jcc { cc: Cc::Ne, target: 2 });
             l.emit(X86Instr::mov_imm(Gpr::Eax, not_taken as i32));
+            exits.push((l.code.len(), not_taken));
             l.emit(X86Instr::Ret);
             l.emit(X86Instr::mov_imm(Gpr::Eax, taken as i32));
+            exits.push((l.code.len(), taken));
             l.emit(X86Instr::Ret);
         }
     }
-    l.code
+    LoweredBlock { code: l.code, exits }
 }
 
 #[cfg(test)]
@@ -551,7 +572,7 @@ mod tests {
         let mem = Memory::new();
         let tcg = translate_block(&mem, &block);
         assert_eq!(tcg.unsupported_at, None);
-        let code = lower_block(&tcg);
+        let code = lower_block(&tcg).code;
         let mut st = X86State::new();
         st.set_reg(Gpr::Esp, crate::env::HOST_STACK_TOP);
         setup(&mut st.mem);
@@ -755,7 +776,7 @@ mod tests {
         let mem = Memory::new();
         let tcg = translate_block(&mem, &block);
         assert!(tcg.reads_live_in_flags);
-        let code = lower_block(&tcg);
+        let code = lower_block(&tcg).code;
         let mut st = X86State::new();
         st.set_reg(Gpr::Esp, crate::env::HOST_STACK_TOP);
         // Saved flags: ZF clear (so NE holds), mode=1, sub polarity.

@@ -28,41 +28,54 @@ use crate::backend::lower_block;
 use crate::env::{env_mem, reg_mem, FlagId, ENV_BASE, FLAGMODE_OFFSET, HOST_STACK_TOP};
 use crate::jit::optimize_block;
 use crate::rules::block_supported;
-use crate::stats::DbtStats;
+use crate::stats::{BlockProfile, DbtCtr, DbtStats, ExecProfile, RuleProfile};
 use crate::tcg::{decode_block, translate_block};
 use ldbt_arm::{encode::decode, ArmEvent, ArmReg, ArmState};
 use ldbt_compiler::ArmImage;
 use ldbt_isa::{CostModel, Memory, Width};
 use ldbt_learn::{FaultPlan, RuleSet};
+use ldbt_obs::registry::Hist;
+use ldbt_obs::trace::{self, Scope, Val};
 use ldbt_x86::interp::{run_seq, SeqExit};
-use ldbt_x86::{Gpr, Operand, X86Instr, X86State};
-use std::collections::{HashMap, HashSet};
+use ldbt_x86::{Gpr, X86Instr, X86State};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::OnceLock;
 
-/// The `LDBT_WATCHDOG` sampling period: `None` disables the watchdog
-/// (unset, `0`, or `off`), `on`/`1` checks every rule-covered dispatch,
-/// `N` checks every Nth.
-fn watchdog_from_env() -> Option<u64> {
-    static WATCHDOG: OnceLock<Option<u64>> = OnceLock::new();
-    *WATCHDOG.get_or_init(|| match std::env::var("LDBT_WATCHDOG") {
-        Ok(v) => match v.trim() {
-            "" | "0" | "off" => None,
-            "on" => Some(1),
-            s => s.parse::<u64>().ok().filter(|n| *n > 0),
-        },
-        Err(_) => None,
-    })
+/// Parse table for `LDBT_WATCHDOG` (the sampling period of the
+/// differential cross-check):
+///
+/// | value                 | behavior                                  |
+/// |-----------------------|-------------------------------------------|
+/// | unset / `""` / `0` / `off` | watchdog disabled                    |
+/// | `on` / `1`            | check every rule-covered dispatch         |
+/// | `N` (integer > 0)     | check every Nth rule-covered dispatch     |
+/// | anything else         | watchdog disabled (garbage is not a period) |
+fn parse_watchdog(raw: Option<&str>) -> Option<u64> {
+    match raw.map(str::trim) {
+        None | Some("" | "0" | "off") => None,
+        Some("on") => Some(1),
+        Some(s) => s.parse::<u64>().ok().filter(|n| *n > 0),
+    }
 }
 
-/// `LDBT_NOCHAIN` disables block chaining (for A/B measurement): unset,
-/// `0`, or `off` keep chaining on; anything else turns it off.
+fn watchdog_from_env() -> Option<u64> {
+    static WATCHDOG: OnceLock<Option<u64>> = OnceLock::new();
+    *WATCHDOG.get_or_init(|| parse_watchdog(std::env::var("LDBT_WATCHDOG").ok().as_deref()))
+}
+
+/// Parse table for `LDBT_NOCHAIN` (block-chaining kill switch for A/B
+/// measurement): unset, `""`, `0`, and `off` keep chaining **on**; any
+/// other value (including garbage) turns it off — the knob is a
+/// disabler, so an unrecognized value fails toward the measurement mode
+/// the user was reaching for.
+fn parse_chaining(raw: Option<&str>) -> bool {
+    matches!(raw.map(str::trim), None | Some("" | "0" | "off"))
+}
+
 fn chaining_from_env() -> bool {
     static NOCHAIN: OnceLock<bool> = OnceLock::new();
-    !*NOCHAIN.get_or_init(|| match std::env::var("LDBT_NOCHAIN") {
-        Ok(v) => !matches!(v.trim(), "" | "0" | "off"),
-        Err(_) => false,
-    })
+    *NOCHAIN.get_or_init(|| parse_chaining(std::env::var("LDBT_NOCHAIN").ok().as_deref()))
 }
 
 /// Which translator the engine uses.
@@ -278,57 +291,70 @@ impl Engine {
     fn lookup_or_translate(&mut self, pc: u32) -> u32 {
         let slot = ((pc >> 2) as usize) & (IBTC_SIZE - 1);
         let (epc, eid) = self.ibtc[slot];
-        if epc == pc && eid != NO_BLOCK {
-            debug_assert!(!self.blocks[eid as usize].dead, "purge scrubs the IBTC");
-            self.stats.ibtc_hits += 1;
+        // A hit must also be live: `purge_block` scrubs the IBTC, but
+        // the dispatcher is the last line of defense — dispatching a
+        // tombstoned block would run empty code and fault the guest, so
+        // the liveness check is enforced here, not debug-asserted.
+        if epc == pc && eid != NO_BLOCK && !self.blocks[eid as usize].dead {
+            self.stats.bump(DbtCtr::IbtcHits);
             return eid;
         }
-        self.stats.ibtc_misses += 1;
+        self.stats.bump(DbtCtr::IbtcMisses);
         let id = match self.map.get(&pc) {
             Some(&i) => i,
             None => self.translate(pc),
         };
+        if trace::enabled(Scope::Exec) && epc != pc && eid != NO_BLOCK {
+            trace::emit(
+                Scope::Exec,
+                "ibtc_evict",
+                &[
+                    ("slot", Val::U(slot as u64)),
+                    ("old_pc", Val::U(epc as u64)),
+                    ("new_pc", Val::U(pc as u64)),
+                ],
+            );
+        }
         self.ibtc[slot] = (pc, id);
         id
     }
 
-    /// Patchable exit stubs of a code sequence: each `movl $pc, %eax;
-    /// ret` pair, reported as (index of the `ret`, target pc). Every
-    /// such pair in lowered block code is a direct-branch exit by
-    /// construction (indirect exits move a non-immediate into `%eax`).
-    fn scan_exits(code: &[X86Instr]) -> Vec<(usize, u32)> {
-        let mut exits = Vec::new();
-        for i in 1..code.len() {
-            if matches!(code[i], X86Instr::Ret) {
-                if let X86Instr::Mov { dst: Operand::Reg(Gpr::Eax), src: Operand::Imm(t) } =
-                    code[i - 1]
-                {
-                    exits.push((i, t as u32));
-                }
-            }
-        }
-        exits
-    }
-
     /// Patch predecessor `pred`'s exit `site` into a chained jump to
     /// `succ`, recording the link on both ends.
+    ///
+    /// Only sites listed in the predecessor's `exits` — declared by the
+    /// lowerer when it emitted the stub — are ever patched. The engine
+    /// never infers exits from code shape: a `movl $imm, %eax; ret`
+    /// lookalike in a rule or JIT body must not become a `ChainJmp`.
     fn patch_link(&mut self, pred: u32, site: usize, succ: u32) {
         let code = Rc::make_mut(&mut self.blocks[pred as usize].code);
         debug_assert!(matches!(code[site], X86Instr::Ret), "link site must be an unpatched ret");
         code[site] = X86Instr::ChainJmp { block: succ };
         self.blocks[pred as usize].links_out.push((site, succ));
         self.blocks[succ as usize].links_in.push((pred, site));
-        self.stats.chain_links += 1;
+        self.stats.bump(DbtCtr::ChainLinks);
+        if trace::enabled(Scope::Exec) {
+            trace::emit(
+                Scope::Exec,
+                "chain_link",
+                &[
+                    ("pred_pc", Val::U(self.blocks[pred as usize].pc as u64)),
+                    ("succ_pc", Val::U(self.blocks[succ as usize].pc as u64)),
+                    ("site", Val::U(site as u64)),
+                ],
+            );
+        }
     }
 
     /// Insert a freshly translated block into the arena and, with
     /// chaining enabled, link it to already-translated neighbors in both
     /// directions.
-    fn insert_block(&mut self, mut block: CachedBlock) -> u32 {
+    fn insert_block(&mut self, block: CachedBlock) -> u32 {
         let pc = block.pc;
-        if !block.interp_one {
-            block.exits = Self::scan_exits(&block.code);
-        }
+        debug_assert!(
+            block.exits.iter().all(|&(at, _)| matches!(block.code.get(at), Some(X86Instr::Ret))),
+            "declared exits must point at ret stubs"
+        );
         let id = self.blocks.len() as u32;
         self.blocks.push(block);
         self.map.insert(pc, id);
@@ -379,7 +405,18 @@ impl Engine {
             // The predecessor still branches to `pc`: let a future
             // retranslation re-link it.
             self.pending.entry(pc).or_default().push((pred, site));
-            self.stats.chain_unlinks += 1;
+            self.stats.bump(DbtCtr::ChainUnlinks);
+            if trace::enabled(Scope::Exec) {
+                trace::emit(
+                    Scope::Exec,
+                    "chain_unlink",
+                    &[
+                        ("pred_pc", Val::U(self.blocks[pred as usize].pc as u64)),
+                        ("succ_pc", Val::U(pc as u64)),
+                        ("site", Val::U(site as u64)),
+                    ],
+                );
+            }
         }
         let links_out = std::mem::take(&mut self.blocks[id as usize].links_out);
         for (site, succ) in links_out {
@@ -398,15 +435,39 @@ impl Engine {
         b.code = Rc::new(Vec::new());
         b.hits = Rc::from(Vec::new());
         b.exits.clear();
+        if trace::enabled(Scope::Exec) {
+            trace::emit(
+                Scope::Exec,
+                "purge",
+                &[("pc", Val::U(pc as u64)), ("id", Val::U(id as u64))],
+            );
+        }
+    }
+
+    /// Emit a `translate` trace event (one per code-cache fill).
+    fn trace_translate(pc: u32, kind: &str, guest_len: u64, covered: u64) {
+        if trace::enabled(Scope::Exec) {
+            trace::emit(
+                Scope::Exec,
+                "translate",
+                &[
+                    ("pc", Val::U(pc as u64)),
+                    ("kind", Val::S(kind)),
+                    ("guest_len", Val::U(guest_len)),
+                    ("covered", Val::U(covered)),
+                ],
+            );
+        }
     }
 
     /// Translate the block at `pc` into the code cache; returns its id.
     fn translate(&mut self, pc: u32) -> u32 {
         let block = decode_block(&self.state.mem, pc);
-        self.stats.blocks += 1;
+        self.stats.bump(DbtCtr::Blocks);
         let empty_hits: Rc<[(usize, u64)]> = Rc::from(Vec::new());
         if block.instrs.is_empty() {
             // Undecodable: fault block.
+            Self::trace_translate(pc, "fault", 0, 0);
             return self.insert_block(CachedBlock {
                 pc,
                 code: Rc::new(vec![X86Instr::Halt]),
@@ -441,14 +502,15 @@ impl Engine {
                     + self.tcost.per_lookup * low.lookups as u64
                     + self.tcost.per_rule_instr * low.rule_instrs as u64
                     + self.tcost.per_tcg_op * low.tcg_ops as u64;
-                self.stats.rule_lookups += low.lookups as u64;
-                self.stats.guest_static += block.instrs.len() as u64;
-                self.stats.guest_static_covered += covered;
+                self.stats.add(DbtCtr::RuleLookups, low.lookups as u64);
+                self.stats.add(DbtCtr::GuestStatic, block.instrs.len() as u64);
+                self.stats.add(DbtCtr::GuestStaticCovered, covered);
                 // Hit-rule aggregation happens once here, not per dispatch
                 // (a translated block is always dispatched at least once).
                 for &(len, key) in &low.hits {
                     self.stats.hit_rules.insert(key, len);
                 }
+                Self::trace_translate(pc, "rules", block.instrs.len() as u64, covered);
                 return self.insert_block(CachedBlock {
                     pc,
                     code: Rc::new(low.code),
@@ -457,7 +519,7 @@ impl Engine {
                     execs: 0,
                     interp_one: false,
                     hits: Rc::from(low.hits),
-                    exits: Vec::new(),
+                    exits: low.exits,
                     links_out: Vec::new(),
                     links_in: Vec::new(),
                     dead: false,
@@ -468,7 +530,8 @@ impl Engine {
         let tcg = translate_block(&self.state.mem, &block);
         if tcg.unsupported_at == Some(0) {
             // The first instruction needs the interpreter helper.
-            self.stats.guest_static += 1;
+            self.stats.add(DbtCtr::GuestStatic, 1);
+            Self::trace_translate(pc, "interp_one", 1, 0);
             return self.insert_block(CachedBlock {
                 pc,
                 code: Rc::new(Vec::new()),
@@ -487,31 +550,32 @@ impl Engine {
             Some(k) => k as u64,
             None => block.instrs.len() as u64,
         };
-        let code = match self.translator {
+        let (lowered, kind) = match self.translator {
             Translator::Jit => {
                 let opt = optimize_block(&tcg);
-                let code = crate::backend::lower_block_opts(&opt, true, 3);
+                let lowered = crate::backend::lower_block_opts(&opt, true, 3);
                 self.stats.exec.translation_cycles +=
                     self.tcost.jit_block_base + self.tcost.jit_per_op * tcg.ops.len() as u64;
-                code
+                (lowered, "jit")
             }
             _ => {
-                let code = lower_block(&tcg);
+                let lowered = lower_block(&tcg);
                 self.stats.exec.translation_cycles +=
                     self.tcost.block_base + self.tcost.per_tcg_op * tcg.ops.len() as u64;
-                code
+                (lowered, "tcg")
             }
         };
-        self.stats.guest_static += translated_len;
+        self.stats.add(DbtCtr::GuestStatic, translated_len);
+        Self::trace_translate(pc, kind, translated_len, 0);
         self.insert_block(CachedBlock {
             pc,
-            code: Rc::new(code),
+            code: Rc::new(lowered.code),
             guest_len: translated_len,
             covered: 0,
             execs: 0,
             interp_one: false,
             hits: empty_hits,
-            exits: Vec::new(),
+            exits: lowered.exits,
             links_out: Vec::new(),
             links_in: Vec::new(),
             dead: false,
@@ -563,7 +627,7 @@ impl Engine {
         arm.mem.write(ENV_BASE + crate::env::FLAGMODE_OFFSET, 0, Width::W32);
         self.state.mem = std::mem::take(&mut arm.mem);
         self.stats.exec.exec_cycles += self.tcost.helper;
-        self.stats.helper_steps += 1;
+        self.stats.bump(DbtCtr::HelperSteps);
         Ok(next_pc)
     }
 
@@ -584,9 +648,9 @@ impl Engine {
                 b.execs += 1;
                 let block_pc = b.pc;
                 let interp_one = b.interp_one;
-                self.stats.block_execs += 1;
-                self.stats.guest_dyn += b.guest_len;
-                self.stats.guest_dyn_covered += b.covered;
+                self.stats.bump(DbtCtr::BlockExecs);
+                self.stats.add(DbtCtr::GuestDyn, b.guest_len);
+                self.stats.add(DbtCtr::GuestDynCovered, b.covered);
                 if interp_one {
                     match self.helper_step(block_pc) {
                         Ok(next) => {
@@ -650,7 +714,7 @@ impl Engine {
                         if self.stats.exec.host_instrs >= fuel {
                             return RunOutcome::OutOfFuel;
                         }
-                        self.stats.chained_execs += 1;
+                        self.stats.bump(DbtCtr::ChainedExecs);
                         id = next;
                     }
                     None => continue 'dispatch,
@@ -667,7 +731,7 @@ impl Engine {
     /// this block onto the TCG path, and adopt the interpreter's
     /// (correct) state so execution continues unharmed.
     fn watchdog_check(&mut self, pc: u32, hits: &[(usize, u64)], pre: Memory) -> WdVerdict {
-        self.stats.watchdog_checks += 1;
+        self.stats.bump(DbtCtr::WatchdogChecks);
         let block = decode_block(&pre, pc);
         if block.instrs.is_empty() {
             return WdVerdict::Clean;
@@ -752,9 +816,22 @@ impl Engine {
             for &(_, key) in hits {
                 if rs.tombstone(key) {
                     newly.insert(key);
-                    self.stats.quarantined_rules += 1;
+                    self.stats.bump(DbtCtr::QuarantinedRules);
                 }
             }
+        }
+        if trace::enabled(Scope::Exec) {
+            trace::emit(
+                Scope::Exec,
+                "quarantine",
+                &[
+                    ("pc", Val::U(pc as u64)),
+                    ("rules", Val::U(newly.len() as u64)),
+                    ("regs_ok", Val::B(regs_ok)),
+                    ("pc_ok", Val::B(pc_ok)),
+                    ("mem_ok", Val::B(mem_ok)),
+                ],
+            );
         }
         self.force_tcg.insert(pc);
         let victims: Vec<u32> = self
@@ -802,6 +879,38 @@ impl Engine {
     /// Number of chained (patched) block-to-block links currently live.
     pub fn live_links(&self) -> usize {
         self.blocks.iter().filter(|b| !b.dead).map(|b| b.links_out.len()).sum()
+    }
+
+    /// Execution-hotness and rule-attribution profile, computed from the
+    /// code-cache arena at snapshot time. The dispatch hot path pays
+    /// nothing for this beyond the per-block `execs` counter it already
+    /// maintains; purged blocks drop out of the attribution with their
+    /// cleared `hits`.
+    pub fn profile(&self) -> ExecProfile {
+        let mut rules: BTreeMap<u64, RuleProfile> = BTreeMap::new();
+        let mut hot: Vec<BlockProfile> = Vec::new();
+        let hist = Hist::new();
+        for b in self.blocks.iter().filter(|b| !b.dead) {
+            hist.record(b.execs);
+            hot.push(BlockProfile {
+                pc: b.pc,
+                execs: b.execs,
+                guest_len: b.guest_len,
+                covered: b.covered,
+            });
+            for &(len, key) in b.hits.iter() {
+                let r = rules.entry(key).or_insert(RuleProfile { key, len, blocks: 0, execs: 0 });
+                r.blocks += 1;
+                r.execs += b.execs;
+            }
+        }
+        hot.sort_by(|a, b| b.execs.cmp(&a.execs).then(a.pc.cmp(&b.pc)));
+        hot.truncate(ExecProfile::HOT_BLOCKS);
+        ExecProfile {
+            rules: rules.into_values().collect(),
+            hot_blocks: hot,
+            hotness: hist.snapshot(),
+        }
     }
 
     /// The env slot address of a guest register (for tests/diagnostics).
@@ -893,8 +1002,8 @@ int main() {
         let image = build_arm_image(src, &Options::o2()).unwrap();
         let mut e = Engine::new(&image, Translator::Tcg);
         assert_eq!(e.run(10_000_000), RunOutcome::Halted);
-        assert!(e.stats.block_execs > e.stats.blocks, "loop blocks re-executed");
-        assert!(e.cache_blocks() as u64 == e.stats.blocks);
+        assert!(e.stats.block_execs() > e.stats.blocks(), "loop blocks re-executed");
+        assert!(e.cache_blocks() as u64 == e.stats.blocks());
     }
 
     #[test]
@@ -941,7 +1050,7 @@ int main() {
         let mut e = Engine::new(&image, Translator::Tcg);
         assert_eq!(e.run(1_000_000), RunOutcome::Halted);
         // _start (4 instrs incl. svc) + main body.
-        assert!(e.stats.guest_dyn >= 6, "{}", e.stats.guest_dyn);
+        assert!(e.stats.guest_dyn() >= 6, "{}", e.stats.guest_dyn());
         assert!(e.stats.exec.host_instrs > 0);
         assert!(e.stats.exec.translation_cycles > 0);
     }
@@ -971,17 +1080,17 @@ int main() {
         let mut plain = Engine::new(&image, Translator::Tcg).with_chaining(false);
         assert_eq!(plain.run(50_000_000), RunOutcome::Halted);
         // Chaining is live.
-        assert!(chained.stats.chain_links > 0, "direct branches were linked");
-        assert!(chained.stats.chained_execs > 0, "chained entries actually ran");
+        assert!(chained.stats.chain_links() > 0, "direct branches were linked");
+        assert!(chained.stats.chained_execs() > 0, "chained entries actually ran");
         assert!(chained.live_links() > 0);
-        assert_eq!(plain.stats.chain_links, 0);
-        assert_eq!(plain.stats.chained_execs, 0);
+        assert_eq!(plain.stats.chain_links(), 0);
+        assert_eq!(plain.stats.chained_execs(), 0);
         // Bit-identical architectural results and accounting.
         for r in ArmReg::ALL {
             assert_eq!(chained.guest_reg(r), plain.guest_reg(r), "{r:?}");
         }
-        assert_eq!(chained.stats.guest_dyn, plain.stats.guest_dyn);
-        assert_eq!(chained.stats.block_execs, plain.stats.block_execs);
+        assert_eq!(chained.stats.guest_dyn(), plain.stats.guest_dyn());
+        assert_eq!(chained.stats.block_execs(), plain.stats.block_execs());
         assert_eq!(chained.stats.exec.host_instrs, plain.stats.exec.host_instrs);
         assert_eq!(chained.stats.exec.exec_cycles, plain.stats.exec.exec_cycles);
         assert_eq!(
@@ -991,8 +1100,8 @@ int main() {
         );
         // Chaining replaces dispatcher entries: far fewer lookups.
         assert!(
-            chained.stats.ibtc_hits + chained.stats.ibtc_misses
-                < plain.stats.ibtc_hits + plain.stats.ibtc_misses,
+            chained.stats.ibtc_hits() + chained.stats.ibtc_misses()
+                < plain.stats.ibtc_hits() + plain.stats.ibtc_misses(),
             "chained runs consult the dispatcher less"
         );
     }
@@ -1004,12 +1113,12 @@ int main() {
         // dispatcher, so the IBTC must carry almost all of them.
         let mut e = Engine::new(&image, Translator::Tcg).with_chaining(false);
         assert_eq!(e.run(50_000_000), RunOutcome::Halted);
-        assert!(e.stats.ibtc_hits > 0, "repeat dispatches hit the IBTC");
+        assert!(e.stats.ibtc_hits() > 0, "repeat dispatches hit the IBTC");
         assert!(
-            e.stats.ibtc_hits > e.stats.ibtc_misses,
+            e.stats.ibtc_hits() > e.stats.ibtc_misses(),
             "hits dominate: {} vs {}",
-            e.stats.ibtc_hits,
-            e.stats.ibtc_misses
+            e.stats.ibtc_hits(),
+            e.stats.ibtc_misses()
         );
     }
 
@@ -1022,7 +1131,7 @@ int main() {
         let mut e = Engine::new(&image, Translator::Tcg).with_chaining(true);
         assert_eq!(e.run(50_000_000), RunOutcome::Halted);
         assert_eq!(e.guest_reg(ArmReg::R0), 0);
-        assert!(e.stats.chained_execs > 0);
+        assert!(e.stats.chained_execs() > 0);
     }
 
     #[test]
@@ -1034,9 +1143,138 @@ int main() {
             assert_eq!(a.run(fuel), RunOutcome::OutOfFuel);
             let mut b = Engine::new(&image, Translator::Tcg).with_chaining(false);
             assert_eq!(b.run(fuel), RunOutcome::OutOfFuel);
-            assert_eq!(a.stats.guest_dyn, b.stats.guest_dyn, "fuel={fuel}");
+            assert_eq!(a.stats.guest_dyn(), b.stats.guest_dyn(), "fuel={fuel}");
             assert_eq!(a.stats.exec.host_instrs, b.stats.exec.host_instrs, "fuel={fuel}");
             assert_eq!(a.guest_reg(ArmReg::R0), b.guest_reg(ArmReg::R0), "fuel={fuel}");
+        }
+    }
+
+    #[test]
+    fn watchdog_parse_table() {
+        assert_eq!(parse_watchdog(None), None, "unset disables");
+        for v in ["", "0", "off", "garbage", "-3", "3x", " off ", "on1"] {
+            assert_eq!(parse_watchdog(Some(v)), None, "{v:?} disables");
+        }
+        assert_eq!(parse_watchdog(Some("on")), Some(1));
+        assert_eq!(parse_watchdog(Some("1")), Some(1));
+        assert_eq!(parse_watchdog(Some(" 250 ")), Some(250));
+    }
+
+    #[test]
+    fn chaining_parse_table() {
+        assert!(parse_chaining(None), "unset keeps chaining on");
+        for v in ["", "0", "off", " 0 "] {
+            assert!(parse_chaining(Some(v)), "{v:?} keeps chaining on");
+        }
+        for v in ["1", "on", "garbage"] {
+            assert!(!parse_chaining(Some(v)), "{v:?} disables chaining");
+        }
+    }
+
+    /// A synthetic non-exit block for chaining tests: code that *looks
+    /// like* an exit stub (`mov $imm, %eax; ret` — e.g. a constant-folded
+    /// indirect branch) but declares no patchable exits.
+    fn mov_ret_block(pc: u32, target: u32, exits: Vec<(usize, u32)>) -> CachedBlock {
+        CachedBlock {
+            pc,
+            code: Rc::new(vec![X86Instr::mov_imm(Gpr::Eax, target as i32), X86Instr::Ret]),
+            guest_len: 1,
+            covered: 0,
+            execs: 0,
+            interp_one: false,
+            hits: Rc::from(Vec::new()),
+            exits,
+            links_out: Vec::new(),
+            links_in: Vec::new(),
+            dead: false,
+        }
+    }
+
+    #[test]
+    fn literal_mov_ret_is_not_a_patchable_exit() {
+        // Regression: the engine used to pattern-match any
+        // `mov $imm32, %eax; ret` pair as a chainable direct exit, which
+        // would silently mis-patch a coincidental literal in rule- or
+        // JIT-emitted code into a ChainJmp. Exits are now declared by the
+        // lowerer; an undeclared lookalike must stay a plain `ret`.
+        let image = build_arm_image("int main() { return 0; }", &Options::o2()).unwrap();
+        let mut e = Engine::new(&image, Translator::Tcg).with_chaining(true);
+        let target_pc = image.entry;
+        let tid = e.lookup_or_translate(target_pc);
+        let amb = e.insert_block(mov_ret_block(0x0900_0000, target_pc, Vec::new()));
+        assert!(
+            e.blocks[amb as usize].links_out.is_empty(),
+            "undeclared mov/ret lookalike must not be linked"
+        );
+        assert!(matches!(e.blocks[amb as usize].code[1], X86Instr::Ret));
+        // Control: an identical block that *declares* the exit chains.
+        let decl = e.insert_block(mov_ret_block(0x0a00_0000, target_pc, vec![(1, target_pc)]));
+        assert_eq!(e.blocks[decl as usize].links_out, vec![(1, tid)]);
+        assert!(
+            matches!(e.blocks[decl as usize].code[1], X86Instr::ChainJmp { block } if block == tid)
+        );
+    }
+
+    #[test]
+    fn ibtc_never_dispatches_a_purged_block() {
+        // Regression: translate → purge → re-dispatch at a pc whose IBTC
+        // slot still names the purged entry. The purge scrubs the IBTC,
+        // and — the release-build invariant this test pins — even a stale
+        // slot that survived (the bug used to be a debug_assert only)
+        // must not dispatch a tombstoned block.
+        let image = build_arm_image(LOOPY, &Options::o2()).unwrap();
+        let mut e = Engine::new(&image, Translator::Tcg).with_chaining(true);
+        assert_eq!(e.run(50_000_000), RunOutcome::Halted);
+        let (slot, (pc, id)) = e
+            .ibtc
+            .iter()
+            .copied()
+            .enumerate()
+            .find(|&(_, (_, id))| id != NO_BLOCK)
+            .expect("a hot run leaves IBTC entries");
+        e.purge_block(id);
+        assert_eq!(e.ibtc[slot], (0, NO_BLOCK), "purge scrubs the IBTC by id");
+        // Adversarially resurrect the stale entry, as a missed scrub
+        // would leave it, then re-dispatch at an aliasing pc.
+        e.ibtc[slot] = (pc, id);
+        let fresh = e.lookup_or_translate(pc);
+        assert_ne!(fresh, id, "dead block must not be served from the IBTC");
+        assert!(!e.blocks[fresh as usize].dead);
+        assert_eq!(e.blocks[fresh as usize].pc, pc);
+        assert_eq!(e.ibtc[slot], (pc, fresh), "stale entry replaced on miss");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// IBTC slot aliasing: pcs `IBTC_SIZE*4` apart map to the same
+        /// direct-mapped slot; repeated dispatches of both must round-trip
+        /// to their own blocks without cross-contamination, chained and
+        /// unchained.
+        #[test]
+        fn ibtc_slot_aliasing_round_trips(
+            base in 0u32..1024,
+            k in 1u32..8,
+            chained in proptest::prelude::any::<bool>(),
+        ) {
+            let image = build_arm_image("int main() { return 0; }", &Options::o2()).unwrap();
+            let mut e = Engine::new(&image, Translator::Tcg).with_chaining(chained);
+            let pc_a = 0x0100_0000 + base * 4;
+            let pc_b = pc_a + k * (IBTC_SIZE as u32) * 4;
+            proptest::prop_assert_eq!(
+                ((pc_a >> 2) as usize) & (IBTC_SIZE - 1),
+                ((pc_b >> 2) as usize) & (IBTC_SIZE - 1),
+                "aliasing precondition"
+            );
+            let a1 = e.lookup_or_translate(pc_a);
+            let b1 = e.lookup_or_translate(pc_b);
+            let a2 = e.lookup_or_translate(pc_a);
+            let b2 = e.lookup_or_translate(pc_b);
+            proptest::prop_assert_eq!(a1, a2, "pc_a round-trips");
+            proptest::prop_assert_eq!(b1, b2, "pc_b round-trips");
+            proptest::prop_assert_ne!(a1, b1, "aliasing pcs get distinct blocks");
+            proptest::prop_assert_eq!(e.blocks[a1 as usize].pc, pc_a);
+            proptest::prop_assert_eq!(e.blocks[b1 as usize].pc, pc_b);
         }
     }
 }

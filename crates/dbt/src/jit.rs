@@ -295,7 +295,7 @@ mod tests {
         let opt = optimize_block(&b);
         let mut results = Vec::new();
         for blk in [&b, &opt] {
-            let code = lower_block(blk);
+            let code = lower_block(blk).code;
             let mut st = X86State::new();
             st.set_reg(Gpr::Esp, HOST_STACK_TOP);
             st.mem.write(ENV_BASE, 5, Width::W32); // r0

@@ -29,4 +29,4 @@ pub mod stats;
 pub mod tcg;
 
 pub use engine::{Engine, RunOutcome, Translator};
-pub use stats::DbtStats;
+pub use stats::{BlockProfile, DbtStats, ExecProfile, RuleProfile};

@@ -71,6 +71,11 @@ pub struct RuleLowering {
     pub rule_instrs: usize,
     /// Rule-match attempts (hash lookups) made.
     pub lookups: usize,
+    /// Patchable direct exits as `(ret_index, target_pc)`, declared at
+    /// emission time — the chainer must never infer exits from code
+    /// shape (a rule body may legitimately end in `mov $imm, %eax; ret`
+    /// lookalikes).
+    pub exits: Vec<(usize, u32)>,
 }
 
 fn rule_key(rule: &Rule) -> u64 {
@@ -298,6 +303,7 @@ pub fn lower_block_with_rules_fault(
 
     // --- Emit. ---
     let mut code: Vec<X86Instr> = Vec::new();
+    let mut exits: Vec<(usize, u32)> = Vec::new();
     let mut homes = RuleHomes::new();
     let mut hits = Vec::new();
     let mut tcg_ops = 0usize;
@@ -376,8 +382,10 @@ pub fn lower_block_with_rules_fault(
                     let taken = end_pc.wrapping_add((offset as u32).wrapping_mul(4));
                     code.push(X86Instr::Jcc { cc, target: 2 });
                     code.push(X86Instr::mov_imm(Gpr::Eax, end_pc as i32));
+                    exits.push((code.len(), end_pc));
                     code.push(X86Instr::Ret);
                     code.push(X86Instr::mov_imm(Gpr::Eax, taken as i32));
+                    exits.push((code.len(), taken));
                     code.push(X86Instr::Ret);
                 }
             }
@@ -392,16 +400,20 @@ pub fn lower_block_with_rules_fault(
                 let tcg: TcgBlock = translate_block(mem, &sub);
                 debug_assert_eq!(tcg.unsupported_at, None, "prefiltered by engine");
                 tcg_ops += tcg.ops.len();
-                let sub_code = lower_block(&tcg);
+                let sub = lower_block(&tcg);
                 if start + len == n {
-                    // Final segment: keep the sub-block's own terminator.
-                    code.extend(sub_code);
+                    // Final segment: keep the sub-block's own terminator
+                    // and adopt its declared exits, rebased.
+                    let base = code.len();
+                    exits.extend(sub.exits.iter().map(|&(at, pc)| (base + at, pc)));
+                    code.extend(sub.code);
                 } else {
                     // Mid-block segment: strip the `movl $pc, %eax; ret`
-                    // tail (fall through into the next segment).
-                    let body_len = sub_code.len().saturating_sub(2);
-                    debug_assert!(matches!(sub_code.last(), Some(X86Instr::Ret)));
-                    code.extend_from_slice(&sub_code[..body_len]);
+                    // tail (fall through into the next segment); the
+                    // stripped exit is dropped with it.
+                    let body_len = sub.code.len().saturating_sub(2);
+                    debug_assert!(matches!(sub.code.last(), Some(X86Instr::Ret)));
+                    code.extend_from_slice(&sub.code[..body_len]);
                 }
             }
         }
@@ -415,10 +427,11 @@ pub fn lower_block_with_rules_fault(
         homes.writeback(&mut code);
         let next = block.pc.wrapping_add(4 * n as u32);
         code.push(X86Instr::mov_imm(Gpr::Eax, next as i32));
+        exits.push((code.len(), next));
         code.push(X86Instr::Ret);
     }
 
-    RuleLowering { code, covered, hits, tcg_ops, rule_instrs, lookups }
+    RuleLowering { code, covered, hits, tcg_ops, rule_instrs, lookups, exits }
 }
 
 /// Whether a block contains anything the rule translator cannot lower

@@ -1,47 +1,97 @@
 //! DBT-level statistics: everything Figures 8–12 are computed from.
+//!
+//! The counters live in an [`ldbt_obs::registry::CounterBlock`] — a
+//! `Cell`-backed, named-and-indexed registry — rather than loose struct
+//! fields. That buys three things: bumps are `&self` (the dispatcher
+//! borrows blocks and stats simultaneously without fighting the borrow
+//! checker or allocating), the full counter set snapshots in one
+//! declaration-ordered pass for `LDBT_STATS_JSON` run reports, and new
+//! counters are one enum variant + one name, not a struct/consumer
+//! sweep. Readers go through the named accessor methods below.
 
 use ldbt_isa::ExecStats;
-use std::collections::HashMap;
+use ldbt_obs::registry::CounterBlock;
+use std::collections::BTreeMap;
+
+/// Registry index of every engine counter. Discriminants are indices
+/// into [`DBT_COUNTER_NAMES`] / the counter block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum DbtCtr {
+    /// Dynamic guest instructions emulated.
+    GuestDyn = 0,
+    /// Dynamic guest instructions emulated through learned rules
+    /// (`Σ Fᵢ·Bᵢ` in the paper's coverage definition).
+    GuestDynCovered,
+    /// Static guest instructions translated (`m`).
+    GuestStatic,
+    /// Static guest instructions covered by rules (`Σ Bᵢ`).
+    GuestStaticCovered,
+    /// Blocks translated.
+    Blocks,
+    /// Block dispatches executed.
+    BlockExecs,
+    /// Guest instructions emulated by the interpreter helper.
+    HelperSteps,
+    /// Rule-match hash lookups performed during translation.
+    RuleLookups,
+    /// Watchdog differential cross-checks performed (`LDBT_WATCHDOG`).
+    WatchdogChecks,
+    /// Rules quarantined by the watchdog after a state mismatch.
+    QuarantinedRules,
+    /// Dispatcher lookups served by the indirect-branch target cache.
+    IbtcHits,
+    /// Dispatcher lookups that fell through to the map (or translator).
+    IbtcMisses,
+    /// Direct-branch exit stubs patched into chained jumps.
+    ChainLinks,
+    /// Chained links severed by a quarantine purge.
+    ChainUnlinks,
+    /// Block entries reached through a chained jump (no dispatcher).
+    ChainedExecs,
+}
+
+/// Registry names, in [`DbtCtr`] declaration order (the snapshot and
+/// run-report order).
+pub const DBT_COUNTER_NAMES: &[&str] = &[
+    "guest_dyn",
+    "guest_dyn_covered",
+    "guest_static",
+    "guest_static_covered",
+    "blocks",
+    "block_execs",
+    "helper_steps",
+    "rule_lookups",
+    "watchdog_checks",
+    "quarantined_rules",
+    "ibtc_hits",
+    "ibtc_misses",
+    "chain_links",
+    "chain_unlinks",
+    "chained_execs",
+];
 
 /// Statistics accumulated by an [`crate::Engine`] run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DbtStats {
     /// Host-side dynamic execution statistics (instructions, cycles,
     /// translation cycles).
     pub exec: ExecStats,
-    /// Dynamic guest instructions emulated.
-    pub guest_dyn: u64,
-    /// Dynamic guest instructions emulated through learned rules
-    /// (`Σ Fᵢ·Bᵢ` in the paper's coverage definition).
-    pub guest_dyn_covered: u64,
-    /// Static guest instructions translated (`m`).
-    pub guest_static: u64,
-    /// Static guest instructions covered by rules (`Σ Bᵢ`).
-    pub guest_static_covered: u64,
-    /// Blocks translated.
-    pub blocks: u64,
-    /// Block dispatches executed.
-    pub block_execs: u64,
-    /// Guest instructions emulated by the interpreter helper.
-    pub helper_steps: u64,
-    /// Rule-match hash lookups performed during translation.
-    pub rule_lookups: u64,
     /// Distinct rules hit at least once: stable key → rule length.
-    pub hit_rules: HashMap<u64, usize>,
-    /// Watchdog differential cross-checks performed (`LDBT_WATCHDOG`).
-    pub watchdog_checks: u64,
-    /// Rules quarantined by the watchdog after a state mismatch.
-    pub quarantined_rules: u64,
-    /// Dispatcher lookups served by the indirect-branch target cache.
-    pub ibtc_hits: u64,
-    /// Dispatcher lookups that fell through to the map (or translator).
-    pub ibtc_misses: u64,
-    /// Direct-branch exit stubs patched into chained jumps.
-    pub chain_links: u64,
-    /// Chained links severed by a quarantine purge.
-    pub chain_unlinks: u64,
-    /// Block entries reached through a chained jump (no dispatcher).
-    pub chained_execs: u64,
+    /// Ordered so every per-rule rendering (Figure 12, run reports) is
+    /// deterministic.
+    pub hit_rules: BTreeMap<u64, usize>,
+    ctrs: CounterBlock,
+}
+
+impl Default for DbtStats {
+    fn default() -> Self {
+        DbtStats {
+            exec: ExecStats::default(),
+            hit_rules: BTreeMap::new(),
+            ctrs: CounterBlock::new(DBT_COUNTER_NAMES),
+        }
+    }
 }
 
 impl DbtStats {
@@ -50,27 +100,103 @@ impl DbtStats {
         DbtStats::default()
     }
 
+    /// Bump a counter by one. `&self`: counters are `Cell`s, so the
+    /// dispatch hot path needs no `&mut` and allocates nothing.
+    #[inline]
+    pub fn bump(&self, c: DbtCtr) {
+        self.ctrs.bump(c as usize);
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(&self, c: DbtCtr, n: u64) {
+        self.ctrs.add(c as usize, n);
+    }
+
+    /// Read a counter.
+    #[inline]
+    pub fn get(&self, c: DbtCtr) -> u64 {
+        self.ctrs.get(c as usize)
+    }
+
+    /// Declaration-ordered `(name, value)` snapshot of the registry,
+    /// including the host-side execution counters.
+    pub fn registry(&self) -> Vec<(&'static str, u64)> {
+        let mut all = self.ctrs.snapshot();
+        all.push(("host_instrs", self.exec.host_instrs));
+        all.push(("exec_cycles", self.exec.exec_cycles));
+        all.push(("translation_cycles", self.exec.translation_cycles));
+        all
+    }
+
+    pub fn guest_dyn(&self) -> u64 {
+        self.get(DbtCtr::GuestDyn)
+    }
+    pub fn guest_dyn_covered(&self) -> u64 {
+        self.get(DbtCtr::GuestDynCovered)
+    }
+    pub fn guest_static(&self) -> u64 {
+        self.get(DbtCtr::GuestStatic)
+    }
+    pub fn guest_static_covered(&self) -> u64 {
+        self.get(DbtCtr::GuestStaticCovered)
+    }
+    pub fn blocks(&self) -> u64 {
+        self.get(DbtCtr::Blocks)
+    }
+    pub fn block_execs(&self) -> u64 {
+        self.get(DbtCtr::BlockExecs)
+    }
+    pub fn helper_steps(&self) -> u64 {
+        self.get(DbtCtr::HelperSteps)
+    }
+    pub fn rule_lookups(&self) -> u64 {
+        self.get(DbtCtr::RuleLookups)
+    }
+    pub fn watchdog_checks(&self) -> u64 {
+        self.get(DbtCtr::WatchdogChecks)
+    }
+    pub fn quarantined_rules(&self) -> u64 {
+        self.get(DbtCtr::QuarantinedRules)
+    }
+    pub fn ibtc_hits(&self) -> u64 {
+        self.get(DbtCtr::IbtcHits)
+    }
+    pub fn ibtc_misses(&self) -> u64 {
+        self.get(DbtCtr::IbtcMisses)
+    }
+    pub fn chain_links(&self) -> u64 {
+        self.get(DbtCtr::ChainLinks)
+    }
+    pub fn chain_unlinks(&self) -> u64 {
+        self.get(DbtCtr::ChainUnlinks)
+    }
+    pub fn chained_execs(&self) -> u64 {
+        self.get(DbtCtr::ChainedExecs)
+    }
+
     /// Static rule coverage `Sₚ = Σ Bᵢ / m` (Figure 11).
     pub fn static_coverage(&self) -> f64 {
-        if self.guest_static == 0 {
+        if self.guest_static() == 0 {
             0.0
         } else {
-            self.guest_static_covered as f64 / self.guest_static as f64
+            self.guest_static_covered() as f64 / self.guest_static() as f64
         }
     }
 
     /// Dynamic rule coverage `Dₚ = Σ Fᵢ·Bᵢ / Σ Fᵢ` (Figure 11).
     pub fn dynamic_coverage(&self) -> f64 {
-        if self.guest_dyn == 0 {
+        if self.guest_dyn() == 0 {
             0.0
         } else {
-            self.guest_dyn_covered as f64 / self.guest_dyn as f64
+            self.guest_dyn_covered() as f64 / self.guest_dyn() as f64
         }
     }
 
-    /// Histogram of hit-rule lengths (Figure 12): length → distinct rules.
-    pub fn hit_length_histogram(&self) -> HashMap<usize, usize> {
-        let mut h = HashMap::new();
+    /// Histogram of hit-rule lengths (Figure 12): length → distinct
+    /// rules, in ascending length order.
+    pub fn hit_length_histogram(&self) -> BTreeMap<usize, usize> {
+        let mut h = BTreeMap::new();
         for len in self.hit_rules.values() {
             *h.entry(*len).or_insert(0) += 1;
         }
@@ -83,17 +209,62 @@ impl DbtStats {
     }
 }
 
+/// Per-rule execution attribution: one row per distinct rule hit in the
+/// code cache, summed over the live blocks it was applied in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleProfile {
+    /// Stable rule key (sort key of every rendering).
+    pub key: u64,
+    /// Rule length in guest instructions.
+    pub len: usize,
+    /// Live blocks the rule is applied in.
+    pub blocks: u64,
+    /// Executions of those blocks (dispatches + chained entries).
+    pub execs: u64,
+}
+
+/// One hot block, by execution count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockProfile {
+    pub pc: u32,
+    pub execs: u64,
+    pub guest_len: u64,
+    /// Guest instructions of the block covered by rules.
+    pub covered: u64,
+}
+
+/// Execution-hotness profile computed from the code-cache arena at
+/// snapshot time (see `Engine::profile`) — attribution costs the
+/// dispatch hot path nothing beyond the per-block `execs` counter it
+/// already maintains.
+#[derive(Debug, Clone, Default)]
+pub struct ExecProfile {
+    /// Per-rule attribution, sorted by stable key.
+    pub rules: Vec<RuleProfile>,
+    /// The hottest live blocks (descending execs, pc tiebreak), capped
+    /// at [`ExecProfile::HOT_BLOCKS`].
+    pub hot_blocks: Vec<BlockProfile>,
+    /// Log2 histogram of per-block execution counts: `hotness[i]` is
+    /// the number of live blocks whose exec count has bit length `i`.
+    pub hotness: Vec<u64>,
+}
+
+impl ExecProfile {
+    /// Cap on the `hot_blocks` list.
+    pub const HOT_BLOCKS: usize = 10;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn coverage_ratios() {
-        let mut s = DbtStats::new();
-        s.guest_static = 10;
-        s.guest_static_covered = 6;
-        s.guest_dyn = 1000;
-        s.guest_dyn_covered = 850;
+        let s = DbtStats::new();
+        s.add(DbtCtr::GuestStatic, 10);
+        s.add(DbtCtr::GuestStaticCovered, 6);
+        s.add(DbtCtr::GuestDyn, 1000);
+        s.add(DbtCtr::GuestDynCovered, 850);
         assert!((s.static_coverage() - 0.6).abs() < 1e-12);
         assert!((s.dynamic_coverage() - 0.85).abs() < 1e-12);
     }
@@ -114,5 +285,28 @@ mod tests {
         let h = s.hit_length_histogram();
         assert_eq!(h[&2], 2);
         assert_eq!(h[&4], 1);
+    }
+
+    #[test]
+    fn registry_snapshot_is_declaration_ordered_and_complete() {
+        let s = DbtStats::new();
+        s.bump(DbtCtr::Blocks);
+        s.add(DbtCtr::ChainedExecs, 7);
+        let snap = s.registry();
+        assert_eq!(snap.len(), DBT_COUNTER_NAMES.len() + 3);
+        let names: Vec<&str> = snap.iter().map(|(n, _)| *n).collect();
+        assert_eq!(&names[..DBT_COUNTER_NAMES.len()], DBT_COUNTER_NAMES);
+        assert_eq!(snap[DbtCtr::Blocks as usize], ("blocks", 1));
+        assert_eq!(snap[DbtCtr::ChainedExecs as usize], ("chained_execs", 7));
+    }
+
+    #[test]
+    fn clone_snapshots_counter_state() {
+        let s = DbtStats::new();
+        s.bump(DbtCtr::IbtcHits);
+        let t = s.clone();
+        s.bump(DbtCtr::IbtcHits);
+        assert_eq!(t.ibtc_hits(), 1);
+        assert_eq!(s.ibtc_hits(), 2);
     }
 }

@@ -57,6 +57,19 @@ pub fn pair_signature(pair: &SnippetPair, max_tries: usize) -> String {
     sig
 }
 
+/// FNV-1a hash of a signature, for trace events: a full signature is
+/// multi-line and can run to kilobytes, so cache hit/miss events carry
+/// this stable 64-bit digest instead. Collisions only smear trace
+/// attribution; the cache itself always keys on the full string.
+pub fn sig_hash(sig: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in sig.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// The memo cache itself. One instance is shared across all programs of
 /// an experiment run (see `ldbt-core::experiment::learn_all`), so
 /// cross-program repeats also hit.
@@ -124,6 +137,21 @@ mod tests {
         let b = a.clone();
         a.host[0].1 = None;
         assert_ne!(pair_signature(&a, 5), pair_signature(&b, 5));
+    }
+
+    #[test]
+    fn sig_hash_is_stable_and_content_sensitive() {
+        // FNV-1a reference values: hash of "" is the offset basis.
+        assert_eq!(sig_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(sig_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(
+            sig_hash(&pair_signature(&pair(1, 7), 5)),
+            sig_hash(&pair_signature(&pair(42, 7), 5))
+        );
+        assert_ne!(
+            sig_hash(&pair_signature(&pair(1, 7), 5)),
+            sig_hash(&pair_signature(&pair(1, 8), 5))
+        );
     }
 
     #[test]

@@ -29,6 +29,17 @@ pub enum FaultSite {
     WorkerPanic,
 }
 
+impl FaultSite {
+    /// The site's `LDBT_FAULT` selector name (also the trace-event tag).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::RuleCorrupt => "rule-corrupt",
+            FaultSite::SolverExhaust => "solver-exhaust",
+            FaultSite::WorkerPanic => "worker-panic",
+        }
+    }
+}
+
 /// One armed fault: a site plus a deterministic seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {

@@ -37,5 +37,8 @@ pub mod verify;
 pub use budget::Budget;
 pub use cache::{VerifyCache, VerifyOutcome};
 pub use fault::{FaultPlan, FaultSite};
-pub use pipeline::{configured_threads, learn_rules, LearnConfig, LearnReport, LearnStats};
+pub use pipeline::{
+    configured_threads, learn_rules, parse_threads, worker_metrics, LearnConfig, LearnReport,
+    LearnStats, WORKER_METRIC_NAMES,
+};
 pub use rule::{Rule, RuleOperand, RuleSet};

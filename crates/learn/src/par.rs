@@ -9,7 +9,22 @@
 //! so the output is independent of thread scheduling. With `threads <= 1`
 //! no thread is spawned at all — the pure-sequential path.
 
+use ldbt_obs::trace::{self, Scope, Val};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Record one pool fan-out in the learn trace (the pool's only caller
+/// is the learning pipeline). No-op when tracing is off.
+fn trace_fanout(items: usize, workers: usize, chunk: usize) {
+    trace::emit(
+        Scope::Learn,
+        "fanout",
+        &[
+            ("items", Val::U(items as u64)),
+            ("workers", Val::U(workers as u64)),
+            ("chunk", Val::U(chunk as u64)),
+        ],
+    );
+}
 
 /// Run `job` for every index in `0..n` across up to `threads` workers
 /// and return the results in index order.
@@ -31,6 +46,7 @@ where
     // chunks to cut cursor contention, while expensive stages (few items
     // per worker) degrade to chunk = 1 and so still balance well.
     let chunk = (n / (workers * 8)).max(1);
+    trace_fanout(n, workers, chunk);
     let cursor = AtomicUsize::new(0);
     let collected: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -106,6 +122,7 @@ where
     }
     let workers = threads.min(n);
     let chunk = (n / (workers * 8)).max(1);
+    trace_fanout(n, workers, chunk);
     let cursor = AtomicUsize::new(0);
     let collected: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)

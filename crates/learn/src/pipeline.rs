@@ -24,15 +24,17 @@
 //! `LDBT_THREADS=1` takes the pure-sequential path (no threads spawned).
 
 use crate::budget::{Budget, REASON_WORKER_PANIC};
-use crate::cache::{pair_signature, VerifyCache, VerifyOutcome};
+use crate::cache::{pair_signature, sig_hash, VerifyCache, VerifyOutcome};
 use crate::extract::{extract_with_stats, SnippetPair};
 use crate::fault::{FaultPlan, FaultSite};
-use crate::par::{run_indexed, run_indexed_isolated, run_indexed_with};
+use crate::par::{run_indexed_isolated, run_indexed_with};
 use crate::param::{InitialMapping, ParamFail, MAX_MAPPING_TRIES};
 use crate::prepare::{prepare, PrepFail};
 use crate::rule::RuleSet;
 use crate::verify::{verify_in_budgeted, VerifyFail};
 use ldbt_compiler::{compile_arm, compile_x86, CompileError, Options};
+use ldbt_obs::registry::{SharedCounters, WorkerCounters};
+use ldbt_obs::trace::{self, Scope, Val};
 use ldbt_smt::TermPool;
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -188,18 +190,62 @@ impl LearnConfig {
     }
 }
 
+/// Pure parse of the `LDBT_THREADS` knob against a fallback `auto`
+/// (the machine's available parallelism). Documented parse table:
+///
+/// | `LDBT_THREADS` value      | worker threads |
+/// |---------------------------|----------------|
+/// | unset / empty             | `auto`         |
+/// | `0`                       | `auto`         |
+/// | `N` (integer ≥ 1)         | `N`            |
+/// | garbage / negative        | `auto`         |
+///
+/// Whitespace is trimmed. `1` is honored as-is and takes the pipeline's
+/// pure-sequential path (no threads spawned).
+pub fn parse_threads(raw: Option<&str>, auto: usize) -> usize {
+    match raw.map(str::trim) {
+        None | Some("") => auto,
+        Some(s) => s.parse().ok().filter(|&n| n >= 1).unwrap_or(auto),
+    }
+}
+
 /// The worker-thread count from the `LDBT_THREADS` environment variable,
 /// read once per process; defaults to the machine's available
-/// parallelism (invalid or zero values also fall back to it).
+/// parallelism (see [`parse_threads`] for the full table).
 pub fn configured_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
         let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        match std::env::var("LDBT_THREADS") {
-            Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(auto),
-            Err(_) => auto,
-        }
+        parse_threads(std::env::var("LDBT_THREADS").ok().as_deref(), auto)
     })
+}
+
+/// Registry indices for [`worker_metrics`] (see [`WORKER_METRIC_NAMES`]).
+pub mod wk {
+    /// Pairs classified (prepare + parameterize) in stage 1.
+    pub const CLASSIFIED_PAIRS: usize = 0;
+    /// Representative pairs actually verified in stage 3 (cache misses).
+    pub const VERIFIED_REPS: usize = 1;
+    /// Representatives whose verification learned a rule.
+    pub const RULES_LEARNED: usize = 2;
+    /// Representatives whose every mapping try failed.
+    pub const VERIFY_FAILURES: usize = 3;
+    /// Worker panics contained by `catch_unwind` isolation.
+    pub const CONTAINED_PANICS: usize = 4;
+}
+
+/// Names of the shared worker metrics, in [`wk`] index order.
+pub const WORKER_METRIC_NAMES: &[&str] =
+    &["classified_pairs", "verified_reps", "rules_learned", "verify_failures", "contained_panics"];
+
+/// The process-wide aggregation target for parallel learn workers. Each
+/// worker bumps a private [`WorkerCounters`] block that flushes here on
+/// drop (scope join, or teardown after a contained panic), so the verify
+/// hot loop never touches contended cache lines. Cumulative across every
+/// pipeline run in the process; run reports snapshot it at exit.
+pub fn worker_metrics() -> &'static SharedCounters {
+    static METRICS: OnceLock<SharedCounters> = OnceLock::new();
+    METRICS.get_or_init(|| SharedCounters::new(WORKER_METRIC_NAMES))
 }
 
 /// Per-pair outcome of the classify stage.
@@ -211,6 +257,33 @@ enum Classified {
     Param(ParamFail),
     /// Survived; carries the candidate initial mappings.
     Ready(Vec<InitialMapping>),
+}
+
+impl Classified {
+    /// Stable outcome tag for `classify` trace events (Table 1 column
+    /// abbreviations).
+    fn trace_name(&self) -> &'static str {
+        match self {
+            Classified::Prep(PrepFail::CallIndirect) => "prep_ci",
+            Classified::Prep(PrepFail::Predicated) => "prep_pi",
+            Classified::Prep(PrepFail::MultiBlock) => "prep_mb",
+            Classified::Param(ParamFail::MemCount) => "par_num",
+            Classified::Param(ParamFail::MemName) => "par_name",
+            Classified::Param(ParamFail::LiveIns) => "par_failg",
+            Classified::Ready(_) => "ready",
+        }
+    }
+}
+
+/// Stable outcome tag for `verify_item` trace events.
+fn outcome_name(o: &VerifyOutcome) -> &'static str {
+    match o {
+        VerifyOutcome::Learned(_) => "learned",
+        VerifyOutcome::Failed(VerifyFail::Registers) => "fail_rg",
+        VerifyOutcome::Failed(VerifyFail::Memory) => "fail_mm",
+        VerifyOutcome::Failed(VerifyFail::Branch) => "fail_br",
+        VerifyOutcome::Failed(VerifyFail::Other(_)) => "fail_other",
+    }
 }
 
 fn classify(pair: &SnippetPair, max_tries: usize) -> Classified {
@@ -313,10 +386,50 @@ pub fn learn_from_source_cached(
         ..Default::default()
     };
     let threads = config.effective_threads();
+    if trace::enabled(Scope::Learn) {
+        trace::emit(
+            Scope::Learn,
+            "phase",
+            &[
+                ("name", Val::S("extract")),
+                ("program", Val::S(name)),
+                ("pairs", Val::U(pairs.len() as u64)),
+                ("dropped", Val::U(dropped as u64)),
+            ],
+        );
+        if let Some(FaultPlan { site, seed }) = config.fault {
+            trace::emit(
+                Scope::Learn,
+                "fault_armed",
+                &[("site", Val::S(site.name())), ("seed", Val::U(seed))],
+            );
+        }
+        trace::emit(
+            Scope::Learn,
+            "phase",
+            &[("name", Val::S("classify")), ("items", Val::U(pairs.len() as u64))],
+        );
+    }
 
     // Stage 1: classify every pair (prepare + parameterize) on the pool.
-    let classified: Vec<Classified> =
-        run_indexed(threads, pairs.len(), |i| classify(&pairs[i], config.max_tries));
+    // Worker counters flush into the shared registry when the scope joins.
+    let classified: Vec<Classified> = run_indexed_with(
+        threads,
+        pairs.len(),
+        || WorkerCounters::new(worker_metrics()),
+        |wc, i| {
+            let c = classify(&pairs[i], config.max_tries);
+            wc.bump(wk::CLASSIFIED_PAIRS);
+            if trace::enabled(Scope::Learn) {
+                trace::emit(
+                    Scope::Learn,
+                    "classify",
+                    &[("item", Val::U(i as u64)), ("outcome", Val::S(c.trace_name()))],
+                );
+            }
+            c
+        },
+    );
 
     // Stage 2: group verification work by snippet signature, consulting
     // the memo cache once per unique signature. `Fresh` groups remember
@@ -338,7 +451,12 @@ pub fn learn_from_source_cached(
             Some(&gid) => gid,
             None => {
                 let gid = groups.len();
-                groups.push(match cache.get(&sig) {
+                let hit = cache.get(&sig);
+                if trace::enabled(Scope::Learn) {
+                    let ev = if hit.is_some() { "cache_hit" } else { "cache_miss" };
+                    trace::emit(Scope::Learn, ev, &[("sig", Val::U(sig_hash(&sig)))]);
+                }
+                groups.push(match hit {
                     Some(o) => Group::Cached(o.clone()),
                     None => Group::Fresh { rep: i, sig: sig.clone() },
                 });
@@ -362,6 +480,17 @@ pub fn learn_from_source_cached(
         .collect();
     stats.cache_misses = fresh.len();
     stats.cache_hits -= fresh.len();
+    if trace::enabled(Scope::Learn) {
+        trace::emit(
+            Scope::Learn,
+            "phase",
+            &[
+                ("name", Val::S("verify")),
+                ("fresh", Val::U(fresh.len() as u64)),
+                ("cached", Val::U((groups.len() - fresh.len()) as u64)),
+            ],
+        );
+    }
     let vstart = Instant::now();
     let budget = config.effective_budget();
     // Fault injection: `worker-panic` poisons exactly one verify item,
@@ -372,28 +501,54 @@ pub fn learn_from_source_cached(
         }
         _ => None,
     };
+    // Each worker owns one reusable term pool plus a private counter
+    // block; the block flushes into the shared registry when the worker
+    // state drops (scope join, or teardown after a contained panic).
+    let make_state = || (TermPool::new(), WorkerCounters::new(worker_metrics()));
     let job = {
         let pairs = &pairs;
         let classified = &classified;
         let fresh = &fresh;
         let budget = &budget;
-        move |pool: &mut TermPool, k: usize| {
+        move |state: &mut (TermPool, WorkerCounters), k: usize| {
             if panic_at == Some(k) {
                 panic!("injected worker panic (LDBT_FAULT=worker-panic)");
             }
+            let (pool, wc) = state;
             let (_, rep) = fresh[k];
-            match &classified[rep] {
+            let outcome = match &classified[rep] {
                 Classified::Ready(mappings) => verify_pair(pool, &pairs[rep], mappings, budget),
                 _ => unreachable!("fresh groups come from Ready pairs"),
+            };
+            wc.bump(wk::VERIFIED_REPS);
+            wc.bump(match &outcome {
+                VerifyOutcome::Learned(_) => wk::RULES_LEARNED,
+                VerifyOutcome::Failed(_) => wk::VERIFY_FAILURES,
+            });
+            if trace::enabled(Scope::Learn) {
+                let mut fields =
+                    vec![("item", Val::U(rep as u64)), ("outcome", Val::S(outcome_name(&outcome)))];
+                if let VerifyOutcome::Failed(VerifyFail::Other(r)) = &outcome {
+                    fields.push(("reason", Val::S(r)));
+                }
+                trace::emit(Scope::Learn, "verify_item", &fields);
             }
+            outcome
         }
     };
     let outcomes: Vec<VerifyOutcome> = if config.isolate {
-        run_indexed_isolated(threads, fresh.len(), TermPool::new, job, |_| {
+        run_indexed_isolated(threads, fresh.len(), make_state, job, |k| {
+            // The panicked worker's counters flush when its discarded
+            // state drops; only the panic itself is recorded here,
+            // directly on the shared block.
+            worker_metrics().add(wk::CONTAINED_PANICS, 1);
+            if trace::enabled(Scope::Learn) {
+                trace::emit(Scope::Learn, "contained_panic", &[("item", Val::U(k as u64))]);
+            }
             VerifyOutcome::Failed(VerifyFail::Other(REASON_WORKER_PANIC))
         })
     } else {
-        run_indexed_with(threads, fresh.len(), TermPool::new, job)
+        run_indexed_with(threads, fresh.len(), make_state, job)
     };
     stats.verify_time = vstart.elapsed();
 
@@ -440,6 +595,18 @@ pub fn learn_from_source_cached(
         }
     }
     stats.learn_time = start.elapsed();
+    if trace::enabled(Scope::Learn) {
+        trace::emit(
+            Scope::Learn,
+            "phase",
+            &[
+                ("name", Val::S("merge")),
+                ("rules", Val::U(stats.rules as u64)),
+                ("cache_hits", Val::U(stats.cache_hits as u64)),
+                ("cache_misses", Val::U(stats.cache_misses as u64)),
+            ],
+        );
+    }
     Ok(LearnReport { rules, stats })
 }
 
@@ -604,5 +771,45 @@ int main() {
         let one = learn_from_source_with_tries("demo", PROGRAM, &Options::o2(), 1).unwrap();
         let five = learn_from_source_with_tries("demo", PROGRAM, &Options::o2(), 5).unwrap();
         assert!(one.stats.rules <= five.stats.rules, "more tries can only help");
+    }
+
+    #[test]
+    fn threads_parse_table() {
+        // (raw, expected) against auto = 6.
+        let cases: &[(Option<&str>, usize)] = &[
+            (None, 6),
+            (Some(""), 6),
+            (Some("   "), 6),
+            (Some("0"), 6),
+            (Some("-2"), 6),
+            (Some("garbage"), 6),
+            (Some("2.5"), 6),
+            (Some("1"), 1),
+            (Some("8"), 8),
+            (Some(" 4 "), 4),
+        ];
+        for (raw, want) in cases {
+            assert_eq!(parse_threads(*raw, 6), *want, "LDBT_THREADS={raw:?}");
+        }
+    }
+
+    #[test]
+    fn worker_metrics_aggregate_across_a_run() {
+        // The registry is process-global and cumulative, so other tests
+        // running concurrently may also bump it: assert on deltas with
+        // `>=` where their contribution could interleave.
+        let before: Vec<u64> =
+            (0..WORKER_METRIC_NAMES.len()).map(|i| worker_metrics().get(i)).collect();
+        let report = learn_from_source("demo", PROGRAM, &Options::o2()).unwrap();
+        let delta = |i: usize| worker_metrics().get(i) - before[i];
+        assert!(report.stats.total > 0, "fixture program extracts pairs");
+        // Every extracted-and-kept pair was classified by some worker
+        // (`total` also counts extraction drops, recorded as MB).
+        assert!(delta(wk::CLASSIFIED_PAIRS) >= (report.stats.total - report.stats.prep_mb) as u64);
+        // Each fresh signature was verified by some worker.
+        assert!(delta(wk::VERIFIED_REPS) >= report.stats.cache_misses as u64);
+        if report.stats.rules > 0 {
+            assert!(delta(wk::RULES_LEARNED) >= 1);
+        }
     }
 }

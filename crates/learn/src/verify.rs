@@ -23,6 +23,7 @@ use crate::extract::SnippetPair;
 use crate::param::InitialMapping;
 use crate::rule::{ImmRel, ImmSlot, Rule};
 use ldbt_arm::ArmReg;
+use ldbt_obs::trace::{self, Scope, Val};
 use ldbt_smt::term::Term;
 use ldbt_smt::{check_equiv_budget, EquivResult, TermId, TermPool};
 use ldbt_symexec::{
@@ -54,6 +55,23 @@ fn hazard_reason(h: SymHazard) -> &'static str {
         SymHazard::MidBlockBranch => "symexec: mid-block branch",
         SymHazard::OutOfFuel => REASON_SYMEXEC_FUEL,
     }
+}
+
+/// Record a budget-exhaustion site in the learn trace (no-op when
+/// tracing is off). Emitted where the `REASON_*` failures originate so
+/// a trace shows *which* resource ran out, not just the final tally.
+fn trace_budget(reason: &'static str) {
+    trace::emit(Scope::Learn, "budget_exhausted", &[("reason", Val::S(reason))]);
+}
+
+/// Map a symbolic-execution hazard to its failure, tracing fuel
+/// exhaustion (the only budget-driven hazard).
+fn hazard_fail(h: SymHazard) -> VerifyFail {
+    let reason = hazard_reason(h);
+    if reason == REASON_SYMEXEC_FUEL {
+        trace_budget(reason);
+    }
+    VerifyFail::Other(reason)
 }
 
 fn slot_of(role: ImmRole) -> ImmSlot {
@@ -164,22 +182,27 @@ pub fn verify_in_budgeted(
     let fuel = budget.symexec_steps;
     let gout =
         exec_arm_seq_fuel(pool, &guest_seq, guest_init, &mut oracle, &mut guest_binder, fuel)
-            .map_err(|h| VerifyFail::Other(hazard_reason(h)))?;
+            .map_err(hazard_fail)?;
     let hout = exec_x86_seq_fuel(pool, &host_seq, host_init, &mut oracle, &mut host_binder, fuel)
-        .map_err(|h| VerifyFail::Other(hazard_reason(h)))?;
+        .map_err(hazard_fail)?;
     if pool.over_cap() {
+        trace_budget(REASON_TERM_CAP);
         return Err(VerifyFail::Other(REASON_TERM_CAP));
     }
 
     let conflicts = budget.solver_conflicts;
     let equiv = move |pool: &mut TermPool, a: TermId, b: TermId| -> Result<bool, VerifyFail> {
         if pool.over_cap() {
+            trace_budget(REASON_TERM_CAP);
             return Err(VerifyFail::Other(REASON_TERM_CAP));
         }
         match check_equiv_budget(pool, a, b, conflicts) {
             EquivResult::Proved => Ok(true),
             EquivResult::Refuted(_) => Ok(false),
-            EquivResult::Unknown => Err(VerifyFail::Other(REASON_SOLVER_BUDGET)),
+            EquivResult::Unknown => {
+                trace_budget(REASON_SOLVER_BUDGET);
+                Err(VerifyFail::Other(REASON_SOLVER_BUDGET))
+            }
         }
     };
 

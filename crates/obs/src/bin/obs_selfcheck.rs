@@ -1,0 +1,49 @@
+//! Schema validator for observability artifacts, used by
+//! `scripts/tier1.sh`:
+//!
+//! ```text
+//! obs_selfcheck trace  <path>   # validate an LDBT_TRACE NDJSON file
+//! obs_selfcheck report <path>   # validate an LDBT_STATS_JSON run report
+//! ```
+//!
+//! Exits 0 on success (printing a one-line summary), 1 on any schema
+//! violation or I/O error.
+
+use ldbt_obs::selfcheck;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match args.as_slice() {
+        [m, p] => (m.as_str(), p.as_str()),
+        _ => {
+            eprintln!("usage: obs_selfcheck <trace|report> <path>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_selfcheck: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match mode {
+        "trace" => selfcheck::check_trace_ndjson(&text).map(|n| format!("{path}: ok ({n} events)")),
+        "report" => selfcheck::check_run_report(&text).map(|()| format!("{path}: ok")),
+        _ => {
+            eprintln!("usage: obs_selfcheck <trace|report> <path>");
+            return ExitCode::FAILURE;
+        }
+    };
+    match outcome {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_selfcheck: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

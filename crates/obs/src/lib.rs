@@ -1,0 +1,22 @@
+#![forbid(unsafe_code)]
+//! Observability layer for the learned-DBT workspace.
+//!
+//! Three pieces, deliberately dependency-free so every crate can use them:
+//!
+//! * [`registry`] — monotonic counters and log2-bucket histograms. The
+//!   single-threaded engine hot path uses [`registry::CounterBlock`]
+//!   (`Cell`-backed, zero-allocation `&self` bumps); parallel learn
+//!   workers accumulate into [`registry::WorkerCounters`] which flush
+//!   into a shared [`registry::SharedCounters`] on drop.
+//! * [`trace`] — span-style NDJSON event tracing, enabled by
+//!   `LDBT_TRACE=learn|exec|all[:path]`. Disabled tracing costs one
+//!   atomic load per (already-coarse) event site.
+//! * [`json`] + [`selfcheck`] — a hand-rolled JSON writer/parser (the
+//!   build environment has no crates.io access, hence no serde) and the
+//!   schema self-checks for trace files and `LDBT_STATS_JSON` run
+//!   reports, exercised by the `obs_selfcheck` binary from `tier1.sh`.
+
+pub mod json;
+pub mod registry;
+pub mod selfcheck;
+pub mod trace;

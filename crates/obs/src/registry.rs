@@ -1,0 +1,260 @@
+//! Metrics registry: named monotonic counters and log2-bucket
+//! histograms.
+//!
+//! Two flavors match the workspace's two concurrency regimes:
+//!
+//! * [`CounterBlock`] — `Cell`-backed, single-threaded, `&self` bumps
+//!   with zero allocation. This is what sits in the engine dispatch hot
+//!   path (the engine itself is `!Sync`; the cells make stat bumps
+//!   possible without threading `&mut` through the dispatcher).
+//! * [`SharedCounters`] + [`WorkerCounters`] — parallel learn workers
+//!   bump a private `Cell` block and flush it into the shared atomics
+//!   exactly once, on drop, so the hot loop never touches contended
+//!   cache lines.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed block of named `u64` counters addressed by index. Callers
+/// define an enum whose discriminants are the indices (see
+/// `ldbt-dbt::stats::DbtCtr`).
+pub struct CounterBlock {
+    names: &'static [&'static str],
+    vals: Box<[Cell<u64>]>,
+}
+
+impl CounterBlock {
+    pub fn new(names: &'static [&'static str]) -> Self {
+        CounterBlock { names, vals: names.iter().map(|_| Cell::new(0)).collect() }
+    }
+
+    #[inline]
+    pub fn add(&self, i: usize, n: u64) {
+        let c = &self.vals[i];
+        c.set(c.get() + n);
+    }
+
+    #[inline]
+    pub fn bump(&self, i: usize) {
+        self.add(i, 1);
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        self.vals[i].get()
+    }
+
+    pub fn set(&self, i: usize, v: u64) {
+        self.vals[i].set(v);
+    }
+
+    pub fn names(&self) -> &'static [&'static str] {
+        self.names
+    }
+
+    /// Ordered (name, value) snapshot — registry order is declaration
+    /// order, so rendered reports are deterministic.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.names.iter().zip(&self.vals[..]).map(|(n, v)| (*n, v.get())).collect()
+    }
+}
+
+impl Clone for CounterBlock {
+    fn clone(&self) -> Self {
+        let fresh = CounterBlock::new(self.names);
+        for (i, v) in self.vals.iter().enumerate() {
+            fresh.vals[i].set(v.get());
+        }
+        fresh
+    }
+}
+
+impl std::fmt::Debug for CounterBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.snapshot()).finish()
+    }
+}
+
+/// Number of log2 buckets: bucket `i` counts values whose bit length is
+/// `i`, i.e. bucket 0 holds zeros, bucket k holds [2^(k-1), 2^k).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log2-bucket histogram for hotness-style distributions.
+pub struct Hist {
+    buckets: [Cell<u64>; HIST_BUCKETS],
+}
+
+impl Hist {
+    pub fn new() -> Self {
+        Hist { buckets: std::array::from_fn(|_| Cell::new(0)) }
+    }
+
+    /// Bucket index for a value (its bit length).
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let b = &self.buckets[Self::bucket_of(v)];
+        b.set(b.get() + 1);
+    }
+
+    /// All 65 bucket counts in order.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.buckets.iter().map(Cell::get).collect()
+    }
+
+    /// Only the populated buckets, as (bit_length, count).
+    pub fn nonzero(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.get() > 0)
+            .map(|(i, c)| (i, c.get()))
+            .collect()
+    }
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.nonzero()).finish()
+    }
+}
+
+/// Cross-thread counter block: the aggregation target for parallel
+/// learn workers. Relaxed ordering suffices — values are only read
+/// after the worker scope joins.
+pub struct SharedCounters {
+    names: &'static [&'static str],
+    vals: Box<[AtomicU64]>,
+}
+
+impl SharedCounters {
+    pub fn new(names: &'static [&'static str]) -> Self {
+        SharedCounters { names, vals: names.iter().map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    pub fn add(&self, i: usize, n: u64) {
+        self.vals[i].fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self, i: usize) -> u64 {
+        self.vals[i].load(Ordering::Relaxed)
+    }
+
+    pub fn names(&self) -> &'static [&'static str] {
+        self.names
+    }
+
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.names
+            .iter()
+            .zip(&self.vals[..])
+            .map(|(n, v)| (*n, v.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for SharedCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.snapshot()).finish()
+    }
+}
+
+/// Per-worker counter guard: bumps stay in thread-local `Cell`s and are
+/// flushed into the [`SharedCounters`] exactly once, when the worker's
+/// state is dropped (scope join, or teardown after a contained panic).
+pub struct WorkerCounters {
+    shared: &'static SharedCounters,
+    local: CounterBlock,
+}
+
+impl WorkerCounters {
+    pub fn new(shared: &'static SharedCounters) -> Self {
+        WorkerCounters { shared, local: CounterBlock::new(shared.names()) }
+    }
+
+    #[inline]
+    pub fn add(&self, i: usize, n: u64) {
+        self.local.add(i, n);
+    }
+
+    #[inline]
+    pub fn bump(&self, i: usize) {
+        self.local.bump(i);
+    }
+
+    pub fn local_get(&self, i: usize) -> u64 {
+        self.local.get(i)
+    }
+}
+
+impl Drop for WorkerCounters {
+    fn drop(&mut self) {
+        for i in 0..self.shared.names().len() {
+            let v = self.local.get(i);
+            if v > 0 {
+                self.shared.add(i, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    const NAMES: &[&str] = &["a", "b", "c"];
+
+    #[test]
+    fn counter_block_bumps_and_snapshots_in_order() {
+        let c = CounterBlock::new(NAMES);
+        c.bump(0);
+        c.add(2, 41);
+        c.bump(2);
+        assert_eq!(c.snapshot(), vec![("a", 1), ("b", 0), ("c", 42)]);
+        let d = c.clone();
+        c.bump(0);
+        assert_eq!(d.get(0), 1, "clone is an independent copy");
+        assert_eq!(c.get(0), 2);
+    }
+
+    #[test]
+    fn hist_buckets_by_bit_length() {
+        let h = Hist::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.nonzero(), vec![(0, 1), (1, 1), (2, 2), (3, 2), (4, 1), (64, 1)]);
+        assert_eq!(h.snapshot().len(), HIST_BUCKETS);
+    }
+
+    #[test]
+    fn worker_counters_flush_on_drop_across_threads() {
+        static SHARED: OnceLock<SharedCounters> = OnceLock::new();
+        let shared = SHARED.get_or_init(|| SharedCounters::new(NAMES));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let w = WorkerCounters::new(shared);
+                    for _ in 0..100 {
+                        w.bump(1);
+                    }
+                    assert_eq!(w.local_get(1), 100);
+                    // Nothing is visible in `shared` until drop; after
+                    // the scope joins everything is.
+                });
+            }
+        });
+        assert_eq!(shared.get(1), 400);
+        assert_eq!(shared.get(0), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Schema self-checks for the two machine-readable artifacts the
+//! workspace emits: `LDBT_TRACE` NDJSON files and `LDBT_STATS_JSON`
+//! run reports. `scripts/tier1.sh` runs these via the `obs_selfcheck`
+//! binary against real trace/report output.
+
+use crate::json::{parse, Json};
+
+/// Current run-report schema tag.
+pub const REPORT_SCHEMA: &str = "ldbt-run-report/v1";
+
+/// Validate an NDJSON trace: every non-empty line is a JSON object with
+/// a numeric `ts_us` (non-decreasing in file order), a known `scope`,
+/// and a non-empty `ev`. Returns the event count.
+pub fn check_trace_ndjson(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    let mut prev_ts = 0.0f64;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let v = parse(line).map_err(|e| at(&format!("not JSON: {e}")))?;
+        if v.as_obj().is_none() {
+            return Err(at("not an object"));
+        }
+        let ts =
+            v.get("ts_us").and_then(Json::as_num).ok_or_else(|| at("missing numeric ts_us"))?;
+        if ts < prev_ts {
+            return Err(at(&format!("ts_us went backwards ({ts} < {prev_ts})")));
+        }
+        prev_ts = ts;
+        match v.get("scope").and_then(Json::as_str) {
+            Some("learn" | "exec") => {}
+            other => return Err(at(&format!("bad scope {other:?}"))),
+        }
+        match v.get("ev").and_then(Json::as_str) {
+            Some(ev) if !ev.is_empty() => {}
+            _ => return Err(at("missing ev")),
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Validate a run report produced by `ldbt-core::report`. Checks the
+/// schema tag, the shape of `benches` / `learn` / `learn_workers`, and
+/// that every per-rule profile is sorted by its stable key.
+pub fn check_run_report(text: &str) -> Result<(), String> {
+    let v = parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    match v.get("schema").and_then(Json::as_str) {
+        Some(REPORT_SCHEMA) => {}
+        other => return Err(format!("bad schema tag {other:?} (want {REPORT_SCHEMA:?})")),
+    }
+    let benches = v.get("benches").and_then(Json::as_arr).ok_or("missing benches array")?;
+    for (i, b) in benches.iter().enumerate() {
+        let ctx = |msg: &str| format!("benches[{i}]: {msg}");
+        let name = b.get("name").and_then(Json::as_str).ok_or_else(|| ctx("missing name"))?;
+        b.get("engine").and_then(Json::as_str).ok_or_else(|| ctx("missing engine"))?;
+        check_counters(b.get("counters"), &format!("benches[{i}] ({name})"))?;
+        if let Some(rules) = b.get("rules") {
+            let rules = rules.as_arr().ok_or_else(|| ctx("rules is not an array"))?;
+            let mut prev: Option<&str> = None;
+            for (j, r) in rules.iter().enumerate() {
+                let rctx = |msg: &str| format!("benches[{i}].rules[{j}]: {msg}");
+                let key = r.get("key").and_then(Json::as_str).ok_or_else(|| rctx("missing key"))?;
+                for f in ["len", "blocks", "execs"] {
+                    r.get(f).and_then(Json::as_num).ok_or_else(|| rctx(&format!("missing {f}")))?;
+                }
+                // Keys render as fixed-width hex, so string order is
+                // numeric order; strictly increasing ⇒ sorted + unique.
+                if let Some(p) = prev {
+                    if key <= p {
+                        return Err(rctx(&format!("keys not sorted ({key} after {p})")));
+                    }
+                }
+                prev = Some(key);
+            }
+        }
+        if let Some(hot) = b.get("hot_blocks") {
+            hot.as_arr().ok_or_else(|| ctx("hot_blocks is not an array"))?;
+        }
+    }
+    if let Some(learn) = v.get("learn") {
+        let learn = learn.as_arr().ok_or("learn is not an array")?;
+        for (i, l) in learn.iter().enumerate() {
+            l.get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("learn[{i}]: missing name"))?;
+            check_counters(l.get("counters"), &format!("learn[{i}]"))?;
+        }
+    }
+    if let Some(w) = v.get("learn_workers") {
+        check_counters(Some(w), "learn_workers")?;
+    }
+    Ok(())
+}
+
+/// A counters object maps names to numbers, nothing else.
+fn check_counters(v: Option<&Json>, ctx: &str) -> Result<(), String> {
+    let fields =
+        v.and_then(Json::as_obj).ok_or_else(|| format!("{ctx}: missing counters object"))?;
+    for (k, val) in fields {
+        if val.as_num().is_none() {
+            return Err(format!("{ctx}: counter {k:?} is not a number"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{render_event, Scope, Val};
+
+    #[test]
+    fn accepts_rendered_trace_lines() {
+        let text = [
+            render_event(1, Scope::Learn, "phase", &[("name", Val::S("classify"))]),
+            String::new(),
+            render_event(2, Scope::Exec, "translate", &[("pc", Val::U(0x8000))]),
+            render_event(2, Scope::Exec, "chain_link", &[]),
+        ]
+        .join("\n");
+        assert_eq!(check_trace_ndjson(&text), Ok(3));
+    }
+
+    #[test]
+    fn rejects_bad_traces() {
+        let backwards =
+            [render_event(5, Scope::Exec, "a", &[]), render_event(4, Scope::Exec, "b", &[])]
+                .join("\n");
+        assert!(check_trace_ndjson(&backwards).unwrap_err().contains("backwards"));
+        assert!(check_trace_ndjson("{\"ts_us\":1,\"scope\":\"zap\",\"ev\":\"x\"}")
+            .unwrap_err()
+            .contains("scope"));
+        assert!(check_trace_ndjson("not json").is_err());
+        assert!(check_trace_ndjson("[1]").unwrap_err().contains("object"));
+    }
+
+    fn report(rules: &str) -> String {
+        format!(
+            "{{\"schema\":\"ldbt-run-report/v1\",\"benches\":[{{\"name\":\"b\",\
+             \"engine\":\"rules\",\"counters\":{{\"x\":1}},\"rules\":[{rules}]}}],\
+             \"learn\":[{{\"name\":\"b\",\"counters\":{{\"pairs\":2}}}}],\
+             \"learn_workers\":{{\"verified\":3}}}}"
+        )
+    }
+
+    #[test]
+    fn accepts_a_well_formed_report() {
+        let r = report(
+            "{\"key\":\"0x01\",\"len\":1,\"blocks\":2,\"execs\":3},\
+             {\"key\":\"0x02\",\"len\":1,\"blocks\":1,\"execs\":1}",
+        );
+        assert_eq!(check_run_report(&r), Ok(()));
+    }
+
+    #[test]
+    fn rejects_unsorted_rules_and_bad_schema() {
+        let r = report(
+            "{\"key\":\"0x02\",\"len\":1,\"blocks\":1,\"execs\":1},\
+             {\"key\":\"0x01\",\"len\":1,\"blocks\":1,\"execs\":1}",
+        );
+        assert!(check_run_report(&r).unwrap_err().contains("not sorted"));
+        assert!(check_run_report("{\"schema\":\"v0\",\"benches\":[]}")
+            .unwrap_err()
+            .contains("schema"));
+        assert!(check_run_report("{\"schema\":\"ldbt-run-report/v1\"}")
+            .unwrap_err()
+            .contains("benches"));
+        let bad_ctr = "{\"schema\":\"ldbt-run-report/v1\",\"benches\":[{\"name\":\"b\",\
+                       \"engine\":\"tcg\",\"counters\":{\"x\":\"nope\"}}]}";
+        assert!(check_run_report(bad_ctr).unwrap_err().contains("not a number"));
+    }
+}

@@ -76,7 +76,7 @@ fn main() {
             "[{engine:>5}] r0 = {:>10}  guest instrs {:>9}  host instrs {:>9}  \
              cycles {:>10} (translation {:>8})  coverage {:>5.1}%",
             e.guest_reg(ldbt_arm::ArmReg::R0),
-            e.stats.guest_dyn,
+            e.stats.guest_dyn(),
             e.stats.exec.host_instrs,
             e.stats.total_cycles(),
             e.stats.exec.translation_cycles,

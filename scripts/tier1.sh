@@ -30,6 +30,32 @@ for nochain in 0 1; do
     done
 done
 
+# Observability gate: tracing and run reports must never perturb
+# results. The smoke binary prints only deterministic counters, so its
+# stdout must be byte-identical with tracing on and off; the emitted
+# NDJSON trace and JSON run report must pass their schema self-checks.
+OBS_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_DIR"' EXIT
+cargo run -q --release -p ldbt-bench --bin smoke > "$OBS_DIR/smoke_off.txt"
+LDBT_TRACE="all:$OBS_DIR/trace.ndjson" LDBT_STATS_JSON="$OBS_DIR/report.json" \
+    cargo run -q --release -p ldbt-bench --bin smoke > "$OBS_DIR/smoke_on.txt"
+cmp "$OBS_DIR/smoke_off.txt" "$OBS_DIR/smoke_on.txt"
+cargo run -q --release -p ldbt-obs --bin obs_selfcheck -- trace "$OBS_DIR/trace.ndjson"
+cargo run -q --release -p ldbt-obs --bin obs_selfcheck -- report "$OBS_DIR/report.json"
+
+# The flagship table must also be trace-invariant: with wall-clock
+# columns zeroed (LDBT_DETERMINISTIC=1), two table1 runs — one traced,
+# one not — must produce byte-identical stdout.
+LDBT_DETERMINISTIC=1 cargo run -q --release -p ldbt-bench --bin table1 \
+    > "$OBS_DIR/table1_off.txt" 2>/dev/null
+LDBT_DETERMINISTIC=1 LDBT_TRACE="all:$OBS_DIR/table1.ndjson" \
+    LDBT_STATS_JSON="$OBS_DIR/table1.json" \
+    cargo run -q --release -p ldbt-bench --bin table1 \
+    > "$OBS_DIR/table1_on.txt" 2>/dev/null
+cmp "$OBS_DIR/table1_off.txt" "$OBS_DIR/table1_on.txt"
+cargo run -q --release -p ldbt-obs --bin obs_selfcheck -- trace "$OBS_DIR/table1.ndjson"
+cargo run -q --release -p ldbt-obs --bin obs_selfcheck -- report "$OBS_DIR/table1.json"
+
 # The dispatch-throughput bench must keep compiling (it is the perf
 # gate's measurement tool; results live in results/dispatch_throughput.txt).
 cargo bench --no-run -p ldbt-bench

@@ -128,7 +128,7 @@ int main() {
         want,
         "the corrupted rule must visibly change the result (rules execute)"
     );
-    assert!(evil_engine.stats.guest_dyn_covered > 0);
+    assert!(evil_engine.stats.guest_dyn_covered() > 0);
 }
 
 /// The watchdog catches the same deliberately corrupted rule within its
@@ -167,8 +167,8 @@ int main() {
         want,
         "after quarantine the run must produce the TCG result"
     );
-    assert!(e.stats.watchdog_checks > 0, "the corrupted block was sampled");
-    assert_eq!(e.stats.quarantined_rules, 1, "the one bad rule is tombstoned exactly once");
+    assert!(e.stats.watchdog_checks() > 0, "the corrupted block was sampled");
+    assert_eq!(e.stats.quarantined_rules(), 1, "the one bad rule is tombstoned exactly once");
 }
 
 /// A quarantine purge must also sever chained links: blocks that were
@@ -207,10 +207,10 @@ int main() {
         .with_fault(None);
     assert_eq!(e.run(10_000_000), RunOutcome::Halted);
     assert_eq!(e.guest_reg(ArmReg::R0), want, "post-quarantine run matches TCG");
-    assert_eq!(e.stats.quarantined_rules, 1, "the bad rule is tombstoned");
-    assert!(e.stats.chain_links > 0, "blocks were chained before the purge");
+    assert_eq!(e.stats.quarantined_rules(), 1, "the bad rule is tombstoned");
+    assert!(e.stats.chain_links() > 0, "blocks were chained before the purge");
     assert!(
-        e.stats.chain_unlinks > 0,
+        e.stats.chain_unlinks() > 0,
         "purging the corrupted block severed its incoming chained links"
     );
 }

@@ -185,7 +185,7 @@ fn predicated_memory_helper_fallback() {
     let mut e = Engine::new(&image, Translator::Tcg);
     assert_eq!(e.run(1_000_000), RunOutcome::Halted);
     assert_eq!(e.guest_reg(ArmReg::R4), 42);
-    assert!(e.stats.helper_steps > 0, "helper must have been used");
+    assert!(e.stats.helper_steps() > 0, "helper must have been used");
     assert_eq!(e.state.mem.read(0x804, ldbt_isa::Width::W32), 0, "suppressed store");
 }
 
@@ -202,11 +202,11 @@ fn cache_reuse_across_reset() {
     let image = image_of(&prog);
     let mut e = Engine::new(&image, Translator::Tcg);
     assert_eq!(e.run(1_000_000), RunOutcome::Halted);
-    let blocks_after_first = e.stats.blocks;
+    let blocks_after_first = e.stats.blocks();
     let trans_after_first = e.stats.exec.translation_cycles;
     e.reset();
     assert_eq!(e.run(1_000_000), RunOutcome::Halted);
-    assert_eq!(e.stats.blocks, blocks_after_first, "no retranslation");
+    assert_eq!(e.stats.blocks(), blocks_after_first, "no retranslation");
     assert_eq!(e.stats.exec.translation_cycles, trans_after_first);
     assert_eq!(e.guest_reg(ArmReg::R0), 0);
 }

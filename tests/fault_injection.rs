@@ -58,9 +58,9 @@ fn clean_watchdog_run_quarantines_nothing() {
         .with_fault(None);
     assert_eq!(e.run(50_000_000), RunOutcome::Halted);
     assert_eq!(e.guest_reg(ArmReg::R0), want, "watchdog must not perturb a clean run");
-    assert!(e.stats.guest_dyn_covered > 0, "rules must actually apply");
-    assert!(e.stats.watchdog_checks > 0, "rule-covered dispatches were sampled");
-    assert_eq!(e.stats.quarantined_rules, 0, "verified rules never mismatch");
+    assert!(e.stats.guest_dyn_covered() > 0, "rules must actually apply");
+    assert!(e.stats.watchdog_checks() > 0, "rule-covered dispatches were sampled");
+    assert_eq!(e.stats.quarantined_rules(), 0, "verified rules never mismatch");
 }
 
 #[test]
@@ -74,9 +74,9 @@ fn rule_corrupt_is_quarantined_and_output_matches_tcg() {
         .with_fault(Some(fault));
     assert_eq!(e.run(50_000_000), RunOutcome::Halted, "corruption must not abort the run");
     assert_eq!(e.guest_reg(ArmReg::R0), want, "quarantine must restore TCG-identical output");
-    assert!(e.stats.watchdog_checks > 0);
+    assert!(e.stats.watchdog_checks() > 0);
     assert!(
-        e.stats.quarantined_rules >= 1,
+        e.stats.quarantined_rules() >= 1,
         "the corrupted rule application must be caught and tombstoned"
     );
 }
@@ -100,7 +100,7 @@ fn solver_exhaust_degrades_yield_without_abort() {
         .with_fault(None);
     assert_eq!(e.run(50_000_000), RunOutcome::Halted);
     assert_eq!(e.guest_reg(ArmReg::R0), want);
-    assert_eq!(e.stats.quarantined_rules, 0);
+    assert_eq!(e.stats.quarantined_rules(), 0);
 }
 
 #[test]
