@@ -3,9 +3,11 @@
 //!
 //! This is the A/B harness for the execution hot path: block chaining,
 //! the indirect-branch target cache, the word-wide guest-memory fast
-//! path, and zero-allocation dispatch. Set `LDBT_NOCHAIN=1` to measure
-//! the unchained dispatcher for comparison; results are recorded in
-//! `results/dispatch_throughput.txt` (see EXPERIMENTS.md).
+//! path, zero-allocation dispatch, and profile-guided superblocks. Set
+//! `LDBT_NOCHAIN=1` / `LDBT_NOSB=1` to measure the unchained or
+//! region-free dispatcher for comparison; results are recorded in
+//! `results/dispatch_throughput.txt` (see EXPERIMENTS.md). The CI gate
+//! runs the fixed-cost `dispatch_gate` binary instead (best-of-5 min).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ldbt_compiler::{link::build_arm_image, Options};
@@ -57,6 +59,16 @@ fn bench_dispatch(c: &mut Criterion) {
     g.bench_function("jit", |b| {
         b.iter(|| {
             let mut e = Engine::new(black_box(&image), Translator::Jit);
+            assert_eq!(e.run(FUEL), RunOutcome::Halted);
+            e.stats.exec.host_instrs
+        })
+    });
+    // Ablation row: rules engine with superblock formation disabled
+    // (`LDBT_NOSB=1` equivalent), isolating the region layer's gain.
+    g.bench_function("rules_nosb", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(black_box(&image), Translator::Rules(Rc::clone(&rules)))
+                .with_superblocks(None);
             assert_eq!(e.run(FUEL), RunOutcome::Halted);
             e.stats.exec.host_instrs
         })

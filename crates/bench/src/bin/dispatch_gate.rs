@@ -1,0 +1,98 @@
+//! `dispatch_gate`: the CI-gated dispatch-throughput measurement.
+//!
+//! Criterion's `dispatch` bench is the exploratory harness; this binary
+//! is the *gate*: one process, the same loop-heavy workload, best-of-N
+//! wall-clock per engine, machine-readable output for
+//! `scripts/tier1.sh` to compare against the recorded row in
+//! `results/dispatch_throughput.txt`. The container is single-CPU and
+//! noisy — medians swing ~25% run to run — so best-of-N **min** is the
+//! gated statistic: noise only ever adds time, so the minimum is the
+//! stable estimate of the true cost.
+//!
+//! Output, one line per engine (milliseconds, three decimals):
+//!
+//! ```text
+//! dispatch_gate tcg min_ms=131.204 host_instrs=310081086
+//! ```
+//!
+//! `rules_nosb` is the ablation row: the rules engine with superblock
+//! formation disabled, isolating the region layer's contribution.
+
+use ldbt_compiler::{link::build_arm_image, Options};
+use ldbt_dbt::engine::{RunOutcome, Translator};
+use ldbt_dbt::Engine;
+use ldbt_learn::pipeline::learn_from_source;
+use std::hint::black_box;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Same workload as the Criterion bench (crates/bench/benches/dispatch.rs).
+const SRC: &str = "
+int a[64];
+int main() {
+  int s = 0;
+  for (int i = 0; i < 64; i += 1) { a[i] = i * 7 + 1; }
+  for (int i = 0; i < 3000; i += 1) {
+    for (int j = 0; j < 64; j += 1) {
+      s = s + a[j];
+      s = s ^ (j & 7);
+    }
+  }
+  return s & 0xffff;
+}";
+
+const FUEL: u64 = 3_000_000_000;
+const RUNS: usize = 5;
+
+type MakeEngine = Box<dyn Fn() -> Engine>;
+
+fn main() {
+    let image = build_arm_image(SRC, &Options::o2()).unwrap();
+    let rules =
+        Rc::new(learn_from_source("dispatch", SRC, &Options::o2()).expect("learning runs").rules);
+    let engines: Vec<(&str, MakeEngine)> = vec![
+        (
+            "tcg",
+            Box::new({
+                let image = image.clone();
+                move || Engine::new(&image, Translator::Tcg)
+            }),
+        ),
+        (
+            "rules",
+            Box::new({
+                let (image, rules) = (image.clone(), Rc::clone(&rules));
+                move || Engine::new(&image, Translator::Rules(Rc::clone(&rules)))
+            }),
+        ),
+        (
+            "jit",
+            Box::new({
+                let image = image.clone();
+                move || Engine::new(&image, Translator::Jit)
+            }),
+        ),
+        (
+            "rules_nosb",
+            Box::new({
+                let (image, rules) = (image.clone(), Rc::clone(&rules));
+                move || {
+                    Engine::new(&image, Translator::Rules(Rc::clone(&rules))).with_superblocks(None)
+                }
+            }),
+        ),
+    ];
+    for (name, make) in engines {
+        let mut best = f64::INFINITY;
+        let mut host_instrs = 0;
+        for _ in 0..RUNS {
+            let mut e = make();
+            let t0 = Instant::now();
+            assert_eq!(e.run(black_box(FUEL)), RunOutcome::Halted, "{name}");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            best = best.min(ms);
+            host_instrs = e.stats.exec.host_instrs;
+        }
+        println!("dispatch_gate {name} min_ms={best:.3} host_instrs={host_instrs}");
+    }
+}

@@ -797,4 +797,49 @@ mod tests {
             "sub polarity: CF=0 → ARM C=1"
         );
     }
+
+    /// The scratch-register invariant the superblock optimizer depends
+    /// on (sb.rs): lowered blocks communicate only through the env and
+    /// %esp — they must never *read* a host register or EFLAGS bit left
+    /// behind by the previous block. `entry_reads` computes the code's
+    /// dependence on host entry state by backward liveness; anything but
+    /// %esp here would make cross-seam dead-code elimination unsound.
+    #[test]
+    fn lowered_blocks_read_no_host_entry_state() {
+        let shapes: Vec<(&str, Vec<ArmInstr>)> = vec![
+            (
+                "dp",
+                vec![ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Reg(ArmReg::R0))],
+            ),
+            (
+                "cmp+branch",
+                vec![
+                    ArmInstr::cmp(ArmReg::R2, Operand2::Reg(ArmReg::R3)),
+                    ArmInstr::B { offset: 3, cond: Cond::Ne },
+                ],
+            ),
+            (
+                "mem",
+                vec![
+                    ArmInstr::ldr(ArmReg::R0, ldbt_arm::AddrMode::Imm(ArmReg::R1, 4)),
+                    ArmInstr::str(ArmReg::R0, ldbt_arm::AddrMode::Imm(ArmReg::R1, 8)),
+                ],
+            ),
+            (
+                "flag-setting",
+                vec![
+                    ArmInstr::dps(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Imm(1)),
+                    ArmInstr::B { offset: 2, cond: Cond::Eq },
+                ],
+            ),
+        ];
+        for (name, instrs) in shapes {
+            let block = GuestBlock { pc: 0x1_0000, instrs };
+            let mem = Memory::new();
+            let code = lower_block(&translate_block(&mem, &block)).code;
+            let (regs, flags) = crate::sb::entry_reads(&code);
+            assert_eq!(regs & !(1 << Gpr::Esp.index()), 0, "{name}: reads host regs {regs:#010b}");
+            assert_eq!(flags, 0, "{name}: reads host EFLAGS {flags:#06b}");
+        }
+    }
 }

@@ -23,11 +23,24 @@
 //! 3. **Zero-allocation dispatch**: rule-hit metadata is aggregated into
 //!    [`DbtStats::hit_rules`] once at translation time and shared with
 //!    the watchdog via `Rc`, so a dispatch allocates nothing.
+//! 4. **Superblocks** (`LDBT_NOSB` / `LDBT_SB_THRESHOLD`): once a chain
+//!    head crosses the hotness threshold, the hottest chain through it
+//!    is re-materialized as a straight-line region of seam-specialized
+//!    code clones (see [`crate::sb`]); the head's dispatch entry then
+//!    runs the region, with side exits falling back to the chain/
+//!    dispatcher. Accounting is kept bit-identical to the plain path.
 
 use crate::backend::lower_block;
-use crate::env::{env_mem, reg_mem, FlagId, ENV_BASE, FLAGMODE_OFFSET, HOST_STACK_TOP};
+use crate::env::{
+    chaining_from_env, env_mem, reg_mem, superblocks_from_env, watchdog_from_env, FlagId, ENV_BASE,
+    FLAGMODE_OFFSET, HOST_STACK_TOP,
+};
 use crate::jit::optimize_block;
 use crate::rules::block_supported;
+use crate::sb::{
+    optimize_region, specialize_part, strip_seam_exits, SbPart, SeamState, Superblock, NO_SB,
+    SB_MAX_PARTS,
+};
 use crate::stats::{BlockProfile, DbtCtr, DbtStats, ExecProfile, RuleProfile};
 use crate::tcg::{decode_block, translate_block};
 use ldbt_arm::{encode::decode, ArmEvent, ArmReg, ArmState};
@@ -40,43 +53,6 @@ use ldbt_x86::interp::{run_seq, SeqExit};
 use ldbt_x86::{Gpr, X86Instr, X86State};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
-use std::sync::OnceLock;
-
-/// Parse table for `LDBT_WATCHDOG` (the sampling period of the
-/// differential cross-check):
-///
-/// | value                 | behavior                                  |
-/// |-----------------------|-------------------------------------------|
-/// | unset / `""` / `0` / `off` | watchdog disabled                    |
-/// | `on` / `1`            | check every rule-covered dispatch         |
-/// | `N` (integer > 0)     | check every Nth rule-covered dispatch     |
-/// | anything else         | watchdog disabled (garbage is not a period) |
-fn parse_watchdog(raw: Option<&str>) -> Option<u64> {
-    match raw.map(str::trim) {
-        None | Some("" | "0" | "off") => None,
-        Some("on") => Some(1),
-        Some(s) => s.parse::<u64>().ok().filter(|n| *n > 0),
-    }
-}
-
-fn watchdog_from_env() -> Option<u64> {
-    static WATCHDOG: OnceLock<Option<u64>> = OnceLock::new();
-    *WATCHDOG.get_or_init(|| parse_watchdog(std::env::var("LDBT_WATCHDOG").ok().as_deref()))
-}
-
-/// Parse table for `LDBT_NOCHAIN` (block-chaining kill switch for A/B
-/// measurement): unset, `""`, `0`, and `off` keep chaining **on**; any
-/// other value (including garbage) turns it off — the knob is a
-/// disabler, so an unrecognized value fails toward the measurement mode
-/// the user was reaching for.
-fn parse_chaining(raw: Option<&str>) -> bool {
-    matches!(raw.map(str::trim), None | Some("" | "0" | "off"))
-}
-
-fn chaining_from_env() -> bool {
-    static NOCHAIN: OnceLock<bool> = OnceLock::new();
-    *NOCHAIN.get_or_init(|| parse_chaining(std::env::var("LDBT_NOCHAIN").ok().as_deref()))
-}
 
 /// Which translator the engine uses.
 #[derive(Debug, Clone)]
@@ -156,6 +132,9 @@ struct CachedBlock {
     links_in: Vec<(u32, usize)>,
     /// Purged by a quarantine; the arena slot is never reused.
     dead: bool,
+    /// Region id of the live superblock this block heads, or
+    /// [`NO_SB`]. Dispatching the block enters the region instead.
+    sb_head: u32,
 }
 
 impl CachedBlock {
@@ -188,6 +167,18 @@ enum WdVerdict {
     End(RunOutcome),
 }
 
+/// How a superblock region handed control back to the run loop.
+enum SbStep {
+    /// A side exit chained to a block outside the region: continue the
+    /// fast loop there (mirrors a plain chained transition).
+    Continue(u32),
+    /// Control left the chain (indirect branch or a watchdog rewind):
+    /// go back through the dispatcher.
+    Dispatch,
+    /// The run ended inside the region.
+    Done(RunOutcome),
+}
+
 /// The dynamic binary translator.
 pub struct Engine {
     /// Host machine state; its memory holds the guest image, the env, and
@@ -218,15 +209,25 @@ pub struct Engine {
     force_tcg: HashSet<u32>,
     /// Translation-time fault injection (`LDBT_FAULT`).
     fault: Option<FaultPlan>,
+    /// Superblock region arena; ids are indices and never reused.
+    superblocks: Vec<Superblock>,
+    /// Block id → regions it is a member of (for invalidation when the
+    /// block is purged or its code is re-patched).
+    sb_members: HashMap<u32, Vec<u32>>,
+    /// Superblock formation threshold; `None` disables formation
+    /// (`LDBT_NOSB` / `LDBT_SB_THRESHOLD`).
+    sb_cfg: Option<u64>,
 }
 
 impl Engine {
     /// Create an engine for a linked guest image.
     ///
-    /// The watchdog period, chaining flag, and fault plan default from
-    /// the `LDBT_WATCHDOG` / `LDBT_NOCHAIN` / `LDBT_FAULT` environment;
-    /// [`Engine::with_watchdog`], [`Engine::with_chaining`], and
-    /// [`Engine::with_fault`] override them explicitly.
+    /// The watchdog period, chaining flag, superblock config, and fault
+    /// plan default from the `LDBT_WATCHDOG` / `LDBT_NOCHAIN` /
+    /// `LDBT_NOSB` / `LDBT_SB_THRESHOLD` / `LDBT_FAULT` environment;
+    /// [`Engine::with_watchdog`], [`Engine::with_chaining`],
+    /// [`Engine::with_superblocks`], and [`Engine::with_fault`] override
+    /// them explicitly.
     pub fn new(image: &ArmImage, translator: Translator) -> Engine {
         let mut mem = Memory::new();
         image.load_into(&mut mem);
@@ -249,6 +250,9 @@ impl Engine {
             watchdog_tick: 0,
             force_tcg: HashSet::new(),
             fault: ldbt_learn::fault::env_plan(),
+            superblocks: Vec::new(),
+            sb_members: HashMap::new(),
+            sb_cfg: superblocks_from_env(),
         }
     }
 
@@ -274,6 +278,14 @@ impl Engine {
     /// Override the translation fault plan (`None` disables injection).
     pub fn with_fault(mut self, fault: Option<FaultPlan>) -> Engine {
         self.fault = fault;
+        self
+    }
+
+    /// Override superblock formation: `None` disables it (the `LDBT_NOSB`
+    /// knob), `Some(t)` forms a region once a chain head crosses `t`
+    /// executions (the `LDBT_SB_THRESHOLD` knob).
+    pub fn with_superblocks(mut self, cfg: Option<u64>) -> Engine {
+        self.sb_cfg = cfg;
         self
     }
 
@@ -327,6 +339,11 @@ impl Engine {
     /// never infers exits from code shape: a `movl $imm, %eax; ret`
     /// lookalike in a rule or JIT body must not become a `ChainJmp`.
     fn patch_link(&mut self, pred: u32, site: usize, succ: u32) {
+        // The predecessor's code is about to change: any region holding a
+        // clone of it would go stale (its copy would still `ret` to the
+        // dispatcher where the original now chains, diverging the chain
+        // accounting), so those regions are invalidated and re-form later.
+        self.invalidate_regions_of(pred);
         let code = Rc::make_mut(&mut self.blocks[pred as usize].code);
         debug_assert!(matches!(code[site], X86Instr::Ret), "link site must be an unpatched ret");
         code[site] = X86Instr::ChainJmp { block: succ };
@@ -355,6 +372,19 @@ impl Engine {
             block.exits.iter().all(|&(at, _)| matches!(block.code.get(at), Some(X86Instr::Ret))),
             "declared exits must point at ret stubs"
         );
+        #[cfg(debug_assertions)]
+        {
+            // Blocks must start from the env: reading any host register
+            // (beyond %esp) or EFLAGS before writing it would make block
+            // behavior depend on unspecified entry state — and would
+            // break the superblock optimizer's scratch assumption (see
+            // `sb::entry_reads`).
+            let (regs, flags) = crate::sb::entry_reads(&block.code);
+            debug_assert!(
+                regs & !(1 << Gpr::Esp.index()) == 0 && flags == 0,
+                "block at {pc:#x} reads host entry state (regs {regs:#010b}, flags {flags:#06b})"
+            );
+        }
         let id = self.blocks.len() as u32;
         self.blocks.push(block);
         self.map.insert(pc, id);
@@ -392,12 +422,17 @@ impl Engine {
         if self.blocks[id as usize].dead {
             return;
         }
+        // Regions holding a clone of this block must die with it.
+        self.invalidate_regions_of(id);
         let pc = self.blocks[id as usize].pc;
         let links_in = std::mem::take(&mut self.blocks[id as usize].links_in);
         for (pred, site) in links_in {
             if self.blocks[pred as usize].dead {
                 continue;
             }
+            // Unlinking re-patches the predecessor's code, so its region
+            // clones go stale too.
+            self.invalidate_regions_of(pred);
             let code = Rc::make_mut(&mut self.blocks[pred as usize].code);
             debug_assert!(matches!(code[site], X86Instr::ChainJmp { .. }));
             code[site] = X86Instr::Ret;
@@ -480,6 +515,7 @@ impl Engine {
                 links_out: Vec::new(),
                 links_in: Vec::new(),
                 dead: false,
+                sb_head: NO_SB,
             });
         }
         // Rule-based translation path.
@@ -523,6 +559,7 @@ impl Engine {
                     links_out: Vec::new(),
                     links_in: Vec::new(),
                     dead: false,
+                    sb_head: NO_SB,
                 });
             }
         }
@@ -544,6 +581,7 @@ impl Engine {
                 links_out: Vec::new(),
                 links_in: Vec::new(),
                 dead: false,
+                sb_head: NO_SB,
             });
         }
         let translated_len = match tcg.unsupported_at {
@@ -579,6 +617,7 @@ impl Engine {
             links_out: Vec::new(),
             links_in: Vec::new(),
             dead: false,
+            sb_head: NO_SB,
         })
     }
 
@@ -644,8 +683,22 @@ impl Engine {
             // Chained fast loop: no map probes until control leaves the
             // chain (indirect branch, halt, or an unlinked exit).
             loop {
+                // A block heading a live region runs the region instead;
+                // its per-block accounting happens inside, part by part.
+                let sbid = self.blocks[id as usize].sb_head;
+                if sbid != NO_SB {
+                    match self.run_superblock(sbid, fuel) {
+                        SbStep::Continue(next) => {
+                            id = next;
+                            continue;
+                        }
+                        SbStep::Dispatch => continue 'dispatch,
+                        SbStep::Done(out) => return out,
+                    }
+                }
                 let b = &mut self.blocks[id as usize];
                 b.execs += 1;
+                let execs_now = b.execs;
                 let block_pc = b.pc;
                 let interp_one = b.interp_one;
                 self.stats.bump(DbtCtr::BlockExecs);
@@ -658,6 +711,18 @@ impl Engine {
                             continue 'dispatch;
                         }
                         Err(out) => return out,
+                    }
+                }
+                // Formation trigger: every `threshold`-th execution of a
+                // block, try to grow a region from the hot chain through
+                // it. This execution still runs the plain code; the
+                // region takes over at the next entry. Forming only
+                // clones and specializes already-translated code, so no
+                // translation counters move and accounting parity with
+                // `LDBT_NOSB` holds.
+                if let Some(threshold) = self.sb_cfg {
+                    if self.chaining && execs_now.is_multiple_of(threshold) {
+                        self.try_form_superblock(id);
                     }
                 }
                 let b = &self.blocks[id as usize];
@@ -865,6 +930,209 @@ impl Engine {
         WdVerdict::Diverged
     }
 
+    /// Try to form a superblock region headed at block `head`: follow the
+    /// hottest chained successor from each block (up to [`SB_MAX_PARTS`];
+    /// revisits are allowed, so a self-loop unrolls), specialize each
+    /// member's code clone against the seam state its predecessor leaves
+    /// behind, and strip provably dead seam exit pairs. Forming never
+    /// re-translates — it only clones and deletes — so translation-side
+    /// statistics are untouched.
+    fn try_form_superblock(&mut self, head: u32) {
+        if self.blocks[head as usize].sb_head != NO_SB || !self.blocks[head as usize].chainable() {
+            return;
+        }
+        let mut path: Vec<u32> = vec![head];
+        let mut cur = head;
+        while path.len() < SB_MAX_PARTS {
+            // Hottest chainable successor; ties break to the smaller id
+            // so formation is deterministic.
+            let next = self.blocks[cur as usize]
+                .links_out
+                .iter()
+                .map(|&(_, succ)| succ)
+                .filter(|&s| self.blocks[s as usize].chainable())
+                .max_by_key(|&s| (self.blocks[s as usize].execs, std::cmp::Reverse(s)));
+            match next {
+                Some(n) => {
+                    path.push(n);
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+        if path.len() < 2 {
+            return;
+        }
+        let mut st = SeamState::entry();
+        let mut parts: Vec<SbPart> = Vec::with_capacity(path.len());
+        let mut pcs: Vec<u32> = Vec::with_capacity(path.len());
+        for &bid in &path {
+            let b = &self.blocks[bid as usize];
+            let (code, exit) = specialize_part(&b.code, &st);
+            st = exit;
+            parts.push(SbPart { id: bid, code: Rc::new(code), fallthrough_seam: false });
+            pcs.push(b.pc);
+        }
+        strip_seam_exits(&mut parts, &pcs);
+        optimize_region(&mut parts);
+        let rid = self.superblocks.len() as u32;
+        let mut seen: HashSet<u32> = HashSet::new();
+        for &bid in &path {
+            if seen.insert(bid) {
+                self.sb_members.entry(bid).or_default().push(rid);
+            }
+        }
+        self.blocks[head as usize].sb_head = rid;
+        self.superblocks.push(Superblock { head, parts, dead: false });
+        self.stats.bump(DbtCtr::SbFormed);
+        if trace::enabled(Scope::Exec) {
+            trace::emit(
+                Scope::Exec,
+                "sb_form",
+                &[
+                    ("head_pc", Val::U(pcs[0] as u64)),
+                    ("region", Val::U(rid as u64)),
+                    ("parts", Val::U(path.len() as u64)),
+                ],
+            );
+        }
+    }
+
+    /// Invalidate every region block `bid` is a member of: the region
+    /// goes dead, the head's dispatch redirect is removed, and the other
+    /// members forget the region. Called whenever `bid`'s code is purged
+    /// or re-patched (the region holds clones of it). The head re-forms
+    /// a fresh region — without any purged member — the next time it
+    /// crosses the formation threshold.
+    fn invalidate_regions_of(&mut self, bid: u32) {
+        let Some(rids) = self.sb_members.remove(&bid) else { return };
+        for rid in rids {
+            if self.superblocks[rid as usize].dead {
+                continue;
+            }
+            self.superblocks[rid as usize].dead = true;
+            let head = self.superblocks[rid as usize].head;
+            let members: Vec<u32> =
+                self.superblocks[rid as usize].parts.iter().map(|p| p.id).collect();
+            // Drop the cloned code; dead regions are never entered again.
+            self.superblocks[rid as usize].parts = Vec::new();
+            if self.blocks[head as usize].sb_head == rid {
+                self.blocks[head as usize].sb_head = NO_SB;
+            }
+            for m in members {
+                if m == bid {
+                    continue;
+                }
+                if let Some(v) = self.sb_members.get_mut(&m) {
+                    v.retain(|&r| r != rid);
+                    if v.is_empty() {
+                        self.sb_members.remove(&m);
+                    }
+                }
+            }
+            self.stats.bump(DbtCtr::SbInvalidated);
+            if trace::enabled(Scope::Exec) {
+                trace::emit(
+                    Scope::Exec,
+                    "sb_invalidate",
+                    &[
+                        ("head_pc", Val::U(self.blocks[head as usize].pc as u64)),
+                        ("region", Val::U(rid as u64)),
+                        ("member_pc", Val::U(self.blocks[bid as usize].pc as u64)),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Execute region `rid` from its head. Every counter the plain path
+    /// maintains per block execution is maintained here per part — same
+    /// order, same values — so a run's `DbtStats` accounting is
+    /// bit-identical with superblocks on or off; only the host
+    /// instruction count (the thing regions exist to shrink) differs.
+    fn run_superblock(&mut self, rid: u32, fuel: u64) -> SbStep {
+        let mut k = 0usize;
+        loop {
+            let (bid, code, ft_seam, next_id) = {
+                let sb = &self.superblocks[rid as usize];
+                let part = &sb.parts[k];
+                let next = sb.parts.get(k + 1).map(|p| p.id);
+                (part.id, Rc::clone(&part.code), part.fallthrough_seam, next)
+            };
+            let b = &mut self.blocks[bid as usize];
+            b.execs += 1;
+            let block_pc = b.pc;
+            self.stats.bump(DbtCtr::SbExecs);
+            self.stats.bump(DbtCtr::BlockExecs);
+            self.stats.add(DbtCtr::GuestDyn, b.guest_len);
+            self.stats.add(DbtCtr::GuestDynCovered, b.covered);
+            // Watchdog sampling mirrors the plain path exactly: same
+            // tick sequence, same snapshots, and the comparison surface
+            // (env registers, next pc, guest memory) is untouched by
+            // part specialization.
+            let b = &self.blocks[bid as usize];
+            let check_now = match self.watchdog {
+                Some(period) if !b.hits.is_empty() => {
+                    self.watchdog_tick += 1;
+                    self.watchdog_tick.is_multiple_of(period)
+                }
+                _ => false,
+            };
+            let wd =
+                if check_now { Some((Rc::clone(&b.hits), self.state.mem.clone())) } else { None };
+            let remaining = fuel - self.stats.exec.host_instrs;
+            let exit = run_seq(&mut self.state, &code, remaining, &self.cost, &mut self.stats.exec);
+            // None = back to the dispatcher; Some((next, is_seam)).
+            let step = match exit {
+                SeqExit::Halted => return SbStep::Done(RunOutcome::Halted),
+                SeqExit::OutOfFuel => return SbStep::Done(RunOutcome::OutOfFuel),
+                SeqExit::JumpedOut(_) | SeqExit::Faulted => return SbStep::Done(RunOutcome::Fault),
+                SeqExit::FellThrough => match (ft_seam, next_id) {
+                    // The stripped seam: falling off the end of the part
+                    // *is* the chained jump to the next part.
+                    (true, Some(n)) => {
+                        self.pc = self.blocks[n as usize].pc;
+                        Some((n, true))
+                    }
+                    _ => return SbStep::Done(RunOutcome::Fault),
+                },
+                SeqExit::Chained(next) => {
+                    self.pc = self.blocks[next as usize].pc;
+                    Some((next, next_id == Some(next)))
+                }
+                SeqExit::Returned => {
+                    self.pc = self.state.reg(Gpr::Eax);
+                    None
+                }
+            };
+            if let Some((hits, pre)) = wd {
+                match self.watchdog_check(block_pc, &hits, pre) {
+                    WdVerdict::Clean => {}
+                    // The divergence rewind purged blocks — possibly this
+                    // very region — so control must leave it.
+                    WdVerdict::Diverged => return SbStep::Dispatch,
+                    WdVerdict::End(out) => return SbStep::Done(out),
+                }
+            }
+            match step {
+                Some((next, is_seam)) => {
+                    // Mirror the chained-transition fuel check and
+                    // accounting of the plain path.
+                    if self.stats.exec.host_instrs >= fuel {
+                        return SbStep::Done(RunOutcome::OutOfFuel);
+                    }
+                    self.stats.bump(DbtCtr::ChainedExecs);
+                    if is_seam {
+                        k += 1;
+                    } else {
+                        return SbStep::Continue(next);
+                    }
+                }
+                None => return SbStep::Dispatch,
+            }
+        }
+    }
+
     /// Reset execution state (keeping the translated-code cache) so the
     /// same image can be run again.
     pub fn reset(&mut self) {
@@ -879,6 +1147,11 @@ impl Engine {
     /// Number of chained (patched) block-to-block links currently live.
     pub fn live_links(&self) -> usize {
         self.blocks.iter().filter(|b| !b.dead).map(|b| b.links_out.len()).sum()
+    }
+
+    /// Number of live superblock regions.
+    pub fn live_regions(&self) -> usize {
+        self.superblocks.iter().filter(|s| !s.dead).count()
     }
 
     /// Execution-hotness and rule-attribution profile, computed from the
@@ -1075,9 +1348,13 @@ int main() {
     #[test]
     fn chaining_links_blocks_and_matches_unchained() {
         let image = build_arm_image(LOOPY, &Options::o2()).unwrap();
-        let mut chained = Engine::new(&image, Translator::Tcg).with_chaining(true);
+        // Superblocks off: this test pins chained == unchained down to
+        // the host instruction count, which regions deliberately shrink.
+        let mut chained =
+            Engine::new(&image, Translator::Tcg).with_chaining(true).with_superblocks(None);
         assert_eq!(chained.run(50_000_000), RunOutcome::Halted);
-        let mut plain = Engine::new(&image, Translator::Tcg).with_chaining(false);
+        let mut plain =
+            Engine::new(&image, Translator::Tcg).with_chaining(false).with_superblocks(None);
         assert_eq!(plain.run(50_000_000), RunOutcome::Halted);
         // Chaining is live.
         assert!(chained.stats.chain_links() > 0, "direct branches were linked");
@@ -1139,9 +1416,11 @@ int main() {
         let src = "int main() { int s = 0; while (s < 100000000) { s += 1; } return s; }";
         let image = build_arm_image(src, &Options::o2()).unwrap();
         for fuel in [10_000u64, 10_001, 12_345] {
-            let mut a = Engine::new(&image, Translator::Tcg).with_chaining(true);
+            let mut a =
+                Engine::new(&image, Translator::Tcg).with_chaining(true).with_superblocks(None);
             assert_eq!(a.run(fuel), RunOutcome::OutOfFuel);
-            let mut b = Engine::new(&image, Translator::Tcg).with_chaining(false);
+            let mut b =
+                Engine::new(&image, Translator::Tcg).with_chaining(false).with_superblocks(None);
             assert_eq!(b.run(fuel), RunOutcome::OutOfFuel);
             assert_eq!(a.stats.guest_dyn(), b.stats.guest_dyn(), "fuel={fuel}");
             assert_eq!(a.stats.exec.host_instrs, b.stats.exec.host_instrs, "fuel={fuel}");
@@ -1150,25 +1429,92 @@ int main() {
     }
 
     #[test]
-    fn watchdog_parse_table() {
-        assert_eq!(parse_watchdog(None), None, "unset disables");
-        for v in ["", "0", "off", "garbage", "-3", "3x", " off ", "on1"] {
-            assert_eq!(parse_watchdog(Some(v)), None, "{v:?} disables");
+    fn superblocks_form_and_match_plain_accounting() {
+        let image = build_arm_image(LOOPY, &Options::o2()).unwrap();
+        let mut sb =
+            Engine::new(&image, Translator::Tcg).with_chaining(true).with_superblocks(Some(4));
+        assert_eq!(sb.run(50_000_000), RunOutcome::Halted);
+        let mut plain =
+            Engine::new(&image, Translator::Tcg).with_chaining(true).with_superblocks(None);
+        assert_eq!(plain.run(50_000_000), RunOutcome::Halted);
+        // Regions actually formed and ran. (None need survive to the
+        // end: translating the loop's cold exit path re-patches a member
+        // and invalidates, which is the protocol working as designed.)
+        assert!(sb.stats.sb_formed() > 0, "hot chain crossed the threshold");
+        assert!(sb.stats.sb_execs() > 0, "region parts executed");
+        assert_eq!(plain.stats.sb_formed(), 0);
+        assert_eq!(plain.stats.sb_execs(), 0);
+        // Architectural state and accounting are bit-identical; only the
+        // host instruction count shrinks.
+        for r in ArmReg::ALL {
+            assert_eq!(sb.guest_reg(r), plain.guest_reg(r), "{r:?}");
         }
-        assert_eq!(parse_watchdog(Some("on")), Some(1));
-        assert_eq!(parse_watchdog(Some("1")), Some(1));
-        assert_eq!(parse_watchdog(Some(" 250 ")), Some(250));
+        assert_eq!(
+            sb.state.mem.first_difference(&plain.state.mem, |_| false),
+            None,
+            "guest memory identical"
+        );
+        assert_eq!(sb.stats.guest_dyn(), plain.stats.guest_dyn());
+        assert_eq!(sb.stats.guest_dyn_covered(), plain.stats.guest_dyn_covered());
+        assert_eq!(sb.stats.block_execs(), plain.stats.block_execs());
+        assert_eq!(sb.stats.chained_execs(), plain.stats.chained_execs());
+        assert_eq!(sb.stats.ibtc_hits(), plain.stats.ibtc_hits());
+        assert_eq!(sb.stats.ibtc_misses(), plain.stats.ibtc_misses());
+        assert_eq!(sb.stats.blocks(), plain.stats.blocks());
+        assert!(
+            sb.stats.exec.host_instrs <= plain.stats.exec.host_instrs,
+            "regions never add host work: {} vs {}",
+            sb.stats.exec.host_instrs,
+            plain.stats.exec.host_instrs
+        );
     }
 
     #[test]
-    fn chaining_parse_table() {
-        assert!(parse_chaining(None), "unset keeps chaining on");
-        for v in ["", "0", "off", " 0 "] {
-            assert!(parse_chaining(Some(v)), "{v:?} keeps chaining on");
-        }
-        for v in ["1", "on", "garbage"] {
-            assert!(!parse_chaining(Some(v)), "{v:?} disables chaining");
-        }
+    fn superblock_region_survives_self_loop_and_halts() {
+        // A one-block countdown loop unrolls into a self-loop region; it
+        // must still terminate with the right result.
+        let src = "int main() { int s = 100000; while (s > 0) { s -= 1; } return s; }";
+        let image = build_arm_image(src, &Options::o2()).unwrap();
+        let mut e =
+            Engine::new(&image, Translator::Tcg).with_chaining(true).with_superblocks(Some(2));
+        assert_eq!(e.run(50_000_000), RunOutcome::Halted);
+        assert_eq!(e.guest_reg(ArmReg::R0), 0);
+        assert!(e.stats.sb_formed() > 0);
+        assert!(e.stats.sb_execs() > 0);
+    }
+
+    /// A program whose cold first call translates every exit path, so a
+    /// hot second call forms regions over *stable* links that survive to
+    /// the end of the run.
+    const TWO_PHASE: &str = "
+int work(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i += 1) { s = s + ((i & 3) ^ n); }
+  return s;
+}
+int main() { int a = work(3); int b = work(5000); return (a + b) & 0xffff; }";
+
+    #[test]
+    fn purging_a_member_invalidates_the_region() {
+        let image = build_arm_image(TWO_PHASE, &Options::o2()).unwrap();
+        let mut e =
+            Engine::new(&image, Translator::Tcg).with_chaining(true).with_superblocks(Some(4));
+        assert_eq!(e.run(50_000_000), RunOutcome::Halted);
+        assert!(e.stats.sb_formed() > 0);
+        assert!(e.live_regions() > 0, "stable-link regions survive the run");
+        // Purge a block that is a member of some live region.
+        let (&member, rids) = e.sb_members.iter().next().expect("live regions have members");
+        let rid = rids[0];
+        let head = e.superblocks[rid as usize].head;
+        let invalidated_before = e.stats.sb_invalidated();
+        e.purge_block(member);
+        assert!(e.superblocks[rid as usize].dead, "region died with its member");
+        assert_eq!(e.blocks[head as usize].sb_head, NO_SB, "head redirect removed");
+        assert!(e.stats.sb_invalidated() > invalidated_before);
+        assert!(
+            e.superblocks[rid as usize].parts.is_empty(),
+            "dead region dropped its code clones"
+        );
     }
 
     /// A synthetic non-exit block for chaining tests: code that *looks
@@ -1187,6 +1533,7 @@ int main() {
             links_out: Vec::new(),
             links_in: Vec::new(),
             dead: false,
+            sb_head: NO_SB,
         }
     }
 

@@ -1,12 +1,19 @@
-//! The emulation environment: guest state held in host memory.
+//! The emulation environment: guest state held in host memory, plus the
+//! parse tables for the engine's runtime knobs.
 //!
 //! Like QEMU, the DBT keeps the guest register file and condition flags
 //! in a host memory block (`env`); translated code loads guest registers
 //! into host registers on demand and writes dirty ones back at block
 //! boundaries.
+//!
+//! The knob parsers (`LDBT_WATCHDOG`, `LDBT_NOCHAIN`, `LDBT_NOSB`,
+//! `LDBT_SB_THRESHOLD`) live here too so every engine default follows
+//! one documented convention: unset / empty / `0` / garbage always
+//! resolve to the knob's default, never to a surprise mode.
 
 use ldbt_arm::ArmReg;
 use ldbt_x86::X86Mem;
+use std::sync::OnceLock;
 
 /// Base address of the env block.
 pub const ENV_BASE: u32 = 0x00f0_0000;
@@ -83,6 +90,75 @@ pub fn flag_mem(f: FlagId) -> X86Mem {
     env_mem(f.offset())
 }
 
+/// Default superblock formation threshold: a chain head must be
+/// dispatched this many times before the engine forms a region from it.
+pub const SB_THRESHOLD_DEFAULT: u64 = 64;
+
+/// Parse table for `LDBT_WATCHDOG` (the sampling period of the
+/// differential cross-check):
+///
+/// | value                 | behavior                                  |
+/// |-----------------------|-------------------------------------------|
+/// | unset / `""` / `0` / `off` | watchdog disabled                    |
+/// | `on` / `1`            | check every rule-covered dispatch         |
+/// | `N` (integer > 0)     | check every Nth rule-covered dispatch     |
+/// | anything else         | watchdog disabled (garbage is not a period) |
+pub fn parse_watchdog(raw: Option<&str>) -> Option<u64> {
+    match raw.map(str::trim) {
+        None | Some("" | "0" | "off") => None,
+        Some("on") => Some(1),
+        Some(s) => s.parse::<u64>().ok().filter(|n| *n > 0),
+    }
+}
+
+/// Cached `LDBT_WATCHDOG` parse.
+pub fn watchdog_from_env() -> Option<u64> {
+    static WATCHDOG: OnceLock<Option<u64>> = OnceLock::new();
+    *WATCHDOG.get_or_init(|| parse_watchdog(std::env::var("LDBT_WATCHDOG").ok().as_deref()))
+}
+
+/// Parse table for `LDBT_NOCHAIN` (block-chaining kill switch for A/B
+/// measurement): unset, `""`, `0`, and `off` keep chaining **on**; any
+/// other value (including garbage) turns it off — the knob is a
+/// disabler, so an unrecognized value fails toward the measurement mode
+/// the user was reaching for.
+pub fn parse_chaining(raw: Option<&str>) -> bool {
+    matches!(raw.map(str::trim), None | Some("" | "0" | "off"))
+}
+
+/// Cached `LDBT_NOCHAIN` parse.
+pub fn chaining_from_env() -> bool {
+    static NOCHAIN: OnceLock<bool> = OnceLock::new();
+    *NOCHAIN.get_or_init(|| parse_chaining(std::env::var("LDBT_NOCHAIN").ok().as_deref()))
+}
+
+/// Parse table for `LDBT_NOSB` (superblock-formation kill switch): the
+/// same disabler convention as `LDBT_NOCHAIN` — unset, `""`, `0`, and
+/// `off` keep superblocks **on**; anything else turns them off.
+pub fn parse_superblocks(raw: Option<&str>) -> bool {
+    matches!(raw.map(str::trim), None | Some("" | "0" | "off"))
+}
+
+/// Parse table for `LDBT_SB_THRESHOLD` (superblock formation hotness
+/// threshold): a positive integer overrides the default; unset, `""`,
+/// `0`, and garbage all resolve to [`SB_THRESHOLD_DEFAULT`].
+pub fn parse_sb_threshold(raw: Option<&str>) -> u64 {
+    raw.map(str::trim)
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(SB_THRESHOLD_DEFAULT)
+}
+
+/// Cached combined `LDBT_NOSB` / `LDBT_SB_THRESHOLD` parse: `None` when
+/// superblocks are disabled, `Some(threshold)` otherwise.
+pub fn superblocks_from_env() -> Option<u64> {
+    static SB: OnceLock<Option<u64>> = OnceLock::new();
+    *SB.get_or_init(|| {
+        parse_superblocks(std::env::var("LDBT_NOSB").ok().as_deref())
+            .then(|| parse_sb_threshold(std::env::var("LDBT_SB_THRESHOLD").ok().as_deref()))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +200,48 @@ mod tests {
         const { assert!(ldbt_compiler::link::CODE_BASE < ENV_BASE) };
         const { assert!(ldbt_compiler::link::STACK_TOP < ENV_BASE) };
         const { assert!(HOST_STACK_TOP < ENV_BASE) };
+    }
+
+    #[test]
+    fn watchdog_parse_table() {
+        assert_eq!(parse_watchdog(None), None, "unset disables");
+        for v in ["", "0", "off", "garbage", "-3", "3x", " off ", "on1"] {
+            assert_eq!(parse_watchdog(Some(v)), None, "{v:?} disables");
+        }
+        assert_eq!(parse_watchdog(Some("on")), Some(1));
+        assert_eq!(parse_watchdog(Some("1")), Some(1));
+        assert_eq!(parse_watchdog(Some(" 250 ")), Some(250));
+    }
+
+    #[test]
+    fn chaining_parse_table() {
+        assert!(parse_chaining(None), "unset keeps chaining on");
+        for v in ["", "0", "off", " 0 "] {
+            assert!(parse_chaining(Some(v)), "{v:?} keeps chaining on");
+        }
+        for v in ["1", "on", "garbage"] {
+            assert!(!parse_chaining(Some(v)), "{v:?} disables chaining");
+        }
+    }
+
+    #[test]
+    fn superblock_parse_table() {
+        assert!(parse_superblocks(None), "unset keeps superblocks on");
+        for v in ["", "0", "off", " 0 "] {
+            assert!(parse_superblocks(Some(v)), "{v:?} keeps superblocks on");
+        }
+        for v in ["1", "on", "garbage"] {
+            assert!(!parse_superblocks(Some(v)), "{v:?} disables superblocks");
+        }
+    }
+
+    #[test]
+    fn sb_threshold_parse_table() {
+        assert_eq!(parse_sb_threshold(None), SB_THRESHOLD_DEFAULT, "unset takes the default");
+        for v in ["", "0", "off", "garbage", "-8", "8x", " 0 "] {
+            assert_eq!(parse_sb_threshold(Some(v)), SB_THRESHOLD_DEFAULT, "{v:?} takes default");
+        }
+        assert_eq!(parse_sb_threshold(Some("1")), 1);
+        assert_eq!(parse_sb_threshold(Some(" 128 ")), 128);
     }
 }

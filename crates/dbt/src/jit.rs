@@ -314,4 +314,32 @@ mod tests {
         assert_eq!(results[0].2, results[1].2);
         assert!(results[1].3 <= results[0].3, "optimized runs no more instructions");
     }
+
+    /// The block-local optimizer must preserve the scratch-register
+    /// invariant (backend.rs, sb.rs): however aggressively it forwards
+    /// gets and kills puts, the lowered result still reads nothing from
+    /// host entry state but %esp — the precondition for superblock
+    /// cross-seam optimization over JIT-translated parts.
+    #[test]
+    fn optimized_blocks_read_no_host_entry_state() {
+        use crate::backend::lower_block;
+        use ldbt_x86::Gpr;
+        let shapes: Vec<Vec<ArmInstr>> = vec![
+            vec![
+                ArmInstr::dp(DpOp::Add, ArmReg::R1, ArmReg::R1, Operand2::Reg(ArmReg::R0)),
+                ArmInstr::dp(DpOp::Eor, ArmReg::R2, ArmReg::R1, Operand2::Imm(0xff)),
+                ArmInstr::mov(ArmReg::R3, Operand2::Reg(ArmReg::R2)),
+            ],
+            vec![
+                ArmInstr::cmp(ArmReg::R2, Operand2::Reg(ArmReg::R3)),
+                ArmInstr::B { offset: 3, cond: ldbt_arm::Cond::Ne },
+            ],
+        ];
+        for instrs in shapes {
+            let code = lower_block(&optimize_block(&tcg_of(instrs))).code;
+            let (regs, flags) = crate::sb::entry_reads(&code);
+            assert_eq!(regs & !(1 << Gpr::Esp.index()), 0, "reads host regs {regs:#010b}");
+            assert_eq!(flags, 0, "reads host EFLAGS {flags:#06b}");
+        }
+    }
 }

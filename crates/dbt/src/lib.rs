@@ -25,6 +25,7 @@ pub mod engine;
 pub mod env;
 pub mod jit;
 pub mod rules;
+pub mod sb;
 pub mod stats;
 pub mod tcg;
 

@@ -673,4 +673,41 @@ mod tests {
         assert_eq!(guest(&st, ArmReg::R2), arm.reg(ArmReg::R2));
         assert_eq!(st.mem.read(0x8004, Width::W32), arm.mem.read(0x8004, Width::W32));
     }
+
+    /// The scratch-register invariant (see backend.rs and sb.rs): rule
+    /// glue loads every host register the rule body reads from the env
+    /// before use, so rule-covered blocks — fully covered, partially
+    /// covered, or branch-covered — depend on nothing from host entry
+    /// state but %esp. The superblock optimizer's cross-seam liveness
+    /// assumes exactly this.
+    #[test]
+    fn rule_lowered_blocks_read_no_host_entry_state() {
+        let mut rules = RuleSet::new();
+        rules.insert(figure1_rule());
+        let shapes: Vec<(&str, Vec<ArmInstr>)> = vec![
+            (
+                "fully covered",
+                vec![
+                    ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Reg(ArmReg::R7)),
+                    ArmInstr::dp(DpOp::Sub, ArmReg::R4, ArmReg::R4, Operand2::Imm(12)),
+                ],
+            ),
+            (
+                "partially covered",
+                vec![
+                    ArmInstr::dp(DpOp::Mvn, ArmReg::R2, ArmReg::R0, Operand2::Reg(ArmReg::R2)),
+                    ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Reg(ArmReg::R7)),
+                    ArmInstr::dp(DpOp::Sub, ArmReg::R4, ArmReg::R4, Operand2::Imm(3)),
+                ],
+            ),
+        ];
+        for (name, instrs) in shapes {
+            let block = GuestBlock { pc: 0x1_0000, instrs };
+            let mem = Memory::new();
+            let low = lower_block_with_rules(&mem, &block, &rules);
+            let (regs, flags) = crate::sb::entry_reads(&low.code);
+            assert_eq!(regs & !(1 << Gpr::Esp.index()), 0, "{name}: reads host regs {regs:#010b}");
+            assert_eq!(flags, 0, "{name}: reads host EFLAGS {flags:#06b}");
+        }
+    }
 }

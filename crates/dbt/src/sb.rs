@@ -1,0 +1,1262 @@
+//! Superblock formation: hot chained block sequences re-materialized as
+//! straight-line regions.
+//!
+//! A superblock is an ordered list of already-translated blocks (a
+//! *path* through the chain graph, picked by hotness). Each block's host
+//! code is cloned and *specialized* against the seam state its
+//! predecessor in the path is known to leave behind:
+//!
+//! * **redundant home loads** — `movl env(r), %hostreg` when the host
+//!   register is known to still hold that guest register from the
+//!   previous part — are elided,
+//! * the **flag-materialization stub** (the `cmpl $0, flagmode; je ...`
+//!   prologue of flag-reading blocks) is elided when the seam state
+//!   proves flag-mode is zero, killing the redundant EFLAGS/hostflags
+//!   materialization at chain seams,
+//! * the **flag-mode reset** (`movl $0, flagmode`) is elided when
+//!   flag-mode is already known zero,
+//! * the trailing **seam exit pair** (`movl $pc, %eax; chain @next`) is
+//!   stripped when the next part provably redefines `%eax` before any
+//!   use, so the seam costs zero host instructions.
+//!
+//! Specialization never re-translates: it only deletes instructions from
+//! a clone, so a region is architecturally bit-identical to running the
+//! member blocks back to back (the watchdog's comparison surface — env
+//! registers, guest memory, next PC — is untouched by every elision).
+//! Cross-block reuse of the interpreter's last-page memory caches is
+//! inherent: the caches live in `X86State.mem` and persist across
+//! `run_seq` calls, so a straightened region keeps them hot through
+//! every seam.
+//!
+//! The engine (see `engine.rs`) owns formation triggers, region
+//! dispatch, the two-way link bookkeeping, and invalidation; this module
+//! is the pure code-transformation layer.
+
+use crate::env::{ENV_BASE, FLAGMODE_OFFSET};
+use ldbt_x86::{AluOp, Cc, Gpr, Operand, ShiftOp, UnOp, X86Instr, X86Mem};
+use std::rc::Rc;
+
+/// Sentinel: block is not the head of any live region.
+pub const NO_SB: u32 = u32::MAX;
+
+/// Maximum number of parts in one region (a self-loop unrolls to this).
+pub const SB_MAX_PARTS: usize = 8;
+
+/// One member of a superblock: a specialized clone of an arena block.
+#[derive(Debug, Clone)]
+pub struct SbPart {
+    /// Arena id of the original block (execs/hits/guest_len accounting
+    /// and watchdog sampling all go through the original).
+    pub id: u32,
+    /// Specialized host code (elisions applied to a clone).
+    pub code: Rc<Vec<X86Instr>>,
+    /// The trailing seam exit pair was stripped: running off the end of
+    /// `code` means "continue at the next part".
+    pub fallthrough_seam: bool,
+}
+
+/// A formed region: an ordered path of specialized parts.
+#[derive(Debug, Clone)]
+pub struct Superblock {
+    /// Arena id of the head block (`CachedBlock::sb_head` points back).
+    pub head: u32,
+    /// The path, in execution order.
+    pub parts: Vec<SbPart>,
+    /// Invalidated (member purged or re-patched); never executed again.
+    pub dead: bool,
+}
+
+/// Abstract value of the env flag-mode slot at a seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagAbs {
+    /// Provably zero: the NZCV env slots are authoritative.
+    Zero,
+    /// Anything (including a pending §5 lazy save).
+    Unknown,
+}
+
+/// What is known about host state at a part boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeamState {
+    /// `tags[gpr] = Some(slot)`: the host register provably holds the
+    /// same value as guest register slot `slot` (env offset `4*slot`),
+    /// and the env slot is current.
+    pub tags: [Option<u8>; 8],
+    /// Abstract flag-mode value.
+    pub flagmode: FlagAbs,
+}
+
+impl SeamState {
+    /// The no-knowledge state (region entry from the dispatcher).
+    pub fn entry() -> SeamState {
+        SeamState { tags: [None; 8], flagmode: FlagAbs::Unknown }
+    }
+}
+
+/// Classify an absolute env address.
+enum EnvSlot {
+    /// A guest register slot r0–r14 (index).
+    Reg(u8),
+    /// The flag-mode slot.
+    FlagMode,
+    /// Some other env slot (flags, hostflags, spill).
+    Other,
+    /// Not an env address at all.
+    NotEnv,
+}
+
+fn classify(m: &X86Mem) -> EnvSlot {
+    if m.base.is_some() || m.index.is_some() {
+        return EnvSlot::NotEnv; // dynamic: handled by the caller as "may alias anything"
+    }
+    let a = m.disp as u32;
+    if a == ENV_BASE + FLAGMODE_OFFSET {
+        return EnvSlot::FlagMode;
+    }
+    if (ENV_BASE..ENV_BASE + 0x3C).contains(&a) && a.is_multiple_of(4) {
+        return EnvSlot::Reg(((a - ENV_BASE) / 4) as u8);
+    }
+    if (ENV_BASE..ENV_BASE + 0x100).contains(&a) {
+        return EnvSlot::Other;
+    }
+    EnvSlot::NotEnv
+}
+
+/// Whether `m` is a memory operand that could alias a guest-register env
+/// slot at runtime (any base/index addressing must be assumed to).
+fn dynamic_addr(m: &X86Mem) -> bool {
+    m.base.is_some() || m.index.is_some()
+}
+
+/// The flag-materialization stub starts at `i`: `cmpl $0, flagmode;
+/// je +N` with the stub body within bounds. Returns the exclusive end
+/// index of the stub.
+fn stub_extent(code: &[X86Instr], i: usize) -> Option<usize> {
+    let X86Instr::Alu { op: AluOp::Cmp, dst: Operand::Mem(m), src: Operand::Imm(0) } =
+        code.get(i)?
+    else {
+        return None;
+    };
+    if !matches!(classify(m), EnvSlot::FlagMode) {
+        return None;
+    }
+    let X86Instr::Jcc { cc: Cc::E, target } = code.get(i + 1)? else { return None };
+    let t = *target;
+    if t <= 0 {
+        return None;
+    }
+    let end = i + 2 + t as usize;
+    (end <= code.len()).then_some(end)
+}
+
+/// Whether eliding the stub's `cmpl` is EFLAGS-safe: no instruction
+/// after `from` reads host EFLAGS before they are rewritten. Stops at
+/// the first flag writer (safe) or block exit (safe — successors never
+/// read live-in EFLAGS; the flag-mode protocol goes through the env).
+fn eflags_dead_after(code: &[X86Instr], from: usize) -> bool {
+    for ins in &code[from..] {
+        if ins.flags_read() != 0 {
+            return false; // Jcc/setcc/adc/pushfd: the cmp is load-bearing
+        }
+        if ins.flags_written() != 0 {
+            return true;
+        }
+        match ins {
+            // Cannot follow the jump linearly: be conservative.
+            X86Instr::Jmp { .. } | X86Instr::Call { .. } => return false,
+            // Block exits are safe: no generated block reads live-in
+            // EFLAGS (the flag protocol goes through the env, and every
+            // flag consumer is preceded by its producer in-block).
+            X86Instr::Ret
+            | X86Instr::JmpInd { .. }
+            | X86Instr::ChainJmp { .. }
+            | X86Instr::Halt => return true,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Kill every tag naming guest slot `slot`.
+fn kill_slot(tags: &mut [Option<u8>; 8], slot: u8) {
+    for t in tags.iter_mut() {
+        if *t == Some(slot) {
+            *t = None;
+        }
+    }
+}
+
+/// The memory operand `ins` writes, if any (stack pushes report an
+/// `%esp`-based store; a memory-destination `cmp`/`test` is reported as
+/// a store too, which over-kills but never under-kills).
+fn store_mem(ins: &X86Instr) -> Option<X86Mem> {
+    match ins {
+        X86Instr::Mov { dst: Operand::Mem(m), .. }
+        | X86Instr::Alu { dst: Operand::Mem(m), .. }
+        | X86Instr::Shift { dst: Operand::Mem(m), .. }
+        | X86Instr::Un { dst: Operand::Mem(m), .. }
+        | X86Instr::Pop { dst: Operand::Mem(m) } => Some(*m),
+        X86Instr::MovStore { dst, .. } => Some(*dst),
+        X86Instr::Push { .. } | X86Instr::Pushfd | X86Instr::Call { .. } => {
+            // Stack pushes: dynamic addresses (through %esp).
+            Some(X86Mem::base(Gpr::Esp))
+        }
+        _ => None,
+    }
+}
+
+/// Apply one instruction's *writes* to the seam state, without assuming
+/// it is on the guaranteed straight-line path (`merge` mode: stores may
+/// or may not execute, so they only ever remove knowledge).
+fn apply_kills(st: &mut SeamState, ins: &X86Instr, merge: bool) {
+    if let Some(d) = ins.def() {
+        st.tags[d.index()] = None;
+    }
+    if let Some(m) = store_mem(ins) {
+        if dynamic_addr(&m) {
+            // Could alias any env slot: drop all register knowledge.
+            st.tags = [None; 8];
+            st.flagmode = FlagAbs::Unknown;
+        } else {
+            match classify(&m) {
+                EnvSlot::Reg(s) => kill_slot(&mut st.tags, s),
+                EnvSlot::FlagMode => {
+                    let zero =
+                        matches!(ins, X86Instr::Mov { dst: Operand::Mem(_), src: Operand::Imm(0) });
+                    // A conditional (or non-zero) write degrades to
+                    // Unknown; a zero write on a guaranteed path sets
+                    // Zero; in merge mode "was Zero and writes zero"
+                    // stays Zero.
+                    st.flagmode = if zero && (!merge || st.flagmode == FlagAbs::Zero) {
+                        FlagAbs::Zero
+                    } else {
+                        FlagAbs::Unknown
+                    };
+                }
+                EnvSlot::Other | EnvSlot::NotEnv => {}
+            }
+        }
+    }
+}
+
+/// Specialize one part's host code against the seam state on entry.
+///
+/// Returns the (possibly shorter) code and the seam state at the part's
+/// straight-line exit — the state a successor part may rely on no matter
+/// which exit is actually taken, because elisions and state *generation*
+/// are restricted to the straight-line prefix that dominates every exit,
+/// and everything after the first branch only *removes* knowledge.
+pub fn specialize_part(code: &[X86Instr], entry: &SeamState) -> (Vec<X86Instr>, SeamState) {
+    let mut st = entry.clone();
+    // Backward jumps would let later code re-enter the elided prefix with
+    // shifted targets; none of our lowerers emit them, but a learned rule
+    // template could. Refuse to elide in that case (state tracking stays
+    // valid: elision is what moves instructions).
+    let allow_elide = !code.iter().any(
+        |i| matches!(i, X86Instr::Jmp { target } | X86Instr::Jcc { target, .. } if *target < 0),
+    );
+    let mut out: Vec<X86Instr> = Vec::with_capacity(code.len());
+    let mut i = 0usize;
+    let mut straight = true;
+    while i < code.len() {
+        let ins = &code[i];
+        // The flag-materialization stub is handled atomically: its
+        // internal forward jumps stay self-contained whether it is
+        // elided or kept, and either way it leaves flag-mode zero.
+        if straight {
+            if let Some(end) = stub_extent(code, i) {
+                if allow_elide && st.flagmode == FlagAbs::Zero && eflags_dead_after(code, end) {
+                    // Provably skipped at runtime: drop guard and body.
+                    i = end;
+                    continue;
+                }
+                // Kept: the body clobbers %eax/%ecx and ends with
+                // flag-mode zero on both paths.
+                out.extend_from_slice(&code[i..end]);
+                st.tags[Gpr::Eax.index()] = None;
+                st.tags[Gpr::Ecx.index()] = None;
+                st.flagmode = FlagAbs::Zero;
+                i = end;
+                continue;
+            }
+        }
+        if straight {
+            match ins {
+                // Home load: `movl env(slot), %r`.
+                X86Instr::Mov { dst: Operand::Reg(r), src: Operand::Mem(m) }
+                    if matches!(classify(m), EnvSlot::Reg(_)) =>
+                {
+                    let EnvSlot::Reg(s) = classify(m) else { unreachable!() };
+                    if allow_elide && st.tags[r.index()] == Some(s) {
+                        i += 1; // redundant: register already holds the slot
+                        continue;
+                    }
+                    // Another host register provably holds the slot: a
+                    // register-register copy replaces the memory load
+                    // (cheaper to execute, and it feeds the region's
+                    // copy propagation).
+                    if allow_elide {
+                        if let Some(q) = st.tags.iter().position(|t| *t == Some(s)) {
+                            out.push(X86Instr::mov_rr(*r, Gpr::from_index(q)));
+                            st.tags[r.index()] = Some(s);
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    st.tags[r.index()] = Some(s);
+                    out.push(*ins);
+                    i += 1;
+                    continue;
+                }
+                // Writeback: `movl %r, env(slot)`.
+                X86Instr::Mov { dst: Operand::Mem(m), src: Operand::Reg(r) }
+                    if matches!(classify(m), EnvSlot::Reg(_)) =>
+                {
+                    let EnvSlot::Reg(s) = classify(m) else { unreachable!() };
+                    kill_slot(&mut st.tags, s);
+                    st.tags[r.index()] = Some(s);
+                    out.push(*ins);
+                    i += 1;
+                    continue;
+                }
+                // Flag-mode reset: `movl $0, flagmode`.
+                X86Instr::Mov { dst: Operand::Mem(m), src: Operand::Imm(0) }
+                    if matches!(classify(m), EnvSlot::FlagMode) =>
+                {
+                    if allow_elide && st.flagmode == FlagAbs::Zero {
+                        i += 1; // already zero
+                        continue;
+                    }
+                    st.flagmode = FlagAbs::Zero;
+                    out.push(*ins);
+                    i += 1;
+                    continue;
+                }
+                // Register copy propagates a tag.
+                X86Instr::Mov { dst: Operand::Reg(r), src: Operand::Reg(q) } => {
+                    st.tags[r.index()] = st.tags[q.index()];
+                    out.push(*ins);
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if matches!(
+                ins,
+                X86Instr::Jcc { .. }
+                    | X86Instr::Jmp { .. }
+                    | X86Instr::JmpInd { .. }
+                    | X86Instr::Call { .. }
+                    | X86Instr::Ret
+                    | X86Instr::ChainJmp { .. }
+                    | X86Instr::Halt
+            ) {
+                straight = false;
+            }
+        }
+        apply_kills(&mut st, ins, !straight);
+        out.push(*ins);
+        i += 1;
+    }
+    (out, st)
+}
+
+// ---------------------------------------------------------------------
+// Region-level liveness optimization.
+//
+// Once a hot chain is straightened, the merged body is full of rule and
+// lowering glue that only made sense at block granularity: values copied
+// through chains of scratch registers, results computed and thrown away
+// before the next seam, immediates shuffled into registers only to be
+// stored. Host scratch registers are invisible outside the region —
+// translated blocks communicate exclusively through the env, plus `%eax`
+// for the dispatcher protocol and `%esp` for the host stack (the
+// `entry_reads` invariant, asserted at block insertion in debug builds)
+// — so a cross-seam liveness pass may rewrite and delete freely as long
+// as every env access, memory effect, and exit is preserved.
+// ---------------------------------------------------------------------
+
+/// Register liveness (bit per [`Gpr::index`]) plus EFLAGS liveness (the
+/// [`X86Instr::flags_written`] mask layout) at one program point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Live {
+    regs: u8,
+    flags: u8,
+}
+
+impl Live {
+    const NONE: Live = Live { regs: 0, flags: 0 };
+    const ALL: Live = Live { regs: 0xFF, flags: 0b1111 };
+
+    fn union(self, o: Live) -> Live {
+        Live { regs: self.regs | o.regs, flags: self.flags | o.flags }
+    }
+}
+
+fn bit(r: Gpr) -> u8 {
+    1u8 << r.index()
+}
+
+/// What is live when control escapes a region to foreign code (the
+/// dispatcher after `ret`, or another translated block after a chained
+/// side exit): `%eax` carries the next guest pc and `%esp` is the host
+/// stack pointer; every other register and all EFLAGS are scratch,
+/// because translated blocks start from the env ([`entry_reads`]).
+fn exit_live() -> Live {
+    Live { regs: bit(Gpr::Eax) | bit(Gpr::Esp), flags: 0 }
+}
+
+/// Whether every jump destination lands inside `[0, len]` (`len` itself
+/// is the past-the-end fallthrough). Out-of-range jumps would fault at
+/// runtime; the optimizer refuses to touch such code.
+fn jumps_in_range(code: &[X86Instr]) -> bool {
+    code.iter().enumerate().all(|(i, ins)| match ins {
+        X86Instr::Jmp { target } | X86Instr::Jcc { target, .. } => {
+            (0..=code.len() as i64).contains(&(i as i64 + 1 + *target as i64))
+        }
+        _ => true,
+    })
+}
+
+/// Per-instruction liveness. `end_live` is what is live when execution
+/// runs off the end of `code` (the successor part's entry liveness for a
+/// stripped seam, [`exit_live`] otherwise); `exit` what is live at every
+/// escape to foreign code. `seam_next` is the block id of the region's
+/// next part, if any: a `ChainJmp` to *that* block is an in-region seam
+/// — `run_superblock` continues straight into the next part with host
+/// registers intact, and the next part may have been specialized to read
+/// them — so it flows into `end_live`, not `exit`. Every other
+/// `ChainJmp` leaves the region and lands on arena code, which reads
+/// nothing but the env. Iterates to a fixpoint, so backward jumps are
+/// handled exactly. Returns the live-*out* set per instruction and the
+/// live-in set of the entry point.
+fn liveness(
+    code: &[X86Instr],
+    end_live: Live,
+    exit: Live,
+    seam_next: Option<u32>,
+) -> (Vec<Live>, Live) {
+    let n = code.len();
+    let mut live_in = vec![Live::NONE; n + 1];
+    live_in[n] = end_live;
+    let mut live_out = vec![Live::NONE; n];
+    loop {
+        let mut changed = false;
+        for i in (0..n).rev() {
+            let ins = &code[i];
+            let dest =
+                |t: i32| -> Live { live_in[(i as i64 + 1 + t as i64).clamp(0, n as i64) as usize] };
+            let out = match ins {
+                X86Instr::ChainJmp { block } if Some(*block) == seam_next => end_live,
+                X86Instr::Ret
+                | X86Instr::JmpInd { .. }
+                | X86Instr::ChainJmp { .. }
+                | X86Instr::Halt => exit,
+                // A call hands control to code this analysis cannot see
+                // and expects it to return: keep everything.
+                X86Instr::Call { .. } => Live::ALL,
+                X86Instr::Jmp { target } => dest(*target),
+                X86Instr::Jcc { target, .. } => dest(*target).union(live_in[i + 1]),
+                _ => live_in[i + 1],
+            };
+            live_out[i] = out;
+            let mut regs = out.regs;
+            if let Some(d) = ins.def() {
+                regs &= !bit(d);
+            }
+            for u in ins.uses() {
+                regs |= bit(u);
+            }
+            let li = Live { regs, flags: ins.flags_read() | (out.flags & !ins.flags_written()) };
+            if li != live_in[i] {
+                live_in[i] = li;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (live_out, live_in[0])
+}
+
+/// The host registers and EFLAGS `code` may read before writing them —
+/// its dependence on entry state. Every translated block must depend on
+/// nothing but `%esp`: blocks are entered from the dispatcher or an
+/// arbitrary chained predecessor and load all guest state from the env.
+/// This invariant is what makes [`exit_live`]'s scratch assumption (and
+/// with it the whole region optimizer) sound; the engine asserts it for
+/// every inserted block in debug builds.
+pub fn entry_reads(code: &[X86Instr]) -> (u8, u8) {
+    let (_, li) = liveness(code, Live::NONE, Live::NONE, None);
+    (li.regs, li.flags)
+}
+
+/// Whether `ins` may be deleted once its results are dead: no memory
+/// write, no stack or control-flow effect, and any memory *read* must be
+/// a static env access (the env is always mapped, so deletion cannot
+/// suppress a fault the original code would raise).
+fn removable(ins: &X86Instr) -> bool {
+    if store_mem(ins).is_some() || ins.is_block_end() {
+        return false;
+    }
+    if matches!(
+        ins,
+        X86Instr::Jcc { .. }
+            | X86Instr::Push { .. }
+            | X86Instr::Pop { .. }
+            | X86Instr::Pushfd
+            | X86Instr::Popfd
+    ) {
+        return false;
+    }
+    let src_mem = match ins {
+        X86Instr::Mov { src: Operand::Mem(m), .. }
+        | X86Instr::Alu { src: Operand::Mem(m), .. }
+        | X86Instr::Imul { src: Operand::Mem(m), .. }
+        | X86Instr::Movx { src: Operand::Mem(m), .. } => Some(m),
+        _ => None,
+    };
+    match src_mem {
+        Some(m) => !dynamic_addr(m) && !matches!(classify(m), EnvSlot::NotEnv),
+        None => true,
+    }
+}
+
+/// Rebuild `code` keeping only instructions with `keep[i]`, re-encoding
+/// the relative jump targets around the holes. A target that pointed at
+/// a removed instruction lands on the next kept one.
+fn remap(code: &[X86Instr], keep: &[bool]) -> Vec<X86Instr> {
+    let n = code.len();
+    let mut pos = vec![0usize; n + 1];
+    let mut c = 0usize;
+    for i in 0..n {
+        pos[i] = c;
+        if keep[i] {
+            c += 1;
+        }
+    }
+    pos[n] = c;
+    let mut out = Vec::with_capacity(c);
+    for i in 0..n {
+        if !keep[i] {
+            continue;
+        }
+        let retarget = |t: i32| -> i32 {
+            let d = (i as i64 + 1 + t as i64).clamp(0, n as i64) as usize;
+            pos[d] as i32 - pos[i] as i32 - 1
+        };
+        out.push(match code[i] {
+            X86Instr::Jmp { target } => X86Instr::Jmp { target: retarget(target) },
+            X86Instr::Jcc { cc, target } => X86Instr::Jcc { cc, target: retarget(target) },
+            ins => ins,
+        });
+    }
+    out
+}
+
+/// Delete instructions whose register result and flag effects are both
+/// dead (plus no-op self-moves), iterating until nothing more falls out.
+/// Returns the new code (`None` if unchanged) and the entry liveness for
+/// threading across the preceding seam.
+fn eliminate_dead(
+    code: &[X86Instr],
+    end_live: Live,
+    seam_next: Option<u32>,
+) -> (Option<Vec<X86Instr>>, Live) {
+    let mut cur: Vec<X86Instr> = code.to_vec();
+    let mut any = false;
+    loop {
+        let n = cur.len();
+        let (live_out, live_in0) = liveness(&cur, end_live, exit_live(), seam_next);
+        let mut keep = vec![true; n];
+        let mut removed = false;
+        for (i, ins) in cur.iter().enumerate() {
+            let noop = matches!(
+                ins,
+                X86Instr::Mov { dst: Operand::Reg(a), src: Operand::Reg(b) } if a == b
+            );
+            if !noop {
+                if !removable(ins) {
+                    continue;
+                }
+                let effect = ins.def().is_some() || ins.flags_written() != 0;
+                let dead_def = ins.def().is_none_or(|d| live_out[i].regs & bit(d) == 0);
+                let dead_flags = ins.flags_written() & live_out[i].flags == 0;
+                if !(effect && dead_def && dead_flags) {
+                    continue;
+                }
+            }
+            keep[i] = false;
+            removed = true;
+        }
+        if !removed {
+            return (any.then_some(cur), live_in0);
+        }
+        any = true;
+        cur = remap(&cur, &keep);
+    }
+}
+
+/// Constant-fold a pure-register ALU/shift/unary whose inputs are all
+/// known. Returns the destination and the folded value; the caller must
+/// separately prove the instruction's EFLAGS results dead, because the
+/// replacement `mov` writes none.
+fn fold(ins: &X86Instr, vals: &[Option<Operand>; 8]) -> Option<(Gpr, i32)> {
+    let cv = |r: Gpr| match vals[r.index()] {
+        Some(Operand::Imm(v)) => Some(v),
+        _ => None,
+    };
+    match *ins {
+        X86Instr::Alu { op, dst: Operand::Reg(r), src }
+            if !op.is_compare() && !op.reads_carry() =>
+        {
+            let a = cv(r)?;
+            let b = match src {
+                Operand::Imm(v) => v,
+                Operand::Reg(q) => cv(q)?,
+                Operand::Mem(_) => return None,
+            };
+            let v = match op {
+                AluOp::Add => a.wrapping_add(b),
+                AluOp::Sub => a.wrapping_sub(b),
+                AluOp::And => a & b,
+                AluOp::Or => a | b,
+                AluOp::Xor => a ^ b,
+                _ => return None,
+            };
+            Some((r, v))
+        }
+        X86Instr::Shift { op, dst: Operand::Reg(r), count } => {
+            let a = cv(r)?;
+            let c = count as u32 & 31;
+            let v = match op {
+                ShiftOp::Shl => ((a as u32) << c) as i32,
+                ShiftOp::Shr => ((a as u32) >> c) as i32,
+                ShiftOp::Sar => a >> c,
+            };
+            Some((r, v))
+        }
+        X86Instr::Un { op, dst: Operand::Reg(r) } => {
+            let a = cv(r)?;
+            let v = match op {
+                UnOp::Neg => a.wrapping_neg(),
+                UnOp::Not => !a,
+                UnOp::Inc => a.wrapping_add(1),
+                UnOp::Dec => a.wrapping_sub(1),
+            };
+            Some((r, v))
+        }
+        _ => None,
+    }
+}
+
+/// Drop every known register equality invalidated by a write to `d`.
+fn invalidate(vals: &mut [Option<Operand>; 8], d: Gpr) {
+    vals[d.index()] = None;
+    for v in vals.iter_mut() {
+        if *v == Some(Operand::Reg(d)) {
+            *v = None;
+        }
+    }
+}
+
+/// Substitute a known equality into one *read* operand. `imm_ok` says an
+/// immediate is encodable in this position.
+fn subst_operand(op: &mut Operand, vals: &[Option<Operand>; 8], imm_ok: bool) -> bool {
+    match op {
+        Operand::Reg(q) => match vals[q.index()] {
+            Some(Operand::Reg(p)) if p != *q => {
+                *op = Operand::Reg(p);
+                true
+            }
+            Some(Operand::Imm(v)) if imm_ok => {
+                *op = Operand::Imm(v);
+                true
+            }
+            _ => false,
+        },
+        Operand::Mem(m) => subst_mem(m, vals),
+        Operand::Imm(_) => false,
+    }
+}
+
+/// Substitute into an address: base/index registers with known register
+/// equalities are renamed, and known-constant bases fold into the
+/// displacement (the computed address is identical either way).
+fn subst_mem(m: &mut X86Mem, vals: &[Option<Operand>; 8]) -> bool {
+    let mut ch = false;
+    if let Some(b) = m.base {
+        match vals[b.index()] {
+            Some(Operand::Reg(p)) if p != b => {
+                m.base = Some(p);
+                ch = true;
+            }
+            Some(Operand::Imm(v)) => {
+                m.base = None;
+                m.disp = m.disp.wrapping_add(v);
+                ch = true;
+            }
+            _ => {}
+        }
+    }
+    if let Some((ix, s)) = m.index {
+        match vals[ix.index()] {
+            Some(Operand::Reg(p)) if p != ix => {
+                m.index = Some((p, s));
+                ch = true;
+            }
+            Some(Operand::Imm(v)) => {
+                m.index = None;
+                m.disp = m.disp.wrapping_add(v.wrapping_mul(s as i32));
+                ch = true;
+            }
+            _ => {}
+        }
+    }
+    ch
+}
+
+/// Substitute known equalities into every read position of `ins`.
+/// Read-write operands (ALU destinations, `setcc`, sub-word stores) are
+/// never renamed; compare destinations are pure reads and are.
+fn rewrite_reads(ins: &mut X86Instr, vals: &[Option<Operand>; 8]) -> bool {
+    match ins {
+        X86Instr::Mov { dst, src } => {
+            let mut ch = subst_operand(src, vals, true);
+            if let Operand::Mem(m) = dst {
+                ch |= subst_mem(m, vals);
+            }
+            ch
+        }
+        X86Instr::Alu { op, dst, src } => {
+            let mut ch = subst_operand(src, vals, true);
+            match dst {
+                Operand::Mem(m) => ch |= subst_mem(m, vals),
+                // cmp/test read their destination without writing it.
+                Operand::Reg(q) if op.is_compare() => {
+                    if let Some(Operand::Reg(p)) = vals[q.index()] {
+                        if p != *q {
+                            *dst = Operand::Reg(p);
+                            ch = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            ch
+        }
+        X86Instr::Lea { addr, .. } => subst_mem(addr, vals),
+        X86Instr::Imul { src, .. } => subst_operand(src, vals, false),
+        X86Instr::Shift { dst: Operand::Mem(m), .. }
+        | X86Instr::Un { dst: Operand::Mem(m), .. } => subst_mem(m, vals),
+        X86Instr::Movx { src, .. } => subst_operand(src, vals, false),
+        // The source's low bits are stored: renaming is value-safe, but
+        // W8 needs a byte-addressable register — skip the source.
+        X86Instr::MovStore { dst, .. } => subst_mem(dst, vals),
+        X86Instr::Push { src } => subst_operand(src, vals, true),
+        X86Instr::JmpInd { src } => subst_operand(src, vals, false),
+        X86Instr::Pop { dst: Operand::Mem(m) } => subst_mem(m, vals),
+        _ => false,
+    }
+}
+
+/// Forward copy/constant propagation with local constant folding over
+/// one part. Equalities are dropped at every jump target (join points;
+/// the target set is precomputed, so backward edges join correctly). A
+/// fold replaces a flag-writing instruction with a `mov`, so it requires
+/// the instruction's EFLAGS results dead per `live_out`. Folds only ever
+/// *remove* flag writes whose results were already dead, so `live_out`
+/// computed before the pass stays a sound over-approximation throughout.
+fn propagate(code: &[X86Instr], live_out: &[Live]) -> Option<Vec<X86Instr>> {
+    let n = code.len();
+    let mut is_target = vec![false; n + 1];
+    for (i, ins) in code.iter().enumerate() {
+        if let X86Instr::Jmp { target } | X86Instr::Jcc { target, .. } = ins {
+            is_target[(i as i64 + 1 + *target as i64).clamp(0, n as i64) as usize] = true;
+        }
+    }
+    let mut vals: [Option<Operand>; 8] = [None; 8];
+    let mut out = Vec::with_capacity(n);
+    let mut changed = false;
+    for (i, ins) in code.iter().enumerate() {
+        if is_target[i] {
+            vals = [None; 8];
+        }
+        let mut ins = *ins;
+        changed |= rewrite_reads(&mut ins, &vals);
+        if let Some((d, v)) = fold(&ins, &vals) {
+            if ins.flags_written() & live_out[i].flags == 0 {
+                ins = X86Instr::mov_imm(d, v);
+                changed = true;
+            }
+        }
+        if let Some(d) = ins.def() {
+            invalidate(&mut vals, d);
+        }
+        if matches!(
+            ins,
+            X86Instr::Push { .. }
+                | X86Instr::Pop { .. }
+                | X86Instr::Pushfd
+                | X86Instr::Popfd
+                | X86Instr::Call { .. }
+                | X86Instr::Ret
+        ) {
+            invalidate(&mut vals, Gpr::Esp);
+        }
+        if let X86Instr::Mov { dst: Operand::Reg(r), src } = ins {
+            match src {
+                Operand::Reg(q) if q != r => vals[r.index()] = Some(Operand::Reg(q)),
+                Operand::Imm(v) => vals[r.index()] = Some(Operand::Imm(v)),
+                _ => {}
+            }
+        }
+        out.push(ins);
+    }
+    changed.then_some(out)
+}
+
+/// Liveness-driven cleanup of a whole region, run after specialization
+/// and seam stripping: forward copy/constant propagation inside each
+/// part, then dead code elimination with cross-seam liveness — a seam
+/// (stripped fallthrough *or* a `ChainJmp` to the next part's block,
+/// which `run_superblock` follows without leaving the region) threads
+/// the successor part's entry liveness into its predecessor, so a value
+/// is dead only when no later part on the straightened path reads it
+/// before control could reach foreign code. This matters because
+/// specialized parts legitimately read registers at entry — that is the
+/// seam optimization — so their entry liveness is *not* empty. Every
+/// env access, memory effect, and exit is preserved, so the watchdog
+/// comparison surface and all guest-visible state are untouched; only
+/// executed host instructions shrink.
+pub fn optimize_region(parts: &mut [SbPart]) {
+    for _ in 0..4 {
+        let mut changed = false;
+        let mut next_entry = exit_live();
+        for k in (0..parts.len()).rev() {
+            let seam_next = parts.get(k + 1).map(|p| p.id);
+            // What is live past the end of this part: the next part's
+            // entry for a stripped seam; unreachable otherwise. The same
+            // set is what an in-region ChainJmp seam flows into (see
+            // `liveness`), so any non-last part uses the threaded value.
+            let end_live = if seam_next.is_some() { next_entry } else { exit_live() };
+            let mut code: Vec<X86Instr> = (*parts[k].code).clone();
+            if jumps_in_range(&code) {
+                let mut part_changed = false;
+                for _ in 0..4 {
+                    let (live_out, _) = liveness(&code, end_live, exit_live(), seam_next);
+                    let Some(c) = propagate(&code, &live_out) else { break };
+                    code = c;
+                    part_changed = true;
+                }
+                let (c, _) = eliminate_dead(&code, end_live, seam_next);
+                if let Some(c) = c {
+                    code = c;
+                    part_changed = true;
+                }
+                if part_changed {
+                    changed = true;
+                    parts[k].code = Rc::new(code.clone());
+                }
+            }
+            let (_, entry) = liveness(&code, end_live, exit_live(), seam_next);
+            next_entry = entry;
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Whether executing `code` from its start provably writes `%eax` before
+/// any instruction reads it (and before any exit the analysis cannot
+/// follow). Used to prove a predecessor's seam exit pair — which is what
+/// normally freshens `%eax` — can be stripped.
+fn eax_redefined_first(code: &[X86Instr], ip: usize, depth: u32) -> bool {
+    if depth == 0 {
+        return false;
+    }
+    let mut i = ip;
+    loop {
+        let Some(ins) = code.get(i) else {
+            // Ran off the end: only reachable when this part's own seam
+            // pair was stripped, which required its successor to pass
+            // this same check first.
+            return true;
+        };
+        if ins.uses().contains(&Gpr::Eax) {
+            return false;
+        }
+        if ins.def() == Some(Gpr::Eax) {
+            return true;
+        }
+        match ins {
+            X86Instr::Jcc { target, .. } => {
+                if *target < 0 {
+                    return false;
+                }
+                return eax_redefined_first(code, i + 1, depth - 1)
+                    && eax_redefined_first(code, i + 1 + *target as usize, depth - 1);
+            }
+            X86Instr::Jmp { target } => {
+                if *target < 0 {
+                    return false;
+                }
+                i = i + 1 + *target as usize;
+                continue;
+            }
+            // Halt never consults %eax; everything else hands control to
+            // code this analysis cannot see (the dispatcher reads %eax
+            // after `ret`) — refuse.
+            X86Instr::Halt => return true,
+            X86Instr::Ret | X86Instr::JmpInd { .. } | X86Instr::Call { .. } => return false,
+            X86Instr::ChainJmp { .. } => return false,
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Strip each part's trailing seam exit pair (`movl $next_pc, %eax;
+/// chain @next_id`) where the next part provably redefines `%eax` before
+/// reading it. Decided back to front so a stripped part's own
+/// past-the-end fallthrough is covered by its successor's proof.
+pub fn strip_seam_exits(parts: &mut [SbPart], pcs: &[u32]) {
+    debug_assert_eq!(parts.len(), pcs.len());
+    for k in (0..parts.len().saturating_sub(1)).rev() {
+        let next_id = parts[k + 1].id;
+        let next_pc = pcs[k + 1];
+        let code = &parts[k].code;
+        let n = code.len();
+        if n < 2 {
+            continue;
+        }
+        let pair_ok = matches!(
+            code[n - 2],
+            X86Instr::Mov { dst: Operand::Reg(Gpr::Eax), src: Operand::Imm(v) }
+                if v as u32 == next_pc
+        ) && matches!(code[n - 1], X86Instr::ChainJmp { block } if block == next_id);
+        if !pair_ok || !eax_redefined_first(&parts[k + 1].code, 0, 16) {
+            continue;
+        }
+        // No forward jump may land inside the stripped pair or past the
+        // code end — either would change meaning once the pair is gone.
+        // A jump to exactly n-2 lands on the pair's first instruction,
+        // which after stripping is the past-the-end fallthrough: that is
+        // precisely the seam semantics, so it stays legal.
+        let jump_into_pair = code.iter().enumerate().any(|(at, ins)| match ins {
+            X86Instr::Jcc { target, .. } | X86Instr::Jmp { target } if *target > 0 => {
+                let dest = at + 1 + *target as usize;
+                dest > n - 2
+            }
+            _ => false,
+        });
+        if jump_into_pair {
+            continue;
+        }
+        let part = &mut parts[k];
+        let mut new_code = (*part.code).clone();
+        new_code.truncate(n - 2);
+        part.code = Rc::new(new_code);
+        part.fallthrough_seam = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{env_mem, reg_mem, FLAGMODE_OFFSET, HOSTFLAGS_OFFSET};
+    use ldbt_arm::ArmReg;
+
+    fn load(r: Gpr, g: ArmReg) -> X86Instr {
+        X86Instr::Mov { dst: Operand::Reg(r), src: Operand::Mem(reg_mem(g)) }
+    }
+
+    fn store(g: ArmReg, r: Gpr) -> X86Instr {
+        X86Instr::Mov { dst: Operand::Mem(reg_mem(g)), src: Operand::Reg(r) }
+    }
+
+    fn flagmode_reset() -> X86Instr {
+        X86Instr::Mov { dst: Operand::Mem(env_mem(FLAGMODE_OFFSET)), src: Operand::Imm(0) }
+    }
+
+    fn exit_pair(pc: u32, block: u32) -> [X86Instr; 2] {
+        [X86Instr::mov_imm(Gpr::Eax, pc as i32), X86Instr::ChainJmp { block }]
+    }
+
+    /// A miniature but faithful flag stub (guard + body + reset).
+    fn mini_stub() -> Vec<X86Instr> {
+        vec![
+            X86Instr::Alu {
+                op: AluOp::Cmp,
+                dst: Operand::Mem(env_mem(FLAGMODE_OFFSET)),
+                src: Operand::Imm(0),
+            },
+            X86Instr::Jcc { cc: Cc::E, target: 4 },
+            X86Instr::Mov {
+                dst: Operand::Reg(Gpr::Ecx),
+                src: Operand::Mem(env_mem(FLAGMODE_OFFSET)),
+            },
+            X86Instr::Push { src: Operand::Mem(env_mem(HOSTFLAGS_OFFSET)) },
+            X86Instr::Popfd,
+            flagmode_reset(),
+        ]
+    }
+
+    #[test]
+    fn entry_state_keeps_everything() {
+        let code = vec![load(Gpr::Ecx, ArmReg::R0), X86Instr::alu_ri(AluOp::Add, Gpr::Ecx, 1)];
+        let (out, st) = specialize_part(&code, &SeamState::entry());
+        assert_eq!(out, code, "nothing provable at entry: nothing elided");
+        // The add killed the tag the load generated.
+        assert_eq!(st.tags[Gpr::Ecx.index()], None);
+    }
+
+    #[test]
+    fn redundant_home_load_elided_and_writeback_tags() {
+        // Part A writes back r4 from %esi; part B reloads it.
+        let a = vec![store(ArmReg::R4, Gpr::Esi), X86Instr::Ret];
+        let (_, seam) = specialize_part(&a, &SeamState::entry());
+        assert_eq!(seam.tags[Gpr::Esi.index()], Some(4));
+        let b = vec![load(Gpr::Esi, ArmReg::R4), X86Instr::alu_ri(AluOp::Add, Gpr::Esi, 7)];
+        let (out, _) = specialize_part(&b, &seam);
+        assert_eq!(out.len(), 1, "reload of a still-live home is dropped");
+        assert!(matches!(out[0], X86Instr::Alu { .. }));
+        // With a cold seam the load must survive.
+        let (cold, _) = specialize_part(&b, &SeamState::entry());
+        assert_eq!(cold.len(), 2);
+    }
+
+    #[test]
+    fn load_to_different_reg_not_elided() {
+        let a = vec![store(ArmReg::R4, Gpr::Esi), X86Instr::Ret];
+        let (_, seam) = specialize_part(&a, &SeamState::entry());
+        let b = vec![load(Gpr::Edi, ArmReg::R4)];
+        let (out, st) = specialize_part(&b, &seam);
+        assert_eq!(out.len(), 1, "different target register: keep the load");
+        assert_eq!(st.tags[Gpr::Edi.index()], Some(4));
+    }
+
+    #[test]
+    fn flagmode_reset_elided_when_zero() {
+        let a = vec![flagmode_reset(), X86Instr::Ret];
+        let (_, seam) = specialize_part(&a, &SeamState::entry());
+        assert_eq!(seam.flagmode, FlagAbs::Zero);
+        let b = vec![flagmode_reset(), X86Instr::alu_ri(AluOp::Add, Gpr::Ecx, 1)];
+        let (out, st) = specialize_part(&b, &seam);
+        assert_eq!(out.len(), 1, "redundant reset dropped");
+        assert_eq!(st.flagmode, FlagAbs::Zero);
+    }
+
+    #[test]
+    fn flag_stub_elided_only_when_flagmode_zero_and_eflags_dead() {
+        let mut b = mini_stub();
+        // Body: a flag writer follows, so the stub's cmp flags are dead.
+        b.push(X86Instr::alu_ri(AluOp::Add, Gpr::Ecx, 1));
+        let zero = SeamState { tags: [None; 8], flagmode: FlagAbs::Zero };
+        let (out, st) = specialize_part(&b, &zero);
+        assert_eq!(out.len(), 1, "whole stub elided: {out:?}");
+        assert_eq!(st.flagmode, FlagAbs::Zero);
+        // Unknown flag-mode: the stub must stay, and normalizes to Zero.
+        let (kept, st2) = specialize_part(&b, &SeamState::entry());
+        assert_eq!(kept.len(), b.len());
+        assert_eq!(st2.flagmode, FlagAbs::Zero);
+    }
+
+    #[test]
+    fn flag_stub_kept_when_eflags_still_read() {
+        // A setcc consumes EFLAGS right after the stub: the stub's cmp is
+        // load-bearing for it, so elision must refuse.
+        let mut b = mini_stub();
+        b.push(X86Instr::Setcc { cc: Cc::E, dst: Gpr::Ecx });
+        let zero = SeamState { tags: [None; 8], flagmode: FlagAbs::Zero };
+        let (out, _) = specialize_part(&b, &zero);
+        assert_eq!(out.len(), b.len(), "EFLAGS consumer blocks stub elision");
+    }
+
+    #[test]
+    fn dynamic_store_kills_all_tags() {
+        let a = vec![store(ArmReg::R4, Gpr::Esi), X86Instr::Ret];
+        let (_, mut seam) = specialize_part(&a, &SeamState::entry());
+        seam.flagmode = FlagAbs::Zero;
+        let b = vec![X86Instr::Mov {
+            dst: Operand::Mem(X86Mem::base(Gpr::Edx)),
+            src: Operand::Reg(Gpr::Esi),
+        }];
+        let (_, st) = specialize_part(&b, &seam);
+        assert_eq!(st.tags, [None; 8], "a store through a pointer may alias the env");
+        assert_eq!(st.flagmode, FlagAbs::Unknown);
+    }
+
+    #[test]
+    fn post_branch_code_only_removes_knowledge() {
+        // After the first branch nothing is guaranteed to execute: a
+        // home load there must not generate a tag, and a conditional
+        // writeback must kill one.
+        let code = vec![
+            store(ArmReg::R4, Gpr::Esi),
+            X86Instr::Jcc { cc: Cc::E, target: 1 },
+            store(ArmReg::R4, Gpr::Edi), // maybe-executed: r4 no longer tied to %esi
+            load(Gpr::Ebx, ArmReg::R5),  // maybe-executed: generates nothing
+        ];
+        let (out, st) = specialize_part(&code, &SeamState::entry());
+        assert_eq!(out.len(), code.len());
+        assert_eq!(st.tags[Gpr::Esi.index()], None);
+        assert_eq!(st.tags[Gpr::Ebx.index()], None);
+    }
+
+    #[test]
+    fn backward_jump_disables_elision() {
+        let a = vec![store(ArmReg::R4, Gpr::Esi), X86Instr::Ret];
+        let (_, seam) = specialize_part(&a, &SeamState::entry());
+        let b = vec![load(Gpr::Esi, ArmReg::R4), X86Instr::Jcc { cc: Cc::E, target: -1 }];
+        let (out, _) = specialize_part(&b, &seam);
+        assert_eq!(out.len(), 2, "backward jump: shifting indices is unsafe");
+    }
+
+    #[test]
+    fn seam_exit_pair_stripped_when_eax_dead() {
+        let pair = exit_pair(0x1_0040, 7);
+        let mut parts = vec![
+            SbPart {
+                id: 3,
+                code: Rc::new(vec![X86Instr::alu_ri(AluOp::Add, Gpr::Ecx, 1), pair[0], pair[1]]),
+                fallthrough_seam: false,
+            },
+            SbPart {
+                id: 7,
+                // Next part redefines %eax before any use (a Jump exit).
+                code: Rc::new(vec![
+                    X86Instr::alu_ri(AluOp::Add, Gpr::Edx, 2),
+                    X86Instr::mov_imm(Gpr::Eax, 0x1_0080),
+                    X86Instr::Ret,
+                ]),
+                fallthrough_seam: false,
+            },
+        ];
+        strip_seam_exits(&mut parts, &[0x1_0000, 0x1_0040]);
+        assert!(parts[0].fallthrough_seam);
+        assert_eq!(parts[0].code.len(), 1, "pair stripped");
+        assert!(!parts[1].fallthrough_seam, "last part never stripped");
+    }
+
+    #[test]
+    fn seam_exit_pair_kept_when_next_reads_eax() {
+        let pair = exit_pair(0x1_0040, 7);
+        let mut parts = vec![
+            SbPart { id: 3, code: Rc::new(vec![pair[0], pair[1]]), fallthrough_seam: false },
+            SbPart {
+                id: 7,
+                // Reads %eax (e.g. via an indirect-exit mov) before writing.
+                code: Rc::new(vec![
+                    X86Instr::mov_rr(Gpr::Ecx, Gpr::Eax),
+                    X86Instr::mov_imm(Gpr::Eax, 0),
+                    X86Instr::Ret,
+                ]),
+                fallthrough_seam: false,
+            },
+        ];
+        strip_seam_exits(&mut parts, &[0x1_0000, 0x1_0040]);
+        assert!(!parts[0].fallthrough_seam, "eax live-in: keep the pair");
+        assert_eq!(parts[0].code.len(), 2);
+    }
+
+    #[test]
+    fn seam_exit_pair_kept_when_target_mismatches() {
+        let pair = exit_pair(0x9999, 7); // wrong pc for part 1
+        let mut parts = vec![
+            SbPart { id: 3, code: Rc::new(vec![pair[0], pair[1]]), fallthrough_seam: false },
+            SbPart {
+                id: 7,
+                code: Rc::new(vec![X86Instr::mov_imm(Gpr::Eax, 0), X86Instr::Ret]),
+                fallthrough_seam: false,
+            },
+        ];
+        strip_seam_exits(&mut parts, &[0x1_0000, 0x1_0040]);
+        assert!(!parts[0].fallthrough_seam);
+    }
+
+    #[test]
+    fn eax_analysis_follows_both_branch_arms() {
+        // Branch-terminator shape: cmp; jcc over the not-taken arm; both
+        // arms define %eax first thing.
+        let code = vec![
+            X86Instr::Alu { op: AluOp::Cmp, dst: Operand::Reg(Gpr::Ecx), src: Operand::Imm(0) },
+            X86Instr::Jcc { cc: Cc::Ne, target: 2 },
+            X86Instr::mov_imm(Gpr::Eax, 0x10),
+            X86Instr::Ret,
+            X86Instr::mov_imm(Gpr::Eax, 0x20),
+            X86Instr::Ret,
+        ];
+        assert!(eax_redefined_first(&code, 0, 16));
+        // But a bare chain-jump path (no def) must refuse.
+        let leak = vec![X86Instr::ChainJmp { block: 5 }];
+        assert!(!eax_redefined_first(&leak, 0, 16));
+    }
+
+    /// Regression (caught on gobmk): a part ending in a *conditional*
+    /// ChainJmp seam (`fallthrough_seam == false`) still continues into
+    /// the next part with registers intact, and that next part may have
+    /// been specialized to read them. The optimizer must thread the
+    /// successor's entry liveness through the ChainJmp-to-next-part
+    /// edge, not treat it as a register-killing region escape — here,
+    /// stripping `%ecx = %ebx` from part 0 would leave part 1 comparing
+    /// a stale `%ecx`.
+    #[test]
+    fn chainjmp_seam_threads_successor_entry_liveness() {
+        let part0 = vec![
+            load(Gpr::Ebx, ArmReg::R0),
+            X86Instr::mov_rr(Gpr::Ecx, Gpr::Ebx), // dead, unless part 1 needs %ecx
+            store(ArmReg::R1, Gpr::Ebx),
+            X86Instr::Alu { op: AluOp::Cmp, dst: Operand::Reg(Gpr::Ebx), src: Operand::Imm(9) },
+            X86Instr::Jcc { cc: Cc::L, target: 2 },
+            X86Instr::mov_imm(Gpr::Eax, 0x100),
+            X86Instr::ChainJmp { block: 7 }, // in-region seam: next part's block
+            X86Instr::mov_imm(Gpr::Eax, 0x200),
+            X86Instr::ChainJmp { block: 3 }, // side exit
+        ];
+        // Part 1 was specialized against the seam state: no home load of
+        // r0, it reads %ecx straight away.
+        let part1 = vec![
+            X86Instr::Alu { op: AluOp::Cmp, dst: Operand::Reg(Gpr::Ecx), src: Operand::Imm(4) },
+            X86Instr::Jcc { cc: Cc::L, target: 2 },
+            X86Instr::mov_imm(Gpr::Eax, 0x300),
+            X86Instr::Ret,
+            X86Instr::mov_imm(Gpr::Eax, 0x400),
+            X86Instr::Ret,
+        ];
+        let mut parts = vec![
+            SbPart { id: 5, code: Rc::new(part0), fallthrough_seam: false },
+            SbPart { id: 7, code: Rc::new(part1), fallthrough_seam: false },
+        ];
+        optimize_region(&mut parts);
+        assert!(
+            parts[0].code.iter().any(|i| matches!(
+                i,
+                X86Instr::Mov { dst: Operand::Reg(Gpr::Ecx), src: Operand::Reg(Gpr::Ebx) }
+            )),
+            "%ecx def feeding the specialized successor must survive: {:?}",
+            parts[0].code
+        );
+        // Sanity: with no successor depending on it, the same copy IS
+        // removed (it is genuinely dead at a real region escape).
+        let solo = vec![
+            load(Gpr::Ebx, ArmReg::R0),
+            X86Instr::mov_rr(Gpr::Ecx, Gpr::Ebx),
+            store(ArmReg::R1, Gpr::Ebx),
+            X86Instr::mov_imm(Gpr::Eax, 0x100),
+            X86Instr::Ret,
+        ];
+        let mut alone = vec![SbPart { id: 5, code: Rc::new(solo), fallthrough_seam: false }];
+        optimize_region(&mut alone);
+        assert!(
+            !alone[0].code.iter().any(|i| matches!(
+                i,
+                X86Instr::Mov { dst: Operand::Reg(Gpr::Ecx), src: Operand::Reg(Gpr::Ebx) }
+            )),
+            "dead copy at a real escape is removed: {:?}",
+            alone[0].code
+        );
+    }
+}

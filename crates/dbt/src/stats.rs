@@ -49,6 +49,13 @@ pub enum DbtCtr {
     ChainUnlinks,
     /// Block entries reached through a chained jump (no dispatcher).
     ChainedExecs,
+    /// Superblock regions formed from hot chains.
+    SbFormed,
+    /// Block executions served from a superblock region part.
+    SbExecs,
+    /// Superblock regions invalidated (quarantine purge or re-patching
+    /// of a member block).
+    SbInvalidated,
 }
 
 /// Registry names, in [`DbtCtr`] declaration order (the snapshot and
@@ -69,6 +76,9 @@ pub const DBT_COUNTER_NAMES: &[&str] = &[
     "chain_links",
     "chain_unlinks",
     "chained_execs",
+    "sb_formed",
+    "sb_execs",
+    "sb_invalidated",
 ];
 
 /// Statistics accumulated by an [`crate::Engine`] run.
@@ -173,6 +183,15 @@ impl DbtStats {
     }
     pub fn chained_execs(&self) -> u64 {
         self.get(DbtCtr::ChainedExecs)
+    }
+    pub fn sb_formed(&self) -> u64 {
+        self.get(DbtCtr::SbFormed)
+    }
+    pub fn sb_execs(&self) -> u64 {
+        self.get(DbtCtr::SbExecs)
+    }
+    pub fn sb_invalidated(&self) -> u64 {
+        self.get(DbtCtr::SbInvalidated)
     }
 
     /// Static rule coverage `Sₚ = Σ Bᵢ / m` (Figure 11).

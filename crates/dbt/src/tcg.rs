@@ -724,3 +724,42 @@ pub fn translate_block(mem: &Memory, block: &GuestBlock) -> TcgBlock {
         unsupported_at,
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::lower_block;
+    use ldbt_x86::Gpr;
+
+    fn tcg_of(instrs: Vec<ArmInstr>) -> TcgBlock {
+        let mem = Memory::new();
+        translate_block(&mem, &GuestBlock { pc: 0x1_0000, instrs })
+    }
+
+    /// Live-in guest flags are an *explicit* frontend fact
+    /// (`reads_live_in_flags`), satisfied by the backend's flag stub
+    /// from the env-saved flags — never by reading whatever host EFLAGS
+    /// the previous block left behind. That routing is what lets the
+    /// superblock optimizer (sb.rs) treat host EFLAGS as dead at every
+    /// seam: `entry_reads` on the lowered code must report no host
+    /// register (but %esp) and no EFLAGS bit, even for a block whose
+    /// first guest instruction branches on live-in condition codes.
+    #[test]
+    fn live_in_flags_are_explicit_and_env_routed() {
+        let plain = tcg_of(vec![ArmInstr::dp(
+            DpOp::Add,
+            ArmReg::R1,
+            ArmReg::R1,
+            Operand2::Reg(ArmReg::R0),
+        )]);
+        assert!(!plain.reads_live_in_flags);
+        let branchy = tcg_of(vec![ArmInstr::B { offset: 3, cond: Cond::Ne }]);
+        assert!(branchy.reads_live_in_flags, "bne at block start consumes live-in flags");
+        for b in [&plain, &branchy] {
+            let code = lower_block(b).code;
+            let (regs, flags) = crate::sb::entry_reads(&code);
+            assert_eq!(regs & !(1 << Gpr::Esp.index()), 0, "reads host regs {regs:#010b}");
+            assert_eq!(flags, 0, "reads host EFLAGS {flags:#06b}");
+        }
+    }
+}

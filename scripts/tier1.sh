@@ -16,17 +16,20 @@ for fault in rule-corrupt:0 solver-exhaust:0 worker-panic:0; do
         cargo test -q --release --test fault_injection
 done
 
-# Chained-vs-unchained determinism matrix: the engine suite asserts
-# guest R0 / guest_dyn / memory against the ARM interpreter reference
-# (and chained against unchained in-process), so it must stay green in
-# every combination of LDBT_NOCHAIN x LDBT_WATCHDOG the defaults can
-# take.
+# Execution-mode determinism matrix: the engine suite asserts guest R0 /
+# guest_dyn / memory against the ARM interpreter reference (and chained
+# against unchained, regions against plain, in-process), so it must stay
+# green in every combination of LDBT_NOCHAIN x LDBT_WATCHDOG x LDBT_NOSB
+# the defaults can take. (Tests that pin a mode via the builder override
+# the env, so each leg still exercises its own on/off comparison.)
 for nochain in 0 1; do
     for watchdog in 0 1; do
-        LDBT_NOCHAIN="$nochain" LDBT_WATCHDOG="$watchdog" \
-            cargo test -q --release -p ldbt-dbt
-        LDBT_NOCHAIN="$nochain" LDBT_WATCHDOG="$watchdog" \
-            cargo test -q --release --test determinism --test adversarial
+        for nosb in 0 1; do
+            LDBT_NOCHAIN="$nochain" LDBT_WATCHDOG="$watchdog" LDBT_NOSB="$nosb" \
+                cargo test -q --release -p ldbt-dbt
+            LDBT_NOCHAIN="$nochain" LDBT_WATCHDOG="$watchdog" LDBT_NOSB="$nosb" \
+                cargo test -q --release --test determinism --test adversarial
+        done
     done
 done
 
@@ -56,6 +59,32 @@ cmp "$OBS_DIR/table1_off.txt" "$OBS_DIR/table1_on.txt"
 cargo run -q --release -p ldbt-obs --bin obs_selfcheck -- trace "$OBS_DIR/table1.ndjson"
 cargo run -q --release -p ldbt-obs --bin obs_selfcheck -- report "$OBS_DIR/table1.json"
 
+# Superblocks must be invisible to the flagship table: table1 reports
+# learning results, so its stdout must be byte-identical with regions
+# disabled.
+LDBT_DETERMINISTIC=1 LDBT_NOSB=1 cargo run -q --release -p ldbt-bench --bin table1 \
+    > "$OBS_DIR/table1_nosb.txt" 2>/dev/null
+cmp "$OBS_DIR/table1_off.txt" "$OBS_DIR/table1_nosb.txt"
+
 # The dispatch-throughput bench must keep compiling (it is the perf
 # gate's measurement tool; results live in results/dispatch_throughput.txt).
 cargo bench --no-run -p ldbt-bench
+
+# Dispatch-throughput perf gate, against the recorded rows in
+# results/dispatch_throughput.txt. host_instrs is deterministic, so it
+# gets a tight +-2% band per engine (catches codegen regressions
+# exactly). Wall-clock swings ~20% on the shared container, so the
+# best-of-5 min only gates the recorded ceilings: the rules engine must
+# stay under the 1.5x tentpole target (57.51 ms vs the pre-superblock
+# 86.27 ms row) and tcg/jit within 2% of their pre-superblock rows.
+./target/release/dispatch_gate | tee "$OBS_DIR/gate.txt"
+awk -F'[ =]+' '
+    $2 == "tcg"        { if ($4 > 135.31 || $6 < 8226868 || $6 > 8562660) bad = bad " tcg" }
+    $2 == "rules"      { if ($4 > 57.51  || $6 < 4516787 || $6 > 4701147) bad = bad " rules" }
+    $2 == "jit"        { if ($4 > 116.05 || $6 < 8997184 || $6 > 9364416) bad = bad " jit" }
+    $2 == "rules_nosb" { if ($6 < 8920242 || $6 > 9284334) bad = bad " rules_nosb" }
+    END {
+        if (bad != "") { print "dispatch gate FAILED:" bad; exit 1 }
+        print "dispatch gate ok"
+    }
+' "$OBS_DIR/gate.txt"

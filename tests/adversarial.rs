@@ -215,6 +215,62 @@ int main() {
     );
 }
 
+/// A corrupted rule that has already been inlined into a superblock must
+/// not survive eviction: when the watchdog catches the mismatch inside
+/// the region, the quarantine purge invalidates the region (its parts
+/// hold clones of the purged code), severs the chained predecessors, and
+/// the loop re-forms a fresh region from the clean retranslation.
+///
+/// The lazy watchdog (period 50, so the region has time to form and run
+/// before the first sample) only repairs the *checked* execution, so the
+/// iterations the bad rule corrupted before the catch stay corrupted.
+/// The guest therefore resets the accumulator to a constant late in the
+/// loop: everything after `i == 1500` runs on the post-eviction clean
+/// translation, making the final result comparable against pure TCG.
+#[test]
+fn quarantine_evicts_rule_inside_superblock() {
+    let src = "
+int main() {
+  int s = 0;
+  for (int i = 0; i < 2000; i += 1) {
+    s = s + i;
+    s = s ^ 3;
+    if (i == 1500) { s = 7; }
+  }
+  return s & 0xffff;
+}";
+    let image = build_arm_image(src, &Options::o2()).unwrap();
+    let mut base = Engine::new(&image, Translator::Tcg).with_watchdog(None).with_fault(None);
+    assert_eq!(base.run(10_000_000), RunOutcome::Halted);
+    let want = base.guest_reg(ArmReg::R0);
+
+    // The same deliberately wrong rule as the quarantine tests above. The
+    // low formation threshold (8) against the lazy watchdog period (50)
+    // guarantees the hot loop is already running as a region — bad rule
+    // inlined — by the time the watchdog first samples it.
+    let mut evil = RuleSet::new();
+    evil.insert(Rule {
+        guest: vec![ArmInstr::dp(DpOp::Eor, ArmReg::R0, ArmReg::R0, Operand2::Imm(3))],
+        host: vec![X86Instr::alu_ri(AluOp::Xor, Gpr::Ecx, 2)],
+        host_reg_of: [(Gpr::Ecx, ArmReg::R0)].into_iter().collect(),
+        imm_params: vec![],
+        unemulated_flags: 0,
+        has_branch: false,
+    });
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(evil)))
+        .with_chaining(true)
+        .with_watchdog(Some(50))
+        .with_superblocks(Some(8))
+        .with_fault(None);
+    assert_eq!(e.run(10_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), want, "post-eviction run matches TCG");
+    assert_eq!(e.stats.quarantined_rules(), 1, "the bad rule is tombstoned");
+    assert!(e.stats.sb_formed() >= 2, "a region formed before the purge and re-formed after");
+    assert!(e.stats.sb_invalidated() >= 1, "the purge invalidated the region holding the rule");
+    assert!(e.stats.chain_unlinks() > 0, "predecessors chained into the purge were severed");
+    assert!(e.stats.sb_execs() > 0, "regions actually ran");
+}
+
 /// The repair synthesizer's output is itself verified: a snippet whose
 /// scratch materialization cannot be expressed as mov/lea is rejected,
 /// not silently mistranslated.

@@ -96,10 +96,14 @@ int main() {
     for (name, t) in translators {
         for watchdog in [None, Some(3)] {
             let run = |chaining: bool| {
+                // Superblocks pinned off: this test compares host_instrs
+                // chained vs unchained, which regions deliberately shrink
+                // (their own on/off matrix is the test below).
                 let mut e = Engine::new(&image, t.clone())
                     .with_chaining(chaining)
                     .with_watchdog(watchdog)
-                    .with_fault(None);
+                    .with_fault(None)
+                    .with_superblocks(None);
                 assert_eq!(e.run(100_000_000), RunOutcome::Halted, "{name} wd={watchdog:?}");
                 e
             };
@@ -125,6 +129,77 @@ int main() {
                 None,
                 "{ctx}: guest memory diverges"
             );
+        }
+    }
+}
+
+/// Superblock formation is an invisible optimization: for every
+/// translator, watchdog off and on, a run with regions enabled
+/// (`LDBT_NOSB` unset, low threshold so they actually form) and a run
+/// with them disabled produce identical guest registers, guest memory,
+/// and — excluding the `sb_*` counters themselves and the host
+/// instruction/cycle counts regions exist to shrink — an identical
+/// `DbtStats` registry, including identical modeled translation cycles
+/// (forming a region never re-translates).
+#[test]
+fn superblock_execution_is_bit_identical_to_plain() {
+    let src = "
+int a[16];
+int main() {
+  int s = 0;
+  for (int i = 0; i < 16; i += 1) { a[i] = i * 7; }
+  for (int i = 0; i < 400; i += 1) {
+    s = s + a[i & 15];
+    if (i & 1) { s = s ^ 9; }
+  }
+  return s & 0xffff;
+}";
+    let rules = Rc::new(learn_from_source("sb-det", src, &Options::o2()).unwrap().rules);
+    let image = build_arm_image(src, &Options::o2()).unwrap();
+    let translators: [(&str, Translator); 3] = [
+        ("tcg", Translator::Tcg),
+        ("rules", Translator::Rules(Rc::clone(&rules))),
+        ("jit", Translator::Jit),
+    ];
+    // Counters legitimately different between the two runs: the sb_*
+    // counters (zero on the disabled side by definition) and the host
+    // execution work (the optimization target).
+    let exempt = ["sb_formed", "sb_execs", "sb_invalidated", "host_instrs", "exec_cycles"];
+    for (name, t) in translators {
+        for watchdog in [None, Some(3)] {
+            let run = |sb: Option<u64>| {
+                let mut e = Engine::new(&image, t.clone())
+                    .with_chaining(true)
+                    .with_watchdog(watchdog)
+                    .with_fault(None)
+                    .with_superblocks(sb);
+                assert_eq!(e.run(100_000_000), RunOutcome::Halted, "{name} wd={watchdog:?}");
+                e
+            };
+            let on = run(Some(8));
+            let off = run(None);
+            let ctx = format!("{name} wd={watchdog:?}");
+            assert!(on.stats.sb_formed() > 0, "{ctx}: hot chains must form regions");
+            assert!(on.stats.sb_execs() > 0, "{ctx}: regions must actually run");
+            assert_eq!(off.stats.sb_formed(), 0, "{ctx}: disabled side must not form");
+            for r in ArmReg::ALL {
+                assert_eq!(on.guest_reg(r), off.guest_reg(r), "{ctx}: {r:?}");
+            }
+            assert_eq!(
+                on.state.mem.first_difference(&off.state.mem, |_| false),
+                None,
+                "{ctx}: guest memory diverges"
+            );
+            let accounting = |e: &Engine| -> Vec<(&'static str, u64)> {
+                e.stats.registry().into_iter().filter(|(n, _)| !exempt.contains(n)).collect()
+            };
+            assert_eq!(accounting(&on), accounting(&off), "{ctx}: accounting diverges");
+            assert!(
+                on.stats.exec.host_instrs <= off.stats.exec.host_instrs,
+                "{ctx}: regions never add host work"
+            );
+            let hits = |e: &Engine| e.stats.hit_rules.clone();
+            assert_eq!(hits(&on), hits(&off), "{ctx}: hit-rule attribution diverges");
         }
     }
 }
