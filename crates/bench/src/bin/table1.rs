@@ -12,14 +12,14 @@ fn main() {
     let rows = table1(&all);
     let deterministic = deterministic_output();
     println!("Table 1. Learning results (synthetic SPEC CINT2006 stand-ins)");
-    hr(144);
+    hr(149);
     println!(
-        "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9} {:>9} {:>5} {:>5} | {:>6} {:>4}",
-        "bench", "PL", "LoC", "CI", "PI", "MB", "Num", "Name", "FailG", "Rg", "Mm", "Br", "Other", "#Rules", "time(ms)", "ms/rule", "vfy%", "hit%", "wd-chk", "quar"
+        "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9} {:>9} {:>5} {:>5} | {:>6} {:>4} {:>4}",
+        "bench", "PL", "LoC", "CI", "PI", "MB", "Num", "Name", "FailG", "Rg", "Mm", "Br", "Other", "#Rules", "time(ms)", "ms/rule", "vfy%", "hit%", "wd-chk", "quar", "rpr"
     );
-    hr(144);
+    hr(149);
     let mut tot = [0usize; 14];
-    let mut wd_tot = (0u64, 0u64);
+    let mut wd_tot = (0u64, 0u64, 0u64);
     let mut bench_runs = Vec::new();
     let mut learn_stats = Vec::new();
     for (b, lines, s) in &rows {
@@ -35,7 +35,9 @@ fn main() {
             run_benchmark(b.name, Workload::Test, EngineKind::Rules, &Options::o2(), Some(&rules));
         wd_tot.0 += run.stats.watchdog_checks();
         wd_tot.1 += run.stats.quarantined_rules();
-        let wd = (run.stats.watchdog_checks(), run.stats.quarantined_rules());
+        wd_tot.2 += run.stats.wd_repaired();
+        let wd =
+            (run.stats.watchdog_checks(), run.stats.quarantined_rules(), run.stats.wd_repaired());
         println!("{}", table1_row(b.name, if b.cpp { "C++" } else { "C" }, *lines, &s, wd));
         for (i, v) in [
             s.total,
@@ -61,7 +63,7 @@ fn main() {
         bench_runs.push(run);
         learn_stats.push(s);
     }
-    hr(144);
+    hr(149);
     let total = tot[0] as f64;
     println!(
         "preparation failures: {:.0}%   parameterization failures: {:.0}%   verification failures: {:.0}%   yield: {:.0}%",
@@ -88,8 +90,8 @@ fn main() {
         );
     }
     println!(
-        "watchdog cross-checks: {} performed, {} rules quarantined (enable with LDBT_WATCHDOG=on|N; fault injection via LDBT_FAULT)",
-        wd_tot.0, wd_tot.1,
+        "watchdog cross-checks: {} performed, {} rules quarantined, {} rules repaired (enable with LDBT_WATCHDOG=on|N; fault injection via LDBT_FAULT; repair via LDBT_REPAIR)",
+        wd_tot.0, wd_tot.1, wd_tot.2,
     );
     println!(
         "threads: {} (override with LDBT_THREADS; 1 = sequential)",

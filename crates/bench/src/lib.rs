@@ -32,14 +32,20 @@ pub fn hr(width: usize) {
 /// the column layout can be golden-tested: the format string below is
 /// the byte-exact layout the table has printed since the seed, and the
 /// test pins it.
-pub fn table1_row(name: &str, lang: &str, lines: usize, s: &LearnStats, wd: (u64, u64)) -> String {
+pub fn table1_row(
+    name: &str,
+    lang: &str,
+    lines: usize,
+    s: &LearnStats,
+    wd: (u64, u64, u64),
+) -> String {
     let vfy_share = if s.learn_time.as_secs_f64() > 0.0 {
         s.verify_time.as_secs_f64() / s.learn_time.as_secs_f64() * 100.0
     } else {
         0.0
     };
     format!(
-        "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9.2} {:>9.3} {:>5.1} {:>5.1} | {:>6} {:>4}",
+        "{:<11} {:>3} {:>5} | {:>5} {:>4} {:>4} | {:>5} {:>5} {:>6} | {:>4} {:>4} {:>4} {:>5} | {:>6} {:>9.2} {:>9.3} {:>5.1} {:>5.1} | {:>6} {:>4} {:>4}",
         name,
         lang,
         lines,
@@ -53,6 +59,7 @@ pub fn table1_row(name: &str, lang: &str, lines: usize, s: &LearnStats, wd: (u64
         s.cache_hit_rate() * 100.0,
         wd.0,
         wd.1,
+        wd.2,
     )
 }
 
@@ -105,15 +112,15 @@ mod tests {
             verify_time: Duration::from_millis(45),
         };
         assert_eq!(
-            table1_row("mcf", "C", 123, &s, (17, 1)),
-            "mcf           C   123 |    10    2    3 |     4     5      6 |    7    8    9     1 |     45     90.00     2.000  50.0  42.9 |     17    1"
+            table1_row("mcf", "C", 123, &s, (17, 1, 1)),
+            "mcf           C   123 |    10    2    3 |     4     5      6 |    7    8    9     1 |     45     90.00     2.000  50.0  42.9 |     17    1    1"
         );
         // Zeroed wall-clock (the LDBT_DETERMINISTIC=1 rendering) divides
         // nothing by zero.
         let z = LearnStats { learn_time: Duration::ZERO, verify_time: Duration::ZERO, ..s };
         assert_eq!(
-            table1_row("mcf", "C", 123, &z, (0, 0)),
-            "mcf           C   123 |    10    2    3 |     4     5      6 |    7    8    9     1 |     45      0.00     0.000   0.0  42.9 |      0    0"
+            table1_row("mcf", "C", 123, &z, (0, 0, 0)),
+            "mcf           C   123 |    10    2    3 |     4     5      6 |    7    8    9     1 |     45      0.00     0.000   0.0  42.9 |      0    0    0"
         );
     }
 }

@@ -32,8 +32,8 @@
 
 use crate::backend::lower_block;
 use crate::env::{
-    chaining_from_env, env_mem, reg_mem, superblocks_from_env, watchdog_from_env, FlagId, ENV_BASE,
-    FLAGMODE_OFFSET, HOST_STACK_TOP,
+    chaining_from_env, env_mem, reg_mem, repair_from_env, superblocks_from_env, watchdog_from_env,
+    FlagId, ENV_BASE, FLAGMODE_OFFSET, HOST_STACK_TOP,
 };
 use crate::jit::optimize_block;
 use crate::rules::block_supported;
@@ -45,8 +45,9 @@ use crate::stats::{BlockProfile, DbtCtr, DbtStats, ExecProfile, RuleProfile};
 use crate::tcg::{decode_block, translate_block};
 use ldbt_arm::{encode::decode, ArmEvent, ArmReg, ArmState};
 use ldbt_compiler::ArmImage;
-use ldbt_isa::{CostModel, Memory, Width};
-use ldbt_learn::{FaultPlan, RuleSet};
+use ldbt_isa::{CostModel, ExecStats, Memory, Width};
+use ldbt_learn::rule::Binding;
+use ldbt_learn::{Counterexample, FaultPlan, FaultSite, RuleSet};
 use ldbt_obs::registry::Hist;
 use ldbt_obs::trace::{self, Scope, Val};
 use ldbt_x86::interp::{run_seq, SeqExit};
@@ -110,6 +111,18 @@ impl Default for TransCost {
 const IBTC_SIZE: usize = 1024;
 /// Empty IBTC slot / "no block" sentinel (arena ids stay well below).
 const NO_BLOCK: u32 = u32::MAX;
+/// Repair attempts allowed per rule (stable key). Past the cap a
+/// divergent rule is tombstoned permanently: a rule that was "repaired"
+/// and diverges again is unrepairable in practice, and re-trying would
+/// livelock the watchdog on it.
+const REPAIR_ATTEMPT_CAP: u32 = 1;
+/// Attribution bisection gives up beyond this many rule applications in
+/// one block: each probe is a full re-lower + replay, and a block this
+/// dense is cheaper to quarantine conservatively.
+const ATTRIBUTION_MAX_HITS: usize = 8;
+/// Fuel for one attribution or trial-replay probe run — generous for a
+/// single block, bounded against a probe lowering that misbehaves.
+const PROBE_FUEL: u64 = 100_000;
 
 /// One translated block in the code cache arena.
 struct CachedBlock {
@@ -209,6 +222,14 @@ pub struct Engine {
     force_tcg: HashSet<u32>,
     /// Translation-time fault injection (`LDBT_FAULT`).
     fault: Option<FaultPlan>,
+    /// Whether the install-time fault corruption (`imm-skew` /
+    /// `operand-swap`) has been applied to the installed rule set.
+    fault_installed: bool,
+    /// Counterexample-guided rule repair enabled (`LDBT_REPAIR`).
+    repair: bool,
+    /// Repair attempts per rule (stable key), capped at
+    /// [`REPAIR_ATTEMPT_CAP`].
+    repair_attempts: HashMap<u64, u32>,
     /// Superblock region arena; ids are indices and never reused.
     superblocks: Vec<Superblock>,
     /// Block id → regions it is a member of (for invalidation when the
@@ -222,12 +243,13 @@ pub struct Engine {
 impl Engine {
     /// Create an engine for a linked guest image.
     ///
-    /// The watchdog period, chaining flag, superblock config, and fault
-    /// plan default from the `LDBT_WATCHDOG` / `LDBT_NOCHAIN` /
-    /// `LDBT_NOSB` / `LDBT_SB_THRESHOLD` / `LDBT_FAULT` environment;
-    /// [`Engine::with_watchdog`], [`Engine::with_chaining`],
-    /// [`Engine::with_superblocks`], and [`Engine::with_fault`] override
-    /// them explicitly.
+    /// The watchdog period, chaining flag, superblock config, fault
+    /// plan, and repair flag default from the `LDBT_WATCHDOG` /
+    /// `LDBT_NOCHAIN` / `LDBT_NOSB` / `LDBT_SB_THRESHOLD` / `LDBT_FAULT`
+    /// / `LDBT_REPAIR` environment; [`Engine::with_watchdog`],
+    /// [`Engine::with_chaining`], [`Engine::with_superblocks`],
+    /// [`Engine::with_fault`], and [`Engine::with_repair`] override them
+    /// explicitly.
     pub fn new(image: &ArmImage, translator: Translator) -> Engine {
         let mut mem = Memory::new();
         image.load_into(&mut mem);
@@ -250,6 +272,9 @@ impl Engine {
             watchdog_tick: 0,
             force_tcg: HashSet::new(),
             fault: ldbt_learn::fault::env_plan(),
+            fault_installed: false,
+            repair: repair_from_env(),
+            repair_attempts: HashMap::new(),
             superblocks: Vec::new(),
             sb_members: HashMap::new(),
             sb_cfg: superblocks_from_env(),
@@ -278,6 +303,14 @@ impl Engine {
     /// Override the translation fault plan (`None` disables injection).
     pub fn with_fault(mut self, fault: Option<FaultPlan>) -> Engine {
         self.fault = fault;
+        self
+    }
+
+    /// Enable or disable counterexample-guided rule repair (the
+    /// `LDBT_REPAIR` knob). With repair off, a watchdog mismatch
+    /// conservatively quarantines every rule applied in the block.
+    pub fn with_repair(mut self, repair: bool) -> Engine {
+        self.repair = repair;
         self
     }
 
@@ -495,8 +528,48 @@ impl Engine {
         }
     }
 
+    /// The installed rule set and lazy-flag mode, when rule translation
+    /// is active (a pointer-bump `Rc` clone).
+    fn rules_cfg(&self) -> Option<(Rc<RuleSet>, bool)> {
+        match &self.translator {
+            Translator::Rules(r) => Some((Rc::clone(r), true)),
+            Translator::RulesNoLazyFlags(r) => Some((Rc::clone(r), false)),
+            _ => None,
+        }
+    }
+
+    /// Apply install-time fault corruption (`imm-skew` / `operand-swap`)
+    /// to the installed rule set, once, at the first translation. The
+    /// corrupted rule keeps its stable key, so everything downstream —
+    /// hit attribution, quarantine, repair — handles it like any other
+    /// (wrong) rule. `rule-corrupt` stays a lowering-time clobber and is
+    /// untouched here.
+    fn install_fault_corruption(&mut self) {
+        if self.fault_installed {
+            return;
+        }
+        self.fault_installed = true;
+        let Some(plan) = self.fault else { return };
+        if !matches!(plan.site, FaultSite::ImmSkew | FaultSite::OperandSwap) {
+            return;
+        }
+        if let Translator::Rules(rules) | Translator::RulesNoLazyFlags(rules) = &mut self.translator
+        {
+            if let Some(key) = ldbt_learn::corrupt_ruleset(Rc::make_mut(rules), plan) {
+                if trace::enabled(Scope::Exec) {
+                    trace::emit(
+                        Scope::Exec,
+                        "fault_install",
+                        &[("site", Val::S(plan.site.name())), ("rule", Val::U(key))],
+                    );
+                }
+            }
+        }
+    }
+
     /// Translate the block at `pc` into the code cache; returns its id.
     fn translate(&mut self, pc: u32) -> u32 {
+        self.install_fault_corruption();
         let block = decode_block(&self.state.mem, pc);
         self.stats.bump(DbtCtr::Blocks);
         let empty_hits: Rc<[(usize, u64)]> = Rc::from(Vec::new());
@@ -519,12 +592,7 @@ impl Engine {
             });
         }
         // Rule-based translation path.
-        let rules_cfg = match &self.translator {
-            Translator::Rules(r) => Some((Rc::clone(r), true)),
-            Translator::RulesNoLazyFlags(r) => Some((Rc::clone(r), false)),
-            _ => None,
-        };
-        if let Some((rules, lazy_flags)) = rules_cfg {
+        if let Some((rules, lazy_flags)) = self.rules_cfg() {
             if block_supported(&block) && !self.force_tcg.contains(&pc) {
                 let low = crate::rules::lower_block_with_rules_fault(
                     &self.state.mem,
@@ -790,17 +858,27 @@ impl Engine {
 
     /// Re-execute a rule-covered block from its pre-dispatch memory
     /// snapshot through the ARM interpreter and compare architectural
-    /// state. On mismatch, quarantine every rule applied in the block
-    /// (tombstoned in the rule set), purge the affected translations from
-    /// the code cache — unlinking any blocks chained into them — force
-    /// this block onto the TCG path, and adopt the interpreter's
-    /// (correct) state so execution continues unharmed.
+    /// state. On mismatch, attribute the divergence to a single rule
+    /// application by bisection replay and try to repair that rule from
+    /// the counterexample (`LDBT_REPAIR`, on by default): a repaired rule
+    /// is hot-republished and the stale translations re-translate against
+    /// it. When repair is off, attribution fails, or repair fails, the
+    /// culprit (or, conservatively, every rule applied in the block) is
+    /// quarantined — tombstoned in the rule set — the affected
+    /// translations are purged from the code cache, unlinking any blocks
+    /// chained into them, and this block is forced onto the TCG path.
+    /// Either way the engine adopts the interpreter's (correct) state so
+    /// execution continues unharmed.
     fn watchdog_check(&mut self, pc: u32, hits: &[(usize, u64)], pre: Memory) -> WdVerdict {
         self.stats.bump(DbtCtr::WatchdogChecks);
         let block = decode_block(&pre, pc);
         if block.instrs.is_empty() {
             return WdVerdict::Clean;
         }
+        // The repair path replays the block from the pristine
+        // pre-dispatch snapshot; the reference interpreter consumes
+        // `pre`, so keep a copy while repair could still need one.
+        let pre_snap = self.repair.then(|| pre.clone());
         // Interpreter reference run over the snapshot.
         let mut arm = ArmState { regs: [0; 16], flags: Default::default(), mem: pre };
         for r in ArmReg::ALL {
@@ -869,19 +947,101 @@ impl Engine {
         if regs_ok && pc_ok && mem_ok {
             return WdVerdict::Clean;
         }
-        // Mismatch: quarantine every rule applied in this block (the
-        // watchdog cannot attribute the divergence to one application, so
-        // it is conservative), purge affected translations — unlinking
-        // their chained predecessors — and continue from the
-        // interpreter's state.
+        // Mismatch. With repair enabled, first attribute the divergence
+        // to a candidate set of rule applications by bisection, then run
+        // the repair loop candidate by candidate; tombstoning is the
+        // fallback, not the default. When suppressing more than one
+        // application fixes the block the bisection alone is ambiguous,
+        // but the counterexample-gated repair rejects healthy rules, so
+        // the first candidate whose repair survives the trial replay is
+        // the culprit.
+        let candidates = match &pre_snap {
+            Some(p) => self.attribute(pc, hits, p, &arm, halted, next_pc),
+            None => None,
+        };
+        let mut repaired = false;
         let mut newly: HashSet<u64> = HashSet::new();
-        if let Translator::Rules(rules) | Translator::RulesNoLazyFlags(rules) = &mut self.translator
-        {
-            let rs = Rc::make_mut(rules);
-            for &(_, key) in hits {
-                if rs.tombstone(key) {
-                    newly.insert(key);
-                    self.stats.bump(DbtCtr::QuarantinedRules);
+        if let Some(cands) = candidates {
+            let unique = cands.len() == 1;
+            let mut culprit: Option<u64> = None;
+            for (k, binding) in &cands {
+                let key = hits[*k].1;
+                let attempts = *self.repair_attempts.get(&key).unwrap_or(&0);
+                if attempts >= REPAIR_ATTEMPT_CAP {
+                    if trace::enabled(Scope::Exec) {
+                        trace::emit(
+                            Scope::Exec,
+                            "repair_capped",
+                            &[
+                                ("pc", Val::U(pc as u64)),
+                                ("rule", Val::U(key)),
+                                ("attempts", Val::U(attempts as u64)),
+                            ],
+                        );
+                    }
+                    continue;
+                }
+                self.repair_attempts.insert(key, attempts + 1);
+                self.stats.bump(DbtCtr::WdRepairAttempts);
+                let p = pre_snap.as_ref().expect("attribution implies a snapshot");
+                if self.try_repair(pc, key, binding, p, &arm, halted, next_pc) {
+                    repaired = true;
+                    culprit = Some(key);
+                    self.stats.bump(DbtCtr::WdRepaired);
+                    break;
+                }
+                self.stats.bump(DbtCtr::WdRepairFailed);
+            }
+            // A unique bisection survivor is attributed outright; an
+            // ambiguous set only counts as attributed once a repair
+            // singles out the culprit.
+            if unique || repaired {
+                self.stats.bump(DbtCtr::WdAttributed);
+            }
+            if repaired {
+                // Purge (and re-translate) every block holding the stale
+                // instantiation, but keep the rule alive: no tombstone,
+                // no TCG forcing.
+                newly.insert(culprit.expect("repaired implies a culprit key"));
+            } else if let Translator::Rules(rules) | Translator::RulesNoLazyFlags(rules) =
+                &mut self.translator
+            {
+                // Quarantine the candidate set: the bisection proved the
+                // other applications in this block innocent. A unique
+                // survivor is an attributed quarantine; an ambiguous set
+                // that no repair could split is collateral.
+                let rs = Rc::make_mut(rules);
+                for (k, _) in &cands {
+                    let key = hits[*k].1;
+                    if rs.tombstone(key) {
+                        newly.insert(key);
+                        self.stats.bump(if unique {
+                            DbtCtr::QuarantinedRules
+                        } else {
+                            DbtCtr::WdCollateral
+                        });
+                    }
+                }
+            }
+        } else {
+            // No attribution: quarantine every rule applied in the block.
+            // With repair enabled these are *collateral* tombstones,
+            // counted apart from attributed quarantines so the accounting
+            // no longer overstates how many rules were proven wrong.
+            let collateral = self.repair;
+            if let Translator::Rules(rules) | Translator::RulesNoLazyFlags(rules) =
+                &mut self.translator
+            {
+                let rs = Rc::make_mut(rules);
+                for &(_, key) in hits {
+                    if rs.tombstone(key) {
+                        newly.insert(key);
+                        self.stats.bump(if collateral {
+                            DbtCtr::WdCollateral
+                        } else {
+                            DbtCtr::QuarantinedRules
+                        });
+                    }
                 }
             }
         }
@@ -892,13 +1052,16 @@ impl Engine {
                 &[
                     ("pc", Val::U(pc as u64)),
                     ("rules", Val::U(newly.len() as u64)),
+                    ("repaired", Val::B(repaired)),
                     ("regs_ok", Val::B(regs_ok)),
                     ("pc_ok", Val::B(pc_ok)),
                     ("mem_ok", Val::B(mem_ok)),
                 ],
             );
         }
-        self.force_tcg.insert(pc);
+        if !repaired {
+            self.force_tcg.insert(pc);
+        }
         let victims: Vec<u32> = self
             .blocks
             .iter()
@@ -928,6 +1091,212 @@ impl Engine {
         }
         self.pc = next_pc;
         WdVerdict::Diverged
+    }
+
+    /// Attribute a watchdog divergence to a candidate set of rule
+    /// applications by bisection replay: re-lower the divergent block
+    /// with each application individually suppressed (its guest
+    /// instructions forced onto the TCG path) and re-execute from the
+    /// pre-dispatch snapshot. Every suppression that makes the
+    /// divergence vanish yields a candidate `(hit index, Binding)` —
+    /// usually exactly one, but a wrong write can be masked such that
+    /// suppressing a neighbouring application also corrects the block;
+    /// the caller splits such ties with the counterexample-gated repair.
+    /// A single-application block needs no probing — its one rule is the
+    /// only suspect.
+    fn attribute(
+        &self,
+        pc: u32,
+        hits: &[(usize, u64)],
+        pre: &Memory,
+        arm: &ArmState,
+        halted: bool,
+        ref_next_pc: u32,
+    ) -> Option<Vec<(usize, Binding)>> {
+        let (rules, lazy_flags) = self.rules_cfg()?;
+        let block = decode_block(pre, pc);
+        if block.instrs.is_empty() {
+            return None;
+        }
+        let full = crate::rules::lower_block_with_rules_suppress(
+            pre, &block, &rules, lazy_flags, self.fault, None,
+        );
+        let bail = |why: &'static str| {
+            if trace::enabled(Scope::Exec) {
+                trace::emit(
+                    Scope::Exec,
+                    "attr_bail",
+                    &[("pc", Val::U(pc as u64)), ("why", Val::S(why))],
+                );
+            }
+            None
+        };
+        // Sanity: the replayed plan must be the plan the cached block
+        // actually ran; anything else means the world changed under us
+        // and attribution would blame the wrong application.
+        if full.hits.as_slice() != hits {
+            return bail("plan-mismatch");
+        }
+        if hits.len() == 1 {
+            return Some(vec![(0, full.bindings[0].clone())]);
+        }
+        if hits.len() > ATTRIBUTION_MAX_HITS {
+            return bail("too-many-applications");
+        }
+        let mut candidates = Vec::new();
+        for k in 0..hits.len() {
+            let low = crate::rules::lower_block_with_rules_suppress(
+                pre,
+                &block,
+                &rules,
+                lazy_flags,
+                self.fault,
+                Some(k),
+            );
+            if self.probe_matches(&low.code, pre, arm, halted, ref_next_pc) {
+                candidates.push((k, full.bindings[k].clone()));
+            }
+        }
+        if candidates.is_empty() {
+            return bail("no-suppression-fixes");
+        }
+        if candidates.len() > 1 && trace::enabled(Scope::Exec) {
+            // Ambiguous bisection: more than one suppression fixes the
+            // block. The caller disambiguates via the repair gate.
+            trace::emit(
+                Scope::Exec,
+                "attr_ambiguous",
+                &[("pc", Val::U(pc as u64)), ("candidates", Val::U(candidates.len() as u64))],
+            );
+        }
+        Some(candidates)
+    }
+
+    /// Execute probe code from the pre-dispatch snapshot on a scratch
+    /// host state and compare the result against the interpreter
+    /// reference — the same surface the watchdog compares: env registers
+    /// r0–r14, the continuation pc, and guest memory.
+    fn probe_matches(
+        &self,
+        code: &[X86Instr],
+        pre: &Memory,
+        arm: &ArmState,
+        halted: bool,
+        ref_next_pc: u32,
+    ) -> bool {
+        let mut st = X86State::new();
+        st.mem = pre.clone();
+        st.set_reg(Gpr::Esp, HOST_STACK_TOP);
+        let mut scratch = ExecStats::new();
+        let exit = run_seq(&mut st, code, PROBE_FUEL, &self.cost, &mut scratch);
+        // A fresh lowering exits through `ret` stubs (no chaining), so
+        // only `Returned` and `Halted` are well-formed probe exits.
+        match exit {
+            SeqExit::Returned if !halted && st.reg(Gpr::Eax) == ref_next_pc => {}
+            SeqExit::Halted if halted => {}
+            _ => return false,
+        }
+        ArmReg::ALL.iter().all(|r| {
+            matches!(r, ArmReg::Pc)
+                || st.mem.read(ENV_BASE + 4 * r.index() as u32, Width::W32) == arm.regs[r.index()]
+        }) && st.mem.first_difference(&arm.mem, |addr| addr >= HOST_STACK_TOP - 0x1_0000).is_none()
+    }
+
+    /// Run the localize → re-verify → hot-publish repair loop for the
+    /// attributed rule. Publication is gated on a full trial replay: the
+    /// divergent block is re-lowered against a trial rule set holding the
+    /// repaired rule and re-executed from the pre-dispatch snapshot; only
+    /// a trial that matches the interpreter reference is published (via
+    /// `RuleSet::replace` + `RuleSet::revive`, the key is unchanged).
+    #[allow(clippy::too_many_arguments)]
+    fn try_repair(
+        &mut self,
+        pc: u32,
+        key: u64,
+        binding: &Binding,
+        pre: &Memory,
+        arm: &ArmState,
+        halted: bool,
+        ref_next_pc: u32,
+    ) -> bool {
+        let Some((rules, lazy_flags)) = self.rules_cfg() else { return false };
+        let Some(quarantined) = rules.find_by_key(key) else { return false };
+        // The counterexample: the binding the block applied the rule
+        // under, plus the registers the translated run got wrong.
+        let divergent: Vec<(ArmReg, u32, u32)> = ArmReg::ALL
+            .iter()
+            .filter(|r| !matches!(r, ArmReg::Pc))
+            .filter_map(|r| {
+                let observed = self.state.mem.read(ENV_BASE + 4 * r.index() as u32, Width::W32);
+                let expected = arm.regs[r.index()];
+                (observed != expected).then_some((*r, observed, expected))
+            })
+            .collect();
+        let cex = Counterexample { block_pc: pc, binding: binding.clone(), divergent };
+        let report = match ldbt_learn::repair(quarantined, &cex, &ldbt_learn::repair_budget()) {
+            Ok(report) => report,
+            Err(fail) => {
+                if trace::enabled(Scope::Exec) {
+                    let why = match fail {
+                        ldbt_learn::RepairFail::NoMappings => "no-mappings",
+                        ldbt_learn::RepairFail::NoCandidate { .. } => "no-candidate",
+                    };
+                    trace::emit(
+                        Scope::Exec,
+                        "repair_fail",
+                        &[("pc", Val::U(pc as u64)), ("rule", Val::U(key)), ("why", Val::S(why))],
+                    );
+                }
+                return false;
+            }
+        };
+        // Trial replay gate: the repaired rule must make this very block
+        // agree with the interpreter before it goes live.
+        let block = decode_block(pre, pc);
+        let mut trial = (*rules).clone();
+        if !trial.replace(key, report.rule.clone()) {
+            return false;
+        }
+        trial.revive(key);
+        let low = crate::rules::lower_block_with_rules_suppress(
+            pre, &block, &trial, lazy_flags, self.fault, None,
+        );
+        if !self.probe_matches(&low.code, pre, arm, halted, ref_next_pc) {
+            if trace::enabled(Scope::Exec) {
+                trace::emit(
+                    Scope::Exec,
+                    "repair_fail",
+                    &[
+                        ("pc", Val::U(pc as u64)),
+                        ("rule", Val::U(key)),
+                        ("why", Val::S("trial-replay-mismatch")),
+                    ],
+                );
+            }
+            return false;
+        }
+        // Hot-publish: overwrite the rule in place (same stable key) and
+        // clear any tombstone on it.
+        if let Translator::Rules(rules) | Translator::RulesNoLazyFlags(rules) = &mut self.translator
+        {
+            let rs = Rc::make_mut(rules);
+            if !rs.replace(key, report.rule) {
+                return false;
+            }
+            rs.revive(key);
+        }
+        if trace::enabled(Scope::Exec) {
+            trace::emit(
+                Scope::Exec,
+                "repair",
+                &[
+                    ("pc", Val::U(pc as u64)),
+                    ("rule", Val::U(key)),
+                    ("candidates", Val::U(report.candidates_tried as u64)),
+                ],
+            );
+        }
+        true
     }
 
     /// Try to form a superblock region headed at block `head`: follow the

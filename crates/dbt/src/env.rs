@@ -7,7 +7,7 @@
 //! boundaries.
 //!
 //! The knob parsers (`LDBT_WATCHDOG`, `LDBT_NOCHAIN`, `LDBT_NOSB`,
-//! `LDBT_SB_THRESHOLD`) live here too so every engine default follows
+//! `LDBT_SB_THRESHOLD`, `LDBT_REPAIR`) live here too so every engine default follows
 //! one documented convention: unset / empty / `0` / garbage always
 //! resolve to the knob's default, never to a surprise mode.
 
@@ -149,6 +149,28 @@ pub fn parse_sb_threshold(raw: Option<&str>) -> u64 {
         .unwrap_or(SB_THRESHOLD_DEFAULT)
 }
 
+/// Parse table for `LDBT_REPAIR` (counterexample-guided rule repair,
+/// default **on** — repair only runs after a watchdog mismatch, so a
+/// clean run pays nothing for it):
+///
+/// | value                  | behavior                                 |
+/// |------------------------|------------------------------------------|
+/// | unset / anything else  | repair enabled (the default)             |
+/// | `0` / `off`            | repair disabled — mismatch quarantines   |
+///
+/// The knob is a disabler like `LDBT_NOCHAIN`, but spelled positively:
+/// only an explicit `0`/`off` turns the repair loop off; garbage keeps
+/// the default.
+pub fn parse_repair(raw: Option<&str>) -> bool {
+    !matches!(raw.map(str::trim), Some("0" | "off"))
+}
+
+/// Cached `LDBT_REPAIR` parse.
+pub fn repair_from_env() -> bool {
+    static REPAIR: OnceLock<bool> = OnceLock::new();
+    *REPAIR.get_or_init(|| parse_repair(std::env::var("LDBT_REPAIR").ok().as_deref()))
+}
+
 /// Cached combined `LDBT_NOSB` / `LDBT_SB_THRESHOLD` parse: `None` when
 /// superblocks are disabled, `Some(threshold)` otherwise.
 pub fn superblocks_from_env() -> Option<u64> {
@@ -232,6 +254,17 @@ mod tests {
         }
         for v in ["1", "on", "garbage"] {
             assert!(!parse_superblocks(Some(v)), "{v:?} disables superblocks");
+        }
+    }
+
+    #[test]
+    fn repair_parse_table() {
+        assert!(parse_repair(None), "unset keeps repair on");
+        for v in ["", "1", "on", "garbage", " on "] {
+            assert!(parse_repair(Some(v)), "{v:?} keeps repair on");
+        }
+        for v in ["0", "off", " off ", " 0 "] {
+            assert!(!parse_repair(Some(v)), "{v:?} disables repair");
         }
     }
 

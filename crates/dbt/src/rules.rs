@@ -64,6 +64,10 @@ pub struct RuleLowering {
     pub covered: Vec<bool>,
     /// (length, stable rule key) of each rule application.
     pub hits: Vec<(usize, u64)>,
+    /// The concrete binding of each rule application, parallel to
+    /// `hits`. The watchdog's repair path reads these to rebuild the
+    /// counterexample a divergent block was executing under.
+    pub bindings: Vec<Binding>,
     /// Number of TCG micro-ops emitted for uncovered stretches (for the
     /// translation-overhead model).
     pub tcg_ops: usize,
@@ -201,11 +205,30 @@ pub fn lower_block_with_rules_fault(
     lazy_flags: bool,
     fault: Option<FaultPlan>,
 ) -> RuleLowering {
+    lower_block_with_rules_suppress(mem, block, rules, lazy_flags, fault, None)
+}
+
+/// [`lower_block_with_rules_fault`] with one rule application *suppressed*
+/// (its guest instructions take the TCG path instead). This is the
+/// watchdog's attribution probe: re-lowering a divergent block with the
+/// k-th application suppressed and replaying it against the interpreter
+/// isolates which application caused the divergence. `suppress` indexes
+/// applications in plan order — the same order `hits`/`bindings` report —
+/// and the `rule-corrupt` clobber stays keyed to the *original* plan
+/// index, so suppressing the clobbered application removes the clobber
+/// with it (exactly what attribution needs to observe).
+pub fn lower_block_with_rules_suppress(
+    mem: &Memory,
+    block: &GuestBlock,
+    rules: &RuleSet,
+    lazy_flags: bool,
+    fault: Option<FaultPlan>,
+    suppress: Option<usize>,
+) -> RuleLowering {
     let corrupt_at: Option<usize> = match fault {
         Some(FaultPlan { site: FaultSite::RuleCorrupt, seed }) => Some(seed as usize),
         _ => None,
     };
-    let mut rule_apps = 0usize;
     let instrs = &block.instrs;
     let n = instrs.len();
     let mut lookups = 0usize;
@@ -216,6 +239,9 @@ pub fn lower_block_with_rules_fault(
         len: usize,
         rule: &'r Rule,
         binding: Binding,
+        /// Application index in the *unsuppressed* plan order — the
+        /// identity `suppress` and the `rule-corrupt` clobber key on.
+        index: usize,
     }
     let mut plans: Vec<Planned> = Vec::new();
     let mut covered = vec![false; n];
@@ -265,7 +291,8 @@ pub fn lower_block_with_rules_fault(
                     continue;
                 }
             }
-            plans.push(Planned { start: i, len, rule, binding });
+            let index = plans.len();
+            plans.push(Planned { start: i, len, rule, binding, index });
             for c in covered[i..i + len].iter_mut() {
                 *c = true;
             }
@@ -275,6 +302,16 @@ pub fn lower_block_with_rules_fault(
         }
         if !applied {
             i += 1;
+        }
+    }
+
+    // --- Attribution probe: drop the suppressed application. ---
+    if let Some(k) = suppress {
+        if let Some(pos) = plans.iter().position(|p| p.index == k) {
+            let p = plans.remove(pos);
+            for c in covered[p.start..p.start + p.len].iter_mut() {
+                *c = false;
+            }
         }
     }
 
@@ -306,6 +343,7 @@ pub fn lower_block_with_rules_fault(
     let mut exits: Vec<(usize, u32)> = Vec::new();
     let mut homes = RuleHomes::new();
     let mut hits = Vec::new();
+    let mut bindings: Vec<Binding> = Vec::new();
     let mut tcg_ops = 0usize;
     let mut rule_instrs = 0usize;
 
@@ -318,6 +356,7 @@ pub fn lower_block_with_rules_fault(
                 debug_assert_eq!((p.start, p.len), (start, len));
                 let rule = p.rule;
                 hits.push((rule.len(), rule_key(rule)));
+                bindings.push(p.binding.clone());
                 // Bound guest registers, in template order.
                 let bound: Vec<ArmReg> = p.binding.regs.values().copied().collect();
                 if !homes.can_fit(&bound) {
@@ -354,14 +393,13 @@ pub fn lower_block_with_rules_fault(
                         *dirty = true;
                     }
                 }
-                if corrupt_at == Some(rule_apps) {
+                if corrupt_at == Some(p.index) {
                     // Injected fault: clobber the first defined register's
                     // home with a recognizably wrong constant.
                     if let Some(home) = defined.iter().find_map(|d| homes.map.get(d)).copied() {
                         code.push(X86Instr::mov_imm(home, 0x5a5a_5a5au32 as i32));
                     }
                 }
-                rule_apps += 1;
                 if flags_live_out {
                     // The 3-instruction lazy save of paper §5.
                     code.push(X86Instr::Pushfd);
@@ -431,7 +469,7 @@ pub fn lower_block_with_rules_fault(
         code.push(X86Instr::Ret);
     }
 
-    RuleLowering { code, covered, hits, tcg_ops, rule_instrs, lookups, exits }
+    RuleLowering { code, covered, hits, bindings, tcg_ops, rule_instrs, lookups, exits }
 }
 
 /// Whether a block contains anything the rule translator cannot lower
@@ -672,6 +710,42 @@ mod tests {
         assert_eq!(guest(&st, ArmReg::R1), arm.reg(ArmReg::R1));
         assert_eq!(guest(&st, ArmReg::R2), arm.reg(ArmReg::R2));
         assert_eq!(st.mem.read(0x8004, Width::W32), arm.mem.read(0x8004, Width::W32));
+    }
+
+    #[test]
+    fn suppressed_application_falls_back_to_tcg() {
+        let mut rules = RuleSet::new();
+        rules.insert(figure1_rule());
+        let block = GuestBlock {
+            pc: 0x1_0000,
+            instrs: vec![
+                ArmInstr::dp(DpOp::Add, ArmReg::R4, ArmReg::R4, Operand2::Reg(ArmReg::R7)),
+                ArmInstr::dp(DpOp::Sub, ArmReg::R4, ArmReg::R4, Operand2::Imm(12)),
+            ],
+        };
+        let mem = Memory::new();
+        let full = lower_block_with_rules(&mem, &block, &rules);
+        assert_eq!(full.hits.len(), 1);
+        assert_eq!(full.bindings.len(), full.hits.len(), "bindings parallel hits");
+        assert_eq!(full.bindings[0].regs[&ArmReg::R0], ArmReg::R4);
+        let probe = lower_block_with_rules_suppress(&mem, &block, &rules, true, None, Some(0));
+        assert_eq!(probe.hits.len(), 0, "suppressed application emits no rule");
+        assert!(probe.bindings.is_empty());
+        assert_eq!(probe.covered, vec![false, false]);
+        assert!(probe.tcg_ops > 0, "suppressed stretch takes the TCG path");
+        // Both lowerings compute the same guest state.
+        for low in [&full, &probe] {
+            let (st, exit) = run(&low.code, |st| {
+                set_guest(st, ArmReg::R4, 100);
+                set_guest(st, ArmReg::R7, 30);
+            });
+            assert_eq!(exit, SeqExit::Returned);
+            assert_eq!(st.reg(Gpr::Eax), 0x1_0008);
+            assert_eq!(guest(&st, ArmReg::R4), 118);
+        }
+        // Suppressing an index that does not exist changes nothing.
+        let noop = lower_block_with_rules_suppress(&mem, &block, &rules, true, None, Some(7));
+        assert_eq!(noop.hits.len(), 1);
     }
 
     /// The scratch-register invariant (see backend.rs and sb.rs): rule

@@ -56,6 +56,20 @@ pub enum DbtCtr {
     /// Superblock regions invalidated (quarantine purge or re-patching
     /// of a member block).
     SbInvalidated,
+    /// Watchdog mismatches attributed to a single rule by bisection
+    /// replay (`LDBT_REPAIR`).
+    WdAttributed,
+    /// Rules tombstoned on the conservative path (attribution failed or
+    /// was disabled while repair was on) — collateral quarantine, as
+    /// opposed to [`DbtCtr::QuarantinedRules`] which counts attributed
+    /// (or repair-off) quarantines only.
+    WdCollateral,
+    /// Counterexample-guided repair attempts started.
+    WdRepairAttempts,
+    /// Repairs that re-verified and were hot-published.
+    WdRepaired,
+    /// Repair attempts that failed (the rule stayed quarantined).
+    WdRepairFailed,
 }
 
 /// Registry names, in [`DbtCtr`] declaration order (the snapshot and
@@ -79,6 +93,11 @@ pub const DBT_COUNTER_NAMES: &[&str] = &[
     "sb_formed",
     "sb_execs",
     "sb_invalidated",
+    "wd_attributed",
+    "wd_collateral",
+    "wd_repair_attempts",
+    "wd_repaired",
+    "wd_repair_failed",
 ];
 
 /// Statistics accumulated by an [`crate::Engine`] run.
@@ -192,6 +211,21 @@ impl DbtStats {
     }
     pub fn sb_invalidated(&self) -> u64 {
         self.get(DbtCtr::SbInvalidated)
+    }
+    pub fn wd_attributed(&self) -> u64 {
+        self.get(DbtCtr::WdAttributed)
+    }
+    pub fn wd_collateral(&self) -> u64 {
+        self.get(DbtCtr::WdCollateral)
+    }
+    pub fn wd_repair_attempts(&self) -> u64 {
+        self.get(DbtCtr::WdRepairAttempts)
+    }
+    pub fn wd_repaired(&self) -> u64 {
+        self.get(DbtCtr::WdRepaired)
+    }
+    pub fn wd_repair_failed(&self) -> u64 {
+        self.get(DbtCtr::WdRepairFailed)
     }
 
     /// Static rule coverage `Sₚ = Σ Bᵢ / m` (Figure 11).

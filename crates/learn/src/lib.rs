@@ -31,14 +31,16 @@ pub mod par;
 pub mod param;
 pub mod pipeline;
 pub mod prepare;
+pub mod repair;
 pub mod rule;
 pub mod verify;
 
 pub use budget::Budget;
 pub use cache::{VerifyCache, VerifyOutcome};
-pub use fault::{FaultPlan, FaultSite};
+pub use fault::{corrupt_ruleset, FaultPlan, FaultSite};
 pub use pipeline::{
     configured_threads, learn_rules, parse_threads, worker_metrics, LearnConfig, LearnReport,
     LearnStats, WORKER_METRIC_NAMES,
 };
+pub use repair::{repair, repair_budget, Counterexample, RepairFail, RepairReport};
 pub use rule::{Rule, RuleOperand, RuleSet};

@@ -569,6 +569,40 @@ impl RuleSet {
         self.tombstones.len()
     }
 
+    /// Replace the stored rule identified by stable key `key` with a
+    /// repaired version, in place (hot publication after a successful
+    /// counterexample-guided repair).
+    ///
+    /// The replacement must have the *same* stable key — i.e. the same
+    /// guest template and parameter sites — so every index (hash bucket,
+    /// dedup map, outstanding tombstones) stays valid. A repair only ever
+    /// changes the host side, so this always holds for real repairs.
+    /// Returns `false` (and leaves the set untouched) when the keys
+    /// differ or no rule with that key is stored.
+    pub fn replace(&mut self, key: u64, repaired: Rule) -> bool {
+        if repaired.stable_key() != key {
+            return false;
+        }
+        let dkey = repaired.dedup_key();
+        let Some((bucket, idx)) = self.dedup.get(&dkey) else { return false };
+        self.buckets.get_mut(bucket).expect("bucket exists")[*idx] = repaired;
+        true
+    }
+
+    /// Lift a quarantine tombstone (after the repaired rule has been
+    /// republished via [`RuleSet::replace`]). Returns `true` when the key
+    /// was tombstoned.
+    pub fn revive(&mut self, key: u64) -> bool {
+        self.tombstones.remove(&key)
+    }
+
+    /// Find a rule by stable key (linear scan — quarantine and repair are
+    /// cold paths). Tombstoned rules are found too: repair needs to read
+    /// the rule it is about to fix.
+    pub fn find_by_key(&self, key: u64) -> Option<&Rule> {
+        self.iter().find(|r| r.stable_key() == key)
+    }
+
     /// Whether matching may use this rule (not tombstoned). The
     /// empty-set fast path keeps the no-quarantine lookup cost at zero
     /// (no `dedup_key` rendering per candidate).

@@ -10,10 +10,16 @@ cargo fmt --check
 
 # Fault-injection smoke matrix: every LDBT_FAULT site must degrade
 # gracefully under the watchdog — run completes, faulty rule/snippet is
-# quarantined, guest output stays identical to pure TCG.
-for fault in rule-corrupt:0 solver-exhaust:0 worker-panic:0; do
-    LDBT_WATCHDOG=1 LDBT_FAULT="$fault" \
-        cargo test -q --release --test fault_injection
+# quarantined or repaired, guest output stays identical to pure TCG.
+# The repairable sites (imm-skew, operand-swap) and the unrepairable
+# control (rule-corrupt) run with repair both on and off: on, the
+# env-driven test asserts the self-healing outcome per site; off, the
+# conservative whole-block quarantine path must keep the run correct.
+for fault in rule-corrupt:0 imm-skew:0 operand-swap:0 solver-exhaust:0 worker-panic:0; do
+    for repair in 0 1; do
+        LDBT_WATCHDOG=1 LDBT_FAULT="$fault" LDBT_REPAIR="$repair" \
+            cargo test -q --release --test fault_injection
+    done
 done
 
 # Execution-mode determinism matrix: the engine suite asserts guest R0 /
@@ -65,6 +71,13 @@ cargo run -q --release -p ldbt-obs --bin obs_selfcheck -- report "$OBS_DIR/table
 LDBT_DETERMINISTIC=1 LDBT_NOSB=1 cargo run -q --release -p ldbt-bench --bin table1 \
     > "$OBS_DIR/table1_nosb.txt" 2>/dev/null
 cmp "$OBS_DIR/table1_off.txt" "$OBS_DIR/table1_nosb.txt"
+
+# Repair must be invisible on clean runs: with no fault injected the
+# repair machinery never engages, so table1 stdout must be
+# byte-identical with LDBT_REPAIR=0.
+LDBT_DETERMINISTIC=1 LDBT_REPAIR=0 cargo run -q --release -p ldbt-bench --bin table1 \
+    > "$OBS_DIR/table1_norepair.txt" 2>/dev/null
+cmp "$OBS_DIR/table1_off.txt" "$OBS_DIR/table1_norepair.txt"
 
 # The dispatch-throughput bench must keep compiling (it is the perf
 # gate's measurement tool; results live in results/dispatch_throughput.txt).

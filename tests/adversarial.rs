@@ -9,7 +9,7 @@ use ldbt_dbt::Engine;
 use ldbt_learn::extract::SnippetPair;
 use ldbt_learn::param::initial_mappings;
 use ldbt_learn::verify::verify;
-use ldbt_learn::{Rule, RuleSet};
+use ldbt_learn::{FaultPlan, FaultSite, Rule, RuleSet};
 use ldbt_x86::{AluOp, Gpr, X86Instr};
 use std::rc::Rc;
 
@@ -269,6 +269,144 @@ int main() {
     assert!(e.stats.sb_invalidated() >= 1, "the purge invalidated the region holding the rule");
     assert!(e.stats.chain_unlinks() > 0, "predecessors chained into the purge were severed");
     assert!(e.stats.sb_execs() > 0, "regions actually ran");
+}
+
+/// The self-healing loop end-to-end: a *learned* rule carrying an
+/// immediate parameter is corrupted in place by the `imm-skew` fault
+/// (its stored `ImmRel` is flipped at install time), the watchdog
+/// catches the divergence, attributes it to that one rule, repairs it
+/// against the counterexample, and hot-republishes it — no tombstone,
+/// no TCG forcing — so the re-translated blocks finish the run with
+/// output identical to pure TCG while the rule keeps applying.
+#[test]
+fn watchdog_repairs_imm_skewed_rule() {
+    let src = "
+int main() {
+  int s = 0;
+  for (int i = 0; i < 200; i += 1) { s = s + i; s = s ^ 3; }
+  return s & 0xffff;
+}";
+    let image = build_arm_image(src, &Options::o2()).unwrap();
+    let mut base = Engine::new(&image, Translator::Tcg).with_watchdog(None).with_fault(None);
+    assert_eq!(base.run(10_000_000), RunOutcome::Halted);
+    let want = base.guest_reg(ArmReg::R0);
+
+    // A correct, verified rule with an immediate parameter — exactly the
+    // shape `imm-skew` corrupts.
+    let rule = learn_one(
+        vec![ArmInstr::dp(DpOp::Eor, ArmReg::R0, ArmReg::R0, Operand2::Imm(3))],
+        vec![X86Instr::alu_ri(AluOp::Xor, Gpr::Ecx, 3)],
+    )
+    .expect("the eor/xor rule verifies");
+    assert!(!rule.imm_params.is_empty(), "the rule must be immediate-parameterized");
+    let mut rules = RuleSet::new();
+    rules.insert(rule);
+
+    let fault = FaultPlan { site: FaultSite::ImmSkew, seed: 0 };
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+        .with_watchdog(Some(1))
+        .with_fault(Some(fault))
+        .with_repair(true);
+    assert_eq!(e.run(10_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), want, "the repaired run matches pure TCG");
+    assert!(e.stats.watchdog_checks() > 0, "the corrupted block was sampled");
+    assert_eq!(e.stats.wd_attributed(), 1, "the divergence is attributed to the one rule");
+    assert_eq!(e.stats.wd_repair_attempts(), 1, "one repair attempt");
+    assert_eq!(e.stats.wd_repaired(), 1, "the skewed rule is repaired, not quarantined");
+    assert_eq!(e.stats.wd_repair_failed(), 0);
+    assert_eq!(e.stats.quarantined_rules(), 0, "repair leaves no tombstone");
+    assert_eq!(e.stats.wd_collateral(), 0, "attribution leaves no collateral damage");
+    assert!(e.stats.guest_dyn_covered() > 0, "the repaired rule keeps applying");
+}
+
+/// An unrepairable rule exhausts the per-rule attempt cap and stays
+/// tombstoned: the evil eor→xor$2 rule has no immediate parameter and
+/// its templates re-learn to nothing its counterexample accepts, so the
+/// single capped attempt fails, the rule is quarantined permanently, and
+/// the run completes on the TCG path with the correct result.
+#[test]
+fn unrepairable_rule_hits_attempt_cap_and_stays_tombstoned() {
+    let src = "
+int main() {
+  int s = 0;
+  for (int i = 0; i < 10; i += 1) { s = s + i; s = s ^ 3; }
+  return s;
+}";
+    let image = build_arm_image(src, &Options::o2()).unwrap();
+    let mut base = Engine::new(&image, Translator::Tcg).with_watchdog(None).with_fault(None);
+    assert_eq!(base.run(10_000_000), RunOutcome::Halted);
+    let want = base.guest_reg(ArmReg::R0);
+
+    let mut evil = RuleSet::new();
+    evil.insert(Rule {
+        guest: vec![ArmInstr::dp(DpOp::Eor, ArmReg::R0, ArmReg::R0, Operand2::Imm(3))],
+        host: vec![X86Instr::alu_ri(AluOp::Xor, Gpr::Ecx, 2)],
+        host_reg_of: [(Gpr::Ecx, ArmReg::R0)].into_iter().collect(),
+        imm_params: vec![],
+        unemulated_flags: 0,
+        has_branch: false,
+    });
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(evil)))
+        .with_watchdog(Some(1))
+        .with_fault(None)
+        .with_repair(true);
+    assert_eq!(e.run(10_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), want, "the quarantined run matches pure TCG");
+    assert_eq!(e.stats.wd_attributed(), 1, "the single-application block attributes trivially");
+    assert_eq!(e.stats.wd_repair_attempts(), 1, "exactly one attempt — the cap");
+    assert_eq!(e.stats.wd_repaired(), 0, "the evil rule is unrepairable");
+    assert_eq!(e.stats.wd_repair_failed(), 1);
+    assert_eq!(e.stats.quarantined_rules(), 1, "the failed repair ends in a tombstone");
+}
+
+/// A skewed rule already inlined into a superblock is repaired in place:
+/// the mismatch inside the region attributes to the rule, the repair
+/// purge invalidates the region (its parts hold clones of the purged
+/// code), and — because the rule survives repair instead of being
+/// tombstoned — the loop re-forms a fresh region from the *repaired*
+/// rule translation. Same guest structure as the eviction test above:
+/// the accumulator reset at `i == 1500` makes the tail comparable
+/// against pure TCG despite the pre-catch corrupted iterations.
+#[test]
+fn repaired_rule_inside_superblock_reforms_region() {
+    let src = "
+int main() {
+  int s = 0;
+  for (int i = 0; i < 2000; i += 1) {
+    s = s + i;
+    s = s ^ 3;
+    if (i == 1500) { s = 7; }
+  }
+  return s & 0xffff;
+}";
+    let image = build_arm_image(src, &Options::o2()).unwrap();
+    let mut base = Engine::new(&image, Translator::Tcg).with_watchdog(None).with_fault(None);
+    assert_eq!(base.run(10_000_000), RunOutcome::Halted);
+    let want = base.guest_reg(ArmReg::R0);
+
+    let rule = learn_one(
+        vec![ArmInstr::dp(DpOp::Eor, ArmReg::R0, ArmReg::R0, Operand2::Imm(3))],
+        vec![X86Instr::alu_ri(AluOp::Xor, Gpr::Ecx, 3)],
+    )
+    .expect("the eor/xor rule verifies");
+    let mut rules = RuleSet::new();
+    rules.insert(rule);
+
+    let fault = FaultPlan { site: FaultSite::ImmSkew, seed: 0 };
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+        .with_chaining(true)
+        .with_watchdog(Some(50))
+        .with_superblocks(Some(8))
+        .with_fault(Some(fault))
+        .with_repair(true);
+    assert_eq!(e.run(10_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), want, "the post-repair run matches pure TCG");
+    assert_eq!(e.stats.wd_repaired(), 1, "the inlined rule is repaired");
+    assert_eq!(e.stats.quarantined_rules(), 0, "repair leaves no tombstone");
+    assert!(e.stats.sb_formed() >= 2, "a region formed before the purge and re-formed after");
+    assert!(e.stats.sb_invalidated() >= 1, "the repair purge invalidated the stale region");
+    assert!(e.stats.sb_execs() > 0, "regions actually ran");
+    assert!(e.stats.guest_dyn_covered() > 0, "the repaired rule keeps applying");
 }
 
 /// The repair synthesizer's output is itself verified: a snippet whose

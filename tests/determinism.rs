@@ -204,6 +204,54 @@ int main() {
     }
 }
 
+/// Counterexample-guided repair is invisible on clean runs: with no
+/// fault injected, a rules-engine run with `LDBT_REPAIR` semantics on
+/// and off produces bit-identical guest registers, guest memory, and an
+/// identical `DbtStats` registry — the repair machinery must never
+/// engage (no attempts, no quarantines) when the watchdog sees no
+/// divergence, whatever the check period.
+#[test]
+fn repair_toggle_is_bit_identical_on_clean_runs() {
+    let src = "
+int a[16];
+int main() {
+  int s = 0;
+  for (int i = 0; i < 16; i += 1) { a[i] = i * 7; }
+  for (int i = 0; i < 400; i += 1) {
+    s = s + a[i & 15];
+    if (i & 1) { s = s ^ 9; }
+  }
+  return s & 0xffff;
+}";
+    let rules = Rc::new(learn_from_source("repair-det", src, &Options::o2()).unwrap().rules);
+    let image = build_arm_image(src, &Options::o2()).unwrap();
+    for watchdog in [None, Some(1), Some(3)] {
+        let run = |repair: bool| {
+            let mut e = Engine::new(&image, Translator::Rules(Rc::clone(&rules)))
+                .with_chaining(true)
+                .with_watchdog(watchdog)
+                .with_fault(None)
+                .with_repair(repair);
+            assert_eq!(e.run(100_000_000), RunOutcome::Halted, "wd={watchdog:?} repair={repair}");
+            e
+        };
+        let on = run(true);
+        let off = run(false);
+        let ctx = format!("wd={watchdog:?}");
+        for r in ArmReg::ALL {
+            assert_eq!(on.guest_reg(r), off.guest_reg(r), "{ctx}: {r:?}");
+        }
+        assert_eq!(
+            on.state.mem.first_difference(&off.state.mem, |_| false),
+            None,
+            "{ctx}: guest memory diverges"
+        );
+        assert_eq!(on.stats.registry(), off.stats.registry(), "{ctx}: accounting diverges");
+        assert_eq!(on.stats.quarantined_rules(), 0, "{ctx}: clean run must not quarantine");
+        assert_eq!(on.stats.wd_repair_attempts(), 0, "{ctx}: clean run must not attempt repair");
+    }
+}
+
 /// Per-rule attribution and rendered run reports are deterministic:
 /// `hit_rules` and the execution profile sort by stable rule key, so two
 /// identical runs must agree on contents, order, and the exact report

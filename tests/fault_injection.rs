@@ -81,6 +81,107 @@ fn rule_corrupt_is_quarantined_and_output_matches_tcg() {
     );
 }
 
+/// `imm-skew` corrupts a learned rule's stored immediate relation at
+/// install time; the watchdog must catch it, attribute it, and *repair*
+/// it — the rule survives (no tombstone) and output matches pure TCG.
+#[test]
+fn imm_skew_is_repaired_and_output_matches_tcg() {
+    let image = build_arm_image(SRC, &Options::o2()).unwrap();
+    let want = tcg_want(&image);
+    let (rules, _) = learn(&clean_config());
+    let fault = FaultPlan { site: FaultSite::ImmSkew, seed: 0 };
+    // Pick the seed's victim the same way the engine will, so this test
+    // fails loudly (below) if the seed lands on a never-applied rule.
+    let mut probe = rules.clone();
+    let victim = ldbt_learn::corrupt_ruleset(&mut probe, fault);
+    assert!(victim.is_some(), "the learned set has an imm-parameterized rule to skew");
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+        .with_watchdog(Some(1))
+        .with_fault(Some(fault))
+        .with_repair(true);
+    assert_eq!(e.run(50_000_000), RunOutcome::Halted, "corruption must not abort the run");
+    assert_eq!(e.guest_reg(ArmReg::R0), want, "the repaired run matches pure TCG");
+    assert!(
+        e.stats.hit_rules.contains_key(&victim.unwrap()),
+        "the skewed rule was actually applied"
+    );
+    assert!(e.stats.watchdog_checks() > 0);
+    assert!(e.stats.wd_repaired() >= 1, "the skewed rule must be repaired");
+    assert_eq!(e.stats.quarantined_rules(), 0, "repair leaves no tombstone");
+}
+
+/// `operand-swap` transposes two register bindings of a learned rule at
+/// install time — the complementary repairable corruption: not an
+/// immediate relation but the operand mapping itself. `SRC`'s rules are
+/// all single-register, so this test adds a reg-reg statement
+/// (`s = s ^ i`) that learns an `eor reg0, reg0, reg1` rule with two
+/// distinct guest registers to swap.
+#[test]
+fn operand_swap_is_repaired_and_output_matches_tcg() {
+    let src = "
+int a[16];
+int main() {
+  int s = 0;
+  for (int i = 0; i < 16; i += 1) { a[i] = i * 5 + 1; }
+  for (int i = 0; i < 16; i += 1) {
+    s = s + a[i];
+    s = s ^ i;
+    s = s - 1;
+  }
+  return s & 0xffff;
+}";
+    let image = build_arm_image(src, &Options::o2()).unwrap();
+    let want = tcg_want(&image);
+    let report = learn_from_source_cached(
+        "fi-swap",
+        src,
+        &Options::o2(),
+        &clean_config(),
+        &mut VerifyCache::new(),
+    )
+    .expect("learning completes");
+    let rules = report.rules;
+    let fault = FaultPlan { site: FaultSite::OperandSwap, seed: 0 };
+    let mut probe = rules.clone();
+    let victim = ldbt_learn::corrupt_ruleset(&mut probe, fault);
+    assert!(victim.is_some(), "the learned set has a two-register rule to swap");
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+        .with_watchdog(Some(1))
+        .with_fault(Some(fault))
+        .with_repair(true);
+    assert_eq!(e.run(50_000_000), RunOutcome::Halted, "corruption must not abort the run");
+    assert_eq!(e.guest_reg(ArmReg::R0), want, "the repaired run matches pure TCG");
+    assert!(
+        e.stats.hit_rules.contains_key(&victim.unwrap()),
+        "the swapped rule was actually applied"
+    );
+    assert!(e.stats.watchdog_checks() > 0);
+    assert!(e.stats.wd_repaired() >= 1, "the swapped rule must be repaired");
+    assert_eq!(e.stats.quarantined_rules(), 0, "repair leaves no tombstone");
+}
+
+/// With repair explicitly off (`LDBT_REPAIR=0` semantics), the same
+/// install-time corruption falls back to today's conservative behavior:
+/// every rule in the divergent block is tombstoned, nothing is
+/// attributed or repaired, and output still matches pure TCG.
+#[test]
+fn repair_off_falls_back_to_conservative_quarantine() {
+    let image = build_arm_image(SRC, &Options::o2()).unwrap();
+    let want = tcg_want(&image);
+    let (rules, _) = learn(&clean_config());
+    let fault = FaultPlan { site: FaultSite::ImmSkew, seed: 0 };
+    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+        .with_watchdog(Some(1))
+        .with_fault(Some(fault))
+        .with_repair(false);
+    assert_eq!(e.run(50_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), want, "quarantine must restore TCG-identical output");
+    assert!(e.stats.quarantined_rules() >= 1, "repair-off mismatch tombstones conservatively");
+    assert_eq!(e.stats.wd_attributed(), 0, "no attribution runs with repair off");
+    assert_eq!(e.stats.wd_repair_attempts(), 0, "no repair runs with repair off");
+    assert_eq!(e.stats.wd_repaired(), 0);
+}
+
 #[test]
 fn solver_exhaust_degrades_yield_without_abort() {
     let (clean_rules, clean_stats) = learn(&clean_config());
@@ -143,6 +244,18 @@ fn env_driven_fault_run_completes_identical_to_tcg() {
     std::panic::set_hook(Box::new(|_| {}));
     let (rules, _) = learn(&LearnConfig::default());
     std::panic::set_hook(prev);
+    // Whether an install-time fault plan has a victim in this learned
+    // set (e.g. operand-swap needs a two-register rule): replay the
+    // corruption on a throwaway clone before the set moves into the
+    // engine, so the per-site outcome asserts below don't demand a
+    // repair of a fault that never installed.
+    let plan = ldbt_learn::fault::env_plan();
+    let installs = match plan {
+        Some(p @ FaultPlan { site: FaultSite::ImmSkew | FaultSite::OperandSwap, .. }) => {
+            ldbt_learn::corrupt_ruleset(&mut rules.clone(), p).is_some()
+        }
+        _ => false,
+    };
     let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)));
     assert_eq!(e.run(50_000_000), RunOutcome::Halted, "no fault plan may abort the run");
     assert_eq!(
@@ -152,4 +265,22 @@ fn env_driven_fault_run_completes_identical_to_tcg() {
         std::env::var("LDBT_FAULT").ok(),
         std::env::var("LDBT_WATCHDOG").ok(),
     );
+    // The smoke matrix also pins the repair outcome per site: with the
+    // watchdog sampling, an install-time corruption must end repaired
+    // when repair is on, and the lowering-time `rule-corrupt` clobber
+    // must stay permanently tombstoned (the control: its rule is healthy,
+    // so the counterexample gate rejects every "repair").
+    if e.stats.watchdog_checks() > 0 && ldbt_dbt::env::repair_from_env() {
+        match plan.map(|p| p.site) {
+            Some(FaultSite::ImmSkew | FaultSite::OperandSwap) if installs => {
+                assert!(e.stats.wd_repaired() >= 1, "install-time corruption must be repaired");
+                assert_eq!(e.stats.quarantined_rules(), 0, "repair leaves no tombstone");
+            }
+            Some(FaultSite::RuleCorrupt) => {
+                assert_eq!(e.stats.wd_repaired(), 0, "rule-corrupt is unrepairable by design");
+                assert!(e.stats.quarantined_rules() >= 1, "the clobbered rule stays tombstoned");
+            }
+            _ => {}
+        }
+    }
 }
