@@ -15,7 +15,7 @@ use ldbt_dbt::engine::{RunOutcome, Translator};
 use ldbt_dbt::Engine;
 use ldbt_learn::pipeline::learn_from_source;
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Loop-heavy source: a short hot inner loop re-dispatched hundreds of
 /// thousands of times, with enough array traffic that the guest-memory
@@ -39,7 +39,7 @@ const FUEL: u64 = 3_000_000_000;
 fn bench_dispatch(c: &mut Criterion) {
     let image = build_arm_image(SRC, &Options::o2()).unwrap();
     let rules =
-        Rc::new(learn_from_source("dispatch", SRC, &Options::o2()).expect("learning runs").rules);
+        Arc::new(learn_from_source("dispatch", SRC, &Options::o2()).expect("learning runs").rules);
     let mut g = c.benchmark_group("dispatch_throughput");
     g.sample_size(10);
     g.bench_function("tcg", |b| {
@@ -51,7 +51,7 @@ fn bench_dispatch(c: &mut Criterion) {
     });
     g.bench_function("rules", |b| {
         b.iter(|| {
-            let mut e = Engine::new(black_box(&image), Translator::Rules(Rc::clone(&rules)));
+            let mut e = Engine::new(black_box(&image), Translator::Rules(Arc::clone(&rules)));
             assert_eq!(e.run(FUEL), RunOutcome::Halted);
             e.stats.exec.host_instrs
         })
@@ -67,7 +67,7 @@ fn bench_dispatch(c: &mut Criterion) {
     // (`LDBT_NOSB=1` equivalent), isolating the region layer's gain.
     g.bench_function("rules_nosb", |b| {
         b.iter(|| {
-            let mut e = Engine::new(black_box(&image), Translator::Rules(Rc::clone(&rules)))
+            let mut e = Engine::new(black_box(&image), Translator::Rules(Arc::clone(&rules)))
                 .with_superblocks(None);
             assert_eq!(e.run(FUEL), RunOutcome::Halted);
             e.stats.exec.host_instrs

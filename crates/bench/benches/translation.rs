@@ -8,11 +8,11 @@ use ldbt_dbt::engine::{RunOutcome, Translator};
 use ldbt_dbt::Engine;
 use ldbt_workloads::{benchmark, source, Workload};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bench_translation(c: &mut Criterion) {
     let all = learn_all(&Options::o2()).unwrap();
-    let rules = Rc::new(loo_rules(&all, "mcf"));
+    let rules = Arc::new(loo_rules(&all, "mcf"));
     let image = build_arm_image(&source(benchmark("mcf").unwrap(), Workload::Test), &Options::o2())
         .unwrap();
     let mut g = c.benchmark_group("emulate_mcf_test");
@@ -26,7 +26,7 @@ fn bench_translation(c: &mut Criterion) {
     });
     g.bench_function("rules", |b| {
         b.iter(|| {
-            let mut e = Engine::new(black_box(&image), Translator::Rules(Rc::clone(&rules)));
+            let mut e = Engine::new(black_box(&image), Translator::Rules(Arc::clone(&rules)));
             assert_eq!(e.run(3_000_000_000), RunOutcome::Halted);
             e.stats.exec.host_instrs
         })

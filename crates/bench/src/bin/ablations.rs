@@ -15,7 +15,7 @@ use ldbt_dbt::Engine;
 use ldbt_learn::pipeline::learn_from_source_with_tries;
 use ldbt_learn::RuleSet;
 use ldbt_workloads::{source, Workload, SUITE};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const TARGETS: [&str; 4] = ["mcf", "hmmer", "libquantum", "astar"];
 
@@ -106,9 +106,9 @@ fn main() {
     println!("Ablation 3: condition-code strategy (ref workload)");
     hr(72);
     for name in TARGETS {
-        let rules = Rc::new(loo_rules(&all, name));
+        let rules = Arc::new(loo_rules(&all, name));
         let base = run_with(name, Translator::Tcg);
-        let lazy = run_with(name, Translator::Rules(Rc::clone(&rules)));
+        let lazy = run_with(name, Translator::Rules(Arc::clone(&rules)));
         let strict = run_with(name, Translator::RulesNoLazyFlags(rules));
         println!(
             "{:<12} lazy-flag-save {:>5.2}x (Dp {:>4.1}%)   no-lazy {:>5.2}x (Dp {:>4.1}%)",

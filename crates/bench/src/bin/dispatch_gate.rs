@@ -23,7 +23,7 @@ use ldbt_dbt::engine::{RunOutcome, Translator};
 use ldbt_dbt::Engine;
 use ldbt_learn::pipeline::learn_from_source;
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Same workload as the Criterion bench (crates/bench/benches/dispatch.rs).
@@ -49,7 +49,7 @@ type MakeEngine = Box<dyn Fn() -> Engine>;
 fn main() {
     let image = build_arm_image(SRC, &Options::o2()).unwrap();
     let rules =
-        Rc::new(learn_from_source("dispatch", SRC, &Options::o2()).expect("learning runs").rules);
+        Arc::new(learn_from_source("dispatch", SRC, &Options::o2()).expect("learning runs").rules);
     let engines: Vec<(&str, MakeEngine)> = vec![
         (
             "tcg",
@@ -61,8 +61,8 @@ fn main() {
         (
             "rules",
             Box::new({
-                let (image, rules) = (image.clone(), Rc::clone(&rules));
-                move || Engine::new(&image, Translator::Rules(Rc::clone(&rules)))
+                let (image, rules) = (image.clone(), Arc::clone(&rules));
+                move || Engine::new(&image, Translator::Rules(Arc::clone(&rules)))
             }),
         ),
         (
@@ -75,9 +75,10 @@ fn main() {
         (
             "rules_nosb",
             Box::new({
-                let (image, rules) = (image.clone(), Rc::clone(&rules));
+                let (image, rules) = (image.clone(), Arc::clone(&rules));
                 move || {
-                    Engine::new(&image, Translator::Rules(Rc::clone(&rules))).with_superblocks(None)
+                    Engine::new(&image, Translator::Rules(Arc::clone(&rules)))
+                        .with_superblocks(None)
                 }
             }),
         ),

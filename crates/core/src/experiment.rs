@@ -29,12 +29,32 @@ pub struct ProgramRules {
 /// cache is shared across the suite so cross-program snippet repeats
 /// verify only once.
 ///
+/// With `LDBT_RULEDB=<path>` set, the verification memo warm-starts
+/// from the persistent rule database ([`ldbt_learn::db`]): every
+/// signature already memoized on disk skips symexec+SAT entirely, so a
+/// second boot replays the suite at ~100% memo hit rate with
+/// byte-identical learned rules. After learning, the merged suite rules
+/// and the (grown) memo are written back, best-effort. A missing,
+/// stale, or corrupt database is reported to stderr and learning falls
+/// back to fresh — it never half-loads.
+///
 /// # Errors
 ///
 /// Returns a [`CompileError`] if a generated program fails to compile.
 pub fn learn_all(options: &Options) -> Result<Vec<ProgramRules>, CompileError> {
     let config = LearnConfig::default();
-    let mut cache = VerifyCache::new();
+    let db_path = ldbt_learn::db::env_path();
+    let mut cache = match &db_path {
+        Some(path) => match ldbt_learn::db::load(path) {
+            Ok(db) => db.cache,
+            Err(ldbt_learn::DbError::Io(_)) => VerifyCache::new(), // first boot
+            Err(e) => {
+                eprintln!("ldbt: ignoring rule database {}: {e}; learning fresh", path.display());
+                VerifyCache::new()
+            }
+        },
+        None => VerifyCache::new(),
+    };
     let mut out = Vec::new();
     for b in &SUITE {
         let src = source(b, Workload::Ref);
@@ -44,6 +64,15 @@ pub fn learn_all(options: &Options) -> Result<Vec<ProgramRules>, CompileError> {
             rules: report.rules,
             stats: report.stats,
         });
+    }
+    if let Some(path) = &db_path {
+        let mut merged = RuleSet::new();
+        for p in &out {
+            merged.merge(&p.rules);
+        }
+        if let Err(e) = ldbt_learn::db::save(path, &merged, &cache) {
+            eprintln!("ldbt: failed to write rule database {}: {e}", path.display());
+        }
     }
     Ok(out)
 }

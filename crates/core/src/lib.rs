@@ -29,6 +29,7 @@
 
 pub mod experiment;
 pub mod report;
+pub mod serve;
 
 pub use ldbt_compiler as compiler;
 pub use ldbt_dbt as dbt;
@@ -41,7 +42,7 @@ use ldbt_dbt::engine::{RunOutcome, Translator};
 use ldbt_dbt::{DbtStats, Engine, ExecProfile};
 use ldbt_learn::{LearnStats, RuleSet};
 use ldbt_workloads::{benchmark, source, Workload, SUITE};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which execution engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -156,7 +157,7 @@ pub fn run_benchmark(
         EngineKind::Tcg => Translator::Tcg,
         EngineKind::Jit => Translator::Jit,
         EngineKind::Rules => {
-            Translator::Rules(Rc::new(rules.expect("Rules engine needs a rule set").clone()))
+            Translator::Rules(Arc::new(rules.expect("Rules engine needs a rule set").clone()))
         }
     };
     let mut e = Engine::new(&image, translator);

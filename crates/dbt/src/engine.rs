@@ -41,6 +41,7 @@ use crate::sb::{
     optimize_region, specialize_part, strip_seam_exits, SbPart, SeamState, Superblock, NO_SB,
     SB_MAX_PARTS,
 };
+use crate::share::RuleCell;
 use crate::stats::{BlockProfile, DbtCtr, DbtStats, ExecProfile, RuleProfile};
 use crate::tcg::{decode_block, translate_block};
 use ldbt_arm::{encode::decode, ArmEvent, ArmReg, ArmState};
@@ -54,17 +55,23 @@ use ldbt_x86::interp::{run_seq, SeqExit};
 use ldbt_x86::{Gpr, X86Instr, X86State};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which translator the engine uses.
+///
+/// Rule sets are held behind `Arc` so one immutable generation can be
+/// shared across tenant engines on different threads (see
+/// [`crate::share::RuleCell`]); the `Arc` here is the engine's *cached*
+/// snapshot of the current generation.
 #[derive(Debug, Clone)]
 pub enum Translator {
     /// Baseline QEMU-style TCG translation.
     Tcg,
     /// Rule-based translation with TCG fallback (the paper's prototype).
-    Rules(Rc<RuleSet>),
+    Rules(Arc<RuleSet>),
     /// Rule-based translation without the §5 lazy host-flag save (the
     /// condition-code ablation: flag-live-out rules are skipped).
-    RulesNoLazyFlags(Rc<RuleSet>),
+    RulesNoLazyFlags(Arc<RuleSet>),
     /// HQEMU-style optimizing JIT backend.
     Jit,
 }
@@ -238,6 +245,14 @@ pub struct Engine {
     /// Superblock formation threshold; `None` disables formation
     /// (`LDBT_NOSB` / `LDBT_SB_THRESHOLD`).
     sb_cfg: Option<u64>,
+    /// Shared rule-generation cell. Present exactly when the translator
+    /// is rules-based: a solo engine gets a private cell, serve-mode
+    /// tenants share one via [`Engine::with_rule_cell`]. All rule-set
+    /// mutation (fault install, quarantine, repair) publishes through it.
+    rule_cell: Option<Arc<RuleCell>>,
+    /// Generation of the cached `Arc<RuleSet>` inside `translator`;
+    /// compared against the cell's counter at every dispatcher entry.
+    rules_gen: u64,
 }
 
 impl Engine {
@@ -255,6 +270,15 @@ impl Engine {
         image.load_into(&mut mem);
         let mut state = X86State::new();
         state.mem = mem;
+        // A rules engine always publishes through a cell so the mutation
+        // paths are identical solo and in serve mode; a solo engine simply
+        // owns a private one. `with_rule_cell` swaps in a shared cell.
+        let rule_cell = match &translator {
+            Translator::Rules(r) | Translator::RulesNoLazyFlags(r) => {
+                Some(Arc::new(RuleCell::from_arc(Arc::clone(r))))
+            }
+            _ => None,
+        };
         Engine {
             state,
             translator,
@@ -278,6 +302,8 @@ impl Engine {
             superblocks: Vec::new(),
             sb_members: HashMap::new(),
             sb_cfg: superblocks_from_env(),
+            rule_cell,
+            rules_gen: 0,
         }
     }
 
@@ -320,6 +346,40 @@ impl Engine {
     pub fn with_superblocks(mut self, cfg: Option<u64>) -> Engine {
         self.sb_cfg = cfg;
         self
+    }
+
+    /// Attach this engine to a shared rule-generation cell (serve mode).
+    ///
+    /// The engine drops its private cell, caches the shared cell's
+    /// current generation in its translator, and from then on publishes
+    /// quarantine/repair through the shared cell and adopts generations
+    /// published by other tenants at dispatcher entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the translator is not rules-based — only rule sets are
+    /// shared; TCG/JIT engines have no cross-tenant state.
+    pub fn with_rule_cell(mut self, cell: Arc<RuleCell>) -> Engine {
+        let (rules, gen) = cell.load();
+        match &mut self.translator {
+            Translator::Rules(r) | Translator::RulesNoLazyFlags(r) => *r = rules,
+            _ => panic!("with_rule_cell requires a rules translator"),
+        }
+        self.rules_gen = gen;
+        self.rule_cell = Some(cell);
+        self
+    }
+
+    /// The rule-generation cell (present iff the translator is
+    /// rules-based). Share the returned `Arc` with other engines to form
+    /// a tenant group.
+    pub fn rule_cell(&self) -> Option<&Arc<RuleCell>> {
+        self.rule_cell.as_ref()
+    }
+
+    /// Generation of the rule set this engine currently translates with.
+    pub fn rules_generation(&self) -> u64 {
+        self.rules_gen
     }
 
     /// Read a guest register from the env.
@@ -529,12 +589,101 @@ impl Engine {
     }
 
     /// The installed rule set and lazy-flag mode, when rule translation
-    /// is active (a pointer-bump `Rc` clone).
-    fn rules_cfg(&self) -> Option<(Rc<RuleSet>, bool)> {
+    /// is active (a pointer-bump `Arc` clone of the cached generation).
+    fn rules_cfg(&self) -> Option<(Arc<RuleSet>, bool)> {
         match &self.translator {
-            Translator::Rules(r) => Some((Rc::clone(r), true)),
-            Translator::RulesNoLazyFlags(r) => Some((Rc::clone(r), false)),
+            Translator::Rules(r) => Some((Arc::clone(r), true)),
+            Translator::RulesNoLazyFlags(r) => Some((Arc::clone(r), false)),
             _ => None,
+        }
+    }
+
+    /// Publish a rule-set mutation as a new shared generation and adopt
+    /// it immediately (this engine caused the change, so its cached
+    /// snapshot moves with it; other tenants adopt at their next
+    /// dispatcher entry). Returns `None` on non-rules translators.
+    fn publish_rules<R>(&mut self, f: impl FnOnce(&mut RuleSet) -> R) -> Option<R> {
+        let cell = Arc::clone(self.rule_cell.as_ref()?);
+        let (rules, gen, out) = cell.publish_with(f);
+        match &mut self.translator {
+            Translator::Rules(r) | Translator::RulesNoLazyFlags(r) => *r = rules,
+            _ => unreachable!("rule_cell implies a rules translator"),
+        }
+        self.rules_gen = gen;
+        Some(out)
+    }
+
+    /// Dispatcher-entry generation poll: if another tenant published a
+    /// newer rule generation, adopt it. One atomic load on the no-change
+    /// path — readers never lock.
+    fn sync_rules(&mut self) {
+        let Some(cell) = &self.rule_cell else { return };
+        if cell.generation() == self.rules_gen {
+            return;
+        }
+        let (rules, gen) = cell.load();
+        self.adopt_rules(rules, gen);
+    }
+
+    /// Install a foreign rule generation: swap the cached snapshot and
+    /// purge exactly the translated blocks whose rule applications went
+    /// stale (the rule was tombstoned, replaced with different host code,
+    /// or removed). Blocks whose rules are unchanged keep running — the
+    /// generations are behaviorally identical for them.
+    fn adopt_rules(&mut self, new: Arc<RuleSet>, gen: u64) {
+        let old = match &mut self.translator {
+            Translator::Rules(r) | Translator::RulesNoLazyFlags(r) => {
+                std::mem::replace(r, Arc::clone(&new))
+            }
+            _ => {
+                self.rules_gen = gen;
+                return;
+            }
+        };
+        let old_gen = self.rules_gen;
+        self.rules_gen = gen;
+        // Which of the rule keys applied in live blocks changed meaning?
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut changed: HashSet<u64> = HashSet::new();
+        for b in self.blocks.iter().filter(|b| !b.dead) {
+            for &(_, key) in b.hits.iter() {
+                if !seen.insert(key) {
+                    continue;
+                }
+                let stale = new.is_tombstoned(key)
+                    || match (old.find_by_key(key), new.find_by_key(key)) {
+                        (Some(a), Some(b)) => a != b,
+                        (Some(_), None) => true,
+                        (None, _) => false,
+                    };
+                if stale {
+                    changed.insert(key);
+                }
+            }
+        }
+        if trace::enabled(Scope::Exec) {
+            trace::emit(
+                Scope::Exec,
+                "rules_adopt",
+                &[
+                    ("from_gen", Val::U(old_gen)),
+                    ("to_gen", Val::U(gen)),
+                    ("stale_keys", Val::U(changed.len() as u64)),
+                ],
+            );
+        }
+        if changed.is_empty() {
+            return;
+        }
+        let victims: Vec<u32> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.dead && b.hits.iter().any(|(_, k)| changed.contains(k)))
+            .map(|(i, _)| i as u32)
+            .collect();
+        for id in victims {
+            self.purge_block(id);
         }
     }
 
@@ -553,16 +702,15 @@ impl Engine {
         if !matches!(plan.site, FaultSite::ImmSkew | FaultSite::OperandSwap) {
             return;
         }
-        if let Translator::Rules(rules) | Translator::RulesNoLazyFlags(rules) = &mut self.translator
+        if let Some(Some(key)) =
+            self.publish_rules(move |rules| ldbt_learn::corrupt_ruleset(rules, plan))
         {
-            if let Some(key) = ldbt_learn::corrupt_ruleset(Rc::make_mut(rules), plan) {
-                if trace::enabled(Scope::Exec) {
-                    trace::emit(
-                        Scope::Exec,
-                        "fault_install",
-                        &[("site", Val::S(plan.site.name())), ("rule", Val::U(key))],
-                    );
-                }
+            if trace::enabled(Scope::Exec) {
+                trace::emit(
+                    Scope::Exec,
+                    "fault_install",
+                    &[("site", Val::S(plan.site.name())), ("rule", Val::U(key))],
+                );
             }
         }
     }
@@ -746,6 +894,11 @@ impl Engine {
             if self.stats.exec.host_instrs >= fuel {
                 return RunOutcome::OutOfFuel;
             }
+            // Serve mode: adopt a rule generation published by another
+            // tenant. One atomic load when nothing changed; any block
+            // dispatched from here on never runs a rule that was
+            // tombstoned or replaced in the adopted generation.
+            self.sync_rules();
             let pc = self.pc;
             let mut id = self.lookup_or_translate(pc);
             // Chained fast loop: no map probes until control leaves the
@@ -1003,24 +1156,26 @@ impl Engine {
                 // instantiation, but keep the rule alive: no tombstone,
                 // no TCG forcing.
                 newly.insert(culprit.expect("repaired implies a culprit key"));
-            } else if let Translator::Rules(rules) | Translator::RulesNoLazyFlags(rules) =
-                &mut self.translator
-            {
+            } else {
                 // Quarantine the candidate set: the bisection proved the
                 // other applications in this block innocent. A unique
                 // survivor is an attributed quarantine; an ambiguous set
-                // that no repair could split is collateral.
-                let rs = Rc::make_mut(rules);
-                for (k, _) in &cands {
-                    let key = hits[*k].1;
-                    if rs.tombstone(key) {
-                        newly.insert(key);
-                        self.stats.bump(if unique {
-                            DbtCtr::QuarantinedRules
-                        } else {
-                            DbtCtr::WdCollateral
-                        });
-                    }
+                // that no repair could split is collateral. Tombstoning
+                // publishes a new shared generation — other tenants stop
+                // translating with these rules at their next dispatch.
+                let keys: Vec<u64> = cands.iter().map(|(k, _)| hits[*k].1).collect();
+                let tombstoned = self
+                    .publish_rules(move |rs| {
+                        keys.into_iter().filter(|&key| rs.tombstone(key)).collect::<Vec<u64>>()
+                    })
+                    .unwrap_or_default();
+                for key in tombstoned {
+                    newly.insert(key);
+                    self.stats.bump(if unique {
+                        DbtCtr::QuarantinedRules
+                    } else {
+                        DbtCtr::WdCollateral
+                    });
                 }
             }
         } else {
@@ -1029,20 +1184,19 @@ impl Engine {
             // counted apart from attributed quarantines so the accounting
             // no longer overstates how many rules were proven wrong.
             let collateral = self.repair;
-            if let Translator::Rules(rules) | Translator::RulesNoLazyFlags(rules) =
-                &mut self.translator
-            {
-                let rs = Rc::make_mut(rules);
-                for &(_, key) in hits {
-                    if rs.tombstone(key) {
-                        newly.insert(key);
-                        self.stats.bump(if collateral {
-                            DbtCtr::WdCollateral
-                        } else {
-                            DbtCtr::QuarantinedRules
-                        });
-                    }
-                }
+            let keys: Vec<u64> = hits.iter().map(|&(_, key)| key).collect();
+            let tombstoned = self
+                .publish_rules(move |rs| {
+                    keys.into_iter().filter(|&key| rs.tombstone(key)).collect::<Vec<u64>>()
+                })
+                .unwrap_or_default();
+            for key in tombstoned {
+                newly.insert(key);
+                self.stats.bump(if collateral {
+                    DbtCtr::WdCollateral
+                } else {
+                    DbtCtr::QuarantinedRules
+                });
             }
         }
         if trace::enabled(Scope::Exec) {
@@ -1275,15 +1429,22 @@ impl Engine {
             }
             return false;
         }
-        // Hot-publish: overwrite the rule in place (same stable key) and
-        // clear any tombstone on it.
-        if let Translator::Rules(rules) | Translator::RulesNoLazyFlags(rules) = &mut self.translator
-        {
-            let rs = Rc::make_mut(rules);
-            if !rs.replace(key, report.rule) {
-                return false;
-            }
-            rs.revive(key);
+        // Hot-publish: overwrite the rule (same stable key), clear any
+        // tombstone on it, and publish the result as a new shared
+        // generation so other tenants re-translate with the repaired
+        // rule instead of the divergent one.
+        let repaired_rule = report.rule;
+        let published = self
+            .publish_rules(move |rs| {
+                if !rs.replace(key, repaired_rule) {
+                    return false;
+                }
+                rs.revive(key);
+                true
+            })
+            .unwrap_or(false);
+        if !published {
+            return false;
         }
         if trace::enabled(Scope::Exec) {
             trace::emit(

@@ -171,6 +171,26 @@ pub fn repair_from_env() -> bool {
     *REPAIR.get_or_init(|| parse_repair(std::env::var("LDBT_REPAIR").ok().as_deref()))
 }
 
+/// Default tenant count for serve-mode drivers (`LDBT_TENANTS`).
+pub const TENANTS_DEFAULT: usize = 2;
+
+/// Parse table for `LDBT_TENANTS` (tenant count of serve-mode drivers
+/// such as the `serve_throughput` benchmark): a positive integer
+/// overrides the default; unset, `""`, `0`, and garbage all resolve to
+/// [`TENANTS_DEFAULT`].
+pub fn parse_tenants(raw: Option<&str>) -> usize {
+    raw.map(str::trim)
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(TENANTS_DEFAULT)
+}
+
+/// Cached `LDBT_TENANTS` parse.
+pub fn tenants_from_env() -> usize {
+    static TENANTS: OnceLock<usize> = OnceLock::new();
+    *TENANTS.get_or_init(|| parse_tenants(std::env::var("LDBT_TENANTS").ok().as_deref()))
+}
+
 /// Cached combined `LDBT_NOSB` / `LDBT_SB_THRESHOLD` parse: `None` when
 /// superblocks are disabled, `Some(threshold)` otherwise.
 pub fn superblocks_from_env() -> Option<u64> {
@@ -266,6 +286,16 @@ mod tests {
         for v in ["0", "off", " off ", " 0 "] {
             assert!(!parse_repair(Some(v)), "{v:?} disables repair");
         }
+    }
+
+    #[test]
+    fn tenants_parse_table() {
+        assert_eq!(parse_tenants(None), TENANTS_DEFAULT, "unset takes the default");
+        for v in ["", "0", "off", "garbage", "-2", "2x", " 0 "] {
+            assert_eq!(parse_tenants(Some(v)), TENANTS_DEFAULT, "{v:?} takes default");
+        }
+        assert_eq!(parse_tenants(Some("1")), 1);
+        assert_eq!(parse_tenants(Some(" 8 ")), 8);
     }
 
     #[test]

@@ -26,8 +26,10 @@ pub mod env;
 pub mod jit;
 pub mod rules;
 pub mod sb;
+pub mod share;
 pub mod stats;
 pub mod tcg;
 
 pub use engine::{Engine, RunOutcome, Translator};
+pub use share::RuleCell;
 pub use stats::{BlockProfile, DbtStats, ExecProfile, RuleProfile};

@@ -148,6 +148,14 @@ impl DbtStats {
         self.ctrs.get(c as usize)
     }
 
+    /// The raw counter block (for folding a finished run into a shared
+    /// cross-thread registry via `SharedCounters::absorb` — the
+    /// serve-mode aggregation path). Host-side `exec` counters are not
+    /// part of the block; see [`DbtStats::registry`].
+    pub fn counters(&self) -> &CounterBlock {
+        &self.ctrs
+    }
+
     /// Declaration-ordered `(name, value)` snapshot of the registry,
     /// including the host-side execution counters.
     pub fn registry(&self) -> Vec<(&'static str, u64)> {

@@ -103,6 +103,13 @@ impl VerifyCache {
     pub fn insert(&mut self, sig: String, outcome: VerifyOutcome) {
         self.map.insert(sig, outcome);
     }
+
+    /// Iterate over all memoized `(signature, outcome)` entries, in
+    /// arbitrary (hash-map) order. `db` sorts by signature before
+    /// serializing so the on-disk bytes are deterministic.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &VerifyOutcome)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
 }
 
 #[cfg(test)]

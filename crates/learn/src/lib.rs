@@ -25,6 +25,7 @@
 
 pub mod budget;
 pub mod cache;
+pub mod db;
 pub mod extract;
 pub mod fault;
 pub mod par;
@@ -37,6 +38,7 @@ pub mod verify;
 
 pub use budget::Budget;
 pub use cache::{VerifyCache, VerifyOutcome};
+pub use db::{DbError, RuleDb};
 pub use fault::{corrupt_ruleset, FaultPlan, FaultSite};
 pub use pipeline::{
     configured_threads, learn_rules, parse_threads, worker_metrics, LearnConfig, LearnReport,

@@ -569,6 +569,14 @@ impl RuleSet {
         self.tombstones.len()
     }
 
+    /// All quarantined stable keys, sorted (for deterministic
+    /// serialization in `db`).
+    pub fn tombstoned_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.tombstones.iter().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
     /// Replace the stored rule identified by stable key `key` with a
     /// repaired version, in place (hot publication after a successful
     /// counterexample-guided repair).

@@ -160,6 +160,28 @@ impl SharedCounters {
             .map(|(n, v)| (*n, v.load(Ordering::Relaxed)))
             .collect()
     }
+
+    /// Fold a per-tenant [`CounterBlock`] into the shared registry in one
+    /// pass (the engine flavor of multi-tenant aggregation: an engine's
+    /// `DbtStats` counters live in a `Cell` block on its own thread, and
+    /// serve-mode flushes them here after the run, so concurrent tenants
+    /// never race or interleave partial counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was built over a different name table — the
+    /// indices would silently mis-attribute counts otherwise.
+    pub fn absorb(&self, block: &CounterBlock) {
+        assert!(
+            std::ptr::eq(self.names, block.names()) || self.names == block.names(),
+            "absorb requires identical counter name tables"
+        );
+        for (i, (_, v)) in block.snapshot().into_iter().enumerate() {
+            if v > 0 {
+                self.add(i, v);
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for SharedCounters {
@@ -171,13 +193,17 @@ impl std::fmt::Debug for SharedCounters {
 /// Per-worker counter guard: bumps stay in thread-local `Cell`s and are
 /// flushed into the [`SharedCounters`] exactly once, when the worker's
 /// state is dropped (scope join, or teardown after a contained panic).
-pub struct WorkerCounters {
-    shared: &'static SharedCounters,
+///
+/// The shared registry is borrowed for any lifetime, not just
+/// `'static`, so scoped worker pools — learn workers over a global
+/// registry, serve-mode tenant engines over a per-call one — both fit.
+pub struct WorkerCounters<'a> {
+    shared: &'a SharedCounters,
     local: CounterBlock,
 }
 
-impl WorkerCounters {
-    pub fn new(shared: &'static SharedCounters) -> Self {
+impl<'a> WorkerCounters<'a> {
+    pub fn new(shared: &'a SharedCounters) -> Self {
         WorkerCounters { shared, local: CounterBlock::new(shared.names()) }
     }
 
@@ -196,14 +222,9 @@ impl WorkerCounters {
     }
 }
 
-impl Drop for WorkerCounters {
+impl Drop for WorkerCounters<'_> {
     fn drop(&mut self) {
-        for i in 0..self.shared.names().len() {
-            let v = self.local.get(i);
-            if v > 0 {
-                self.shared.add(i, v);
-            }
-        }
+        self.shared.absorb(&self.local);
     }
 }
 
@@ -256,5 +277,40 @@ mod tests {
         });
         assert_eq!(shared.get(1), 400);
         assert_eq!(shared.get(0), 0);
+    }
+
+    #[test]
+    fn absorb_folds_a_block_into_shared() {
+        let shared = SharedCounters::new(NAMES);
+        let block = CounterBlock::new(NAMES);
+        block.add(0, 5);
+        block.add(2, 7);
+        shared.absorb(&block);
+        shared.absorb(&block);
+        assert_eq!(shared.snapshot(), vec![("a", 10), ("b", 0), ("c", 14)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical counter name tables")]
+    fn absorb_rejects_mismatched_name_tables() {
+        const OTHER: &[&str] = &["x"];
+        let shared = SharedCounters::new(NAMES);
+        shared.absorb(&CounterBlock::new(OTHER));
+    }
+
+    #[test]
+    fn worker_counters_borrow_a_scoped_registry() {
+        // Not `'static`: a stack-local registry works for scoped tenant
+        // pools (the serve-mode pattern).
+        let shared = SharedCounters::new(NAMES);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let w = WorkerCounters::new(&shared);
+                    w.add(2, 21);
+                });
+            }
+        });
+        assert_eq!(shared.get(2), 42);
     }
 }

@@ -16,7 +16,7 @@ use ldbt_core::compiler::{link::build_arm_image, Options};
 use ldbt_core::dbt::engine::{RunOutcome, Translator};
 use ldbt_core::dbt::Engine;
 use ldbt_core::learn_suite;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const DEMO: &str = "
 int primes;
@@ -40,11 +40,11 @@ int main() {
 }
 ";
 
-fn engine_of(name: &str, rules: &Rc<ldbt_core::learn::RuleSet>) -> Translator {
+fn engine_of(name: &str, rules: &Arc<ldbt_core::learn::RuleSet>) -> Translator {
     match name {
         "tcg" => Translator::Tcg,
         "jit" => Translator::Jit,
-        "rules" => Translator::Rules(Rc::clone(rules)),
+        "rules" => Translator::Rules(Arc::clone(rules)),
         other => panic!("unknown engine `{other}` (use tcg / rules / jit)"),
     }
 }
@@ -63,7 +63,7 @@ fn main() {
     println!("learning rules from the synthetic SPEC suite...");
     let (rules, _) = learn_suite(&Options::o2(), None).expect("suite compiles");
     println!("  {} rules available", rules.len());
-    let rules = Rc::new(rules);
+    let rules = Arc::new(rules);
 
     let image = build_arm_image(&source, &Options::o2()).expect("program compiles");
     println!("guest image: {} instructions, entry {:#x}", image.instr_count(), image.entry);

@@ -9,7 +9,7 @@ use ldbt_core::compiler::{link::build_arm_image, Options};
 use ldbt_core::dbt::engine::{RunOutcome, Translator};
 use ldbt_core::dbt::Engine;
 use ldbt_core::learn::pipeline::learn_from_source;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // 1. A training program: the same source is compiled for the ARM
@@ -46,7 +46,7 @@ int main() { return g(100, 7); }
     let mut baseline = Engine::new(&image, Translator::Tcg);
     assert_eq!(baseline.run(10_000_000), RunOutcome::Halted);
 
-    let mut enhanced = Engine::new(&image, Translator::Rules(Rc::new(report.rules)));
+    let mut enhanced = Engine::new(&image, Translator::Rules(Arc::new(report.rules)));
     assert_eq!(enhanced.run(10_000_000), RunOutcome::Halted);
 
     assert_eq!(

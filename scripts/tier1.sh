@@ -79,6 +79,37 @@ LDBT_DETERMINISTIC=1 LDBT_REPAIR=0 cargo run -q --release -p ldbt-bench --bin ta
     > "$OBS_DIR/table1_norepair.txt" 2>/dev/null
 cmp "$OBS_DIR/table1_off.txt" "$OBS_DIR/table1_norepair.txt"
 
+# Warm-start gate: a second boot from the persistent rule database
+# (LDBT_RULEDB) must learn byte-identical rules — the cold run writes
+# the database, the warm run replays learning from the persisted
+# verification memo, and both tables must match the no-database run
+# byte for byte (LDBT_DETERMINISTIC=1 zeroes the wall-clock and
+# memo-traffic columns that legitimately differ warm vs fresh).
+RULEDB="$OBS_DIR/rules.db"
+LDBT_DETERMINISTIC=1 LDBT_RULEDB="$RULEDB" \
+    cargo run -q --release -p ldbt-bench --bin table1 \
+    > "$OBS_DIR/table1_cold.txt" 2>/dev/null
+test -s "$RULEDB"
+LDBT_DETERMINISTIC=1 LDBT_RULEDB="$RULEDB" \
+    cargo run -q --release -p ldbt-bench --bin table1 \
+    > "$OBS_DIR/table1_warm.txt" 2>/dev/null
+cmp "$OBS_DIR/table1_off.txt" "$OBS_DIR/table1_cold.txt"
+cmp "$OBS_DIR/table1_off.txt" "$OBS_DIR/table1_warm.txt"
+# A truncated database must be rejected (notice on stderr), falling back
+# to fresh learning with identical output.
+head -c 24 "$RULEDB" > "$OBS_DIR/rules_corrupt.db"
+LDBT_DETERMINISTIC=1 LDBT_RULEDB="$OBS_DIR/rules_corrupt.db" \
+    cargo run -q --release -p ldbt-bench --bin table1 \
+    > "$OBS_DIR/table1_corrupt.txt" 2> "$OBS_DIR/table1_corrupt.err"
+cmp "$OBS_DIR/table1_off.txt" "$OBS_DIR/table1_corrupt.txt"
+grep -q "ignoring rule database" "$OBS_DIR/table1_corrupt.err"
+
+# Multi-tenant serving smoke: 2 tenants over the serve mix must reach
+# >=1.5x solo aggregate guest-instrs/sec. Real parallelism needs cores;
+# on hosts with fewer than 4 the binary skips with a notice (and this
+# gate is then build-only).
+cargo run -q --release -p ldbt-bench --bin serve_throughput -- --smoke
+
 # The dispatch-throughput bench must keep compiling (it is the perf
 # gate's measurement tool; results live in results/dispatch_throughput.txt).
 cargo bench --no-run -p ldbt-bench

@@ -11,7 +11,7 @@ use ldbt_learn::param::initial_mappings;
 use ldbt_learn::verify::verify;
 use ldbt_learn::{FaultPlan, FaultSite, Rule, RuleSet};
 use ldbt_x86::{AluOp, Gpr, X86Instr};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn learn_one(guest: Vec<ArmInstr>, host: Vec<X86Instr>) -> Result<Rule, String> {
     let pair = SnippetPair {
@@ -121,7 +121,7 @@ int main() {
         has_branch: false,
     });
     let mut evil_engine =
-        Engine::new(&image, Translator::Rules(Rc::new(evil))).with_watchdog(None).with_fault(None);
+        Engine::new(&image, Translator::Rules(Arc::new(evil))).with_watchdog(None).with_fault(None);
     assert_eq!(evil_engine.run(10_000_000), RunOutcome::Halted);
     assert_ne!(
         evil_engine.guest_reg(ArmReg::R0),
@@ -158,7 +158,7 @@ int main() {
         unemulated_flags: 0,
         has_branch: false,
     });
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(evil)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(evil)))
         .with_watchdog(Some(1))
         .with_fault(None);
     assert_eq!(e.run(10_000_000), RunOutcome::Halted);
@@ -201,7 +201,7 @@ int main() {
         unemulated_flags: 0,
         has_branch: false,
     });
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(evil)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(evil)))
         .with_chaining(true)
         .with_watchdog(Some(1))
         .with_fault(None);
@@ -257,7 +257,7 @@ int main() {
         unemulated_flags: 0,
         has_branch: false,
     });
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(evil)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(evil)))
         .with_chaining(true)
         .with_watchdog(Some(50))
         .with_superblocks(Some(8))
@@ -303,7 +303,7 @@ int main() {
     rules.insert(rule);
 
     let fault = FaultPlan { site: FaultSite::ImmSkew, seed: 0 };
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(rules)))
         .with_watchdog(Some(1))
         .with_fault(Some(fault))
         .with_repair(true);
@@ -346,7 +346,7 @@ int main() {
         unemulated_flags: 0,
         has_branch: false,
     });
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(evil)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(evil)))
         .with_watchdog(Some(1))
         .with_fault(None)
         .with_repair(true);
@@ -393,7 +393,7 @@ int main() {
     rules.insert(rule);
 
     let fault = FaultPlan { site: FaultSite::ImmSkew, seed: 0 };
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(rules)))
         .with_chaining(true)
         .with_watchdog(Some(50))
         .with_superblocks(Some(8))

@@ -15,7 +15,7 @@ use ldbt_learn::cache::VerifyCache;
 use ldbt_learn::pipeline::{learn_from_source, learn_from_source_cached, LearnConfig};
 use ldbt_learn::Rule;
 use ldbt_workloads::{source, Workload, SUITE};
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[test]
 fn parallel_learning_matches_sequential_on_the_suite() {
@@ -86,11 +86,11 @@ int main() {
   }
   return s & 0xffff;
 }";
-    let rules = Rc::new(learn_from_source("chain-det", src, &Options::o2()).unwrap().rules);
+    let rules = Arc::new(learn_from_source("chain-det", src, &Options::o2()).unwrap().rules);
     let image = build_arm_image(src, &Options::o2()).unwrap();
     let translators: [(&str, Translator); 3] = [
         ("tcg", Translator::Tcg),
-        ("rules", Translator::Rules(Rc::clone(&rules))),
+        ("rules", Translator::Rules(Arc::clone(&rules))),
         ("jit", Translator::Jit),
     ];
     for (name, t) in translators {
@@ -154,11 +154,11 @@ int main() {
   }
   return s & 0xffff;
 }";
-    let rules = Rc::new(learn_from_source("sb-det", src, &Options::o2()).unwrap().rules);
+    let rules = Arc::new(learn_from_source("sb-det", src, &Options::o2()).unwrap().rules);
     let image = build_arm_image(src, &Options::o2()).unwrap();
     let translators: [(&str, Translator); 3] = [
         ("tcg", Translator::Tcg),
-        ("rules", Translator::Rules(Rc::clone(&rules))),
+        ("rules", Translator::Rules(Arc::clone(&rules))),
         ("jit", Translator::Jit),
     ];
     // Counters legitimately different between the two runs: the sb_*
@@ -223,11 +223,11 @@ int main() {
   }
   return s & 0xffff;
 }";
-    let rules = Rc::new(learn_from_source("repair-det", src, &Options::o2()).unwrap().rules);
+    let rules = Arc::new(learn_from_source("repair-det", src, &Options::o2()).unwrap().rules);
     let image = build_arm_image(src, &Options::o2()).unwrap();
     for watchdog in [None, Some(1), Some(3)] {
         let run = |repair: bool| {
-            let mut e = Engine::new(&image, Translator::Rules(Rc::clone(&rules)))
+            let mut e = Engine::new(&image, Translator::Rules(Arc::clone(&rules)))
                 .with_chaining(true)
                 .with_watchdog(watchdog)
                 .with_fault(None)

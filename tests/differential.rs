@@ -13,7 +13,7 @@ use ldbt_dbt::Engine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A tiny random-program generator (distinct from the workload suite so
 /// the two cannot share bugs).
@@ -103,7 +103,7 @@ fn random_programs_differential() {
             .unwrap();
         rules.extend_from(&r.rules);
     }
-    let rules = Rc::new(rules);
+    let rules = Arc::new(rules);
 
     for seed in 0..25u64 {
         let src = random_program(seed);
@@ -118,7 +118,7 @@ fn random_programs_differential() {
                 .unwrap_or_else(|e| panic!("seed {seed} {options:?}: {e}\n{src}"));
             let want = reference_result(&image);
             for translator in
-                [Translator::Tcg, Translator::Jit, Translator::Rules(Rc::clone(&rules))]
+                [Translator::Tcg, Translator::Jit, Translator::Rules(Arc::clone(&rules))]
             {
                 let label = format!("seed {seed} {options:?} {translator:?}");
                 let mut e = Engine::new(&image, translator);

@@ -6,7 +6,7 @@ use ldbt_core::{learn_suite, run_benchmark, EngineKind};
 use ldbt_dbt::engine::{RunOutcome, Translator};
 use ldbt_dbt::Engine;
 use ldbt_workloads::Workload;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Run a source program under the interpreter and all three engines and
 /// require identical results; returns the common result.
@@ -20,8 +20,8 @@ fn run_everywhere(src: &str, options: &Options, rules: &ldbt_learn::RuleSet) -> 
     for translator in [
         Translator::Tcg,
         Translator::Jit,
-        Translator::Rules(Rc::new(rules.clone())),
-        Translator::RulesNoLazyFlags(Rc::new(rules.clone())),
+        Translator::Rules(Arc::new(rules.clone())),
+        Translator::RulesNoLazyFlags(Arc::new(rules.clone())),
     ] {
         let label = format!("{translator:?}");
         let mut e = Engine::new(&image, translator);

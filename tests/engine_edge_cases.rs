@@ -9,7 +9,7 @@ use ldbt_dbt::engine::{RunOutcome, Translator};
 use ldbt_dbt::Engine;
 use ldbt_learn::{Rule, RuleSet};
 use ldbt_x86::{AluOp, Gpr, X86Instr};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Wrap raw instructions into a runnable image at the standard base.
 fn image_of(instrs: &[ArmInstr]) -> ArmImage {
@@ -23,7 +23,7 @@ fn image_of(instrs: &[ArmInstr]) -> ArmImage {
     }
 }
 
-fn run_all_engines(image: &ArmImage, rules: Rc<RuleSet>) -> Vec<(String, u32, u32)> {
+fn run_all_engines(image: &ArmImage, rules: Arc<RuleSet>) -> Vec<(String, u32, u32)> {
     // Reference.
     let mut m = ldbt_arm::ArmMachine::new();
     image.load_into(&mut m.state.mem);
@@ -35,7 +35,7 @@ fn run_all_engines(image: &ArmImage, rules: Rc<RuleSet>) -> Vec<(String, u32, u3
     for t in [
         Translator::Tcg,
         Translator::Jit,
-        Translator::Rules(Rc::clone(&rules)),
+        Translator::Rules(Arc::clone(&rules)),
         Translator::RulesNoLazyFlags(rules.clone()),
     ] {
         let label = format!("{t:?}");
@@ -86,7 +86,7 @@ fn cross_block_flag_consumption() {
     ];
     let mut rules = RuleSet::new();
     rules.insert(subs_rule());
-    let results = run_all_engines(&image_of(&prog), Rc::new(rules));
+    let results = run_all_engines(&image_of(&prog), Arc::new(rules));
     for (label, r0, r4) in &results {
         assert_eq!(*r0, 0, "{label}");
         assert_eq!(*r4, 15, "{label}");
@@ -124,7 +124,7 @@ fn cross_block_carry_polarity() {
         unemulated_flags: 0,
         has_branch: false,
     });
-    let results = run_all_engines(&image_of(&prog), Rc::new(rules));
+    let results = run_all_engines(&image_of(&prog), Arc::new(rules));
     for (label, _, r4) in &results {
         assert_eq!(*r4, 111, "{label}");
     }
@@ -151,7 +151,7 @@ fn indirect_dispatch() {
         ArmInstr::mov(ArmReg::R0, Operand2::Imm(99)),
         ArmInstr::Svc { imm: 0, cond: Cond::Al },
     ];
-    let results = run_all_engines(&image_of(&prog), Rc::new(RuleSet::new()));
+    let results = run_all_engines(&image_of(&prog), Arc::new(RuleSet::new()));
     for (label, r0, _) in &results {
         assert_eq!(*r0, 99, "{label}");
     }

@@ -14,7 +14,7 @@ use ldbt_dbt::Engine;
 use ldbt_learn::cache::VerifyCache;
 use ldbt_learn::pipeline::{learn_from_source_cached, LearnConfig};
 use ldbt_learn::{FaultPlan, FaultSite, RuleSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A small program with rule-friendly inner-loop arithmetic.
 const SRC: &str = "
@@ -53,7 +53,7 @@ fn clean_watchdog_run_quarantines_nothing() {
     let image = build_arm_image(SRC, &Options::o2()).unwrap();
     let want = tcg_want(&image);
     let (rules, _) = learn(&clean_config());
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(rules)))
         .with_watchdog(Some(1))
         .with_fault(None);
     assert_eq!(e.run(50_000_000), RunOutcome::Halted);
@@ -69,7 +69,7 @@ fn rule_corrupt_is_quarantined_and_output_matches_tcg() {
     let want = tcg_want(&image);
     let (rules, _) = learn(&clean_config());
     let fault = FaultPlan { site: FaultSite::RuleCorrupt, seed: 0 };
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(rules)))
         .with_watchdog(Some(1))
         .with_fault(Some(fault));
     assert_eq!(e.run(50_000_000), RunOutcome::Halted, "corruption must not abort the run");
@@ -95,7 +95,7 @@ fn imm_skew_is_repaired_and_output_matches_tcg() {
     let mut probe = rules.clone();
     let victim = ldbt_learn::corrupt_ruleset(&mut probe, fault);
     assert!(victim.is_some(), "the learned set has an imm-parameterized rule to skew");
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(rules)))
         .with_watchdog(Some(1))
         .with_fault(Some(fault))
         .with_repair(true);
@@ -145,7 +145,7 @@ int main() {
     let mut probe = rules.clone();
     let victim = ldbt_learn::corrupt_ruleset(&mut probe, fault);
     assert!(victim.is_some(), "the learned set has a two-register rule to swap");
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(rules)))
         .with_watchdog(Some(1))
         .with_fault(Some(fault))
         .with_repair(true);
@@ -170,7 +170,7 @@ fn repair_off_falls_back_to_conservative_quarantine() {
     let want = tcg_want(&image);
     let (rules, _) = learn(&clean_config());
     let fault = FaultPlan { site: FaultSite::ImmSkew, seed: 0 };
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(rules)))
         .with_watchdog(Some(1))
         .with_fault(Some(fault))
         .with_repair(false);
@@ -196,7 +196,7 @@ fn solver_exhaust_degrades_yield_without_abort() {
     // Whatever survived is still verified: the DBT result stays exact.
     let image = build_arm_image(SRC, &Options::o2()).unwrap();
     let want = tcg_want(&image);
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(rules)))
         .with_watchdog(Some(1))
         .with_fault(None);
     assert_eq!(e.run(50_000_000), RunOutcome::Halted);
@@ -224,7 +224,7 @@ fn worker_panic_loses_only_its_item() {
     // The surviving set still runs exactly.
     let image = build_arm_image(SRC, &Options::o2()).unwrap();
     let want = tcg_want(&image);
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)))
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(rules)))
         .with_watchdog(Some(1))
         .with_fault(None);
     assert_eq!(e.run(50_000_000), RunOutcome::Halted);
@@ -256,7 +256,7 @@ fn env_driven_fault_run_completes_identical_to_tcg() {
         }
         _ => false,
     };
-    let mut e = Engine::new(&image, Translator::Rules(Rc::new(rules)));
+    let mut e = Engine::new(&image, Translator::Rules(Arc::new(rules)));
     assert_eq!(e.run(50_000_000), RunOutcome::Halted, "no fault plan may abort the run");
     assert_eq!(
         e.guest_reg(ArmReg::R0),
