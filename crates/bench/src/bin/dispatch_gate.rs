@@ -9,14 +9,19 @@
 //! gated statistic: noise only ever adds time, so the minimum is the
 //! stable estimate of the true cost.
 //!
-//! Output, one line per engine (milliseconds, three decimals):
+//! Output, one line per engine (milliseconds, three decimals; the
+//! memory-access and region-pass counters are appended after
+//! `host_instrs` so the awk field positions tier1.sh gates on are
+//! stable):
 //!
 //! ```text
-//! dispatch_gate tcg min_ms=131.204 host_instrs=310081086
+//! dispatch_gate tcg min_ms=131.204 host_instrs=310081086 mem_loads=... mem_stores=... ra_promoted=... fuse_elim=...
 //! ```
 //!
-//! `rules_nosb` is the ablation row: the rules engine with superblock
-//! formation disabled, isolating the region layer's contribution.
+//! Ablation rows isolate each layer's contribution: `rules_nosb` is the
+//! rules engine with superblock formation disabled, `rules_nofuse` with
+//! guest memory access fusion disabled, and `rules_nora` with region
+//! register allocation disabled.
 
 use ldbt_compiler::{link::build_arm_image, Options};
 use ldbt_dbt::engine::{RunOutcome, Translator};
@@ -82,10 +87,31 @@ fn main() {
                 }
             }),
         ),
+        (
+            "rules_nofuse",
+            Box::new({
+                let (image, rules) = (image.clone(), Arc::clone(&rules));
+                move || {
+                    Engine::new(&image, Translator::Rules(Arc::clone(&rules))).with_fusion(false)
+                }
+            }),
+        ),
+        (
+            "rules_nora",
+            Box::new({
+                let (image, rules) = (image.clone(), Arc::clone(&rules));
+                move || {
+                    Engine::new(&image, Translator::Rules(Arc::clone(&rules)))
+                        .with_region_alloc(false)
+                }
+            }),
+        ),
     ];
     for (name, make) in engines {
         let mut best = f64::INFINITY;
         let mut host_instrs = 0;
+        let mut mem = (0, 0);
+        let mut passes = (0, 0);
         for _ in 0..RUNS {
             let mut e = make();
             let t0 = Instant::now();
@@ -93,7 +119,13 @@ fn main() {
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             best = best.min(ms);
             host_instrs = e.stats.exec.host_instrs;
+            mem = (e.stats.exec.mem_loads, e.stats.exec.mem_stores);
+            passes = (e.stats.ra_promoted(), e.stats.fuse_elim());
         }
-        println!("dispatch_gate {name} min_ms={best:.3} host_instrs={host_instrs}");
+        println!(
+            "dispatch_gate {name} min_ms={best:.3} host_instrs={host_instrs} \
+             mem_loads={} mem_stores={} ra_promoted={} fuse_elim={}",
+            mem.0, mem.1, passes.0, passes.1
+        );
     }
 }

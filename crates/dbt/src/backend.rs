@@ -24,7 +24,11 @@ use ldbt_isa::Width;
 use ldbt_x86::{AluOp, Cc, Gpr, Operand, ShiftOp, UnOp, X86Instr, X86Mem};
 use std::collections::HashMap;
 
-const POOL: [Gpr; 6] = [Gpr::Ecx, Gpr::Edx, Gpr::Ebx, Gpr::Esi, Gpr::Edi, Gpr::Ebp];
+/// The allocatable host register pool: every general-purpose register
+/// except `%eax` (exit-pc linkage) and `%esp` (host stack). The region
+/// allocator in [`crate::sb`] pins guest registers to the pool entries a
+/// region's code leaves untouched.
+pub(crate) const POOL: [Gpr; 6] = [Gpr::Ecx, Gpr::Edx, Gpr::Ebx, Gpr::Esi, Gpr::Edi, Gpr::Ebp];
 
 fn cc_of(c: TcgCond) -> Cc {
     match c {
@@ -150,6 +154,13 @@ impl Lowerer {
             })
             .max_by_key(|(_, t)| self.last_use.get(t).copied().unwrap_or(0))
             .expect("pool has evictable temps");
+        // The pool holds at most `POOL.len()` temps, each spillable once,
+        // and slots are recycled on reload/death — pressure can never
+        // exhaust `SPILL_SLOTS` (16) while the pool is ≥ 2 wide.
+        debug_assert!(
+            self.free_slots.len() <= SPILL_SLOTS as usize,
+            "spill slot bookkeeping overflowed SPILL_SLOTS"
+        );
         let slot = self.free_slots.pop().expect("out of spill slots");
         let m = self.spill_mem(slot);
         self.emit(X86Instr::Mov { dst: Operand::Mem(m), src: Operand::Reg(victim_reg) });
@@ -738,6 +749,82 @@ mod tests {
             mem.write(ENV_BASE + FlagId::Z.offset(), 0, Width::W32);
         });
         assert_eq!(guest_reg(&st2, ArmReg::R0), 9, "executed");
+    }
+
+    /// Regression for the spill bookkeeping assertion in `grab_reg`: an
+    /// adversarial block keeping more than the 6 pool registers' worth of
+    /// guest state live, lowered at the narrowest legal pool, must stay
+    /// within `SPILL_SLOTS` — every spill reference the lowered code
+    /// makes has to land inside the env spill area, and the debug
+    /// assertion (active in test builds) must not fire.
+    #[test]
+    fn spill_pressure_never_exceeds_spill_slots() {
+        // 13 guest registers, each read and written, with every result
+        // depending on a neighbor so homes stay live across the block.
+        let mut instrs = Vec::new();
+        for i in 0..13usize {
+            instrs.push(ArmInstr::dp(
+                DpOp::Add,
+                ArmReg::from_index(i),
+                ArmReg::from_index(i),
+                Operand2::Reg(ArmReg::from_index((i + 1) % 13)),
+            ));
+        }
+        let block = GuestBlock { pc: 0x1_0000, instrs };
+        let mem = Memory::new();
+        let tcg = translate_block(&mem, &block);
+        assert_eq!(tcg.unsupported_at, None);
+        // A 2-wide pool is below the allocator's floor: a two-operand ALU
+        // can pin both pool registers via `forbid`, leaving no evictable
+        // victim. Three registers is the narrowest legal pool.
+        for pool_limit in [3, 4, POOL.len()] {
+            let code = lower_block_opts(&tcg, true, pool_limit).code;
+            let spill_lo = ENV_BASE + SPILL_OFFSET;
+            let spill_hi = spill_lo + 4 * SPILL_SLOTS;
+            for ins in &code {
+                let mems: Vec<X86Mem> = match *ins {
+                    X86Instr::Mov { dst: Operand::Mem(m), .. }
+                    | X86Instr::Mov { src: Operand::Mem(m), .. }
+                    | X86Instr::Alu { dst: Operand::Mem(m), .. }
+                    | X86Instr::Alu { src: Operand::Mem(m), .. } => vec![m],
+                    _ => vec![],
+                };
+                for m in mems {
+                    let a = m.disp as u32;
+                    if m.base.is_none() && a >= spill_lo {
+                        assert!(
+                            a < spill_hi,
+                            "spill reference {a:#x} beyond SPILL_SLOTS in {ins:?}"
+                        );
+                    }
+                }
+            }
+            // The block still computes the right values at this pressure.
+            let mut st = X86State::new();
+            st.set_reg(Gpr::Esp, crate::env::HOST_STACK_TOP);
+            for i in 0..13usize {
+                set_guest_reg(&mut st.mem, ArmReg::from_index(i), 100 * i as u32);
+            }
+            let mut stats = ExecStats::new();
+            let exit = run_seq(&mut st, &code, 10_000, &CostModel::default(), &mut stats);
+            assert_eq!(exit, SeqExit::Returned, "pool_limit={pool_limit}");
+            // Expected values come from simulating the sequence: r12 reads
+            // r0 *after* instruction 0 already rewrote it.
+            let mut want = [0u32; 13];
+            for (i, w) in want.iter_mut().enumerate() {
+                *w = 100 * i as u32;
+            }
+            for i in 0..13usize {
+                want[i] = want[i].wrapping_add(want[(i + 1) % 13]);
+            }
+            for (i, w) in want.iter().enumerate() {
+                assert_eq!(
+                    guest_reg(&st, ArmReg::from_index(i)),
+                    *w,
+                    "r{i} at pool_limit={pool_limit}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -32,13 +32,14 @@
 
 use crate::backend::lower_block;
 use crate::env::{
-    chaining_from_env, env_mem, reg_mem, repair_from_env, superblocks_from_env, watchdog_from_env,
-    FlagId, ENV_BASE, FLAGMODE_OFFSET, HOST_STACK_TOP,
+    chaining_from_env, env_mem, fusion_from_env, reg_mem, region_alloc_from_env, repair_from_env,
+    superblocks_from_env, watchdog_from_env, FlagId, ENV_BASE, FLAGMODE_OFFSET, HOST_STACK_TOP,
 };
 use crate::jit::optimize_block;
 use crate::rules::block_supported;
 use crate::sb::{
-    optimize_region, specialize_part, strip_seam_exits, SbPart, SeamState, Superblock, NO_SB,
+    allocate_region, fuse_region, optimize_region, optimize_region_pinned, ra_preamble,
+    region_contract, specialize_part, strip_seam_exits, SbPart, SeamState, Superblock, NO_SB,
     SB_MAX_PARTS,
 };
 use crate::share::RuleCell;
@@ -245,6 +246,10 @@ pub struct Engine {
     /// Superblock formation threshold; `None` disables formation
     /// (`LDBT_NOSB` / `LDBT_SB_THRESHOLD`).
     sb_cfg: Option<u64>,
+    /// Region register allocation enabled (`!LDBT_NORA`).
+    region_alloc: bool,
+    /// Guest memory access fusion enabled (`!LDBT_NOFUSE`).
+    fusion: bool,
     /// Shared rule-generation cell. Present exactly when the translator
     /// is rules-based: a solo engine gets a private cell, serve-mode
     /// tenants share one via [`Engine::with_rule_cell`]. All rule-set
@@ -302,6 +307,8 @@ impl Engine {
             superblocks: Vec::new(),
             sb_members: HashMap::new(),
             sb_cfg: superblocks_from_env(),
+            region_alloc: region_alloc_from_env(),
+            fusion: fusion_from_env(),
             rule_cell,
             rules_gen: 0,
         }
@@ -345,6 +352,20 @@ impl Engine {
     /// executions (the `LDBT_SB_THRESHOLD` knob).
     pub fn with_superblocks(mut self, cfg: Option<u64>) -> Engine {
         self.sb_cfg = cfg;
+        self
+    }
+
+    /// Enable or disable region register allocation inside superblocks
+    /// (the `LDBT_NORA` knob).
+    pub fn with_region_alloc(mut self, on: bool) -> Engine {
+        self.region_alloc = on;
+        self
+    }
+
+    /// Enable or disable guest memory access fusion inside superblocks
+    /// (the `LDBT_NOFUSE` knob).
+    pub fn with_fusion(mut self, on: bool) -> Engine {
+        self.fusion = on;
         self
     }
 
@@ -1493,6 +1514,27 @@ impl Engine {
         if path.len() < 2 {
             return;
         }
+        // Prefer a path whose final chain target is the head: the
+        // backedge then stays resident (the pinned registers live around
+        // the loop) instead of paying writeback stubs plus the entry
+        // preamble on every traversal. The walk unrolls the loop up to
+        // SB_MAX_PARTS, which rarely lands on a whole number of cycles —
+        // truncate back to the last revisit of the head so it does. The
+        // dropped tail parts lose nothing: execution reaches them again
+        // on the next resident trip around the region.
+        let hottest = |bid: u32| {
+            self.blocks[bid as usize]
+                .links_out
+                .iter()
+                .map(|&(_, succ)| succ)
+                .filter(|&s| self.blocks[s as usize].chainable())
+                .max_by_key(|&s| (self.blocks[s as usize].execs, std::cmp::Reverse(s)))
+        };
+        if hottest(*path.last().unwrap()) != Some(head) {
+            if let Some(cut) = (2..path.len()).rev().find(|&i| path[i] == head) {
+                path.truncate(cut);
+            }
+        }
         let mut st = SeamState::entry();
         let mut parts: Vec<SbPart> = Vec::with_capacity(path.len());
         let mut pcs: Vec<u32> = Vec::with_capacity(path.len());
@@ -1505,6 +1547,29 @@ impl Engine {
         }
         strip_seam_exits(&mut parts, &pcs);
         optimize_region(&mut parts);
+        // Region-wide passes: memory access fusion first (its dead-store
+        // sinking must run before writeback stubs exist), then register
+        // allocation, then one more cleanup sweep with the pinned
+        // registers held live across seams.
+        let fused = if self.fusion { fuse_region(&mut parts) } else { 0 };
+        if fused > 0 {
+            self.stats.add(DbtCtr::FuseElim, fused);
+        }
+        let ra = if self.region_alloc {
+            allocate_region(&mut parts, &crate::backend::POOL)
+        } else {
+            Vec::new()
+        };
+        if !ra.is_empty() {
+            self.stats.add(DbtCtr::RaPromoted, ra.len() as u64);
+        }
+        if fused > 0 || !ra.is_empty() {
+            optimize_region_pinned(&mut parts, &ra);
+        }
+        debug_assert!(
+            region_contract(&parts, &ra),
+            "superblock region allocation contract violated"
+        );
         let rid = self.superblocks.len() as u32;
         let mut seen: HashSet<u32> = HashSet::new();
         for &bid in &path {
@@ -1513,7 +1578,8 @@ impl Engine {
             }
         }
         self.blocks[head as usize].sb_head = rid;
-        self.superblocks.push(Superblock { head, parts, dead: false });
+        let preamble = Rc::new(ra_preamble(&ra));
+        self.superblocks.push(Superblock { head, parts, ra, preamble, dead: false });
         self.stats.bump(DbtCtr::SbFormed);
         if trace::enabled(Scope::Exec) {
             trace::emit(
@@ -1581,7 +1647,18 @@ impl Engine {
     /// bit-identical with superblocks on or off; only the host
     /// instruction count (the thing regions exist to shrink) differs.
     fn run_superblock(&mut self, rid: u32, fuel: u64) -> SbStep {
+        let (ra, preamble, head_id) = {
+            let sb = &self.superblocks[rid as usize];
+            (sb.ra.clone(), Rc::clone(&sb.preamble), sb.parts[0].id)
+        };
         let mut k = 0usize;
+        // Whether the pinned registers currently hold guest state. Set
+        // when the entry preamble runs; stays set across seams *and*
+        // across the loop backedge to the head — a `ChainJmp` back to
+        // part 0 is an in-region transition, so the pins remain
+        // authoritative and neither the writeback stubs nor the preamble
+        // execute on it. Only a true escape leaves the region.
+        let mut resident = false;
         loop {
             let (bid, code, ft_seam, next_id) = {
                 let sb = &self.superblocks[rid as usize];
@@ -1608,11 +1685,32 @@ impl Engine {
                 }
                 _ => false,
             };
-            let wd =
-                if check_now { Some((Rc::clone(&b.hits), self.state.mem.clone())) } else { None };
+            // While resident the pinned registers are authoritative and
+            // the env homes stale: materialize before snapshotting so the
+            // watchdog's reference interpretation starts from the true
+            // guest state. Before the preamble has run, env is already
+            // authoritative.
+            let hits = Rc::clone(&b.hits);
+            if check_now && resident {
+                self.materialize_ra(&ra);
+            }
+            let wd = if check_now { Some((hits, self.state.mem.clone())) } else { None };
+            // First entry into the region body: load the pinned registers
+            // from their env homes. The preamble only reads env, so it is
+            // transparent to the watchdog snapshot taken just above.
+            if k == 0 && !resident && !ra.is_empty() {
+                let left = fuel - self.stats.exec.host_instrs;
+                match run_seq(&mut self.state, &preamble, left, &self.cost, &mut self.stats.exec) {
+                    SeqExit::FellThrough => {}
+                    _ => return SbStep::Done(RunOutcome::OutOfFuel),
+                }
+                resident = true;
+            }
             let remaining = fuel - self.stats.exec.host_instrs;
             let exit = run_seq(&mut self.state, &code, remaining, &self.cost, &mut self.stats.exec);
-            // None = back to the dispatcher; Some((next, is_seam)).
+            // None = back to the dispatcher; Some((next, kind)) with
+            // kind 1 = seam to the next part, kind 2 = resident backedge
+            // to the region head, kind 0 = escape out of the region.
             let step = match exit {
                 SeqExit::Halted => return SbStep::Done(RunOutcome::Halted),
                 SeqExit::OutOfFuel => return SbStep::Done(RunOutcome::OutOfFuel),
@@ -1622,13 +1720,24 @@ impl Engine {
                     // *is* the chained jump to the next part.
                     (true, Some(n)) => {
                         self.pc = self.blocks[n as usize].pc;
-                        Some((n, true))
+                        Some((n, 1u8))
                     }
                     _ => return SbStep::Done(RunOutcome::Fault),
                 },
                 SeqExit::Chained(next) => {
                     self.pc = self.blocks[next as usize].pc;
-                    Some((next, next_id == Some(next)))
+                    // Seam takes precedence over backedge: in an unrolled
+                    // self-loop every part *is* the head, and mid-unroll
+                    // chains are seams; only the last part's chain back to
+                    // the head closes the loop.
+                    let kind = if next_id == Some(next) {
+                        1u8
+                    } else if next == head_id {
+                        2u8
+                    } else {
+                        0u8
+                    };
+                    Some((next, kind))
                 }
                 SeqExit::Returned => {
                     self.pc = self.state.reg(Gpr::Eax);
@@ -1636,6 +1745,16 @@ impl Engine {
                 }
             };
             if let Some((hits, pre)) = wd {
+                // The comparison surface is env: materialize the pinned
+                // registers, but only when the part continued *in-region*
+                // (a seam carries guest state in pinned registers). After
+                // an escape the writeback stubs already materialized env,
+                // and later cleanup may have renamed a writeback's source
+                // away from the pinned register — overwriting env from it
+                // then would corrupt guest state.
+                if matches!(step, Some((_, 1 | 2))) {
+                    self.materialize_ra(&ra);
+                }
                 match self.watchdog_check(block_pc, &hits, pre) {
                     WdVerdict::Clean => {}
                     // The divergence rewind purged blocks — possibly this
@@ -1645,21 +1764,40 @@ impl Engine {
                 }
             }
             match step {
-                Some((next, is_seam)) => {
+                Some((next, kind)) => {
                     // Mirror the chained-transition fuel check and
                     // accounting of the plain path.
                     if self.stats.exec.host_instrs >= fuel {
                         return SbStep::Done(RunOutcome::OutOfFuel);
                     }
                     self.stats.bump(DbtCtr::ChainedExecs);
-                    if is_seam {
-                        k += 1;
-                    } else {
-                        return SbStep::Continue(next);
+                    match kind {
+                        // Seam: on to the next part, pins stay resident.
+                        1 => k += 1,
+                        // Resident backedge: around the loop without
+                        // leaving the region — no writebacks ran, no
+                        // preamble will re-run, pins stay authoritative.
+                        2 => k = 0,
+                        // Escape: the writeback stubs materialized env on
+                        // the way out; hand control back to the chainer.
+                        _ => return SbStep::Continue(next),
                     }
                 }
                 None => return SbStep::Dispatch,
             }
+        }
+    }
+
+    /// Write every pinned register's current value to its guest env home
+    /// ([`Superblock::ra`]). Called only at in-region part boundaries
+    /// ahead of a watchdog snapshot or comparison — there the pinned
+    /// register is authoritative and the env home stale. Never called
+    /// after an escape: the region's writeback stubs have already
+    /// materialized env.
+    fn materialize_ra(&mut self, ra: &[(u8, Gpr)]) {
+        for &(s, p) in ra {
+            let v = self.state.reg(p);
+            self.state.mem.write(ENV_BASE + 4 * s as u32, v, Width::W32);
         }
     }
 

@@ -7,9 +7,10 @@
 //! boundaries.
 //!
 //! The knob parsers (`LDBT_WATCHDOG`, `LDBT_NOCHAIN`, `LDBT_NOSB`,
-//! `LDBT_SB_THRESHOLD`, `LDBT_REPAIR`) live here too so every engine default follows
-//! one documented convention: unset / empty / `0` / garbage always
-//! resolve to the knob's default, never to a surprise mode.
+//! `LDBT_SB_THRESHOLD`, `LDBT_NORA`, `LDBT_NOFUSE`, `LDBT_REPAIR`) live
+//! here too so every engine default follows one documented convention:
+//! unset / empty / `0` / garbage always resolve to the knob's default,
+//! never to a surprise mode.
 
 use ldbt_arm::ArmReg;
 use ldbt_x86::X86Mem;
@@ -137,6 +138,34 @@ pub fn chaining_from_env() -> bool {
 /// `off` keep superblocks **on**; anything else turns them off.
 pub fn parse_superblocks(raw: Option<&str>) -> bool {
     matches!(raw.map(str::trim), None | Some("" | "0" | "off"))
+}
+
+/// Parse table for `LDBT_NORA` (region register-allocation kill switch):
+/// the same disabler convention as `LDBT_NOSB` — unset, `""`, `0`, and
+/// `off` keep region register allocation **on**; anything else turns it
+/// off (superblocks still form, env accesses stay through home slots).
+pub fn parse_region_alloc(raw: Option<&str>) -> bool {
+    matches!(raw.map(str::trim), None | Some("" | "0" | "off"))
+}
+
+/// Cached `LDBT_NORA` parse.
+pub fn region_alloc_from_env() -> bool {
+    static NORA: OnceLock<bool> = OnceLock::new();
+    *NORA.get_or_init(|| parse_region_alloc(std::env::var("LDBT_NORA").ok().as_deref()))
+}
+
+/// Parse table for `LDBT_NOFUSE` (guest memory-access fusion kill
+/// switch): the same disabler convention as `LDBT_NOSB` — unset, `""`,
+/// `0`, and `off` keep fusion **on**; anything else turns it off
+/// (superblocks still form, every guest memory access stays explicit).
+pub fn parse_fusion(raw: Option<&str>) -> bool {
+    matches!(raw.map(str::trim), None | Some("" | "0" | "off"))
+}
+
+/// Cached `LDBT_NOFUSE` parse.
+pub fn fusion_from_env() -> bool {
+    static NOFUSE: OnceLock<bool> = OnceLock::new();
+    *NOFUSE.get_or_init(|| parse_fusion(std::env::var("LDBT_NOFUSE").ok().as_deref()))
 }
 
 /// Parse table for `LDBT_SB_THRESHOLD` (superblock formation hotness
@@ -274,6 +303,28 @@ mod tests {
         }
         for v in ["1", "on", "garbage"] {
             assert!(!parse_superblocks(Some(v)), "{v:?} disables superblocks");
+        }
+    }
+
+    #[test]
+    fn region_alloc_parse_table() {
+        assert!(parse_region_alloc(None), "unset keeps region allocation on");
+        for v in ["", "0", "off", " 0 "] {
+            assert!(parse_region_alloc(Some(v)), "{v:?} keeps region allocation on");
+        }
+        for v in ["1", "on", "garbage"] {
+            assert!(!parse_region_alloc(Some(v)), "{v:?} disables region allocation");
+        }
+    }
+
+    #[test]
+    fn fusion_parse_table() {
+        assert!(parse_fusion(None), "unset keeps fusion on");
+        for v in ["", "0", "off", " 0 "] {
+            assert!(parse_fusion(Some(v)), "{v:?} keeps fusion on");
+        }
+        for v in ["1", "on", "garbage"] {
+            assert!(!parse_fusion(Some(v)), "{v:?} disables fusion");
         }
     }
 

@@ -70,6 +70,13 @@ pub enum DbtCtr {
     WdRepaired,
     /// Repair attempts that failed (the rule stayed quarantined).
     WdRepairFailed,
+    /// Guest register env slots promoted to pinned host registers by the
+    /// region allocator (one per slot per formed region).
+    RaPromoted,
+    /// Guest memory accesses eliminated or paired by region fusion
+    /// (store-to-load forwarding, redundant-load and dead-store
+    /// elimination, narrow-store pairing).
+    FuseElim,
 }
 
 /// Registry names, in [`DbtCtr`] declaration order (the snapshot and
@@ -98,6 +105,8 @@ pub const DBT_COUNTER_NAMES: &[&str] = &[
     "wd_repair_attempts",
     "wd_repaired",
     "wd_repair_failed",
+    "ra_promoted",
+    "fuse_elim",
 ];
 
 /// Statistics accumulated by an [`crate::Engine`] run.
@@ -163,6 +172,8 @@ impl DbtStats {
         all.push(("host_instrs", self.exec.host_instrs));
         all.push(("exec_cycles", self.exec.exec_cycles));
         all.push(("translation_cycles", self.exec.translation_cycles));
+        all.push(("mem_loads", self.exec.mem_loads));
+        all.push(("mem_stores", self.exec.mem_stores));
         all
     }
 
@@ -234,6 +245,16 @@ impl DbtStats {
     }
     pub fn wd_repair_failed(&self) -> u64 {
         self.get(DbtCtr::WdRepairFailed)
+    }
+
+    /// Guest register slots pinned to host registers by region allocation.
+    pub fn ra_promoted(&self) -> u64 {
+        self.get(DbtCtr::RaPromoted)
+    }
+
+    /// Guest memory accesses eliminated or paired by region fusion.
+    pub fn fuse_elim(&self) -> u64 {
+        self.get(DbtCtr::FuseElim)
     }
 
     /// Static rule coverage `Sₚ = Σ Bᵢ / m` (Figure 11).
@@ -354,7 +375,7 @@ mod tests {
         s.bump(DbtCtr::Blocks);
         s.add(DbtCtr::ChainedExecs, 7);
         let snap = s.registry();
-        assert_eq!(snap.len(), DBT_COUNTER_NAMES.len() + 3);
+        assert_eq!(snap.len(), DBT_COUNTER_NAMES.len() + 5);
         let names: Vec<&str> = snap.iter().map(|(n, _)| *n).collect();
         assert_eq!(&names[..DBT_COUNTER_NAMES.len()], DBT_COUNTER_NAMES);
         assert_eq!(snap[DbtCtr::Blocks as usize], ("blocks", 1));

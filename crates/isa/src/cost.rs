@@ -94,6 +94,10 @@ pub struct ExecStats {
     pub guest_instrs_translated: u64,
     /// Guest basic blocks translated (static).
     pub blocks_translated: u64,
+    /// Dynamic memory loads executed (ALU-with-memory-source included).
+    pub mem_loads: u64,
+    /// Dynamic memory stores executed.
+    pub mem_stores: u64,
 }
 
 impl ExecStats {
@@ -106,6 +110,11 @@ impl ExecStats {
     pub fn record(&mut self, kind: InstrKind, model: &CostModel) {
         self.host_instrs += 1;
         self.exec_cycles += model.cost(kind);
+        match kind {
+            InstrKind::Load => self.mem_loads += 1,
+            InstrKind::Store => self.mem_stores += 1,
+            _ => {}
+        }
     }
 
     /// Total modeled time: translation plus execution.
@@ -145,8 +154,11 @@ mod tests {
         let mut s = ExecStats::new();
         s.record(InstrKind::Alu, &m);
         s.record(InstrKind::Load, &m);
-        assert_eq!(s.host_instrs, 2);
-        assert_eq!(s.exec_cycles, m.alu + m.load);
+        s.record(InstrKind::Store, &m);
+        assert_eq!(s.host_instrs, 3);
+        assert_eq!(s.exec_cycles, m.alu + m.load + m.store);
+        assert_eq!(s.mem_loads, 1);
+        assert_eq!(s.mem_stores, 1);
     }
 
     #[test]

@@ -163,8 +163,20 @@ int main() {
     ];
     // Counters legitimately different between the two runs: the sb_*
     // counters (zero on the disabled side by definition) and the host
-    // execution work (the optimization target).
-    let exempt = ["sb_formed", "sb_execs", "sb_invalidated", "host_instrs", "exec_cycles"];
+    // execution work (the optimization target) — which since the region
+    // fusion/allocation passes includes the dynamic memory access counts
+    // and the pass counters themselves.
+    let exempt = [
+        "sb_formed",
+        "sb_execs",
+        "sb_invalidated",
+        "host_instrs",
+        "exec_cycles",
+        "mem_loads",
+        "mem_stores",
+        "ra_promoted",
+        "fuse_elim",
+    ];
     for (name, t) in translators {
         for watchdog in [None, Some(3)] {
             let run = |sb: Option<u64>| {
@@ -200,6 +212,74 @@ int main() {
             );
             let hits = |e: &Engine| e.stats.hit_rules.clone();
             assert_eq!(hits(&on), hits(&off), "{ctx}: hit-rule attribution diverges");
+        }
+    }
+}
+
+/// Region register allocation and guest memory access fusion are pure
+/// optimizations: across every translator × watchdog setting, every
+/// point of the {RA on/off} × {fusion on/off} matrix produces
+/// bit-identical guest registers and guest memory. Both passes only
+/// shrink the host work — they never change what the guest computes.
+#[test]
+fn region_alloc_and_fusion_are_bit_identical_on_off() {
+    let src = "
+int a[16];
+int main() {
+  int s = 0;
+  for (int i = 0; i < 16; i += 1) { a[i] = i * 7; }
+  for (int i = 0; i < 400; i += 1) {
+    s = s + a[i & 15];
+    if (i & 1) { s = s ^ 9; }
+  }
+  return s & 0xffff;
+}";
+    let rules = Arc::new(learn_from_source("ra-det", src, &Options::o2()).unwrap().rules);
+    let image = build_arm_image(src, &Options::o2()).unwrap();
+    let translators: [(&str, Translator); 3] = [
+        ("tcg", Translator::Tcg),
+        ("rules", Translator::Rules(Arc::clone(&rules))),
+        ("jit", Translator::Jit),
+    ];
+    for (name, t) in translators {
+        for watchdog in [None, Some(3)] {
+            let run = |ra: bool, fuse: bool| {
+                let mut e = Engine::new(&image, t.clone())
+                    .with_chaining(true)
+                    .with_watchdog(watchdog)
+                    .with_fault(None)
+                    .with_superblocks(Some(8))
+                    .with_region_alloc(ra)
+                    .with_fusion(fuse);
+                assert_eq!(
+                    e.run(100_000_000),
+                    RunOutcome::Halted,
+                    "{name} wd={watchdog:?} ra={ra} fuse={fuse}"
+                );
+                e
+            };
+            let base = run(false, false);
+            assert_eq!(base.stats.ra_promoted(), 0, "{name}: RA must not run when disabled");
+            assert_eq!(base.stats.fuse_elim(), 0, "{name}: fusion must not run when disabled");
+            for (ra, fuse) in [(true, false), (false, true), (true, true)] {
+                let on = run(ra, fuse);
+                let ctx = format!("{name} wd={watchdog:?} ra={ra} fuse={fuse}");
+                for r in ArmReg::ALL {
+                    assert_eq!(on.guest_reg(r), base.guest_reg(r), "{ctx}: {r:?}");
+                }
+                assert_eq!(
+                    on.state.mem.first_difference(&base.state.mem, |_| false),
+                    None,
+                    "{ctx}: guest memory diverges"
+                );
+                assert!(
+                    on.stats.exec.host_instrs <= base.stats.exec.host_instrs,
+                    "{ctx}: the passes never add host work"
+                );
+                if fuse && name == "rules" {
+                    assert!(on.stats.fuse_elim() > 0, "{ctx}: fusion must fire on a hot loop");
+                }
+            }
         }
     }
 }

@@ -178,6 +178,207 @@ proptest! {
     }
 }
 
+/// One guest memory access for the fusion-equivalence property, at a
+/// static absolute address in the guest data region.
+#[derive(Debug, Clone)]
+enum FuseOp {
+    /// Store an immediate (via `mov_imm` + `MovStore` for narrow widths,
+    /// a direct memory-immediate `mov` for words).
+    Store(u32, i32, Width),
+    /// Two 16-bit constant stores at `addr` and `addr + 2` — the shape
+    /// `pair_stores` fuses into one word store when `addr % 4 == 0`, and
+    /// must refuse otherwise.
+    Pair(u32, u16, u16),
+    /// Load (zero- or sign-extended for narrow widths) folded into the
+    /// `%esi` checksum.
+    Load(u32, Width, bool),
+}
+
+/// Absolute guest data addresses: a few pages starting at 0x0050_0000,
+/// weighted toward page boundaries and unaligned offsets so misaligned
+/// and page-crossing accesses (which fusion must never pair) are common.
+fn fuse_addr() -> impl Strategy<Value = u32> {
+    let off = prop_oneof![0u32..16, 4088u32..4096, Just(1u32), Just(2u32), Just(3u32)];
+    (0u32..3, off).prop_map(|(page, off)| 0x0050_0000 + page * 4096 + off)
+}
+
+fn fuse_op() -> impl Strategy<Value = FuseOp> {
+    let width = prop_oneof![Just(Width::W8), Just(Width::W16), Just(Width::W32)];
+    prop_oneof![
+        (fuse_addr(), any::<i32>(), width.clone()).prop_map(|(a, v, w)| FuseOp::Store(a, v, w)),
+        (fuse_addr(), any::<u16>(), any::<u16>()).prop_map(|(a, lo, hi)| FuseOp::Pair(a, lo, hi)),
+        (fuse_addr(), width, any::<bool>()).prop_map(|(a, w, s)| FuseOp::Load(a, w, s)),
+    ]
+}
+
+/// Lower one [`FuseOp`] to host code. Loads fold into the `%esi`
+/// checksum with an op alternating by position so reorderings change the
+/// result.
+fn emit_fuse_op(idx: usize, op: &FuseOp, code: &mut Vec<X86Instr>) {
+    let fold = if idx.is_multiple_of(2) { AluOp::Add } else { AluOp::Xor };
+    let abs = |a: u32| X86Mem::absolute(a as i32);
+    match *op {
+        FuseOp::Store(a, v, Width::W32) => {
+            code.push(X86Instr::Mov { dst: Operand::Mem(abs(a)), src: Operand::Imm(v) });
+        }
+        FuseOp::Store(a, v, w) => {
+            code.push(X86Instr::mov_imm(Gpr::Eax, v));
+            code.push(X86Instr::MovStore { width: w, src: Gpr::Eax, dst: abs(a) });
+        }
+        FuseOp::Pair(a, lo, hi) => {
+            code.push(X86Instr::mov_imm(Gpr::Eax, lo as i32));
+            code.push(X86Instr::mov_imm(Gpr::Edx, hi as i32));
+            code.push(X86Instr::MovStore { width: Width::W16, src: Gpr::Eax, dst: abs(a) });
+            code.push(X86Instr::MovStore {
+                width: Width::W16,
+                src: Gpr::Edx,
+                dst: abs(a.wrapping_add(2)),
+            });
+        }
+        FuseOp::Load(a, Width::W32, _) => {
+            code.push(X86Instr::Mov { dst: Operand::Reg(Gpr::Eax), src: Operand::Mem(abs(a)) });
+            code.push(X86Instr::Alu {
+                op: fold,
+                dst: Operand::Reg(Gpr::Esi),
+                src: Operand::Reg(Gpr::Eax),
+            });
+        }
+        FuseOp::Load(a, w, sign) => {
+            code.push(X86Instr::Movx { sign, width: w, dst: Gpr::Eax, src: Operand::Mem(abs(a)) });
+            code.push(X86Instr::Alu {
+                op: fold,
+                dst: Operand::Reg(Gpr::Esi),
+                src: Operand::Reg(Gpr::Eax),
+            });
+        }
+    }
+}
+
+/// Apply one [`FuseOp`] to the byte-loop reference model, returning the
+/// updated checksum.
+fn shadow_fuse_op(idx: usize, op: &FuseOp, shadow: &mut ShadowMem, acc: u32) -> u32 {
+    match *op {
+        FuseOp::Store(a, v, w) => {
+            shadow.write(a, v as u32, w);
+            acc
+        }
+        FuseOp::Pair(a, lo, hi) => {
+            shadow.write(a, lo as u32, Width::W16);
+            shadow.write(a.wrapping_add(2), hi as u32, Width::W16);
+            acc
+        }
+        FuseOp::Load(a, w, sign) => {
+            let raw = shadow.read(a, w);
+            let v = match (w, sign) {
+                (Width::W8, true) => raw as u8 as i8 as i32 as u32,
+                (Width::W16, true) => raw as u16 as i16 as i32 as u32,
+                _ => raw,
+            };
+            if idx.is_multiple_of(2) {
+                acc.wrapping_add(v)
+            } else {
+                acc ^ v
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Guest memory access fusion (store-to-load forwarding, redundant
+    /// load elimination, dead-store sinking, narrow-store pairing —
+    /// including the cross-seam fact carry) is observationally identical
+    /// to the unfused access sequence as judged by a byte-at-a-time
+    /// little-endian reference model, across unaligned and page-crossing
+    /// accesses. Pairing never manufactures an unaligned word store.
+    #[test]
+    fn fused_region_matches_byte_loop_memory_model(
+        ops in proptest::collection::vec(fuse_op(), 1..40),
+        split_frac in 0u32..100,
+    ) {
+        use ldbt_dbt::sb::{fuse_region, SbPart};
+        use ldbt_isa::{CostModel, ExecStats};
+        use ldbt_x86::interp::{run_seq, SeqExit};
+        use ldbt_x86::X86State;
+        use std::rc::Rc;
+
+        // Split the ops across two parts joined by a stripped seam so
+        // the cross-seam fact carry is exercised.
+        let split = (ops.len() * split_frac as usize) / 100;
+        let (mut code_a, mut code_b) = (Vec::new(), Vec::new());
+        for (idx, op) in ops.iter().enumerate() {
+            emit_fuse_op(idx, op, if idx < split { &mut code_a } else { &mut code_b });
+        }
+        code_b.push(X86Instr::Ret);
+        // Word stores that were *already* unaligned in the input: pairing
+        // may never add to this set.
+        let unaligned_words = |code: &[X86Instr]| -> Vec<i32> {
+            code.iter()
+                .filter_map(|ins| match *ins {
+                    X86Instr::Mov { dst: Operand::Mem(m), src: Operand::Imm(_) }
+                        if m.base.is_none() && m.index.is_none() && m.disp % 4 != 0 =>
+                    {
+                        Some(m.disp)
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        let before_unaligned = {
+            let mut v = unaligned_words(&code_a);
+            v.extend(unaligned_words(&code_b));
+            v
+        };
+
+        let mut parts = vec![
+            SbPart { id: 3, code: Rc::new(code_a), fallthrough_seam: true },
+            SbPart { id: 4, code: Rc::new(code_b), fallthrough_seam: false },
+        ];
+        fuse_region(&mut parts);
+        for p in &parts {
+            for d in unaligned_words(&p.code) {
+                prop_assert!(
+                    before_unaligned.contains(&d),
+                    "pairing created an unaligned word store at {d:#x}"
+                );
+            }
+        }
+
+        // Execute the fused region: part 0 falls through its stripped
+        // seam into part 1 (both are straight-line), so concatenation is
+        // exactly the region's execution order.
+        let mut code: Vec<X86Instr> = (*parts[0].code).clone();
+        code.extend(parts[1].code.iter().copied());
+        let mut st = X86State::new();
+        st.set_reg(Gpr::Esp, ldbt_dbt::env::HOST_STACK_TOP);
+        let mut stats = ExecStats::new();
+        let exit = run_seq(&mut st, &code, 1_000_000, &CostModel::default(), &mut stats);
+        prop_assert_eq!(exit, SeqExit::Returned);
+
+        // Reference: the same ops against the byte-loop model.
+        let mut shadow = ShadowMem::default();
+        let mut acc = 0u32;
+        for (idx, op) in ops.iter().enumerate() {
+            acc = shadow_fuse_op(idx, op, &mut shadow, acc);
+        }
+        prop_assert_eq!(st.reg(Gpr::Esi), acc, "checksum over loaded values diverged");
+        for op in &ops {
+            let a = match *op {
+                FuseOp::Store(a, ..) | FuseOp::Pair(a, ..) | FuseOp::Load(a, ..) => a,
+            };
+            for d in -4i64..8 {
+                let b = a.wrapping_add(d as u32);
+                prop_assert_eq!(
+                    st.mem.read(b, Width::W8),
+                    shadow.read(b, Width::W8),
+                    "byte {b:#x} diverged after fusion"
+                );
+            }
+        }
+    }
+}
+
 fn gpr() -> impl Strategy<Value = Gpr> {
     (0usize..8).prop_map(Gpr::from_index)
 }
