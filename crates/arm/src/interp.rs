@@ -23,6 +23,13 @@ pub struct ArmState {
     pub flags: Flags,
     /// Guest memory.
     pub mem: Memory,
+    /// Optional upper bound of the guest-addressable region: a load or
+    /// store whose effective address is at or beyond it raises
+    /// [`ArmEvent::Trap`] *before* the access (the faulting instruction
+    /// has no side effects). `None` (the default) disables the check.
+    /// Mirrors `X86State::guest_limit` exactly so the DBT watchdog's
+    /// differential compare stays sound across trap exits.
+    pub trap_limit: Option<u32>,
 }
 
 /// The control-flow outcome of executing one instruction.
@@ -36,8 +43,13 @@ pub enum ArmEvent {
     Call(i32),
     /// Indirect branch to an absolute byte address.
     Indirect(u32),
-    /// `svc` executed; payload is the immediate (0 = program exit).
+    /// `svc` executed; payload is the immediate (0 = program exit,
+    /// anything else traps — see [`ArmStop::Trap`]).
     Syscall(u32),
+    /// A load or store crossed [`ArmState::trap_limit`]; payload is the
+    /// faulting effective address. Raised before the access, so the
+    /// instruction has no side effects.
+    Trap(u32),
 }
 
 impl ArmState {
@@ -108,6 +120,9 @@ impl ArmState {
             }
             ArmInstr::Ldr { rt, addr, width, signed, .. } => {
                 let a = self.effective_addr(addr);
+                if self.trap_limit.is_some_and(|limit| a >= limit) {
+                    return ArmEvent::Trap(a);
+                }
                 let raw = self.mem.read(a, width);
                 let v = if signed && width != Width::W32 {
                     bits::sign_extend(raw as u64, width) as u32
@@ -119,6 +134,9 @@ impl ArmState {
             }
             ArmInstr::Str { rt, addr, width, .. } => {
                 let a = self.effective_addr(addr);
+                if self.trap_limit.is_some_and(|limit| a >= limit) {
+                    return ArmEvent::Trap(a);
+                }
                 self.mem.write(a, self.reg(rt), width);
                 ArmEvent::Next
             }
@@ -130,6 +148,16 @@ impl ArmState {
     }
 }
 
+/// Why a guest trap stopped an [`ArmMachine`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArmTrapCause {
+    /// `svc #n` with n ≠ 0 executed; payload is the immediate.
+    Svc(u32),
+    /// A load or store crossed the configured trap limit; payload is
+    /// the faulting effective address.
+    Mem(u32),
+}
+
 /// Why an [`ArmMachine`] run stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArmStop {
@@ -139,6 +167,14 @@ pub enum ArmStop {
     OutOfFuel,
     /// Instruction fetch hit an undecodable word.
     Decode(DecodeArmError),
+    /// A guest trap: `svc #n` (n ≠ 0) or an out-of-range memory access.
+    /// The PC is left at the trapping instruction.
+    Trap {
+        /// Guest PC of the trapping instruction.
+        pc: u32,
+        /// What trapped.
+        cause: ArmTrapCause,
+    },
 }
 
 impl fmt::Display for ArmStop {
@@ -147,6 +183,12 @@ impl fmt::Display for ArmStop {
             ArmStop::Halt => write!(f, "halted"),
             ArmStop::OutOfFuel => write!(f, "out of fuel"),
             ArmStop::Decode(e) => write!(f, "decode fault: {e}"),
+            ArmStop::Trap { pc, cause: ArmTrapCause::Svc(n) } => {
+                write!(f, "trap: svc #{n} at {pc:#x}")
+            }
+            ArmStop::Trap { pc, cause: ArmTrapCause::Mem(a) } => {
+                write!(f, "trap: memory access at {a:#x} from {pc:#x}")
+            }
         }
     }
 }
@@ -195,8 +237,10 @@ impl ArmMachine {
     /// Execute one instruction at the current PC.
     ///
     /// Returns the event; updates PC for all events except
-    /// [`ArmEvent::Syscall`] with immediate 0 (halt leaves PC at the
-    /// `svc`).
+    /// [`ArmEvent::Syscall`] and [`ArmEvent::Trap`] — a halting `svc #0`,
+    /// a trapping `svc #n`, and an out-of-range access all leave the PC
+    /// at the instruction that raised them (the trap-precision contract
+    /// the DBT's repair snapshots rely on).
     pub fn step(&mut self) -> Result<ArmEvent, DecodeArmError> {
         let pc = self.pc();
         let word = self.state.mem.read(pc, Width::W32);
@@ -214,20 +258,22 @@ impl ArmMachine {
                 self.state.regs[15] = next.wrapping_add((off as u32).wrapping_mul(4));
             }
             ArmEvent::Indirect(addr) => self.state.regs[15] = addr,
-            ArmEvent::Syscall(imm) => {
-                if imm != 0 {
-                    self.state.regs[15] = next;
-                }
-            }
+            ArmEvent::Syscall(_) | ArmEvent::Trap(_) => {}
         }
         Ok(event)
     }
 
-    /// Run until halt, decode fault, or `fuel` instructions.
+    /// Run until halt, trap, decode fault, or `fuel` instructions.
     pub fn run(&mut self, fuel: u64) -> ArmStop {
         for _ in 0..fuel {
             match self.step() {
                 Ok(ArmEvent::Syscall(0)) => return ArmStop::Halt,
+                Ok(ArmEvent::Syscall(n)) => {
+                    return ArmStop::Trap { pc: self.pc(), cause: ArmTrapCause::Svc(n) }
+                }
+                Ok(ArmEvent::Trap(a)) => {
+                    return ArmStop::Trap { pc: self.pc(), cause: ArmTrapCause::Mem(a) }
+                }
                 Ok(_) => {}
                 Err(e) => return ArmStop::Decode(e),
             }
@@ -376,6 +422,47 @@ mod tests {
         m.state.mem.write(0x1000, 0xf000_0000, Width::W32);
         m.state.regs[15] = 0x1000;
         assert!(matches!(m.run(10), ArmStop::Decode(_)));
+    }
+
+    #[test]
+    fn svc_nonzero_traps_with_pc_at_the_svc() {
+        let mut m = machine(&[
+            ArmInstr::mov(ArmReg::R0, Operand2::Imm(9)),
+            ArmInstr::Svc { imm: 1, cond: Cond::Al },
+            ArmInstr::mov(ArmReg::R0, Operand2::Imm(99)), // must not run
+        ]);
+        assert_eq!(m.run(10), ArmStop::Trap { pc: 0x1004, cause: ArmTrapCause::Svc(1) });
+        assert_eq!(m.state.reg(ArmReg::R0), 9);
+        assert_eq!(m.pc(), 0x1004, "pc stays at the svc");
+    }
+
+    #[test]
+    fn trap_limit_stops_loads_and_stores_without_side_effects() {
+        let mut m = machine(&[
+            ArmInstr::str(ArmReg::R2, AddrMode::Imm(ArmReg::R1, 0)),
+            ArmInstr::Svc { imm: 0, cond: Cond::Al },
+        ]);
+        m.state.trap_limit = Some(0x10_0000);
+        m.state.set_reg(ArmReg::R1, 0x10_0000);
+        m.state.set_reg(ArmReg::R2, 0xbeef);
+        assert_eq!(m.run(10), ArmStop::Trap { pc: 0x1000, cause: ArmTrapCause::Mem(0x10_0000) });
+        assert_eq!(m.state.mem.read(0x10_0000, Width::W32), 0, "store suppressed");
+
+        let mut m = machine(&[
+            ArmInstr::ldr(ArmReg::R0, AddrMode::Imm(ArmReg::R1, 4)),
+            ArmInstr::Svc { imm: 0, cond: Cond::Al },
+        ]);
+        m.state.trap_limit = Some(0x10_0000);
+        m.state.set_reg(ArmReg::R1, 0x10_0000);
+        assert_eq!(m.run(10), ArmStop::Trap { pc: 0x1000, cause: ArmTrapCause::Mem(0x10_0004) });
+        // Just below the limit is unaffected.
+        let mut m = machine(&[
+            ArmInstr::ldr(ArmReg::R0, AddrMode::Imm(ArmReg::R1, 0)),
+            ArmInstr::Svc { imm: 0, cond: Cond::Al },
+        ]);
+        m.state.trap_limit = Some(0x10_0000);
+        m.state.set_reg(ArmReg::R1, 0x10_0000 - 4);
+        assert_eq!(m.run(10), ArmStop::Halt);
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub mod semantics;
 pub use cond::Cond;
 pub use flags::Flags;
 pub use insn::{AddrMode, ArmInstr, DpOp, Operand2, Shift};
-pub use interp::{ArmEvent, ArmMachine, ArmState, ArmStop};
+pub use interp::{ArmEvent, ArmMachine, ArmState, ArmStop, ArmTrapCause};
 pub use reg::ArmReg;

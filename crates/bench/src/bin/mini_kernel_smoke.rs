@@ -1,0 +1,32 @@
+//! `mini_kernel_smoke`: guest trap-path gate.
+//!
+//! Drives `ldbt_core::kernel` — the cooperative two-process mini-kernel
+//! built on the engine's trap exit — over every engine and asserts the
+//! full [`KernelRun`] (final registers, mailboxes, event order checksum)
+//! matches the ARM interpreter reference. `scripts/tier1.sh` runs this
+//! across the watchdog × superblock env matrix; the builder knobs are
+//! inherited from the environment by `Engine::new`, so one binary covers
+//! every cell.
+
+use ldbt_core::kernel::{run_mini_kernel_dbt, run_mini_kernel_interp};
+use ldbt_dbt::engine::Translator;
+use ldbt_learn::RuleSet;
+use std::sync::Arc;
+
+fn main() {
+    let want = run_mini_kernel_interp();
+    for (name, translator) in [
+        ("tcg", Translator::Tcg),
+        ("jit", Translator::Jit),
+        ("rules", Translator::Rules(Arc::new(RuleSet::new()))),
+    ] {
+        let got = run_mini_kernel_dbt(translator, |e| e);
+        assert_eq!(got, want, "{name}: kernel run diverged from the interpreter");
+    }
+    println!(
+        "mini_kernel_smoke ok yields={} faults={} checksum={:#010x}",
+        want.yields,
+        want.faults.len(),
+        want.checksum
+    );
+}

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod experiment;
+pub mod kernel;
 pub mod report;
 pub mod serve;
 

@@ -543,6 +543,13 @@ pub fn lower_block_opts(block: &TcgBlock, home_caching: bool, pool_limit: usize)
             l.writeback_all();
             l.emit(X86Instr::Halt);
         }
+        BlockEnd::Trap(pc) => {
+            // Precise trap: every dirty guest register reaches its env
+            // home before the sentinel; %eax carries the trapping PC.
+            l.writeback_all();
+            l.emit(X86Instr::mov_imm(Gpr::Eax, pc as i32));
+            l.emit(X86Instr::Trap);
+        }
         BlockEnd::Indirect(t) => {
             let src = l.temp_operand(t);
             l.writeback_all();

@@ -33,7 +33,8 @@
 use crate::backend::lower_block;
 use crate::env::{
     chaining_from_env, env_mem, fusion_from_env, reg_mem, region_alloc_from_env, repair_from_env,
-    superblocks_from_env, watchdog_from_env, FlagId, ENV_BASE, FLAGMODE_OFFSET, HOST_STACK_TOP,
+    smc_from_env, superblocks_from_env, watchdog_from_env, FlagId, ENV_BASE, FLAGMODE_OFFSET,
+    GUEST_MEM_LIMIT, HOST_STACK_TOP,
 };
 use crate::jit::optimize_block;
 use crate::rules::block_supported;
@@ -45,7 +46,7 @@ use crate::sb::{
 use crate::share::RuleCell;
 use crate::stats::{BlockProfile, DbtCtr, DbtStats, ExecProfile, RuleProfile};
 use crate::tcg::{decode_block, translate_block};
-use ldbt_arm::{encode::decode, ArmEvent, ArmReg, ArmState};
+use ldbt_arm::{encode::decode, ArmEvent, ArmInstr, ArmReg, ArmState};
 use ldbt_compiler::ArmImage;
 use ldbt_isa::{CostModel, ExecStats, Memory, Width};
 use ldbt_learn::rule::Binding;
@@ -53,7 +54,7 @@ use ldbt_learn::{Counterexample, FaultPlan, FaultSite, RuleSet};
 use ldbt_obs::registry::Hist;
 use ldbt_obs::trace::{self, Scope, Val};
 use ldbt_x86::interp::{run_seq, SeqExit};
-use ldbt_x86::{Gpr, X86Instr, X86State};
+use ldbt_x86::{Gpr, TrapCause, X86Instr, X86State};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -136,6 +137,14 @@ const PROBE_FUEL: u64 = 100_000;
 struct CachedBlock {
     /// Guest start PC.
     pc: u32,
+    /// Byte length of the guest range this translation covers
+    /// (`[pc, pc + guest_bytes)`); a guest store overlapping it
+    /// invalidates the block. The trap and helper blocks cover the one
+    /// word they decoded (or failed to).
+    guest_bytes: u32,
+    /// FNV-1a fingerprint of the guest bytes at translation time;
+    /// [`Engine::reset`] revalidates against it.
+    csum: u64,
     code: Rc<Vec<X86Instr>>,
     guest_len: u64,
     covered: u64,
@@ -172,8 +181,43 @@ pub enum RunOutcome {
     Halted,
     /// The fuel budget ran out.
     OutOfFuel,
+    /// The guest trapped: a trap instruction (`svc #n`, n ≠ 0), an
+    /// undecodable word, or a memory access outside the guest address
+    /// space. Mirrors [`ldbt_arm::ArmStop::Trap`] so drivers can
+    /// differential-compare trap behavior against the interpreter.
+    Trap {
+        /// The trapping pc — exact for instruction traps; the entry pc
+        /// of the faulting block for memory traps (the translated-code
+        /// check is block-granular).
+        pc: u32,
+        /// Why the guest trapped.
+        cause: TrapKind,
+    },
     /// Translated code misbehaved (dispatcher protocol violation).
     Fault,
+}
+
+/// Why a guest run trapped (see [`RunOutcome::Trap`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapKind {
+    /// A trap instruction: `svc #n` with n ≠ 0 (the immediate).
+    Svc(u32),
+    /// An undecodable guest word reached execution.
+    Undef,
+    /// A load or store touched this address, outside the guest address
+    /// space (at or above [`GUEST_MEM_LIMIT`]).
+    Mem(u32),
+}
+
+/// FNV-1a over a guest byte range — the translation-time fingerprint
+/// [`Engine::reset`] revalidates cached blocks against.
+fn guest_csum(mem: &Memory, start: u32, len: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for i in 0..len {
+        let b = mem.read(start.wrapping_add(i), Width::W8) as u64;
+        h = (h ^ b).wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Result of a watchdog cross-check, seen from the run loop.
@@ -250,6 +294,9 @@ pub struct Engine {
     region_alloc: bool,
     /// Guest memory access fusion enabled (`!LDBT_NOFUSE`).
     fusion: bool,
+    /// SMC protection enabled (`!LDBT_NOSMC`): guest stores into pages
+    /// holding translated code invalidate the overlapping translations.
+    smc: bool,
     /// Shared rule-generation cell. Present exactly when the translator
     /// is rules-based: a solo engine gets a private cell, serve-mode
     /// tenants share one via [`Engine::with_rule_cell`]. All rule-set
@@ -275,6 +322,9 @@ impl Engine {
         image.load_into(&mut mem);
         let mut state = X86State::new();
         state.mem = mem;
+        // Guest accesses at or above the host region trap instead of
+        // silently aliasing the env or host stack.
+        state.guest_limit = Some(GUEST_MEM_LIMIT);
         // A rules engine always publishes through a cell so the mutation
         // paths are identical solo and in serve mode; a solo engine simply
         // owns a private one. `with_rule_cell` swaps in a shared cell.
@@ -309,6 +359,7 @@ impl Engine {
             sb_cfg: superblocks_from_env(),
             region_alloc: region_alloc_from_env(),
             fusion: fusion_from_env(),
+            smc: smc_from_env(),
             rule_cell,
             rules_gen: 0,
         }
@@ -369,6 +420,14 @@ impl Engine {
         self
     }
 
+    /// Enable or disable self-modifying-code protection (the
+    /// `LDBT_NOSMC` knob). With it off, guest stores into translated
+    /// code go unnoticed until the next [`Engine::reset`].
+    pub fn with_smc(mut self, on: bool) -> Engine {
+        self.smc = on;
+        self
+    }
+
     /// Attach this engine to a shared rule-generation cell (serve mode).
     ///
     /// The engine drops its private cell, caches the shared cell's
@@ -411,6 +470,24 @@ impl Engine {
     /// The current guest PC.
     pub fn guest_pc(&self) -> u32 {
         self.pc
+    }
+
+    /// Read a word of guest memory (driver use: auditing guest-visible
+    /// state after a halt or trap).
+    pub fn guest_mem(&self, addr: u32) -> u32 {
+        self.state.mem.read(addr, Width::W32)
+    }
+
+    /// Write a guest register's env slot (driver use: a host-side trap
+    /// handler mutating guest state between dispatches).
+    pub fn set_guest_reg(&mut self, r: ArmReg, v: u32) {
+        self.state.mem.write(ENV_BASE + 4 * r.index() as u32, v, Width::W32);
+    }
+
+    /// Redirect execution: the next [`Engine::run`] dispatch starts at
+    /// `pc`.
+    pub fn set_guest_pc(&mut self, pc: u32) {
+        self.pc = pc;
     }
 
     /// Dispatcher lookup: IBTC first, then the map, then the translator.
@@ -480,8 +557,16 @@ impl Engine {
     /// Insert a freshly translated block into the arena and, with
     /// chaining enabled, link it to already-translated neighbors in both
     /// directions.
-    fn insert_block(&mut self, block: CachedBlock) -> u32 {
+    fn insert_block(&mut self, mut block: CachedBlock) -> u32 {
         let pc = block.pc;
+        if block.guest_bytes > 0 {
+            block.csum = guest_csum(&self.state.mem, pc, block.guest_bytes);
+            // Mark the pages holding the translated bytes so the store
+            // fast path reports writes into them (SMC protection).
+            if self.smc {
+                self.state.mem.mark_code(pc, block.guest_bytes);
+            }
+        }
         debug_assert!(
             block.exits.iter().all(|&(at, _)| matches!(block.code.get(at), Some(X86Instr::Ret))),
             "declared exits must point at ret stubs"
@@ -591,6 +676,90 @@ impl Engine {
                 &[("pc", Val::U(pc as u64)), ("id", Val::U(id as u64))],
             );
         }
+    }
+
+    /// Drain the guest-store hit log and invalidate every live block
+    /// whose guest byte range a logged store overlapped. The protection
+    /// bitmap is page-granular and sticky, so a logged span is only a
+    /// *candidate*; the exact range check here drops stores that merely
+    /// landed near code. Purging goes through [`Engine::purge_block`],
+    /// so chained predecessors unlink (and re-queue as pending links),
+    /// IBTC slots scrub, and superblock regions holding a clone of the
+    /// victim die with it — the pc retranslates from the rewritten
+    /// bytes at its next dispatch.
+    fn handle_smc(&mut self) {
+        if !self.state.mem.has_code_writes() {
+            return;
+        }
+        let spans = self.state.mem.take_code_writes();
+        let mut victims: Vec<u32> = Vec::new();
+        for &(ws, wl) in &spans {
+            let (ws, we) = (ws as u64, ws as u64 + wl as u64);
+            for (id, b) in self.blocks.iter().enumerate() {
+                if b.dead || b.guest_bytes == 0 {
+                    continue;
+                }
+                let (bs, be) = (b.pc as u64, b.pc as u64 + b.guest_bytes as u64);
+                if ws < be && bs < we {
+                    victims.push(id as u32);
+                }
+            }
+        }
+        victims.sort_unstable();
+        victims.dedup();
+        for id in victims {
+            if self.blocks[id as usize].dead {
+                continue;
+            }
+            self.stats.bump(DbtCtr::SmcInvalidations);
+            if trace::enabled(Scope::Exec) {
+                trace::emit(
+                    Scope::Exec,
+                    "smc_invalidate",
+                    &[
+                        ("pc", Val::U(self.blocks[id as usize].pc as u64)),
+                        ("id", Val::U(id as u64)),
+                    ],
+                );
+            }
+            self.purge_block(id);
+        }
+    }
+
+    /// Resolve a trap exit from translated code into a [`RunOutcome`].
+    ///
+    /// Instruction traps are precise: the lowering wrote every dirty
+    /// guest register back before the sentinel and left the trapping pc
+    /// in `%eax`; the guest word there tells a trap instruction from an
+    /// undecodable one. Memory traps are block-granular: the faulting
+    /// address is exact but the reported pc is the entry of the
+    /// faulting block (guest registers hold the block-entry values).
+    fn trap_outcome(&mut self, block_pc: u32, cause: TrapCause) -> RunOutcome {
+        let (pc, kind) = match cause {
+            TrapCause::Insn => {
+                let tpc = self.state.reg(Gpr::Eax);
+                let kind = match decode(self.state.mem.read(tpc, Width::W32)) {
+                    Ok(ArmInstr::Svc { imm, .. }) => TrapKind::Svc(imm),
+                    _ => TrapKind::Undef,
+                };
+                (tpc, kind)
+            }
+            TrapCause::Mem(addr) => (block_pc, TrapKind::Mem(addr)),
+        };
+        self.stats.bump(DbtCtr::Traps);
+        if trace::enabled(Scope::Exec) {
+            let (name, detail) = match kind {
+                TrapKind::Svc(n) => ("svc", n as u64),
+                TrapKind::Undef => ("undef", 0),
+                TrapKind::Mem(a) => ("mem", a as u64),
+            };
+            trace::emit(
+                Scope::Exec,
+                "trap",
+                &[("pc", Val::U(pc as u64)), ("cause", Val::S(name)), ("detail", Val::U(detail))],
+            );
+        }
+        RunOutcome::Trap { pc, cause: kind }
     }
 
     /// Emit a `translate` trace event (one per code-cache fill).
@@ -743,11 +912,18 @@ impl Engine {
         self.stats.bump(DbtCtr::Blocks);
         let empty_hits: Rc<[(usize, u64)]> = Rc::from(Vec::new());
         if block.instrs.is_empty() {
-            // Undecodable: fault block.
-            Self::trace_translate(pc, "fault", 0, 0);
+            // Undecodable: a trap block. Executing it reports an
+            // undefined-instruction trap at this pc — exactly what the
+            // interpreter does — instead of faulting the engine. It
+            // still covers the word it failed to decode, so a store
+            // rewriting that word invalidates it and the retranslation
+            // sees the fresh bytes.
+            Self::trace_translate(pc, "trap", 0, 0);
             return self.insert_block(CachedBlock {
                 pc,
-                code: Rc::new(vec![X86Instr::Halt]),
+                guest_bytes: 4,
+                csum: 0,
+                code: Rc::new(vec![X86Instr::mov_imm(Gpr::Eax, pc as i32), X86Instr::Trap]),
                 guest_len: 0,
                 covered: 0,
                 execs: 0,
@@ -786,6 +962,8 @@ impl Engine {
                 Self::trace_translate(pc, "rules", block.instrs.len() as u64, covered);
                 return self.insert_block(CachedBlock {
                     pc,
+                    guest_bytes: 4 * block.instrs.len() as u32,
+                    csum: 0,
                     code: Rc::new(low.code),
                     guest_len: block.instrs.len() as u64,
                     covered,
@@ -808,6 +986,8 @@ impl Engine {
             Self::trace_translate(pc, "interp_one", 1, 0);
             return self.insert_block(CachedBlock {
                 pc,
+                guest_bytes: 4,
+                csum: 0,
                 code: Rc::new(Vec::new()),
                 guest_len: 1,
                 covered: 0,
@@ -844,6 +1024,8 @@ impl Engine {
         Self::trace_translate(pc, kind, translated_len, 0);
         self.insert_block(CachedBlock {
             pc,
+            guest_bytes: 4 * translated_len as u32,
+            csum: 0,
             code: Rc::new(lowered.code),
             guest_len: translated_len,
             covered: 0,
@@ -865,7 +1047,12 @@ impl Engine {
         let Ok(instr) = decode(word) else { return Err(RunOutcome::Fault) };
         // Build an ArmState view over the env.
         let mem = std::mem::take(&mut self.state.mem);
-        let mut arm = ArmState { regs: [0; 16], flags: Default::default(), mem };
+        let mut arm = ArmState {
+            regs: [0; 16],
+            flags: Default::default(),
+            trap_limit: Some(GUEST_MEM_LIMIT),
+            mem,
+        };
         for r in ArmReg::ALL {
             arm.regs[r.index()] = arm.mem.read(ENV_BASE + 4 * r.index() as u32, Width::W32);
         }
@@ -891,7 +1078,27 @@ impl Engine {
                 self.state.mem = std::mem::take(&mut arm.mem);
                 return Err(RunOutcome::Halted);
             }
-            ArmEvent::Syscall(_) => next,
+            ArmEvent::Syscall(n) => {
+                // Trap instruction: write back and report, pc at the
+                // trapping instruction — the interpreter's contract.
+                for r in ArmReg::ALL {
+                    arm.mem.write(ENV_BASE + 4 * r.index() as u32, arm.regs[r.index()], Width::W32);
+                }
+                self.state.mem = std::mem::take(&mut arm.mem);
+                self.stats.bump(DbtCtr::Traps);
+                return Err(RunOutcome::Trap { pc, cause: TrapKind::Svc(n) });
+            }
+            ArmEvent::Trap(a) => {
+                // Out-of-range access. The interpreter checks before
+                // accessing, so the faulting instruction had no side
+                // effect; registers are still the pre-instruction ones.
+                for r in ArmReg::ALL {
+                    arm.mem.write(ENV_BASE + 4 * r.index() as u32, arm.regs[r.index()], Width::W32);
+                }
+                self.state.mem = std::mem::take(&mut arm.mem);
+                self.stats.bump(DbtCtr::Traps);
+                return Err(RunOutcome::Trap { pc, cause: TrapKind::Mem(a) });
+            }
         };
         for r in ArmReg::ALL {
             arm.mem.write(ENV_BASE + 4 * r.index() as u32, arm.regs[r.index()], Width::W32);
@@ -920,6 +1127,11 @@ impl Engine {
             // dispatched from here on never runs a rule that was
             // tombstoned or replaced in the adopted generation.
             self.sync_rules();
+            // Helper steps and watchdog adoption write guest memory on
+            // paths that re-enter here directly: drain any code-page
+            // store hits before dispatching (and before translating
+            // from possibly-rewritten bytes).
+            self.handle_smc();
             let pc = self.pc;
             let mut id = self.lookup_or_translate(pc);
             // Chained fast loop: no map probes until control leaves the
@@ -931,6 +1143,11 @@ impl Engine {
                 if sbid != NO_SB {
                     match self.run_superblock(sbid, fuel) {
                         SbStep::Continue(next) => {
+                            // An SMC purge inside the region may have
+                            // killed the escape target.
+                            if self.blocks[next as usize].dead {
+                                continue 'dispatch;
+                            }
                             id = next;
                             continue;
                         }
@@ -1003,6 +1220,11 @@ impl Engine {
                     }
                     SeqExit::Halted => return RunOutcome::Halted,
                     SeqExit::OutOfFuel => return RunOutcome::OutOfFuel,
+                    // Like `Halted`, a trap ends the run before the
+                    // watchdog sees it (the sampled snapshot is dropped
+                    // unused; the tick already advanced, keeping parity
+                    // across configurations).
+                    SeqExit::Trapped(cause) => return self.trap_outcome(block_pc, cause),
                     SeqExit::JumpedOut(_) | SeqExit::FellThrough | SeqExit::Faulted => {
                         return RunOutcome::Fault
                     }
@@ -1014,8 +1236,18 @@ impl Engine {
                         WdVerdict::End(out) => return out,
                     }
                 }
+                // Stores from this dispatch may have rewritten
+                // translated code: invalidate before control flows into
+                // a stale translation — possibly the chained successor
+                // itself, or this very block re-entered via a loop.
+                self.handle_smc();
                 match next_chain {
                     Some(next) => {
+                        if self.blocks[next as usize].dead {
+                            // The SMC purge killed the successor; its
+                            // pc retranslates through the dispatcher.
+                            continue 'dispatch;
+                        }
                         // Mirror the dispatcher-entry fuel check so
                         // chained accounting is bit-identical.
                         if self.stats.exec.host_instrs >= fuel {
@@ -1054,7 +1286,12 @@ impl Engine {
         // `pre`, so keep a copy while repair could still need one.
         let pre_snap = self.repair.then(|| pre.clone());
         // Interpreter reference run over the snapshot.
-        let mut arm = ArmState { regs: [0; 16], flags: Default::default(), mem: pre };
+        let mut arm = ArmState {
+            regs: [0; 16],
+            flags: Default::default(),
+            trap_limit: Some(GUEST_MEM_LIMIT),
+            mem: pre,
+        };
         for r in ArmReg::ALL {
             arm.regs[r.index()] = arm.mem.read(ENV_BASE + 4 * r.index() as u32, Width::W32);
         }
@@ -1077,9 +1314,11 @@ impl Engine {
             arm.flags.v = arm.mem.read(ENV_BASE + FlagId::V.offset(), Width::W32) != 0;
         }
         let mut halted = false;
+        let mut trapped: Option<(u32, TrapKind)> = None;
         let mut next_pc = pc;
         for (idx, instr) in block.instrs.iter().enumerate() {
-            let fallthrough = pc.wrapping_add(4 * idx as u32).wrapping_add(4);
+            let at = pc.wrapping_add(4 * idx as u32);
+            let fallthrough = at.wrapping_add(4);
             next_pc = fallthrough;
             match arm.exec(instr) {
                 ArmEvent::Next => {}
@@ -1087,7 +1326,20 @@ impl Engine {
                     halted = true;
                     break;
                 }
-                ArmEvent::Syscall(_) => {}
+                // The reference stops at a trap, pc on the trapping
+                // instruction — exactly the machine interpreter's
+                // contract. A translated dispatch that trapped never
+                // reaches the watchdog (the run returns first, like a
+                // halt), so a reference trap here is itself a
+                // divergence to rewind.
+                ArmEvent::Syscall(n) => {
+                    trapped = Some((at, TrapKind::Svc(n)));
+                    break;
+                }
+                ArmEvent::Trap(a) => {
+                    trapped = Some((at, TrapKind::Mem(a)));
+                    break;
+                }
                 ArmEvent::Branch(off) => {
                     next_pc = fallthrough.wrapping_add((off as u32).wrapping_mul(4));
                     break;
@@ -1112,7 +1364,7 @@ impl Engine {
                 || self.state.mem.read(ENV_BASE + 4 * r.index() as u32, Width::W32)
                     == arm.regs[r.index()]
         });
-        let pc_ok = !halted && self.pc == next_pc;
+        let pc_ok = !halted && trapped.is_none() && self.pc == next_pc;
         let mem_ok = self
             .state
             .mem
@@ -1263,6 +1515,12 @@ impl Engine {
         self.state.mem = std::mem::take(&mut arm.mem);
         if halted {
             return WdVerdict::End(RunOutcome::Halted);
+        }
+        if let Some((tpc, cause)) = trapped {
+            // The reference trapped where the translated block ran on:
+            // the corrected outcome of the run is the trap itself.
+            self.stats.bump(DbtCtr::Traps);
+            return WdVerdict::End(RunOutcome::Trap { pc: tpc, cause });
         }
         self.pc = next_pc;
         WdVerdict::Diverged
@@ -1713,6 +1971,7 @@ impl Engine {
             // to the region head, kind 0 = escape out of the region.
             let step = match exit {
                 SeqExit::Halted => return SbStep::Done(RunOutcome::Halted),
+                SeqExit::Trapped(cause) => return SbStep::Done(self.trap_outcome(block_pc, cause)),
                 SeqExit::OutOfFuel => return SbStep::Done(RunOutcome::OutOfFuel),
                 SeqExit::JumpedOut(_) | SeqExit::Faulted => return SbStep::Done(RunOutcome::Fault),
                 SeqExit::FellThrough => match (ft_seam, next_id) {
@@ -1763,6 +2022,21 @@ impl Engine {
                     WdVerdict::End(out) => return SbStep::Done(out),
                 }
             }
+            // Stores from this part may have rewritten a member of this
+            // very region (a self-modifying loop): the purge killed the
+            // region and its remaining clones are stale. Materialize
+            // the pins (on an in-region step they are authoritative)
+            // and fall back at the pc the part already handed over.
+            self.handle_smc();
+            if self.superblocks[rid as usize].dead {
+                if matches!(step, Some((_, 1 | 2))) {
+                    self.materialize_ra(&ra);
+                }
+                return match step {
+                    Some((next, 0)) if !self.blocks[next as usize].dead => SbStep::Continue(next),
+                    _ => SbStep::Dispatch,
+                };
+            }
             match step {
                 Some((next, kind)) => {
                     // Mirror the chained-transition fuel check and
@@ -1803,8 +2077,40 @@ impl Engine {
 
     /// Reset execution state (keeping the translated-code cache) so the
     /// same image can be run again.
+    ///
+    /// Callers may rewrite guest memory between runs — reloading a
+    /// different image, or the finished run itself modified its code —
+    /// so every live block's guest bytes are revalidated against the
+    /// checksum recorded at translation time and stale blocks are
+    /// purged. This runs even under `LDBT_NOSMC`: it is the coherence
+    /// floor for cache reuse, not a hot-path optimization.
     pub fn reset(&mut self) {
         self.pc = self.entry;
+        // The checksum sweep subsumes any pending store-hit log.
+        let _ = self.state.mem.take_code_writes();
+        let mut stale: Vec<u32> = Vec::new();
+        for (id, b) in self.blocks.iter().enumerate() {
+            if !b.dead
+                && b.guest_bytes > 0
+                && guest_csum(&self.state.mem, b.pc, b.guest_bytes) != b.csum
+            {
+                stale.push(id as u32);
+            }
+        }
+        for id in stale {
+            self.stats.bump(DbtCtr::SmcInvalidations);
+            if trace::enabled(Scope::Exec) {
+                trace::emit(
+                    Scope::Exec,
+                    "smc_invalidate",
+                    &[
+                        ("pc", Val::U(self.blocks[id as usize].pc as u64)),
+                        ("id", Val::U(id as u64)),
+                    ],
+                );
+            }
+            self.purge_block(id);
+        }
     }
 
     /// Number of live translated blocks in the code cache.
@@ -2191,6 +2497,8 @@ int main() { int a = work(3); int b = work(5000); return (a + b) & 0xffff; }";
     fn mov_ret_block(pc: u32, target: u32, exits: Vec<(usize, u32)>) -> CachedBlock {
         CachedBlock {
             pc,
+            guest_bytes: 4,
+            csum: 0,
             code: Rc::new(vec![X86Instr::mov_imm(Gpr::Eax, target as i32), X86Instr::Ret]),
             guest_len: 1,
             covered: 0,

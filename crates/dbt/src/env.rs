@@ -20,6 +20,13 @@ use std::sync::OnceLock;
 pub const ENV_BASE: u32 = 0x00f0_0000;
 /// Host stack for translated code (`%esp` initial value, grows down).
 pub const HOST_STACK_TOP: u32 = 0x00e8_0000;
+/// Exclusive upper bound of the guest address space. Everything at or
+/// above — the host stack guard band, the host stack, the env — belongs
+/// to the host: a guest load or store landing here traps instead of
+/// silently aliasing host state. The watchdog's memory compare has
+/// always excluded this region; the trap check turns the same boundary
+/// into an architectural fault.
+pub const GUEST_MEM_LIMIT: u32 = HOST_STACK_TOP - 0x1_0000;
 
 /// Byte offset of guest register `r` within the env.
 pub fn reg_offset(r: ArmReg) -> u32 {
@@ -168,6 +175,21 @@ pub fn fusion_from_env() -> bool {
     *NOFUSE.get_or_init(|| parse_fusion(std::env::var("LDBT_NOFUSE").ok().as_deref()))
 }
 
+/// Parse table for `LDBT_NOSMC` (self-modifying-code protection kill
+/// switch): the same disabler convention as `LDBT_NOCHAIN` — unset,
+/// `""`, `0`, and `off` keep SMC protection **on**; anything else turns
+/// it off (guest stores into translated code go unnoticed until the
+/// next engine reset, which checksum-revalidates the cache).
+pub fn parse_smc(raw: Option<&str>) -> bool {
+    matches!(raw.map(str::trim), None | Some("" | "0" | "off"))
+}
+
+/// Cached `LDBT_NOSMC` parse.
+pub fn smc_from_env() -> bool {
+    static NOSMC: OnceLock<bool> = OnceLock::new();
+    *NOSMC.get_or_init(|| parse_smc(std::env::var("LDBT_NOSMC").ok().as_deref()))
+}
+
 /// Parse table for `LDBT_SB_THRESHOLD` (superblock formation hotness
 /// threshold): a positive integer overrides the default; unset, `""`,
 /// `0`, and garbage all resolve to [`SB_THRESHOLD_DEFAULT`].
@@ -309,10 +331,10 @@ mod tests {
     #[test]
     fn region_alloc_parse_table() {
         assert!(parse_region_alloc(None), "unset keeps region allocation on");
-        for v in ["", "0", "off", " 0 "] {
+        for v in ["", "0", "off", " 0 ", " off "] {
             assert!(parse_region_alloc(Some(v)), "{v:?} keeps region allocation on");
         }
-        for v in ["1", "on", "garbage"] {
+        for v in ["1", "on", "garbage", "ON", "no"] {
             assert!(!parse_region_alloc(Some(v)), "{v:?} disables region allocation");
         }
     }
@@ -320,11 +342,22 @@ mod tests {
     #[test]
     fn fusion_parse_table() {
         assert!(parse_fusion(None), "unset keeps fusion on");
-        for v in ["", "0", "off", " 0 "] {
+        for v in ["", "0", "off", " 0 ", " off "] {
             assert!(parse_fusion(Some(v)), "{v:?} keeps fusion on");
         }
-        for v in ["1", "on", "garbage"] {
+        for v in ["1", "on", "garbage", "ON", "no"] {
             assert!(!parse_fusion(Some(v)), "{v:?} disables fusion");
+        }
+    }
+
+    #[test]
+    fn smc_parse_table() {
+        assert!(parse_smc(None), "unset keeps SMC protection on");
+        for v in ["", "0", "off", " 0 ", " off "] {
+            assert!(parse_smc(Some(v)), "{v:?} keeps SMC protection on");
+        }
+        for v in ["1", "on", "garbage", "ON", "no"] {
+            assert!(!parse_smc(Some(v)), "{v:?} disables SMC protection");
         }
     }
 
@@ -357,5 +390,16 @@ mod tests {
         }
         assert_eq!(parse_sb_threshold(Some("1")), 1);
         assert_eq!(parse_sb_threshold(Some(" 128 ")), 128);
+        // Edge cases: an explicit 0 resolves to the default — a raw
+        // threshold of 0 would make the engine's `is_multiple_of(0)`
+        // trigger never fire (no first-execution region, no division) —
+        // and the max value parses verbatim; one past it is garbage.
+        assert_eq!(parse_sb_threshold(Some("0")), SB_THRESHOLD_DEFAULT, "0 is the default");
+        assert_eq!(parse_sb_threshold(Some(&u64::MAX.to_string())), u64::MAX);
+        assert_eq!(
+            parse_sb_threshold(Some("18446744073709551616")),
+            SB_THRESHOLD_DEFAULT,
+            "overflow is garbage, not a wrap"
+        );
     }
 }

@@ -30,6 +30,6 @@ pub mod share;
 pub mod stats;
 pub mod tcg;
 
-pub use engine::{Engine, RunOutcome, Translator};
+pub use engine::{Engine, RunOutcome, Translator, TrapKind};
 pub use share::RuleCell;
 pub use stats::{BlockProfile, DbtStats, ExecProfile, RuleProfile};

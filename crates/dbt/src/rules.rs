@@ -460,7 +460,8 @@ pub fn lower_block_with_rules_suppress(
     // If the block's last guest instruction was covered by a *non-branch*
     // rule (or the loop ended without a terminator segment), fall through
     // to the next PC.
-    let ends_with_exit = matches!(code.last(), Some(X86Instr::Ret) | Some(X86Instr::Halt));
+    let ends_with_exit =
+        matches!(code.last(), Some(X86Instr::Ret) | Some(X86Instr::Halt) | Some(X86Instr::Trap));
     if !ends_with_exit {
         homes.writeback(&mut code);
         let next = block.pc.wrapping_add(4 * n as u32);

@@ -77,6 +77,13 @@ pub enum DbtCtr {
     /// (store-to-load forwarding, redundant-load and dead-store
     /// elimination, narrow-store pairing).
     FuseElim,
+    /// Translations invalidated for coherence: a guest store hit the
+    /// block's byte range (self-modifying code), or reset-time
+    /// revalidation found the guest bytes changed.
+    SmcInvalidations,
+    /// Guest traps surfaced to the driver: trap instruction (`svc #n`,
+    /// n ≠ 0), undecodable word, or out-of-range memory access.
+    Traps,
 }
 
 /// Registry names, in [`DbtCtr`] declaration order (the snapshot and
@@ -107,6 +114,8 @@ pub const DBT_COUNTER_NAMES: &[&str] = &[
     "wd_repair_failed",
     "ra_promoted",
     "fuse_elim",
+    "smc_invalidations",
+    "traps",
 ];
 
 /// Statistics accumulated by an [`crate::Engine`] run.
@@ -255,6 +264,16 @@ impl DbtStats {
     /// Guest memory accesses eliminated or paired by region fusion.
     pub fn fuse_elim(&self) -> u64 {
         self.get(DbtCtr::FuseElim)
+    }
+
+    /// Translations invalidated by guest stores or reset revalidation.
+    pub fn smc_invalidations(&self) -> u64 {
+        self.get(DbtCtr::SmcInvalidations)
+    }
+
+    /// Guest traps surfaced to the driver.
+    pub fn traps(&self) -> u64 {
+        self.get(DbtCtr::Traps)
     }
 
     /// Static rule coverage `Sₚ = Σ Bᵢ / m` (Figure 11).

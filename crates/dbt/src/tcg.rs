@@ -129,6 +129,10 @@ pub enum BlockEnd {
     Indirect(Temp),
     /// Guest executed `svc #0`.
     Halt,
+    /// Guest executed a trapping instruction (`svc #n`, n ≠ 0) at this
+    /// PC: the block exits with a precise trap (full writeback, `%eax`
+    /// holding the trapping PC, then the `trap` sentinel).
+    Trap(u32),
 }
 
 /// A decoded guest basic block.
@@ -703,7 +707,7 @@ pub fn translate_block(mem: &Memory, block: &GuestBlock) -> TcgBlock {
                 if imm == 0 {
                     end = BlockEnd::Halt;
                 } else {
-                    end = BlockEnd::Jump(next);
+                    end = BlockEnd::Trap(pc);
                 }
                 break;
             }

@@ -16,6 +16,19 @@
 //! removed or reordered, so a cached `(page, slot)` pair can only go
 //! stale by pointing at a page that is still resident — never at freed
 //! or moved storage.
+//!
+//! # Self-modifying code protection
+//!
+//! A dynamic translator must notice guest stores into bytes it has
+//! already translated. The memory keeps a per-page *code bitmap*
+//! ([`Memory::mark_code`]) and every store path checks the bit for the
+//! page(s) it touches; hits are appended to a store log the translator
+//! drains with [`Memory::take_code_writes`] and filters against its
+//! recorded block ranges. The check is one shift + one indexed load on
+//! the store fast path and the bitmap starts empty, so programs that
+//! never mark code pay a single bounds-checked `Vec::get` per store.
+//! Marks are page-granular and sticky (spurious hits are filtered by
+//! the consumer against exact block byte ranges).
 
 use crate::bits::Width;
 use std::cell::Cell;
@@ -51,6 +64,12 @@ pub struct Memory {
     rcache: Cell<(u32, u32)>,
     /// Last page resolved by a write: `(page id, slot)`.
     wcache: Cell<(u32, u32)>,
+    /// Per-page "contains translated code" bitmap: bit `page & 63` of
+    /// word `page >> 6`. Lazily grown, so it stays empty (and the store
+    /// check trivially cheap) until something calls [`Memory::mark_code`].
+    code_bitmap: Vec<u64>,
+    /// Stores that hit a marked page: `(addr, len)` spans, in order.
+    code_writes: Vec<(u32, u32)>,
 }
 
 impl Default for Memory {
@@ -60,6 +79,8 @@ impl Default for Memory {
             data: Vec::new(),
             rcache: Cell::new((NO_PAGE, 0)),
             wcache: Cell::new((NO_PAGE, 0)),
+            code_bitmap: Vec::new(),
+            code_writes: Vec::new(),
         }
     }
 }
@@ -112,11 +133,105 @@ impl Memory {
         }
     }
 
+    /// Raw byte store, no code-page check — the shared primitive under
+    /// every public write path (which log a span *once* before poking).
+    #[inline]
+    fn poke(&mut self, addr: u32, value: u8) {
+        let slot = self.write_slot(addr >> PAGE_SHIFT);
+        self.data[slot][(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Is `page`'s code bit set? Pages beyond the lazily-grown bitmap
+    /// are unmarked, so the common case is one bounds-checked load.
+    #[inline]
+    fn page_marked(&self, page: u32) -> bool {
+        match self.code_bitmap.get((page >> 6) as usize) {
+            Some(w) => w & (1u64 << (page & 63)) != 0,
+            None => false,
+        }
+    }
+
+    /// Record a store span in the code-write log iff it touches a marked
+    /// page. `len` must be nonzero.
+    #[inline]
+    fn note_store(&mut self, addr: u32, len: u32) {
+        let first = addr >> PAGE_SHIFT;
+        let last = addr.wrapping_add(len - 1) >> PAGE_SHIFT;
+        if first == last {
+            // Fast path: span inside one page — one bitmap probe.
+            if self.page_marked(first) {
+                self.code_writes.push((addr, len));
+            }
+            return;
+        }
+        let mut p = first;
+        loop {
+            if self.page_marked(p) {
+                self.code_writes.push((addr, len));
+                return;
+            }
+            if p == last {
+                return;
+            }
+            p = p.wrapping_add(1);
+        }
+    }
+
+    /// Mark the pages overlapped by `[addr, addr + len)` as containing
+    /// translated code: subsequent stores into them land in the
+    /// code-write log. Marks are sticky (page-granular; the consumer
+    /// filters by exact range).
+    pub fn mark_code(&mut self, addr: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let first = addr >> PAGE_SHIFT;
+        let last = addr.wrapping_add(len - 1) >> PAGE_SHIFT;
+        let mut p = first;
+        loop {
+            let w = (p >> 6) as usize;
+            if self.code_bitmap.len() <= w {
+                self.code_bitmap.resize(w + 1, 0);
+            }
+            self.code_bitmap[w] |= 1u64 << (p & 63);
+            if p == last {
+                return;
+            }
+            p = p.wrapping_add(1);
+        }
+    }
+
+    /// Whether any page is marked as containing translated code.
+    pub fn has_code_marks(&self) -> bool {
+        self.code_bitmap.iter().any(|w| *w != 0)
+    }
+
+    /// Clear every code-page mark (and the pending store log). Used when
+    /// the consumer flushes its whole translation cache.
+    pub fn clear_code_marks(&mut self) {
+        self.code_bitmap.clear();
+        self.code_writes.clear();
+    }
+
+    /// Whether stores into marked pages are pending in the log — the
+    /// dispatcher's cheap "anything to do?" probe.
+    #[inline]
+    pub fn has_code_writes(&self) -> bool {
+        !self.code_writes.is_empty()
+    }
+
+    /// Drain the log of stores that hit marked code pages, in store
+    /// order. Spans are page-filtered only; callers intersect them with
+    /// exact translated ranges.
+    pub fn take_code_writes(&mut self) -> Vec<(u32, u32)> {
+        std::mem::take(&mut self.code_writes)
+    }
+
     /// Write one byte.
     #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8) {
-        let slot = self.write_slot(addr >> PAGE_SHIFT);
-        self.data[slot][(addr & PAGE_MASK) as usize] = value;
+        self.note_store(addr, 1);
+        self.poke(addr, value);
     }
 
     /// Read `width` bytes starting at `addr`, little-endian, zero-extended.
@@ -165,10 +280,12 @@ impl Memory {
         match width {
             Width::W8 => self.write_u8(addr, value as u8),
             Width::W16 if off & 1 == 0 => {
+                self.note_store(addr, 2);
                 let slot = self.write_slot(addr >> PAGE_SHIFT);
                 self.data[slot][off..off + 2].copy_from_slice(&(value as u16).to_le_bytes());
             }
             Width::W32 if off & 3 == 0 => {
+                self.note_store(addr, 4);
                 let slot = self.write_slot(addr >> PAGE_SHIFT);
                 self.data[slot][off..off + 4].copy_from_slice(&value.to_le_bytes());
             }
@@ -177,9 +294,11 @@ impl Memory {
     }
 
     /// The byte-loop fallback for unaligned or page-crossing writes.
+    /// Logs the span once, then pokes raw bytes.
     fn write_slow(&mut self, addr: u32, value: u32, width: Width) {
+        self.note_store(addr, width.bytes());
         for i in 0..width.bytes() {
-            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+            self.poke(addr.wrapping_add(i), (value >> (8 * i)) as u8);
         }
     }
 
@@ -189,6 +308,9 @@ impl Memory {
     /// regions (image loading, snapshot restore) and must never leave a
     /// stale-looking cache entry behind.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        if !bytes.is_empty() {
+            self.note_store(addr, bytes.len() as u32);
+        }
         let mut cur = addr;
         let mut rest = bytes;
         while !rest.is_empty() {
@@ -403,5 +525,76 @@ mod tests {
         m.write(u32::MAX, 0xab, Width::W8);
         m.write(0, 0xcd, Width::W8);
         assert_eq!(m.read(u32::MAX, Width::W16), 0xcdab);
+    }
+
+    #[test]
+    fn unmarked_stores_log_nothing() {
+        let mut m = Memory::new();
+        m.write(0x1000, 0x1234_5678, Width::W32);
+        m.write_bytes(0x2000, &[1, 2, 3]);
+        m.write_u8(0x3000, 9);
+        assert!(!m.has_code_marks());
+        assert!(!m.has_code_writes());
+        assert_eq!(m.take_code_writes(), vec![]);
+    }
+
+    #[test]
+    fn marked_page_catches_every_store_path() {
+        let mut m = Memory::new();
+        m.mark_code(0x1_0000, 8); // marks page 0x10 only
+        assert!(m.has_code_marks());
+        m.write_u8(0x1_0040, 1);
+        m.write(0x1_0080, 2, Width::W16);
+        m.write(0x1_00c0, 3, Width::W32);
+        m.write(0x1_0101, 4, Width::W32); // unaligned → write_slow
+        m.write_bytes(0x1_0200, &[5, 6]);
+        m.write(0x2_0000, 7, Width::W32); // different page: unlogged
+        assert_eq!(
+            m.take_code_writes(),
+            vec![(0x1_0040, 1), (0x1_0080, 2), (0x1_00c0, 4), (0x1_0101, 4), (0x1_0200, 2)]
+        );
+        assert!(!m.has_code_writes(), "take drains the log");
+        m.write_u8(0x1_0000, 0xff);
+        assert_eq!(m.take_code_writes(), vec![(0x1_0000, 1)], "marks are sticky");
+    }
+
+    #[test]
+    fn page_crossing_store_hits_either_marked_page() {
+        let mut m = Memory::new();
+        m.mark_code(0x5000, 4); // page 5 only
+                                // W32 straddling pages 4 and 5: span starts on the unmarked page.
+        m.write(0x4ffe, 0xdead_beef, Width::W32);
+        // write_bytes span ending inside page 5.
+        m.write_bytes(0x4f00, &vec![0u8; 0x140]);
+        // And one fully inside the unmarked page 4.
+        m.write(0x4000, 1, Width::W32);
+        assert_eq!(m.take_code_writes(), vec![(0x4ffe, 4), (0x4f00, 0x140)]);
+    }
+
+    #[test]
+    fn mark_code_spans_pages_and_clear_resets() {
+        let mut m = Memory::new();
+        m.mark_code(0x1ffc, 8); // straddles pages 1 and 2
+        m.write(0x1f00, 1, Width::W32);
+        m.write(0x2f00, 2, Width::W32);
+        assert_eq!(m.take_code_writes(), vec![(0x1f00, 4), (0x2f00, 4)]);
+        m.clear_code_marks();
+        assert!(!m.has_code_marks());
+        m.write(0x1f00, 3, Width::W32);
+        assert!(!m.has_code_writes());
+        m.mark_code(0x1000, 0);
+        assert!(!m.has_code_marks(), "zero-length mark is a no-op");
+    }
+
+    #[test]
+    fn clone_carries_code_marks_and_log() {
+        let mut a = Memory::new();
+        a.mark_code(0x1000, 4);
+        a.write(0x1000, 7, Width::W32);
+        let mut b = a.clone();
+        assert_eq!(b.take_code_writes(), vec![(0x1000, 4)]);
+        b.write(0x1004, 8, Width::W32);
+        assert!(b.has_code_writes(), "clone keeps the marks");
+        assert_eq!(a.take_code_writes(), vec![(0x1000, 4)], "sides are independent");
     }
 }

@@ -536,6 +536,7 @@ impl W {
                 self.u8(19);
                 self.u32(block);
             }
+            X86Instr::Trap => self.u8(20),
         }
     }
 
@@ -851,6 +852,7 @@ impl R<'_> {
             17 => X86Instr::Popfd,
             18 => X86Instr::Halt,
             19 => X86Instr::ChainJmp { block: self.u32()? },
+            20 => X86Instr::Trap,
             _ => return Err(DbError::Corrupt("bad x86 instr tag")),
         })
     }

@@ -397,6 +397,7 @@ pub fn exec_x86_seq_fuel(
             }
             X86Instr::Halt => return Err(SymHazard::Unsupported("hlt")),
             X86Instr::ChainJmp { .. } => return Err(SymHazard::Unsupported("chain jump")),
+            X86Instr::Trap => return Err(SymHazard::Unsupported("trap")),
         }
     }
     Ok(X86SymOutcome {

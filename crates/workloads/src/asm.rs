@@ -1,0 +1,218 @@
+//! Hand-assembled guest workloads for the coherence and trap layers.
+//!
+//! The synthetic C suite never writes its own code and never faults, so
+//! the translation-cache coherence path (self-modifying code) and the
+//! guest trap path (supervisor calls, wild accesses) need dedicated
+//! images. These are assembled directly from [`ArmInstr`]s into an
+//! [`ArmImage`] — no compiler involved — so the exact byte layout the
+//! store-hit detection works on is pinned by this file.
+
+use ldbt_arm::{encode, AddrMode, ArmInstr, ArmReg, Cond, DpOp, Operand2, Shift};
+use ldbt_compiler::link::{ArmImage, CODE_BASE};
+
+/// Word index of the patched body instruction inside [`smc_image`].
+pub const SMC_BODY_WORD: u32 = 6;
+
+/// Final `r0` of [`smc_image`]: 32 outer iterations, each running the
+/// 8-iteration inner loop with the patched immediate `5 + i`, so
+/// `sum(8 * (5 + i) for i in 0..32)`.
+pub const SMC_RESULT: u32 = 8 * (32 * 5 + 31 * 32 / 2);
+
+/// Guest address of the two-word mailbox block shared by the
+/// mini-kernel processes (word 0: process A's value, word 4: B's).
+pub const MAILBOX_BASE: u32 = 0x0002_0000;
+
+fn mov(rd: ArmReg, op2: Operand2) -> ArmInstr {
+    ArmInstr::mov(rd, op2)
+}
+
+fn add(rd: ArmReg, rn: ArmReg, op2: Operand2) -> ArmInstr {
+    ArmInstr::dp(DpOp::Add, rd, rn, op2)
+}
+
+fn subs(rd: ArmReg, rn: ArmReg, op2: Operand2) -> ArmInstr {
+    ArmInstr::dps(DpOp::Sub, rd, rn, op2)
+}
+
+fn bne(from_word: i32, to_word: i32) -> ArmInstr {
+    // Branch targets are word offsets relative to the *next* instruction.
+    ArmInstr::B { offset: to_word - (from_word + 1), cond: Cond::Ne }
+}
+
+fn svc(imm: u32) -> ArmInstr {
+    ArmInstr::Svc { imm, cond: Cond::Al }
+}
+
+/// Assemble `instrs` into an image loaded at [`CODE_BASE`].
+fn image(instrs: &[ArmInstr], funcs: &[(&str, u32)]) -> ArmImage {
+    let bytes = encode::assemble(instrs).expect("hand-assembled workload must encode");
+    ArmImage {
+        bytes,
+        base: CODE_BASE,
+        entry: CODE_BASE,
+        func_addrs: funcs.iter().map(|(n, w)| (n.to_string(), CODE_BASE + 4 * w)).collect(),
+        meta: Vec::new(),
+        globals: Vec::new(),
+    }
+}
+
+/// A loop that rewrites its own body: each outer iteration loads the
+/// encoding of the inner-loop `add r0, r0, #imm`, bumps the immediate
+/// field by one, and stores it back — so the 8-iteration inner loop adds
+/// `5, 6, 7, …` across the 32 outer iterations. Halts via `svc #0` with
+/// [`SMC_RESULT`] in `r0`.
+///
+/// The store at word 11 lands inside the translated inner-loop block
+/// (words 6–8) *and* the outer-loop block (words 5–8), so a DBT must
+/// invalidate both and re-translate on the next dispatch; the inner
+/// block runs 256 times, hot enough for chaining, IBTC, and superblock
+/// formation to all be live when the patch hits.
+pub fn smc_image() -> ArmImage {
+    use ArmReg::{R0, R2, R3, R4, R5};
+    let body_addr = 4 * SMC_BODY_WORD; // offset from CODE_BASE
+    let prog = [
+        // r4 = &body (CODE_BASE is not a valid 12-bit immediate).
+        /* 0 */
+        mov(R4, Operand2::Imm(1)),
+        /* 1 */ mov(R4, Operand2::RegShift(R4, Shift::Lsl(16))),
+        /* 2 */ add(R4, R4, Operand2::Imm(body_addr)),
+        /* 3 */ mov(R0, Operand2::Imm(0)), // accumulator
+        /* 4 */ mov(R2, Operand2::Imm(32)), // outer counter
+        // outer:
+        /* 5 */ mov(R3, Operand2::Imm(8)), // inner counter
+        // inner (the patched body):
+        /* 6 */ add(R0, R0, Operand2::Imm(5)),
+        /* 7 */ subs(R3, R3, Operand2::Imm(1)),
+        /* 8 */ bne(8, 6),
+        // Patch: imm lives in the low 12 bits of the word, so +1 on the
+        // encoding is +1 on the immediate (it never nears 4096 here).
+        /* 9 */
+        ArmInstr::ldr(R5, AddrMode::Imm(R4, 0)),
+        /* 10 */ add(R5, R5, Operand2::Imm(1)),
+        /* 11 */ ArmInstr::str(R5, AddrMode::Imm(R4, 0)),
+        /* 12 */ subs(R2, R2, Operand2::Imm(1)),
+        /* 13 */ bne(13, 5),
+        /* 14 */ svc(0),
+    ];
+    image(&prog, &[("smc_loop", 0)])
+}
+
+/// Two cooperative "processes" plus one that faults, for a host-side
+/// mini-kernel to schedule (see `ldbt-core`'s kernel driver). Each
+/// process yields with `svc #1` and exits with `svc #2`; they exchange
+/// partial sums through the [`MAILBOX_BASE`] mailboxes, so the final
+/// state depends on the kernel's scheduling order. `proc_wild` stores
+/// far outside guest memory and must be killed by a `Mem` trap before
+/// reaching its `svc #2`.
+///
+/// No flags are live across a yield (each `svc #1` is followed by a
+/// flag-setting `subs`), so a kernel context is exactly `r0`–`r14` + pc.
+pub fn mini_kernel_image() -> ArmImage {
+    use ArmReg::{R0, R1, R2, R4, R6};
+    let mailbox = |r4: ArmReg| {
+        [
+            mov(r4, Operand2::Imm(2)),
+            mov(r4, Operand2::RegShift(r4, Shift::Lsl(16))), // r4 = MAILBOX_BASE
+        ]
+    };
+    let mut prog = Vec::new();
+    // proc_a (words 0..12): 12 rounds, reads B's mailbox, adds 3.
+    prog.extend(mailbox(R4));
+    prog.extend([
+        /* 2 */ mov(R0, Operand2::Imm(0)),
+        /* 3 */ mov(R1, Operand2::Imm(12)),
+        // a_loop:
+        /* 4 */ ArmInstr::ldr(R2, AddrMode::Imm(R4, 4)),
+        /* 5 */ add(R0, R0, Operand2::Reg(R2)),
+        /* 6 */ add(R0, R0, Operand2::Imm(3)),
+        /* 7 */ ArmInstr::str(R0, AddrMode::Imm(R4, 0)),
+        /* 8 */ svc(1),
+        /* 9 */ subs(R1, R1, Operand2::Imm(1)),
+        /* 10 */ bne(10, 4),
+        /* 11 */ svc(2),
+    ]);
+    // proc_b (words 12..24): 9 rounds, reads A's mailbox, adds 5.
+    prog.extend(mailbox(R4));
+    prog.extend([
+        /* 14 */ mov(R0, Operand2::Imm(0)),
+        /* 15 */ mov(R1, Operand2::Imm(9)),
+        // b_loop:
+        /* 16 */ ArmInstr::ldr(R2, AddrMode::Imm(R4, 0)),
+        /* 17 */ add(R0, R0, Operand2::Reg(R2)),
+        /* 18 */ add(R0, R0, Operand2::Imm(5)),
+        /* 19 */ ArmInstr::str(R0, AddrMode::Imm(R4, 4)),
+        /* 20 */ svc(1),
+        /* 21 */ subs(R1, R1, Operand2::Imm(1)),
+        /* 22 */ bne(22, 16),
+        /* 23 */ svc(2),
+    ]);
+    // proc_wild (words 24..27): a store at ~4 GiB must raise a Mem trap.
+    prog.extend([
+        /* 24 */
+        ArmInstr::dp(DpOp::Mvn, R6, R0, Operand2::Imm(7)), // r6 = !7 = 0xffff_fff8
+        /* 25 */ ArmInstr::str(R0, AddrMode::Imm(R6, 0)),
+        /* 26 */ svc(2), // unreachable: the kernel kills the process
+    ]);
+    image(&prog, &[("proc_a", 0), ("proc_b", 12), ("proc_wild", 24)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldbt_arm::{ArmMachine, ArmStop, ArmTrapCause};
+
+    #[test]
+    fn smc_halts_with_expected_sum_on_the_interpreter() {
+        let img = smc_image();
+        let mut m = ArmMachine::new();
+        img.load_into(&mut m.state.mem);
+        m.state.regs[15] = img.entry;
+        assert_eq!(m.run(1_000_000), ArmStop::Halt);
+        assert_eq!(m.state.reg(ArmReg::R0), SMC_RESULT);
+    }
+
+    #[test]
+    fn smc_actually_rewrites_its_body() {
+        let img = smc_image();
+        let mut m = ArmMachine::new();
+        img.load_into(&mut m.state.mem);
+        let body = CODE_BASE + 4 * SMC_BODY_WORD;
+        let before = m.state.mem.read(body, ldbt_isa::Width::W32);
+        m.state.regs[15] = img.entry;
+        assert_eq!(m.run(1_000_000), ArmStop::Halt);
+        let after = m.state.mem.read(body, ldbt_isa::Width::W32);
+        assert_eq!(after, before + 32, "32 outer iterations bump the imm field by 1 each");
+        // The patched word still decodes to the same instruction shape.
+        assert_eq!(
+            encode::decode(after).unwrap(),
+            add(ArmReg::R0, ArmReg::R0, Operand2::Imm(5 + 32))
+        );
+    }
+
+    #[test]
+    fn mini_kernel_procs_yield_exit_and_fault_on_the_interpreter() {
+        let img = mini_kernel_image();
+        let entry =
+            |name: &str| img.func_addrs.iter().find(|(n, _)| n == name).map(|&(_, a)| a).unwrap();
+        // proc_a run solo: yields at word 8, first time with r0 == 3.
+        let mut m = ArmMachine::new();
+        img.load_into(&mut m.state.mem);
+        m.state.regs[15] = entry("proc_a");
+        let stop = m.run(1_000_000);
+        assert_eq!(stop, ArmStop::Trap { pc: CODE_BASE + 4 * 8, cause: ArmTrapCause::Svc(1) });
+        assert_eq!(m.state.reg(ArmReg::R0), 3);
+        assert_eq!(m.state.mem.read(MAILBOX_BASE, ldbt_isa::Width::W32), 3);
+        // proc_wild: dies on the wild store, never reaches its svc #2.
+        // (The standalone interpreter only range-checks when a driver
+        // opts in; the DBT's drivers pass the engine's guest limit.)
+        let mut m = ArmMachine::new();
+        m.state.trap_limit = Some(0x0080_0000);
+        img.load_into(&mut m.state.mem);
+        m.state.regs[15] = entry("proc_wild");
+        let stop = m.run(1_000_000);
+        assert_eq!(
+            stop,
+            ArmStop::Trap { pc: CODE_BASE + 4 * 25, cause: ArmTrapCause::Mem(0xffff_fff8) }
+        );
+    }
+}

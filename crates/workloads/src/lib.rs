@@ -19,6 +19,8 @@
 //! * a self-checksum: the result is accumulated into a global and
 //!   returned, so any engine can be validated against the interpreter.
 
+pub mod asm;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;

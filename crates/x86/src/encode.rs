@@ -359,6 +359,8 @@ pub fn encode(instr: &X86Instr) -> Result<Vec<u8>, EncodeX86Error> {
         X86Instr::Pushfd => out.push(0x9c),
         X86Instr::Popfd => out.push(0x9d),
         X86Instr::Halt => out.push(0xf4),
+        // The guest-trap sentinel encodes as `ud2`.
+        X86Instr::Trap => out.extend_from_slice(&[0x0f, 0x0b]),
     }
     Ok(out)
 }
@@ -601,6 +603,7 @@ pub fn decode(bytes: &[u8]) -> Result<(X86Instr, usize), DecodeX86Error> {
         0x0f => {
             let op2 = r.u8()?;
             match op2 {
+                0x0b => X86Instr::Trap,
                 0xaf => {
                     let (reg, rm) = decode_modrm(&mut r)?;
                     X86Instr::Imul { dst: Gpr::from_index(reg as usize), src: rm }
@@ -857,6 +860,7 @@ mod tests {
         roundtrip(X86Instr::Pushfd);
         roundtrip(X86Instr::Popfd);
         roundtrip(X86Instr::Halt);
+        roundtrip(X86Instr::Trap);
     }
 
     #[test]

@@ -350,6 +350,12 @@ pub enum X86Instr {
         /// Code cache id of the chained successor block.
         block: u32,
     },
+    /// Guest trap sentinel: the guest executed a trapping instruction
+    /// (`svc #n`, n ≠ 0, or an undecodable word). By the dispatcher
+    /// convention `%eax` carries the trapping guest PC; translators emit
+    /// `movl $pc, %eax; trap` after a full register writeback so the
+    /// exit is precise. Costed like `hlt` ([`InstrKind::Branch`]).
+    Trap,
 }
 
 impl X86Instr {
@@ -451,7 +457,8 @@ impl X86Instr {
             | X86Instr::Jmp { .. }
             | X86Instr::Call { .. }
             | X86Instr::Halt
-            | X86Instr::ChainJmp { .. } => {
+            | X86Instr::ChainJmp { .. }
+            | X86Instr::Trap => {
                 vec![]
             }
         }
@@ -545,6 +552,7 @@ impl X86Instr {
                 | X86Instr::Call { .. }
                 | X86Instr::Halt
                 | X86Instr::ChainJmp { .. }
+                | X86Instr::Trap
         )
     }
 
@@ -598,7 +606,7 @@ impl X86Instr {
             X86Instr::Push { .. } => InstrKind::Store,
             X86Instr::Pop { .. } => InstrKind::Load,
             X86Instr::Pushfd | X86Instr::Popfd => InstrKind::FlagSync,
-            X86Instr::Halt => InstrKind::Branch,
+            X86Instr::Halt | X86Instr::Trap => InstrKind::Branch,
         }
     }
 
@@ -627,6 +635,7 @@ impl X86Instr {
             X86Instr::Popfd => 36,
             X86Instr::Halt => 37,
             X86Instr::ChainJmp { .. } => 38,
+            X86Instr::Trap => 39,
         }
     }
 }
@@ -683,6 +692,7 @@ impl fmt::Display for X86Instr {
             X86Instr::Popfd => write!(f, "popfd"),
             X86Instr::Halt => write!(f, "hlt"),
             X86Instr::ChainJmp { block } => write!(f, "chain @{block}"),
+            X86Instr::Trap => write!(f, "trap"),
         }
     }
 }

@@ -21,6 +21,26 @@ pub struct X86State {
     pub flags: EFlags,
     /// Host memory (shared with the guest image in the DBT).
     pub mem: Memory,
+    /// Optional upper bound of the guest-addressable region: a
+    /// register-relative memory access at or above it traps with
+    /// [`TrapCause::Mem`] *before* any side effect. Absolute operands
+    /// (env slots, spill area) and the host stack traffic of
+    /// `push`/`pop`/`pushfd`/`popfd`/`call`/`ret` are exempt — in
+    /// translated code those are host-private by construction, while
+    /// every guest load/store goes through a register-based operand.
+    /// `None` (the default) disables the check entirely.
+    pub guest_limit: Option<u32>,
+}
+
+/// Why a guest trap was raised (see [`X86Event::Trap`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapCause {
+    /// A `trap` sentinel instruction executed (guest `svc #n`, n ≠ 0,
+    /// or an undecodable guest word); `%eax` carries the guest PC.
+    Insn,
+    /// A guest memory access at or beyond the configured guest limit;
+    /// the payload is the faulting effective address.
+    Mem(u32),
 }
 
 /// Control-flow outcome of executing one instruction.
@@ -45,6 +65,11 @@ pub enum X86Event {
     /// execution cannot continue. Surfaced instead of panicking so a
     /// corrupted translation faults the engine rather than the process.
     Fault,
+    /// A guest trap: the `trap` sentinel executed, or a guest memory
+    /// access crossed the configured [`X86State::guest_limit`]. Unlike
+    /// [`X86Event::Fault`] (a malformed *translation*), a trap is a
+    /// well-defined *guest* outcome the engine surfaces to its caller.
+    Trap(TrapCause),
 }
 
 impl X86State {
@@ -110,8 +135,42 @@ impl X86State {
         v
     }
 
+    /// The faulting effective address of `instr`, if any of its
+    /// register-relative memory operands lands at or beyond the guest
+    /// limit. Checked *before* execution so a trapping instruction has
+    /// no side effects. Absolute operands (`base`/`index` both absent:
+    /// env and spill slots) and the implicit `%esp` traffic of stack
+    /// instructions are exempt; see [`X86State::guest_limit`].
+    fn guest_mem_violation(&self, instr: &X86Instr) -> Option<u32> {
+        let limit = self.guest_limit?;
+        let check = |m: &X86Mem| {
+            if m.base.is_none() && m.index.is_none() {
+                return None;
+            }
+            let a = self.effective_addr(m);
+            (a >= limit).then_some(a)
+        };
+        match instr {
+            X86Instr::Mov { dst, src } | X86Instr::Alu { dst, src, .. } => {
+                dst.mem().and_then(check).or_else(|| src.mem().and_then(check))
+            }
+            X86Instr::Shift { dst, .. } | X86Instr::Un { dst, .. } | X86Instr::Pop { dst } => {
+                dst.mem().and_then(check)
+            }
+            X86Instr::Imul { src, .. }
+            | X86Instr::Movx { src, .. }
+            | X86Instr::JmpInd { src }
+            | X86Instr::Push { src } => src.mem().and_then(check),
+            X86Instr::MovStore { dst, .. } => check(dst),
+            _ => None,
+        }
+    }
+
     /// Execute one instruction.
     pub fn exec(&mut self, instr: &X86Instr) -> X86Event {
+        if let Some(addr) = self.guest_mem_violation(instr) {
+            return X86Event::Trap(TrapCause::Mem(addr));
+        }
         match *instr {
             X86Instr::Mov { dst, src } => {
                 let v = self.read_operand(&src);
@@ -198,6 +257,7 @@ impl X86State {
             }
             X86Instr::Halt => return X86Event::Halt,
             X86Instr::ChainJmp { block } => return X86Event::Chain(block),
+            X86Instr::Trap => return X86Event::Trap(TrapCause::Insn),
         }
         X86Event::Next
     }
@@ -223,6 +283,8 @@ pub enum SeqExit {
     FellThrough,
     /// A malformed instruction faulted (see [`X86Event::Fault`]).
     Faulted,
+    /// A guest trap was raised (see [`X86Event::Trap`]).
+    Trapped(TrapCause),
 }
 
 /// Execute an instruction sequence from index 0.
@@ -264,6 +326,7 @@ pub fn run_seq(
             X86Event::Chain(block) => return SeqExit::Chained(block),
             X86Event::Halt => return SeqExit::Halted,
             X86Event::Fault => return SeqExit::Faulted,
+            X86Event::Trap(cause) => return SeqExit::Trapped(cause),
         }
     }
     SeqExit::OutOfFuel
@@ -463,6 +526,92 @@ mod tests {
         assert_eq!(exit, SeqExit::Faulted);
         let (_, exit) = run(&[X86Instr::Pop { dst: Operand::Imm(0) }], |_| {});
         assert_eq!(exit, SeqExit::Faulted);
+    }
+
+    #[test]
+    fn trap_sentinel_exits_with_insn_cause() {
+        let (st, exit) = run(&[X86Instr::mov_imm(Gpr::Eax, 0x1_0040), X86Instr::Trap], |_| {});
+        assert_eq!(exit, SeqExit::Trapped(TrapCause::Insn));
+        assert_eq!(st.reg(Gpr::Eax), 0x1_0040, "eax carries the trapping pc");
+    }
+
+    #[test]
+    fn guest_limit_traps_before_any_side_effect() {
+        let limit = 0x10_0000;
+        // A store at the limit: must trap and not write.
+        let (st, exit) = run(
+            &[
+                X86Instr::Mov {
+                    dst: Operand::Mem(X86Mem::base(Gpr::Edi)),
+                    src: Operand::Imm(0x55),
+                },
+                X86Instr::Ret,
+            ],
+            |st| {
+                st.guest_limit = Some(limit);
+                st.set_reg(Gpr::Edi, limit);
+            },
+        );
+        assert_eq!(exit, SeqExit::Trapped(TrapCause::Mem(limit)));
+        assert_eq!(st.mem.read(limit, Width::W32), 0, "no side effect");
+        // A load just below the limit is fine.
+        let (_, exit) = run(
+            &[
+                X86Instr::Mov {
+                    dst: Operand::Reg(Gpr::Eax),
+                    src: Operand::Mem(X86Mem::base(Gpr::Edi)),
+                },
+                X86Instr::Ret,
+            ],
+            |st| {
+                st.guest_limit = Some(limit);
+                st.set_reg(Gpr::Edi, limit - 4);
+            },
+        );
+        assert_eq!(exit, SeqExit::Returned);
+        // An indexed sub-word store above the limit traps too.
+        let (_, exit) = run(
+            &[
+                X86Instr::MovStore {
+                    width: Width::W8,
+                    src: Gpr::Ecx,
+                    dst: X86Mem { base: None, index: Some((Gpr::Ebx, 2)), disp: 4 },
+                },
+                X86Instr::Ret,
+            ],
+            |st| {
+                st.guest_limit = Some(limit);
+                st.set_reg(Gpr::Ebx, limit / 2);
+            },
+        );
+        assert_eq!(exit, SeqExit::Trapped(TrapCause::Mem(limit + 4)));
+    }
+
+    #[test]
+    fn guest_limit_exempts_absolute_and_stack_traffic() {
+        let limit = 0x10_0000;
+        // Absolute operands (env slots) above the limit are exempt, and
+        // so is push/pop/pushfd/popfd %esp traffic.
+        let (st, exit) = run(
+            &[
+                X86Instr::Mov {
+                    dst: Operand::Mem(X86Mem::absolute(0x00f0_0000)),
+                    src: Operand::Imm(7),
+                },
+                X86Instr::Push { src: Operand::Imm(3) },
+                X86Instr::Pushfd,
+                X86Instr::Popfd,
+                X86Instr::Pop { dst: Operand::Reg(Gpr::Ecx) },
+                X86Instr::Ret,
+            ],
+            |st| {
+                st.guest_limit = Some(limit);
+                st.set_reg(Gpr::Esp, 0x20_0000); // host stack above the limit
+            },
+        );
+        assert_eq!(exit, SeqExit::Returned);
+        assert_eq!(st.reg(Gpr::Ecx), 3);
+        assert_eq!(st.mem.read(0x00f0_0000, Width::W32), 7);
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub mod semantics;
 pub use cc::Cc;
 pub use flags::EFlags;
 pub use insn::{AluOp, Operand, ShiftOp, UnOp, X86Instr, X86Mem};
-pub use interp::{X86Event, X86State};
+pub use interp::{TrapCause, X86Event, X86State};
 pub use reg::Gpr;

@@ -113,6 +113,27 @@ LDBT_DETERMINISTIC=1 LDBT_RULEDB="$OBS_DIR/rules_corrupt.db" \
 cmp "$OBS_DIR/table1_off.txt" "$OBS_DIR/table1_corrupt.txt"
 grep -q "ignoring rule database" "$OBS_DIR/table1_corrupt.err"
 
+# Translation-cache coherence gate: the self-modifying-code smoke prints
+# guest-visible state only (final registers + the patched body word), so
+# the default run (coherent engines, asserting smc_invalidations > 0)
+# and the LDBT_NOSMC=1 run (forced interpreter fallback — with the cache
+# uncoherent, translated code may not execute the guest's stores) must
+# be byte-identical.
+cargo run -q --release -p ldbt-bench --bin smc_smoke > "$OBS_DIR/smc_default.txt"
+LDBT_NOSMC=1 cargo run -q --release -p ldbt-bench --bin smc_smoke > "$OBS_DIR/smc_nosmc.txt"
+cmp "$OBS_DIR/smc_default.txt" "$OBS_DIR/smc_nosmc.txt"
+
+# Guest trap-path gate: the cooperative mini-kernel (svc yields, svc
+# exit, wild-store kill) must produce the interpreter's exact KernelRun
+# on every engine, in every watchdog x superblock cell — the trap exit
+# is what the watchdog's soundness contract extends to.
+for watchdog in 0 1; do
+    for nosb in 0 1; do
+        LDBT_WATCHDOG="$watchdog" LDBT_NOSB="$nosb" \
+            cargo run -q --release -p ldbt-bench --bin mini_kernel_smoke
+    done
+done
+
 # Multi-tenant serving smoke: 2 tenants over the serve mix must reach
 # >=1.5x solo aggregate guest-instrs/sec. Real parallelism needs cores;
 # on hosts with fewer than 4 the binary skips with a notice (and this

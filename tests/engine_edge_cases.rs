@@ -210,3 +210,235 @@ fn cache_reuse_across_reset() {
     assert_eq!(e.stats.exec.translation_cycles, trans_after_first);
     assert_eq!(e.guest_reg(ArmReg::R0), 0);
 }
+
+/// Satellite: a reset with *unchanged* guest bytes must not purge
+/// anything (the checksum sweep is a no-op on a clean reload).
+#[test]
+fn reset_with_unchanged_bytes_keeps_cache() {
+    let prog = vec![
+        ArmInstr::mov(ArmReg::R0, Operand2::Imm(7)),
+        ArmInstr::dps(DpOp::Sub, ArmReg::R0, ArmReg::R0, Operand2::Imm(1)),
+        ArmInstr::B { offset: -2, cond: Cond::Ne },
+        ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ];
+    let image = image_of(&prog);
+    let mut e = Engine::new(&image, Translator::Tcg);
+    assert_eq!(e.run(1_000_000), RunOutcome::Halted);
+    e.reset();
+    assert_eq!(e.stats.smc_invalidations(), 0, "clean reset must not invalidate");
+    assert_eq!(e.run(1_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), 0);
+}
+
+/// Satellite regression: `Engine::reset` used to keep the translated
+/// cache verbatim while callers reloaded different guest bytes — the
+/// second run then executed the *old* program. Reset must
+/// checksum-revalidate and purge blocks whose bytes changed.
+#[test]
+fn reset_purges_blocks_whose_guest_bytes_changed() {
+    let image = image_of(&[
+        ArmInstr::mov(ArmReg::R0, Operand2::Imm(7)),
+        ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ]);
+    let mut e = Engine::new(&image, Translator::Tcg);
+    assert_eq!(e.run(1_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), 7);
+    // Reload a different program at the same addresses.
+    let other = image_of(&[
+        ArmInstr::mov(ArmReg::R0, Operand2::Imm(42)),
+        ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ]);
+    other.load_into(&mut e.state.mem);
+    e.reset();
+    assert!(e.stats.smc_invalidations() > 0, "stale block must be purged at reset");
+    assert_eq!(e.run(1_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), 42, "second run must execute the reloaded bytes");
+}
+
+/// The adversarial SMC shape for the purge paths: a loop block that is
+/// simultaneously an IBTC hit (entered via `bx`), chained (its own
+/// back-edge, plus a pending back-patch from the oversized entry
+/// block), and then overwritten by a guest store. Every engine must
+/// keep matching the interpreter: a stale IBTC slot or surviving chain
+/// patch would re-run the old body and diverge.
+#[test]
+fn smc_store_into_ibtc_hit_chained_block() {
+    let base = ldbt_compiler::link::CODE_BASE;
+    let prog = vec![
+        // r5 = address of the loop body T (word 6).
+        /* 0 */
+        ArmInstr::mov(ArmReg::R4, Operand2::Imm(1)),
+        /* 1 */
+        ArmInstr::mov(ArmReg::R4, Operand2::RegShift(ArmReg::R4, ldbt_arm::Shift::Lsl(16))),
+        /* 2 */ ArmInstr::dp(DpOp::Add, ArmReg::R5, ArmReg::R4, Operand2::Imm(6 * 4)),
+        /* 3 */ ArmInstr::mov(ArmReg::R0, Operand2::Imm(0)),
+        /* 4 */ ArmInstr::mov(ArmReg::R3, Operand2::Imm(3)), // phases
+        /* 5 */ ArmInstr::mov(ArmReg::R2, Operand2::Imm(4)), // inner counter
+        // T: self-chained inner loop, also the bx target below.
+        /* 6 */
+        ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Imm(10)), // patched
+        /* 7 */ ArmInstr::dps(DpOp::Sub, ArmReg::R2, ArmReg::R2, Operand2::Imm(1)),
+        /* 8 */ ArmInstr::B { offset: -3, cond: Cond::Ne },
+        // Patch T's first instruction: imm += 1.
+        /* 9 */
+        ArmInstr::ldr(ArmReg::R6, AddrMode::Imm(ArmReg::R5, 0)),
+        /* 10 */ ArmInstr::dp(DpOp::Add, ArmReg::R6, ArmReg::R6, Operand2::Imm(1)),
+        /* 11 */ ArmInstr::str(ArmReg::R6, AddrMode::Imm(ArmReg::R5, 0)),
+        /* 12 */ ArmInstr::dps(DpOp::Sub, ArmReg::R3, ArmReg::R3, Operand2::Imm(1)),
+        /* 13 */ ArmInstr::B { offset: 2, cond: Cond::Eq }, // -> svc
+        /* 14 */ ArmInstr::mov(ArmReg::R2, Operand2::Imm(4)),
+        /* 15 */
+        ArmInstr::Bx { rm: ArmReg::R5, cond: Cond::Al }, // IBTC re-entry into T
+        /* 16 */ ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ];
+    assert_eq!(base, 0x10000, "address materialization above assumes the standard base");
+    // Phases add 4x10, 4x11, 4x12.
+    let want = 4 * (10 + 11 + 12);
+    let results = run_all_engines(&image_of(&prog), Arc::new(RuleSet::new()));
+    for (label, r0, _) in &results {
+        assert_eq!(*r0, want, "{label}");
+    }
+    // The store must have invalidated at least the two overlapping
+    // translations (entry block and T) on the first patch alone.
+    let mut e = Engine::new(&image_of(&prog), Translator::Tcg);
+    assert_eq!(e.run(1_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), want);
+    assert!(
+        e.stats.smc_invalidations() >= 3,
+        "three patches, each hitting a live block: {}",
+        e.stats.smc_invalidations()
+    );
+    assert!(e.stats.traps() == 0, "svc #0 is a halt, not a trap");
+}
+
+/// The SMC workload must reach bit-identical final guest state across
+/// every engine x chaining x superblocks x watchdog combination, with
+/// invalidations observed on each (tentpole acceptance).
+#[test]
+fn smc_workload_bit_identical_across_matrix() {
+    use ldbt_workloads::asm::{smc_image, SMC_BODY_WORD, SMC_RESULT};
+    let image = smc_image();
+    // Interpreter reference: final registers and the patched code word.
+    let mut m = ldbt_arm::ArmMachine::new();
+    image.load_into(&mut m.state.mem);
+    m.state.regs[15] = image.entry;
+    assert_eq!(m.run(10_000_000), ldbt_arm::ArmStop::Halt);
+    assert_eq!(m.state.reg(ArmReg::R0), SMC_RESULT);
+    let body_addr = ldbt_compiler::link::CODE_BASE + 4 * SMC_BODY_WORD;
+    let want_body = m.state.mem.read(body_addr, ldbt_isa::Width::W32);
+    let mut rules = RuleSet::new();
+    rules.insert(subs_rule());
+    let rules = Arc::new(rules);
+    for t in [Translator::Tcg, Translator::Jit, Translator::Rules(Arc::clone(&rules))] {
+        for chaining in [true, false] {
+            for sb in [None, Some(8)] {
+                for wd in [None, Some(1)] {
+                    let label = format!("{t:?} chain={chaining} sb={sb:?} wd={wd:?}");
+                    let mut e = Engine::new(&image, t.clone())
+                        .with_chaining(chaining)
+                        .with_superblocks(sb)
+                        .with_watchdog(wd);
+                    assert_eq!(e.run(100_000_000), RunOutcome::Halted, "{label}");
+                    for r in ArmReg::ALL {
+                        if r != ArmReg::Pc {
+                            assert_eq!(e.guest_reg(r), m.state.reg(r), "{label} {r:?}");
+                        }
+                    }
+                    assert_eq!(e.guest_mem(body_addr), want_body, "{label} patched word");
+                    assert!(e.stats.smc_invalidations() > 0, "{label}: no invalidations seen");
+                }
+            }
+        }
+    }
+}
+
+/// Satellite: builder-forced superblock threshold edge values. `Some(0)`
+/// must neither form a region on the first execution nor divide by
+/// zero while profiling; `Some(u64::MAX)` simply never triggers.
+#[test]
+fn superblock_threshold_zero_and_max_are_inert() {
+    // A branchy loop (multi-block chain) so regions *can* form.
+    let prog = vec![
+        /* 0 */ ArmInstr::mov(ArmReg::R0, Operand2::Imm(0)),
+        /* 1 */ ArmInstr::mov(ArmReg::R1, Operand2::Imm(200)),
+        // loop:
+        /* 2 */
+        ArmInstr::dp(DpOp::Tst, ArmReg::R0, ArmReg::R1, Operand2::Imm(1)),
+        /* 3 */ ArmInstr::B { offset: 2, cond: Cond::Eq }, // -> else
+        /* 4 */ ArmInstr::dp(DpOp::Add, ArmReg::R0, ArmReg::R0, Operand2::Reg(ArmReg::R1)),
+        /* 5 */ ArmInstr::B { offset: 1, cond: Cond::Al }, // -> join
+        /* 6 */ ArmInstr::dp(DpOp::Eor, ArmReg::R0, ArmReg::R0, Operand2::Imm(5)),
+        // join:
+        /* 7 */
+        ArmInstr::dps(DpOp::Sub, ArmReg::R1, ArmReg::R1, Operand2::Imm(1)),
+        /* 8 */ ArmInstr::B { offset: -7, cond: Cond::Ne },
+        /* 9 */ ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ];
+    let image = image_of(&prog);
+    let mut m = ldbt_arm::ArmMachine::new();
+    image.load_into(&mut m.state.mem);
+    m.state.regs[15] = image.entry;
+    assert_eq!(m.run(1_000_000), ldbt_arm::ArmStop::Halt);
+    let want = m.state.reg(ArmReg::R0);
+    for threshold in [0, u64::MAX] {
+        let mut e = Engine::new(&image, Translator::Tcg).with_superblocks(Some(threshold));
+        assert_eq!(e.run(1_000_000), RunOutcome::Halted, "threshold {threshold}");
+        assert_eq!(e.guest_reg(ArmReg::R0), want);
+        assert_eq!(e.stats.sb_execs(), 0, "threshold {threshold} must never form a region");
+        assert_eq!(e.live_regions(), 0, "threshold {threshold} must never form a region");
+    }
+    // Sanity: a small positive threshold does form regions on this loop.
+    let mut e = Engine::new(&image, Translator::Tcg).with_superblocks(Some(8));
+    assert_eq!(e.run(1_000_000), RunOutcome::Halted);
+    assert_eq!(e.guest_reg(ArmReg::R0), want);
+    assert!(e.stats.sb_execs() > 0, "threshold 8 should form and run regions");
+}
+
+/// Guest traps surface as `RunOutcome::Trap`, never a panic: an
+/// undecodable word, a wild store, and a non-halt `svc` each exit
+/// translated code with the right cause, and the engine stays usable.
+#[test]
+fn guest_traps_exit_cleanly() {
+    use ldbt_dbt::TrapKind;
+    let base = ldbt_compiler::link::CODE_BASE;
+    // svc #7 at word 1.
+    let image = image_of(&[
+        ArmInstr::mov(ArmReg::R0, Operand2::Imm(5)),
+        ArmInstr::Svc { imm: 7, cond: Cond::Al },
+        ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ]);
+    let mut e = Engine::new(&image, Translator::Tcg);
+    assert_eq!(e.run(1_000_000), RunOutcome::Trap { pc: base + 4, cause: TrapKind::Svc(7) });
+    assert_eq!(e.guest_reg(ArmReg::R0), 5, "registers written back at the trap");
+    assert_eq!(e.stats.traps(), 1);
+    // The driver can resume past the trap; the run then halts.
+    e.set_guest_pc(base + 8);
+    assert_eq!(e.run(1_000_000), RunOutcome::Halted);
+    // Undecodable word: trap-translated, Undef cause.
+    let mut bytes = assemble(&[ArmInstr::mov(ArmReg::R0, Operand2::Imm(1))]).unwrap();
+    bytes.extend_from_slice(&0xffff_ffffu32.to_le_bytes());
+    let image =
+        ArmImage { bytes, base, entry: base, func_addrs: vec![], meta: vec![], globals: vec![] };
+    let mut e = Engine::new(&image, Translator::Tcg);
+    assert_eq!(e.run(1_000_000), RunOutcome::Trap { pc: base + 4, cause: TrapKind::Undef });
+    // Wild store: Mem cause with the faulting address.
+    let image = image_of(&[
+        ArmInstr::Dp {
+            op: DpOp::Mvn,
+            rd: ArmReg::R6,
+            rn: ArmReg::R0,
+            op2: Operand2::Imm(7),
+            set_flags: false,
+            cond: Cond::Al,
+        },
+        ArmInstr::str(ArmReg::R0, AddrMode::Imm(ArmReg::R6, 0)),
+        ArmInstr::Svc { imm: 0, cond: Cond::Al },
+    ]);
+    let mut e = Engine::new(&image, Translator::Tcg);
+    match e.run(1_000_000) {
+        RunOutcome::Trap { cause: TrapKind::Mem(addr), .. } => {
+            assert_eq!(addr, 0xffff_fff8);
+        }
+        other => panic!("expected a Mem trap, got {other:?}"),
+    }
+}

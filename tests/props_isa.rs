@@ -482,3 +482,60 @@ proptest! {
         }
     }
 }
+
+// --- Translation-cache coherence: code-page store detection ----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The SMC pipeline's exactness property: marking a translated
+    /// block's byte range and then applying the engine's overlap filter
+    /// to the store-hit log must flag exactly the stores whose span
+    /// intersects the block — every width and alignment, including
+    /// page-crossing stores and multi-byte `write_bytes` spans. The
+    /// page bitmap is allowed to log near misses on the same page; the
+    /// span filter must discard them.
+    #[test]
+    fn code_page_store_log_triggers_iff_span_overlaps_block(
+        block_word in 0u32..0x2000,
+        block_words in 1u32..64,
+        stores in proptest::collection::vec(
+            (-0x3000i64..0x3000, 0usize..4, 1usize..9),
+            1..32
+        ),
+    ) {
+        let bpc = 0x1_0000 + block_word * 4;
+        let blen = block_words * 4;
+        let mut mem = Memory::new();
+        mem.mark_code(bpc, blen);
+        let (bs, be) = (bpc as u64, bpc as u64 + blen as u64);
+        for (off, kind, nbytes) in stores {
+            let addr = (bpc as i64 + off) as u32;
+            let (ws, wl) = match kind {
+                0 => { mem.write(addr, 0xa5, Width::W8); (addr as u64, 1u64) }
+                1 => { mem.write(addr, 0xa5a5, Width::W16); (addr as u64, 2) }
+                2 => { mem.write(addr, 0xa5a5_a5a5, Width::W32); (addr as u64, 4) }
+                _ => {
+                    mem.write_bytes(addr, &vec![0xa5u8; nbytes]);
+                    (addr as u64, nbytes as u64)
+                }
+            };
+            let spans = mem.take_code_writes();
+            let logged_hit = spans.iter().any(|&(s, l)| {
+                let (s, e) = (s as u64, s as u64 + l as u64);
+                s < be && bs < e
+            });
+            let expect = ws < be && bs < ws + wl;
+            prop_assert_eq!(
+                logged_hit, expect,
+                "store {:#x}+{} vs block {:#x}+{}", addr, wl, bpc, blen
+            );
+        }
+        // A memory with no marked pages logs nothing at all — the store
+        // fast path stays free for non-code workloads.
+        let mut clean = Memory::new();
+        clean.write(bpc, 1, Width::W32);
+        clean.write_bytes(bpc + 8, &[1, 2, 3]);
+        prop_assert!(!clean.has_code_writes());
+    }
+}
